@@ -1,0 +1,77 @@
+//! Ablation A3 — §4.2 edge priority: arrival order vs cost-descending
+//! vs cost-ascending (the anti-heuristic), everything else held fixed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_core::config::{EdgeOrder, ListConfig};
+use es_core::{ListScheduler, Scheduler};
+use es_workload::{cell_seed, generate, InstanceConfig, Setting};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, ListConfig)> {
+    let base = ListConfig::ba_static();
+    vec![
+        ("arrival", base),
+        (
+            "cost_desc",
+            ListConfig {
+                name: "ablate-order-desc",
+                edge_order: EdgeOrder::CostDesc,
+                ..base
+            },
+        ),
+        (
+            "cost_asc",
+            ListConfig {
+                name: "ablate-order-asc",
+                edge_order: EdgeOrder::CostAsc,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn instances() -> Vec<es_workload::Instance> {
+    (0..4)
+        .map(|rep| {
+            let seed = cell_seed(20060810, Setting::Heterogeneous, 16, 5.0, rep);
+            generate(&InstanceConfig::paper(Setting::Heterogeneous, 16, 5.0, seed).with_tasks(80))
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let insts = instances();
+    eprintln!("\n# Ablation: edge priority (hetero, 16 procs, CCR 5, mean of 4 instances)");
+    for (name, cfg) in variants() {
+        let mean: f64 = insts
+            .iter()
+            .map(|i| {
+                ListScheduler::with_config(cfg)
+                    .schedule(&i.dag, &i.topo)
+                    .unwrap()
+                    .makespan
+            })
+            .sum::<f64>()
+            / insts.len() as f64;
+        eprintln!("  {name:<18} mean makespan {mean:>12.1}");
+    }
+
+    let mut g = c.benchmark_group("ablation_edge_priority");
+    for (name, cfg) in variants() {
+        let inst = &insts[0];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    ListScheduler::with_config(cfg)
+                        .schedule(black_box(&inst.dag), black_box(&inst.topo))
+                        .unwrap()
+                        .makespan,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation A5 — processor selection: the paper's §4.1 contention-blind
+//! static criterion vs the strong earliest-finish probe (Sinnen
+//! TPDS'05). This quantifies the baseline-strength discussion in
+//! DESIGN.md §2: the probe buys large makespan reductions at a large
+//! scheduling-time cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_core::config::ListConfig;
+use es_core::{ListScheduler, Scheduler};
+use es_workload::{cell_seed, generate, InstanceConfig, Setting};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, ListConfig)> {
+    vec![
+        ("hybrid_static", ListConfig::ba_static()),
+        ("eft_probe", ListConfig::ba()),
+    ]
+}
+
+fn instances() -> Vec<es_workload::Instance> {
+    (0..4)
+        .map(|rep| {
+            let seed = cell_seed(20060810, Setting::Heterogeneous, 16, 2.0, rep);
+            generate(&InstanceConfig::paper(Setting::Heterogeneous, 16, 2.0, seed).with_tasks(80))
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let insts = instances();
+    eprintln!("\n# Ablation: processor selection (hetero, 16 procs, CCR 2, mean of 4 instances)");
+    for (name, cfg) in variants() {
+        let mean: f64 = insts
+            .iter()
+            .map(|i| {
+                ListScheduler::with_config(cfg)
+                    .schedule(&i.dag, &i.topo)
+                    .unwrap()
+                    .makespan
+            })
+            .sum::<f64>()
+            / insts.len() as f64;
+        eprintln!("  {name:<18} mean makespan {mean:>12.1}");
+    }
+
+    let mut g = c.benchmark_group("ablation_proc_selection");
+    for (name, cfg) in variants() {
+        let inst = &insts[0];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    ListScheduler::with_config(cfg)
+                        .schedule(black_box(&inst.dag), black_box(&inst.topo))
+                        .unwrap()
+                        .makespan,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

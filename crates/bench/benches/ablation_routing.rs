@@ -1,0 +1,69 @@
+//! Ablation A1 — §4.3 routing: BFS minimal vs modified Dijkstra, all
+//! other choices held at the BA baseline. Prints the mean makespans
+//! (the quality signal) and measures each variant's scheduling runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_core::config::{ListConfig, Routing};
+use es_core::{ListScheduler, Scheduler};
+use es_workload::{cell_seed, generate, InstanceConfig, Setting};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, ListConfig)> {
+    vec![
+        ("bfs", ListConfig::ba_static()),
+        (
+            "modified_dijkstra",
+            ListConfig {
+                name: "ablate-routing",
+                routing: Routing::ModifiedDijkstra,
+                ..ListConfig::ba_static()
+            },
+        ),
+    ]
+}
+
+fn instances() -> Vec<es_workload::Instance> {
+    (0..4)
+        .map(|rep| {
+            let seed = cell_seed(20060810, Setting::Heterogeneous, 32, 5.0, rep);
+            generate(&InstanceConfig::paper(Setting::Heterogeneous, 32, 5.0, seed).with_tasks(80))
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let insts = instances();
+    eprintln!("\n# Ablation: routing (hetero, 32 procs, CCR 5, mean of 4 instances)");
+    for (name, cfg) in variants() {
+        let mean: f64 = insts
+            .iter()
+            .map(|i| {
+                ListScheduler::with_config(cfg)
+                    .schedule(&i.dag, &i.topo)
+                    .unwrap()
+                    .makespan
+            })
+            .sum::<f64>()
+            / insts.len() as f64;
+        eprintln!("  {name:<18} mean makespan {mean:>12.1}");
+    }
+
+    let mut g = c.benchmark_group("ablation_routing");
+    for (name, cfg) in variants() {
+        let inst = &insts[0];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    ListScheduler::with_config(cfg)
+                        .schedule(black_box(&inst.dag), black_box(&inst.topo))
+                        .unwrap()
+                        .makespan,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation A6 — model extensions: cut-through vs store-and-forward
+//! switching, and the effect of the per-hop switch delay (§2.2's
+//! invited extension). Cut-through with zero delay is the paper's
+//! model; the other points show what the neglected effects cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_core::config::{ListConfig, Switching};
+use es_core::{ListScheduler, Scheduler};
+use es_net::gen::{random_switched_wan, WanConfig};
+use es_workload::scale_to_ccr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fixture(hop_delay: f64) -> (es_dag::TaskGraph, es_net::Topology) {
+    // Same RNG stream as WanConfig-only generation, then override the
+    // builder-level hop delay by regenerating through a builder is not
+    // possible post-hoc — so generate per delay with the same seed.
+    let mut rng = StdRng::seed_from_u64(20060810);
+    let topo = {
+        let t = random_switched_wan(&WanConfig::heterogeneous(16), &mut rng);
+        if hop_delay == 0.0 {
+            t
+        } else {
+            // Rebuild with the delay: easiest faithful path is a fresh
+            // generation with identical seed, then a builder copy isn't
+            // exposed — instead regenerate and set the delay through
+            // the public builder by reconstructing the same topology.
+            regenerate_with_delay(hop_delay)
+        }
+    };
+    let base = es_dag::gen::structured::stencil_1d(10, 8, 100.0, 100.0);
+    let dag = scale_to_ccr(&base, 2.0, topo.mean_proc_speed(), topo.mean_link_speed());
+    (dag, topo)
+}
+
+/// Rebuild the seed-20060810 16-proc heterogeneous WAN with a hop delay.
+fn regenerate_with_delay(delay: f64) -> es_net::Topology {
+    let mut rng = StdRng::seed_from_u64(20060810);
+    let reference = random_switched_wan(&WanConfig::heterogeneous(16), &mut rng);
+    // Copy links/processors through a builder with the delay set.
+    let mut b = es_net::Topology::builder();
+    b.set_hop_delay(delay);
+    for n in reference.node_ids() {
+        match reference.node(n).kind {
+            es_net::NodeKind::Processor(p) => {
+                b.add_processor(reference.proc_speed(p));
+            }
+            es_net::NodeKind::Switch => {
+                b.add_switch();
+            }
+        }
+    }
+    for l in reference.link_ids() {
+        if let es_net::LinkConn::Directed { from, to } = reference.link(l).conn {
+            b.add_directed_link(from, to, reference.link_speed(l));
+        }
+    }
+    b.build().expect("copy of a valid topology")
+}
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n# Ablation: switching model (hetero 16-proc WAN, stencil, CCR 2)");
+    for (label, switching, delay) in [
+        ("cut_through_d0", Switching::CutThrough, 0.0),
+        ("store_forward_d0", Switching::StoreAndForward, 0.0),
+        ("cut_through_d2", Switching::CutThrough, 2.0),
+        ("cut_through_d10", Switching::CutThrough, 10.0),
+    ] {
+        let (dag, topo) = fixture(delay);
+        let cfg = ListConfig {
+            name: "ablate-switching",
+            switching,
+            ..ListConfig::oihsa()
+        };
+        let ms = ListScheduler::with_config(cfg)
+            .schedule(&dag, &topo)
+            .unwrap()
+            .makespan;
+        eprintln!("  {label:<18} makespan {ms:>10.1}");
+    }
+
+    let (dag, topo) = fixture(0.0);
+    let mut g = c.benchmark_group("ablation_switching");
+    for (label, switching) in [
+        ("cut_through", Switching::CutThrough),
+        ("store_forward", Switching::StoreAndForward),
+    ] {
+        let cfg = ListConfig {
+            name: "ablate-switching",
+            switching,
+            ..ListConfig::oihsa()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    ListScheduler::with_config(cfg)
+                        .schedule(black_box(&dag), black_box(&topo))
+                        .unwrap()
+                        .makespan,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 1 — homogeneous systems, improvement % vs CCR.
+//!
+//! Prints the figure's series at bench scale (the CLI reproduces it at
+//! full paper scale), then measures the runtime of regenerating one
+//! figure point (a full BA/OIHSA/BBSA cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_bench::{bench_ccrs, bench_cell, bench_params, bench_procs};
+use es_sim::{fig1, run_cell};
+use es_workload::Setting;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = fig1(&bench_params(bench_procs(), bench_ccrs())).to_table();
+    eprintln!("\n{table}");
+
+    let mut g = c.benchmark_group("fig1");
+    for ccr in [0.5, 5.0] {
+        let spec = bench_cell(Setting::Homogeneous, 8, ccr);
+        g.bench_function(format!("cell_procs8_ccr{ccr}"), |b| {
+            b.iter(|| black_box(run_cell(black_box(&spec))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 3 — heterogeneous systems, improvement % vs CCR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_bench::{bench_ccrs, bench_cell, bench_params, bench_procs};
+use es_sim::{fig3, run_cell};
+use es_workload::Setting;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = fig3(&bench_params(bench_procs(), bench_ccrs())).to_table();
+    eprintln!("\n{table}");
+
+    let mut g = c.benchmark_group("fig3");
+    for ccr in [0.5, 5.0] {
+        let spec = bench_cell(Setting::Heterogeneous, 8, ccr);
+        g.bench_function(format!("cell_procs8_ccr{ccr}"), |b| {
+            b.iter(|| black_box(run_cell(black_box(&spec))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

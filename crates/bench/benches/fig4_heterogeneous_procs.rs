@@ -1,0 +1,24 @@
+//! Figure 4 — heterogeneous systems, improvement % vs processor count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_bench::{bench_ccrs, bench_cell, bench_params, bench_procs};
+use es_sim::{fig4, run_cell};
+use es_workload::Setting;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let table = fig4(&bench_params(bench_procs(), bench_ccrs())).to_table();
+    eprintln!("\n{table}");
+
+    let mut g = c.benchmark_group("fig4");
+    for procs in [2usize, 32] {
+        let spec = bench_cell(Setting::Heterogeneous, procs, 1.0);
+        g.bench_function(format!("cell_procs{procs}_ccr1"), |b| {
+            b.iter(|| black_box(run_cell(black_box(&spec))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the link-scheduling primitives: slot-queue
+//! probing, optimal insertion (§4.4), bandwidth allocation (§5), and
+//! the two routing searches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_linksched::bandwidth::{ArrivalCurve, RateProfile};
+use es_linksched::optimal::plan_optimal_insert;
+use es_linksched::slot::SlotQueue;
+use es_linksched::CommId;
+use es_net::gen::{random_switched_wan, WanConfig};
+use es_route::{bfs_route, dijkstra_route};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// A queue with `n` busy slots separated by small gaps.
+fn busy_queue(n: u64) -> (SlotQueue, Vec<f64>) {
+    let mut q = SlotQueue::new();
+    let mut dts = Vec::new();
+    let mut t = 0.0;
+    for i in 0..n {
+        q.commit(CommId(i), 0, t, 3.0);
+        t += 3.0 + ((i % 3) as f64) * 0.5;
+        dts.push((i % 4) as f64);
+    }
+    (q, dts)
+}
+
+fn bench(c: &mut Criterion) {
+    let (q, dts) = busy_queue(200);
+
+    c.bench_function("slotqueue_probe_200slots", |b| {
+        b.iter(|| black_box(q.probe(black_box(10.0), black_box(2.0))))
+    });
+
+    c.bench_function("optimal_insert_plan_200slots", |b| {
+        b.iter(|| black_box(plan_optimal_insert(&q, black_box(10.0), black_box(2.0), &dts)))
+    });
+
+    let mut profile = RateProfile::new();
+    for i in 0..100u64 {
+        let f = profile.allocate(
+            2.0,
+            ArrivalCurve::Instant { at: (i % 10) as f64 * 7.0 },
+            5.0,
+        );
+        profile.commit(CommId(i), &f);
+    }
+    c.bench_function("bandwidth_allocate_100segs", |b| {
+        b.iter(|| {
+            black_box(profile.allocate(
+                2.0,
+                ArrivalCurve::Instant { at: black_box(12.0) },
+                black_box(8.0),
+            ))
+        })
+    });
+
+    let topo = random_switched_wan(
+        &WanConfig::heterogeneous(64),
+        &mut StdRng::seed_from_u64(1),
+    );
+    let a = topo.node_of_proc(es_net::ProcId(0));
+    let b_ = topo.node_of_proc(es_net::ProcId(63));
+    c.bench_function("bfs_route_64proc_wan", |b| {
+        b.iter(|| black_box(bfs_route(&topo, black_box(a), black_box(b_))))
+    });
+    c.bench_function("dijkstra_route_64proc_wan", |b| {
+        b.iter(|| {
+            black_box(dijkstra_route(
+                &topo,
+                black_box(a),
+                black_box(b_),
+                (0.0_f64, 0.0_f64),
+                |&(s, f), hop| {
+                    let int = 5.0 / topo.link_speed(hop.link);
+                    let start = s.max(f - int);
+                    (start, start + int)
+                },
+                |&(_, f)| f,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each figure bench regenerates one point grid of the corresponding
+//! paper figure at a bench-friendly scale (fixed task count, reduced
+//! repetitions) and *prints the same improvement rows the paper plots*
+//! before measuring the runtime of the cell computation. The CLI
+//! (`es-experiments fig1..fig4`) runs the same machinery at full paper
+//! scale.
+
+use es_sim::{CellSpec, FigureParams};
+use es_workload::Setting;
+
+/// Bench-scale figure parameters: the paper's axes at reduced
+/// repetition count and a fixed task count so a bench run stays in
+/// seconds, not hours.
+pub fn bench_params(procs: Vec<usize>, ccrs: Vec<f64>) -> FigureParams {
+    FigureParams {
+        reps: 2,
+        tasks: Some(80),
+        base_seed: 20060810,
+        procs,
+        ccrs,
+        threads: 1, // Criterion owns the parallelism budget
+        validate: false,
+        strong_baseline: false,
+        progress: false,
+    }
+}
+
+/// A single bench cell.
+pub fn bench_cell(setting: Setting, processors: usize, ccr: f64) -> CellSpec {
+    CellSpec {
+        setting,
+        processors,
+        ccr,
+        reps: 1,
+        base_seed: 20060810,
+        tasks: Some(80),
+        validate: false,
+        strong_baseline: false,
+    }
+}
+
+/// The reduced CCR axis used by the figure benches (endpoints + knees
+/// of the paper's 19-value sweep).
+pub fn bench_ccrs() -> Vec<f64> {
+    vec![0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+}
+
+/// The reduced processor axis used by the figure benches.
+pub fn bench_procs() -> Vec<usize> {
+    vec![2, 8, 32]
+}

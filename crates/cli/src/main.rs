@@ -1,0 +1,404 @@
+//! `es-experiments` — command-line reproduction of the paper's figures.
+//!
+//! ```text
+//! es-experiments <fig1|fig2|fig3|fig4|all> [options]
+//! es-experiments cell --setting hetero --procs 32 --ccr 5 [options]
+//! es-experiments demo
+//!
+//! Options:
+//!   --reps N            repetitions per cell            (default 5)
+//!   --tasks N           fixed task count                (default: paper's U(40,1000))
+//!   --seed N            base seed                       (default 20060810)
+//!   --threads N         worker threads                  (default: CPUs)
+//!   --procs A,B,C       processor counts                (default 2,4,8,16,32,64,128)
+//!   --ccrs A,B,C        CCR values                      (default: the paper's 19)
+//!   --validate          re-validate every schedule
+//!   --strong-baseline   also run the probing BA family
+//!   --csv PATH          write the per-cell results as CSV
+//! ```
+
+use es_sim::{fig1, fig2, fig3, fig4, fig_pair, run_cell, CellSpec, FigureParams, FigureResult};
+use es_workload::Setting;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", USAGE);
+        std::process::exit(2);
+    }
+    let cmd = args[0].as_str();
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    match cmd {
+        "fig1" => emit(&[fig1(&opts.params)], &opts),
+        "fig2" => emit(&[fig2(&opts.params)], &opts),
+        "fig3" => emit(&[fig3(&opts.params)], &opts),
+        "fig4" => emit(&[fig4(&opts.params)], &opts),
+        "all" => {
+            // Figures 1+2 share their homogeneous grid, 3+4 the
+            // heterogeneous one — compute each grid once.
+            let (f1, f2) = fig_pair(&opts.params, Setting::Homogeneous);
+            let (f3, f4) = fig_pair(&opts.params, Setting::Heterogeneous);
+            emit(&[f1, f2, f3, f4], &opts);
+        }
+        "cell" => run_single_cell(&opts),
+        "suite" => run_suite(&opts),
+        "export" => export_instance(&opts),
+        "demo" => demo(),
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "\
+es-experiments — reproduce Han & Wang (ICPP 2006), Figures 1-4
+
+USAGE:
+  es-experiments <fig1|fig2|fig3|fig4|all|cell|suite|export|demo> [options]
+
+OPTIONS:
+  --reps N            repetitions per cell            (default 5)
+  --tasks N           fixed task count                (default: paper's U(40,1000))
+  --seed N            base seed                       (default 20060810)
+  --threads N         worker threads                  (default: CPUs)
+  --procs A,B,C       processor counts                (default 2,4,8,16,32,64,128)
+  --ccrs A,B,C        CCR values                      (default: the paper's 19 values)
+  --setting h|het     (cell only) homogeneous or heterogeneous
+  --ccr X             (cell only) single CCR
+  --validate          re-validate every schedule against the model
+  --strong-baseline   also run the probing-BA family for comparison
+  --progress          print a line to stderr per completed cell
+  --csv PATH          write per-cell results as CSV
+  --out DIR           (export only) output directory   (default: export/)
+
+The `export` command generates one instance (--setting/--procs/--ccr/
+--seed/--tasks), schedules it with BA-static, BA, OIHSA and BBSA, and
+writes DOT renderings of the DAG and topology plus per-schedule CSVs
+and text Gantt charts into DIR.";
+
+struct Options {
+    params: FigureParams,
+    csv: Option<String>,
+    setting: Setting,
+    single_ccr: f64,
+    out_dir: String,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut params = FigureParams {
+            reps: 5,
+            ..FigureParams::default()
+        };
+        let mut csv = None;
+        let mut setting = Setting::Homogeneous;
+        let mut single_ccr = 1.0;
+        let mut out_dir = String::from("export");
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = || {
+                it.next()
+                    .map(|s| s.to_string())
+                    .ok_or_else(|| format!("{a} needs a value"))
+            };
+            match a.as_str() {
+                "--reps" => params.reps = take()?.parse().map_err(|e| format!("--reps: {e}"))?,
+                "--tasks" => {
+                    params.tasks =
+                        Some(take()?.parse().map_err(|e| format!("--tasks: {e}"))?)
+                }
+                "--seed" => {
+                    params.base_seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+                "--threads" => {
+                    params.threads = take()?.parse().map_err(|e| format!("--threads: {e}"))?
+                }
+                "--procs" => {
+                    params.procs = take()?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--procs: {e}")))
+                        .collect::<Result<_, _>>()?
+                }
+                "--ccrs" => {
+                    params.ccrs = take()?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--ccrs: {e}")))
+                        .collect::<Result<_, _>>()?
+                }
+                "--ccr" => single_ccr = take()?.parse().map_err(|e| format!("--ccr: {e}"))?,
+                "--setting" => {
+                    let v = take()?;
+                    setting = match v.as_str() {
+                        "h" | "hom" | "homogeneous" => Setting::Homogeneous,
+                        "het" | "hetero" | "heterogeneous" => Setting::Heterogeneous,
+                        _ => return Err(format!("--setting: unknown value {v}")),
+                    };
+                }
+                "--validate" => params.validate = true,
+                "--progress" => params.progress = true,
+                "--strong-baseline" => params.strong_baseline = true,
+                "--csv" => csv = Some(take()?),
+                "--out" => out_dir = take()?,
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(Self {
+            params,
+            csv,
+            setting,
+            single_ccr,
+            out_dir,
+        })
+    }
+}
+
+fn emit(figs: &[FigureResult], opts: &Options) {
+    for f in figs {
+        println!("{}", f.to_table());
+    }
+    if let Some(path) = &opts.csv {
+        let out = es_sim::report::figures_to_csv(figs);
+        std::fs::write(path, out).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote per-cell CSV to {path}");
+    }
+}
+
+fn run_single_cell(opts: &Options) {
+    let spec = CellSpec {
+        setting: opts.setting,
+        processors: *opts.params.procs.first().unwrap_or(&8),
+        ccr: opts.single_ccr,
+        reps: opts.params.reps,
+        base_seed: opts.params.base_seed,
+        tasks: opts.params.tasks,
+        validate: opts.params.validate,
+        strong_baseline: opts.params.strong_baseline,
+    };
+    let r = run_cell(&spec);
+    println!(
+        "cell {:?} procs={} ccr={} reps={}",
+        spec.setting, spec.processors, spec.ccr, spec.reps
+    );
+    println!("  BA-static makespan : {:>12.1}", r.ba_makespan);
+    println!(
+        "  OIHSA     makespan : {:>12.1}  ({:+.2}% vs BA, σ {:.2})",
+        r.oihsa_makespan, r.oihsa_improvement, r.oihsa_stddev
+    );
+    println!(
+        "  BBSA      makespan : {:>12.1}  ({:+.2}% vs BA, σ {:.2})",
+        r.bbsa_makespan, r.bbsa_improvement, r.bbsa_stddev
+    );
+    if let (Some(bp), Some(oi), Some(bb)) = (
+        r.ba_probe_makespan,
+        r.oihsa_probe_improvement,
+        r.bbsa_probe_improvement,
+    ) {
+        println!("  BA-probe  makespan : {bp:>12.1}");
+        println!("  OIHSA-probe vs BA-probe : {oi:+.2}%");
+        println!("  BBSA-probe  vs BA-probe : {bb:+.2}%");
+    }
+}
+
+/// The kernel × platform suite: every structured kernel on every
+/// platform family, BA-static vs OIHSA vs BBSA improvements.
+fn run_suite(opts: &Options) {
+    use es_core::{validate::validate, BbsaScheduler, ListScheduler, Scheduler};
+
+    let tasks = opts.params.tasks.unwrap_or(60);
+    let procs = *opts.params.procs.first().unwrap_or(&8);
+    let scenarios = es_workload::suite::grid(tasks, procs, opts.single_ccr, opts.params.base_seed);
+    println!(
+        "kernel x platform suite: ~{tasks} tasks, {procs} processors, CCR {}\n",
+        opts.single_ccr
+    );
+    println!(
+        "{:<16} {:<10} {:>12} {:>9} {:>9}",
+        "kernel", "platform", "BA makespan", "OIHSA%", "BBSA%"
+    );
+    for sc in &scenarios {
+        let run = |s: &dyn Scheduler| -> f64 {
+            let sched = s.schedule(&sc.dag, &sc.topo).expect("connected");
+            if opts.params.validate {
+                validate(&sc.dag, &sc.topo, &sched).expect("valid");
+            }
+            sched.makespan
+        };
+        let ba = run(&ListScheduler::ba_static());
+        let oi = run(&ListScheduler::oihsa());
+        let bb = run(&BbsaScheduler::new());
+        println!(
+            "{:<16} {:<10} {:>12.1} {:>8.1}% {:>8.1}%",
+            sc.kernel.name(),
+            sc.platform.name(),
+            ba,
+            100.0 * (ba - oi) / ba,
+            100.0 * (ba - bb) / ba
+        );
+    }
+}
+
+/// Generate one instance and dump everything a human could want to look
+/// at: DOT graphs, schedule CSVs, text Gantt charts, metrics.
+fn export_instance(opts: &Options) {
+    use es_core::{gantt, metrics, validate::validate, BbsaScheduler, ListScheduler, Scheduler};
+    use es_workload::{generate, InstanceConfig};
+
+    let mut cfg = InstanceConfig::paper(
+        opts.setting,
+        *opts.params.procs.first().unwrap_or(&8),
+        opts.single_ccr,
+        opts.params.base_seed,
+    );
+    cfg.tasks = opts.params.tasks;
+    let inst = generate(&cfg);
+    let dir = std::path::Path::new(&opts.out_dir);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let write = |name: &str, contents: String| {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    };
+
+    write("dag.dot", es_dag::dot::to_dot(&inst.dag, "instance"));
+    write("topology.dot", es_net::dot::to_dot(&inst.topo, "network"));
+
+    let mut summary = String::from("algorithm,makespan,speedup,slr,procs_used,links_used
+");
+    for sched in [
+        Box::new(ListScheduler::ba_static()) as Box<dyn Scheduler>,
+        Box::new(ListScheduler::ba()),
+        Box::new(ListScheduler::oihsa()),
+        Box::new(BbsaScheduler::new()),
+    ] {
+        let s = sched.schedule(&inst.dag, &inst.topo).expect("connected WAN");
+        validate(&inst.dag, &inst.topo, &s).expect("valid schedule");
+        let tag = s.algorithm.to_lowercase().replace('-', "_");
+        write(
+            &format!("{tag}_tasks.csv"),
+            es_core::export::tasks_to_csv(&inst.dag, &s),
+        );
+        write(
+            &format!("{tag}_comms.csv"),
+            es_core::export::comms_to_csv(&inst.dag, &s),
+        );
+        write(
+            &format!("{tag}_gantt.txt"),
+            gantt::render(&inst.dag, &inst.topo, &s, &gantt::GanttOptions::default()),
+        );
+        let m = metrics(&inst.dag, &inst.topo, &s);
+        summary.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{},{}
+",
+            s.algorithm, s.makespan, m.speedup, m.slr, m.processors_used, m.links_used
+        ));
+    }
+    write("summary.csv", summary);
+}
+
+/// A tiny end-to-end walkthrough on a fixed instance — smoke test and
+/// first-contact demo.
+fn demo() {
+    use es_core::{validate::validate, BbsaScheduler, ListScheduler, Scheduler};
+    use es_workload::{generate, InstanceConfig};
+
+    let cfg = InstanceConfig::paper(Setting::Heterogeneous, 8, 2.0, 42).with_tasks(60);
+    let inst = generate(&cfg);
+    println!(
+        "instance: {} tasks, {} edges, {} processors, {} links",
+        inst.dag.task_count(),
+        inst.dag.edge_count(),
+        inst.topo.proc_count(),
+        inst.topo.link_count()
+    );
+    for sched in [
+        Box::new(ListScheduler::ba_static()) as Box<dyn Scheduler>,
+        Box::new(ListScheduler::ba()),
+        Box::new(ListScheduler::oihsa()),
+        Box::new(BbsaScheduler::new()),
+    ] {
+        let s = sched.schedule(&inst.dag, &inst.topo).expect("schedulable");
+        validate(&inst.dag, &inst.topo, &s).expect("valid");
+        println!("  {:<10} makespan {:>10.1}  (validated)", s.algorithm, s.makespan);
+    }
+    let _ = std::io::stdout().flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn defaults_match_paper_grids() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.params.reps, 5);
+        assert_eq!(o.params.procs, vec![2, 4, 8, 16, 32, 64, 128]);
+        assert_eq!(o.params.ccrs.len(), 19);
+        assert!(o.params.tasks.is_none());
+        assert!(!o.params.validate);
+        assert!(!o.params.strong_baseline);
+        assert!(o.csv.is_none());
+    }
+
+    #[test]
+    fn parses_numeric_options() {
+        let o = parse(&["--reps", "7", "--tasks", "120", "--seed", "99", "--threads", "3"]).unwrap();
+        assert_eq!(o.params.reps, 7);
+        assert_eq!(o.params.tasks, Some(120));
+        assert_eq!(o.params.base_seed, 99);
+        assert_eq!(o.params.threads, 3);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let o = parse(&["--procs", "2,8, 32", "--ccrs", "0.5,2,10"]).unwrap();
+        assert_eq!(o.params.procs, vec![2, 8, 32]);
+        assert_eq!(o.params.ccrs, vec![0.5, 2.0, 10.0]);
+    }
+
+    #[test]
+    fn parses_flags_and_setting() {
+        let o = parse(&["--validate", "--strong-baseline", "--setting", "het", "--ccr", "4.5"]).unwrap();
+        assert!(o.params.validate);
+        assert!(o.params.strong_baseline);
+        assert_eq!(o.setting, Setting::Heterogeneous);
+        assert_eq!(o.single_ccr, 4.5);
+    }
+
+    #[test]
+    fn rejects_unknown_option_and_missing_value() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--reps"]).is_err());
+        assert!(parse(&["--reps", "abc"]).is_err());
+        assert!(parse(&["--setting", "martian"]).is_err());
+    }
+
+    #[test]
+    fn csv_path_recorded() {
+        let o = parse(&["--csv", "/tmp/out.csv"]).unwrap();
+        assert_eq!(o.csv.as_deref(), Some("/tmp/out.csv"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Makespan lower bounds.
+//!
+//! Cheap, provable bounds used by the test-suite (no schedule may beat
+//! them) and by reports to show how far a heuristic is from
+//! unbeatable limits:
+//!
+//! * **work bound** — total computation over total processing capacity;
+//! * **chain bound** — the critical path executed on the fastest
+//!   processor with *free* communication (any real schedule pays at
+//!   least the computation part of its heaviest chain);
+//! * **single-task bound** — the heaviest task on the fastest
+//!   processor.
+//!
+//! All three ignore communication entirely, so they bound *every*
+//! scheduler on *every* topology, contention-aware or not.
+
+use es_dag::{TaskGraph, TaskId};
+use es_net::Topology;
+
+/// The maximum of all implemented lower bounds.
+pub fn makespan_lower_bound(dag: &TaskGraph, topo: &Topology) -> f64 {
+    work_bound(dag, topo)
+        .max(chain_bound(dag, topo))
+        .max(single_task_bound(dag, topo))
+}
+
+/// `Σ w(n) / Σ s(P)`: even perfectly balanced execution cannot beat
+/// the aggregate capacity.
+pub fn work_bound(dag: &TaskGraph, topo: &Topology) -> f64 {
+    let total_work: f64 = dag.task_ids().map(|t| dag.weight(t)).sum();
+    let total_speed: f64 = topo.proc_ids().map(|p| topo.proc_speed(p)).sum();
+    total_work / total_speed
+}
+
+/// The computation-only critical path on the fastest processor: for
+/// every task, `cb(n) = w(n)/s_max + max_pred cb(pred)`; the bound is
+/// the maximum over tasks. Communication is free here, so this holds
+/// for any routing/insertion policy.
+pub fn chain_bound(dag: &TaskGraph, topo: &Topology) -> f64 {
+    let s_max = topo
+        .proc_ids()
+        .map(|p| topo.proc_speed(p))
+        .fold(0.0, f64::max);
+    let mut cb = vec![0.0_f64; dag.task_count()];
+    let mut best = 0.0_f64;
+    for &t in dag.topological_order() {
+        let pred_part = dag
+            .predecessors(t)
+            .map(|p: TaskId| cb[p.index()])
+            .fold(0.0, f64::max);
+        cb[t.index()] = dag.weight(t) / s_max + pred_part;
+        best = best.max(cb[t.index()]);
+    }
+    best
+}
+
+/// The heaviest single task on the fastest processor.
+pub fn single_task_bound(dag: &TaskGraph, topo: &Topology) -> f64 {
+    let s_max = topo
+        .proc_ids()
+        .map(|p| topo.proc_speed(p))
+        .fold(0.0, f64::max);
+    dag.task_ids()
+        .map(|t| dag.weight(t) / s_max)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbsa::BbsaScheduler;
+    use crate::list::ListScheduler;
+    use crate::schedule::Scheduler;
+    use es_dag::gen::structured::{chain, fork_join, gauss_elim};
+    use es_net::gen::{self, SpeedDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_bound_equals_serial_work_for_chains() {
+        let dag = chain(5, 4.0, 100.0);
+        let mut b = es_net::Topology::builder();
+        b.add_processor(2.0);
+        b.add_processor(1.0);
+        let (n0, n1) = (es_net::NodeId(0), es_net::NodeId(1));
+        b.add_duplex_cable(n0, n1, 1.0);
+        let topo = b.build().unwrap();
+        // 5 tasks * 4.0 on the speed-2 processor = 10.
+        assert_eq!(chain_bound(&dag, &topo), 10.0);
+    }
+
+    #[test]
+    fn work_bound_uses_aggregate_capacity() {
+        let dag = fork_join(4, 10.0, 1.0);
+        let mut b = es_net::Topology::builder();
+        b.add_processor(1.0);
+        b.add_processor(3.0);
+        let (n0, n1) = (es_net::NodeId(0), es_net::NodeId(1));
+        b.add_duplex_cable(n0, n1, 1.0);
+        let topo = b.build().unwrap();
+        // 6 tasks * 10 / (1 + 3) = 15.
+        assert_eq!(work_bound(&dag, &topo), 15.0);
+    }
+
+    #[test]
+    fn no_scheduler_beats_the_combined_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for dag in [fork_join(5, 12.0, 20.0), gauss_elim(5, 9.0, 14.0)] {
+            let topo = gen::random_switched_wan(
+                &gen::WanConfig::heterogeneous(10),
+                &mut rng,
+            );
+            let lb = makespan_lower_bound(&dag, &topo);
+            for sched in [
+                Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
+                Box::new(ListScheduler::ba_static()),
+                Box::new(ListScheduler::oihsa()),
+                Box::new(BbsaScheduler::new()),
+            ] {
+                let s = sched.schedule(&dag, &topo).unwrap();
+                assert!(
+                    s.makespan + 1e-6 >= lb,
+                    "{} makespan {} beat lower bound {lb}",
+                    sched.name(),
+                    s.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_ordering_sanity() {
+        let dag = gauss_elim(4, 7.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let topo = gen::star(
+            3,
+            SpeedDist::Fixed(2.0),
+            SpeedDist::Fixed(1.0),
+            &mut rng,
+        );
+        let combined = makespan_lower_bound(&dag, &topo);
+        assert!(combined >= work_bound(&dag, &topo));
+        assert!(combined >= chain_bound(&dag, &topo));
+        assert!(combined >= single_task_bound(&dag, &topo));
+        assert!(single_task_bound(&dag, &topo) <= chain_bound(&dag, &topo));
+    }
+}

@@ -1,0 +1,262 @@
+//! Configuration axes of the slotted list schedulers.
+//!
+//! §4 of the paper decomposes OIHSA into four independent design
+//! choices; exposing each as an enum lets the ablation benches measure
+//! every choice's individual contribution, and recovers BA as one
+//! particular configuration.
+
+use es_dag::Priority;
+
+/// In what order a ready task's incoming edges are routed and placed on
+/// links (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeOrder {
+    /// Predecessor enumeration order — what BA effectively does (the
+    /// paper assigns BA no edge priority).
+    Arrival,
+    /// Descending communication cost — OIHSA/BBSA's choice: "the edge
+    /// with a larger cost dominates the start time of the ready task".
+    CostDesc,
+    /// Ascending cost — the anti-heuristic, for ablation only.
+    CostAsc,
+}
+
+impl EdgeOrder {
+    /// Sort edge indices `0..n` of equal-priority in-edges.
+    pub fn order(self, costs: &[f64]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..costs.len()).collect();
+        match self {
+            EdgeOrder::Arrival => {}
+            EdgeOrder::CostDesc => idx.sort_by(|&a, &b| {
+                costs[b]
+                    .partial_cmp(&costs[a])
+                    .expect("finite costs")
+                    .then_with(|| a.cmp(&b))
+            }),
+            EdgeOrder::CostAsc => idx.sort_by(|&a, &b| {
+                costs[a]
+                    .partial_cmp(&costs[b])
+                    .expect("finite costs")
+                    .then_with(|| a.cmp(&b))
+            }),
+        }
+        idx
+    }
+}
+
+/// When a communication may start leaving its source processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EdgeEst {
+    /// As soon as its own source task finishes — the offline model of
+    /// Sinnen's TPDS'05 framework, where every edge is scheduled
+    /// independently.
+    SourceFinish,
+    /// Only when the destination task becomes *ready*, i.e. at the
+    /// latest finish time over all its predecessors. This is the
+    /// dynamic/online model this paper describes: "the start time of
+    /// the communication data from predecessors to the ready task is
+    /// all the same, that is, the finish time of the predecessor which
+    /// finishes latest at runtime" (§4.1/§4.2). All of a task's
+    /// in-communications then compete for links simultaneously, which
+    /// is what makes the edge priority (§4.2) meaningful.
+    ReadyTime,
+}
+
+/// How a message crosses multi-hop routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Switching {
+    /// Cut-through / circuit switching — the paper's assumption (§2.2):
+    /// a transfer may occupy all route links simultaneously; on each
+    /// link it starts no earlier than on the previous one and finishes
+    /// no earlier either (the "virtual start" rule).
+    CutThrough,
+    /// Store-and-forward: a link may start transmitting only after the
+    /// message has fully arrived over the previous link. Strictly more
+    /// conservative; provided as a model extension for ablation.
+    StoreAndForward,
+}
+
+/// Route selection strategy (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Routing {
+    /// Minimal routing: fewest hops via BFS (BA, §3).
+    Bfs,
+    /// The paper's modified Dijkstra: minimise the probed finish time
+    /// of this communication on each link given current link schedules.
+    ModifiedDijkstra,
+}
+
+/// Link insertion policy (§4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Insertion {
+    /// First-fit idle interval (BA's basic insertion).
+    Basic,
+    /// OIHSA's optimal insertion: defer already-scheduled slots within
+    /// their causality slack to open earlier gaps.
+    Optimal,
+}
+
+/// Processor selection strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcSelection {
+    /// Tentatively schedule the task's communications to every
+    /// processor (with the configured routing) and keep the one with
+    /// the earliest task finish time — Sinnen's BA criterion, and our
+    /// default for OIHSA/BBSA too (see below). The tentative pass
+    /// always uses basic insertion so that it can be rolled back
+    /// exactly; the commit pass uses the configured [`Insertion`].
+    EarliestFinishProbe,
+    /// The paper's §4.1 static hybrid criterion, literally:
+    /// `min_P [ max( max_j(t_f(n_j) + c(e_j)/MLS), t_f(P) ) + w/s(P) ]`
+    /// with zero communication for predecessors already on `P`.
+    ///
+    /// This estimate is contention-blind: it prices every remote
+    /// communication at `c/MLS` no matter how congested the links are.
+    /// Against a full-probe BA it loses by 30–60% at high CCR *on
+    /// small instances* (the probe discovers that clustering avoids
+    /// queueing delays the static formula cannot see) — the
+    /// `ablation_proc_selection` bench quantifies this — yet at 16+
+    /// processors on paper-sized instances the greedy probe's lack of
+    /// lookahead can flip the comparison (EXPERIMENTS.md, "secondary
+    /// experiment"). The paper's §3 prose ("BA chooses the processor …
+    /// while ignoring the effect of edge communication") indicates its
+    /// own BA baseline selected processors with a contention-blind
+    /// estimate of this same kind, so the figure reproductions compare
+    /// the paper's three algorithms with this criterion across the
+    /// board ([`ListConfig::ba_static`] et al.); see DESIGN.md §2.
+    HybridStatic,
+}
+
+/// Full configuration of a slotted list scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ListConfig {
+    /// Algorithm name used in reports.
+    pub name: &'static str,
+    /// Task priority for the scheduling list (§2.1: bottom level).
+    pub priority: Priority,
+    /// Processor choice.
+    pub proc_selection: ProcSelection,
+    /// Route choice.
+    pub routing: Routing,
+    /// Edge ordering.
+    pub edge_order: EdgeOrder,
+    /// Earliest communication start model.
+    pub edge_est: EdgeEst,
+    /// Multi-hop switching model (paper: cut-through).
+    pub switching: Switching,
+    /// Link insertion policy.
+    pub insertion: Insertion,
+}
+
+impl ListConfig {
+    /// Sinnen's Basic Algorithm (§3) in its strong TPDS'05 form: the
+    /// processor probe tentatively schedules every communication on the
+    /// real link schedules.
+    pub fn ba() -> Self {
+        Self {
+            name: "BA",
+            priority: Priority::BottomLevel,
+            proc_selection: ProcSelection::EarliestFinishProbe,
+            routing: Routing::Bfs,
+            edge_order: EdgeOrder::Arrival,
+            edge_est: EdgeEst::SourceFinish,
+            switching: Switching::CutThrough,
+            insertion: Insertion::Basic,
+        }
+    }
+
+    /// BA as the ICPP'06 paper appears to have implemented it:
+    /// identical link machinery (BFS, arrival order, basic insertion)
+    /// but a contention-blind earliest-finish processor estimate (see
+    /// [`ProcSelection::HybridStatic`]). This is the baseline of the
+    /// figure reproductions.
+    pub fn ba_static() -> Self {
+        Self {
+            name: "BA-static",
+            proc_selection: ProcSelection::HybridStatic,
+            edge_est: EdgeEst::ReadyTime,
+            ..Self::ba()
+        }
+    }
+
+    /// The paper's OIHSA (§4), literally: hybrid static processor
+    /// criterion (§4.1), cost-descending edge priority (§4.2), modified
+    /// Dijkstra routing (§4.3) and optimal insertion (§4.4).
+    pub fn oihsa() -> Self {
+        Self {
+            name: "OIHSA",
+            priority: Priority::BottomLevel,
+            proc_selection: ProcSelection::HybridStatic,
+            routing: Routing::ModifiedDijkstra,
+            edge_order: EdgeOrder::CostDesc,
+            edge_est: EdgeEst::ReadyTime,
+            switching: Switching::CutThrough,
+            insertion: Insertion::Optimal,
+        }
+    }
+
+    /// OIHSA with the strong earliest-finish processor probe instead of
+    /// the §4.1 static criterion — the variant to use when comparing
+    /// against the strong [`ListConfig::ba`].
+    pub fn oihsa_probing() -> Self {
+        Self {
+            name: "OIHSA-probe",
+            proc_selection: ProcSelection::EarliestFinishProbe,
+            edge_est: EdgeEst::SourceFinish,
+            ..Self::oihsa()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_order_arrival_is_identity() {
+        let costs = [5.0, 1.0, 3.0];
+        assert_eq!(EdgeOrder::Arrival.order(&costs), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn edge_order_cost_desc() {
+        let costs = [5.0, 1.0, 3.0];
+        assert_eq!(EdgeOrder::CostDesc.order(&costs), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn edge_order_cost_asc() {
+        let costs = [5.0, 1.0, 3.0];
+        assert_eq!(EdgeOrder::CostAsc.order(&costs), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn edge_order_ties_break_by_index() {
+        let costs = [2.0, 2.0, 2.0];
+        assert_eq!(EdgeOrder::CostDesc.order(&costs), vec![0, 1, 2]);
+        assert_eq!(EdgeOrder::CostAsc.order(&costs), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        let ba = ListConfig::ba();
+        assert_eq!(ba.routing, Routing::Bfs);
+        assert_eq!(ba.insertion, Insertion::Basic);
+        assert_eq!(ba.proc_selection, ProcSelection::EarliestFinishProbe);
+
+        let oihsa = ListConfig::oihsa();
+        assert_eq!(oihsa.routing, Routing::ModifiedDijkstra);
+        assert_eq!(oihsa.insertion, Insertion::Optimal);
+        assert_eq!(oihsa.edge_order, EdgeOrder::CostDesc);
+        assert_eq!(oihsa.proc_selection, ProcSelection::HybridStatic);
+        assert_eq!(
+            ListConfig::oihsa_probing().proc_selection,
+            ProcSelection::EarliestFinishProbe
+        );
+        assert_eq!(
+            ListConfig::ba_static().proc_selection,
+            ProcSelection::HybridStatic
+        );
+        assert_eq!(ListConfig::ba_static().routing, Routing::Bfs);
+    }
+}

@@ -1,0 +1,456 @@
+//! Operational execution of slotted schedules.
+//!
+//! A schedule fixes three kinds of *decisions*: where each task runs,
+//! which route each communication takes, and in what order each
+//! resource (processor or link) serves its work. This module replays
+//! only those decisions under an **as-soon-as-possible event
+//! semantics** and re-derives every start/finish time from scratch:
+//!
+//! * a transfer's hop starts once (a) the previous transfer in the
+//!   link's scheduled order has finished, (b) its own previous hop
+//!   permits it under link causality (cut-through virtual start, plus
+//!   the hop delay), and (c) the source task has finished;
+//! * a task starts once the previous task in its processor's scheduled
+//!   order has finished and all its in-communications have arrived.
+//!
+//! Because the scheduled times are one feasible solution of exactly
+//! these constraints and the executor computes their least fixed
+//! point, **derived times can never exceed the scheduled ones** — a
+//! strong differential oracle for the schedulers' time bookkeeping
+//! (checked in tests and usable on any valid schedule).
+//!
+//! Two entry points:
+//!
+//! * [`execute`] — re-derive times; errors if the decision graph is
+//!   cyclic (which would mean the schedule's orderings are inconsistent);
+//! * [`compact`] — rebuild the schedule with the derived times: a
+//!   classic *schedule compaction* post-pass. For OIHSA this can close
+//!   the gaps that optimal-insertion deferrals opened; for BA it is the
+//!   identity (asserted in tests).
+//!
+//! Fluid (BBSA) schedules are not compacted — their bandwidth shares
+//! already saturate the resources they were granted; [`execute`]
+//! rejects them explicitly.
+
+use crate::schedule::{CommPlacement, Schedule, TaskPlacement};
+use es_dag::TaskGraph;
+use es_linksched::time::EPS;
+use es_net::Topology;
+use std::collections::VecDeque;
+
+/// Why execution was refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The schedule contains fluid (BBSA) communications.
+    FluidNotSupported,
+    /// The decision graph has a cycle — the schedule's per-resource
+    /// orderings are mutually inconsistent (cannot happen for schedules
+    /// produced by this workspace's schedulers).
+    InconsistentOrdering,
+    /// Structural mismatch (wrong placement counts, etc.).
+    Malformed(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::FluidNotSupported => write!(f, "fluid schedules are not executable"),
+            ExecError::InconsistentOrdering => write!(f, "inconsistent resource orderings"),
+            ExecError::Malformed(why) => write!(f, "malformed schedule: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Event node: a task or one hop of a communication.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Node {
+    Task(usize),
+    /// (edge index, hop index)
+    Hop(usize, usize),
+}
+
+/// Result of executing a schedule.
+#[derive(Clone, Debug)]
+pub struct Execution {
+    /// Derived task times, same indexing as the input schedule.
+    pub tasks: Vec<TaskPlacement>,
+    /// Derived per-hop times for each slotted edge (empty vec for
+    /// local/ideal communications).
+    pub hop_times: Vec<Vec<(f64, f64)>>,
+    /// Derived makespan.
+    pub makespan: f64,
+}
+
+/// Replay the schedule's decisions ASAP; see the module docs.
+pub fn execute(
+    dag: &TaskGraph,
+    topo: &Topology,
+    schedule: &Schedule,
+) -> Result<Execution, ExecError> {
+    if schedule.tasks.len() != dag.task_count() || schedule.comms.len() != dag.edge_count() {
+        return Err(ExecError::Malformed(format!(
+            "{} task / {} comm placements for {} / {}",
+            schedule.tasks.len(),
+            schedule.comms.len(),
+            dag.task_count(),
+            dag.edge_count()
+        )));
+    }
+    if schedule
+        .comms
+        .iter()
+        .any(|c| matches!(c, CommPlacement::Fluid { .. }))
+    {
+        return Err(ExecError::FluidNotSupported);
+    }
+
+    // --- Node table: tasks first, then hops.
+    let mut hop_base = vec![0usize; dag.edge_count()];
+    let mut nodes: Vec<Node> = (0..dag.task_count()).map(Node::Task).collect();
+    for e in dag.edge_ids() {
+        hop_base[e.index()] = nodes.len();
+        if let CommPlacement::Slotted { route, .. } = &schedule.comms[e.index()] {
+            for k in 0..route.len() {
+                nodes.push(Node::Hop(e.index(), k));
+            }
+        }
+    }
+    let n = nodes.len();
+    let node_of_task = |t: usize| t;
+    let node_of_hop = |e: usize, k: usize| hop_base[e] + k;
+
+    // --- Dependency edges (dep -> node), built from the decisions.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    // Processor order: sort tasks per processor by scheduled start.
+    let mut per_proc: Vec<Vec<usize>> = vec![Vec::new(); topo.proc_count()];
+    for (i, t) in schedule.tasks.iter().enumerate() {
+        per_proc[t.proc.index()].push(i);
+    }
+    for list in &mut per_proc {
+        list.sort_by(|&a, &b| {
+            schedule.tasks[a]
+                .start
+                .partial_cmp(&schedule.tasks[b].start)
+                .expect("finite")
+        });
+        for w in list.windows(2) {
+            preds[node_of_task(w[1])].push(node_of_task(w[0]));
+        }
+    }
+
+    // Link order: gather (edge, hop, start) per link, sort by start.
+    let mut per_link: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); topo.link_count()];
+    for e in dag.edge_ids() {
+        if let CommPlacement::Slotted { route, times } = &schedule.comms[e.index()] {
+            for (k, (hop, &(s, _))) in route.iter().zip(times).enumerate() {
+                per_link[hop.link.index()].push((e.index(), k, s));
+            }
+        }
+    }
+    for list in &mut per_link {
+        list.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
+        for w in list.windows(2) {
+            preds[node_of_hop(w[1].0, w[1].1)].push(node_of_hop(w[0].0, w[0].1));
+        }
+    }
+
+    // Intrinsic dependencies.
+    for e in dag.edge_ids() {
+        let edge = dag.edge(e);
+        match &schedule.comms[e.index()] {
+            CommPlacement::Slotted { route, .. } => {
+                // First hop needs the source task; each hop needs its
+                // predecessor hop; the destination task needs the last.
+                preds[node_of_hop(e.index(), 0)].push(node_of_task(edge.src.index()));
+                for k in 1..route.len() {
+                    preds[node_of_hop(e.index(), k)].push(node_of_hop(e.index(), k - 1));
+                }
+                preds[node_of_task(edge.dst.index())]
+                    .push(node_of_hop(e.index(), route.len() - 1));
+            }
+            CommPlacement::Local | CommPlacement::Ideal { .. } => {
+                preds[node_of_task(edge.dst.index())].push(node_of_task(edge.src.index()));
+            }
+            CommPlacement::Fluid { .. } => unreachable!("rejected above"),
+        }
+    }
+
+    // --- Kahn over the decision graph, computing ASAP times.
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, ps) in preds.iter().enumerate() {
+        indegree[v] = ps.len();
+        for &p in ps {
+            succs[p].push(v);
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut times: Vec<(f64, f64)> = vec![(0.0, 0.0); n];
+    let mut done = 0usize;
+
+    // The ready time each node may start at, accumulated from preds.
+    while let Some(v) = queue.pop_front() {
+        done += 1;
+        let (start, finish) = compute_node_times(dag, topo, schedule, &nodes, v, &preds[v], &times);
+        times[v] = (start, finish);
+        for &s in &succs[v] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if done != n {
+        return Err(ExecError::InconsistentOrdering);
+    }
+
+    // --- Assemble.
+    let tasks: Vec<TaskPlacement> = schedule
+        .tasks
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TaskPlacement {
+            proc: t.proc,
+            start: times[node_of_task(i)].0,
+            finish: times[node_of_task(i)].1,
+        })
+        .collect();
+    let hop_times: Vec<Vec<(f64, f64)>> = dag
+        .edge_ids()
+        .map(|e| match &schedule.comms[e.index()] {
+            CommPlacement::Slotted { route, .. } => (0..route.len())
+                .map(|k| times[node_of_hop(e.index(), k)])
+                .collect(),
+            _ => Vec::new(),
+        })
+        .collect();
+    let makespan = tasks.iter().map(|t| t.finish).fold(0.0, f64::max);
+    Ok(Execution {
+        tasks,
+        hop_times,
+        makespan,
+    })
+}
+
+/// ASAP times of one node given its (already computed) dependencies.
+fn compute_node_times(
+    dag: &TaskGraph,
+    topo: &Topology,
+    schedule: &Schedule,
+    nodes: &[Node],
+    v: usize,
+    preds: &[usize],
+    times: &[(f64, f64)],
+) -> (f64, f64) {
+    match nodes[v] {
+        Node::Task(t) => {
+            // Earliest start: after every dependency. A predecessor
+            // that is a hop contributes its finish (arrival); a
+            // predecessor task contributes its finish (processor order
+            // or same-processor precedence); ideal comms add their
+            // modelled delay.
+            let mut ready = 0.0_f64;
+            for &p in preds {
+                ready = ready.max(times[p].1);
+            }
+            // Ideal comm delays are not captured by order edges alone.
+            for &e in dag.in_edges(es_dag::TaskId(t as u32)) {
+                if let CommPlacement::Ideal { delay, .. } = &schedule.comms[e.index()] {
+                    let src = dag.edge(e).src;
+                    ready = ready.max(times[src.index()].1 + delay);
+                }
+            }
+            let speed = topo.proc_speed(schedule.tasks[t].proc);
+            let w = dag.weight(es_dag::TaskId(t as u32));
+            (ready, ready + w / speed)
+        }
+        Node::Hop(e, k) => {
+            let CommPlacement::Slotted { route, .. } = &schedule.comms[e] else {
+                unreachable!("hops exist only for slotted comms")
+            };
+            let cost = dag.cost(es_dag::EdgeId(e as u32));
+            let int = cost / topo.link_speed(route[k].link);
+            let delay = if k == 0 { 0.0 } else { topo.hop_delay() };
+            let mut bound = 0.0_f64;
+            for &p in preds {
+                bound = bound.max(match nodes[p] {
+                    // Source task or queue predecessor on this link:
+                    // must have finished.
+                    Node::Task(_) => times[p].1,
+                    Node::Hop(pe, pk) if pe == e && pk + 1 == k => {
+                        // Own previous hop: cut-through virtual start.
+                        (times[p].0 + delay).max(times[p].1 + delay - int)
+                    }
+                    // Queue predecessor (other comm on same link).
+                    Node::Hop(_, _) => times[p].1,
+                });
+            }
+            (bound, bound + int)
+        }
+    }
+}
+
+/// Schedule compaction: execute and rebuild the schedule with the
+/// derived (never-later) times.
+pub fn compact(
+    dag: &TaskGraph,
+    topo: &Topology,
+    schedule: &Schedule,
+) -> Result<Schedule, ExecError> {
+    let exec = execute(dag, topo, schedule)?;
+    let comms = dag
+        .edge_ids()
+        .map(|e| match &schedule.comms[e.index()] {
+            CommPlacement::Slotted { route, .. } => CommPlacement::Slotted {
+                route: route.clone(),
+                times: exec.hop_times[e.index()].clone(),
+            },
+            CommPlacement::Ideal { delay, .. } => {
+                let src = dag.edge(e).src;
+                CommPlacement::Ideal {
+                    delay: *delay,
+                    arrival: exec.tasks[src.index()].finish + delay,
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    Ok(Schedule {
+        algorithm: schedule.algorithm,
+        tasks: exec.tasks.clone(),
+        comms,
+        makespan: exec.makespan,
+    })
+}
+
+/// Differential check used by tests: every derived time must be no
+/// later than its scheduled counterpart (see module docs).
+pub fn check_dominates(schedule: &Schedule, exec: &Execution) -> Result<(), String> {
+    for (i, (s, d)) in schedule.tasks.iter().zip(&exec.tasks).enumerate() {
+        if d.start > s.start + EPS || d.finish > s.finish + EPS {
+            return Err(format!(
+                "task n{i}: derived [{}, {}) later than scheduled [{}, {})",
+                d.start, d.finish, s.start, s.finish
+            ));
+        }
+    }
+    if exec.makespan > schedule.makespan + EPS {
+        return Err(format!(
+            "derived makespan {} exceeds scheduled {}",
+            exec.makespan, schedule.makespan
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbsa::BbsaScheduler;
+    use crate::list::ListScheduler;
+    use crate::schedule::Scheduler;
+    use crate::validate::validate;
+    use es_dag::gen::structured::{fork_join, gauss_elim, stencil_1d};
+    use es_net::gen::{self, SpeedDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star(n: usize) -> Topology {
+        gen::star(
+            n,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn execution_reproduces_ba_times_exactly() {
+        // BA uses first-fit/append ordering: greedy replay of the same
+        // orders recovers the identical times.
+        let dag = fork_join(5, 20.0, 12.0);
+        let topo = star(3);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let exec = execute(&dag, &topo, &s).unwrap();
+        for (a, b) in s.tasks.iter().zip(&exec.tasks) {
+            assert!((a.start - b.start).abs() < 1e-9, "{a:?} vs {b:?}");
+            assert!((a.finish - b.finish).abs() < 1e-9);
+        }
+        assert!((s.makespan - exec.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execution_never_later_than_schedule() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for seed in 0..6u64 {
+            let _ = seed;
+            let dag = gauss_elim(5, 10.0, 25.0);
+            let topo = gen::random_switched_wan(
+                &gen::WanConfig::heterogeneous(8),
+                &mut rng,
+            );
+            for sched in [
+                ListScheduler::ba(),
+                ListScheduler::ba_static(),
+                ListScheduler::oihsa(),
+                ListScheduler::oihsa_probing(),
+            ] {
+                let s = sched.schedule(&dag, &topo).unwrap();
+                let exec = execute(&dag, &topo, &s).unwrap();
+                check_dominates(&s, &exec)
+                    .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_yields_valid_schedule() {
+        let dag = stencil_1d(4, 4, 8.0, 15.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let topo = gen::random_switched_wan(&gen::WanConfig::homogeneous(8), &mut rng);
+        for sched in [ListScheduler::oihsa(), ListScheduler::ba_static()] {
+            let s = sched.schedule(&dag, &topo).unwrap();
+            let c = compact(&dag, &topo, &s).unwrap();
+            if let Err(errs) = validate(&dag, &topo, &c) {
+                panic!("{}: compacted schedule invalid: {errs:#?}", sched.name());
+            }
+            assert!(c.makespan <= s.makespan + 1e-9);
+        }
+    }
+
+    #[test]
+    fn compaction_is_idempotent() {
+        let dag = fork_join(4, 10.0, 30.0);
+        let topo = star(3);
+        let s = ListScheduler::oihsa().schedule(&dag, &topo).unwrap();
+        let c1 = compact(&dag, &topo, &s).unwrap();
+        let c2 = compact(&dag, &topo, &c1).unwrap();
+        assert!((c1.makespan - c2.makespan).abs() < 1e-9);
+        for (a, b) in c1.tasks.iter().zip(&c2.tasks) {
+            assert!((a.start - b.start).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fluid_schedules_are_rejected() {
+        let dag = fork_join(3, 10.0, 10.0);
+        let topo = star(2);
+        let s = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
+        assert_eq!(
+            execute(&dag, &topo, &s).unwrap_err(),
+            ExecError::FluidNotSupported
+        );
+    }
+
+    #[test]
+    fn ideal_schedules_execute() {
+        let dag = fork_join(3, 10.0, 10.0);
+        let topo = star(3);
+        let s = crate::ideal::IdealScheduler::new().schedule(&dag, &topo).unwrap();
+        let exec = execute(&dag, &topo, &s).unwrap();
+        check_dominates(&s, &exec).unwrap();
+    }
+}

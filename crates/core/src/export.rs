@@ -1,0 +1,173 @@
+//! Plain-text exports of schedules.
+//!
+//! CSV views for external tooling (spreadsheets, plotting, real Gantt
+//! renderers): one row per task placement and one row per transfer
+//! piece. Kept dependency-free — plain string assembly, stable column
+//! order, round-trippable numbers via `{:?}`-style full precision.
+
+use crate::schedule::{CommPlacement, Schedule};
+use es_dag::TaskGraph;
+use std::fmt::Write as _;
+
+/// CSV of task placements:
+/// `task,label,proc,start,finish`.
+pub fn tasks_to_csv(dag: &TaskGraph, schedule: &Schedule) -> String {
+    let mut out = String::from("task,label,proc,start,finish\n");
+    for t in dag.task_ids() {
+        let p = &schedule.tasks[t.index()];
+        let label = dag.task(t).label.as_deref().unwrap_or("");
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            t.0,
+            escape(label),
+            p.proc.0,
+            fmt(p.start),
+            fmt(p.finish)
+        );
+    }
+    out
+}
+
+/// CSV of link occupancy:
+/// `edge,kind,hop,link,from,to,start,end,rate`.
+///
+/// Slotted transfers emit one row per hop with `rate = 1`; fluid
+/// transfers one row per piece; local and ideal communications emit a
+/// single summary row with an empty link column.
+pub fn comms_to_csv(dag: &TaskGraph, schedule: &Schedule) -> String {
+    let mut out = String::from("edge,kind,hop,link,from,to,start,end,rate\n");
+    for e in dag.edge_ids() {
+        match &schedule.comms[e.index()] {
+            CommPlacement::Local => {
+                let _ = writeln!(out, "{},local,,,,,,,", e.0);
+            }
+            CommPlacement::Ideal { delay, arrival } => {
+                let _ = writeln!(
+                    out,
+                    "{},ideal,,,,,{},{},",
+                    e.0,
+                    fmt(arrival - delay),
+                    fmt(*arrival)
+                );
+            }
+            CommPlacement::Slotted { route, times } => {
+                for (k, (hop, &(s, f))) in route.iter().zip(times).enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "{},slot,{},{},{},{},{},{},1",
+                        e.0,
+                        k,
+                        hop.link.0,
+                        hop.from.0,
+                        hop.to.0,
+                        fmt(s),
+                        fmt(f)
+                    );
+                }
+            }
+            CommPlacement::Fluid { route, flows } => {
+                for (k, (hop, flow)) in route.iter().zip(flows).enumerate() {
+                    for piece in &flow.pieces {
+                        let _ = writeln!(
+                            out,
+                            "{},fluid,{},{},{},{},{},{},{}",
+                            e.0,
+                            k,
+                            hop.link.0,
+                            hop.from.0,
+                            hop.to.0,
+                            fmt(piece.start),
+                            fmt(piece.end),
+                            fmt(piece.rate)
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Full precision without trailing noise for integral values.
+fn fmt(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Quote a CSV field when needed.
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbsa::BbsaScheduler;
+    use crate::list::ListScheduler;
+    use crate::schedule::Scheduler;
+    use es_dag::gen::structured::fork_join;
+    use es_net::gen::{self, SpeedDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (TaskGraph, es_net::Topology) {
+        let dag = fork_join(3, 30.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let topo = gen::star(3, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+        (dag, topo)
+    }
+
+    #[test]
+    fn tasks_csv_has_one_row_per_task() {
+        let (dag, topo) = fixture();
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let csv = tasks_to_csv(&dag, &s);
+        assert_eq!(csv.lines().count(), dag.task_count() + 1);
+        assert!(csv.starts_with("task,label,proc,start,finish"));
+        assert!(csv.contains("fork"), "labels exported");
+    }
+
+    #[test]
+    fn comms_csv_covers_every_edge() {
+        let (dag, topo) = fixture();
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let csv = comms_to_csv(&dag, &s);
+        for e in dag.edge_ids() {
+            assert!(
+                csv.lines().any(|l| l.starts_with(&format!("{},", e.0))),
+                "edge {e} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn fluid_rows_carry_rates() {
+        let (dag, topo) = fixture();
+        let s = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
+        let csv = comms_to_csv(&dag, &s);
+        assert!(csv.lines().any(|l| l.contains(",fluid,")), "{csv}");
+    }
+
+    #[test]
+    fn csv_field_escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn integral_numbers_stay_compact() {
+        assert_eq!(fmt(4.0), "4");
+        assert_eq!(fmt(4.5), "4.5");
+    }
+
+    use es_dag::TaskGraph;
+}

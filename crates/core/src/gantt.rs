@@ -1,0 +1,212 @@
+//! Text Gantt charts for schedules.
+//!
+//! Renders processor rows (task executions) and link rows (slot or
+//! fluid occupancy) on a shared time axis — the fastest way to *see*
+//! contention: queued transfers show up as back-to-back blocks on a
+//! link row. Used by the examples and handy in tests.
+
+use crate::schedule::{CommPlacement, Schedule};
+use es_dag::TaskGraph;
+use es_net::Topology;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Debug)]
+pub struct GanttOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Also render link rows (processor rows always render).
+    pub show_links: bool,
+    /// Skip links that carry no traffic.
+    pub hide_idle_links: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        Self {
+            width: 72,
+            show_links: true,
+            hide_idle_links: true,
+        }
+    }
+}
+
+/// Render the schedule as a text Gantt chart.
+pub fn render(dag: &TaskGraph, topo: &Topology, schedule: &Schedule, opts: &GanttOptions) -> String {
+    let span = schedule.makespan.max(1e-9);
+    let width = opts.width.max(10);
+    let scale = |t: f64| -> usize {
+        (((t / span) * width as f64).round() as usize).min(width)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} — makespan {:.1} (one column ≈ {:.2} time units)",
+        schedule.algorithm,
+        schedule.makespan,
+        span / width as f64
+    );
+
+    // Processor rows: one block per task labelled by task index mod 10.
+    for p in topo.proc_ids() {
+        let mut row = vec![b'.'; width];
+        for (i, t) in schedule.tasks.iter().enumerate() {
+            if t.proc != p {
+                continue;
+            }
+            let (a, b) = (scale(t.start), scale(t.finish).max(scale(t.start) + 1));
+            let label = char::from_digit((i % 10) as u32, 10).unwrap_or('#') as u8;
+            for cell in row.iter_mut().take(b.min(width)).skip(a) {
+                *cell = label;
+            }
+        }
+        let _ = writeln!(out, "{p:>5} |{}|", String::from_utf8_lossy(&row));
+    }
+
+    if !opts.show_links {
+        return out;
+    }
+
+    // Link rows: '#' for full occupancy (slots), digit for fluid rates.
+    for l in topo.link_ids() {
+        let mut row = vec![b'.'; width];
+        let mut any = false;
+        for comm in &schedule.comms {
+            match comm {
+                CommPlacement::Slotted { route, times } => {
+                    for (hop, &(s, f)) in route.iter().zip(times) {
+                        if hop.link != l {
+                            continue;
+                        }
+                        any = true;
+                        let (a, b) = (scale(s), scale(f).max(scale(s) + 1));
+                        for cell in row.iter_mut().take(b.min(width)).skip(a) {
+                            *cell = b'#';
+                        }
+                    }
+                }
+                CommPlacement::Fluid { route, flows } => {
+                    for (hop, flow) in route.iter().zip(flows) {
+                        if hop.link != l {
+                            continue;
+                        }
+                        any = true;
+                        for piece in &flow.pieces {
+                            let (a, b) =
+                                (scale(piece.start), scale(piece.end).max(scale(piece.start) + 1));
+                            // Show the rate decile: '9' = full bandwidth.
+                            let d = ((piece.rate * 9.0).round() as u32).min(9);
+                            let label = char::from_digit(d, 10).unwrap() as u8;
+                            for cell in row.iter_mut().take(b.min(width)).skip(a) {
+                                *cell = label;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if any || !opts.hide_idle_links {
+            let _ = writeln!(out, "{l:>5} |{}|", String::from_utf8_lossy(&row));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "tasks: {} / edges: {} / remote comms: {}",
+        dag.task_count(),
+        dag.edge_count(),
+        schedule
+            .comms
+            .iter()
+            .filter(|c| !matches!(c, CommPlacement::Local))
+            .count()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbsa::BbsaScheduler;
+    use crate::list::ListScheduler;
+    use crate::schedule::Scheduler;
+    use es_dag::gen::structured::fork_join;
+    use es_net::gen::{self, SpeedDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (TaskGraph, Topology) {
+        let dag = fork_join(3, 20.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let topo = gen::star(2, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+        (dag, topo)
+    }
+
+    #[test]
+    fn renders_all_processor_rows() {
+        let (dag, topo) = fixture();
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let txt = render(&dag, &topo, &s, &GanttOptions::default());
+        assert!(txt.contains("P0"));
+        assert!(txt.contains("P1"));
+        assert!(txt.contains("makespan"));
+    }
+
+    #[test]
+    fn busy_links_show_hash_marks() {
+        let (dag, topo) = fixture();
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let txt = render(&dag, &topo, &s, &GanttOptions::default());
+        assert!(txt.contains('#'), "slotted transfers render as #:\n{txt}");
+    }
+
+    #[test]
+    fn fluid_links_show_rate_digits() {
+        let (dag, topo) = fixture();
+        let s = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
+        let txt = render(&dag, &topo, &s, &GanttOptions::default());
+        // Full-rate pieces render as '9' on link rows.
+        let link_lines: Vec<&str> = txt.lines().filter(|l| l.trim_start().starts_with('L')).collect();
+        assert!(!link_lines.is_empty());
+        assert!(link_lines.iter().any(|l| l.contains('9')), "{txt}");
+    }
+
+    #[test]
+    fn hide_idle_links_prunes_rows() {
+        let (dag, topo) = fixture();
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let all = render(
+            &dag,
+            &topo,
+            &s,
+            &GanttOptions {
+                hide_idle_links: false,
+                ..GanttOptions::default()
+            },
+        );
+        let pruned = render(&dag, &topo, &s, &GanttOptions::default());
+        let count = |t: &str| t.lines().filter(|l| l.trim_start().starts_with('L')).count();
+        assert!(count(&all) >= count(&pruned));
+        assert_eq!(count(&all), topo.link_count());
+    }
+
+    #[test]
+    fn width_is_respected() {
+        let (dag, topo) = fixture();
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let txt = render(
+            &dag,
+            &topo,
+            &s,
+            &GanttOptions {
+                width: 40,
+                ..GanttOptions::default()
+            },
+        );
+        for line in txt.lines().filter(|l| l.contains('|')) {
+            let bar = line.split('|').nth(1).unwrap();
+            assert_eq!(bar.len(), 40, "{line}");
+        }
+    }
+}

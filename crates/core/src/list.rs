@@ -1,0 +1,493 @@
+//! Slotted contention-aware list scheduling: BA, OIHSA, and every
+//! ablation between them.
+//!
+//! The skeleton is Algorithm 1 of the paper: sort tasks by static
+//! priority (bottom level) compatible with precedence, then for each
+//! task pick a processor and schedule its incoming communications on
+//! network links before placing it. The four §4 design choices are
+//! injected through [`ListConfig`]:
+//!
+//! * **processor selection** — BA's earliest-finish probe (tentatively
+//!   schedule the communications to every candidate processor, keep the
+//!   best, roll the rest back) or OIHSA's hybrid static criterion
+//!   (§4.1), which estimates communication with the mean link speed
+//!   `MLS` and therefore needs no probing;
+//! * **edge order** (§4.2) — arrival order or cost-descending;
+//! * **routing** (§4.3) — BFS minimal or modified Dijkstra;
+//! * **insertion** (§4.4) — basic or optimal.
+
+use crate::config::{Insertion, ListConfig, ProcSelection};
+use crate::procsched::ProcState;
+use crate::schedule::{CommPlacement, SchedError, Schedule, Scheduler, TaskPlacement};
+use crate::slotted::SlottedState;
+use es_dag::{priority_list, EdgeId, TaskGraph, TaskId};
+use es_linksched::time::EPS;
+use es_linksched::CommId;
+use es_net::{ProcId, Topology};
+
+/// Configurable slotted list scheduler. See the module docs; use
+/// [`ListScheduler::ba`] / [`ListScheduler::oihsa`] for the paper's
+/// algorithms or [`ListScheduler::with_config`] for ablations.
+#[derive(Clone, Debug)]
+pub struct ListScheduler {
+    cfg: ListConfig,
+}
+
+impl ListScheduler {
+    /// Sinnen's Basic Algorithm (the paper's baseline, §3).
+    pub fn ba() -> Self {
+        Self {
+            cfg: ListConfig::ba(),
+        }
+    }
+
+    /// BA with the contention-blind processor estimate — the figure
+    /// reproductions' baseline (see [`ListConfig::ba_static`]).
+    pub fn ba_static() -> Self {
+        Self {
+            cfg: ListConfig::ba_static(),
+        }
+    }
+
+    /// The paper's OIHSA (§4).
+    pub fn oihsa() -> Self {
+        Self {
+            cfg: ListConfig::oihsa(),
+        }
+    }
+
+    /// OIHSA with the strong earliest-finish processor probe (see
+    /// [`ListConfig::oihsa_probing`]).
+    pub fn oihsa_probing() -> Self {
+        Self {
+            cfg: ListConfig::oihsa_probing(),
+        }
+    }
+
+    /// A custom configuration (ablation studies).
+    pub fn with_config(cfg: ListConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ListConfig {
+        &self.cfg
+    }
+}
+
+impl Scheduler for ListScheduler {
+    fn name(&self) -> &'static str {
+        self.cfg.name
+    }
+
+    fn schedule(&self, dag: &TaskGraph, topo: &Topology) -> Result<Schedule, SchedError> {
+        Run::new(&self.cfg, dag, topo)?.run()
+    }
+}
+
+/// One scheduling run's working state.
+struct Run<'a> {
+    cfg: &'a ListConfig,
+    dag: &'a TaskGraph,
+    topo: &'a Topology,
+    procs: ProcState,
+    links: SlottedState,
+    placed: Vec<Option<TaskPlacement>>,
+    mls: f64,
+}
+
+impl<'a> Run<'a> {
+    fn new(
+        cfg: &'a ListConfig,
+        dag: &'a TaskGraph,
+        topo: &'a Topology,
+    ) -> Result<Self, SchedError> {
+        if topo.proc_count() == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        Ok(Self {
+            cfg,
+            dag,
+            topo,
+            procs: ProcState::new(topo),
+            links: SlottedState::new(topo, dag.edge_count()),
+            placed: vec![None; dag.task_count()],
+            mls: topo.mean_link_speed(),
+        })
+    }
+
+    fn run(mut self) -> Result<Schedule, SchedError> {
+        let order = priority_list(self.dag, self.cfg.priority);
+        for &task in &order {
+            let proc = match self.cfg.proc_selection {
+                ProcSelection::EarliestFinishProbe => self.pick_by_probe(task)?,
+                ProcSelection::HybridStatic => self.pick_by_hybrid_criterion(task),
+            };
+            self.commit_task(task, proc, self.cfg.insertion)?;
+        }
+        self.finish()
+    }
+
+    /// In-edge ids of `task` in the configured scheduling order.
+    fn ordered_in_edges(&self, task: TaskId) -> Vec<EdgeId> {
+        let in_edges = self.dag.in_edges(task);
+        let costs: Vec<f64> = in_edges.iter().map(|&e| self.dag.cost(e)).collect();
+        self.cfg
+            .edge_order
+            .order(&costs)
+            .into_iter()
+            .map(|i| in_edges[i])
+            .collect()
+    }
+
+    /// Schedule all remote in-edges of `task` to processor `p` and
+    /// return the data-ready time. `insertion` is explicit because BA's
+    /// probe must be exactly reversible (always basic insertion).
+    fn schedule_in_edges(
+        &mut self,
+        task: TaskId,
+        p: ProcId,
+        insertion: Insertion,
+    ) -> Result<f64, SchedError> {
+        // In the dynamic model a communication is requested only when
+        // the task becomes ready: every in-edge's earliest start is the
+        // latest predecessor finish (§4.1/§4.2).
+        let ready_time = match self.cfg.edge_est {
+            crate::config::EdgeEst::SourceFinish => None,
+            crate::config::EdgeEst::ReadyTime => Some(
+                self.dag
+                    .predecessors(task)
+                    .map(|s| self.placed[s.index()].expect("placed").finish)
+                    .fold(0.0_f64, f64::max),
+            ),
+        };
+        let mut data_ready = 0.0_f64;
+        for e in self.ordered_in_edges(task) {
+            let edge = self.dag.edge(e);
+            let src = self.placed[edge.src.index()].expect("predecessors are placed first");
+            let arrival = if src.proc == p {
+                src.finish
+            } else {
+                let est = ready_time.unwrap_or(src.finish);
+                self.links.schedule_comm(
+                    self.topo,
+                    CommId(e.0 as u64),
+                    est,
+                    edge.cost,
+                    src.proc,
+                    p,
+                    self.cfg.routing,
+                    insertion,
+                    self.cfg.switching,
+                )?
+            };
+            data_ready = data_ready.max(arrival);
+        }
+        Ok(data_ready)
+    }
+
+    /// Roll back the tentative link reservations of `task`'s in-edges.
+    fn rollback_in_edges(&mut self, task: TaskId, p: ProcId) {
+        for &e in self.dag.in_edges(task) {
+            let edge = self.dag.edge(e);
+            let src = self.placed[edge.src.index()].expect("placed");
+            if src.proc != p {
+                self.links.unschedule(CommId(e.0 as u64));
+            }
+        }
+    }
+
+    /// BA's processor choice: earliest task finish over all processors,
+    /// probed by tentatively scheduling the communications.
+    fn pick_by_probe(&mut self, task: TaskId) -> Result<ProcId, SchedError> {
+        let weight = self.dag.weight(task);
+        let mut best: Option<(ProcId, f64)> = None;
+        for p in self.topo.proc_ids() {
+            let data_ready = self.schedule_in_edges(task, p, Insertion::Basic)?;
+            let start = self.procs.earliest_start(p, data_ready);
+            let finish = start + weight / self.topo.proc_speed(p);
+            self.rollback_in_edges(task, p);
+            if best.map_or(true, |(_, bf)| finish < bf - EPS) {
+                best = Some((p, finish));
+            }
+        }
+        Ok(best.expect("at least one processor").0)
+    }
+
+    /// OIHSA §4.1: hybrid static criterion with mean link speed.
+    fn pick_by_hybrid_criterion(&self, task: TaskId) -> ProcId {
+        let weight = self.dag.weight(task);
+        let mut best: Option<(ProcId, f64)> = None;
+        for p in self.topo.proc_ids() {
+            let mut comm_part = 0.0_f64;
+            for &e in self.dag.in_edges(task) {
+                let edge = self.dag.edge(e);
+                let src = self.placed[edge.src.index()].expect("placed");
+                let est = if src.proc == p {
+                    src.finish
+                } else {
+                    src.finish + edge.cost / self.mls
+                };
+                comm_part = comm_part.max(est);
+            }
+            let start = comm_part.max(self.procs.finish_time(p));
+            let value = start + weight / self.topo.proc_speed(p);
+            if best.map_or(true, |(_, bv)| value < bv - EPS) {
+                best = Some((p, value));
+            }
+        }
+        best.expect("at least one processor").0
+    }
+
+    /// Definitively schedule `task` on `proc`.
+    fn commit_task(
+        &mut self,
+        task: TaskId,
+        proc: ProcId,
+        insertion: Insertion,
+    ) -> Result<(), SchedError> {
+        let data_ready = self.schedule_in_edges(task, proc, insertion)?;
+        let (start, finish) = self
+            .procs
+            .place(self.topo, proc, data_ready, self.dag.weight(task));
+        self.placed[task.index()] = Some(TaskPlacement {
+            proc,
+            start,
+            finish,
+        });
+        Ok(())
+    }
+
+    /// Assemble the final [`Schedule`]. Communication placements are
+    /// read back from the link state *after* all tasks are placed, so
+    /// optimal-insertion deferrals are reflected.
+    fn finish(self) -> Result<Schedule, SchedError> {
+        let tasks: Vec<TaskPlacement> = self
+            .placed
+            .into_iter()
+            .map(|p| p.expect("all tasks placed"))
+            .collect();
+        let comms: Vec<CommPlacement> = self
+            .dag
+            .edge_ids()
+            .map(|e| {
+                let edge = self.dag.edge(e);
+                if tasks[edge.src.index()].proc == tasks[edge.dst.index()].proc {
+                    CommPlacement::Local
+                } else {
+                    let (route, times) = self.links.placement(CommId(e.0 as u64));
+                    CommPlacement::Slotted { route, times }
+                }
+            })
+            .collect();
+        debug_assert!(self.links.check_invariants().is_ok());
+        let makespan = Schedule::compute_makespan(&tasks);
+        Ok(Schedule {
+            algorithm: self.cfg.name,
+            tasks,
+            comms,
+            makespan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EdgeOrder, Routing};
+    use es_dag::gen::structured::{chain, fork_join};
+    use es_dag::TaskGraphBuilder;
+    use es_net::gen::{self, SpeedDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star(n: usize) -> Topology {
+        gen::star(
+            n,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn single_task_runs_immediately() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(5.0);
+        let dag = b.build().unwrap();
+        let topo = star(2);
+        for sched in [ListScheduler::ba(), ListScheduler::oihsa()] {
+            let s = sched.schedule(&dag, &topo).unwrap();
+            assert_eq!(s.makespan, 5.0, "{}", sched.name());
+            assert_eq!(s.tasks[0].start, 0.0);
+        }
+    }
+
+    #[test]
+    fn chain_stays_on_one_processor() {
+        // Comm cost far above compute: any splitting is a loss, so both
+        // algorithms keep the chain local and the makespan is the sum
+        // of weights.
+        let dag = chain(5, 2.0, 100.0);
+        let topo = star(4);
+        for sched in [ListScheduler::ba(), ListScheduler::oihsa()] {
+            let s = sched.schedule(&dag, &topo).unwrap();
+            assert_eq!(s.makespan, 10.0, "{}", sched.name());
+            let p0 = s.tasks[0].proc;
+            assert!(s.tasks.iter().all(|t| t.proc == p0));
+            assert!(s.comms.iter().all(|c| matches!(c, CommPlacement::Local)));
+        }
+    }
+
+    #[test]
+    fn independent_tasks_spread_across_processors() {
+        let mut b = TaskGraphBuilder::new();
+        for _ in 0..4 {
+            b.add_task(10.0);
+        }
+        let dag = b.build().unwrap();
+        let topo = star(4);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        assert_eq!(s.makespan, 10.0, "perfect parallelism");
+        let procs: std::collections::HashSet<_> = s.tasks.iter().map(|t| t.proc).collect();
+        assert_eq!(procs.len(), 4);
+    }
+
+    #[test]
+    fn fork_join_parallelises_when_comm_is_cheap() {
+        let dag = fork_join(3, 10.0, 1.0);
+        let topo = star(3);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        // Serial would be 50; with cheap communication the workers
+        // overlap, so the makespan must be clearly below serial.
+        assert!(s.makespan < 50.0, "makespan {}", s.makespan);
+    }
+
+    #[test]
+    fn hetero_prefers_fast_processor() {
+        let mut b = Topology::builder();
+        let (n0, _) = b.add_processor(1.0);
+        let (n1, _) = b.add_processor(10.0);
+        let sw = b.add_switch();
+        b.add_duplex_cable(n0, sw, 1.0);
+        b.add_duplex_cable(n1, sw, 1.0);
+        let topo = b.build().unwrap();
+
+        let mut g = TaskGraphBuilder::new();
+        g.add_task(100.0);
+        let dag = g.build().unwrap();
+
+        for sched in [ListScheduler::ba(), ListScheduler::oihsa()] {
+            let s = sched.schedule(&dag, &topo).unwrap();
+            assert_eq!(s.tasks[0].proc, ProcId(1), "{}", sched.name());
+            assert_eq!(s.makespan, 10.0);
+        }
+    }
+
+    #[test]
+    fn remote_comm_uses_links() {
+        // Force two tasks apart: two entry tasks then a join; with two
+        // processors the join has at least one remote predecessor.
+        let mut g = TaskGraphBuilder::new();
+        let a = g.add_task(10.0);
+        let b_ = g.add_task(10.0);
+        let j = g.add_task(1.0);
+        g.add_edge(a, j, 4.0).unwrap();
+        g.add_edge(b_, j, 4.0).unwrap();
+        let dag = g.build().unwrap();
+        let topo = star(2);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let slotted = s
+            .comms
+            .iter()
+            .filter(|c| matches!(c, CommPlacement::Slotted { .. }))
+            .count();
+        assert!(slotted >= 1, "at least one remote communication");
+        // Slotted communications: 2 hops through the hub.
+        for c in &s.comms {
+            if let CommPlacement::Slotted { route, times } = c {
+                assert_eq!(route.len(), 2);
+                assert_eq!(times.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn oihsa_never_worse_on_contended_star() {
+        // Heavy fan-in onto one join task through a shared hub: the
+        // situation §4 targets. OIHSA must not lose to BA.
+        let dag = fork_join(6, 5.0, 50.0);
+        let topo = star(4);
+        let ba = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let oi = ListScheduler::oihsa().schedule(&dag, &topo).unwrap();
+        assert!(
+            oi.makespan <= ba.makespan + EPS,
+            "OIHSA {} vs BA {}",
+            oi.makespan,
+            ba.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let dag = fork_join(5, 3.0, 20.0);
+        let topo = star(3);
+        for sched in [ListScheduler::ba(), ListScheduler::oihsa()] {
+            let a = sched.schedule(&dag, &topo).unwrap();
+            let b = sched.schedule(&dag, &topo).unwrap();
+            assert_eq!(a.makespan, b.makespan);
+            for (x, y) in a.tasks.iter().zip(&b.tasks) {
+                assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_config_is_honoured() {
+        let cfg = ListConfig {
+            name: "BA+dijkstra",
+            routing: Routing::ModifiedDijkstra,
+            ..ListConfig::ba()
+        };
+        let sched = ListScheduler::with_config(cfg);
+        assert_eq!(sched.name(), "BA+dijkstra");
+        let dag = fork_join(4, 3.0, 10.0);
+        let topo = star(3);
+        let s = sched.schedule(&dag, &topo).unwrap();
+        assert!(s.makespan > 0.0);
+    }
+
+    #[test]
+    fn edge_order_changes_are_deterministic_not_crashing() {
+        let dag = fork_join(5, 2.0, 30.0);
+        let topo = star(3);
+        for order in [EdgeOrder::Arrival, EdgeOrder::CostDesc, EdgeOrder::CostAsc] {
+            let cfg = ListConfig {
+                name: "probe",
+                edge_order: order,
+                ..ListConfig::oihsa()
+            };
+            let s = ListScheduler::with_config(cfg).schedule(&dag, &topo).unwrap();
+            assert!(s.makespan.is_finite());
+        }
+    }
+
+    #[test]
+    fn disconnected_topology_yields_no_route() {
+        let mut b = Topology::builder();
+        b.add_processor(1.0);
+        b.add_processor(1.0);
+        let topo = b.build().unwrap();
+        // Two independent tasks would be placed on separate processors,
+        // then the join needs a route and fails.
+        let mut g = TaskGraphBuilder::new();
+        let a = g.add_task(10.0);
+        let b_ = g.add_task(10.0);
+        let j = g.add_task(1.0);
+        g.add_edge(a, j, 5.0).unwrap();
+        g.add_edge(b_, j, 5.0).unwrap();
+        let dag = g.build().unwrap();
+        let err = ListScheduler::ba().schedule(&dag, &topo).unwrap_err();
+        assert!(matches!(err, SchedError::NoRoute { .. }));
+    }
+}

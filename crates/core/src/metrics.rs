@@ -1,0 +1,229 @@
+//! Schedule quality metrics beyond the makespan.
+//!
+//! The paper reports only makespan; these metrics (standard in the
+//! scheduling literature) let the examples and EXPERIMENTS.md explain
+//! *why* one schedule beats another: processor/link utilisation, the
+//! schedule-length ratio against the critical-path bound, speedup over
+//! serial execution, and communication statistics.
+
+use crate::schedule::{CommPlacement, Schedule};
+use es_dag::{critical_path, TaskGraph};
+use es_net::{LinkId, Topology};
+
+/// Aggregate metrics of one schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleMetrics {
+    /// The schedule length.
+    pub makespan: f64,
+    /// `makespan / (critical path length on speed-1 resources)` — the
+    /// classic SLR; can drop below 1 on faster-than-1 processors.
+    pub slr: f64,
+    /// Serial time on the fastest processor divided by the makespan.
+    pub speedup: f64,
+    /// Processors that execute at least one task.
+    pub processors_used: usize,
+    /// Mean busy fraction over *used* processors (busy time / makespan).
+    pub mean_proc_utilisation: f64,
+    /// Number of edges realised as link traffic (not processor-local).
+    pub remote_comms: usize,
+    /// Number of edges with source and destination co-located.
+    pub local_comms: usize,
+    /// Total volume-time on links: Σ over transfers of `c(e) / s(L)`
+    /// (slotted) or piece areas (fluid).
+    pub total_link_busy: f64,
+    /// Links carrying at least one transfer.
+    pub links_used: usize,
+    /// Busy time of the single most loaded link.
+    pub max_link_busy: f64,
+    /// Mean number of hops over remote communications.
+    pub mean_route_length: f64,
+}
+
+/// Compute [`ScheduleMetrics`].
+pub fn metrics(dag: &TaskGraph, topo: &Topology, schedule: &Schedule) -> ScheduleMetrics {
+    let makespan = schedule.makespan;
+
+    // Processor side.
+    let mut busy = vec![0.0_f64; topo.proc_count()];
+    for (i, t) in schedule.tasks.iter().enumerate() {
+        let _ = i;
+        busy[t.proc.index()] += (t.finish - t.start).max(0.0);
+    }
+    let processors_used = busy.iter().filter(|&&b| b > 0.0).count();
+    let mean_proc_utilisation = if processors_used == 0 || makespan <= 0.0 {
+        0.0
+    } else {
+        busy.iter().filter(|&&b| b > 0.0).map(|b| b / makespan).sum::<f64>()
+            / processors_used as f64
+    };
+
+    // Link side.
+    let mut link_busy = vec![0.0_f64; topo.link_count()];
+    let mut remote = 0usize;
+    let mut local = 0usize;
+    let mut hops_total = 0usize;
+    for comm in &schedule.comms {
+        match comm {
+            CommPlacement::Local => local += 1,
+            CommPlacement::Ideal { .. } => remote += 1,
+            CommPlacement::Slotted { route, times } => {
+                remote += 1;
+                hops_total += route.len();
+                for (hop, &(s, f)) in route.iter().zip(times) {
+                    link_busy[hop.link.index()] += (f - s).max(0.0);
+                }
+            }
+            CommPlacement::Fluid { route, flows } => {
+                remote += 1;
+                hops_total += route.len();
+                for (hop, flow) in route.iter().zip(flows) {
+                    let area: f64 = flow
+                        .pieces
+                        .iter()
+                        .map(|p| p.rate * (p.end - p.start).max(0.0))
+                        .sum();
+                    link_busy[hop.link.index()] += area;
+                }
+            }
+        }
+    }
+    let links_used = link_busy.iter().filter(|&&b| b > 0.0).count();
+    let slotted_or_fluid = schedule
+        .comms
+        .iter()
+        .filter(|c| matches!(c, CommPlacement::Slotted { .. } | CommPlacement::Fluid { .. }))
+        .count();
+
+    let total_work: f64 = dag.task_ids().map(|t| dag.weight(t)).sum();
+    let best_speed = topo
+        .proc_ids()
+        .map(|p| topo.proc_speed(p))
+        .fold(0.0, f64::max);
+
+    ScheduleMetrics {
+        makespan,
+        slr: if critical_path(dag) > 0.0 {
+            makespan / critical_path(dag)
+        } else {
+            0.0
+        },
+        speedup: if makespan > 0.0 {
+            (total_work / best_speed) / makespan
+        } else {
+            0.0
+        },
+        processors_used,
+        mean_proc_utilisation,
+        remote_comms: remote,
+        local_comms: local,
+        total_link_busy: link_busy.iter().sum(),
+        links_used,
+        max_link_busy: link_busy.iter().copied().fold(0.0, f64::max),
+        mean_route_length: if slotted_or_fluid == 0 {
+            0.0
+        } else {
+            hops_total as f64 / slotted_or_fluid as f64
+        },
+    }
+}
+
+/// Per-link busy time, indexed by [`LinkId`] — what the heat-map-style
+/// reports in the examples print.
+pub fn link_busy_times(topo: &Topology, schedule: &Schedule) -> Vec<(LinkId, f64)> {
+    let mut busy = vec![0.0_f64; topo.link_count()];
+    for comm in &schedule.comms {
+        match comm {
+            CommPlacement::Slotted { route, times } => {
+                for (hop, &(s, f)) in route.iter().zip(times) {
+                    busy[hop.link.index()] += (f - s).max(0.0);
+                }
+            }
+            CommPlacement::Fluid { route, flows } => {
+                for (hop, flow) in route.iter().zip(flows) {
+                    busy[hop.link.index()] += flow
+                        .pieces
+                        .iter()
+                        .map(|p| p.rate * (p.end - p.start).max(0.0))
+                        .sum::<f64>();
+                }
+            }
+            _ => {}
+        }
+    }
+    busy.into_iter()
+        .enumerate()
+        .map(|(i, b)| (LinkId(i as u32), b))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::ListScheduler;
+    use crate::schedule::Scheduler;
+    use es_dag::gen::structured::{chain, fork_join};
+    use es_net::gen::{self, SpeedDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn star(n: usize) -> Topology {
+        gen::star(
+            n,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn serial_chain_metrics() {
+        let dag = chain(4, 5.0, 100.0);
+        let topo = star(3);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let m = metrics(&dag, &topo, &s);
+        assert_eq!(m.makespan, 20.0);
+        assert_eq!(m.processors_used, 1);
+        assert!((m.mean_proc_utilisation - 1.0).abs() < 1e-9);
+        assert_eq!(m.remote_comms, 0);
+        assert_eq!(m.local_comms, 3);
+        assert_eq!(m.links_used, 0);
+        assert!((m.speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_fork_join_metrics() {
+        let dag = fork_join(4, 50.0, 1.0);
+        let topo = star(4);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let m = metrics(&dag, &topo, &s);
+        assert!(m.processors_used > 1, "spreads out");
+        assert!(m.remote_comms > 0);
+        assert!(m.speedup > 1.0, "parallelism pays: {}", m.speedup);
+        assert!(m.total_link_busy > 0.0);
+        assert!(m.max_link_busy <= m.total_link_busy);
+        // Star routes are always 2 hops.
+        assert!((m.mean_route_length - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_busy_sums_match_total() {
+        let dag = fork_join(4, 50.0, 3.0);
+        let topo = star(4);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let m = metrics(&dag, &topo, &s);
+        let per_link = link_busy_times(&topo, &s);
+        let sum: f64 = per_link.iter().map(|(_, b)| b).sum();
+        assert!((sum - m.total_link_busy).abs() < 1e-9);
+        assert_eq!(per_link.len(), topo.link_count());
+    }
+
+    #[test]
+    fn slr_relative_to_critical_path() {
+        let dag = chain(3, 10.0, 0.0);
+        let topo = star(2);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let m = metrics(&dag, &topo, &s);
+        // Chain with zero comm on unit processors: makespan == cp.
+        assert!((m.slr - 1.0).abs() < 1e-9);
+    }
+}

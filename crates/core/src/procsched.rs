@@ -1,0 +1,97 @@
+//! Processor schedules.
+//!
+//! Tasks are placed non-preemptively with **end scheduling**: a task
+//! starts at `max(data-ready, processor free)` and the processor is
+//! busy until the task finishes (`§2.1`: tasks never preempt each
+//! other). All three of the paper's algorithms place tasks this way;
+//! only the *edge* scheduling differs between them.
+
+use es_net::{ProcId, Topology};
+
+/// Running state of all processors during scheduling.
+#[derive(Clone, Debug)]
+pub struct ProcState {
+    /// `t_f(P)` — time each processor becomes free.
+    finish: Vec<f64>,
+}
+
+impl ProcState {
+    /// All processors idle at time 0.
+    pub fn new(topo: &Topology) -> Self {
+        Self {
+            finish: vec![0.0; topo.proc_count()],
+        }
+    }
+
+    /// Current finish time `t_f(P)` of a processor.
+    #[inline]
+    pub fn finish_time(&self, p: ProcId) -> f64 {
+        self.finish[p.index()]
+    }
+
+    /// Earliest start of a task on `p` given its data-ready time:
+    /// `t_s = max(t_dr, t_f(P))`.
+    #[inline]
+    pub fn earliest_start(&self, p: ProcId, data_ready: f64) -> f64 {
+        data_ready.max(self.finish[p.index()])
+    }
+
+    /// Place a task of weight `w` on `p` with the given data-ready
+    /// time; returns `(start, finish)` and marks the processor busy.
+    pub fn place(&mut self, topo: &Topology, p: ProcId, data_ready: f64, weight: f64) -> (f64, f64) {
+        let start = self.earliest_start(p, data_ready);
+        let finish = start + weight / topo.proc_speed(p);
+        self.finish[p.index()] = finish;
+        (start, finish)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es_net::Topology;
+
+    fn two_procs() -> Topology {
+        let mut b = Topology::builder();
+        b.add_processor(1.0);
+        b.add_processor(2.0);
+        let (a, c) = (es_net::NodeId(0), es_net::NodeId(1));
+        b.add_duplex_cable(a, c, 1.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn starts_at_data_ready_when_idle() {
+        let topo = two_procs();
+        let mut ps = ProcState::new(&topo);
+        let (s, f) = ps.place(&topo, ProcId(0), 3.0, 4.0);
+        assert_eq!((s, f), (3.0, 7.0));
+        assert_eq!(ps.finish_time(ProcId(0)), 7.0);
+    }
+
+    #[test]
+    fn waits_for_processor_when_busy() {
+        let topo = two_procs();
+        let mut ps = ProcState::new(&topo);
+        ps.place(&topo, ProcId(0), 0.0, 10.0);
+        let (s, f) = ps.place(&topo, ProcId(0), 2.0, 5.0);
+        assert_eq!((s, f), (10.0, 15.0));
+    }
+
+    #[test]
+    fn speed_scales_execution_time() {
+        let topo = two_procs();
+        let mut ps = ProcState::new(&topo);
+        let (s, f) = ps.place(&topo, ProcId(1), 0.0, 10.0);
+        assert_eq!((s, f), (0.0, 5.0), "speed-2 processor halves time");
+    }
+
+    #[test]
+    fn processors_are_independent() {
+        let topo = two_procs();
+        let mut ps = ProcState::new(&topo);
+        ps.place(&topo, ProcId(0), 0.0, 10.0);
+        let (s, _) = ps.place(&topo, ProcId(1), 0.0, 10.0);
+        assert_eq!(s, 0.0);
+    }
+}

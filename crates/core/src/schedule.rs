@@ -1,0 +1,170 @@
+//! Schedule representation and the [`Scheduler`] trait.
+
+use es_dag::TaskGraph;
+use es_linksched::Flow;
+use es_net::{Hop, ProcId, Topology};
+use std::fmt;
+
+/// Where and when one task executes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskPlacement {
+    /// Processor executing the task.
+    pub proc: ProcId,
+    /// Start time `t_s(n, P)`.
+    pub start: f64,
+    /// Finish time `t_f(n, P) = t_s + w(n)/s(P)`.
+    pub finish: f64,
+}
+
+/// How one DAG edge's communication is realised.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CommPlacement {
+    /// Source and destination tasks share a processor: communication is
+    /// free and instantaneous (§2.1 of the paper).
+    Local,
+    /// Scheduled on a route of links as exclusive time slots (BA and
+    /// OIHSA). `times[k]` is `(t_s, t_f)` of the transfer on
+    /// `route[k]`; `t_f - t_s = c(e)/s(L_k)`.
+    Slotted {
+        /// The hops taken, source processor to destination processor.
+        route: Vec<Hop>,
+        /// Per-hop `(start, finish)` times.
+        times: Vec<(f64, f64)>,
+    },
+    /// Scheduled as fluid bandwidth shares (BBSA). `flows[k]` is the
+    /// piecewise-constant transfer on `route[k]`.
+    Fluid {
+        /// The hops taken.
+        route: Vec<Hop>,
+        /// Per-hop flows.
+        flows: Vec<Flow>,
+    },
+    /// Contention-free idealised communication (classic model): the
+    /// data simply arrives `delay` after the source task finishes.
+    Ideal {
+        /// Modelled transfer delay.
+        delay: f64,
+        /// Arrival time at the destination processor.
+        arrival: f64,
+    },
+}
+
+impl CommPlacement {
+    /// When the communication's data is available at the destination.
+    /// `None` for [`CommPlacement::Local`] (caller uses the source
+    /// task's finish time).
+    pub fn arrival(&self) -> Option<f64> {
+        match self {
+            CommPlacement::Local => None,
+            CommPlacement::Slotted { times, .. } => times.last().map(|&(_, f)| f),
+            CommPlacement::Fluid { flows, .. } => flows.last().and_then(|f| f.finish()),
+            CommPlacement::Ideal { arrival, .. } => Some(*arrival),
+        }
+    }
+}
+
+/// A complete schedule of a task graph on a topology.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Name of the algorithm that produced it.
+    pub algorithm: &'static str,
+    /// Placement per task, indexed by `TaskId`.
+    pub tasks: Vec<TaskPlacement>,
+    /// Placement per edge, indexed by `EdgeId`.
+    pub comms: Vec<CommPlacement>,
+    /// `max_n t_f(n)` — the schedule length the paper reports.
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// Compute the makespan from task placements.
+    pub fn compute_makespan(tasks: &[TaskPlacement]) -> f64 {
+        tasks.iter().map(|t| t.finish).fold(0.0, f64::max)
+    }
+}
+
+/// Errors a scheduler can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedError {
+    /// No route exists between two processors that must communicate.
+    NoRoute {
+        /// Source processor.
+        from: ProcId,
+        /// Destination processor.
+        to: ProcId,
+    },
+    /// The topology has no processors (cannot happen with validated
+    /// topologies; kept for API completeness).
+    NoProcessors,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoRoute { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
+            SchedError::NoProcessors => write!(f, "topology has no processors"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// A static scheduling algorithm mapping `(task graph, topology)` to a
+/// [`Schedule`].
+pub trait Scheduler {
+    /// Short algorithm name for reports ("BA", "OIHSA", "BBSA", …).
+    fn name(&self) -> &'static str;
+
+    /// Produce a complete schedule.
+    fn schedule(&self, dag: &TaskGraph, topo: &Topology) -> Result<Schedule, SchedError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let tasks = vec![
+            TaskPlacement {
+                proc: ProcId(0),
+                start: 0.0,
+                finish: 4.0,
+            },
+            TaskPlacement {
+                proc: ProcId(1),
+                start: 1.0,
+                finish: 9.0,
+            },
+        ];
+        assert_eq!(Schedule::compute_makespan(&tasks), 9.0);
+        assert_eq!(Schedule::compute_makespan(&[]), 0.0);
+    }
+
+    #[test]
+    fn arrival_of_each_placement_kind() {
+        assert_eq!(CommPlacement::Local.arrival(), None);
+        let slotted = CommPlacement::Slotted {
+            route: vec![],
+            times: vec![(0.0, 2.0), (1.0, 3.0)],
+        };
+        assert_eq!(slotted.arrival(), Some(3.0));
+        let ideal = CommPlacement::Ideal {
+            delay: 5.0,
+            arrival: 12.0,
+        };
+        assert_eq!(ideal.arrival(), Some(12.0));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SchedError::NoRoute {
+            from: ProcId(0),
+            to: ProcId(3),
+        };
+        assert!(e.to_string().contains("P0"));
+        assert!(e.to_string().contains("P3"));
+    }
+}

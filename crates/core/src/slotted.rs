@@ -1,0 +1,484 @@
+//! Shared link-scheduling state for the slotted schedulers (BA, OIHSA
+//! and every ablation in between).
+//!
+//! [`SlottedState`] owns one [`SlotQueue`] per link plus the
+//! per-communication bookkeeping (route and per-hop times) that OIHSA's
+//! deferrable-time computation (Lemma 2) needs. It implements:
+//!
+//! * route selection — BFS minimal (cached; the network is static) or
+//!   the paper's modified Dijkstra with a basic-insertion finish-time
+//!   probe per link (§4.3);
+//! * hop-by-hop placement under link causality with either basic
+//!   (first-fit) or optimal insertion (§4.4), keeping every
+//!   communication's recorded times in sync when optimal insertion
+//!   defers other slots;
+//! * exact rollback of basic-insertion placements, which BA's
+//!   earliest-finish processor probe requires.
+
+use crate::config::{Insertion, Routing, Switching};
+use crate::schedule::SchedError;
+use es_linksched::optimal::optimal_insert;
+use es_linksched::slot::SlotQueue;
+use es_linksched::CommId;
+use es_net::{Hop, NodeId, ProcId, Topology};
+use es_route::{bfs_route, dijkstra_route, Route};
+use std::collections::HashMap;
+
+/// Bookkeeping for one scheduled communication.
+#[derive(Clone, Debug, Default)]
+struct CommRecord {
+    /// The hops taken (empty when unscheduled or local).
+    route: Vec<Hop>,
+    /// `(start, finish)` on each hop; `None` until that hop is placed.
+    times: Vec<Option<(f64, f64)>>,
+}
+
+/// All link schedules plus communication bookkeeping.
+#[derive(Clone, Debug)]
+pub struct SlottedState {
+    queues: Vec<SlotQueue>,
+    comms: Vec<CommRecord>,
+    /// Cache of BFS routes between vertex pairs (the topology is
+    /// static, so minimal routes never change).
+    bfs_cache: HashMap<(NodeId, NodeId), Option<Route>>,
+}
+
+impl SlottedState {
+    /// Fresh state: all links idle; capacity for `comm_count`
+    /// communications (one per DAG edge).
+    pub fn new(topo: &Topology, comm_count: usize) -> Self {
+        Self {
+            queues: (0..topo.link_count()).map(|_| SlotQueue::new()).collect(),
+            comms: vec![CommRecord::default(); comm_count],
+            bfs_cache: HashMap::new(),
+        }
+    }
+
+    /// The slot queue of a link (validators and tests peek at these).
+    pub fn queue(&self, link: es_net::LinkId) -> &SlotQueue {
+        &self.queues[link.index()]
+    }
+
+    /// Recorded `(start, finish)` of `comm` on hop `seq`.
+    pub fn hop_times(&self, comm: CommId, seq: usize) -> Option<(f64, f64)> {
+        self.comms[comm.0 as usize].times.get(seq).copied().flatten()
+    }
+
+    /// The committed route of `comm` (empty if unscheduled).
+    pub fn route_of(&self, comm: CommId) -> &[Hop] {
+        &self.comms[comm.0 as usize].route
+    }
+
+    /// Route and schedule one communication.
+    ///
+    /// * `est` — earliest start (source task finish time);
+    /// * `cost` — communication cost `c(e)`;
+    /// * returns the arrival time at the destination processor.
+    ///
+    /// The route is chosen per `routing`; each hop is placed under link
+    /// causality using `insertion`. With [`Insertion::Optimal`],
+    /// already-scheduled slots may be deferred within their Lemma-2
+    /// slack; the displaced communications' recorded times are updated.
+    pub fn schedule_comm(
+        &mut self,
+        topo: &Topology,
+        comm: CommId,
+        est: f64,
+        cost: f64,
+        from: ProcId,
+        to: ProcId,
+        routing: Routing,
+        insertion: Insertion,
+        switching: Switching,
+    ) -> Result<f64, SchedError> {
+        debug_assert_ne!(from, to, "local communications never reach the link layer");
+        let src = topo.node_of_proc(from);
+        let dst = topo.node_of_proc(to);
+        let route = self
+            .pick_route(topo, src, dst, est, cost, routing, switching)
+            .ok_or(SchedError::NoRoute { from, to })?;
+        Ok(self.place_on_route(topo, comm, est, cost, route, insertion, switching))
+    }
+
+    /// Choose a route per the configured strategy.
+    fn pick_route(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        est: f64,
+        cost: f64,
+        routing: Routing,
+        switching: Switching,
+    ) -> Option<Route> {
+        match routing {
+            Routing::Bfs => self
+                .bfs_cache
+                .entry((src, dst))
+                .or_insert_with(|| bfs_route(topo, src, dst))
+                .clone(),
+            Routing::ModifiedDijkstra => {
+                // §4.3: relax by the finish time of this communication
+                // on each link, probed with basic insertion against the
+                // current schedules. The hop delay is applied uniformly
+                // (including the first hop) — a conservative metric;
+                // actual placement applies it precisely.
+                let queues = &self.queues;
+                let delay = topo.hop_delay();
+                dijkstra_route(
+                    topo,
+                    src,
+                    dst,
+                    (est, est),
+                    |&(s, f), hop| {
+                        let int = cost / topo.link_speed(hop.link);
+                        let bound = match switching {
+                            Switching::CutThrough => (s + delay).max(f + delay - int),
+                            Switching::StoreAndForward => f + delay,
+                        };
+                        let start = queues[hop.link.index()].probe(bound, int);
+                        (start, (start + int).max(f))
+                    },
+                    |&(_, f)| f,
+                )
+                .map(|(route, _)| route)
+            }
+        }
+    }
+
+    /// Place a communication on every hop of `route` in order,
+    /// maintaining the link causality condition; returns the arrival
+    /// time on the last hop.
+    fn place_on_route(
+        &mut self,
+        topo: &Topology,
+        comm: CommId,
+        est: f64,
+        cost: f64,
+        route: Route,
+        insertion: Insertion,
+        switching: Switching,
+    ) -> f64 {
+        let rec_idx = comm.0 as usize;
+        self.comms[rec_idx].route = route.clone();
+        self.comms[rec_idx].times = vec![None; route.len()];
+
+        let (mut prev_start, mut prev_finish) = (est, est);
+        for (seq, hop) in route.iter().enumerate() {
+            let int = cost / topo.link_speed(hop.link);
+            // Per-hop switch latency applies from the second hop on.
+            let delay = if seq == 0 { 0.0 } else { topo.hop_delay() };
+            // Link causality (§2.2): start no earlier than on the
+            // previous link; finish no earlier either — the "virtual
+            // start" bound max(t_s(prev), t_f(prev) - int) enforces
+            // both at full bandwidth. Store-and-forward waits for the
+            // whole message instead.
+            let bound = match switching {
+                Switching::CutThrough => {
+                    (prev_start + delay).max(prev_finish + delay - int)
+                }
+                Switching::StoreAndForward => prev_finish + delay,
+            };
+            let queue = &mut self.queues[hop.link.index()];
+            let (start, finish) = match insertion {
+                Insertion::Basic => {
+                    let start = queue.probe(bound, int);
+                    queue.commit(comm, seq as u32, start, int);
+                    (start, start + int)
+                }
+                Insertion::Optimal => {
+                    let dts = deferrable_times(queue, &self.comms);
+                    let placement =
+                        optimal_insert(queue, comm, seq as u32, bound, int, &dts);
+                    // Propagate deferrals into the displaced
+                    // communications' recorded times.
+                    for shift in &placement.shifts {
+                        let rec = &mut self.comms[shift.comm.0 as usize];
+                        rec.times[shift.seq as usize] =
+                            Some((shift.new_start, shift.new_end));
+                    }
+                    (placement.start, placement.end)
+                }
+            };
+            self.comms[rec_idx].times[seq] = Some((start, finish));
+            prev_start = start;
+            prev_finish = finish;
+        }
+        prev_finish
+    }
+
+    /// Remove every slot of `comm` and clear its bookkeeping.
+    ///
+    /// Exact only for basic-insertion placements (optimal insertion may
+    /// have deferred *other* slots, which are not restored); BA's
+    /// tentative probe therefore always runs with basic insertion.
+    pub fn unschedule(&mut self, comm: CommId) {
+        let rec = std::mem::take(&mut self.comms[comm.0 as usize]);
+        for hop in &rec.route {
+            self.queues[hop.link.index()].remove_comm(comm);
+        }
+    }
+
+    /// Extract the per-hop times of a scheduled communication (for the
+    /// final [`crate::schedule::CommPlacement`]).
+    pub fn placement(&self, comm: CommId) -> (Vec<Hop>, Vec<(f64, f64)>) {
+        let rec = &self.comms[comm.0 as usize];
+        let times = rec
+            .times
+            .iter()
+            .map(|t| t.expect("placement queried for fully scheduled comm"))
+            .collect();
+        (rec.route.clone(), times)
+    }
+
+    /// Check every queue's internal invariants (tests/validation).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, q) in self.queues.iter().enumerate() {
+            q.check_invariants().map_err(|e| format!("link L{i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Lemma 2 deferrable times for every slot of one queue.
+///
+/// A slot of communication `c` at route position `seq` can defer by
+/// `min( t_s(c, next) - t_s(c, here), t_f(c, next) - t_f(c, here) )`
+/// where `next` is `c`'s next route hop — 0 when this is the last hop
+/// (the arrival may already gate the destination task), and 0 when the
+/// next hop is not yet placed (conservative; happens only mid-placement
+/// of `c` itself).
+fn deferrable_times(queue: &SlotQueue, comms: &[CommRecord]) -> Vec<f64> {
+    queue
+        .slots()
+        .iter()
+        .map(|slot| {
+            let rec = &comms[slot.comm.0 as usize];
+            let seq = slot.seq as usize;
+            if seq + 1 >= rec.route.len() {
+                return 0.0;
+            }
+            match rec.times.get(seq + 1).copied().flatten() {
+                None => 0.0,
+                Some((next_start, next_finish)) => {
+                    let dt = (next_start - slot.start).min(next_finish - slot.end);
+                    dt.max(0.0)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es_net::Topology;
+
+    /// p0 -sw- p1 line with unit speeds.
+    fn line() -> Topology {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let sw = b.add_switch();
+        b.add_duplex_cable(p0, sw, 1.0);
+        b.add_duplex_cable(sw, p1, 1.0);
+        b.build().unwrap()
+    }
+
+    fn c(n: u64) -> CommId {
+        CommId(n)
+    }
+
+    #[test]
+    fn single_comm_cut_through() {
+        let topo = line();
+        let mut st = SlottedState::new(&topo, 4);
+        let arrival = st
+            .schedule_comm(
+                &topo,
+                c(0),
+                2.0,
+                6.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        // Two unit-speed hops, cut-through: both [2, 8).
+        assert_eq!(arrival, 8.0);
+        let (route, times) = st.placement(c(0));
+        assert_eq!(route.len(), 2);
+        assert_eq!(times, vec![(2.0, 8.0), (2.0, 8.0)]);
+    }
+
+    #[test]
+    fn second_comm_queues_behind_first() {
+        let topo = line();
+        let mut st = SlottedState::new(&topo, 4);
+        st.schedule_comm(&topo, c(0), 0.0, 5.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        let arrival = st
+            .schedule_comm(&topo, c(1), 0.0, 5.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        // First link busy [0,5): second transfer starts at 5.
+        assert_eq!(arrival, 10.0);
+        st.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_hops_respect_causality() {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let sw = b.add_switch();
+        b.add_duplex_cable(p0, sw, 1.0); // slow: int = cost
+        b.add_duplex_cable(sw, p1, 4.0); // fast: int = cost/4
+        let topo = b.build().unwrap();
+        let mut st = SlottedState::new(&topo, 2);
+        let arrival = st
+            .schedule_comm(&topo, c(0), 0.0, 8.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        let (_, times) = st.placement(c(0));
+        // Slow hop [0,8); fast hop int=2 with virtual start 6: [6,8).
+        assert_eq!(times[0], (0.0, 8.0));
+        assert_eq!(times[1], (6.0, 8.0));
+        assert_eq!(arrival, 8.0);
+        // Causality: start and finish non-decreasing along the route.
+        assert!(times[1].0 >= times[0].0);
+        assert!(times[1].1 >= times[0].1);
+    }
+
+    #[test]
+    fn unschedule_rolls_back_exactly() {
+        let topo = line();
+        let mut st = SlottedState::new(&topo, 4);
+        st.schedule_comm(&topo, c(0), 0.0, 5.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        let a1 = st
+            .schedule_comm(&topo, c(1), 0.0, 3.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        st.unschedule(c(1));
+        let a2 = st
+            .schedule_comm(&topo, c(1), 0.0, 3.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        assert_eq!(a1, a2, "re-scheduling after rollback is deterministic");
+        assert!(st.route_of(c(1)).len() == 2);
+    }
+
+    #[test]
+    fn no_route_is_an_error() {
+        let mut b = Topology::builder();
+        b.add_processor(1.0);
+        b.add_processor(1.0);
+        let topo = b.build().unwrap();
+        let mut st = SlottedState::new(&topo, 1);
+        let err = st
+            .schedule_comm(&topo, c(0), 0.0, 1.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::NoRoute {
+                from: ProcId(0),
+                to: ProcId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn optimal_insertion_defers_slot_with_downstream_slack() {
+        let topo = line();
+        let mut st = SlottedState::new(&topo, 8);
+        // comm 0: cost 4 over both hops; on the first link it sits at
+        // [0,4), on the second [0,4).
+        st.schedule_comm(&topo, c(0), 0.0, 4.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        // comm 1: queues behind comm 0 on both links: first link [4,8),
+        // second [4,8). Its first-link slot has slack 0 (start/finish
+        // equal on both links) — deferral impossible; comm 2 must queue.
+        st.schedule_comm(&topo, c(1), 0.0, 4.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        let arrival = st
+            .schedule_comm(&topo, c(2), 0.0, 2.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Optimal, Switching::CutThrough)
+            .unwrap();
+        assert_eq!(arrival, 10.0);
+        st.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn optimal_insertion_uses_real_slack() {
+        // Build slack explicitly: a 3-link chain where the middle
+        // transfer is delayed downstream, giving its first-hop slot
+        // real deferrable time.
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let (p2, _) = b.add_processor(1.0);
+        let sw = b.add_switch();
+        b.add_duplex_cable(p0, sw, 1.0);
+        b.add_duplex_cable(sw, p1, 1.0);
+        b.add_duplex_cable(sw, p2, 1.0);
+        let topo = b.build().unwrap();
+        let mut st = SlottedState::new(&topo, 8);
+
+        // comm 0 congests sw->p1 with [0, 10).
+        st.schedule_comm(&topo, c(0), 0.0, 10.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        // comm 1 (p0 -> p1, cost 4): p0->sw is busy [0,10) from comm 0
+        // too... actually comm 0 occupies p0->sw [0,10) as well, so
+        // comm 1 sits at [10,14) on p0->sw and [10,14) on sw->p1.
+        st.schedule_comm(&topo, c(1), 0.0, 4.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        let (_, t1) = st.placement(c(1));
+        assert_eq!(t1[0], (10.0, 14.0));
+
+        // comm 2 (p0 -> p2, cost 6) with optimal insertion: comm 1's
+        // slot on p0->sw has zero slack (its next-hop times equal), so
+        // no deferral; comm 2 appends at 14 on p0->sw... but BFS route
+        // p0->sw->p2 only shares the first link.
+        let arrival = st
+            .schedule_comm(&topo, c(2), 0.0, 6.0, ProcId(0), ProcId(2), Routing::Bfs, Insertion::Optimal, Switching::CutThrough)
+            .unwrap();
+        assert_eq!(arrival, 20.0);
+        st.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn modified_dijkstra_routes_around_congestion() {
+        // Two disjoint switch paths between p0 and p1.
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let sa = b.add_switch();
+        let sb = b.add_switch();
+        b.add_duplex_cable(p0, sa, 1.0);
+        b.add_duplex_cable(sa, p1, 1.0);
+        b.add_duplex_cable(p0, sb, 1.0);
+        b.add_duplex_cable(sb, p1, 1.0);
+        let topo = b.build().unwrap();
+        let mut st = SlottedState::new(&topo, 8);
+
+        // Saturate the sa path.
+        st.schedule_comm(&topo, c(0), 0.0, 50.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .unwrap();
+        let via_sa = st.route_of(c(0))[0].to;
+        // BFS would tie-break to the same path; modified Dijkstra must
+        // pick the other one.
+        let arrival = st
+            .schedule_comm(
+                &topo,
+                c(1),
+                0.0,
+                5.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::ModifiedDijkstra,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        assert_eq!(arrival, 5.0, "took the free path");
+        assert_ne!(st.route_of(c(1))[0].to, via_sa);
+    }
+}

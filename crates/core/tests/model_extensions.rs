@@ -1,0 +1,146 @@
+//! Tests of the model extension points the paper explicitly invites:
+//! per-hop switch delay (§2.2: "it can be included if necessary") and
+//! store-and-forward switching (vs the paper's cut-through).
+
+use es_core::config::{ListConfig, Switching};
+use es_core::{validate::validate, BbsaScheduler, ListScheduler, Scheduler};
+use es_dag::gen::structured::{fork_join, gauss_elim};
+use es_dag::TaskGraphBuilder;
+use es_net::{NodeId, Topology};
+
+/// p0 — sw — sw — p1 line with unit speeds and configurable hop delay.
+fn two_switch_line(hop_delay: f64) -> Topology {
+    let mut b = Topology::builder();
+    b.set_hop_delay(hop_delay);
+    let (p0, _) = b.add_processor(1.0);
+    let (p1, _) = b.add_processor(1.0);
+    let s1 = b.add_switch();
+    let s2 = b.add_switch();
+    b.add_duplex_cable(p0, s1, 1.0);
+    b.add_duplex_cable(s1, s2, 1.0);
+    b.add_duplex_cable(s2, p1, 1.0);
+    b.build().unwrap()
+}
+
+/// Two tasks forced onto different processors (two entry tasks + join).
+fn split_dag() -> es_dag::TaskGraph {
+    let mut g = TaskGraphBuilder::new();
+    let a = g.add_task(10.0);
+    let b = g.add_task(10.0);
+    let j = g.add_task(1.0);
+    g.add_edge(a, j, 6.0).unwrap();
+    g.add_edge(b, j, 6.0).unwrap();
+    g.build().unwrap()
+}
+
+#[test]
+fn hop_delay_increases_slotted_makespan() {
+    let dag = split_dag();
+    let free = ListScheduler::ba()
+        .schedule(&dag, &two_switch_line(0.0))
+        .unwrap();
+    let delayed_topo = two_switch_line(2.0);
+    let delayed = ListScheduler::ba().schedule(&dag, &delayed_topo).unwrap();
+    validate(&dag, &delayed_topo, &delayed).expect("valid with hop delay");
+    assert!(
+        delayed.makespan > free.makespan,
+        "3-hop route must pay 2 hop delays: {} vs {}",
+        delayed.makespan,
+        free.makespan
+    );
+    // Exactly two extra hops' worth on the critical communication.
+    assert!((delayed.makespan - free.makespan - 4.0).abs() < 1e-6);
+}
+
+#[test]
+fn hop_delay_increases_fluid_makespan() {
+    let dag = split_dag();
+    let free = BbsaScheduler::new()
+        .schedule(&dag, &two_switch_line(0.0))
+        .unwrap();
+    let topo = two_switch_line(1.5);
+    let delayed = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
+    validate(&dag, &topo, &delayed).expect("valid with hop delay");
+    assert!(delayed.makespan > free.makespan);
+}
+
+#[test]
+fn all_schedulers_valid_under_hop_delay() {
+    let dag = gauss_elim(5, 8.0, 12.0);
+    let topo = two_switch_line(0.7);
+    for sched in [
+        Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
+        Box::new(ListScheduler::ba_static()),
+        Box::new(ListScheduler::oihsa()),
+        Box::new(BbsaScheduler::new()),
+    ] {
+        let s = sched.schedule(&dag, &topo).unwrap();
+        if let Err(errs) = validate(&dag, &topo, &s) {
+            panic!("{} with hop delay: {}", sched.name(), errs.join("\n"));
+        }
+    }
+}
+
+#[test]
+fn store_and_forward_never_beats_cut_through() {
+    let dag = split_dag();
+    let topo = two_switch_line(0.0);
+    let ct = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+    let sf_cfg = ListConfig {
+        name: "BA-sf",
+        switching: Switching::StoreAndForward,
+        ..ListConfig::ba()
+    };
+    let sf = ListScheduler::with_config(sf_cfg).schedule(&dag, &topo).unwrap();
+    validate(&dag, &topo, &sf).expect("store-and-forward schedules are valid");
+    assert!(
+        sf.makespan >= ct.makespan - 1e-9,
+        "SF {} vs CT {}",
+        sf.makespan,
+        ct.makespan
+    );
+    // On a 3-hop unit-speed route, store-and-forward pays the transfer
+    // time per hop instead of once: strictly worse here.
+    assert!(sf.makespan > ct.makespan);
+}
+
+#[test]
+fn store_and_forward_schedules_are_valid_everywhere() {
+    let dag = fork_join(5, 10.0, 8.0);
+    let topo = two_switch_line(0.5);
+    for base in [ListConfig::ba(), ListConfig::oihsa()] {
+        let cfg = ListConfig {
+            name: "sf",
+            switching: Switching::StoreAndForward,
+            ..base
+        };
+        let s = ListScheduler::with_config(cfg).schedule(&dag, &topo).unwrap();
+        if let Err(errs) = validate(&dag, &topo, &s) {
+            panic!("{base:?} SF: {}", errs.join("\n"));
+        }
+    }
+}
+
+#[test]
+fn hop_delay_respected_hop_by_hop() {
+    let dag = split_dag();
+    let topo = two_switch_line(2.0);
+    let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+    for c in &s.comms {
+        if let es_core::CommPlacement::Slotted { times, .. } = c {
+            for w in times.windows(2) {
+                assert!(w[1].0 + 1e-9 >= w[0].0 + 2.0, "start delayed per hop");
+                assert!(w[1].1 + 1e-9 >= w[0].1 + 2.0, "finish delayed per hop");
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_rejects_negative_hop_delay() {
+    let mut b = Topology::builder();
+    b.set_hop_delay(-1.0);
+    b.add_processor(1.0);
+    assert!(b.build().is_err());
+    let _ = NodeId(0); // silence unused import lint paths
+}

@@ -1,0 +1,134 @@
+//! The workspace's heaviest property: every scheduler must produce a
+//! **fully valid** schedule on arbitrary random instances. This drives
+//! the independent validator (precedence, non-preemption, causality,
+//! bandwidth, volume conservation, makespan) over the whole scheduler ×
+//! instance space.
+
+use es_core::{validate::validate, BbsaScheduler, ListScheduler, Scheduler};
+use es_dag::gen::layered::{random_layered, LayeredDagConfig};
+use es_dag::TaskGraph;
+use es_net::gen::{self, WanConfig};
+use es_net::Topology;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance_strategy() -> impl Strategy<Value = (TaskGraph, Topology)> {
+    (
+        2usize..50,   // tasks
+        1usize..8,    // mean width
+        0.0f64..0.6,  // density
+        2usize..16,   // processors
+        any::<u64>(), // seed
+        prop::bool::ANY,
+    )
+        .prop_map(|(tasks, width, density, procs, seed, hetero)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dag = random_layered(
+                &LayeredDagConfig {
+                    tasks,
+                    mean_width: width,
+                    edge_density: density,
+                    max_jump: 2,
+                    weight_range: (1, 500),
+                    cost_range: (1, 2000),
+                },
+                &mut rng,
+            );
+            let cfg = if hetero {
+                WanConfig::heterogeneous(procs)
+            } else {
+                WanConfig::homogeneous(procs)
+            };
+            let topo = gen::random_switched_wan(&cfg, &mut rng);
+            (dag, topo)
+        })
+}
+
+proptest! {
+    // Each case runs 6 schedulers + validation; keep the case count
+    // moderate so the suite stays under a minute.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schedulers_produce_valid_schedules((dag, topo) in instance_strategy()) {
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(ListScheduler::ba()),
+            Box::new(ListScheduler::ba_static()),
+            Box::new(ListScheduler::oihsa()),
+            Box::new(ListScheduler::oihsa_probing()),
+            Box::new(BbsaScheduler::new()),
+            Box::new(BbsaScheduler::with_config(es_core::bbsa::BbsaConfig::probing())),
+        ];
+        for sched in schedulers {
+            let s = sched
+                .schedule(&dag, &topo)
+                .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+            if let Err(errs) = validate(&dag, &topo, &s) {
+                panic!("{} invalid:\n{}", sched.name(), errs.join("\n"));
+            }
+            prop_assert!(s.makespan.is_finite() && s.makespan >= 0.0);
+        }
+    }
+
+    #[test]
+    fn makespans_dominate_work_lower_bound((dag, topo) in instance_strategy()) {
+        let total_work: f64 = dag.task_ids().map(|t| dag.weight(t)).sum();
+        let total_speed: f64 = topo.proc_ids().map(|p| topo.proc_speed(p)).sum();
+        let lb = total_work / total_speed;
+        for sched in [
+            Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
+            Box::new(ListScheduler::oihsa()),
+            Box::new(BbsaScheduler::new()),
+        ] {
+            let s = sched.schedule(&dag, &topo).unwrap();
+            prop_assert!(s.makespan + 1e-6 >= lb, "{}", sched.name());
+        }
+    }
+
+    #[test]
+    fn executor_dominates_and_compaction_validates((dag, topo) in instance_strategy()) {
+        // The operational executor must never derive later times than
+        // the scheduler recorded, and compaction must stay valid.
+        for sched in [
+            Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
+            Box::new(ListScheduler::ba_static()),
+            Box::new(ListScheduler::oihsa()),
+        ] {
+            let s = sched.schedule(&dag, &topo).unwrap();
+            let exec = es_core::exec::execute(&dag, &topo, &s)
+                .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+            es_core::exec::check_dominates(&s, &exec)
+                .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+            let compacted = es_core::exec::compact(&dag, &topo, &s).unwrap();
+            if let Err(errs) = validate(&dag, &topo, &compacted) {
+                panic!("{} compacted invalid:\n{}", sched.name(), errs.join("\n"));
+            }
+            prop_assert!(compacted.makespan <= s.makespan + 1e-6);
+        }
+    }
+
+    #[test]
+    fn lower_bounds_hold((dag, topo) in instance_strategy()) {
+        let lb = es_core::bounds::makespan_lower_bound(&dag, &topo);
+        for sched in [
+            Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
+            Box::new(BbsaScheduler::new()),
+        ] {
+            let s = sched.schedule(&dag, &topo).unwrap();
+            prop_assert!(s.makespan + 1e-6 >= lb, "{}", sched.name());
+        }
+    }
+
+    #[test]
+    fn scheduling_is_deterministic((dag, topo) in instance_strategy()) {
+        for sched in [
+            Box::new(ListScheduler::oihsa()) as Box<dyn Scheduler>,
+            Box::new(BbsaScheduler::new()),
+        ] {
+            let a = sched.schedule(&dag, &topo).unwrap();
+            let b = sched.schedule(&dag, &topo).unwrap();
+            prop_assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        }
+    }
+}

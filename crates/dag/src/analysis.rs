@@ -1,0 +1,208 @@
+//! Aggregate statistics over a task graph.
+//!
+//! These feed the workload layer's CCR control (§6 of the paper defines
+//! CCR — communication-to-computation ratio — as the experiment's main
+//! x-axis) and the experiment reports.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// Summary statistics of a task graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of tasks `|V|`.
+    pub tasks: usize,
+    /// Number of edges `|E|`.
+    pub edges: usize,
+    /// Sum of all computation costs `Σ w(n)`.
+    pub total_work: f64,
+    /// Sum of all communication costs `Σ c(e)`.
+    pub total_comm: f64,
+    /// Mean computation cost (0 for an empty sum).
+    pub mean_work: f64,
+    /// Mean communication cost (0 when the graph has no edges).
+    pub mean_comm: f64,
+    /// Number of precedence levels (longest path in hops + 1).
+    pub depth: usize,
+    /// Maximum number of tasks on one precedence level.
+    pub width: usize,
+}
+
+/// Compute [`GraphStats`] in O(|V| + |E|).
+pub fn stats(g: &TaskGraph) -> GraphStats {
+    let total_work: f64 = g.task_ids().map(|t| g.weight(t)).sum();
+    let total_comm: f64 = g.edge_ids().map(|e| g.cost(e)).sum();
+    let levels = precedence_levels(g);
+    let depth = levels.iter().map(|&l| l + 1).max().unwrap_or(0);
+    let mut per_level = vec![0usize; depth];
+    for &l in &levels {
+        per_level[l] += 1;
+    }
+    GraphStats {
+        tasks: g.task_count(),
+        edges: g.edge_count(),
+        total_work,
+        total_comm,
+        mean_work: if g.task_count() == 0 {
+            0.0
+        } else {
+            total_work / g.task_count() as f64
+        },
+        mean_comm: if g.edge_count() == 0 {
+            0.0
+        } else {
+            total_comm / g.edge_count() as f64
+        },
+        depth,
+        width: per_level.into_iter().max().unwrap_or(0),
+    }
+}
+
+/// Hop-level of each task: entry tasks are level 0, every other task is
+/// one more than its deepest predecessor.
+pub fn precedence_levels(g: &TaskGraph) -> Vec<usize> {
+    let mut level = vec![0usize; g.task_count()];
+    for &t in g.topological_order() {
+        let mut best = 0usize;
+        let mut has_pred = false;
+        for p in g.predecessors(t) {
+            has_pred = true;
+            best = best.max(level[p.index()] + 1);
+        }
+        level[t.index()] = if has_pred { best } else { 0 };
+    }
+    level
+}
+
+/// Measured CCR of a graph under mean processor speed `mps` and mean
+/// link speed `mls`:
+/// `CCR = mean(c(e)/mls) / mean(w(n)/mps)`.
+///
+/// Returns 0 when the graph has no edges, and `f64::INFINITY` when mean
+/// work is zero but communication is not.
+pub fn measured_ccr(g: &TaskGraph, mps: f64, mls: f64) -> f64 {
+    let s = stats(g);
+    let comm_time = s.mean_comm / mls;
+    let work_time = s.mean_work / mps;
+    if comm_time == 0.0 {
+        0.0
+    } else if work_time == 0.0 {
+        f64::INFINITY
+    } else {
+        comm_time / work_time
+    }
+}
+
+/// The factor by which all edge costs must be multiplied so that
+/// [`measured_ccr`] equals `target` (given the same speeds).
+///
+/// Returns `None` when the graph has no edges or no work (CCR is then
+/// not controllable).
+pub fn ccr_scale_factor(g: &TaskGraph, target: f64, mps: f64, mls: f64) -> Option<f64> {
+    let current = measured_ccr(g, mps, mls);
+    if current == 0.0 || !current.is_finite() {
+        None
+    } else {
+        Some(target / current)
+    }
+}
+
+/// Parallelism profile: for each precedence level, the task ids on it.
+/// Useful for example programs that want to visualise the graph shape.
+pub fn tasks_by_level(g: &TaskGraph) -> Vec<Vec<TaskId>> {
+    let levels = precedence_levels(g);
+    let depth = levels.iter().map(|&l| l + 1).max().unwrap_or(0);
+    let mut out = vec![Vec::new(); depth];
+    for t in g.task_ids() {
+        out[levels[t.index()]].push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraphBuilder;
+
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(2.0);
+        let l = b.add_task(3.0);
+        let r = b.add_task(4.0);
+        let j = b.add_task(5.0);
+        b.add_edge(a, l, 10.0).unwrap();
+        b.add_edge(a, r, 20.0).unwrap();
+        b.add_edge(l, j, 30.0).unwrap();
+        b.add_edge(r, j, 40.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stats_hand_checked() {
+        let s = stats(&diamond());
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.total_work, 14.0);
+        assert_eq!(s.total_comm, 100.0);
+        assert_eq!(s.mean_work, 3.5);
+        assert_eq!(s.mean_comm, 25.0);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.width, 2);
+    }
+
+    #[test]
+    fn precedence_levels_hand_checked() {
+        assert_eq!(precedence_levels(&diamond()), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn measured_ccr_unit_speeds() {
+        // mean comm 25, mean work 3.5 => CCR = 25/3.5.
+        let c = measured_ccr(&diamond(), 1.0, 1.0);
+        assert!((c - 25.0 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measured_ccr_respects_speeds() {
+        // Faster links halve communication time => CCR halves.
+        let c1 = measured_ccr(&diamond(), 1.0, 1.0);
+        let c2 = measured_ccr(&diamond(), 1.0, 2.0);
+        assert!((c1 / c2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccr_scale_factor_round_trips() {
+        let g = diamond();
+        let f = ccr_scale_factor(&g, 3.0, 1.0, 1.0).unwrap();
+        // Rebuild the graph with scaled costs and re-measure.
+        let mut b = TaskGraphBuilder::new();
+        for t in g.task_ids() {
+            b.add_task(g.weight(t));
+        }
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            b.add_edge(edge.src, edge.dst, edge.cost * f).unwrap();
+        }
+        let g2 = b.build().unwrap();
+        assert!((measured_ccr(&g2, 1.0, 1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccr_uncontrollable_without_edges() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(5.0);
+        let g = b.build().unwrap();
+        assert_eq!(measured_ccr(&g, 1.0, 1.0), 0.0);
+        assert_eq!(ccr_scale_factor(&g, 2.0, 1.0, 1.0), None);
+    }
+
+    #[test]
+    fn tasks_by_level_partitions_all_tasks() {
+        let g = diamond();
+        let by_level = tasks_by_level(&g);
+        assert_eq!(by_level.len(), 3);
+        let total: usize = by_level.iter().map(Vec::len).sum();
+        assert_eq!(total, g.task_count());
+        assert_eq!(by_level[0], vec![TaskId(0)]);
+        assert_eq!(by_level[2], vec![TaskId(3)]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz DOT export for task graphs.
+//!
+//! `dot -Tpng graph.dot -o graph.png` renders the DAG with computation
+//! costs on nodes and communication costs on edges — handy when
+//! debugging why a scheduler made a placement decision.
+
+use crate::graph::TaskGraph;
+use std::fmt::Write as _;
+
+/// Render the task graph as a DOT digraph.
+///
+/// Node labels show the task's label (if any) or id, plus `w(n)`;
+/// edge labels show `c(e)`.
+pub fn to_dot(g: &TaskGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitise(name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=ellipse, fontsize=10];");
+    for t in g.task_ids() {
+        let node = g.task(t);
+        let label = match &node.label {
+            Some(l) => format!("{l}\\nw={}", trim_num(node.weight)),
+            None => format!("{t}\\nw={}", trim_num(node.weight)),
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", t.0, label);
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            edge.src.0,
+            edge.dst.0,
+            trim_num(edge.cost)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Strip trailing `.0` from integral floats for compact labels.
+fn trim_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Graphviz identifiers must be alphanumeric/underscore.
+fn sanitise(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured::fork_join;
+    use crate::graph::TaskGraphBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = fork_join(3, 5.0, 7.0);
+        let dot = to_dot(&g, "forkjoin");
+        assert!(dot.starts_with("digraph forkjoin {"));
+        for t in g.task_ids() {
+            assert!(dot.contains(&format!("n{} [", t.0)));
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        assert!(dot.contains("w=5"));
+        assert!(dot.contains("label=\"7\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_are_escaped_into_node_text() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_labeled_task(1.5, "source");
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, "x");
+        assert!(dot.contains("source"));
+        assert!(dot.contains("w=1.50"));
+    }
+
+    #[test]
+    fn graph_names_are_sanitised() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(1.0);
+        let g = b.build().unwrap();
+        assert!(to_dot(&g, "my graph!").starts_with("digraph my_graph_ {"));
+        assert!(to_dot(&g, "1abc").starts_with("digraph g_1abc {"));
+        assert!(to_dot(&g, "").starts_with("digraph g_ {"));
+    }
+}

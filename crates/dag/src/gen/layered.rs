@@ -1,0 +1,225 @@
+//! Random layered DAGs — the paper's experimental workload.
+//!
+//! §6 of the paper constructs task graphs "subject to literature \[3\]"
+//! (Bajaj & Agrawal, TPDS 2004): tasks are partitioned into precedence
+//! layers; each task draws its predecessors uniformly from nearby
+//! earlier layers. Computation and communication costs are uniform
+//! integers (`U(1, 1000)` in the paper; configurable here, with CCR
+//! rescaling applied by the workload layer).
+
+use crate::graph::{TaskGraph, TaskGraphBuilder};
+use rand::{Rng, RngExt};
+
+/// Parameters of the layered random DAG generator.
+///
+/// The defaults mirror the paper's experiments: costs `U(1,1000)` and a
+/// shape whose width grows with the task count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayeredDagConfig {
+    /// Total number of tasks (the paper draws `U(40, 1000)`).
+    pub tasks: usize,
+    /// Mean number of tasks per layer; actual layer sizes are drawn
+    /// `U(1, 2*mean_width-1)` so the expected value matches.
+    pub mean_width: usize,
+    /// Probability of an edge between a task and a candidate predecessor
+    /// in the previous layer (beyond the one guaranteed parent).
+    pub edge_density: f64,
+    /// How many layers back a predecessor may come from (≥ 1).
+    pub max_jump: usize,
+    /// Computation costs are drawn as integers in `[min, max]`.
+    pub weight_range: (u64, u64),
+    /// Communication costs are drawn as integers in `[min, max]`.
+    pub cost_range: (u64, u64),
+}
+
+impl Default for LayeredDagConfig {
+    fn default() -> Self {
+        Self {
+            tasks: 100,
+            mean_width: 8,
+            edge_density: 0.3,
+            max_jump: 2,
+            weight_range: (1, 1000),
+            cost_range: (1, 1000),
+        }
+    }
+}
+
+/// Generate a random layered DAG.
+///
+/// Guarantees:
+/// * exactly `cfg.tasks` tasks;
+/// * every non-entry-layer task has at least one predecessor (no
+///   stranded islands past layer 0), so the graph is "layered connected"
+///   the way the TPDS'04 generator describes;
+/// * deterministic output for a fixed `rng` state.
+///
+/// # Panics
+/// Panics if `cfg.tasks == 0`, `cfg.mean_width == 0`, `cfg.max_jump == 0`,
+/// an empty cost range, or `edge_density` outside `[0, 1]`.
+pub fn random_layered<R: Rng + ?Sized>(cfg: &LayeredDagConfig, rng: &mut R) -> TaskGraph {
+    assert!(cfg.tasks > 0, "need at least one task");
+    assert!(cfg.mean_width > 0, "mean_width must be positive");
+    assert!(cfg.max_jump > 0, "max_jump must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&cfg.edge_density),
+        "edge_density must lie in [0, 1]"
+    );
+    assert!(cfg.weight_range.0 <= cfg.weight_range.1, "empty weight range");
+    assert!(cfg.cost_range.0 <= cfg.cost_range.1, "empty cost range");
+
+    // Partition tasks into layers.
+    let mut layer_sizes: Vec<usize> = Vec::new();
+    let mut remaining = cfg.tasks;
+    while remaining > 0 {
+        let hi = (2 * cfg.mean_width).saturating_sub(1).max(1);
+        let size = rng.random_range(1..=hi).min(remaining);
+        layer_sizes.push(size);
+        remaining -= size;
+    }
+
+    let mut b = TaskGraphBuilder::with_capacity(cfg.tasks, cfg.tasks * 2);
+    let mut layers: Vec<Vec<crate::graph::TaskId>> = Vec::with_capacity(layer_sizes.len());
+    for &size in &layer_sizes {
+        let mut layer = Vec::with_capacity(size);
+        for _ in 0..size {
+            let w = rng.random_range(cfg.weight_range.0..=cfg.weight_range.1) as f64;
+            layer.push(b.add_task(w));
+        }
+        layers.push(layer);
+    }
+
+    // Wire edges: each non-first-layer task gets one guaranteed parent
+    // from the previous layer, plus density-driven extras from up to
+    // `max_jump` layers back.
+    for li in 1..layers.len() {
+        for &t in &layers[li].clone() {
+            let prev = &layers[li - 1];
+            let parent = prev[rng.random_range(0..prev.len())];
+            let c = rng.random_range(cfg.cost_range.0..=cfg.cost_range.1) as f64;
+            b.add_edge(parent, t, c).expect("generator wires valid edges");
+
+            let lo_layer = li.saturating_sub(cfg.max_jump);
+            for lj in lo_layer..li {
+                for &cand in &layers[lj] {
+                    if cand == parent {
+                        continue;
+                    }
+                    if rng.random_bool(cfg.edge_density) {
+                        let c =
+                            rng.random_range(cfg.cost_range.0..=cfg.cost_range.1) as f64;
+                        // Duplicate edges can only happen via `parent`,
+                        // which we skipped, so this cannot fail.
+                        b.add_edge(cand, t, c).expect("no duplicate candidates");
+                    }
+                }
+            }
+        }
+    }
+
+    b.build().expect("layered construction is acyclic by layering")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(tasks: usize) -> LayeredDagConfig {
+        LayeredDagConfig {
+            tasks,
+            ..LayeredDagConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_task_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1, 2, 7, 40, 250] {
+            let g = random_layered(&cfg(n), &mut rng);
+            assert_eq!(g.task_count(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g1 = random_layered(&cfg(120), &mut StdRng::seed_from_u64(42));
+        let g2 = random_layered(&cfg(120), &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1.task_count(), g2.task_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for e in g1.edge_ids() {
+            assert_eq!(g1.edge(e).src, g2.edge(e).src);
+            assert_eq!(g1.edge(e).dst, g2.edge(e).dst);
+            assert_eq!(g1.edge(e).cost, g2.edge(e).cost);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = random_layered(&cfg(120), &mut StdRng::seed_from_u64(1));
+        let g2 = random_layered(&cfg(120), &mut StdRng::seed_from_u64(2));
+        // Extremely unlikely to coincide in both edge count and costs.
+        let same = g1.edge_count() == g2.edge_count()
+            && g1
+                .edge_ids()
+                .all(|e| g1.edge(e).cost == g2.edge(e).cost);
+        assert!(!same);
+    }
+
+    #[test]
+    fn costs_respect_configured_ranges() {
+        let mut c = cfg(200);
+        c.weight_range = (5, 9);
+        c.cost_range = (100, 200);
+        let g = random_layered(&c, &mut StdRng::seed_from_u64(3));
+        for t in g.task_ids() {
+            let w = g.weight(t);
+            assert!((5.0..=9.0).contains(&w), "w = {w}");
+        }
+        for e in g.edge_ids() {
+            let cc = g.cost(e);
+            assert!((100.0..=200.0).contains(&cc), "c = {cc}");
+        }
+    }
+
+    #[test]
+    fn every_non_entry_layer_task_has_a_predecessor() {
+        let g = random_layered(&cfg(300), &mut StdRng::seed_from_u64(4));
+        let levels = analysis::precedence_levels(&g);
+        for t in g.task_ids() {
+            if levels[t.index()] > 0 {
+                assert!(!g.in_edges(t).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_density_yields_tree_like_graph() {
+        let mut c = cfg(150);
+        c.edge_density = 0.0;
+        let g = random_layered(&c, &mut StdRng::seed_from_u64(5));
+        // Exactly one in-edge per non-entry task, none for layer 0.
+        let entry_count = g.entry_tasks().count();
+        assert_eq!(g.edge_count(), g.task_count() - entry_count);
+    }
+
+    #[test]
+    fn high_density_produces_more_edges_than_low() {
+        let mut lo = cfg(150);
+        lo.edge_density = 0.05;
+        let mut hi = cfg(150);
+        hi.edge_density = 0.9;
+        let glo = random_layered(&lo, &mut StdRng::seed_from_u64(6));
+        let ghi = random_layered(&hi, &mut StdRng::seed_from_u64(6));
+        assert!(ghi.edge_count() > glo.edge_count());
+    }
+
+    #[test]
+    fn single_task_config_is_trivial_graph() {
+        let g = random_layered(&cfg(1), &mut StdRng::seed_from_u64(7));
+        assert_eq!(g.task_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

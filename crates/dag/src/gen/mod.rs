@@ -1,0 +1,24 @@
+//! Task-graph generators.
+//!
+//! Two families:
+//!
+//! * [`layered`] — the paper's experimental workload (§6): random
+//!   layered DAGs in the style of Bajaj & Agrawal, *"Improving
+//!   Scheduling of Tasks in a Heterogeneous Environment"* (TPDS 2004),
+//!   with uniform integer costs;
+//! * [`structured`] — deterministic kernels (Gaussian elimination, FFT
+//!   butterflies, fork–join, 1-D stencil wavefronts, chains, diamonds)
+//!   used by examples and ablation benches, mirroring the classic
+//!   scheduling-literature benchmark suites.
+//!
+//! All generators are deterministic given a seed; the paper's parameter
+//! draws live one level up in `es-workload`.
+
+pub mod layered;
+pub mod structured;
+
+pub use layered::{LayeredDagConfig, random_layered};
+pub use structured::{
+    chain, cholesky, diamond_mesh, fft_graph, fork_join, gauss_elim, in_tree, out_tree,
+    stencil_1d,
+};

@@ -1,0 +1,436 @@
+//! Deterministic structured kernels.
+//!
+//! The scheduling literature (including the baselines the paper builds
+//! on) habitually evaluates on a handful of regular task graphs. These
+//! generators produce them with parameterised uniform costs; they back
+//! the workspace's examples and the ablation benches, and make handy
+//! fixtures for tests because their critical paths are easy to reason
+//! about.
+
+use crate::graph::{TaskGraph, TaskGraphBuilder, TaskId};
+
+/// A linear chain `n_0 -> n_1 -> … -> n_{len-1}`.
+///
+/// # Panics
+/// Panics if `len == 0`.
+pub fn chain(len: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(len > 0, "chain needs at least one task");
+    let mut b = TaskGraphBuilder::with_capacity(len, len.saturating_sub(1));
+    let mut prev: Option<TaskId> = None;
+    for i in 0..len {
+        let t = b.add_labeled_task(weight, format!("chain[{i}]"));
+        if let Some(p) = prev {
+            b.add_edge(p, t, cost).expect("chain edges are unique");
+        }
+        prev = Some(t);
+    }
+    b.build().expect("chain is acyclic")
+}
+
+/// Fork–join: one source fans out to `width` independent workers which
+/// all join into one sink. `2 + width` tasks.
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn fork_join(width: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(width > 0, "fork_join needs at least one branch");
+    let mut b = TaskGraphBuilder::with_capacity(width + 2, 2 * width);
+    let src = b.add_labeled_task(weight, "fork");
+    let workers: Vec<TaskId> = (0..width)
+        .map(|i| b.add_labeled_task(weight, format!("worker[{i}]")))
+        .collect();
+    let sink = b.add_labeled_task(weight, "join");
+    for &w in &workers {
+        b.add_edge(src, w, cost).expect("fork edges unique");
+        b.add_edge(w, sink, cost).expect("join edges unique");
+    }
+    b.build().expect("fork-join is acyclic")
+}
+
+/// Gaussian-elimination task graph for an `n × n` matrix: the classic
+/// `T_k^{pivot} -> T_{k,j}^{update}` structure with
+/// `n-1` pivot columns. Task count is `(n-1) + (n-1)n/2` … concretely,
+/// pivot `k` (0-based) feeds updates `(k, j)` for `j in k+1..n`, and
+/// update `(k, j)` feeds pivot `k+1` when `j == k+1` and update
+/// `(k+1, j)` otherwise.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn gauss_elim(n: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(n >= 2, "gauss_elim needs a matrix of at least 2x2");
+    let mut b = TaskGraphBuilder::new();
+    // pivots[k] eliminates column k; updates[(k, j)] applies it to col j.
+    let mut pivots: Vec<TaskId> = Vec::with_capacity(n - 1);
+    let mut updates: std::collections::HashMap<(usize, usize), TaskId> =
+        std::collections::HashMap::new();
+    for k in 0..n - 1 {
+        pivots.push(b.add_labeled_task(weight, format!("pivot[{k}]")));
+        for j in k + 1..n {
+            let u = b.add_labeled_task(weight, format!("update[{k},{j}]"));
+            updates.insert((k, j), u);
+        }
+    }
+    for k in 0..n - 1 {
+        for j in k + 1..n {
+            let u = updates[&(k, j)];
+            b.add_edge(pivots[k], u, cost).expect("pivot->update unique");
+            if k + 1 < n - 1 || (k + 1 == n - 1 && j > k + 1) {
+                // Feed the next stage.
+                if j == k + 1 {
+                    if k + 1 < n - 1 {
+                        b.add_edge(u, pivots[k + 1], cost)
+                            .expect("update->pivot unique");
+                    }
+                } else if let Some(&next) = updates.get(&(k + 1, j)) {
+                    b.add_edge(u, next, cost).expect("update->update unique");
+                }
+            }
+        }
+    }
+    b.build().expect("gaussian elimination is acyclic")
+}
+
+/// FFT butterfly graph on `points` inputs (`points` must be a power of
+/// two): `log2(points) + 1` ranks of `points` tasks, each task feeding
+/// its same-index and butterfly-partner tasks in the next rank.
+///
+/// # Panics
+/// Panics if `points` is not a power of two or is < 2.
+pub fn fft_graph(points: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(points >= 2 && points.is_power_of_two(), "points must be a power of two >= 2");
+    let ranks = points.trailing_zeros() as usize + 1;
+    let mut b = TaskGraphBuilder::with_capacity(ranks * points, 2 * (ranks - 1) * points);
+    let mut grid: Vec<Vec<TaskId>> = Vec::with_capacity(ranks);
+    for r in 0..ranks {
+        grid.push(
+            (0..points)
+                .map(|i| b.add_labeled_task(weight, format!("fft[{r},{i}]")))
+                .collect(),
+        );
+    }
+    for r in 0..ranks - 1 {
+        // Butterfly span halves each rank: points/2, points/4, ...
+        let span = points >> (r + 1);
+        for i in 0..points {
+            let partner = i ^ span;
+            b.add_edge(grid[r][i], grid[r + 1][i], cost)
+                .expect("straight edges unique");
+            b.add_edge(grid[r][i], grid[r + 1][partner], cost)
+                .expect("butterfly edges unique");
+        }
+    }
+    b.build().expect("fft graph is acyclic")
+}
+
+/// 1-D stencil wavefront: `steps` time steps over `cells` cells; the
+/// task for `(s, c)` depends on `(s-1, c-1..=c+1)` clamped at borders.
+///
+/// # Panics
+/// Panics if `steps == 0` or `cells == 0`.
+pub fn stencil_1d(steps: usize, cells: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(steps > 0 && cells > 0, "stencil needs positive dimensions");
+    let mut b = TaskGraphBuilder::with_capacity(steps * cells, steps * cells * 3);
+    let mut grid: Vec<Vec<TaskId>> = Vec::with_capacity(steps);
+    for s in 0..steps {
+        grid.push(
+            (0..cells)
+                .map(|c| b.add_labeled_task(weight, format!("st[{s},{c}]")))
+                .collect(),
+        );
+    }
+    for s in 1..steps {
+        for c in 0..cells {
+            let lo = c.saturating_sub(1);
+            let hi = (c + 1).min(cells - 1);
+            for p in lo..=hi {
+                b.add_edge(grid[s - 1][p], grid[s][c], cost)
+                    .expect("stencil edges unique");
+            }
+        }
+    }
+    b.build().expect("stencil is acyclic")
+}
+
+/// Diamond mesh of side `side`: tasks at positions `(i, j)` with
+/// `i + j < side` on the expanding half and the mirror on the shrinking
+/// half; equivalently the classic "diamond DAG" with maximal width
+/// `side`. Every task feeds its right and down neighbours.
+///
+/// # Panics
+/// Panics if `side == 0`.
+pub fn diamond_mesh(side: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(side > 0, "diamond_mesh needs a positive side");
+    let mut b = TaskGraphBuilder::with_capacity(side * side, 2 * side * side);
+    let mut grid = vec![vec![None::<TaskId>; side]; side];
+    for i in 0..side {
+        for j in 0..side {
+            grid[i][j] = Some(b.add_labeled_task(weight, format!("d[{i},{j}]")));
+        }
+    }
+    for i in 0..side {
+        for j in 0..side {
+            let t = grid[i][j].unwrap();
+            if i + 1 < side {
+                b.add_edge(t, grid[i + 1][j].unwrap(), cost)
+                    .expect("down edges unique");
+            }
+            if j + 1 < side {
+                b.add_edge(t, grid[i][j + 1].unwrap(), cost)
+                    .expect("right edges unique");
+            }
+        }
+    }
+    b.build().expect("diamond mesh is acyclic")
+}
+
+/// Out-tree (fork tree): a complete `arity`-ary tree of `depth` levels
+/// rooted at a single source; every node feeds its children. Classic
+/// divide phase of divide-and-conquer.
+///
+/// # Panics
+/// Panics if `arity == 0` or `depth == 0`.
+pub fn out_tree(arity: usize, depth: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(arity > 0 && depth > 0, "out_tree needs positive arity and depth");
+    let mut b = TaskGraphBuilder::new();
+    let root = b.add_labeled_task(weight, "root");
+    let mut frontier = vec![root];
+    for d in 1..depth {
+        let mut next = Vec::with_capacity(frontier.len() * arity);
+        for (pi, &parent) in frontier.iter().enumerate() {
+            for k in 0..arity {
+                let t = b.add_labeled_task(weight, format!("t[{d},{pi},{k}]"));
+                b.add_edge(parent, t, cost).expect("tree edges unique");
+                next.push(t);
+            }
+        }
+        frontier = next;
+    }
+    b.build().expect("trees are acyclic")
+}
+
+/// In-tree (join tree): the mirror of [`out_tree`] — leaves reduce
+/// level by level into a single sink. Classic conquer phase.
+///
+/// # Panics
+/// Panics if `arity == 0` or `depth == 0`.
+pub fn in_tree(arity: usize, depth: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(arity > 0 && depth > 0, "in_tree needs positive arity and depth");
+    let mut b = TaskGraphBuilder::new();
+    // Build leaves-first: level d has arity^(depth-1-d) nodes.
+    let mut frontier: Vec<TaskId> = (0..arity.pow((depth - 1) as u32))
+        .map(|i| b.add_labeled_task(weight, format!("leaf[{i}]")))
+        .collect();
+    let mut level = 0usize;
+    while frontier.len() > 1 {
+        level += 1;
+        let mut next = Vec::with_capacity(frontier.len() / arity);
+        for (gi, group) in frontier.chunks(arity).enumerate() {
+            let t = b.add_labeled_task(weight, format!("join[{level},{gi}]"));
+            for &child in group {
+                b.add_edge(child, t, cost).expect("tree edges unique");
+            }
+            next.push(t);
+        }
+        frontier = next;
+    }
+    b.build().expect("trees are acyclic")
+}
+
+/// Cholesky factorisation task graph for an `n × n` tiled matrix:
+/// POTRF/TRSM/SYRK-style dependencies on the lower triangle. Task
+/// count is `Σ_{k<n} (1 + (n-1-k) + (n-k)(n-1-k)/2)`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn cholesky(n: usize, weight: f64, cost: f64) -> TaskGraph {
+    assert!(n >= 2, "cholesky needs at least a 2x2 tile grid");
+    let mut b = TaskGraphBuilder::new();
+    let mut potrf = std::collections::HashMap::new(); // k -> id
+    let mut trsm = std::collections::HashMap::new(); // (k, i) i>k
+    let mut upd = std::collections::HashMap::new(); // (k, i, j) j<=i, both >k
+    for k in 0..n {
+        potrf.insert(k, b.add_labeled_task(weight, format!("potrf[{k}]")));
+        for i in k + 1..n {
+            trsm.insert((k, i), b.add_labeled_task(weight, format!("trsm[{k},{i}]")));
+        }
+        for i in k + 1..n {
+            for j in k + 1..=i {
+                upd.insert(
+                    (k, i, j),
+                    b.add_labeled_task(weight, format!("upd[{k},{i},{j}]")),
+                );
+            }
+        }
+    }
+    for k in 0..n {
+        for i in k + 1..n {
+            b.add_edge(potrf[&k], trsm[&(k, i)], cost).expect("unique");
+            // trsm feeds the updates in its row/column of panel k.
+            for j in k + 1..=i {
+                b.add_edge(trsm[&(k, i)], upd[&(k, i, j)], cost).expect("unique");
+                if j != i {
+                    b.add_edge(trsm[&(k, j)], upd[&(k, i, j)], cost).expect("unique");
+                }
+            }
+        }
+        // Updates of panel k feed panel k+1's factorisation/solves.
+        if k + 1 < n {
+            b.add_edge(upd[&(k, k + 1, k + 1)], potrf[&(k + 1)], cost)
+                .expect("unique");
+            for i in k + 2..n {
+                b.add_edge(upd[&(k, i, k + 1)], trsm[&(k + 1, i)], cost)
+                    .expect("unique");
+            }
+            for i in k + 2..n {
+                for j in k + 2..=i {
+                    b.add_edge(upd[&(k, i, j)], upd[&(k + 1, i, j)], cost)
+                        .expect("unique");
+                }
+            }
+        }
+    }
+    b.build().expect("cholesky is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use crate::levels;
+
+    #[test]
+    fn chain_counts_and_cp() {
+        let g = chain(5, 2.0, 3.0);
+        assert_eq!(g.task_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        // cp = 5 tasks * 2 + 4 comms * 3 = 22.
+        assert_eq!(levels::critical_path(&g), 22.0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(4, 1.0, 1.0);
+        assert_eq!(g.task_count(), 6);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.entry_tasks().count(), 1);
+        assert_eq!(g.exit_tasks().count(), 1);
+        // cp = fork + worker + join with two comm hops = 3 + 2 = 5.
+        assert_eq!(levels::critical_path(&g), 5.0);
+    }
+
+    #[test]
+    fn gauss_elim_task_count() {
+        // n=4: pivots 3 + updates (3+2+1)=6 => 9 tasks.
+        let g = gauss_elim(4, 1.0, 1.0);
+        assert_eq!(g.task_count(), 9);
+        // Single entry (pivot 0), single exit (update[2,3]).
+        assert_eq!(g.entry_tasks().count(), 1);
+        assert_eq!(g.exit_tasks().count(), 1);
+    }
+
+    #[test]
+    fn gauss_elim_depth_grows_linearly() {
+        let g3 = gauss_elim(3, 1.0, 1.0);
+        let g6 = gauss_elim(6, 1.0, 1.0);
+        let d3 = analysis::stats(&g3).depth;
+        let d6 = analysis::stats(&g6).depth;
+        assert!(d6 > d3);
+    }
+
+    #[test]
+    fn fft_shape() {
+        let g = fft_graph(8, 1.0, 1.0);
+        // 4 ranks of 8 tasks.
+        assert_eq!(g.task_count(), 32);
+        // 2 out-edges per task in non-final ranks: 3 * 8 * 2 = 48.
+        assert_eq!(g.edge_count(), 48);
+        assert_eq!(analysis::stats(&g).depth, 4);
+        assert_eq!(analysis::stats(&g).width, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        fft_graph(6, 1.0, 1.0);
+    }
+
+    #[test]
+    fn stencil_shape() {
+        let g = stencil_1d(3, 4, 1.0, 1.0);
+        assert_eq!(g.task_count(), 12);
+        // Interior cells have 3 preds, border cells 2: per step
+        // 2*2 + 2*3 = 10 edges; 2 steps with preds => 20.
+        assert_eq!(g.edge_count(), 20);
+        assert_eq!(analysis::stats(&g).depth, 3);
+    }
+
+    #[test]
+    fn diamond_mesh_shape() {
+        let g = diamond_mesh(3, 1.0, 1.0);
+        assert_eq!(g.task_count(), 9);
+        // 2*3*2 = 12 edges (right + down on a 3x3 grid).
+        assert_eq!(g.edge_count(), 12);
+        // Longest path: 5 tasks (corner to corner) + 4 comms.
+        assert_eq!(levels::critical_path(&g), 9.0);
+    }
+
+    #[test]
+    fn out_tree_shape() {
+        let g = out_tree(2, 4, 1.0, 1.0);
+        // 1 + 2 + 4 + 8 = 15 nodes, 14 edges.
+        assert_eq!(g.task_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert_eq!(g.entry_tasks().count(), 1);
+        assert_eq!(g.exit_tasks().count(), 8);
+        assert_eq!(analysis::stats(&g).depth, 4);
+    }
+
+    #[test]
+    fn in_tree_shape() {
+        let g = in_tree(3, 3, 1.0, 1.0);
+        // 9 leaves + 3 joins + 1 root = 13 nodes, 12 edges.
+        assert_eq!(g.task_count(), 13);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.entry_tasks().count(), 9);
+        assert_eq!(g.exit_tasks().count(), 1);
+    }
+
+    #[test]
+    fn in_and_out_trees_mirror_counts() {
+        let o = out_tree(2, 5, 1.0, 1.0);
+        let i = in_tree(2, 5, 1.0, 1.0);
+        assert_eq!(o.task_count(), i.task_count());
+        assert_eq!(o.edge_count(), i.edge_count());
+    }
+
+    #[test]
+    fn cholesky_shape() {
+        let g = cholesky(3, 1.0, 1.0);
+        // k=0: 1 potrf + 2 trsm + 3 upd; k=1: 1 + 1 + 1; k=2: 1.
+        assert_eq!(g.task_count(), 10);
+        assert_eq!(g.entry_tasks().count(), 1, "potrf[0] is the sole source");
+        assert_eq!(g.exit_tasks().count(), 1, "potrf[n-1] is the sole sink");
+        // Depth grows with n.
+        let g5 = cholesky(5, 1.0, 1.0);
+        assert!(analysis::stats(&g5).depth > analysis::stats(&g).depth);
+    }
+
+    #[test]
+    fn structured_graphs_have_positive_costs() {
+        for g in [
+            chain(3, 1.5, 2.5),
+            fork_join(3, 1.5, 2.5),
+            gauss_elim(3, 1.5, 2.5),
+            fft_graph(4, 1.5, 2.5),
+            stencil_1d(2, 2, 1.5, 2.5),
+            diamond_mesh(2, 1.5, 2.5),
+        ] {
+            for t in g.task_ids() {
+                assert_eq!(g.weight(t), 1.5);
+            }
+            for e in g.edge_ids() {
+                assert_eq!(g.cost(e), 2.5);
+            }
+        }
+    }
+}

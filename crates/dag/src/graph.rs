@@ -1,0 +1,519 @@
+//! Core DAG data structure.
+//!
+//! [`TaskGraph`] is an immutable, validated representation of the
+//! application graph `G = (V, E, w, c)` from §2.1 of the paper. It is
+//! constructed through [`TaskGraphBuilder`], which rejects self-loops,
+//! duplicate edges, dangling endpoints, non-finite or negative costs and
+//! cycles. On `build()` a topological order is computed once and cached;
+//! every scheduler in the workspace iterates tasks in (a priority
+//! refinement of) this order.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task (node) inside one [`TaskGraph`].
+///
+/// Ids are dense indices `0..graph.task_count()`, so they can be used
+/// directly to index per-task side tables (`Vec<T>`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+/// Identifier of a dependence edge inside one [`TaskGraph`].
+///
+/// Ids are dense indices `0..graph.edge_count()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A task `n ∈ V` with its computation cost `w(n)` and incident edges.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskNode {
+    /// Computation cost `w(n)` (time units on a speed-1 processor).
+    pub weight: f64,
+    /// Edges `e(k, n)` entering this task, in insertion order.
+    pub preds: Vec<EdgeId>,
+    /// Edges `e(n, k)` leaving this task, in insertion order.
+    pub succs: Vec<EdgeId>,
+    /// Optional human-readable label (kernels name their tasks).
+    pub label: Option<String>,
+}
+
+/// A dependence edge `e(i,j) ∈ E` with its communication cost `c(e)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskEdge {
+    /// Source task `n_i`.
+    pub src: TaskId,
+    /// Destination task `n_j`.
+    pub dst: TaskId,
+    /// Communication cost `c(e)` (time units on a speed-1 link).
+    pub cost: f64,
+}
+
+/// Errors raised while building a [`TaskGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint refers to a task id that was never added.
+    UnknownTask(TaskId),
+    /// `add_edge(src, dst)` with `src == dst`.
+    SelfLoop(TaskId),
+    /// A second edge between the same ordered pair of tasks.
+    DuplicateEdge(TaskId, TaskId),
+    /// A cost was negative, NaN or infinite.
+    InvalidCost(String),
+    /// The graph contains a dependence cycle through the given task.
+    Cycle(TaskId),
+    /// The graph has no tasks.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            GraphError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::InvalidCost(what) => write!(f, "invalid cost: {what}"),
+            GraphError::Cycle(t) => write!(f, "dependence cycle through task {t}"),
+            GraphError::Empty => write!(f, "graph has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, validated task DAG.
+///
+/// Create one with [`TaskGraph::builder`]. The structure guarantees:
+/// no self-loops, no duplicate edges, no cycles, all costs finite and
+/// `>= 0`, and a cached topological order ([`TaskGraph::topological_order`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<TaskNode>,
+    edges: Vec<TaskEdge>,
+    topo: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Start building a graph.
+    pub fn builder() -> TaskGraphBuilder {
+        TaskGraphBuilder::new()
+    }
+
+    /// Number of tasks `|V|`.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The task with the given id.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &TaskNode {
+        &self.tasks[id.index()]
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &TaskEdge {
+        &self.edges[id.index()]
+    }
+
+    /// Computation cost `w(n)`.
+    #[inline]
+    pub fn weight(&self, id: TaskId) -> f64 {
+        self.tasks[id.index()].weight
+    }
+
+    /// Communication cost `c(e)`.
+    #[inline]
+    pub fn cost(&self, id: EdgeId) -> f64 {
+        self.edges[id.index()].cost
+    }
+
+    /// Iterate over all task ids in insertion order.
+    pub fn task_ids(&self) -> impl ExactSizeIterator<Item = TaskId> + '_ {
+        (0..self.tasks.len() as u32).map(TaskId)
+    }
+
+    /// Iterate over all edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Ids of edges entering `n` (`pred(n)` on the edge level).
+    #[inline]
+    pub fn in_edges(&self, n: TaskId) -> &[EdgeId] {
+        &self.tasks[n.index()].preds
+    }
+
+    /// Ids of edges leaving `n` (`succ(n)` on the edge level).
+    #[inline]
+    pub fn out_edges(&self, n: TaskId) -> &[EdgeId] {
+        &self.tasks[n.index()].succs
+    }
+
+    /// Predecessor tasks `pred(n)`.
+    pub fn predecessors(&self, n: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.in_edges(n).iter().map(move |&e| self.edges[e.index()].src)
+    }
+
+    /// Successor tasks `succ(n)`.
+    pub fn successors(&self, n: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.out_edges(n).iter().map(move |&e| self.edges[e.index()].dst)
+    }
+
+    /// Tasks without predecessors (graph sources).
+    pub fn entry_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|&t| self.in_edges(t).is_empty())
+    }
+
+    /// Tasks without successors (graph sinks).
+    pub fn exit_tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.task_ids().filter(|&t| self.out_edges(t).is_empty())
+    }
+
+    /// A topological order of the tasks, computed once at build time.
+    ///
+    /// Kahn's algorithm with a FIFO frontier; ties resolve to insertion
+    /// order, so the order is deterministic for a given builder script.
+    #[inline]
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+}
+
+/// Incremental builder for [`TaskGraph`]; see the crate docs for the
+/// invariants enforced at [`TaskGraphBuilder::build`] time.
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraphBuilder {
+    tasks: Vec<TaskNode>,
+    edges: Vec<TaskEdge>,
+}
+
+impl TaskGraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocate for `tasks` tasks and `edges` edges.
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        Self {
+            tasks: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a task with computation cost `weight`; returns its id.
+    pub fn add_task(&mut self, weight: f64) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(TaskNode {
+            weight,
+            preds: Vec::new(),
+            succs: Vec::new(),
+            label: None,
+        });
+        id
+    }
+
+    /// Add a labelled task (used by the structured kernels).
+    pub fn add_labeled_task(&mut self, weight: f64, label: impl Into<String>) -> TaskId {
+        let id = self.add_task(weight);
+        self.tasks[id.index()].label = Some(label.into());
+        id
+    }
+
+    /// Add a dependence edge `src -> dst` with communication cost `cost`.
+    ///
+    /// Endpoint validity, self-loops and duplicates are checked here so
+    /// that the error points at the offending call site.
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, cost: f64) -> Result<EdgeId, GraphError> {
+        if src.index() >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(src));
+        }
+        if dst.index() >= self.tasks.len() {
+            return Err(GraphError::UnknownTask(dst));
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop(src));
+        }
+        if self.tasks[src.index()]
+            .succs
+            .iter()
+            .any(|&e| self.edges[e.index()].dst == dst)
+        {
+            return Err(GraphError::DuplicateEdge(src, dst));
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(TaskEdge { src, dst, cost });
+        self.tasks[src.index()].succs.push(id);
+        self.tasks[dst.index()].preds.push(id);
+        Ok(id)
+    }
+
+    /// Overwrite the communication cost of an already-added edge.
+    ///
+    /// The workload layer uses this to rescale costs for a target CCR
+    /// without rebuilding the whole structure.
+    pub fn set_edge_cost(&mut self, e: EdgeId, cost: f64) {
+        self.edges[e.index()].cost = cost;
+    }
+
+    /// Validate and freeze the graph.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        if self.tasks.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if !t.weight.is_finite() || t.weight < 0.0 {
+                return Err(GraphError::InvalidCost(format!(
+                    "w(n{i}) = {}",
+                    t.weight
+                )));
+            }
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if !e.cost.is_finite() || e.cost < 0.0 {
+                return Err(GraphError::InvalidCost(format!("c(e{i}) = {}", e.cost)));
+            }
+        }
+        let topo = kahn_topological_order(&self.tasks, &self.edges)?;
+        Ok(TaskGraph {
+            tasks: self.tasks,
+            edges: self.edges,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm; FIFO frontier keyed by insertion order for
+/// determinism. Returns `GraphError::Cycle` naming a task on a cycle.
+fn kahn_topological_order(
+    tasks: &[TaskNode],
+    edges: &[TaskEdge],
+) -> Result<Vec<TaskId>, GraphError> {
+    let n = tasks.len();
+    let mut indegree: Vec<u32> = tasks.iter().map(|t| t.preds.len() as u32).collect();
+    let mut queue: std::collections::VecDeque<TaskId> = (0..n as u32)
+        .map(TaskId)
+        .filter(|t| indegree[t.index()] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(t) = queue.pop_front() {
+        order.push(t);
+        for &e in &tasks[t.index()].succs {
+            let d = edges[e.index()].dst;
+            indegree[d.index()] -= 1;
+            if indegree[d.index()] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    if order.len() != n {
+        // Some task still has positive indegree: it lies on a cycle.
+        let on_cycle = (0..n as u32)
+            .map(TaskId)
+            .find(|t| indegree[t.index()] > 0)
+            .expect("incomplete topological order implies a remaining task");
+        return Err(GraphError::Cycle(on_cycle));
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // n0 -> n1, n0 -> n2, n1 -> n3, n2 -> n3
+        let mut b = TaskGraph::builder();
+        let a = b.add_task(2.0);
+        let l = b.add_task(3.0);
+        let r = b.add_task(4.0);
+        let j = b.add_task(5.0);
+        b.add_edge(a, l, 10.0).unwrap();
+        b.add_edge(a, r, 20.0).unwrap();
+        b.add_edge(l, j, 30.0).unwrap();
+        b.add_edge(r, j, 40.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let g = diamond();
+        assert_eq!(g.task_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.weight(TaskId(3)), 5.0);
+        assert_eq!(g.cost(EdgeId(3)), 40.0);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = diamond();
+        let n0 = TaskId(0);
+        let n3 = TaskId(3);
+        assert_eq!(g.in_edges(n0), &[] as &[EdgeId]);
+        assert_eq!(g.out_edges(n0).len(), 2);
+        assert_eq!(g.in_edges(n3).len(), 2);
+        assert_eq!(g.out_edges(n3), &[] as &[EdgeId]);
+        let preds: Vec<_> = g.predecessors(n3).collect();
+        assert_eq!(preds, vec![TaskId(1), TaskId(2)]);
+        let succs: Vec<_> = g.successors(n0).collect();
+        assert_eq!(succs, vec![TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn entry_and_exit_tasks() {
+        let g = diamond();
+        assert_eq!(g.entry_tasks().collect::<Vec<_>>(), vec![TaskId(0)]);
+        assert_eq!(g.exit_tasks().collect::<Vec<_>>(), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let topo = g.topological_order();
+        let pos: Vec<usize> = (0..4)
+            .map(|i| topo.iter().position(|&t| t == TaskId(i)).unwrap())
+            .collect();
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            assert!(pos[edge.src.index()] < pos[edge.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_task(1.0);
+        assert_eq!(b.add_edge(a, a, 1.0), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        assert_eq!(b.add_edge(a, c, 2.0), Err(GraphError::DuplicateEdge(a, c)));
+    }
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_task(1.0);
+        let ghost = TaskId(99);
+        assert_eq!(b.add_edge(a, ghost, 1.0), Err(GraphError::UnknownTask(ghost)));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let d = b.add_task(1.0);
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(c, d, 1.0).unwrap();
+        b.add_edge(d, a, 1.0).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn rejects_bad_costs() {
+        let mut b = TaskGraph::builder();
+        b.add_task(f64::NAN);
+        assert!(matches!(b.build(), Err(GraphError::InvalidCost(_))));
+
+        let mut b = TaskGraph::builder();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        b.add_edge(a, c, -3.0).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::InvalidCost(_))));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(TaskGraph::builder().build(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn single_task_graph_is_fine() {
+        let mut b = TaskGraph::builder();
+        b.add_task(7.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.topological_order(), &[TaskId(0)]);
+    }
+
+    #[test]
+    fn set_edge_cost_overwrites() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_task(1.0);
+        let c = b.add_task(1.0);
+        let e = b.add_edge(a, c, 1.0).unwrap();
+        b.set_edge_cost(e, 42.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.cost(e), 42.0);
+    }
+
+    #[test]
+    fn labels_survive_build() {
+        let mut b = TaskGraph::builder();
+        let a = b.add_labeled_task(1.0, "source");
+        let g = b.build().unwrap();
+        assert_eq!(g.task(a).label.as_deref(), Some("source"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Static task priorities: bottom level, top level, critical path.
+//!
+//! The paper (§2.1) prioritises tasks by **bottom level**
+//! `bl(n_i) = w(n_i) + max_{n_j ∈ succ(n_i)} { c(e_{i,j}) + bl(n_j) }`,
+//! the length of the longest path leaving the task (including its own
+//! weight). Sorting tasks by descending `bl` yields a schedule list that
+//! is compatible with precedence constraints whenever weights are
+//! positive; we additionally break ties by topological position so the
+//! list is always a valid topological order even with zero-weight tasks.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// Which static priority to order the task list by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Descending bottom level (the paper's choice).
+    BottomLevel,
+    /// Ascending top level (earliest-start-first; used in ablations).
+    TopLevel,
+    /// Descending `bl + tl` (critical-path-inclusive priority).
+    BottomPlusTop,
+}
+
+/// Bottom levels `bl(n)` for every task, indexed by `TaskId`.
+///
+/// Computed in reverse topological order in O(|V| + |E|).
+pub fn bottom_levels(g: &TaskGraph) -> Vec<f64> {
+    let mut bl = vec![0.0_f64; g.task_count()];
+    for &t in g.topological_order().iter().rev() {
+        let mut best = 0.0_f64;
+        for &e in g.out_edges(t) {
+            let edge = g.edge(e);
+            let cand = edge.cost + bl[edge.dst.index()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        bl[t.index()] = g.weight(t) + best;
+    }
+    bl
+}
+
+/// Top levels `tl(n)` for every task: the length of the longest path
+/// arriving at the task, *excluding* its own weight.
+///
+/// `tl(n_j) = max_{n_i ∈ pred(n_j)} { tl(n_i) + w(n_i) + c(e_{i,j}) }`,
+/// 0 for entry tasks.
+pub fn top_levels(g: &TaskGraph) -> Vec<f64> {
+    let mut tl = vec![0.0_f64; g.task_count()];
+    for &t in g.topological_order() {
+        let mut best = 0.0_f64;
+        for &e in g.in_edges(t) {
+            let edge = g.edge(e);
+            let cand = tl[edge.src.index()] + g.weight(edge.src) + edge.cost;
+            if cand > best {
+                best = cand;
+            }
+        }
+        tl[t.index()] = best;
+    }
+    tl
+}
+
+/// Length of the critical path of `g`: `max_n bl(n)`.
+///
+/// This equals the makespan of `g` on one processor of speed 1 with free
+/// communication only for chain graphs; in general it is the classic
+/// lower bound `cp` used to normalise schedule lengths.
+pub fn critical_path(g: &TaskGraph) -> f64 {
+    bottom_levels(g).into_iter().fold(0.0, f64::max)
+}
+
+/// Tasks ordered by the requested priority, restricted to
+/// precedence-compatible emissions: at every step the highest-priority
+/// *ready* task (all predecessors already emitted) is taken, with ties
+/// broken by topological position. This is the classic ready-list
+/// construction, and it guarantees the result is a topological order no
+/// matter the priority function.
+pub fn priority_list(g: &TaskGraph, priority: Priority) -> Vec<TaskId> {
+    let mut topo_pos = vec![0usize; g.task_count()];
+    for (i, &t) in g.topological_order().iter().enumerate() {
+        topo_pos[t.index()] = i;
+    }
+    // Larger key == scheduled earlier.
+    let key: Vec<f64> = match priority {
+        Priority::BottomLevel => bottom_levels(g),
+        Priority::TopLevel => top_levels(g).into_iter().map(|v| -v).collect(),
+        Priority::BottomPlusTop => {
+            let bl = bottom_levels(g);
+            let tl = top_levels(g);
+            bl.iter().zip(tl.iter()).map(|(b, t)| b + t).collect()
+        }
+    };
+
+    /// Max-heap entry: highest key first, then earliest topo position.
+    struct Entry {
+        key: f64,
+        topo_pos: usize,
+        task: TaskId,
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.key == other.key && self.topo_pos == other.topo_pos
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.key
+                .partial_cmp(&other.key)
+                .expect("priority keys are finite")
+                .then_with(|| other.topo_pos.cmp(&self.topo_pos))
+        }
+    }
+
+    let mut indegree: Vec<usize> = g.task_ids().map(|t| g.in_edges(t).len()).collect();
+    let mut heap: std::collections::BinaryHeap<Entry> = g
+        .task_ids()
+        .filter(|&t| indegree[t.index()] == 0)
+        .map(|t| Entry {
+            key: key[t.index()],
+            topo_pos: topo_pos[t.index()],
+            task: t,
+        })
+        .collect();
+    let mut list = Vec::with_capacity(g.task_count());
+    while let Some(Entry { task, .. }) = heap.pop() {
+        list.push(task);
+        for s in g.successors(task) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                heap.push(Entry {
+                    key: key[s.index()],
+                    topo_pos: topo_pos[s.index()],
+                    task: s,
+                });
+            }
+        }
+    }
+    debug_assert_eq!(list.len(), g.task_count());
+    debug_assert!(is_topological(g, &list), "priority list must respect precedence");
+    list
+}
+
+/// True iff `list` is a topological order of `g`.
+fn is_topological(g: &TaskGraph, list: &[TaskId]) -> bool {
+    let mut pos = vec![usize::MAX; g.task_count()];
+    for (i, &t) in list.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    g.edge_ids().all(|e| {
+        let edge = g.edge(e);
+        pos[edge.src.index()] < pos[edge.dst.index()]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraphBuilder;
+
+    /// The 4-task diamond used across the crate's tests:
+    /// n0(2) -> n1(3) [c=10], n0 -> n2(4) [c=20],
+    /// n1 -> n3(5) [c=30], n2 -> n3 [c=40].
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task(2.0);
+        let l = b.add_task(3.0);
+        let r = b.add_task(4.0);
+        let j = b.add_task(5.0);
+        b.add_edge(a, l, 10.0).unwrap();
+        b.add_edge(a, r, 20.0).unwrap();
+        b.add_edge(l, j, 30.0).unwrap();
+        b.add_edge(r, j, 40.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bottom_levels_match_hand_computation() {
+        let g = diamond();
+        let bl = bottom_levels(&g);
+        // bl(n3) = 5; bl(n1) = 3 + 30 + 5 = 38; bl(n2) = 4 + 40 + 5 = 49;
+        // bl(n0) = 2 + max(10+38, 20+49) = 2 + 69 = 71.
+        assert_eq!(bl, vec![71.0, 38.0, 49.0, 5.0]);
+    }
+
+    #[test]
+    fn top_levels_match_hand_computation() {
+        let g = diamond();
+        let tl = top_levels(&g);
+        // tl(n0)=0; tl(n1)=0+2+10=12; tl(n2)=0+2+20=22;
+        // tl(n3)=max(12+3+30, 22+4+40)=66.
+        assert_eq!(tl, vec![0.0, 12.0, 22.0, 66.0]);
+    }
+
+    #[test]
+    fn critical_path_is_max_bottom_level() {
+        let g = diamond();
+        assert_eq!(critical_path(&g), 71.0);
+    }
+
+    #[test]
+    fn bl_plus_tl_on_critical_path_equals_cp() {
+        let g = diamond();
+        let bl = bottom_levels(&g);
+        let tl = top_levels(&g);
+        // Critical path runs n0 -> n2 -> n3.
+        for i in [0usize, 2, 3] {
+            assert_eq!(bl[i] + tl[i], 71.0, "task n{i} lies on the critical path");
+        }
+        // n1 does not.
+        assert!(bl[1] + tl[1] < 71.0);
+    }
+
+    #[test]
+    fn priority_list_bottom_level_order() {
+        let g = diamond();
+        let list = priority_list(&g, Priority::BottomLevel);
+        // Descending bl: n0 (71), n2 (49), n1 (38), n3 (5).
+        assert_eq!(
+            list,
+            vec![TaskId(0), TaskId(2), TaskId(1), TaskId(3)]
+        );
+    }
+
+    #[test]
+    fn priority_lists_are_topological_for_all_priorities() {
+        let g = diamond();
+        for p in [Priority::BottomLevel, Priority::TopLevel, Priority::BottomPlusTop] {
+            let list = priority_list(&g, p);
+            assert!(is_topological(&g, &list), "{p:?}");
+            assert_eq!(list.len(), g.task_count());
+        }
+    }
+
+    #[test]
+    fn zero_weight_ties_still_topological() {
+        // Two independent chains of zero-weight tasks: every bl is 0 and
+        // tie-breaking alone must keep precedence.
+        let mut b = TaskGraphBuilder::new();
+        let a0 = b.add_task(0.0);
+        let a1 = b.add_task(0.0);
+        let c0 = b.add_task(0.0);
+        let c1 = b.add_task(0.0);
+        b.add_edge(a0, a1, 0.0).unwrap();
+        b.add_edge(c0, c1, 0.0).unwrap();
+        let g = b.build().unwrap();
+        let list = priority_list(&g, Priority::BottomLevel);
+        assert!(is_topological(&g, &list));
+    }
+
+    #[test]
+    fn independent_tasks_sorted_by_weight_under_bl() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task(1.0);
+        b.add_task(9.0);
+        b.add_task(5.0);
+        let g = b.build().unwrap();
+        let list = priority_list(&g, Priority::BottomLevel);
+        assert_eq!(list, vec![TaskId(1), TaskId(2), TaskId(0)]);
+    }
+}

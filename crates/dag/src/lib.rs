@@ -1,0 +1,42 @@
+//! # es-dag — task graphs for contention-aware scheduling
+//!
+//! This crate implements the application model of Han & Wang,
+//! *"Edge Scheduling Algorithms in Parallel and Distributed Systems"*
+//! (ICPP 2006): a directed acyclic graph `G = (V, E, w, c)` where
+//!
+//! * every task `n ∈ V` carries a computation cost `w(n)` (executed on a
+//!   processor of speed `s(P)` in `w(n)/s(P)` time units), and
+//! * every edge `e(i,j) ∈ E` carries a communication cost `c(e)`
+//!   (transferred over a link of speed `s(L)` in `c(e)/s(L)` time units).
+//!
+//! The crate provides:
+//!
+//! * [`TaskGraph`] / [`TaskGraphBuilder`] — an immutable, validated DAG
+//!   with O(1) access to predecessor/successor edge lists and a cached
+//!   topological order;
+//! * [`levels`] — static priorities: bottom level `bl`, top level `tl`,
+//!   and critical-path utilities (the paper's list priority is `bl`,
+//!   §2.1);
+//! * [`gen`] — graph generators: the paper's layered random DAGs
+//!   (§6, following Bajaj & Agrawal) plus structured kernels
+//!   (Gaussian elimination, FFT, fork–join, stencil, chains, diamonds)
+//!   used by the examples and ablation benches;
+//! * [`analysis`] — aggregate statistics (work, communication volume,
+//!   graph width/depth, CCR measurement).
+//!
+//! All costs are kept as `f64`; generators draw integers per the paper
+//! and the workload layer rescales communication costs to hit a target
+//! CCR exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dot;
+pub mod gen;
+pub mod graph;
+pub mod levels;
+pub mod transform;
+
+pub use graph::{EdgeId, GraphError, TaskEdge, TaskGraph, TaskGraphBuilder, TaskId, TaskNode};
+pub use levels::{bottom_levels, critical_path, priority_list, top_levels, Priority};

@@ -1,0 +1,264 @@
+//! Graph transformations and combinators.
+//!
+//! Series/parallel composition builds complex benchmark workloads from
+//! the structured kernels (e.g. "a fork–join feeding a stencil");
+//! transitive reduction strips redundant precedence edges (classic
+//! preprocessing — redundant edges waste link capacity when scheduled
+//! literally); `scale_costs` uniformly rescales whole graphs.
+
+use crate::graph::{TaskGraph, TaskGraphBuilder, TaskId};
+
+/// Sequential composition `a ; b`: every exit task of `a` feeds every
+/// entry task of `b` with communication cost `glue_cost`.
+pub fn series(a: &TaskGraph, b: &TaskGraph, glue_cost: f64) -> TaskGraph {
+    let mut out = TaskGraphBuilder::with_capacity(
+        a.task_count() + b.task_count(),
+        a.edge_count() + b.edge_count() + a.exit_tasks().count() * b.entry_tasks().count(),
+    );
+    let map_a = copy_into(a, &mut out);
+    let map_b = copy_into(b, &mut out);
+    for ea in a.exit_tasks() {
+        for eb in b.entry_tasks() {
+            out.add_edge(map_a[ea.index()], map_b[eb.index()], glue_cost)
+                .expect("distinct components cannot duplicate edges");
+        }
+    }
+    out.build().expect("series of DAGs is a DAG")
+}
+
+/// Parallel composition `a || b`: the disjoint union (no new edges).
+pub fn parallel(a: &TaskGraph, b: &TaskGraph) -> TaskGraph {
+    let mut out = TaskGraphBuilder::with_capacity(
+        a.task_count() + b.task_count(),
+        a.edge_count() + b.edge_count(),
+    );
+    copy_into(a, &mut out);
+    copy_into(b, &mut out);
+    out.build().expect("union of DAGs is a DAG")
+}
+
+/// Copy `g` into `out`, returning old→new id map.
+fn copy_into(g: &TaskGraph, out: &mut TaskGraphBuilder) -> Vec<TaskId> {
+    let map: Vec<TaskId> = g
+        .task_ids()
+        .map(|t| {
+            let node = g.task(t);
+            match &node.label {
+                Some(l) => out.add_labeled_task(node.weight, l.clone()),
+                None => out.add_task(node.weight),
+            }
+        })
+        .collect();
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        out.add_edge(map[edge.src.index()], map[edge.dst.index()], edge.cost)
+            .expect("copying a valid graph");
+    }
+    map
+}
+
+/// Transitive reduction: drop every edge `(u, v)` for which another
+/// path `u ⇝ v` of length ≥ 2 exists. Costs of surviving edges are
+/// unchanged. O(|V| · |E|) via per-source reachability.
+pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
+    let n = g.task_count();
+    // reach[u] = set of tasks reachable from u via >= 1 edge.
+    // Computed in reverse topological order as bitsets.
+    let words = n.div_ceil(64);
+    let mut reach = vec![vec![0u64; words]; n];
+    for &t in g.topological_order().iter().rev() {
+        for s in g.successors(t) {
+            let (w, b) = (s.index() / 64, s.index() % 64);
+            reach[t.index()][w] |= 1 << b;
+            // reach[t] |= reach[s]
+            let (head, tail) = reach.split_at_mut(t.index().max(s.index()));
+            let (dst, src) = if t.index() < s.index() {
+                (&mut head[t.index()], &tail[0])
+            } else {
+                (&mut tail[0], &head[s.index()])
+            };
+            for (d, s_) in dst.iter_mut().zip(src.iter()) {
+                *d |= *s_;
+            }
+        }
+    }
+
+    let mut out = TaskGraphBuilder::with_capacity(n, g.edge_count());
+    for t in g.task_ids() {
+        let node = g.task(t);
+        match &node.label {
+            Some(l) => out.add_labeled_task(node.weight, l.clone()),
+            None => out.add_task(node.weight),
+        };
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        // Redundant iff some OTHER successor of src reaches dst.
+        let redundant = g.successors(edge.src).any(|m| {
+            m != edge.dst && {
+                let (w, b) = (edge.dst.index() / 64, edge.dst.index() % 64);
+                reach[m.index()][w] & (1 << b) != 0
+            }
+        });
+        if !redundant {
+            out.add_edge(edge.src, edge.dst, edge.cost)
+                .expect("subset of a valid graph");
+        }
+    }
+    out.build().expect("reduction preserves acyclicity")
+}
+
+/// Uniformly scale all weights by `wf` and all costs by `cf`.
+pub fn scale_costs(g: &TaskGraph, wf: f64, cf: f64) -> TaskGraph {
+    let mut out = TaskGraphBuilder::with_capacity(g.task_count(), g.edge_count());
+    for t in g.task_ids() {
+        let node = g.task(t);
+        match &node.label {
+            Some(l) => out.add_labeled_task(node.weight * wf, l.clone()),
+            None => out.add_task(node.weight * wf),
+        };
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        out.add_edge(edge.src, edge.dst, edge.cost * cf)
+            .expect("copying a valid graph");
+    }
+    out.build().expect("scaling preserves structure")
+}
+
+/// The reverse (mirror) graph: all edges flipped. Turns an out-tree
+/// into an in-tree, a scatter phase into a gather phase.
+pub fn reversed(g: &TaskGraph) -> TaskGraph {
+    let mut out = TaskGraphBuilder::with_capacity(g.task_count(), g.edge_count());
+    for t in g.task_ids() {
+        let node = g.task(t);
+        match &node.label {
+            Some(l) => out.add_labeled_task(node.weight, l.clone()),
+            None => out.add_task(node.weight),
+        };
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        out.add_edge(edge.dst, edge.src, edge.cost)
+            .expect("reversal cannot duplicate");
+    }
+    out.build().expect("reversal of a DAG is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::structured::{chain, fork_join, out_tree};
+    use crate::{analysis, critical_path};
+
+    #[test]
+    fn series_glues_exits_to_entries() {
+        let a = fork_join(2, 1.0, 1.0); // 1 exit
+        let b = chain(3, 1.0, 1.0); // 1 entry
+        let g = series(&a, &b, 9.0);
+        assert_eq!(g.task_count(), 7);
+        assert_eq!(g.edge_count(), a.edge_count() + b.edge_count() + 1);
+        // The glue edge carries the requested cost.
+        let glue = g
+            .edge_ids()
+            .map(|e| g.cost(e))
+            .filter(|&c| c == 9.0)
+            .count();
+        assert_eq!(glue, 1);
+        // Depth adds up.
+        assert_eq!(
+            analysis::stats(&g).depth,
+            analysis::stats(&a).depth + analysis::stats(&b).depth
+        );
+    }
+
+    #[test]
+    fn parallel_is_disjoint_union() {
+        let a = chain(2, 1.0, 1.0);
+        let b = chain(3, 2.0, 2.0);
+        let g = parallel(&a, &b);
+        assert_eq!(g.task_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.entry_tasks().count(), 2);
+        assert_eq!(g.exit_tasks().count(), 2);
+    }
+
+    #[test]
+    fn transitive_reduction_drops_shortcut_edges() {
+        // a -> b -> c plus the redundant a -> c.
+        let mut bld = TaskGraphBuilder::new();
+        let a = bld.add_task(1.0);
+        let b = bld.add_task(1.0);
+        let c = bld.add_task(1.0);
+        bld.add_edge(a, b, 1.0).unwrap();
+        bld.add_edge(b, c, 1.0).unwrap();
+        bld.add_edge(a, c, 1.0).unwrap();
+        let g = bld.build().unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), 2);
+        // a->c gone, others intact.
+        assert!(r
+            .edge_ids()
+            .all(|e| !(r.edge(e).src == a && r.edge(e).dst == c)));
+    }
+
+    #[test]
+    fn transitive_reduction_keeps_irreducible_graphs() {
+        let g = fork_join(4, 1.0, 1.0);
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), g.edge_count());
+        let t = out_tree(2, 4, 1.0, 1.0);
+        assert_eq!(transitive_reduction(&t).edge_count(), t.edge_count());
+    }
+
+    #[test]
+    fn transitive_reduction_on_dense_diamond_stack() {
+        // Two stacked diamonds with all shortcut edges added.
+        let mut bld = TaskGraphBuilder::new();
+        let ids: Vec<_> = (0..5).map(|_| bld.add_task(1.0)).collect();
+        // Chain 0-1-2-3-4 plus every forward shortcut.
+        for i in 0..5 {
+            for j in i + 1..5 {
+                bld.add_edge(ids[i], ids[j], 1.0).unwrap();
+            }
+        }
+        let g = bld.build().unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), 4, "only the chain survives");
+    }
+
+    #[test]
+    fn scale_costs_scales_both_axes() {
+        let g = chain(3, 2.0, 5.0);
+        let s = scale_costs(&g, 10.0, 0.5);
+        for t in s.task_ids() {
+            assert_eq!(s.weight(t), 20.0);
+        }
+        for e in s.edge_ids() {
+            assert_eq!(s.cost(e), 2.5);
+        }
+        assert_eq!(critical_path(&s), 3.0 * 20.0 + 2.0 * 2.5);
+    }
+
+    #[test]
+    fn reversal_swaps_entries_and_exits() {
+        let t = out_tree(2, 3, 1.0, 1.0);
+        let r = reversed(&t);
+        assert_eq!(r.entry_tasks().count(), t.exit_tasks().count());
+        assert_eq!(r.exit_tasks().count(), t.entry_tasks().count());
+        assert_eq!(r.edge_count(), t.edge_count());
+        // Double reversal is the identity on structure.
+        let rr = reversed(&r);
+        assert_eq!(rr.entry_tasks().count(), t.entry_tasks().count());
+    }
+
+    #[test]
+    fn labels_survive_transforms() {
+        let g = chain(2, 1.0, 1.0);
+        for t in [series(&g, &g, 1.0), parallel(&g, &g), reversed(&g)] {
+            assert!(t
+                .task_ids()
+                .any(|i| t.task(i).label.as_deref() == Some("chain[0]")));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of the DAG structures and priority functions.
+
+use es_dag::gen::layered::{random_layered, LayeredDagConfig};
+use es_dag::{analysis, bottom_levels, priority_list, top_levels, Priority, TaskGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random layered-DAG configuration + seed — covers the generator's
+/// whole parameter space at property scale.
+fn dag_strategy() -> impl Strategy<Value = TaskGraph> {
+    (
+        1usize..120,         // tasks
+        1usize..12,          // mean width
+        0.0f64..=1.0,        // edge density
+        1usize..4,           // max jump
+        any::<u64>(),        // seed
+    )
+        .prop_map(|(tasks, width, density, jump, seed)| {
+            let cfg = LayeredDagConfig {
+                tasks,
+                mean_width: width,
+                edge_density: density,
+                max_jump: jump,
+                weight_range: (1, 100),
+                cost_range: (1, 100),
+            };
+            random_layered(&cfg, &mut StdRng::seed_from_u64(seed))
+        })
+}
+
+fn positions(list: &[es_dag::TaskId], n: usize) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; n];
+    for (i, &t) in list.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    pos
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn topological_order_is_complete_and_valid(g in dag_strategy()) {
+        let topo = g.topological_order();
+        prop_assert_eq!(topo.len(), g.task_count());
+        let pos = positions(topo, g.task_count());
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            prop_assert!(pos[edge.src.index()] < pos[edge.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn bottom_level_dominates_every_successor(g in dag_strategy()) {
+        let bl = bottom_levels(&g);
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            // bl(src) >= w(src) + c(e) + bl(dst) by definition (max).
+            prop_assert!(
+                bl[edge.src.index()] + 1e-9 >=
+                g.weight(edge.src) + edge.cost + bl[edge.dst.index()]
+            );
+        }
+        // And every bl includes the task's own weight.
+        for t in g.task_ids() {
+            prop_assert!(bl[t.index()] + 1e-9 >= g.weight(t));
+        }
+    }
+
+    #[test]
+    fn top_level_dominates_every_predecessor(g in dag_strategy()) {
+        let tl = top_levels(&g);
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            prop_assert!(
+                tl[edge.dst.index()] + 1e-9 >=
+                tl[edge.src.index()] + g.weight(edge.src) + edge.cost
+            );
+        }
+    }
+
+    #[test]
+    fn priority_lists_are_permutations_respecting_precedence(g in dag_strategy()) {
+        for p in [Priority::BottomLevel, Priority::TopLevel, Priority::BottomPlusTop] {
+            let list = priority_list(&g, p);
+            prop_assert_eq!(list.len(), g.task_count());
+            let pos = positions(&list, g.task_count());
+            prop_assert!(pos.iter().all(|&x| x != usize::MAX), "every task appears");
+            for e in g.edge_ids() {
+                let edge = g.edge(e);
+                prop_assert!(pos[edge.src.index()] < pos[edge.dst.index()], "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_level_list_is_sorted_among_ready_prefixes(g in dag_strategy()) {
+        // Entry tasks must appear in descending bl order relative to
+        // each other (they are all ready from the start).
+        let bl = bottom_levels(&g);
+        let list = priority_list(&g, Priority::BottomLevel);
+        let entries: Vec<_> = list
+            .iter()
+            .filter(|t| g.in_edges(**t).is_empty())
+            .collect();
+        for w in entries.windows(2) {
+            prop_assert!(bl[w[0].index()] + 1e-9 >= bl[w[1].index()]);
+        }
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(g in dag_strategy()) {
+        let s = analysis::stats(&g);
+        prop_assert_eq!(s.tasks, g.task_count());
+        prop_assert_eq!(s.edges, g.edge_count());
+        prop_assert!(s.width <= s.tasks);
+        prop_assert!(s.depth <= s.tasks);
+        prop_assert!(s.width * s.depth >= s.tasks, "levels must cover all tasks");
+        let by_level = analysis::tasks_by_level(&g);
+        prop_assert_eq!(by_level.len(), s.depth);
+        prop_assert_eq!(by_level.iter().map(Vec::len).sum::<usize>(), s.tasks);
+        prop_assert_eq!(by_level.iter().map(Vec::len).max().unwrap_or(0), s.width);
+    }
+
+    #[test]
+    fn ccr_scaling_hits_any_target(g in dag_strategy(), target in 0.05f64..20.0) {
+        if g.edge_count() == 0 {
+            return Ok(());
+        }
+        let f = analysis::ccr_scale_factor(&g, target, 1.0, 1.0).unwrap();
+        prop_assert!(f > 0.0);
+        // Applying the factor and re-measuring must hit the target.
+        let mut b = TaskGraph::builder();
+        for t in g.task_ids() {
+            b.add_task(g.weight(t));
+        }
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            b.add_edge(edge.src, edge.dst, edge.cost * f).unwrap();
+        }
+        let g2 = b.build().unwrap();
+        let measured = analysis::measured_ccr(&g2, 1.0, 1.0);
+        prop_assert!((measured - target).abs() < 1e-6 * target.max(1.0));
+    }
+
+    #[test]
+    fn critical_path_bounds_levels(g in dag_strategy()) {
+        let cp = es_dag::critical_path(&g);
+        let bl = bottom_levels(&g);
+        let tl = top_levels(&g);
+        for t in g.task_ids() {
+            // bl + tl along any task is a path length, so <= cp.
+            prop_assert!(bl[t.index()] + tl[t.index()] <= cp + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,871 @@
+//! BBSA's rate-shareable link schedules (§5 of the paper).
+//!
+//! BBSA treats a link not as an exclusive slot queue but as a **fluid
+//! bandwidth resource**: at any instant several communications may
+//! share the link, each using a fraction of its bandwidth. The paper
+//! formalises this with per-time-slot remaining-bandwidth rates
+//! `rbr(TS)` and per-edge rates `br(e, TS)`; an idle interval is simply
+//! a slot with `rbr = 100%`.
+//!
+//! The two governing rules:
+//!
+//! * **Grab bandwidth greedily** — an edge starts transferring as early
+//!   as possible and uses all bandwidth still available (`§5`: "BBSA
+//!   tries to transfer edge communication as early as possible by fully
+//!   exploiting the bandwidth of network links").
+//! * **Never forward faster than data arrives** — on route link
+//!   `L_{m+1}`, formula (4) caps the usable rate:
+//!   `br(e, TS_{m+1,k}) = min( rbr(TS_{m+1,k}),
+//!   br(e, TS_{m,n}) / (s(L_{m+1})/s(L_m)) )`; Theorem 3 shows this
+//!   respects link causality and Theorem 4 derives the resulting piece
+//!   lengths.
+//!
+//! We implement both rules with one **cumulative-flow greedy sweep**:
+//! the amount forwarded by time `t` may never exceed the amount arrived
+//! by time `t`; subject to that and to the link's remaining bandwidth,
+//! the transfer is emitted as early and as fast as possible. On
+//! piecewise-constant inputs this reproduces the paper's formulas
+//! exactly: while no backlog has accumulated the emitted rate is
+//! `min(rbr, br_prev · s_prev / s_this)` — formula (4) — and when
+//! upstream contention has built a backlog the transfer drains it at
+//! the full remaining bandwidth, which is the "divided into several
+//! time slots with diverse remaining bandwidth rates" case the paper
+//! describes prose-style.
+
+use crate::time::{approx_le, EPS};
+use crate::CommId;
+
+/// One constant-rate piece of a transfer on one link: the edge uses
+/// `rate` (fraction of the link's bandwidth) during `[start, end)`,
+/// moving `rate * s(L) * (end - start)` volume units.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Piece {
+    /// Piece start time.
+    pub start: f64,
+    /// Piece end time.
+    pub end: f64,
+    /// Bandwidth fraction in `(0, 1]`.
+    pub rate: f64,
+}
+
+/// A transfer on one link: time-ordered, non-overlapping pieces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Flow {
+    /// The pieces, in time order.
+    pub pieces: Vec<Piece>,
+}
+
+impl Flow {
+    /// Start of the first piece (`t_s(e, L)`); `None` for an empty flow.
+    pub fn start(&self) -> Option<f64> {
+        self.pieces.first().map(|p| p.start)
+    }
+
+    /// End of the last piece (`t_f(e, L)`); `None` for an empty flow.
+    pub fn finish(&self) -> Option<f64> {
+        self.pieces.last().map(|p| p.end)
+    }
+
+    /// Total volume moved given the link speed.
+    pub fn volume(&self, speed: f64) -> f64 {
+        self.pieces
+            .iter()
+            .map(|p| p.rate * speed * (p.end - p.start).max(0.0))
+            .sum()
+    }
+
+    /// Internal consistency: ordered, non-overlapping, rates in (0,1].
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for p in &self.pieces {
+            if !(p.rate > 0.0 && p.rate <= 1.0 + EPS) {
+                return Err(format!("piece rate {} out of (0,1]", p.rate));
+            }
+            if !approx_le(p.start, p.end) {
+                return Err(format!("piece [{}, {}) reversed", p.start, p.end));
+            }
+        }
+        for w in self.pieces.windows(2) {
+            if !approx_le(w[0].end, w[1].start) {
+                return Err(format!(
+                    "pieces overlap: [{}, {}) then [{}, {})",
+                    w[0].start, w[0].end, w[1].start, w[1].end
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How the data of a transfer becomes available on a link.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalCurve<'a> {
+    /// All volume is available at `at` — the route's first link (the
+    /// source task finished computing at `at`).
+    Instant {
+        /// Availability time (source task finish).
+        at: f64,
+    },
+    /// Data arrives via the previous route link as `flow`, whose link
+    /// has speed `speed` (volume rate of a piece = `rate * speed`),
+    /// optionally delayed by a per-hop switch latency.
+    Upstream {
+        /// Transfer on the previous link.
+        flow: &'a Flow,
+        /// Speed of the previous link.
+        speed: f64,
+        /// Forwarding delay added to every arrival instant (the §2.2
+        /// hop-delay extension; 0 in the paper's model).
+        delay: f64,
+    },
+}
+
+/// One bandwidth segment of a link's committed profile.
+#[derive(Clone, Debug)]
+struct Seg {
+    start: f64,
+    end: f64,
+    /// Total committed bandwidth fraction in `[0, 1]`.
+    used: f64,
+    /// Per-communication contributions (for validation/inspection).
+    allocs: Vec<(CommId, f64)>,
+}
+
+/// The committed bandwidth profile of one link: sorted, non-overlapping
+/// segments; any time not covered by a segment is fully free.
+#[derive(Clone, Debug, Default)]
+pub struct RateProfile {
+    segs: Vec<Seg>,
+}
+
+impl RateProfile {
+    /// New, fully free profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remaining bandwidth fraction at time `t`.
+    pub fn remaining_at(&self, t: f64) -> f64 {
+        match self.segs.iter().find(|s| t >= s.start - EPS && t < s.end - EPS) {
+            Some(s) => (1.0 - s.used).max(0.0),
+            None => 1.0,
+        }
+    }
+
+    /// `(remaining bandwidth, valid-until)` at time `t`: the remaining
+    /// fraction is constant on `[t, until)`.
+    ///
+    /// Comparisons are exact: the sweep advances `t` to boundary values
+    /// by assignment (never by accumulation), so boundaries are
+    /// bit-identical and no EPS slack is needed — EPS slack here would
+    /// let allocations overlap committed segments by a sliver.
+    fn avail_at(&self, t: f64) -> (f64, f64) {
+        for s in &self.segs {
+            if t < s.start {
+                // In a gap before this segment: fully free until it.
+                return (1.0, s.start);
+            }
+            if t < s.end {
+                return ((1.0 - s.used).max(0.0), s.end);
+            }
+        }
+        (1.0, f64::INFINITY)
+    }
+
+    /// Plan a transfer of `volume` on this link (speed `speed`) whose
+    /// data availability follows `arrival`. Pure — nothing is
+    /// committed. Returns the emitted pieces (coalesced).
+    ///
+    /// A non-positive `volume` yields an empty flow.
+    ///
+    /// # Panics
+    /// Panics if the arrival curve cannot supply `volume` (scheduler
+    /// bug: upstream flow must carry the full communication volume).
+    pub fn allocate(&self, speed: f64, arrival: ArrivalCurve<'_>, volume: f64) -> Flow {
+        assert!(speed > 0.0, "link speed must be positive");
+        if volume <= EPS {
+            return Flow::default();
+        }
+        match arrival {
+            ArrivalCurve::Instant { at } => self.sweep_instant(speed, at, volume),
+            ArrivalCurve::Upstream { flow, speed: prev_speed, delay } => {
+                let carried = flow.volume(prev_speed);
+                assert!(
+                    carried + 1e-3 >= volume,
+                    "upstream flow carries {carried}, need {volume}"
+                );
+                debug_assert!(delay >= 0.0, "negative hop delay");
+                if delay > 0.0 {
+                    // Shift the arrival curve once; boundaries stay
+                    // exact because the shift is a plain addition
+                    // applied uniformly.
+                    let shifted = Flow {
+                        pieces: flow
+                            .pieces
+                            .iter()
+                            .map(|p| Piece {
+                                start: p.start + delay,
+                                end: p.end + delay,
+                                rate: p.rate,
+                            })
+                            .collect(),
+                    };
+                    self.sweep_upstream(speed, &shifted, prev_speed, volume)
+                } else {
+                    self.sweep_upstream(speed, flow, prev_speed, volume)
+                }
+            }
+        }
+    }
+
+    /// Sweep for an instantly-available source: always backlogged, so
+    /// the emitted rate is simply the remaining bandwidth.
+    ///
+    /// When a step ends at a profile boundary, `t` is set to that
+    /// boundary *by assignment* so subsequent [`RateProfile::avail_at`]
+    /// queries land exactly on it (accumulating `t += dt` would leave
+    /// float slivers that overlap committed segments).
+    fn sweep_instant(&self, speed: f64, at: f64, volume: f64) -> Flow {
+        let mut t = at;
+        let mut delivered = 0.0;
+        let mut out: Vec<Piece> = Vec::new();
+        let max_iters = 4 * self.segs.len() + 64;
+        for _ in 0..max_iters {
+            if delivered + EPS >= volume {
+                break;
+            }
+            let (avail, until) = self.avail_at(t);
+            if avail <= EPS {
+                debug_assert!(until.is_finite(), "fully-used segment must end");
+                t = until;
+                continue;
+            }
+            let vol_rate = avail * speed;
+            let dt_done = (volume - delivered) / vol_rate;
+            if dt_done <= until - t {
+                push_piece(&mut out, t, t + dt_done, avail);
+                delivered = volume;
+                break;
+            }
+            push_piece(&mut out, t, until, avail);
+            delivered += vol_rate * (until - t);
+            t = until;
+        }
+        debug_assert!(
+            delivered + 1e-3 >= volume,
+            "instant sweep did not finish: {delivered} of {volume}"
+        );
+        Flow { pieces: out }
+    }
+
+    /// Sweep for an upstream arrival: cumulative-flow greedy (see
+    /// module docs).
+    fn sweep_upstream(&self, speed: f64, arrival: &Flow, prev_speed: f64, volume: f64) -> Flow {
+        let pieces = &arrival.pieces;
+        debug_assert!(!pieces.is_empty(), "upstream flow with volume must have pieces");
+        let mut t = pieces[0].start;
+        let mut ai = 0usize; // arrival cursor
+        let mut arrived = 0.0; // volume arrived by time t
+        let mut delivered = 0.0;
+        let mut out: Vec<Piece> = Vec::new();
+        let max_iters = 8 * (self.segs.len() + pieces.len()) + 128;
+        let mut iters = 0usize;
+        while delivered + EPS < volume {
+            iters += 1;
+            assert!(iters <= max_iters, "bandwidth sweep failed to converge");
+
+            // Arrival rate at t and the next arrival breakpoint.
+            // Boundary comparisons are exact — see `avail_at`.
+            while ai < pieces.len() && t >= pieces[ai].end {
+                ai += 1;
+            }
+            let (in_rate, in_until) = if ai >= pieces.len() {
+                (0.0, f64::INFINITY)
+            } else if t < pieces[ai].start {
+                (0.0, pieces[ai].start)
+            } else {
+                (pieces[ai].rate * prev_speed, pieces[ai].end)
+            };
+
+            let (avail, seg_until) = self.avail_at(t);
+            let backlog = (arrived - delivered).max(0.0);
+
+            // Emitted bandwidth fraction: drain backlog at full
+            // remaining bandwidth; otherwise flow through at the
+            // arrival rate (formula (4)).
+            let out_frac = if backlog > EPS {
+                avail
+            } else {
+                avail.min(in_rate / speed)
+            };
+            let out_rate = out_frac * speed;
+
+            // Next event: profile breakpoint, arrival breakpoint,
+            // backlog exhaustion, or completion. Boundary events carry
+            // their exact time so `t` lands on them bit-identically.
+            let mut dt = seg_until - t;
+            let mut event_time = Some(seg_until);
+            if in_until - t < dt {
+                dt = in_until - t;
+                event_time = Some(in_until);
+            }
+            if backlog > EPS && out_rate > in_rate + EPS {
+                let d = backlog / (out_rate - in_rate);
+                if d < dt {
+                    dt = d;
+                    event_time = None;
+                }
+            }
+            if out_rate > EPS {
+                let d = (volume - delivered) / out_rate;
+                if d <= dt {
+                    // Completion: emit the final piece and stop.
+                    if out_frac > EPS {
+                        push_piece(&mut out, t, t + d, out_frac);
+                    }
+                    return Flow { pieces: out };
+                }
+            }
+            assert!(
+                dt.is_finite() && dt > 0.0,
+                "bandwidth sweep stalled at t={t} (avail={avail}, in_rate={in_rate}, backlog={backlog})"
+            );
+
+            // The piece must end exactly at the event time, not at the
+            // float-accumulated `t + dt`, so adjacent pieces and
+            // segment boundaries stay bit-aligned.
+            let t_next = event_time.unwrap_or(t + dt);
+            if out_frac > EPS {
+                push_piece(&mut out, t, t_next, out_frac);
+            }
+            arrived += in_rate * dt;
+            delivered += out_rate * dt;
+            t = t_next;
+        }
+        Flow { pieces: out }
+    }
+
+    /// Commit a planned flow for `comm`: reserve its rate in every
+    /// covered interval.
+    ///
+    /// # Panics
+    /// Panics if any reservation would push a segment's used bandwidth
+    /// above 100% — the planner only emits rates within the remaining
+    /// bandwidth, so this is a scheduler bug.
+    pub fn commit(&mut self, comm: CommId, flow: &Flow) {
+        for p in &flow.pieces {
+            if p.rate <= EPS || p.end - p.start <= EPS {
+                continue;
+            }
+            self.reserve(comm, p.start, p.end, p.rate);
+        }
+        debug_assert!(self.check_invariants().is_ok());
+    }
+
+    /// Reserve `rate` over `[start, end)`, splitting segments as needed.
+    fn reserve(&mut self, comm: CommId, start: f64, end: f64, rate: f64) {
+        let mut t = start;
+        let mut i = 0usize;
+        while t < end - EPS {
+            if i >= self.segs.len() {
+                // Past all segments: fresh segment to the end.
+                self.segs.push(Seg {
+                    start: t,
+                    end,
+                    used: rate,
+                    allocs: vec![(comm, rate)],
+                });
+                break;
+            }
+            let (s_start, s_end) = (self.segs[i].start, self.segs[i].end);
+            if end <= s_start + EPS {
+                // Entirely inside the gap before segment i.
+                self.segs.insert(
+                    i,
+                    Seg {
+                        start: t,
+                        end,
+                        used: rate,
+                        allocs: vec![(comm, rate)],
+                    },
+                );
+                break;
+            }
+            if t < s_start - EPS {
+                // Partially in the gap: fill the gap, continue at seg.
+                self.segs.insert(
+                    i,
+                    Seg {
+                        start: t,
+                        end: s_start,
+                        used: rate,
+                        allocs: vec![(comm, rate)],
+                    },
+                );
+                t = s_start;
+                i += 1;
+                continue;
+            }
+            if t >= s_end - EPS {
+                i += 1;
+                continue;
+            }
+            // t is inside segment i. Split off the part before t.
+            if t > s_start + EPS {
+                let mut head = self.segs[i].clone();
+                head.end = t;
+                self.segs[i].start = t;
+                self.segs.insert(i, head);
+                i += 1;
+            }
+            // Now segs[i].start == t (within EPS). Split off the tail
+            // beyond `end` if any.
+            if end < self.segs[i].end - EPS {
+                let mut tail = self.segs[i].clone();
+                tail.start = end;
+                self.segs[i].end = end;
+                self.segs.insert(i + 1, tail);
+            }
+            // Add the reservation.
+            let seg = &mut self.segs[i];
+            seg.used += rate;
+            assert!(
+                seg.used <= 1.0 + 1e-4,
+                "overcommitted link bandwidth: {} on [{}, {})",
+                seg.used,
+                seg.start,
+                seg.end
+            );
+            seg.allocs.push((comm, rate));
+            t = seg.end;
+            i += 1;
+        }
+    }
+
+    /// Remove every reservation belonging to `comm` (exact rollback of
+    /// the matching [`RateProfile::commit`] calls). Segment splits
+    /// introduced by the commit remain — they are semantically neutral
+    /// (adjacent segments with equal usage behave like one) — and empty
+    /// segments are dropped.
+    pub fn remove_comm(&mut self, comm: CommId) {
+        for seg in &mut self.segs {
+            let removed: f64 = seg
+                .allocs
+                .iter()
+                .filter(|(c, _)| *c == comm)
+                .map(|(_, r)| r)
+                .sum();
+            if removed > 0.0 {
+                seg.allocs.retain(|(c, _)| *c != comm);
+                // Recompute from the surviving allocations rather than
+                // subtracting, so float error cannot accumulate across
+                // repeated probe/rollback cycles.
+                seg.used = seg.allocs.iter().map(|(_, r)| r).sum();
+            }
+        }
+        self.segs.retain(|s| !s.allocs.is_empty());
+        debug_assert!(self.check_invariants().is_ok());
+    }
+
+    /// Sum of committed volume for `comm` given the link speed.
+    pub fn committed_volume(&self, comm: CommId, speed: f64) -> f64 {
+        self.segs
+            .iter()
+            .map(|s| {
+                let r: f64 = s
+                    .allocs
+                    .iter()
+                    .filter(|(c, _)| *c == comm)
+                    .map(|(_, r)| r)
+                    .sum();
+                r * speed * (s.end - s.start)
+            })
+            .sum()
+    }
+
+    /// Maximum committed bandwidth over the whole profile.
+    pub fn peak_usage(&self) -> f64 {
+        self.segs.iter().map(|s| s.used).fold(0.0, f64::max)
+    }
+
+    /// Profile invariants: ordered, non-overlapping, usage within
+    /// [0, 1], per-segment usage equals the sum of its allocations.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for s in &self.segs {
+            if !approx_le(s.start, s.end) {
+                return Err(format!("segment [{}, {}) reversed", s.start, s.end));
+            }
+            if s.used < -EPS || s.used > 1.0 + 1e-4 {
+                return Err(format!("segment usage {} out of [0,1]", s.used));
+            }
+            let sum: f64 = s.allocs.iter().map(|(_, r)| r).sum();
+            if (sum - s.used).abs() > 1e-4 {
+                return Err(format!(
+                    "segment usage {} disagrees with allocations {}",
+                    s.used, sum
+                ));
+            }
+        }
+        for w in self.segs.windows(2) {
+            if !approx_le(w[0].end, w[1].start) {
+                return Err(format!(
+                    "segments overlap: [{}, {}) then [{}, {})",
+                    w[0].start, w[0].end, w[1].start, w[1].end
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Append a piece, coalescing with the previous one when contiguous and
+/// equal-rate.
+fn push_piece(out: &mut Vec<Piece>, start: f64, end: f64, rate: f64) {
+    if end - start <= EPS {
+        return;
+    }
+    if let Some(last) = out.last_mut() {
+        if (last.end - start).abs() <= EPS && (last.rate - rate).abs() <= EPS {
+            last.end = end;
+            return;
+        }
+    }
+    out.push(Piece { start, end, rate });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u64) -> CommId {
+        CommId(n)
+    }
+
+    #[test]
+    fn free_link_instant_transfer() {
+        let p = RateProfile::new();
+        // volume 10 on speed-2 link: 5 time units at full rate.
+        let f = p.allocate(2.0, ArrivalCurve::Instant { at: 3.0 }, 10.0);
+        assert_eq!(f.pieces.len(), 1);
+        assert_eq!(f.start(), Some(3.0));
+        assert_eq!(f.finish(), Some(8.0));
+        assert_eq!(f.pieces[0].rate, 1.0);
+        assert!((f.volume(2.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_volume_gives_empty_flow() {
+        let p = RateProfile::new();
+        let f = p.allocate(1.0, ArrivalCurve::Instant { at: 0.0 }, 0.0);
+        assert!(f.pieces.is_empty());
+        assert_eq!(f.start(), None);
+    }
+
+    #[test]
+    fn shares_bandwidth_with_existing_commitment() {
+        let mut p = RateProfile::new();
+        // comm 1 takes 60% of the link over [0, 10).
+        p.commit(
+            c(1),
+            &Flow {
+                pieces: vec![Piece {
+                    start: 0.0,
+                    end: 10.0,
+                    rate: 0.6,
+                }],
+            },
+        );
+        // comm 2 (volume 8, speed 1) gets 40% for 10 units (moves 4),
+        // then full rate for 4 more.
+        let f = p.allocate(1.0, ArrivalCurve::Instant { at: 0.0 }, 8.0);
+        assert_eq!(f.pieces.len(), 2);
+        assert!((f.pieces[0].rate - 0.4).abs() < 1e-9);
+        assert_eq!(f.pieces[0].start, 0.0);
+        assert_eq!(f.pieces[0].end, 10.0);
+        assert!((f.pieces[1].rate - 1.0).abs() < 1e-9);
+        assert!((f.finish().unwrap() - 14.0).abs() < 1e-9);
+        assert!((f.volume(1.0) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skips_fully_used_intervals() {
+        let mut p = RateProfile::new();
+        p.commit(
+            c(1),
+            &Flow {
+                pieces: vec![Piece {
+                    start: 2.0,
+                    end: 5.0,
+                    rate: 1.0,
+                }],
+            },
+        );
+        let f = p.allocate(1.0, ArrivalCurve::Instant { at: 0.0 }, 4.0);
+        // [0,2) moves 2 units, [2,5) blocked, [5,7) moves the rest.
+        assert_eq!(f.pieces.len(), 2);
+        assert_eq!(f.pieces[0].start, 0.0);
+        assert_eq!(f.pieces[0].end, 2.0);
+        assert_eq!(f.pieces[1].start, 5.0);
+        assert!((f.finish().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upstream_flow_through_matches_formula_4() {
+        // Slow link (speed 1) feeding a fast link (speed 4): forwarding
+        // rate is capped at br_prev * s_prev / s_this = 1 * 1/4 = 0.25.
+        let prev = Flow {
+            pieces: vec![Piece {
+                start: 0.0,
+                end: 8.0,
+                rate: 1.0,
+            }],
+        };
+        let p = RateProfile::new();
+        let f = p.allocate(
+            4.0,
+            ArrivalCurve::Upstream {
+                flow: &prev,
+                speed: 1.0,
+                delay: 0.0,
+            },
+            8.0,
+        );
+        assert_eq!(f.pieces.len(), 1);
+        assert!((f.pieces[0].rate - 0.25).abs() < 1e-9, "formula (4) cap");
+        assert_eq!(f.pieces[0].start, 0.0);
+        assert!((f.finish().unwrap() - 8.0).abs() < 1e-9, "cut-through: same finish");
+    }
+
+    #[test]
+    fn upstream_fast_to_slow_builds_backlog() {
+        // Fast link (speed 4) into slow link (speed 1): the slow link
+        // saturates and finishes later (it simply needs 8 time units).
+        let prev = Flow {
+            pieces: vec![Piece {
+                start: 0.0,
+                end: 2.0,
+                rate: 1.0,
+            }],
+        }; // 8 volume in 2 time units
+        let p = RateProfile::new();
+        let f = p.allocate(
+            1.0,
+            ArrivalCurve::Upstream {
+                flow: &prev,
+                speed: 4.0,
+                delay: 0.0,
+            },
+            8.0,
+        );
+        assert_eq!(f.pieces.len(), 1);
+        assert!((f.pieces[0].rate - 1.0).abs() < 1e-9);
+        assert_eq!(f.pieces[0].start, 0.0);
+        assert!((f.finish().unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upstream_causality_start_and_finish_order() {
+        // Arrival has a gap; forwarding must never outpace arrival.
+        let prev = Flow {
+            pieces: vec![
+                Piece {
+                    start: 1.0,
+                    end: 2.0,
+                    rate: 1.0,
+                },
+                Piece {
+                    start: 5.0,
+                    end: 6.0,
+                    rate: 1.0,
+                },
+            ],
+        }; // 2 volume at speed 1
+        let p = RateProfile::new();
+        let f = p.allocate(
+            1.0,
+            ArrivalCurve::Upstream {
+                flow: &prev,
+                speed: 1.0,
+                delay: 0.0,
+            },
+            2.0,
+        );
+        // Same-speed flow-through reproduces the arrival exactly.
+        assert_eq!(f.pieces.len(), 2);
+        assert_eq!(f.pieces[0].start, 1.0);
+        assert_eq!(f.pieces[0].end, 2.0);
+        assert_eq!(f.pieces[1].start, 5.0);
+        assert_eq!(f.pieces[1].end, 6.0);
+        // Causality in cumulative terms at every breakpoint.
+        assert!(f.start().unwrap() + EPS >= prev.start().unwrap());
+        assert!(f.finish().unwrap() + EPS >= prev.finish().unwrap());
+    }
+
+    #[test]
+    fn backlog_drains_at_full_bandwidth() {
+        // Contended downstream: 50% is taken over [0, 4). Arrival
+        // delivers 4 volume over [0,4) at speed 1; we can only forward
+        // at 0.5 during that window (2 volume), building backlog, then
+        // drain at full rate.
+        let mut p = RateProfile::new();
+        p.commit(
+            c(1),
+            &Flow {
+                pieces: vec![Piece {
+                    start: 0.0,
+                    end: 4.0,
+                    rate: 0.5,
+                }],
+            },
+        );
+        let prev = Flow {
+            pieces: vec![Piece {
+                start: 0.0,
+                end: 4.0,
+                rate: 1.0,
+            }],
+        };
+        let f = p.allocate(
+            1.0,
+            ArrivalCurve::Upstream {
+                flow: &prev,
+                speed: 1.0,
+                delay: 0.0,
+            },
+            4.0,
+        );
+        // [0,4) at 0.5 (2 vol) then [4,6) at 1.0 (2 vol).
+        assert_eq!(f.pieces.len(), 2);
+        assert!((f.pieces[0].rate - 0.5).abs() < 1e-9);
+        assert!((f.pieces[1].rate - 1.0).abs() < 1e-9);
+        assert!((f.finish().unwrap() - 6.0).abs() < 1e-9);
+        assert!((f.volume(1.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commit_splits_segments_correctly() {
+        let mut p = RateProfile::new();
+        p.commit(
+            c(1),
+            &Flow {
+                pieces: vec![Piece {
+                    start: 2.0,
+                    end: 6.0,
+                    rate: 0.5,
+                }],
+            },
+        );
+        p.commit(
+            c(2),
+            &Flow {
+                pieces: vec![Piece {
+                    start: 4.0,
+                    end: 8.0,
+                    rate: 0.25,
+                }],
+            },
+        );
+        p.check_invariants().unwrap();
+        assert!((p.remaining_at(3.0) - 0.5).abs() < 1e-9);
+        assert!((p.remaining_at(5.0) - 0.25).abs() < 1e-9);
+        assert!((p.remaining_at(7.0) - 0.75).abs() < 1e-9);
+        assert_eq!(p.remaining_at(9.0), 1.0);
+        assert!((p.committed_volume(c(1), 2.0) - 0.5 * 2.0 * 4.0).abs() < 1e-9);
+        assert!((p.committed_volume(c(2), 2.0) - 0.25 * 2.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocate_then_commit_round_trip_conserves_volume() {
+        let mut p = RateProfile::new();
+        let mut x: u64 = 7;
+        for i in 0..40 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let at = ((x >> 33) % 100) as f64 / 4.0;
+            let vol = 1.0 + ((x >> 13) % 80) as f64 / 8.0;
+            let f = p.allocate(2.0, ArrivalCurve::Instant { at }, vol);
+            assert!((f.volume(2.0) - vol).abs() < 1e-6, "iteration {i}");
+            f.check_invariants().unwrap();
+            p.commit(c(i), &f);
+            p.check_invariants().unwrap();
+            assert!((p.committed_volume(c(i), 2.0) - vol).abs() < 1e-6);
+        }
+        assert!(p.peak_usage() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overcommitted")]
+    fn commit_rejects_overcommitment() {
+        let mut p = RateProfile::new();
+        let f = Flow {
+            pieces: vec![Piece {
+                start: 0.0,
+                end: 1.0,
+                rate: 0.7,
+            }],
+        };
+        p.commit(c(1), &f);
+        p.commit(c(2), &f); // 1.4 > 1.0
+    }
+
+    #[test]
+    fn remove_comm_rolls_back_exactly() {
+        let mut p = RateProfile::new();
+        let base = p.allocate(1.0, ArrivalCurve::Instant { at: 0.0 }, 5.0);
+        p.commit(c(1), &base);
+        // Probe-commit-rollback cycle for a second transfer.
+        let probe_before = p.allocate(1.0, ArrivalCurve::Instant { at: 2.0 }, 4.0);
+        let f2 = p.allocate(1.0, ArrivalCurve::Instant { at: 2.0 }, 4.0);
+        p.commit(c(2), &f2);
+        p.remove_comm(c(2));
+        let probe_after = p.allocate(1.0, ArrivalCurve::Instant { at: 2.0 }, 4.0);
+        assert_eq!(probe_before, probe_after, "rollback restores the profile");
+        assert!((p.committed_volume(c(2), 1.0)).abs() < 1e-12);
+        assert!((p.committed_volume(c(1), 1.0) - 5.0).abs() < 1e-9);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_comm_survives_many_cycles() {
+        let mut p = RateProfile::new();
+        p.commit(c(1), &p.allocate(2.0, ArrivalCurve::Instant { at: 0.0 }, 6.0));
+        let reference = p.allocate(2.0, ArrivalCurve::Instant { at: 0.0 }, 10.0);
+        for i in 0..50 {
+            let f = p.allocate(2.0, ArrivalCurve::Instant { at: 0.0 }, 10.0);
+            assert_eq!(f, reference, "cycle {i}");
+            p.commit(c(100 + i), &f);
+            p.remove_comm(c(100 + i));
+        }
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn two_hop_chain_preserves_volume_and_causality() {
+        let p1 = RateProfile::new();
+        let mut p2 = RateProfile::new();
+        // Pre-existing load on the second link.
+        p2.commit(
+            c(50),
+            &Flow {
+                pieces: vec![Piece {
+                    start: 0.0,
+                    end: 3.0,
+                    rate: 0.8,
+                }],
+            },
+        );
+        let f1 = p1.allocate(3.0, ArrivalCurve::Instant { at: 1.0 }, 9.0);
+        let f2 = p2.allocate(
+            2.0,
+            ArrivalCurve::Upstream {
+                flow: &f1,
+                speed: 3.0,
+                delay: 0.0,
+            },
+            9.0,
+        );
+        assert!((f1.volume(3.0) - 9.0).abs() < 1e-9);
+        assert!((f2.volume(2.0) - 9.0).abs() < 1e-9);
+        assert!(f2.start().unwrap() + EPS >= f1.start().unwrap());
+        assert!(f2.finish().unwrap() + EPS >= f1.finish().unwrap());
+        f2.check_invariants().unwrap();
+    }
+}

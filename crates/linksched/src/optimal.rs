@@ -1,0 +1,381 @@
+//! OIHSA's optimal insertion engine (§4.4 of the paper).
+//!
+//! Basic insertion (BA) can only use idle intervals as they currently
+//! are. OIHSA additionally exploits that an already-scheduled slot may
+//! be **deferred** without violating link causality: by Lemma 2 a slot
+//! of edge `e'` on link `L_m` can move right by
+//! `dt = min( t_s(e', NL) - t_s(e', L_m), t_f(e', NL) - t_f(e', L_m) )`
+//! (0 on the edge's last route link), because its schedule on the next
+//! route link `NL` already starts/finishes no earlier.
+//!
+//! The engine scans the slot queue **tail to head**, maintaining the
+//! paper's `accum` recurrence — formula (2):
+//!
+//! ```text
+//! accum(TS_n) = min( dt_n, accum(TS_{n+1}) + t_s(TS_{n+1}) - t_f(TS_n) )
+//! ```
+//!
+//! `accum(TS_n)` is the furthest slot `n` can be pushed right when all
+//! later slots cooperate. A new transfer of length `int` with earliest
+//! start `bound` fits immediately before slot `n` iff — condition (3) —
+//!
+//! ```text
+//! max(t_f(TS_{n-1}), bound) + int  <=  t_s(TS_n) + accum(TS_n)
+//! ```
+//!
+//! Because the achievable start time is non-decreasing in the insertion
+//! position, the head-most feasible position yields the earliest start;
+//! Theorem 1 of the paper shows this placement is optimal under the
+//! model's assumptions (non-preemption, defer-only adjustment). The
+//! paper's `symbol`/`symbol1` bookkeeping — remembering the newest
+//! feasible slot and the slots past which shifts cannot propagate —
+//! falls out of the shift loop below, which stops as soon as a
+//! propagated shift reaches zero.
+
+use crate::slot::{Slot, SlotQueue};
+use crate::time::{approx_le, EPS};
+use crate::CommId;
+
+/// One slot displaced by an optimal insertion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SlotShift {
+    /// The displaced communication.
+    pub comm: CommId,
+    /// Its route-position tag on this link.
+    pub seq: u32,
+    /// Rightward displacement (> 0).
+    pub delta: f64,
+    /// The slot's start time after the shift.
+    pub new_start: f64,
+    /// The slot's finish time after the shift.
+    pub new_end: f64,
+}
+
+/// Result of planning (and optionally applying) an optimal insertion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimalPlacement {
+    /// Queue index at which the new slot is inserted (before applying
+    /// the shifts; equals queue length when appending).
+    pub index: usize,
+    /// Start time of the new transfer.
+    pub start: f64,
+    /// Finish time of the new transfer.
+    pub end: f64,
+    /// Slots that must be (were) deferred, head-most first. The caller
+    /// must propagate `new_start`/`new_end` into its per-communication
+    /// bookkeeping.
+    pub shifts: Vec<SlotShift>,
+}
+
+/// Plan the optimal insertion of a transfer of length `duration` with
+/// earliest feasible start `bound` into `queue`, where `dts[i]` is the
+/// longest deferrable time (Lemma 2) of the i-th occupied slot.
+///
+/// Pure: does not modify the queue. See the module docs for the
+/// algorithm.
+///
+/// # Panics
+/// Panics if `dts.len() != queue.len()` or any `dt` is negative beyond
+/// EPS.
+pub fn plan_optimal_insert(
+    queue: &SlotQueue,
+    bound: f64,
+    duration: f64,
+    dts: &[f64],
+) -> OptimalPlacement {
+    let slots = queue.slots();
+    let n = slots.len();
+    assert_eq!(dts.len(), n, "need one deferrable time per occupied slot");
+    debug_assert!(dts.iter().all(|&d| d >= -EPS), "negative deferrable time");
+    debug_assert!(duration >= 0.0);
+
+    // Formula (2): accumulated deferrable time, scanned tail -> head.
+    let mut accum = vec![0.0_f64; n];
+    for i in (0..n).rev() {
+        let room_after = if i + 1 == n {
+            f64::INFINITY
+        } else {
+            accum[i + 1] + (slots[i + 1].start - slots[i].end)
+        };
+        accum[i] = dts[i].max(0.0).min(room_after);
+    }
+
+    // Head-most feasible position minimises the start time (the start
+    // candidate max(bound, prev.end) is non-decreasing in the index).
+    for i in 0..n {
+        let start = if i == 0 { bound } else { bound.max(slots[i - 1].end) };
+        // Condition (3).
+        if approx_le(start + duration, slots[i].start + accum[i]) {
+            let end = start + duration;
+            let shifts = plan_shifts(slots, dts, i, end);
+            return OptimalPlacement {
+                index: i,
+                start,
+                end,
+                shifts,
+            };
+        }
+    }
+    // Append after the last slot.
+    let start = if n == 0 { bound } else { bound.max(slots[n - 1].end) };
+    OptimalPlacement {
+        index: n,
+        start,
+        end: start + duration,
+        shifts: Vec::new(),
+    }
+}
+
+/// Compute the cascade of rightward shifts needed so the new slot
+/// ending at `new_end` fits before index `from`.
+fn plan_shifts(slots: &[Slot], dts: &[f64], from: usize, new_end: f64) -> Vec<SlotShift> {
+    let mut shifts = Vec::new();
+    let mut pushed_to = new_end;
+    for (k, slot) in slots.iter().enumerate().skip(from) {
+        let delta = pushed_to - slot.start;
+        if delta <= EPS {
+            break;
+        }
+        debug_assert!(
+            delta <= dts[k] + EPS,
+            "shift {delta} exceeds deferrable time {} of slot {k} — accum bookkeeping broken",
+            dts[k]
+        );
+        let new_start = slot.start + delta;
+        let new_slot_end = slot.end + delta;
+        shifts.push(SlotShift {
+            comm: slot.comm,
+            seq: slot.seq,
+            delta,
+            new_start,
+            new_end: new_slot_end,
+        });
+        pushed_to = new_slot_end;
+    }
+    shifts
+}
+
+/// Plan **and apply** an optimal insertion: defers the affected slots
+/// and inserts the new one. Returns the placement so the caller can
+/// update its per-communication times (both for the new transfer and
+/// for every shifted one).
+pub fn optimal_insert(
+    queue: &mut SlotQueue,
+    comm: CommId,
+    seq: u32,
+    bound: f64,
+    duration: f64,
+    dts: &[f64],
+) -> OptimalPlacement {
+    let plan = plan_optimal_insert(queue, bound, duration, dts);
+    // Apply shifts from the tail of the affected range backwards so the
+    // queue never transiently overlaps.
+    for (offset, shift) in plan.shifts.iter().enumerate().rev() {
+        let idx = plan.index + offset;
+        debug_assert_eq!(queue.slots()[idx].comm, shift.comm);
+        debug_assert_eq!(queue.slots()[idx].seq, shift.seq);
+        queue.shift_right(idx, shift.delta);
+        debug_assert!((queue.slots()[idx].start - shift.new_start).abs() <= EPS);
+    }
+    queue.insert_at(
+        plan.index,
+        Slot {
+            comm,
+            seq,
+            start: plan.start,
+            end: plan.end,
+        },
+    );
+    debug_assert!(queue.check_invariants().is_ok(), "optimal insert broke queue");
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u64) -> CommId {
+        CommId(n)
+    }
+
+    /// Queue with slots [0,2) [3,5) [8,10); handy gap layout.
+    fn base_queue() -> SlotQueue {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 0.0, 2.0);
+        q.commit(c(2), 0, 3.0, 2.0);
+        q.commit(c(3), 0, 8.0, 2.0);
+        q
+    }
+
+    #[test]
+    fn no_slots_means_start_at_bound() {
+        let q = SlotQueue::new();
+        let p = plan_optimal_insert(&q, 4.0, 2.0, &[]);
+        assert_eq!(p.start, 4.0);
+        assert_eq!(p.index, 0);
+        assert!(p.shifts.is_empty());
+    }
+
+    #[test]
+    fn fits_in_existing_gap_without_shifting() {
+        let q = base_queue();
+        // 1-unit transfer fits in gap [2,3).
+        let p = plan_optimal_insert(&q, 0.0, 1.0, &[0.0, 0.0, 0.0]);
+        assert_eq!(p.index, 1);
+        assert_eq!(p.start, 2.0);
+        assert!(p.shifts.is_empty());
+    }
+
+    #[test]
+    fn behaves_like_basic_insertion_when_dts_are_zero() {
+        let q = base_queue();
+        // 2-unit transfer: gap [2,3) too small, gap [5,8) fits.
+        let p = plan_optimal_insert(&q, 0.0, 2.0, &[0.0, 0.0, 0.0]);
+        assert_eq!(p.index, 2);
+        assert_eq!(p.start, 5.0);
+        assert!(p.shifts.is_empty());
+        assert_eq!(p.start, q.probe(0.0, 2.0), "zero slack == basic insertion");
+    }
+
+    #[test]
+    fn defers_one_slot_to_open_the_gap() {
+        let q = base_queue();
+        // Slot 2 ([3,5)) may defer by 2 into gap [5,8). A 2-unit
+        // transfer then fits at t=2 by pushing slot 2 to [4,6).
+        let p = plan_optimal_insert(&q, 0.0, 2.0, &[0.0, 2.0, 0.0]);
+        assert_eq!(p.index, 1);
+        assert_eq!(p.start, 2.0);
+        assert_eq!(p.shifts.len(), 1);
+        let s = p.shifts[0];
+        assert_eq!(s.comm, c(2));
+        assert_eq!(s.delta, 1.0);
+        assert_eq!(s.new_start, 4.0);
+        assert_eq!(s.new_end, 6.0);
+    }
+
+    #[test]
+    fn shift_cascades_through_several_slots() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 0.0, 2.0); // [0,2)
+        q.commit(c(2), 0, 2.0, 2.0); // [2,4) back-to-back
+        q.commit(c(3), 0, 4.0, 2.0); // [4,6)
+        // All can defer by 3. Insert a 3-unit transfer at the head by
+        // pushing the whole train right by 3... but appending at 6 is
+        // later than inserting at 0 with shifts, so insertion wins.
+        let p = plan_optimal_insert(&q, 0.0, 3.0, &[3.0, 3.0, 3.0]);
+        assert_eq!(p.index, 0);
+        assert_eq!(p.start, 0.0);
+        assert_eq!(p.shifts.len(), 3);
+        assert_eq!(p.shifts[0].delta, 3.0);
+        assert_eq!(p.shifts[1].delta, 3.0);
+        assert_eq!(p.shifts[2].delta, 3.0);
+    }
+
+    #[test]
+    fn cascade_stops_when_gap_absorbs_shift() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 2.0, 2.0); // [2,4)
+        q.commit(c(2), 0, 9.0, 2.0); // [9,11): gap of 5 after slot 1
+        // Insert 4 units at bound 0: needs slot 1 pushed by 2; the gap
+        // absorbs it, slot 2 untouched.
+        let p = plan_optimal_insert(&q, 0.0, 4.0, &[2.0, 0.0]);
+        assert_eq!(p.index, 0);
+        assert_eq!(p.start, 0.0);
+        assert_eq!(p.shifts.len(), 1);
+        assert_eq!(p.shifts[0].comm, c(1));
+        assert_eq!(p.shifts[0].delta, 2.0);
+    }
+
+    #[test]
+    fn accum_is_limited_by_downstream_slack() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 2.0, 2.0); // [2,4), dt = 5
+        q.commit(c(2), 0, 4.0, 2.0); // [4,6), dt = 0 (immovable)
+        // Slot 1 nominally defers 5 but slot 2 blocks it entirely:
+        // a 4-unit transfer cannot go before slot 1 (needs push 2).
+        let p = plan_optimal_insert(&q, 0.0, 4.0, &[5.0, 0.0]);
+        assert_eq!(p.index, 2, "must append");
+        assert_eq!(p.start, 6.0);
+    }
+
+    #[test]
+    fn bound_inside_gap_is_respected() {
+        let q = base_queue();
+        // Gap [5,8) with bound 6: 2-unit transfer fits at 6 exactly.
+        let p = plan_optimal_insert(&q, 6.0, 2.0, &[0.0, 0.0, 0.0]);
+        assert_eq!(p.start, 6.0);
+        assert_eq!(p.index, 2);
+    }
+
+    #[test]
+    fn partial_deferral_uses_exact_delta() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 3.0, 3.0); // [3,6), dt = 10
+        // Insert 5 units at bound 0: fits before if slot 1 shifts by 2.
+        let p = plan_optimal_insert(&q, 0.0, 5.0, &[10.0]);
+        assert_eq!(p.start, 0.0);
+        assert_eq!(p.shifts[0].delta, 2.0);
+        assert_eq!(p.shifts[0].new_start, 5.0);
+    }
+
+    #[test]
+    fn apply_updates_queue_consistently() {
+        let mut q = base_queue();
+        let p = optimal_insert(&mut q, c(9), 0, 0.0, 2.0, &[0.0, 2.0, 0.0]);
+        assert_eq!(p.start, 2.0);
+        q.check_invariants().unwrap();
+        assert_eq!(q.len(), 4);
+        // New slot present.
+        let (idx, slot) = q.find(c(9), 0).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(slot.start, 2.0);
+        assert_eq!(slot.end, 4.0);
+        // Shifted slot moved.
+        let (_, shifted) = q.find(c(2), 0).unwrap();
+        assert_eq!(shifted.start, 4.0);
+        assert_eq!(shifted.end, 6.0);
+        // Untouched slots stay.
+        let (_, last) = q.find(c(3), 0).unwrap();
+        assert_eq!(last.start, 8.0);
+    }
+
+    #[test]
+    fn apply_append_path() {
+        let mut q = base_queue();
+        let p = optimal_insert(&mut q, c(9), 0, 0.0, 4.0, &[0.0, 0.0, 0.0]);
+        assert_eq!(p.index, 3);
+        assert_eq!(p.start, 10.0);
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn optimal_never_later_than_basic() {
+        // Property spot-check with deterministic pseudo-random slots.
+        let mut x: u64 = 99;
+        for trial in 0..100 {
+            let mut q = SlotQueue::new();
+            let mut dts = Vec::new();
+            let mut t = 0.0;
+            for i in 0..20 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                t += ((x >> 33) % 30) as f64 / 10.0;
+                let d = 0.5 + ((x >> 13) % 30) as f64 / 10.0;
+                q.commit(c(i), 0, t, d);
+                t += d;
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                dts.push(((x >> 23) % 40) as f64 / 10.0);
+            }
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bound = ((x >> 33) % 100) as f64 / 10.0;
+            let duration = 0.5 + ((x >> 3) % 50) as f64 / 10.0;
+            let basic = q.probe(bound, duration);
+            let opt = plan_optimal_insert(&q, bound, duration, &dts);
+            assert!(
+                opt.start <= basic + EPS,
+                "trial {trial}: optimal {} later than basic {basic}",
+                opt.start
+            );
+            assert!(opt.start + EPS >= bound);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Non-preemptive slot queues — one per link.
+//!
+//! A [`SlotQueue`] holds the occupied time slots `TS_{m,1..}` of one
+//! link, sorted by start time and non-overlapping (edge executions on a
+//! link never preempt each other, §2.2). *Basic insertion* (§3) probes
+//! for the earliest idle interval of the required duration at or after
+//! a lower bound; OIHSA's optimal insertion lives in
+//! [`crate::optimal`] and operates on this same structure.
+
+use crate::time::{approx_ge, approx_le, EPS};
+use crate::CommId;
+
+/// One occupied time slot `TS` on a link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Slot {
+    /// The communication occupying the slot.
+    pub comm: CommId,
+    /// Position of this link within the communication's route (0-based).
+    /// Distinguishes the rare case of a route crossing one shared link
+    /// twice (possible with buses).
+    pub seq: u32,
+    /// Slot start time `t_s(TS)`.
+    pub start: f64,
+    /// Slot finish time `t_f(TS)`; `end - start` is the transfer time
+    /// `int(e, L) = c(e)/s(L)`.
+    pub end: f64,
+}
+
+/// Sorted, non-overlapping queue of occupied slots on one link.
+#[derive(Clone, Debug, Default)]
+pub struct SlotQueue {
+    slots: Vec<Slot>,
+}
+
+impl SlotQueue {
+    /// New empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of occupied slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no slot is occupied.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The occupied slots in start-time order.
+    #[inline]
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// Earliest start `>= bound` of an idle interval of length
+    /// `duration` (the basic-insertion probe, §3).
+    ///
+    /// First-fit scan over the gaps between occupied slots; always
+    /// succeeds because the horizon past the last slot is free.
+    pub fn probe(&self, bound: f64, duration: f64) -> f64 {
+        debug_assert!(duration >= 0.0);
+        let mut candidate = bound;
+        for s in &self.slots {
+            if approx_le(candidate + duration, s.start) {
+                return candidate;
+            }
+            if s.end > candidate {
+                candidate = s.end;
+            }
+        }
+        candidate
+    }
+
+    /// Insert a slot `[start, start + duration)` for `comm`.
+    ///
+    /// # Panics
+    /// Panics (in debug and release) if the new slot overlaps an
+    /// existing one by more than EPS — callers must only commit starts
+    /// obtained from [`SlotQueue::probe`] or the optimal-insertion
+    /// engine, so an overlap is a scheduler bug, not an input error.
+    pub fn commit(&mut self, comm: CommId, seq: u32, start: f64, duration: f64) {
+        let end = start + duration;
+        let idx = self.slots.partition_point(|s| s.start < start - EPS);
+        if idx > 0 {
+            let prev = &self.slots[idx - 1];
+            assert!(
+                approx_le(prev.end, start),
+                "slot overlap: {comm} [{start}, {end}) vs existing {} [{}, {})",
+                prev.comm,
+                prev.start,
+                prev.end
+            );
+        }
+        if idx < self.slots.len() {
+            let next = &self.slots[idx];
+            assert!(
+                approx_le(end, next.start),
+                "slot overlap: {comm} [{start}, {end}) vs existing {} [{}, {})",
+                next.comm,
+                next.start,
+                next.end
+            );
+        }
+        self.slots.insert(
+            idx,
+            Slot {
+                comm,
+                seq,
+                start,
+                end,
+            },
+        );
+    }
+
+    /// Remove every slot belonging to `comm`; returns how many were
+    /// removed. Used to roll back tentative insertions during BA's
+    /// processor scan.
+    pub fn remove_comm(&mut self, comm: CommId) -> usize {
+        let before = self.slots.len();
+        self.slots.retain(|s| s.comm != comm);
+        before - self.slots.len()
+    }
+
+    /// The slot (and its index) occupied by `(comm, seq)`, if present.
+    pub fn find(&self, comm: CommId, seq: u32) -> Option<(usize, Slot)> {
+        self.slots
+            .iter()
+            .position(|s| s.comm == comm && s.seq == seq)
+            .map(|i| (i, self.slots[i]))
+    }
+
+    /// Shift slot `idx` right by `delta` (used by optimal insertion).
+    ///
+    /// The caller is responsible for shifting any following slots that
+    /// would now overlap; [`crate::optimal::optimal_insert`] does this.
+    pub(crate) fn shift_right(&mut self, idx: usize, delta: f64) {
+        debug_assert!(delta >= -EPS, "shift must be rightward, got {delta}");
+        self.slots[idx].start += delta;
+        self.slots[idx].end += delta;
+    }
+
+    /// Insert a pre-validated slot at position `idx` (optimal
+    /// insertion's commit path, which has already established order).
+    pub(crate) fn insert_at(&mut self, idx: usize, slot: Slot) {
+        self.slots.insert(idx, slot);
+    }
+
+    /// Total busy time on the link (sum of slot lengths).
+    pub fn busy_time(&self) -> f64 {
+        self.slots.iter().map(|s| (s.end - s.start).max(0.0)).sum()
+    }
+
+    /// Finish time of the last slot (0 when empty) — the link's current
+    /// horizon.
+    pub fn horizon(&self) -> f64 {
+        self.slots.last().map_or(0.0, |s| s.end)
+    }
+
+    /// Internal invariant check: sorted and non-overlapping. Exposed so
+    /// validators and property tests can assert it.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.slots.windows(2) {
+            if !approx_le(w[0].end, w[1].start) {
+                return Err(format!(
+                    "slots overlap or are unsorted: {} [{}, {}) then {} [{}, {})",
+                    w[0].comm, w[0].start, w[0].end, w[1].comm, w[1].start, w[1].end
+                ));
+            }
+        }
+        for s in &self.slots {
+            if !approx_ge(s.end, s.start) {
+                return Err(format!(
+                    "slot {} has negative length [{}, {})",
+                    s.comm, s.start, s.end
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u64) -> CommId {
+        CommId(n)
+    }
+
+    #[test]
+    fn probe_on_empty_queue_returns_bound() {
+        let q = SlotQueue::new();
+        assert_eq!(q.probe(3.0, 2.0), 3.0);
+        assert_eq!(q.probe(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn probe_finds_gap_between_slots() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 0.0, 2.0);
+        q.commit(c(2), 0, 5.0, 2.0);
+        // Gap [2, 5) fits a 3-unit transfer.
+        assert_eq!(q.probe(0.0, 3.0), 2.0);
+        // ... but not a 4-unit one; first fit is after the last slot.
+        assert_eq!(q.probe(0.0, 4.0), 7.0);
+    }
+
+    #[test]
+    fn probe_respects_lower_bound() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 0.0, 2.0);
+        q.commit(c(2), 0, 5.0, 2.0);
+        // Bound 3 shrinks the middle gap to [3, 5): a 2-unit fits,
+        assert_eq!(q.probe(3.0, 2.0), 3.0);
+        // a 2.5-unit does not.
+        assert_eq!(q.probe(3.0, 2.5), 7.0);
+    }
+
+    #[test]
+    fn probe_bound_inside_slot_skips_to_slot_end() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 0.0, 4.0);
+        assert_eq!(q.probe(2.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn probe_allows_touching_slots() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 2.0, 2.0);
+        // [0,2) touches the slot start: allowed (half-open).
+        assert_eq!(q.probe(0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn commit_keeps_sorted_order() {
+        let mut q = SlotQueue::new();
+        q.commit(c(2), 0, 5.0, 1.0);
+        q.commit(c(1), 0, 0.0, 1.0);
+        q.commit(c(3), 0, 2.0, 1.0);
+        let starts: Vec<f64> = q.slots().iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![0.0, 2.0, 5.0]);
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "slot overlap")]
+    fn commit_panics_on_overlap() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 0.0, 3.0);
+        q.commit(c(2), 0, 2.0, 2.0);
+    }
+
+    #[test]
+    fn commit_zero_duration_is_fine() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 1.0, 0.0);
+        assert_eq!(q.len(), 1);
+        q.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_comm_rolls_back() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 0.0, 1.0);
+        q.commit(c(2), 0, 2.0, 1.0);
+        q.commit(c(2), 1, 4.0, 1.0);
+        assert_eq!(q.remove_comm(c(2)), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.slots()[0].comm, c(1));
+        assert_eq!(q.remove_comm(c(99)), 0);
+    }
+
+    #[test]
+    fn find_locates_by_comm_and_seq() {
+        let mut q = SlotQueue::new();
+        q.commit(c(7), 0, 0.0, 1.0);
+        q.commit(c(7), 1, 3.0, 1.0);
+        let (idx, slot) = q.find(c(7), 1).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(slot.start, 3.0);
+        assert!(q.find(c(7), 2).is_none());
+        assert!(q.find(c(8), 0).is_none());
+    }
+
+    #[test]
+    fn busy_time_and_horizon() {
+        let mut q = SlotQueue::new();
+        assert_eq!(q.horizon(), 0.0);
+        q.commit(c(1), 0, 1.0, 2.0);
+        q.commit(c(2), 0, 5.0, 0.5);
+        assert_eq!(q.busy_time(), 2.5);
+        assert_eq!(q.horizon(), 5.5);
+    }
+
+    #[test]
+    fn probe_then_commit_round_trip_never_overlaps() {
+        // Simulate a busy link with deterministic pseudo-random loads.
+        let mut q = SlotQueue::new();
+        let mut x: u64 = 12345;
+        for i in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bound = (x >> 33) as f64 % 50.0;
+            let duration = ((x >> 13) % 70) as f64 / 10.0;
+            let start = q.probe(bound, duration);
+            q.commit(c(i), 0, start, duration);
+            q.check_invariants().unwrap();
+        }
+        assert_eq!(q.len(), 200);
+    }
+}

@@ -1,0 +1,156 @@
+//! Epsilon-tolerant time arithmetic and intervals.
+//!
+//! All schedule times are `f64`. Slot boundaries are produced by chains
+//! of `cost / speed` divisions and BBSA rate multiplications, so exact
+//! equality is meaningless; every ordering decision in the workspace
+//! goes through the comparators here with a single global [`EPS`].
+
+/// Global comparison tolerance, in time units.
+///
+/// The paper's workloads use costs up to 1000 and makespans up to ~1e6,
+/// so 1e-6 absolute slack is ~12 orders of magnitude above f64 noise at
+/// that scale while far below any meaningful schedule difference.
+pub const EPS: f64 = 1e-6;
+
+/// `a <= b` within [`EPS`].
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// `a >= b` within [`EPS`].
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// `a < b` by more than [`EPS`].
+#[inline]
+pub fn approx_lt(a: f64, b: f64) -> bool {
+    a < b - EPS
+}
+
+/// `a > b` by more than [`EPS`].
+#[inline]
+pub fn approx_gt(a: f64, b: f64) -> bool {
+    a > b + EPS
+}
+
+/// `|a - b| <= EPS`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// A half-open time interval `[start, end)`.
+///
+/// Zero-length intervals are permitted (they represent zero-cost
+/// communications, which the model allows).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: f64,
+    /// Exclusive end; `end >= start`.
+    pub end: f64,
+}
+
+impl Interval {
+    /// Construct; debug-asserts `end >= start` (within EPS).
+    #[inline]
+    pub fn new(start: f64, end: f64) -> Self {
+        debug_assert!(approx_le(start, end), "interval [{start}, {end}) reversed");
+        Self { start, end }
+    }
+
+    /// Duration `end - start` (clamped at 0 against rounding).
+    #[inline]
+    pub fn len(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+
+    /// True if the interval has (approximately) zero length.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        approx_le(self.end, self.start)
+    }
+
+    /// Whether `t` lies in `[start, end)` within EPS.
+    #[inline]
+    pub fn contains(&self, t: f64) -> bool {
+        approx_ge(t, self.start) && approx_lt(t, self.end)
+    }
+
+    /// Whether two intervals overlap by more than EPS.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        approx_gt(self.end.min(other.end), self.start.max(other.start))
+    }
+
+    /// Shift both endpoints by `dt`.
+    #[inline]
+    pub fn shifted(&self, dt: f64) -> Interval {
+        Interval {
+            start: self.start + dt,
+            end: self.end + dt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparators_tolerate_eps_noise() {
+        let noise = EPS / 2.0;
+        assert!(approx_le(1.0 + noise, 1.0));
+        assert!(approx_ge(1.0 - noise, 1.0));
+        assert!(approx_eq(1.0 + noise, 1.0));
+        assert!(!approx_lt(1.0 + noise, 1.0));
+        assert!(!approx_gt(1.0 - noise, 1.0));
+    }
+
+    #[test]
+    fn comparators_distinguish_real_differences() {
+        assert!(approx_lt(1.0, 1.1));
+        assert!(approx_gt(1.1, 1.0));
+        assert!(!approx_eq(1.0, 1.1));
+        assert!(approx_le(1.0, 1.1));
+        assert!(!approx_le(1.1, 1.0));
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(2.0, 5.0);
+        assert_eq!(iv.len(), 3.0);
+        assert!(!iv.is_empty());
+        assert!(iv.contains(2.0));
+        assert!(iv.contains(4.9999));
+        assert!(!iv.contains(5.0));
+        assert!(!iv.contains(1.0));
+    }
+
+    #[test]
+    fn zero_length_interval() {
+        let iv = Interval::new(3.0, 3.0);
+        assert!(iv.is_empty());
+        assert_eq!(iv.len(), 0.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Interval::new(0.0, 2.0);
+        let b = Interval::new(1.0, 3.0);
+        let c = Interval::new(2.0, 4.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c)); // touching is not overlapping
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn shifted_moves_both_ends() {
+        let iv = Interval::new(1.0, 2.0).shifted(3.5);
+        assert_eq!(iv.start, 4.5);
+        assert_eq!(iv.end, 5.5);
+    }
+}

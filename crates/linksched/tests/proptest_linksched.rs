@@ -1,0 +1,264 @@
+//! Property-based tests of the link resource managers: slot queues,
+//! optimal insertion, and fluid bandwidth profiles.
+
+use es_linksched::bandwidth::{ArrivalCurve, Flow, RateProfile};
+use es_linksched::optimal::plan_optimal_insert;
+use es_linksched::slot::SlotQueue;
+use es_linksched::time::EPS;
+use es_linksched::CommId;
+use proptest::prelude::*;
+
+/// A slot queue built from arbitrary probe/commit requests, plus a
+/// deferrable time per slot.
+fn queue_strategy() -> impl Strategy<Value = (SlotQueue, Vec<f64>)> {
+    prop::collection::vec((0.0f64..200.0, 0.1f64..20.0, 0.0f64..15.0), 0..40).prop_map(
+        |reqs| {
+            let mut q = SlotQueue::new();
+            let mut dts = Vec::new();
+            for (i, (bound, dur, dt)) in reqs.into_iter().enumerate() {
+                let start = q.probe(bound, dur);
+                q.commit(CommId(i as u64), 0, start, dur);
+                dts.push(dt);
+            }
+            // dts indexed by *slot order*, not insertion order: rebuild
+            // aligned to the sorted queue (values are arbitrary anyway,
+            // only the count must match).
+            let n = q.len();
+            (q, dts.into_iter().take(n).collect())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn probe_commit_never_overlaps((q, _dts) in queue_strategy(),
+                                   bound in 0.0f64..250.0,
+                                   dur in 0.0f64..25.0) {
+        let mut q = q;
+        let start = q.probe(bound, dur);
+        prop_assert!(start + EPS >= bound, "probe respects the bound");
+        q.commit(CommId(9999), 0, start, dur);
+        prop_assert!(q.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn probe_is_first_fit_minimal((q, _dts) in queue_strategy(),
+                                  bound in 0.0f64..250.0,
+                                  dur in 0.1f64..25.0) {
+        let start = q.probe(bound, dur);
+        // No feasible placement strictly earlier: check a few earlier
+        // candidates all collide or violate the bound.
+        let step = (start - bound).max(0.0) / 8.0;
+        if step > EPS {
+            for k in 0..8 {
+                let cand = bound + step * k as f64;
+                let overlaps = q.slots().iter().any(|s| {
+                    cand < s.end - EPS && s.start < cand + dur - EPS
+                });
+                prop_assert!(overlaps, "candidate {cand} should have collided");
+            }
+        }
+    }
+
+    #[test]
+    fn remove_comm_restores_probe((q, _dts) in queue_strategy(),
+                                  bound in 0.0f64..250.0,
+                                  dur in 0.1f64..25.0) {
+        let mut q = q;
+        let before = q.probe(bound, dur);
+        let start = q.probe(bound, dur);
+        q.commit(CommId(5555), 0, start, dur);
+        q.remove_comm(CommId(5555));
+        let after = q.probe(bound, dur);
+        prop_assert_eq!(before.to_bits(), after.to_bits());
+        prop_assert!(q.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn optimal_insert_never_later_than_basic((q, dts) in queue_strategy(),
+                                             bound in 0.0f64..250.0,
+                                             dur in 0.1f64..25.0) {
+        let basic = q.probe(bound, dur);
+        let plan = plan_optimal_insert(&q, bound, dur, &dts);
+        prop_assert!(plan.start <= basic + EPS,
+            "optimal {} later than basic {basic}", plan.start);
+        prop_assert!(plan.start + EPS >= bound);
+        prop_assert!((plan.end - plan.start - dur).abs() <= EPS);
+    }
+
+    #[test]
+    fn optimal_insert_shifts_within_slack((q, dts) in queue_strategy(),
+                                          bound in 0.0f64..250.0,
+                                          dur in 0.1f64..25.0) {
+        let plan = plan_optimal_insert(&q, bound, dur, &dts);
+        for shift in &plan.shifts {
+            prop_assert!(shift.delta > 0.0);
+            let (idx, slot) = q.find(shift.comm, shift.seq).unwrap();
+            prop_assert!(shift.delta <= dts[idx] + EPS,
+                "slot {idx} shifted {} beyond slack {}", shift.delta, dts[idx]);
+            prop_assert!((shift.new_start - (slot.start + shift.delta)).abs() <= EPS);
+        }
+    }
+
+    #[test]
+    fn optimal_insert_applied_keeps_queue_valid((q, dts) in queue_strategy(),
+                                                bound in 0.0f64..250.0,
+                                                dur in 0.1f64..25.0) {
+        let mut q = q;
+        es_linksched::optimal::optimal_insert(&mut q, CommId(7777), 0, bound, dur, &dts);
+        prop_assert!(q.check_invariants().is_ok());
+        let (_, slot) = q.find(CommId(7777), 0).unwrap();
+        prop_assert!((slot.end - slot.start - dur).abs() <= EPS);
+    }
+}
+
+/// Independent feasibility oracle for optimal insertion, written from
+/// scratch (no `accum` recurrence): can a new transfer `[start,
+/// start+dur)` be placed by pushing the overlapped slots right, each
+/// within its own deferrable time, cascading shifts down the queue?
+fn insertion_feasible(q: &SlotQueue, dts: &[f64], bound: f64, start: f64, dur: f64) -> bool {
+    if start + EPS < bound {
+        return false;
+    }
+    // Simulate the cascade: every slot that has not finished by
+    // `start` and is touched by the growing push front must defer
+    // right within its own slack. (A slot overlapping `start` from the
+    // left is pushed past the new transfer entirely — that is exactly
+    // what condition (3) permits when `accum` is large enough.)
+    let mut pushed_to = start + dur;
+    for (i, s) in q.slots().iter().enumerate() {
+        if s.end <= start + EPS {
+            continue; // entirely before the new transfer
+        }
+        let delta = pushed_to - s.start;
+        if delta <= EPS {
+            break; // no contact; cascade over
+        }
+        if delta > dts[i] + EPS {
+            return false;
+        }
+        pushed_to = s.end + delta;
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimal_insert_is_feasible_and_minimal((q, dts) in queue_strategy(),
+                                              bound in 0.0f64..250.0,
+                                              dur in 0.1f64..25.0) {
+        let plan = plan_optimal_insert(&q, bound, dur, &dts);
+        prop_assert!(
+            insertion_feasible(&q, &dts, bound, plan.start, dur),
+            "planned start {} infeasible per the independent oracle", plan.start
+        );
+        // Theorem 1 (earliest-start): no strictly earlier candidate is
+        // feasible. The only meaningful earlier candidates are `bound`
+        // and the ends of slots before plan.start.
+        let mut candidates = vec![bound];
+        for s in q.slots() {
+            if s.end < plan.start - EPS && s.end + EPS > bound {
+                candidates.push(s.end);
+            }
+        }
+        for c in candidates {
+            if c < plan.start - EPS {
+                prop_assert!(
+                    !insertion_feasible(&q, &dts, bound, c, dur),
+                    "earlier start {c} was feasible but planner chose {}",
+                    plan.start
+                );
+            }
+        }
+    }
+}
+
+/// Sequence of instant-arrival fluid allocations.
+fn profile_requests() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..100.0, 0.5f64..30.0), 1..25)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fluid_allocations_conserve_volume_and_capacity(reqs in profile_requests(),
+                                                      speed in 0.5f64..8.0) {
+        let mut p = RateProfile::new();
+        for (i, (at, vol)) in reqs.iter().enumerate() {
+            let f = p.allocate(speed, ArrivalCurve::Instant { at: *at }, *vol);
+            prop_assert!(f.check_invariants().is_ok());
+            prop_assert!((f.volume(speed) - vol).abs() < 1e-6 * vol.max(1.0));
+            prop_assert!(f.start().unwrap() + EPS >= *at);
+            p.commit(CommId(i as u64), &f);
+            prop_assert!(p.check_invariants().is_ok());
+        }
+        prop_assert!(p.peak_usage() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn fluid_two_hop_chains_respect_causality(reqs in profile_requests(),
+                                              s1 in 0.5f64..8.0,
+                                              s2 in 0.5f64..8.0) {
+        let mut p1 = RateProfile::new();
+        let mut p2 = RateProfile::new();
+        for (i, (at, vol)) in reqs.iter().enumerate() {
+            let f1 = p1.allocate(s1, ArrivalCurve::Instant { at: *at }, *vol);
+            let f2 = p2.allocate(
+                s2,
+                ArrivalCurve::Upstream { flow: &f1, speed: s1, delay: 0.0 },
+                *vol,
+            );
+            // Volume conservation on both hops.
+            prop_assert!((f2.volume(s2) - vol).abs() < 1e-6 * vol.max(1.0));
+            // Start/finish causality.
+            prop_assert!(f2.start().unwrap() + EPS >= f1.start().unwrap());
+            prop_assert!(f2.finish().unwrap() + EPS >= f1.finish().unwrap());
+            // Cumulative causality at every f2 breakpoint.
+            let cum = |f: &Flow, s: f64, t: f64| -> f64 {
+                f.pieces
+                    .iter()
+                    .map(|p| p.rate * s * (t.min(p.end) - p.start).max(0.0))
+                    .sum()
+            };
+            for piece in &f2.pieces {
+                for t in [piece.start, piece.end] {
+                    prop_assert!(
+                        cum(&f2, s2, t) <= cum(&f1, s1, t) + 1e-6 * vol.max(1.0),
+                        "forwarded more than arrived at t={t}"
+                    );
+                }
+            }
+            p1.commit(CommId(i as u64), &f1);
+            p2.commit(CommId(i as u64), &f2);
+        }
+        prop_assert!(p1.peak_usage() <= 1.0 + 1e-4);
+        prop_assert!(p2.peak_usage() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn fluid_probe_commit_rollback_is_identity(reqs in profile_requests(),
+                                               speed in 0.5f64..8.0) {
+        let mut p = RateProfile::new();
+        // Commit half the requests for a busy background.
+        let half = reqs.len() / 2;
+        for (i, (at, vol)) in reqs[..half].iter().enumerate() {
+            let f = p.allocate(speed, ArrivalCurve::Instant { at: *at }, *vol);
+            p.commit(CommId(i as u64), &f);
+        }
+        // Probe-commit-rollback each remaining request; the profile
+        // must behave as if untouched.
+        for (i, (at, vol)) in reqs[half..].iter().enumerate() {
+            let reference = p.allocate(speed, ArrivalCurve::Instant { at: *at }, *vol);
+            let f = p.allocate(speed, ArrivalCurve::Instant { at: *at }, *vol);
+            p.commit(CommId(1000 + i as u64), &f);
+            p.remove_comm(CommId(1000 + i as u64));
+            let again = p.allocate(speed, ArrivalCurve::Instant { at: *at }, *vol);
+            prop_assert_eq!(&reference, &again);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Topology analysis: path diversity and fabric statistics.
+//!
+//! §4.3's modified routing only pays off when the fabric offers
+//! alternative routes; these helpers quantify that. The central tool is
+//! [`edge_disjoint_paths`] — a unit-capacity max-flow (BFS
+//! Edmonds–Karp) between two vertices, i.e. the number of link-disjoint
+//! routes a pair of processors can use simultaneously. A topology whose
+//! processor pairs average 1.0 gains nothing from load-aware routing;
+//! a 3-spine fat tree averages 3.
+
+use crate::topology::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// Number of link-disjoint directed paths from `src` to `dst`
+/// (unit-capacity max flow). 0 when unreachable, and by convention 0
+/// when `src == dst`.
+///
+/// Bus hyperedges count as capacity-1 resources no matter how many
+/// member pairs could cross them — matching their scheduling semantics
+/// (one queue).
+pub fn edge_disjoint_paths(topo: &Topology, src: NodeId, dst: NodeId) -> usize {
+    if src == dst {
+        return 0;
+    }
+    // Residual capacity per (link, direction-key). For directed links
+    // the key is (); for shared media we cap the whole link at 1 by
+    // keying on the link alone.
+    let mut used = vec![false; topo.link_count()];
+    let mut paths = 0usize;
+    loop {
+        // BFS over hops whose link is still unused.
+        let mut pred: Vec<Option<crate::topology::Hop>> = vec![None; topo.node_count()];
+        let mut seen = vec![false; topo.node_count()];
+        seen[src.index()] = true;
+        let mut q = VecDeque::new();
+        q.push_back(src);
+        let mut found = false;
+        'bfs: while let Some(u) = q.pop_front() {
+            for &hop in topo.hops_from(u) {
+                if used[hop.link.index()] || seen[hop.to.index()] {
+                    continue;
+                }
+                seen[hop.to.index()] = true;
+                pred[hop.to.index()] = Some(hop);
+                if hop.to == dst {
+                    found = true;
+                    break 'bfs;
+                }
+                q.push_back(hop.to);
+            }
+        }
+        if !found {
+            return paths;
+        }
+        // Consume the path's links.
+        let mut cur = dst;
+        while cur != src {
+            let hop = pred[cur.index()].expect("path reconstruction");
+            used[hop.link.index()] = true;
+            cur = hop.from;
+        }
+        paths += 1;
+    }
+}
+
+/// Mean [`edge_disjoint_paths`] over all ordered processor pairs — the
+/// fabric's *path diversity*. 0 for a single processor.
+pub fn mean_path_diversity(topo: &Topology) -> f64 {
+    let procs: Vec<NodeId> = topo.proc_ids().map(|p| topo.node_of_proc(p)).collect();
+    if procs.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for &a in &procs {
+        for &b in &procs {
+            if a != b {
+                total += edge_disjoint_paths(topo, a, b);
+                pairs += 1;
+            }
+        }
+    }
+    total as f64 / pairs as f64
+}
+
+/// Summary statistics of a fabric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopoStats {
+    /// Number of processors.
+    pub processors: usize,
+    /// Number of switches.
+    pub switches: usize,
+    /// Number of links (directed count).
+    pub links: usize,
+    /// Mean link-disjoint paths over processor pairs.
+    pub path_diversity: f64,
+    /// Longest BFS distance (hops) between any two processors.
+    pub diameter: usize,
+}
+
+/// Compute [`TopoStats`]. O(P² · E) — intended for reports, not inner
+/// loops.
+pub fn stats(topo: &Topology) -> TopoStats {
+    let procs: Vec<NodeId> = topo.proc_ids().map(|p| topo.node_of_proc(p)).collect();
+    let mut diameter = 0usize;
+    for &a in &procs {
+        // BFS distances from a.
+        let mut dist = vec![usize::MAX; topo.node_count()];
+        dist[a.index()] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(a);
+        while let Some(u) = q.pop_front() {
+            for hop in topo.hops_from(u) {
+                if dist[hop.to.index()] == usize::MAX {
+                    dist[hop.to.index()] = dist[u.index()] + 1;
+                    q.push_back(hop.to);
+                }
+            }
+        }
+        for &b in &procs {
+            if dist[b.index()] != usize::MAX {
+                diameter = diameter.max(dist[b.index()]);
+            }
+        }
+    }
+    TopoStats {
+        processors: topo.proc_count(),
+        switches: topo.node_count() - topo.proc_count(),
+        links: topo.link_count(),
+        path_diversity: mean_path_diversity(topo),
+        diameter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, SpeedDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn star_has_single_disjoint_path() {
+        let t = gen::star(4, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng());
+        let a = t.node_of_proc(crate::ProcId(0));
+        let b = t.node_of_proc(crate::ProcId(1));
+        assert_eq!(edge_disjoint_paths(&t, a, b), 1);
+        assert!((mean_path_diversity(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fat_tree_diversity_equals_spine_count() {
+        let t = gen::fat_tree(
+            3,
+            2,
+            4,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut rng(),
+        );
+        // Processors in different pods: bounded by the single uplink
+        // of each processor — 1! The diversity lives between SWITCHES.
+        let a = t.node_of_proc(crate::ProcId(0));
+        let b = t.node_of_proc(crate::ProcId(2));
+        assert_eq!(edge_disjoint_paths(&t, a, b), 1, "endpoint uplinks bottleneck");
+        // Between the edge switches themselves there are 4 disjoint
+        // routes (one per spine).
+        let edges: Vec<NodeId> = t
+            .node_ids()
+            .filter(|&n| {
+                t.proc_of_node(n).is_none()
+                    && t.node(n).label.as_deref().map(|l| l.starts_with("edge")) == Some(true)
+            })
+            .collect();
+        assert_eq!(edge_disjoint_paths(&t, edges[0], edges[1]), 4);
+    }
+
+    #[test]
+    fn hypercube_diversity_equals_dimension() {
+        let t = gen::hypercube(3, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng());
+        let a = t.node_of_proc(crate::ProcId(0));
+        let b = t.node_of_proc(crate::ProcId(7)); // antipodal corner
+        assert_eq!(edge_disjoint_paths(&t, a, b), 3);
+    }
+
+    #[test]
+    fn same_node_and_unreachable_are_zero() {
+        let mut b = crate::Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let t = b.build().unwrap();
+        assert_eq!(edge_disjoint_paths(&t, p0, p0), 0);
+        assert_eq!(edge_disjoint_paths(&t, p0, p1), 0);
+    }
+
+    #[test]
+    fn bus_caps_diversity_at_one() {
+        let t = gen::shared_bus(5, SpeedDist::Fixed(1.0), 1.0, &mut rng());
+        assert!((mean_path_diversity(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_counts_and_diameter() {
+        let t = gen::switch_ring(
+            4,
+            1,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut rng(),
+        );
+        let s = stats(&t);
+        assert_eq!(s.processors, 4);
+        assert_eq!(s.switches, 4);
+        // Opposite sides of the ring: proc -> sw -> sw -> sw -> proc.
+        assert_eq!(s.diameter, 4);
+        // Ring: two disjoint switch paths, but the processor uplink is
+        // still the bottleneck.
+        assert!((s.path_diversity - 1.0).abs() < 1e-12);
+    }
+}

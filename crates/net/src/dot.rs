@@ -1,0 +1,173 @@
+//! Graphviz DOT export for topologies.
+//!
+//! Processors render as boxes (with their speed), switches as circles,
+//! cables as edges labelled with the link speed. Full-duplex cables
+//! (two directed links between the same vertices) are drawn once as an
+//! undirected edge; lone directed links keep their arrowheads; buses
+//! render as a diamond hub.
+
+use crate::topology::{LinkConn, NodeKind, Topology};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Render the topology as a DOT graph.
+pub fn to_dot(t: &Topology, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", sanitise(name));
+    let _ = writeln!(out, "  layout=neato; overlap=false;");
+    for n in t.node_ids() {
+        let node = t.node(n);
+        match node.kind {
+            NodeKind::Processor(p) => {
+                let label = node
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| format!("{p}"));
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=box, label=\"{}\\ns={}\"];",
+                    n.0,
+                    label,
+                    trim_num(t.proc_speed(p))
+                );
+            }
+            NodeKind::Switch => {
+                let label = node.label.clone().unwrap_or_else(|| format!("{n}"));
+                let _ = writeln!(out, "  n{} [shape=circle, label=\"{label}\"];", n.0);
+            }
+        }
+    }
+
+    // Pair up the two directions of full-duplex cables.
+    let mut drawn: HashSet<(u32, u32, u64)> = HashSet::new();
+    for l in t.link_ids() {
+        let link = t.link(l);
+        match &link.conn {
+            LinkConn::Directed { from, to } => {
+                let key = (from.0.min(to.0), from.0.max(to.0), link.speed.to_bits());
+                // Is there a reverse twin with the same speed?
+                let twin = t.link_ids().any(|m| {
+                    m != l
+                        && matches!(
+                            &t.link(m).conn,
+                            LinkConn::Directed { from: f2, to: t2 }
+                                if f2 == to && t2 == from
+                        )
+                        && t.link(m).speed == link.speed
+                });
+                if twin {
+                    if drawn.insert(key) {
+                        let _ = writeln!(
+                            out,
+                            "  n{} -- n{} [label=\"{}\"];",
+                            from.0,
+                            to.0,
+                            trim_num(link.speed)
+                        );
+                    }
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "  n{} -- n{} [dir=forward, label=\"{}\"];",
+                        from.0,
+                        to.0,
+                        trim_num(link.speed)
+                    );
+                }
+            }
+            LinkConn::Bidirectional { a, b } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} -- n{} [style=dashed, label=\"{} (half)\"];",
+                    a.0,
+                    b.0,
+                    trim_num(link.speed)
+                );
+            }
+            LinkConn::Bus { members } => {
+                let _ = writeln!(
+                    out,
+                    "  bus{} [shape=diamond, label=\"bus\\ns={}\"];",
+                    l.0,
+                    trim_num(link.speed)
+                );
+                for m in members {
+                    let _ = writeln!(out, "  n{} -- bus{};", m.0, l.0);
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn trim_num(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+fn sanitise(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, SpeedDist};
+    use crate::topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn star_renders_every_node_and_one_edge_per_cable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = gen::star(3, SpeedDist::Fixed(1.0), SpeedDist::Fixed(2.0), &mut rng);
+        let dot = to_dot(&t, "star");
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=circle"));
+        // 3 duplex cables draw as 3 undirected edges, not 6.
+        assert_eq!(dot.matches(" -- ").count(), 3);
+        assert!(dot.contains("label=\"2\""));
+    }
+
+    #[test]
+    fn lone_directed_link_keeps_arrow() {
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        let (c, _) = b.add_processor(1.0);
+        b.add_directed_link(a, c, 3.0);
+        let t = b.build().unwrap();
+        let dot = to_dot(&t, "oneway");
+        assert!(dot.contains("dir=forward"));
+    }
+
+    #[test]
+    fn bus_renders_hub_and_spokes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = gen::shared_bus(4, SpeedDist::Fixed(1.0), 1.0, &mut rng);
+        let dot = to_dot(&t, "bus");
+        assert!(dot.contains("shape=diamond"));
+        assert_eq!(dot.matches("-- bus0").count(), 4);
+    }
+
+    #[test]
+    fn half_duplex_renders_dashed() {
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        let (c, _) = b.add_processor(1.0);
+        b.add_half_duplex_cable(a, c, 1.0);
+        let t = b.build().unwrap();
+        assert!(to_dot(&t, "hd").contains("style=dashed"));
+    }
+}

@@ -1,0 +1,596 @@
+//! Topology generators.
+//!
+//! [`random_switched_wan`] is the paper's §6 experimental network:
+//! "each switch connects with `U(4,16)` processors and there exists a
+//! path between any pair of switches. The switches are connected
+//! randomly to simulate a real wide-area network." The remaining
+//! generators produce the regular fabrics used by examples, tests and
+//! ablations.
+//!
+//! All cables are full duplex (two directed links) unless stated
+//! otherwise; speeds are drawn from a [`SpeedDist`].
+
+use crate::topology::{NodeId, Topology};
+use rand::{Rng, RngExt};
+
+/// How to draw processor/link speeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpeedDist {
+    /// Every speed is exactly this value (the paper's homogeneous
+    /// setting uses `Fixed(1.0)`).
+    Fixed(f64),
+    /// Uniform integer in `[lo, hi]` (the paper's heterogeneous setting
+    /// uses `UniformInt(1, 10)`).
+    UniformInt(u64, u64),
+}
+
+impl SpeedDist {
+    /// Draw one speed.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            SpeedDist::Fixed(v) => v,
+            SpeedDist::UniformInt(lo, hi) => {
+                assert!(lo >= 1 && lo <= hi, "speed range must be 1 <= lo <= hi");
+                rng.random_range(lo..=hi) as f64
+            }
+        }
+    }
+
+    /// The distribution's mean, used by CCR control.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SpeedDist::Fixed(v) => v,
+            SpeedDist::UniformInt(lo, hi) => (lo + hi) as f64 / 2.0,
+        }
+    }
+}
+
+/// Parameters of the paper's random switched WAN.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WanConfig {
+    /// Number of processors (the paper sweeps {2,4,…,128}).
+    pub processors: usize,
+    /// Each switch hosts `U(lo, hi)` processors; paper: `(4, 16)`.
+    pub procs_per_switch: (usize, usize),
+    /// Probability of an extra switch–switch cable beyond the random
+    /// spanning tree that guarantees connectivity.
+    pub extra_edge_prob: f64,
+    /// Processor speed distribution.
+    pub proc_speed: SpeedDist,
+    /// Link speed distribution.
+    pub link_speed: SpeedDist,
+}
+
+impl WanConfig {
+    /// Paper §6.1: homogeneous — all speeds 1.
+    pub fn homogeneous(processors: usize) -> Self {
+        Self {
+            processors,
+            procs_per_switch: (4, 16),
+            extra_edge_prob: 0.3,
+            proc_speed: SpeedDist::Fixed(1.0),
+            link_speed: SpeedDist::Fixed(1.0),
+        }
+    }
+
+    /// Paper §6.2: heterogeneous — speeds `U(1,10)`.
+    pub fn heterogeneous(processors: usize) -> Self {
+        Self {
+            processors,
+            procs_per_switch: (4, 16),
+            extra_edge_prob: 0.3,
+            proc_speed: SpeedDist::UniformInt(1, 10),
+            link_speed: SpeedDist::UniformInt(1, 10),
+        }
+    }
+}
+
+/// Generate the paper's random switched WAN.
+///
+/// Processors are dealt to switches in chunks of `U(lo, hi)`; every
+/// processor is cabled to its switch; switches are joined by a random
+/// spanning tree plus `extra_edge_prob`-density extra cables (so the
+/// switch fabric is always connected but irregular).
+///
+/// # Panics
+/// Panics if `processors == 0` or the per-switch range is invalid.
+pub fn random_switched_wan<R: Rng + ?Sized>(cfg: &WanConfig, rng: &mut R) -> Topology {
+    assert!(cfg.processors > 0, "need at least one processor");
+    let (lo, hi) = cfg.procs_per_switch;
+    assert!(lo >= 1 && lo <= hi, "invalid procs_per_switch range");
+    assert!(
+        (0.0..=1.0).contains(&cfg.extra_edge_prob),
+        "extra_edge_prob must lie in [0,1]"
+    );
+
+    let mut b = Topology::builder();
+
+    // Deal processors to switches.
+    let mut switches: Vec<NodeId> = Vec::new();
+    let mut remaining = cfg.processors;
+    while remaining > 0 {
+        let sw = b.add_labeled_switch(format!("sw{}", switches.len()));
+        let take = rng.random_range(lo..=hi).min(remaining);
+        for _ in 0..take {
+            let speed = cfg.proc_speed.sample(rng);
+            let (pn, _) = b.add_processor(speed);
+            let ls = cfg.link_speed.sample(rng);
+            b.add_duplex_cable(pn, sw, ls);
+        }
+        switches.push(sw);
+        remaining -= take;
+    }
+
+    // Random spanning tree over switches: attach each new switch to a
+    // uniformly chosen earlier one.
+    for i in 1..switches.len() {
+        let j = rng.random_range(0..i);
+        let ls = cfg.link_speed.sample(rng);
+        b.add_duplex_cable(switches[i], switches[j], ls);
+    }
+    // Extra random switch-switch cables.
+    for i in 0..switches.len() {
+        for j in 0..i.saturating_sub(1) {
+            if rng.random_bool(cfg.extra_edge_prob) {
+                let ls = cfg.link_speed.sample(rng);
+                b.add_duplex_cable(switches[i], switches[j], ls);
+            }
+        }
+    }
+
+    let t = b.build().expect("generator produces valid topologies");
+    debug_assert!(t.is_connected());
+    t
+}
+
+/// Fully connected processor network: a dedicated duplex cable between
+/// every pair of processors (the "classic model" network; contention
+/// only arises between communications sharing one ordered pair).
+pub fn fully_connected<R: Rng + ?Sized>(
+    processors: usize,
+    proc_speed: SpeedDist,
+    link_speed: SpeedDist,
+    rng: &mut R,
+) -> Topology {
+    assert!(processors > 0);
+    let mut b = Topology::builder();
+    let nodes: Vec<NodeId> = (0..processors)
+        .map(|_| b.add_processor(proc_speed.sample(rng)).0)
+        .collect();
+    for i in 0..processors {
+        for j in 0..i {
+            b.add_duplex_cable(nodes[i], nodes[j], link_speed.sample(rng));
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// Star: one central switch, every processor cabled to it. The classic
+/// single-cluster model; the switch serialises nothing itself but each
+/// processor's up/down links are contention points.
+pub fn star<R: Rng + ?Sized>(
+    processors: usize,
+    proc_speed: SpeedDist,
+    link_speed: SpeedDist,
+    rng: &mut R,
+) -> Topology {
+    assert!(processors > 0);
+    let mut b = Topology::builder();
+    let sw = b.add_labeled_switch("hub");
+    for _ in 0..processors {
+        let (pn, _) = b.add_processor(proc_speed.sample(rng));
+        b.add_duplex_cable(pn, sw, link_speed.sample(rng));
+    }
+    b.build().expect("valid")
+}
+
+/// Ring of switches, each hosting `procs_per_switch` processors.
+pub fn switch_ring<R: Rng + ?Sized>(
+    switches: usize,
+    procs_per_switch: usize,
+    proc_speed: SpeedDist,
+    link_speed: SpeedDist,
+    rng: &mut R,
+) -> Topology {
+    assert!(switches > 0 && procs_per_switch > 0);
+    let mut b = Topology::builder();
+    let sws: Vec<NodeId> = (0..switches)
+        .map(|i| b.add_labeled_switch(format!("sw{i}")))
+        .collect();
+    for &sw in &sws {
+        for _ in 0..procs_per_switch {
+            let (pn, _) = b.add_processor(proc_speed.sample(rng));
+            b.add_duplex_cable(pn, sw, link_speed.sample(rng));
+        }
+    }
+    if switches > 1 {
+        for i in 0..switches {
+            let j = (i + 1) % switches;
+            if switches == 2 && i == 1 {
+                break; // avoid doubling the single cable
+            }
+            b.add_duplex_cable(sws[i], sws[j], link_speed.sample(rng));
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// 2-D mesh of switches (`rows × cols`), each hosting
+/// `procs_per_switch` processors — a NoC/cluster-style fabric.
+pub fn switch_mesh2d<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    procs_per_switch: usize,
+    proc_speed: SpeedDist,
+    link_speed: SpeedDist,
+    rng: &mut R,
+) -> Topology {
+    assert!(rows > 0 && cols > 0 && procs_per_switch > 0);
+    let mut b = Topology::builder();
+    let mut grid = vec![vec![NodeId(0); cols]; rows];
+    for (r, row) in grid.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            *cell = b.add_labeled_switch(format!("sw[{r},{c}]"));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            for _ in 0..procs_per_switch {
+                let (pn, _) = b.add_processor(proc_speed.sample(rng));
+                b.add_duplex_cable(pn, grid[r][c], link_speed.sample(rng));
+            }
+            if r + 1 < rows {
+                b.add_duplex_cable(grid[r][c], grid[r + 1][c], link_speed.sample(rng));
+            }
+            if c + 1 < cols {
+                b.add_duplex_cable(grid[r][c], grid[r][c + 1], link_speed.sample(rng));
+            }
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// Hypercube of dimension `dim`: `2^dim` processors, each cabled
+/// directly to its `dim` neighbours (no switches — the classic
+/// direct-network fabric). Node ids are the hypercube coordinates.
+pub fn hypercube<R: Rng + ?Sized>(
+    dim: u32,
+    proc_speed: SpeedDist,
+    link_speed: SpeedDist,
+    rng: &mut R,
+) -> Topology {
+    assert!(dim >= 1 && dim <= 16, "dimension must be in 1..=16");
+    let n = 1usize << dim;
+    let mut b = Topology::builder();
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| b.add_labeled_processor(proc_speed.sample(rng), format!("p{i:0w$b}", w = dim as usize)).0)
+        .collect();
+    for i in 0..n {
+        for d in 0..dim {
+            let j = i ^ (1 << d);
+            if i < j {
+                b.add_duplex_cable(nodes[i], nodes[j], link_speed.sample(rng));
+            }
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// 2-D torus of switches (`rows × cols`, wraparound in both
+/// dimensions), each hosting `procs_per_switch` processors.
+pub fn switch_torus2d<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    procs_per_switch: usize,
+    proc_speed: SpeedDist,
+    link_speed: SpeedDist,
+    rng: &mut R,
+) -> Topology {
+    assert!(rows >= 2 && cols >= 2, "torus needs at least 2x2 switches");
+    assert!(procs_per_switch > 0);
+    let mut b = Topology::builder();
+    let mut grid = vec![vec![NodeId(0); cols]; rows];
+    for (r, row) in grid.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().enumerate() {
+            *cell = b.add_labeled_switch(format!("sw[{r},{c}]"));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            for _ in 0..procs_per_switch {
+                let (pn, _) = b.add_processor(proc_speed.sample(rng));
+                b.add_duplex_cable(pn, grid[r][c], link_speed.sample(rng));
+            }
+            // Wraparound neighbours; draw each cable once.
+            let down = (r + 1) % rows;
+            if rows > 2 || r == 0 {
+                b.add_duplex_cable(grid[r][c], grid[down][c], link_speed.sample(rng));
+            }
+            let right = (c + 1) % cols;
+            if cols > 2 || c == 0 {
+                b.add_duplex_cable(grid[r][c], grid[r][right], link_speed.sample(rng));
+            }
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// Two-level fat tree: `pods` edge switches each hosting
+/// `procs_per_pod` processors, all edge switches cabled to `spines`
+/// core switches (the fatness knob: more spines = more parallel paths
+/// between pods — the topology where §4.3's load-aware routing shines).
+pub fn fat_tree<R: Rng + ?Sized>(
+    pods: usize,
+    procs_per_pod: usize,
+    spines: usize,
+    proc_speed: SpeedDist,
+    link_speed: SpeedDist,
+    rng: &mut R,
+) -> Topology {
+    assert!(pods > 0 && procs_per_pod > 0 && spines > 0);
+    let mut b = Topology::builder();
+    let spine_nodes: Vec<NodeId> = (0..spines)
+        .map(|i| b.add_labeled_switch(format!("spine{i}")))
+        .collect();
+    for p in 0..pods {
+        let edge = b.add_labeled_switch(format!("edge{p}"));
+        for _ in 0..procs_per_pod {
+            let (pn, _) = b.add_processor(proc_speed.sample(rng));
+            b.add_duplex_cable(pn, edge, link_speed.sample(rng));
+        }
+        for &spine in &spine_nodes {
+            b.add_duplex_cable(edge, spine, link_speed.sample(rng));
+        }
+    }
+    b.build().expect("valid")
+}
+
+/// Shared bus: all processors on one half-duplex hyperedge — the
+/// worst-case contention fabric (classic Ethernet segment).
+pub fn shared_bus<R: Rng + ?Sized>(
+    processors: usize,
+    proc_speed: SpeedDist,
+    bus_speed: f64,
+    rng: &mut R,
+) -> Topology {
+    assert!(processors > 1, "a bus needs at least two processors");
+    let mut b = Topology::builder();
+    let nodes: Vec<NodeId> = (0..processors)
+        .map(|_| b.add_processor(proc_speed.sample(rng)).0)
+        .collect();
+    b.add_bus(nodes, bus_speed);
+    b.build().expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wan_has_requested_processors_and_is_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1, 2, 5, 16, 64, 128] {
+            let t = random_switched_wan(&WanConfig::homogeneous(n), &mut rng);
+            assert_eq!(t.proc_count(), n);
+            assert!(t.is_connected(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn wan_homogeneous_speeds_are_one() {
+        let t = random_switched_wan(
+            &WanConfig::homogeneous(32),
+            &mut StdRng::seed_from_u64(2),
+        );
+        assert!(t.is_homogeneous());
+    }
+
+    #[test]
+    fn wan_heterogeneous_speeds_in_range() {
+        let t = random_switched_wan(
+            &WanConfig::heterogeneous(64),
+            &mut StdRng::seed_from_u64(3),
+        );
+        for p in t.proc_ids() {
+            let s = t.proc_speed(p);
+            assert!((1.0..=10.0).contains(&s));
+        }
+        for l in t.link_ids() {
+            let s = t.link_speed(l);
+            assert!((1.0..=10.0).contains(&s));
+        }
+        assert!(!t.is_homogeneous() || t.proc_count() < 3, "overwhelmingly likely");
+    }
+
+    #[test]
+    fn wan_is_deterministic_per_seed() {
+        let a = random_switched_wan(&WanConfig::heterogeneous(40), &mut StdRng::seed_from_u64(7));
+        let b = random_switched_wan(&WanConfig::heterogeneous(40), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.link_count(), b.link_count());
+        for l in a.link_ids() {
+            assert_eq!(a.link_speed(l), b.link_speed(l));
+        }
+    }
+
+    #[test]
+    fn wan_switch_occupancy_respects_range() {
+        let cfg = WanConfig::homogeneous(200);
+        let t = random_switched_wan(&cfg, &mut StdRng::seed_from_u64(4));
+        // Count processors per switch by looking at processor hops.
+        let mut per_switch = std::collections::HashMap::new();
+        for p in t.proc_ids() {
+            let pn = t.node_of_proc(p);
+            let hop = t.hops_from(pn)[0];
+            *per_switch.entry(hop.to).or_insert(0usize) += 1;
+        }
+        for (_sw, count) in per_switch {
+            assert!(count <= 16, "switch hosts {count} > 16 processors");
+        }
+    }
+
+    #[test]
+    fn fully_connected_link_count() {
+        let t = fully_connected(
+            5,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(5),
+        );
+        // C(5,2) cables, two directed links each.
+        assert_eq!(t.link_count(), 20);
+        assert!(t.is_connected());
+        assert_eq!(t.node_count(), 5); // no switches
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(
+            4,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(2.0),
+            &mut StdRng::seed_from_u64(6),
+        );
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.link_count(), 8);
+        assert!(t.is_connected());
+        assert_eq!(t.mean_link_speed(), 2.0);
+    }
+
+    #[test]
+    fn ring_is_connected() {
+        let t = switch_ring(
+            6,
+            2,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(t.proc_count(), 12);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn two_switch_ring_has_single_trunk() {
+        let t = switch_ring(
+            2,
+            1,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(8),
+        );
+        // 2 proc cables (2 links each) + 1 trunk cable (2 links) = 6.
+        assert_eq!(t.link_count(), 6);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn mesh_is_connected() {
+        let t = switch_mesh2d(
+            3,
+            4,
+            1,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(t.proc_count(), 12);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn bus_topology_single_link() {
+        let t = shared_bus(4, SpeedDist::Fixed(1.0), 2.0, &mut StdRng::seed_from_u64(10));
+        assert_eq!(t.link_count(), 1);
+        assert!(t.is_connected());
+        assert_eq!(t.mean_link_speed(), 2.0);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let t = hypercube(
+            3,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(12),
+        );
+        assert_eq!(t.proc_count(), 8);
+        // 3 * 2^3 / 2 = 12 cables = 24 directed links.
+        assert_eq!(t.link_count(), 24);
+        assert!(t.is_connected());
+        // Every processor has exactly 3 outgoing hops.
+        for p in t.proc_ids() {
+            assert_eq!(t.hops_from(t.node_of_proc(p)).len(), 3);
+        }
+    }
+
+    #[test]
+    fn torus_shape() {
+        let t = switch_torus2d(
+            3,
+            3,
+            1,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(13),
+        );
+        assert_eq!(t.proc_count(), 9);
+        assert!(t.is_connected());
+        // 9 proc cables + 9 vertical + 9 horizontal = 27 cables.
+        assert_eq!(t.link_count(), 54);
+    }
+
+    #[test]
+    fn two_by_two_torus_avoids_duplicate_wraparound() {
+        let t = switch_torus2d(
+            2,
+            2,
+            1,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(14),
+        );
+        assert!(t.is_connected());
+        // 4 proc cables + 2 vertical + 2 horizontal = 8 cables.
+        assert_eq!(t.link_count(), 16);
+    }
+
+    #[test]
+    fn fat_tree_has_spine_diversity() {
+        let t = fat_tree(
+            4,
+            2,
+            3,
+            SpeedDist::Fixed(1.0),
+            SpeedDist::Fixed(1.0),
+            &mut StdRng::seed_from_u64(15),
+        );
+        assert_eq!(t.proc_count(), 8);
+        assert!(t.is_connected());
+        // Pod-to-pod routes exist through each of the 3 spines: each
+        // edge switch has 2 proc hops + 3 spine hops.
+        let edges_with_5_hops = t
+            .node_ids()
+            .filter(|&n| t.proc_of_node(n).is_none() && t.hops_from(n).len() == 5)
+            .count();
+        assert_eq!(edges_with_5_hops, 4, "4 edge switches");
+    }
+
+    #[test]
+    fn speed_dist_mean() {
+        assert_eq!(SpeedDist::Fixed(3.0).mean(), 3.0);
+        assert_eq!(SpeedDist::UniformInt(1, 10).mean(), 5.5);
+    }
+
+    #[test]
+    fn speed_dist_samples_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let s = SpeedDist::UniformInt(2, 5).sample(&mut rng);
+            assert!((2.0..=5.0).contains(&s));
+            assert_eq!(s.fract(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # es-net — network topology for contention-aware scheduling
+//!
+//! Implements the target-system model of §2.2 of Han & Wang (ICPP 2006),
+//! which in turn is the topology-graph model of Sinnen & Sousa (TPDS
+//! 2005): a communication network is a graph
+//! `TG = {N, P, D, H}` where
+//!
+//! * `N` is the set of network vertices — **processors** and
+//!   **switches**,
+//! * `P ⊆ N` are the processors (speed `s(P)`),
+//! * `D` are **directed** communication links (speed `s(L)`),
+//! * `H` are **hyperedges** — multidirectional shared media such as
+//!   buses; `L = D ∪ H` is the link set edges are scheduled on.
+//!
+//! A full-duplex cable is represented as two independent directed links
+//! (each with its own schedule); a half-duplex cable is a single
+//! bidirectional link whose one schedule serialises both directions; a
+//! bus is a hyperedge shared by all members.
+//!
+//! Routing works on [`Hop`]s — `(link, from, to)` triples — so the same
+//! machinery covers all three media kinds.
+//!
+//! [`gen`] provides topology generators including the paper's §6 random
+//! switched WAN (each switch connects `U(4,16)` processors; switches
+//! form a random connected graph).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod dot;
+pub mod gen;
+pub mod topology;
+
+pub use topology::{
+    Hop, Link, LinkConn, LinkId, NetNode, NodeId, NodeKind, ProcId, Processor, TopoError,
+    Topology, TopologyBuilder,
+};

@@ -1,0 +1,726 @@
+//! Topology graph: processors, switches, links, hops.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network vertex (processor or switch). Dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a processor. Dense index into [`Topology::processors`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcId(pub u32);
+
+/// Identifier of a communication link (directed, half-duplex cable, or
+/// bus hyperedge). Dense index; link schedules are keyed by this id, so
+/// media that share a `LinkId` share contention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ProcId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// What a network vertex is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A processor that can execute tasks; carries its [`ProcId`].
+    Processor(ProcId),
+    /// A switch: forwards communications, cannot execute tasks.
+    Switch,
+}
+
+/// A network vertex.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetNode {
+    /// Processor or switch.
+    pub kind: NodeKind,
+    /// Optional label for reports.
+    pub label: Option<String>,
+}
+
+/// A processor `P ∈ P` with processing speed `s(P)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Processor {
+    /// The network vertex this processor occupies.
+    pub node: NodeId,
+    /// Processing speed `s(P)`; task `n` runs in `w(n)/s(P)`.
+    pub speed: f64,
+}
+
+/// Connectivity of a link.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkConn {
+    /// One-way link `from -> to` (element of `D`). Full-duplex cables
+    /// are two of these.
+    Directed {
+        /// Transmitting vertex.
+        from: NodeId,
+        /// Receiving vertex.
+        to: NodeId,
+    },
+    /// Half-duplex cable: both directions share this link's schedule.
+    Bidirectional {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Bus / hyperedge (element of `H`): any member may send to any
+    /// other member; all traffic shares one schedule.
+    Bus {
+        /// The vertices attached to the bus (at least 2).
+        members: Vec<NodeId>,
+    },
+}
+
+/// A communication link `L ∈ L = D ∪ H` with transfer speed `s(L)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// Data transfer speed `s(L)`; edge `e` occupies the link for
+    /// `c(e)/s(L)` when granted full bandwidth.
+    pub speed: f64,
+    /// Endpoints / members.
+    pub conn: LinkConn,
+}
+
+impl Link {
+    /// Whether a message may traverse this link from `from` to `to`.
+    pub fn permits(&self, from: NodeId, to: NodeId) -> bool {
+        match &self.conn {
+            LinkConn::Directed { from: f, to: t } => *f == from && *t == to,
+            LinkConn::Bidirectional { a, b } => {
+                (*a == from && *b == to) || (*b == from && *a == to)
+            }
+            LinkConn::Bus { members } => {
+                from != to && members.contains(&from) && members.contains(&to)
+            }
+        }
+    }
+}
+
+/// One step of a route: traverse `link` from vertex `from` to `to`.
+///
+/// Identifying the direction explicitly lets half-duplex and bus links
+/// participate in routes while still sharing one schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hop {
+    /// The traversed link.
+    pub link: LinkId,
+    /// Vertex the message leaves.
+    pub from: NodeId,
+    /// Vertex the message reaches.
+    pub to: NodeId,
+}
+
+/// Errors raised while building a [`Topology`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopoError {
+    /// A link endpoint refers to a vertex that was never added.
+    UnknownNode(NodeId),
+    /// A link's speed was not finite-positive.
+    InvalidSpeed(f64),
+    /// A processor's speed was not finite-positive.
+    InvalidProcSpeed(ProcId, f64),
+    /// A bus was declared with fewer than two members or repeated ones.
+    BadBus(String),
+    /// A link connects a vertex to itself.
+    SelfLink(NodeId),
+    /// No processors in the topology.
+    NoProcessors,
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopoError::UnknownNode(n) => write!(f, "unknown vertex {n}"),
+            TopoError::InvalidSpeed(s) => write!(f, "invalid link speed {s}"),
+            TopoError::InvalidProcSpeed(p, s) => write!(f, "invalid speed {s} for {p}"),
+            TopoError::BadBus(why) => write!(f, "bad bus: {why}"),
+            TopoError::SelfLink(n) => write!(f, "link from {n} to itself"),
+            TopoError::NoProcessors => write!(f, "topology has no processors"),
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// An immutable, validated network topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<NetNode>,
+    processors: Vec<Processor>,
+    links: Vec<Link>,
+    /// `adjacency[node]` lists every hop leaving that vertex.
+    adjacency: Vec<Vec<Hop>>,
+    /// Per-hop forwarding delay (switch latency). The paper neglects it
+    /// "for simplicity, but it can be included if necessary" (§2.2) —
+    /// this is that extension point; 0 by default.
+    #[serde(default)]
+    hop_delay: f64,
+}
+
+impl Topology {
+    /// Start building a topology.
+    pub fn builder() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    /// Number of network vertices `|N|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of processors `|P|`.
+    #[inline]
+    pub fn proc_count(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Number of links `|L|` (full-duplex cables count twice).
+    #[inline]
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The vertex with the given id.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NetNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The processor with the given id.
+    #[inline]
+    pub fn processor(&self, id: ProcId) -> &Processor {
+        &self.processors[id.index()]
+    }
+
+    /// All processors, indexed by [`ProcId`].
+    #[inline]
+    pub fn processors(&self) -> &[Processor] {
+        &self.processors
+    }
+
+    /// The link with the given id.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Processing speed `s(P)`.
+    #[inline]
+    pub fn proc_speed(&self, p: ProcId) -> f64 {
+        self.processors[p.index()].speed
+    }
+
+    /// Transfer speed `s(L)`.
+    #[inline]
+    pub fn link_speed(&self, l: LinkId) -> f64 {
+        self.links[l.index()].speed
+    }
+
+    /// The network vertex a processor occupies.
+    #[inline]
+    pub fn node_of_proc(&self, p: ProcId) -> NodeId {
+        self.processors[p.index()].node
+    }
+
+    /// The processor occupying a vertex, if it is a processor vertex.
+    pub fn proc_of_node(&self, n: NodeId) -> Option<ProcId> {
+        match self.nodes[n.index()].kind {
+            NodeKind::Processor(p) => Some(p),
+            NodeKind::Switch => None,
+        }
+    }
+
+    /// Iterate over all processor ids.
+    pub fn proc_ids(&self) -> impl ExactSizeIterator<Item = ProcId> + '_ {
+        (0..self.processors.len() as u32).map(ProcId)
+    }
+
+    /// Iterate over all vertex ids.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over all link ids.
+    pub fn link_ids(&self) -> impl ExactSizeIterator<Item = LinkId> + '_ {
+        (0..self.links.len() as u32).map(LinkId)
+    }
+
+    /// Hops leaving a vertex (pre-expanded adjacency).
+    #[inline]
+    pub fn hops_from(&self, n: NodeId) -> &[Hop] {
+        &self.adjacency[n.index()]
+    }
+
+    /// Per-hop forwarding (switch) delay; 0 unless configured.
+    #[inline]
+    pub fn hop_delay(&self) -> f64 {
+        self.hop_delay
+    }
+
+    /// Mean link speed `MLS` — the paper's §4.1 processor-selection
+    /// criterion divides communication costs by this average.
+    pub fn mean_link_speed(&self) -> f64 {
+        if self.links.is_empty() {
+            return 1.0;
+        }
+        self.links.iter().map(|l| l.speed).sum::<f64>() / self.links.len() as f64
+    }
+
+    /// Mean processor speed (used for CCR control).
+    pub fn mean_proc_speed(&self) -> f64 {
+        if self.processors.is_empty() {
+            return 1.0;
+        }
+        self.processors.iter().map(|p| p.speed).sum::<f64>() / self.processors.len() as f64
+    }
+
+    /// True iff every vertex can reach every other vertex along hops.
+    ///
+    /// Note this checks *directed* reachability from vertex 0; a
+    /// topology whose cables are all full-duplex is strongly connected
+    /// iff it is weakly connected, which covers all built-in generators.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            for hop in self.hops_from(n) {
+                if !seen[hop.to.index()] {
+                    seen[hop.to.index()] = true;
+                    count += 1;
+                    stack.push(hop.to);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// True iff all processors and links have speed 1 (the paper's
+    /// homogeneous setting).
+    pub fn is_homogeneous(&self) -> bool {
+        self.processors.iter().all(|p| p.speed == 1.0)
+            && self.links.iter().all(|l| l.speed == 1.0)
+    }
+}
+
+/// Incremental builder for [`Topology`].
+#[derive(Clone, Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<NetNode>,
+    processors: Vec<Processor>,
+    links: Vec<Link>,
+    hop_delay: f64,
+}
+
+impl TopologyBuilder {
+    /// Add a processor vertex with speed `speed`; returns its ids.
+    pub fn add_processor(&mut self, speed: f64) -> (NodeId, ProcId) {
+        let node = NodeId(self.nodes.len() as u32);
+        let proc = ProcId(self.processors.len() as u32);
+        self.nodes.push(NetNode {
+            kind: NodeKind::Processor(proc),
+            label: None,
+        });
+        self.processors.push(Processor { node, speed });
+        (node, proc)
+    }
+
+    /// Add a labelled processor vertex.
+    pub fn add_labeled_processor(
+        &mut self,
+        speed: f64,
+        label: impl Into<String>,
+    ) -> (NodeId, ProcId) {
+        let (n, p) = self.add_processor(speed);
+        self.nodes[n.index()].label = Some(label.into());
+        (n, p)
+    }
+
+    /// Set the per-hop forwarding delay applied on every hop after the
+    /// first of a route (the §2.2 extension point; default 0).
+    pub fn set_hop_delay(&mut self, delay: f64) -> &mut Self {
+        self.hop_delay = delay;
+        self
+    }
+
+    /// Add a switch vertex.
+    pub fn add_switch(&mut self) -> NodeId {
+        let node = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NetNode {
+            kind: NodeKind::Switch,
+            label: None,
+        });
+        node
+    }
+
+    /// Add a labelled switch vertex.
+    pub fn add_labeled_switch(&mut self, label: impl Into<String>) -> NodeId {
+        let n = self.add_switch();
+        self.nodes[n.index()].label = Some(label.into());
+        n
+    }
+
+    /// Add a one-way link `from -> to`.
+    pub fn add_directed_link(&mut self, from: NodeId, to: NodeId, speed: f64) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            speed,
+            conn: LinkConn::Directed { from, to },
+        });
+        id
+    }
+
+    /// Add a full-duplex cable between `a` and `b`: two independent
+    /// directed links of the same speed. Returns `(a->b, b->a)`.
+    pub fn add_duplex_cable(&mut self, a: NodeId, b: NodeId, speed: f64) -> (LinkId, LinkId) {
+        (
+            self.add_directed_link(a, b, speed),
+            self.add_directed_link(b, a, speed),
+        )
+    }
+
+    /// Add a half-duplex cable: one shared link usable in both
+    /// directions (both directions contend on the same schedule).
+    pub fn add_half_duplex_cable(&mut self, a: NodeId, b: NodeId, speed: f64) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            speed,
+            conn: LinkConn::Bidirectional { a, b },
+        });
+        id
+    }
+
+    /// Add a bus (hyperedge) connecting all `members`.
+    pub fn add_bus(&mut self, members: Vec<NodeId>, speed: f64) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            speed,
+            conn: LinkConn::Bus { members },
+        });
+        id
+    }
+
+    /// Validate and freeze the topology.
+    pub fn build(self) -> Result<Topology, TopoError> {
+        if self.processors.is_empty() {
+            return Err(TopoError::NoProcessors);
+        }
+        if !self.hop_delay.is_finite() || self.hop_delay < 0.0 {
+            return Err(TopoError::InvalidSpeed(self.hop_delay));
+        }
+        for p in 0..self.processors.len() {
+            let s = self.processors[p].speed;
+            if !s.is_finite() || s <= 0.0 {
+                return Err(TopoError::InvalidProcSpeed(ProcId(p as u32), s));
+            }
+        }
+        let check = |n: NodeId| -> Result<(), TopoError> {
+            if n.index() >= self.nodes.len() {
+                Err(TopoError::UnknownNode(n))
+            } else {
+                Ok(())
+            }
+        };
+        for link in &self.links {
+            if !link.speed.is_finite() || link.speed <= 0.0 {
+                return Err(TopoError::InvalidSpeed(link.speed));
+            }
+            match &link.conn {
+                LinkConn::Directed { from, to } => {
+                    check(*from)?;
+                    check(*to)?;
+                    if from == to {
+                        return Err(TopoError::SelfLink(*from));
+                    }
+                }
+                LinkConn::Bidirectional { a, b } => {
+                    check(*a)?;
+                    check(*b)?;
+                    if a == b {
+                        return Err(TopoError::SelfLink(*a));
+                    }
+                }
+                LinkConn::Bus { members } => {
+                    if members.len() < 2 {
+                        return Err(TopoError::BadBus(format!(
+                            "bus has {} member(s), needs >= 2",
+                            members.len()
+                        )));
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for &m in members {
+                        check(m)?;
+                        if !seen.insert(m) {
+                            return Err(TopoError::BadBus(format!("repeated member {m}")));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pre-expand adjacency.
+        let mut adjacency = vec![Vec::new(); self.nodes.len()];
+        for (i, link) in self.links.iter().enumerate() {
+            let id = LinkId(i as u32);
+            match &link.conn {
+                LinkConn::Directed { from, to } => {
+                    adjacency[from.index()].push(Hop {
+                        link: id,
+                        from: *from,
+                        to: *to,
+                    });
+                }
+                LinkConn::Bidirectional { a, b } => {
+                    adjacency[a.index()].push(Hop {
+                        link: id,
+                        from: *a,
+                        to: *b,
+                    });
+                    adjacency[b.index()].push(Hop {
+                        link: id,
+                        from: *b,
+                        to: *a,
+                    });
+                }
+                LinkConn::Bus { members } => {
+                    for &m in members {
+                        for &other in members {
+                            if m != other {
+                                adjacency[m.index()].push(Hop {
+                                    link: id,
+                                    from: m,
+                                    to: other,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(Topology {
+            nodes: self.nodes,
+            processors: self.processors,
+            links: self.links,
+            adjacency,
+            hop_delay: self.hop_delay,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two processors joined through one switch by duplex cables.
+    fn two_proc_star() -> Topology {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(2.0);
+        let sw = b.add_switch();
+        b.add_duplex_cable(p0, sw, 1.0);
+        b.add_duplex_cable(p1, sw, 3.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_speeds() {
+        let t = two_proc_star();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.proc_count(), 2);
+        assert_eq!(t.link_count(), 4);
+        assert_eq!(t.proc_speed(ProcId(1)), 2.0);
+        assert_eq!(t.mean_link_speed(), 2.0);
+        assert_eq!(t.mean_proc_speed(), 1.5);
+    }
+
+    #[test]
+    fn proc_node_mapping_round_trips() {
+        let t = two_proc_star();
+        for p in t.proc_ids() {
+            assert_eq!(t.proc_of_node(t.node_of_proc(p)), Some(p));
+        }
+        // The switch is not a processor.
+        assert_eq!(t.proc_of_node(NodeId(2)), None);
+    }
+
+    #[test]
+    fn adjacency_expands_duplex_cables() {
+        let t = two_proc_star();
+        // Each processor has one outgoing hop; switch has two.
+        assert_eq!(t.hops_from(NodeId(0)).len(), 1);
+        assert_eq!(t.hops_from(NodeId(1)).len(), 1);
+        assert_eq!(t.hops_from(NodeId(2)).len(), 2);
+        let h = t.hops_from(NodeId(0))[0];
+        assert_eq!(h.from, NodeId(0));
+        assert_eq!(h.to, NodeId(2));
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let t = two_proc_star();
+        assert!(t.is_connected());
+
+        let mut b = Topology::builder();
+        b.add_processor(1.0);
+        b.add_processor(1.0);
+        // No links at all: disconnected.
+        let t = b.build().unwrap();
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn homogeneity_detection() {
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        let (c, _) = b.add_processor(1.0);
+        b.add_duplex_cable(a, c, 1.0);
+        assert!(b.build().unwrap().is_homogeneous());
+        assert!(!two_proc_star().is_homogeneous());
+    }
+
+    #[test]
+    fn half_duplex_hops_both_ways_one_link() {
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        let (c, _) = b.add_processor(1.0);
+        let l = b.add_half_duplex_cable(a, c, 1.0);
+        let t = b.build().unwrap();
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.hops_from(a)[0].link, l);
+        assert_eq!(t.hops_from(c)[0].link, l);
+        assert!(t.link(l).permits(a, c));
+        assert!(t.link(l).permits(c, a));
+    }
+
+    #[test]
+    fn bus_connects_all_pairs() {
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        let (c, _) = b.add_processor(1.0);
+        let (d, _) = b.add_processor(1.0);
+        let l = b.add_bus(vec![a, c, d], 2.0);
+        let t = b.build().unwrap();
+        assert_eq!(t.hops_from(a).len(), 2);
+        assert!(t.link(l).permits(a, d));
+        assert!(t.link(l).permits(d, c));
+        assert!(!t.link(l).permits(a, a));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn directed_link_permits_one_direction() {
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        let (c, _) = b.add_processor(1.0);
+        let l = b.add_directed_link(a, c, 1.0);
+        let t = b.build().unwrap();
+        assert!(t.link(l).permits(a, c));
+        assert!(!t.link(l).permits(c, a));
+    }
+
+    #[test]
+    fn build_rejects_bad_inputs() {
+        // No processors.
+        assert!(matches!(
+            Topology::builder().build(),
+            Err(TopoError::NoProcessors)
+        ));
+
+        // Bad processor speed.
+        let mut b = Topology::builder();
+        b.add_processor(0.0);
+        assert!(matches!(b.build(), Err(TopoError::InvalidProcSpeed(_, _))));
+
+        // Bad link speed.
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        let (c, _) = b.add_processor(1.0);
+        b.add_directed_link(a, c, f64::NAN);
+        assert!(matches!(b.build(), Err(TopoError::InvalidSpeed(_))));
+
+        // Self link.
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        b.add_directed_link(a, a, 1.0);
+        assert!(matches!(b.build(), Err(TopoError::SelfLink(_))));
+
+        // Unknown endpoint.
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        b.add_directed_link(a, NodeId(99), 1.0);
+        assert!(matches!(b.build(), Err(TopoError::UnknownNode(_))));
+
+        // Degenerate bus.
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        b.add_bus(vec![a], 1.0);
+        assert!(matches!(b.build(), Err(TopoError::BadBus(_))));
+
+        // Bus with repeated member.
+        let mut b = Topology::builder();
+        let (a, _) = b.add_processor(1.0);
+        let (c, _) = b.add_processor(1.0);
+        b.add_bus(vec![a, c, a], 1.0);
+        assert!(matches!(b.build(), Err(TopoError::BadBus(_))));
+    }
+}

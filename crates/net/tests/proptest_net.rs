@@ -1,0 +1,83 @@
+//! Property-based tests of topology construction and generators.
+
+use es_net::gen::{self, SpeedDist, WanConfig};
+use es_net::{LinkConn, NodeKind, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn wan_strategy() -> impl Strategy<Value = Topology> {
+    (1usize..80, any::<u64>(), prop::bool::ANY).prop_map(|(procs, seed, hetero)| {
+        let cfg = if hetero {
+            WanConfig::heterogeneous(procs)
+        } else {
+            WanConfig::homogeneous(procs)
+        };
+        gen::random_switched_wan(&cfg, &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wans_are_connected_with_exact_proc_count(t in wan_strategy()) {
+        prop_assert!(t.is_connected());
+        prop_assert!(t.proc_count() >= 1);
+        // Every processor maps to a distinct vertex and back.
+        let mut seen = std::collections::HashSet::new();
+        for p in t.proc_ids() {
+            let n = t.node_of_proc(p);
+            prop_assert!(seen.insert(n), "two processors share vertex {n}");
+            prop_assert_eq!(t.proc_of_node(n), Some(p));
+            prop_assert!(matches!(t.node(n).kind, NodeKind::Processor(q) if q == p));
+        }
+    }
+
+    #[test]
+    fn adjacency_agrees_with_link_permissions(t in wan_strategy()) {
+        for n in t.node_ids() {
+            for hop in t.hops_from(n) {
+                prop_assert_eq!(hop.from, n);
+                prop_assert!(t.link(hop.link).permits(hop.from, hop.to),
+                    "adjacency hop not permitted by its link");
+            }
+        }
+    }
+
+    #[test]
+    fn every_directed_link_appears_in_adjacency(t in wan_strategy()) {
+        for l in t.link_ids() {
+            if let LinkConn::Directed { from, to } = t.link(l).conn {
+                prop_assert!(t
+                    .hops_from(from)
+                    .iter()
+                    .any(|h| h.link == l && h.to == to));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_speeds_are_within_sampled_ranges(t in wan_strategy()) {
+        let mls = t.mean_link_speed();
+        let mps = t.mean_proc_speed();
+        prop_assert!((1.0..=10.0).contains(&mls), "MLS {mls}");
+        prop_assert!((1.0..=10.0).contains(&mps), "MPS {mps}");
+    }
+
+    #[test]
+    fn generators_scale_with_parameters(procs in 1usize..30, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = gen::star(procs, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+        prop_assert_eq!(s.proc_count(), procs);
+        prop_assert_eq!(s.link_count(), 2 * procs);
+        prop_assert!(s.is_connected());
+
+        let f = gen::fully_connected(procs, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+        prop_assert_eq!(f.proc_count(), procs);
+        prop_assert_eq!(f.link_count(), procs * (procs - 1));
+        if procs > 1 {
+            prop_assert!(f.is_connected());
+        }
+    }
+}

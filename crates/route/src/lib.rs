@@ -1,0 +1,355 @@
+//! # es-route — routing for contention-aware edge scheduling
+//!
+//! Two routing strategies from the paper:
+//!
+//! * [`bfs_route`] — **minimal routing** (fewest hops) via breadth-first
+//!   search. This is what Sinnen's Basic Algorithm uses (§3): "it
+//!   chooses the shortest possible path, in terms of number of edges,
+//!   through the network for every communication".
+//! * [`dijkstra_route`] — the paper's **modified routing** (§4.3): a
+//!   Dijkstra search whose relaxation metric is not hop count but the
+//!   *finish time of the communication on each link*, probed against
+//!   the link's current schedule. "Generally, the shortest physical
+//!   distance does not mean the most suitable route path because BFS
+//!   neglects the real workload of network."
+//!
+//! [`dijkstra_route`] is generic over a caller-supplied state type so
+//! the same search serves OIHSA (state = start/finish pair from a
+//! basic-insertion probe) and BBSA (state = the fluid flow planned so
+//! far, keyed by its finish time).
+//!
+//! Both searches are deterministic: ties resolve to the earlier-settled
+//! vertex (BFS by adjacency order, Dijkstra by insertion sequence).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use es_linksched::time::EPS;
+use es_net::{Hop, NodeId, Topology};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A route through the network: the hops taken in order. Empty when
+/// source and destination coincide.
+pub type Route = Vec<Hop>;
+
+/// Minimal (fewest-hops) route from `from` to `to`; `None` when
+/// unreachable. Ties resolve to adjacency order, so results are
+/// deterministic for a given topology.
+pub fn bfs_route(topo: &Topology, from: NodeId, to: NodeId) -> Option<Route> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let n = topo.node_count();
+    let mut pred: Vec<Option<Hop>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[from.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        for &hop in topo.hops_from(u) {
+            if !seen[hop.to.index()] {
+                seen[hop.to.index()] = true;
+                pred[hop.to.index()] = Some(hop);
+                if hop.to == to {
+                    return Some(reconstruct(&pred, from, to));
+                }
+                queue.push_back(hop.to);
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(pred: &[Option<Hop>], from: NodeId, to: NodeId) -> Route {
+    let mut route = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let hop = pred[cur.index()].expect("predecessor chain is complete");
+        route.push(hop);
+        cur = hop.from;
+    }
+    route.reverse();
+    route
+}
+
+/// Heap entry for [`dijkstra_route`]: min-ordered by key, then by
+/// insertion sequence (determinism).
+struct HeapEntry {
+    key: f64,
+    seq: u64,
+    node: NodeId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the min key out
+        // first, and among equal keys the earliest-inserted entry.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .expect("routing keys are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The paper's modified routing (§4.3), generalised.
+///
+/// `init` is the search state at the source vertex (e.g. "the message
+/// is ready at time `t`"). For every candidate hop, `relax(state, hop)`
+/// returns the state after traversing that hop — typically by probing
+/// the hop's link schedule — and `key(state)` orders states (smaller is
+/// better; OIHSA keys by the probed finish time of the communication on
+/// the link). The hop metric must be non-decreasing
+/// (`key(relax(s, h)) >= key(s)`), which link causality guarantees for
+/// finish-time metrics (Lemma 1).
+///
+/// Returns the best route and the final state at `to`, or `None` when
+/// unreachable.
+pub fn dijkstra_route<S: Clone>(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    init: S,
+    mut relax: impl FnMut(&S, &Hop) -> S,
+    key: impl Fn(&S) -> f64,
+) -> Option<(Route, S)> {
+    let n = topo.node_count();
+    let mut best: Vec<f64> = vec![f64::INFINITY; n];
+    let mut state: Vec<Option<S>> = vec![None; n];
+    let mut pred: Vec<Option<Hop>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    best[from.index()] = key(&init);
+    state[from.index()] = Some(init);
+    heap.push(HeapEntry {
+        key: best[from.index()],
+        seq,
+        node: from,
+    });
+
+    while let Some(HeapEntry { node: u, key: k, .. }) = heap.pop() {
+        if settled[u.index()] || k > best[u.index()] + EPS {
+            continue;
+        }
+        settled[u.index()] = true;
+        if u == to {
+            let route = reconstruct(&pred, from, to);
+            let final_state = state[to.index()].clone().expect("settled node has state");
+            return Some((route, final_state));
+        }
+        let u_state = state[u.index()].clone().expect("popped node has state");
+        for &hop in topo.hops_from(u) {
+            if settled[hop.to.index()] {
+                continue;
+            }
+            let next = relax(&u_state, &hop);
+            let nk = key(&next);
+            debug_assert!(
+                nk + EPS >= k,
+                "routing metric decreased along a hop ({k} -> {nk}); Dijkstra invalid"
+            );
+            if nk < best[hop.to.index()] - EPS {
+                best[hop.to.index()] = nk;
+                state[hop.to.index()] = Some(next);
+                pred[hop.to.index()] = Some(hop);
+                seq += 1;
+                heap.push(HeapEntry {
+                    key: nk,
+                    seq,
+                    node: hop.to,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Hop-count Dijkstra — exists so tests can cross-check BFS and the
+/// generic search against each other.
+pub fn dijkstra_min_hops(topo: &Topology, from: NodeId, to: NodeId) -> Option<Route> {
+    dijkstra_route(topo, from, to, 0.0_f64, |d, _| d + 1.0, |d| *d).map(|(r, _)| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es_linksched::slot::SlotQueue;
+    use es_net::gen::{self, SpeedDist};
+    use es_net::{LinkId, Topology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two processors joined by two parallel switch paths:
+    /// p0 - swA - p1 (short) and p0 - swB - swC - p1 (long).
+    fn parallel_paths() -> (Topology, NodeId, NodeId, Vec<LinkId>) {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let sa = b.add_switch();
+        let sb = b.add_switch();
+        let sc = b.add_switch();
+        // Short path links.
+        let (l0, _) = b.add_duplex_cable(p0, sa, 1.0);
+        let (l1, _) = b.add_duplex_cable(sa, p1, 1.0);
+        // Long path links.
+        let (l2, _) = b.add_duplex_cable(p0, sb, 1.0);
+        let (l3, _) = b.add_duplex_cable(sb, sc, 1.0);
+        let (l4, _) = b.add_duplex_cable(sc, p1, 1.0);
+        let t = b.build().unwrap();
+        (t, p0, p1, vec![l0, l1, l2, l3, l4])
+    }
+
+    #[test]
+    fn bfs_trivial_same_node() {
+        let (t, p0, _, _) = parallel_paths();
+        assert_eq!(bfs_route(&t, p0, p0), Some(vec![]));
+    }
+
+    #[test]
+    fn bfs_picks_fewest_hops() {
+        let (t, p0, p1, _) = parallel_paths();
+        let r = bfs_route(&t, p0, p1).unwrap();
+        assert_eq!(r.len(), 2, "short path has 2 hops");
+        assert_eq!(r[0].from, p0);
+        assert_eq!(r[1].to, p1);
+        // Hops chain.
+        assert_eq!(r[0].to, r[1].from);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let t = b.build().unwrap();
+        assert_eq!(bfs_route(&t, p0, p1), None);
+    }
+
+    #[test]
+    fn bfs_respects_link_direction() {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        b.add_directed_link(p0, p1, 1.0);
+        let t = b.build().unwrap();
+        assert!(bfs_route(&t, p0, p1).is_some());
+        assert_eq!(bfs_route(&t, p1, p0), None);
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_hop_metric() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = gen::random_switched_wan(&gen::WanConfig::homogeneous(24), &mut rng);
+        for a in t.proc_ids() {
+            for bp in t.proc_ids() {
+                let na = t.node_of_proc(a);
+                let nb = t.node_of_proc(bp);
+                let r1 = bfs_route(&t, na, nb).unwrap();
+                let r2 = dijkstra_min_hops(&t, na, nb).unwrap();
+                assert_eq!(r1.len(), r2.len(), "{a} -> {bp}");
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_avoids_congested_short_path() {
+        let (t, p0, p1, links) = parallel_paths();
+        // Congest the short path: its first link is busy until t=100.
+        let mut queues: Vec<SlotQueue> = (0..t.link_count()).map(|_| SlotQueue::new()).collect();
+        queues[links[0].index()].commit(es_linksched::CommId(1), 0, 0.0, 100.0);
+
+        // Metric: basic-insertion finish time of a 5-unit transfer.
+        let duration = 5.0;
+        let result = dijkstra_route(
+            &t,
+            p0,
+            p1,
+            (0.0_f64, 0.0_f64), // (start, finish) at source
+            |&(s, f), hop| {
+                let bound = s.max(f - duration);
+                let start = queues[hop.link.index()].probe(bound, duration);
+                (start, (start + duration).max(f))
+            },
+            |&(_, f)| f,
+        );
+        let (route, (_, finish)) = result.unwrap();
+        assert_eq!(route.len(), 3, "takes the long free path");
+        assert!(finish < 100.0, "finishes before the congested link frees");
+    }
+
+    #[test]
+    fn dijkstra_takes_short_path_when_uncongested() {
+        let (t, p0, p1, _) = parallel_paths();
+        let queues: Vec<SlotQueue> = (0..t.link_count()).map(|_| SlotQueue::new()).collect();
+        let duration = 5.0;
+        let (route, (_, finish)) = dijkstra_route(
+            &t,
+            p0,
+            p1,
+            (0.0_f64, 0.0_f64),
+            |&(s, f), hop| {
+                let bound = s.max(f - duration);
+                let start = queues[hop.link.index()].probe(bound, duration);
+                (start, (start + duration).max(f))
+            },
+            |&(_, f)| f,
+        )
+        .unwrap();
+        assert_eq!(route.len(), 2);
+        // Cut-through with zero hop delay: both links carry the message
+        // over [0, 5) simultaneously, so the route finishes at 5.
+        assert_eq!(finish, 5.0);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_none() {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let t = b.build().unwrap();
+        let r = dijkstra_route(&t, p0, p1, 0.0_f64, |d, _| d + 1.0, |d| *d);
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn routes_are_simple_paths() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let t = gen::random_switched_wan(&gen::WanConfig::heterogeneous(40), &mut rng);
+        for a in t.proc_ids().take(6) {
+            for bp in t.proc_ids().take(6) {
+                if a == bp {
+                    continue;
+                }
+                let r = bfs_route(&t, t.node_of_proc(a), t.node_of_proc(bp)).unwrap();
+                let mut seen = std::collections::HashSet::new();
+                seen.insert(r[0].from);
+                for hop in &r {
+                    assert!(seen.insert(hop.to), "revisited vertex on route");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bus_routes_work() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = gen::shared_bus(4, SpeedDist::Fixed(1.0), 1.0, &mut rng);
+        let r = bfs_route(&t, t.node_of_proc(es_net::ProcId(0)), t.node_of_proc(es_net::ProcId(3)))
+            .unwrap();
+        assert_eq!(r.len(), 1, "bus is a single hop");
+    }
+}

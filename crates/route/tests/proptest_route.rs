@@ -1,0 +1,138 @@
+//! Property-based tests of the routing searches.
+
+use es_linksched::slot::SlotQueue;
+use es_linksched::CommId;
+use es_net::gen::{self, WanConfig};
+use es_net::Topology;
+use es_route::{bfs_route, dijkstra_min_hops, dijkstra_route};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn wan(seed: u64, procs: usize) -> Topology {
+    gen::random_switched_wan(
+        &WanConfig::heterogeneous(procs),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bfs_routes_are_valid_chains(seed in any::<u64>(), procs in 2usize..40) {
+        let t = wan(seed, procs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..6 {
+            let a = es_net::ProcId(rng.random_range(0..procs as u32));
+            let b = es_net::ProcId(rng.random_range(0..procs as u32));
+            let (na, nb) = (t.node_of_proc(a), t.node_of_proc(b));
+            let route = bfs_route(&t, na, nb).expect("WANs are connected");
+            if a == b {
+                prop_assert!(route.is_empty());
+                continue;
+            }
+            prop_assert_eq!(route[0].from, na);
+            prop_assert_eq!(route.last().unwrap().to, nb);
+            for w in route.windows(2) {
+                prop_assert_eq!(w[0].to, w[1].from);
+            }
+            for hop in &route {
+                prop_assert!(t.link(hop.link).permits(hop.from, hop.to));
+            }
+            // Simple path: no vertex repeats.
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(route[0].from);
+            for hop in &route {
+                prop_assert!(seen.insert(hop.to));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_matches_hop_count_dijkstra(seed in any::<u64>(), procs in 2usize..25) {
+        let t = wan(seed, procs);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        for _ in 0..6 {
+            let a = t.node_of_proc(es_net::ProcId(rng.random_range(0..procs as u32)));
+            let b = t.node_of_proc(es_net::ProcId(rng.random_range(0..procs as u32)));
+            let r1 = bfs_route(&t, a, b).unwrap();
+            let r2 = dijkstra_min_hops(&t, a, b).unwrap();
+            prop_assert_eq!(r1.len(), r2.len());
+        }
+    }
+
+    #[test]
+    fn schedule_probe_dijkstra_finish_dominates_free_network(
+        seed in any::<u64>(), procs in 2usize..25, cost in 1.0f64..500.0
+    ) {
+        // With empty link schedules the probed finish time equals the
+        // best over paths of max-int along the path starting at est —
+        // and can never beat est + cost / (fastest link on any path).
+        let t = wan(seed, procs);
+        let queues: Vec<SlotQueue> = (0..t.link_count()).map(|_| SlotQueue::new()).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let a = t.node_of_proc(es_net::ProcId(rng.random_range(0..procs as u32)));
+        let b = t.node_of_proc(es_net::ProcId(rng.random_range(0..procs as u32)));
+        if a == b {
+            return Ok(());
+        }
+        let est = 10.0_f64;
+        let (route, (_, finish)) = dijkstra_route(
+            &t, a, b,
+            (est, est),
+            |&(s, f), hop| {
+                let int = cost / t.link_speed(hop.link);
+                let bound = s.max(f - int);
+                let start = queues[hop.link.index()].probe(bound, int);
+                (start, start + int)
+            },
+            |&(_, f)| f,
+        ).expect("connected");
+        prop_assert!(!route.is_empty());
+        // Finish >= est + transfer time on the slowest link of the
+        // chosen route (cut-through: slowest hop dominates).
+        let slowest = route
+            .iter()
+            .map(|h| t.link_speed(h.link))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(finish + 1e-9 >= est + cost / slowest.max(10.0) );
+        prop_assert!(finish >= est);
+    }
+
+    #[test]
+    fn congestion_never_improves_the_probed_finish(
+        seed in any::<u64>(), procs in 2usize..20, cost in 1.0f64..200.0
+    ) {
+        let t = wan(seed, procs);
+        let free: Vec<SlotQueue> = (0..t.link_count()).map(|_| SlotQueue::new()).collect();
+        let mut busy = free.clone();
+        // Congest every link with a slot at the front.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
+        for q in &mut busy {
+            let dur = rng.random_range(1..50) as f64;
+            q.commit(CommId(0), 0, 0.0, dur);
+        }
+        let a = t.node_of_proc(es_net::ProcId(0));
+        let b = t.node_of_proc(es_net::ProcId((procs - 1) as u32));
+        if a == b {
+            return Ok(());
+        }
+        let probe = |queues: &Vec<SlotQueue>| {
+            dijkstra_route(
+                &t, a, b,
+                (0.0_f64, 0.0_f64),
+                |&(s, f), hop| {
+                    let int = cost / t.link_speed(hop.link);
+                    let bound = s.max(f - int);
+                    let start = queues[hop.link.index()].probe(bound, int);
+                    (start, start + int)
+                },
+                |&(_, f)| f,
+            )
+            .map(|(_, (_, fin))| fin)
+            .expect("connected")
+        };
+        prop_assert!(probe(&busy) + 1e-9 >= probe(&free));
+    }
+}

@@ -1,0 +1,31 @@
+//! # es-sim — experiment harness reproducing the paper's evaluation
+//!
+//! §6 of Han & Wang evaluates OIHSA and BBSA against BA on randomly
+//! generated instances, reporting the **percentage improvement in
+//! makespan over BA** along two axes (CCR and processor count) in two
+//! speed regimes (homogeneous / heterogeneous) — Figures 1–4. This
+//! crate is the machinery that regenerates those figures:
+//!
+//! * [`stats`] — means, standard deviations, confidence intervals and
+//!   the improvement ratio;
+//! * [`runner`] — a work-stealing-ish parallel map over experiment
+//!   cells (std scoped threads + a crossbeam channel as the work
+//!   queue), because a full paper sweep is thousands of independent
+//!   scheduling runs;
+//! * [`experiment`] — cell and figure definitions, execution, and the
+//!   text tables the CLI prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use experiment::{
+    fig1, fig2, fig3, fig4, fig_pair, run_cell, run_cell_adaptive, CellResult, CellSpec, FigureParams,
+    FigureResult,
+};
+pub use runner::parallel_map;
+pub use stats::{improvement_percent, Summary};

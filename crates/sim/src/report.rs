@@ -1,0 +1,147 @@
+//! Report generation: markdown tables from figure results.
+//!
+//! EXPERIMENTS.md-style rendering so recorded runs paste directly into
+//! documentation; also CSV assembly shared with the CLI.
+
+use crate::experiment::{CellResult, FigureResult};
+use std::fmt::Write as _;
+
+/// Render one figure as a GitHub-flavoured markdown table.
+pub fn figure_to_markdown(fig: &FigureResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {}\n", fig.title);
+    let _ = writeln!(out, "| {} | OIHSA vs BA % | BBSA vs BA % |", fig.x_name);
+    let _ = writeln!(out, "|---:|---:|---:|");
+    for i in 0..fig.x.len() {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2} |",
+            fig.x[i], fig.oihsa[i], fig.bbsa[i]
+        );
+    }
+    out
+}
+
+/// Render the per-cell detail of a figure (one row per cell) as
+/// markdown — the appendix view.
+pub fn cells_to_markdown(cells: &[CellResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| setting | procs | CCR | BA makespan | OIHSA % | σ | BBSA % | σ |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "| {:?} | {} | {} | {:.0} | {:+.2} | {:.2} | {:+.2} | {:.2} |",
+            c.spec.setting,
+            c.spec.processors,
+            c.spec.ccr,
+            c.ba_makespan,
+            c.oihsa_improvement,
+            c.oihsa_stddev,
+            c.bbsa_improvement,
+            c.bbsa_stddev,
+        );
+    }
+    out
+}
+
+/// The CSV header used by every per-cell export in the workspace.
+pub const CELL_CSV_HEADER: &str = "figure,setting,processors,ccr,reps,ba_makespan,\
+oihsa_makespan,bbsa_makespan,oihsa_improvement,bbsa_improvement,oihsa_stddev,\
+bbsa_stddev,ba_probe_makespan,oihsa_probe_improvement,bbsa_probe_improvement";
+
+/// One CSV row for a cell (no trailing newline).
+pub fn cell_to_csv_row(figure: &str, c: &CellResult) -> String {
+    let opt = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_default();
+    format!(
+        "{},{:?},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{}",
+        figure,
+        c.spec.setting,
+        c.spec.processors,
+        c.spec.ccr,
+        c.spec.reps,
+        c.ba_makespan,
+        c.oihsa_makespan,
+        c.bbsa_makespan,
+        c.oihsa_improvement,
+        c.bbsa_improvement,
+        c.oihsa_stddev,
+        c.bbsa_stddev,
+        opt(c.ba_probe_makespan),
+        opt(c.oihsa_probe_improvement),
+        opt(c.bbsa_probe_improvement),
+    )
+}
+
+/// Full CSV for a set of figures.
+pub fn figures_to_csv(figs: &[FigureResult]) -> String {
+    let mut out = String::from(CELL_CSV_HEADER);
+    out.push('\n');
+    for f in figs {
+        let tag = f.title.split(':').next().unwrap_or("");
+        for c in &f.cells {
+            out.push_str(&cell_to_csv_row(tag, c));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{fig1, FigureParams};
+
+    fn small_fig() -> FigureResult {
+        fig1(&FigureParams {
+            reps: 2,
+            tasks: Some(25),
+            base_seed: 5,
+            procs: vec![4],
+            ccrs: vec![1.0, 5.0],
+            threads: 2,
+            validate: false,
+            strong_baseline: false,
+            progress: false,
+        })
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let f = small_fig();
+        let md = figure_to_markdown(&f);
+        assert!(md.contains("### Figure 1"));
+        assert!(md.contains("| CCR |"));
+        assert_eq!(md.matches('\n').count(), 4 + f.x.len(), "title + blank + header + separator + rows");
+    }
+
+    #[test]
+    fn cells_markdown_one_row_per_cell() {
+        let f = small_fig();
+        let md = cells_to_markdown(&f.cells);
+        assert_eq!(md.lines().count(), 2 + f.cells.len());
+        assert!(md.contains("Homogeneous"));
+    }
+
+    #[test]
+    fn csv_round_trip_field_count() {
+        let f = small_fig();
+        let csv = figures_to_csv(&[f]);
+        let header_fields = CELL_CSV_HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), header_fields, "{line}");
+        }
+    }
+
+    #[test]
+    fn probe_columns_empty_without_strong_baseline() {
+        let f = small_fig();
+        let csv = figures_to_csv(&[f]);
+        for line in csv.lines().skip(1) {
+            assert!(line.ends_with(",,"), "{line}");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Parallel execution of independent experiment cells.
+//!
+//! A full paper sweep is `19 CCRs × 7 processor counts × repetitions`
+//! independent scheduling runs — embarrassingly parallel. Rather than
+//! pull in a full work-stealing runtime, we use the idiom the Rust
+//! concurrency literature recommends for this shape: **scoped threads
+//! draining a shared channel** (crossbeam's MPMC channel as the work
+//! queue, `std::thread::scope` so borrows of the input live safely on
+//! the stack). Results are written into pre-allocated slots guarded by
+//! a `parking_lot::Mutex`, preserving input order.
+
+use parking_lot::Mutex;
+
+/// Apply `f` to every item on up to `threads` worker threads,
+/// preserving input order in the output.
+///
+/// `f` must be `Sync` (it is shared by reference across workers) and
+/// the items are handed out through a channel, so faster workers take
+/// more cells — no static partitioning imbalance.
+///
+/// `threads == 0` or `1` degrades to a sequential map (useful under
+/// `cargo test` and for debugging).
+///
+/// # Panics
+/// Propagates panics from `f` (the scope joins all workers).
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, &T)>();
+    for pair in items.iter().enumerate() {
+        tx.send(pair).expect("unbounded channel accepts all work");
+    }
+    drop(tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let rx = rx.clone();
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((idx, item)) = rx.recv() {
+                    let result = f(item);
+                    *slots[idx].lock() = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled by a worker"))
+        .collect()
+}
+
+/// A sensible default worker count: the number of available CPUs
+/// (minimum 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let items: Vec<u64> = (0..20).collect();
+        let a = parallel_map(items.clone(), 1, |&x| x + 1);
+        let b = parallel_map(items, 4, |&x| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..500).collect();
+        let out = parallel_map(items, 6, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still all complete.
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(items, 4, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * x
+        });
+        assert_eq!(out[31], 31 * 31);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

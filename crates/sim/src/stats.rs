@@ -1,0 +1,111 @@
+//! Summary statistics for experiment cells.
+
+/// Mean / spread summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample.
+    pub fn of(xs: &[f64]) -> Self {
+        let n = xs.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        Self {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Half-width of the ~95% normal-approximation confidence interval
+    /// (`1.96 · s/√n`; 0 for n < 2).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+/// The paper's metric: percentage improvement of `candidate` over
+/// `baseline` makespan, `100 · (baseline - candidate) / baseline`.
+///
+/// Positive = candidate is better. Returns 0 when the baseline is 0
+/// (empty schedules).
+pub fn improvement_percent(baseline: f64, candidate: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        100.0 * (baseline - candidate) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        // Sample stddev with Bessel: sqrt(32/7).
+        assert!((s.stddev - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_handles_empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let xs: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+        let big = Summary::of(&xs);
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn improvement_percent_signs() {
+        assert_eq!(improvement_percent(100.0, 80.0), 20.0);
+        assert_eq!(improvement_percent(100.0, 120.0), -20.0);
+        assert_eq!(improvement_percent(100.0, 100.0), 0.0);
+        assert_eq!(improvement_percent(0.0, 50.0), 0.0);
+    }
+}

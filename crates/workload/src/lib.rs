@@ -1,0 +1,283 @@
+//! # es-workload — the paper's experimental workloads (§6)
+//!
+//! Reproduces the experimental setup of Han & Wang §6:
+//!
+//! * task count `U(40, 1000)`;
+//! * computation and communication costs `U(1, 1000)`, with the
+//!   communication costs rescaled so the instance hits its target CCR
+//!   exactly (`CCR = mean comm time / mean comp time` under the
+//!   topology's mean speeds);
+//! * CCR swept over `{0.1 … 1.0 step 0.1} ∪ {2 … 10 step 1}` (19
+//!   values — the x-axis of Figures 1 and 3);
+//! * processor counts `{2, 4, 8, 16, 32, 64, 128}` (Figures 2 and 4);
+//! * topology: random switched WAN, `U(4,16)` processors per switch;
+//! * homogeneous (§6.1): all speeds 1 — heterogeneous (§6.2): speeds
+//!   `U(1, 10)`.
+//!
+//! Instances are generated from explicit seeds: the same
+//! [`InstanceConfig`] always produces the same `(dag, topology)` pair,
+//! and paired comparisons (every algorithm on the identical instance)
+//! fall out naturally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod suite;
+
+use es_dag::gen::layered::{random_layered, LayeredDagConfig};
+use es_dag::{analysis, TaskGraph, TaskGraphBuilder};
+use es_net::gen::{random_switched_wan, WanConfig};
+use es_net::Topology;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Homogeneous (§6.1) or heterogeneous (§6.2) system speeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setting {
+    /// All processor and link speeds are 1.
+    Homogeneous,
+    /// Processor and link speeds are `U(1, 10)`.
+    Heterogeneous,
+}
+
+/// The paper's CCR sweep: 0.1–1.0 in steps of 0.1, then 2–10 in steps
+/// of 1 (x-axis of Figures 1 and 3).
+pub fn ccr_values() -> Vec<f64> {
+    let mut v: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+    v.extend((2..=10).map(|i| i as f64));
+    v
+}
+
+/// The paper's processor-count sweep (x-axis of Figures 2 and 4).
+pub fn proc_counts() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32, 64, 128]
+}
+
+/// Everything needed to regenerate one experimental instance.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InstanceConfig {
+    /// Speed regime.
+    pub setting: Setting,
+    /// Number of processors.
+    pub processors: usize,
+    /// Target communication-to-computation ratio.
+    pub ccr: f64,
+    /// Task count; `None` draws `U(40, 1000)` as the paper does.
+    pub tasks: Option<usize>,
+    /// RNG seed — same seed, same instance.
+    pub seed: u64,
+}
+
+impl InstanceConfig {
+    /// Paper-default configuration (task count drawn from `U(40,1000)`).
+    pub fn paper(setting: Setting, processors: usize, ccr: f64, seed: u64) -> Self {
+        Self {
+            setting,
+            processors,
+            ccr,
+            tasks: None,
+            seed,
+        }
+    }
+
+    /// Same configuration but with a fixed task count — used by tests
+    /// and benches that need bounded runtime.
+    pub fn with_tasks(mut self, tasks: usize) -> Self {
+        self.tasks = Some(tasks);
+        self
+    }
+}
+
+/// One generated experimental instance.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The configuration that produced it.
+    pub config: InstanceConfig,
+    /// The task graph, CCR-rescaled.
+    pub dag: TaskGraph,
+    /// The network.
+    pub topo: Topology,
+}
+
+/// Generate the instance for `config` (deterministic).
+pub fn generate(config: &InstanceConfig) -> Instance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let wan = match config.setting {
+        Setting::Homogeneous => WanConfig::homogeneous(config.processors),
+        Setting::Heterogeneous => WanConfig::heterogeneous(config.processors),
+    };
+    let topo = random_switched_wan(&wan, &mut rng);
+
+    let tasks = config
+        .tasks
+        .unwrap_or_else(|| rng.random_range(40..=1000));
+    // Graph shape following the layered construction of Bajaj &
+    // Agrawal: width grows with the square root of the task count so
+    // depth and parallelism both scale.
+    let dag_cfg = LayeredDagConfig {
+        tasks,
+        mean_width: ((tasks as f64).sqrt().ceil() as usize).max(2),
+        edge_density: 0.2,
+        max_jump: 2,
+        weight_range: (1, 1000),
+        cost_range: (1, 1000),
+    };
+    let raw = random_layered(&dag_cfg, &mut rng);
+    let dag = scale_to_ccr(&raw, config.ccr, topo.mean_proc_speed(), topo.mean_link_speed());
+
+    Instance {
+        config: *config,
+        dag,
+        topo,
+    }
+}
+
+/// Rebuild `dag` with every communication cost multiplied so that the
+/// measured CCR equals `target` under the given mean speeds. Graphs
+/// without edges (or without work) are returned unchanged.
+pub fn scale_to_ccr(dag: &TaskGraph, target: f64, mps: f64, mls: f64) -> TaskGraph {
+    let Some(factor) = analysis::ccr_scale_factor(dag, target, mps, mls) else {
+        return dag.clone();
+    };
+    let mut b = TaskGraphBuilder::with_capacity(dag.task_count(), dag.edge_count());
+    for t in dag.task_ids() {
+        let node = dag.task(t);
+        match &node.label {
+            Some(l) => b.add_labeled_task(node.weight, l.clone()),
+            None => b.add_task(node.weight),
+        };
+    }
+    for e in dag.edge_ids() {
+        let edge = dag.edge(e);
+        b.add_edge(edge.src, edge.dst, edge.cost * factor)
+            .expect("copying a valid graph");
+    }
+    b.build().expect("copying a valid graph")
+}
+
+/// Deterministic per-cell seed: combine a base seed with the sweep
+/// coordinates so every (setting, procs, ccr, repetition) cell has an
+/// independent but reproducible stream.
+pub fn cell_seed(base: u64, setting: Setting, procs: usize, ccr: f64, rep: usize) -> u64 {
+    // SplitMix64-style mixing, good enough for seeding StdRng.
+    let mut x = base
+        ^ (procs as u64).wrapping_mul(0x9E3779B97F4A7C15)
+        ^ ((ccr * 1000.0) as u64).wrapping_mul(0xBF58476D1CE4E5B9)
+        ^ (rep as u64).wrapping_mul(0x94D049BB133111EB)
+        ^ match setting {
+            Setting::Homogeneous => 0x1234_5678,
+            Setting::Heterogeneous => 0x8765_4321,
+        };
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccr_sweep_matches_paper() {
+        let v = ccr_values();
+        assert_eq!(v.len(), 19);
+        assert_eq!(v[0], 0.1);
+        assert_eq!(v[9], 1.0);
+        assert_eq!(v[10], 2.0);
+        assert_eq!(v[18], 10.0);
+    }
+
+    #[test]
+    fn proc_sweep_matches_paper() {
+        assert_eq!(proc_counts(), vec![2, 4, 8, 16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = InstanceConfig::paper(Setting::Heterogeneous, 8, 2.0, 42).with_tasks(60);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.dag.task_count(), b.dag.task_count());
+        assert_eq!(a.dag.edge_count(), b.dag.edge_count());
+        assert_eq!(a.topo.link_count(), b.topo.link_count());
+        for e in a.dag.edge_ids() {
+            assert_eq!(a.dag.cost(e), b.dag.cost(e));
+        }
+    }
+
+    #[test]
+    fn instance_hits_target_ccr() {
+        for &ccr in &[0.1, 1.0, 5.0, 10.0] {
+            let cfg = InstanceConfig::paper(Setting::Homogeneous, 8, ccr, 7).with_tasks(80);
+            let inst = generate(&cfg);
+            let measured = analysis::measured_ccr(
+                &inst.dag,
+                inst.topo.mean_proc_speed(),
+                inst.topo.mean_link_speed(),
+            );
+            assert!(
+                (measured - ccr).abs() < 1e-9,
+                "target {ccr}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn homogeneous_topology_is_homogeneous() {
+        let cfg = InstanceConfig::paper(Setting::Homogeneous, 16, 1.0, 3).with_tasks(50);
+        assert!(generate(&cfg).topo.is_homogeneous());
+    }
+
+    #[test]
+    fn heterogeneous_speeds_in_paper_range() {
+        let cfg = InstanceConfig::paper(Setting::Heterogeneous, 32, 1.0, 3).with_tasks(50);
+        let inst = generate(&cfg);
+        for p in inst.topo.proc_ids() {
+            assert!((1.0..=10.0).contains(&inst.topo.proc_speed(p)));
+        }
+    }
+
+    #[test]
+    fn paper_task_count_in_range() {
+        let cfg = InstanceConfig::paper(Setting::Homogeneous, 4, 1.0, 11);
+        let inst = generate(&cfg);
+        assert!((40..=1000).contains(&inst.dag.task_count()));
+    }
+
+    #[test]
+    fn requested_processor_count_is_exact() {
+        for procs in [2, 4, 8, 128] {
+            let cfg = InstanceConfig::paper(Setting::Homogeneous, procs, 1.0, 5).with_tasks(40);
+            assert_eq!(generate(&cfg).topo.proc_count(), procs);
+        }
+    }
+
+    #[test]
+    fn cell_seeds_differ_across_cells_and_repeat() {
+        let a = cell_seed(1, Setting::Homogeneous, 8, 0.5, 0);
+        let b = cell_seed(1, Setting::Homogeneous, 8, 0.5, 1);
+        let c = cell_seed(1, Setting::Homogeneous, 16, 0.5, 0);
+        let d = cell_seed(1, Setting::Heterogeneous, 8, 0.5, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a, cell_seed(1, Setting::Homogeneous, 8, 0.5, 0));
+    }
+
+    #[test]
+    fn scale_preserves_structure() {
+        let cfg = InstanceConfig::paper(Setting::Homogeneous, 4, 1.0, 9).with_tasks(50);
+        let inst = generate(&cfg);
+        let scaled = scale_to_ccr(&inst.dag, 3.0, 1.0, 1.0);
+        assert_eq!(scaled.task_count(), inst.dag.task_count());
+        assert_eq!(scaled.edge_count(), inst.dag.edge_count());
+        for t in inst.dag.task_ids() {
+            assert_eq!(scaled.weight(t), inst.dag.weight(t));
+        }
+    }
+}

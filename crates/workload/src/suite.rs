@@ -1,0 +1,271 @@
+//! Named workload suites.
+//!
+//! Curated (kernel × platform × CCR) collections used by the examples,
+//! the extra benches, and anyone who wants reproducible scenarios
+//! beyond the paper's random sweep. Every suite instance is
+//! deterministic in the seed.
+
+use es_dag::gen::structured;
+use es_dag::TaskGraph;
+use es_net::gen::{self, SpeedDist, WanConfig};
+use es_net::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::scale_to_ccr;
+
+/// The structured kernels, sized for a given task budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Gaussian elimination (serial spine, shrinking fans).
+    GaussElim,
+    /// FFT butterflies (uniform ranks, global exchange).
+    Fft,
+    /// 1-D stencil wavefront (nearest-neighbour halo exchange).
+    Stencil,
+    /// Fork–join (embarrassing parallelism with a barrier).
+    ForkJoin,
+    /// Binary out-tree then in-tree (divide and conquer).
+    DivideConquer,
+    /// Diamond mesh (2-D wavefront).
+    Diamond,
+}
+
+impl Kernel {
+    /// All kernels, in a stable order.
+    pub fn all() -> [Kernel; 6] {
+        [
+            Kernel::GaussElim,
+            Kernel::Fft,
+            Kernel::Stencil,
+            Kernel::ForkJoin,
+            Kernel::DivideConquer,
+            Kernel::Diamond,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::GaussElim => "gauss-elim",
+            Kernel::Fft => "fft",
+            Kernel::Stencil => "stencil",
+            Kernel::ForkJoin => "fork-join",
+            Kernel::DivideConquer => "divide-conquer",
+            Kernel::Diamond => "diamond",
+        }
+    }
+
+    /// Instantiate with roughly `tasks` tasks (kernels are quantised,
+    /// so the actual count is the nearest achievable) and unit costs
+    /// (callers rescale for CCR).
+    pub fn instantiate(self, tasks: usize) -> TaskGraph {
+        let t = tasks.max(4);
+        match self {
+            Kernel::GaussElim => {
+                // (n-1) + (n-1)n/2 tasks ≈ n²/2.
+                let n = (((2 * t) as f64).sqrt().round() as usize).max(3);
+                structured::gauss_elim(n, 100.0, 100.0)
+            }
+            Kernel::Fft => {
+                // (log2 p + 1) * p tasks; pick p a power of two.
+                let mut p = 2usize;
+                while (p.trailing_zeros() as usize + 1) * p < t && p < 1 << 12 {
+                    p <<= 1;
+                }
+                structured::fft_graph(p, 100.0, 100.0)
+            }
+            Kernel::Stencil => {
+                let side = ((t as f64).sqrt().round() as usize).max(2);
+                structured::stencil_1d(side, side, 100.0, 100.0)
+            }
+            Kernel::ForkJoin => structured::fork_join(t.saturating_sub(2).max(1), 100.0, 100.0),
+            Kernel::DivideConquer => {
+                // out_tree + in_tree of equal depth: 2*(2^d - 1) tasks.
+                let mut d = 1usize;
+                while 2 * ((1usize << (d + 1)) - 1) <= t && d < 12 {
+                    d += 1;
+                }
+                let divide = structured::out_tree(2, d, 100.0, 100.0);
+                let conquer = structured::in_tree(2, d, 100.0, 100.0);
+                es_dag::transform::series(&divide, &conquer, 100.0)
+            }
+            Kernel::Diamond => {
+                let side = ((t as f64).sqrt().round() as usize).max(2);
+                structured::diamond_mesh(side, 100.0, 100.0)
+            }
+        }
+    }
+}
+
+/// The platform families a suite runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// The paper's random switched WAN (homogeneous speeds).
+    WanHomogeneous,
+    /// The paper's random switched WAN (heterogeneous speeds).
+    WanHeterogeneous,
+    /// Single switch (star) — zero path diversity.
+    Star,
+    /// Two-level fat tree with 3 spines — high path diversity.
+    FatTree,
+    /// One shared bus — maximum contention.
+    Bus,
+}
+
+impl Platform {
+    /// All platforms, in a stable order.
+    pub fn all() -> [Platform; 5] {
+        [
+            Platform::WanHomogeneous,
+            Platform::WanHeterogeneous,
+            Platform::Star,
+            Platform::FatTree,
+            Platform::Bus,
+        ]
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::WanHomogeneous => "wan-hom",
+            Platform::WanHeterogeneous => "wan-het",
+            Platform::Star => "star",
+            Platform::FatTree => "fat-tree",
+            Platform::Bus => "bus",
+        }
+    }
+
+    /// Instantiate with `processors` processors.
+    pub fn instantiate(self, processors: usize, seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Platform::WanHomogeneous => {
+                gen::random_switched_wan(&WanConfig::homogeneous(processors), &mut rng)
+            }
+            Platform::WanHeterogeneous => {
+                gen::random_switched_wan(&WanConfig::heterogeneous(processors), &mut rng)
+            }
+            Platform::Star => gen::star(
+                processors,
+                SpeedDist::Fixed(1.0),
+                SpeedDist::Fixed(1.0),
+                &mut rng,
+            ),
+            Platform::FatTree => {
+                let pods = processors.div_ceil(4).max(2);
+                gen::fat_tree(
+                    pods,
+                    processors.div_ceil(pods),
+                    3,
+                    SpeedDist::Fixed(1.0),
+                    SpeedDist::Fixed(1.0),
+                    &mut rng,
+                )
+            }
+            Platform::Bus => gen::shared_bus(
+                processors.max(2),
+                SpeedDist::Fixed(1.0),
+                1.0,
+                &mut rng,
+            ),
+        }
+    }
+}
+
+/// One suite scenario: kernel, platform, CCR-adjusted instance.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Which kernel.
+    pub kernel: Kernel,
+    /// Which platform.
+    pub platform: Platform,
+    /// Target CCR.
+    pub ccr: f64,
+    /// The instantiated task graph (costs rescaled for `ccr`).
+    pub dag: TaskGraph,
+    /// The instantiated topology.
+    pub topo: Topology,
+}
+
+/// Build the full kernel × platform grid at one size and CCR.
+pub fn grid(tasks: usize, processors: usize, ccr: f64, seed: u64) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for kernel in Kernel::all() {
+        for platform in Platform::all() {
+            let topo = platform.instantiate(processors, seed);
+            let raw = kernel.instantiate(tasks);
+            let dag = scale_to_ccr(&raw, ccr, topo.mean_proc_speed(), topo.mean_link_speed());
+            out.push(Scenario {
+                kernel,
+                platform,
+                ccr,
+                dag,
+                topo,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es_dag::analysis;
+
+    #[test]
+    fn kernels_hit_requested_size_roughly() {
+        for k in Kernel::all() {
+            let g = k.instantiate(60);
+            let n = g.task_count();
+            assert!(
+                (15..=200).contains(&n),
+                "{} produced {n} tasks for a budget of 60",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn platforms_hit_processor_count() {
+        for p in Platform::all() {
+            let t = p.instantiate(8, 5);
+            assert!(
+                t.proc_count() >= 8,
+                "{} produced {} processors",
+                p.name(),
+                t.proc_count()
+            );
+            assert!(t.is_connected(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn grid_covers_every_combination() {
+        let g = grid(40, 6, 2.0, 9);
+        assert_eq!(g.len(), 30);
+        for s in &g {
+            let measured = analysis::measured_ccr(
+                &s.dag,
+                s.topo.mean_proc_speed(),
+                s.topo.mean_link_speed(),
+            );
+            assert!(
+                (measured - 2.0).abs() < 1e-9,
+                "{}/{} CCR {measured}",
+                s.kernel.name(),
+                s.platform.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = grid(40, 6, 1.0, 11);
+        let b = grid(40, 6, 1.0, 11);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dag.task_count(), y.dag.task_count());
+            assert_eq!(x.topo.link_count(), y.topo.link_count());
+        }
+    }
+}

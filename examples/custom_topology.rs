@@ -1,0 +1,85 @@
+//! Building custom topologies: buses, half-duplex cables, and why the
+//! medium matters.
+//!
+//! The same fork–join application is scheduled on three 4-processor
+//! platforms that differ only in their communication medium:
+//!
+//! * full-duplex star — each direction of each cable is its own link;
+//! * half-duplex star — both directions share one schedule per cable;
+//! * shared bus — one hyperedge carries *all* traffic.
+//!
+//! Run with: `cargo run --release --example custom_topology`
+
+use es_core::{validate::validate, BbsaScheduler, ListScheduler, Scheduler};
+use es_dag::gen::structured::fork_join;
+use es_net::Topology;
+
+fn full_duplex_star() -> Topology {
+    let mut b = Topology::builder();
+    let hub = b.add_labeled_switch("hub");
+    for _ in 0..4 {
+        let (pn, _) = b.add_processor(1.0);
+        b.add_duplex_cable(pn, hub, 1.0);
+    }
+    b.build().expect("valid")
+}
+
+fn half_duplex_star() -> Topology {
+    let mut b = Topology::builder();
+    let hub = b.add_labeled_switch("hub");
+    for _ in 0..4 {
+        let (pn, _) = b.add_processor(1.0);
+        b.add_half_duplex_cable(pn, hub, 1.0);
+    }
+    b.build().expect("valid")
+}
+
+fn bus() -> Topology {
+    let mut b = Topology::builder();
+    let nodes: Vec<_> = (0..4).map(|_| b.add_processor(1.0).0).collect();
+    b.add_bus(nodes, 1.0);
+    b.build().expect("valid")
+}
+
+fn main() {
+    // 8 parallel workers; communication cheap enough that spreading
+    // out pays, so the medium's contention is what differentiates.
+    let dag = fork_join(8, 40.0, 20.0);
+    println!(
+        "fork-join: {} tasks, {} edges; 4 processors each platform\n",
+        dag.task_count(),
+        dag.edge_count()
+    );
+
+    let platforms: Vec<(&str, Topology)> = vec![
+        ("full-duplex star", full_duplex_star()),
+        ("half-duplex star", half_duplex_star()),
+        ("shared bus", bus()),
+    ];
+
+    println!(
+        "{:<18} {:>6} {:>10} {:>10} {:>10}",
+        "platform", "links", "BA", "OIHSA", "BBSA"
+    );
+    for (name, topo) in &platforms {
+        let mut row = format!("{:<18} {:>6}", name, topo.link_count());
+        for sched in [
+            Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
+            Box::new(ListScheduler::oihsa()),
+            Box::new(BbsaScheduler::new()),
+        ] {
+            let s = sched.schedule(&dag, topo).expect("connected");
+            validate(&dag, topo, &s).expect("valid");
+            row.push_str(&format!(" {:>10.1}", s.makespan));
+        }
+        println!("{row}");
+    }
+
+    println!(
+        "\nFewer independent links = more contention: the bus serialises \
+         every transfer, the half-duplex star serialises each cable's two \
+         directions, the full-duplex star only serialises per direction. \
+         Schedulers cannot beat the medium — but they decide how gracefully \
+         it degrades."
+    );
+}

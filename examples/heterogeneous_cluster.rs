@@ -1,0 +1,83 @@
+//! Heterogeneous cluster study (§6.2 of the paper in miniature).
+//!
+//! Builds a two-rack cluster with fast and slow processors joined by a
+//! slow inter-rack trunk, runs a Gaussian-elimination kernel through
+//! all schedulers, and shows where each algorithm's advantage comes
+//! from: link utilisation and the trunk's queue.
+//!
+//! Run with: `cargo run --release --example heterogeneous_cluster`
+
+use es_core::{validate::validate, BbsaScheduler, CommPlacement, ListScheduler, Scheduler};
+use es_dag::gen::structured::gauss_elim;
+use es_net::Topology;
+
+fn main() {
+    // Two racks: rack A has two fast processors (speed 8), rack B four
+    // slow ones (speed 2). Intra-rack links are fast (speed 10), the
+    // single inter-rack trunk is slow (speed 2) — the classic
+    // "communication cliff" topology.
+    let mut b = Topology::builder();
+    let sw_a = b.add_labeled_switch("rackA");
+    let sw_b = b.add_labeled_switch("rackB");
+    let mut trunk_links = Vec::new();
+    let (l1, l2) = b.add_duplex_cable(sw_a, sw_b, 2.0);
+    trunk_links.push(l1);
+    trunk_links.push(l2);
+    for _ in 0..2 {
+        let (pn, _) = b.add_processor(8.0);
+        b.add_duplex_cable(pn, sw_a, 10.0);
+    }
+    for _ in 0..4 {
+        let (pn, _) = b.add_processor(2.0);
+        b.add_duplex_cable(pn, sw_b, 10.0);
+    }
+    let topo = b.build().expect("valid topology");
+
+    // Gaussian elimination on a 7x7 matrix: a serial spine with
+    // shrinking parallel fans — sensitive to both processor speed and
+    // communication placement.
+    let dag = gauss_elim(7, 120.0, 60.0);
+    println!(
+        "Gaussian elimination: {} tasks, {} edges on a 2-rack cluster\n",
+        dag.task_count(),
+        dag.edge_count()
+    );
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>16}",
+        "algorithm", "makespan", "remote comms", "trunk transfers"
+    );
+    for sched in [
+        Box::new(ListScheduler::ba_static()) as Box<dyn Scheduler>,
+        Box::new(ListScheduler::ba()),
+        Box::new(ListScheduler::oihsa()),
+        Box::new(BbsaScheduler::new()),
+    ] {
+        let s = sched.schedule(&dag, &topo).expect("connected");
+        validate(&dag, &topo, &s).expect("valid");
+
+        let mut remote = 0usize;
+        let mut trunk = 0usize;
+        for c in &s.comms {
+            let route = match c {
+                CommPlacement::Slotted { route, .. } => route.as_slice(),
+                CommPlacement::Fluid { route, .. } => route.as_slice(),
+                _ => continue,
+            };
+            remote += 1;
+            if route.iter().any(|h| trunk_links.contains(&h.link)) {
+                trunk += 1;
+            }
+        }
+        println!(
+            "{:<12} {:>10.1} {:>14} {:>16}",
+            s.algorithm, s.makespan, remote, trunk
+        );
+    }
+
+    println!(
+        "\nThe probing BA keeps the spine on the fast rack and rarely \
+         crosses the trunk; the static-criterion family scatters more \
+         and pays for it. BBSA overlaps whatever trunk transfers remain."
+    );
+}

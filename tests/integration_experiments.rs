@@ -1,0 +1,166 @@
+//! End-to-end experiment harness checks: small but complete runs of the
+//! figure machinery with full validation on.
+
+use es_sim::{fig1, fig2, fig3, fig4, run_cell, CellSpec, FigureParams};
+use es_workload::{ccr_values, proc_counts, Setting};
+
+fn small_params() -> FigureParams {
+    FigureParams {
+        reps: 2,
+        tasks: Some(40),
+        base_seed: 20060810,
+        procs: vec![4, 8],
+        ccrs: vec![0.5, 2.0, 8.0],
+        threads: 4,
+        validate: true,
+        strong_baseline: false,
+        progress: false,
+    }
+}
+
+#[test]
+fn fig1_end_to_end_with_validation() {
+    let f = fig1(&small_params());
+    assert_eq!(f.x.len(), 3);
+    assert_eq!(f.cells.len(), 6);
+    assert!(f.cells.iter().all(|c| c.ba_makespan > 0.0));
+    // Homogeneous setting in every cell.
+    assert!(f
+        .cells
+        .iter()
+        .all(|c| c.spec.setting == Setting::Homogeneous));
+    let table = f.to_table();
+    assert!(table.contains("Figure 1"));
+    assert!(table.contains("CCR"));
+}
+
+#[test]
+fn fig2_aggregates_over_ccr() {
+    let f = fig2(&small_params());
+    assert_eq!(f.x, vec!["4", "8"]);
+    // Each x-point averages all 3 CCR cells.
+    assert_eq!(f.cells.len(), 6);
+}
+
+#[test]
+fn fig3_and_fig4_are_heterogeneous() {
+    let p = small_params();
+    for f in [fig3(&p), fig4(&p)] {
+        assert!(f
+            .cells
+            .iter()
+            .all(|c| c.spec.setting == Setting::Heterogeneous));
+    }
+}
+
+#[test]
+fn paper_sweeps_have_paper_dimensions() {
+    // The default parameter grids are the paper's.
+    assert_eq!(ccr_values().len(), 19);
+    assert_eq!(proc_counts(), vec![2, 4, 8, 16, 32, 64, 128]);
+    let p = FigureParams::default();
+    assert_eq!(p.ccrs.len(), 19);
+    assert_eq!(p.procs.len(), 7);
+}
+
+#[test]
+fn strong_baseline_columns_populated_when_requested() {
+    let spec = CellSpec {
+        setting: Setting::Homogeneous,
+        processors: 4,
+        ccr: 1.0,
+        reps: 2,
+        base_seed: 1,
+        tasks: Some(30),
+        validate: true,
+        strong_baseline: true,
+    };
+    let r = run_cell(&spec);
+    assert!(r.ba_probe_makespan.is_some());
+    assert!(r.oihsa_probe_improvement.is_some());
+    assert!(r.bbsa_probe_improvement.is_some());
+    // The strong probing BA should not be worse than the static one on
+    // average — it dominates by construction of its probe.
+    assert!(
+        r.ba_probe_makespan.unwrap() <= r.ba_makespan * 1.05,
+        "probe {} vs static {}",
+        r.ba_probe_makespan.unwrap(),
+        r.ba_makespan
+    );
+}
+
+#[test]
+fn improvements_are_consistent_with_makespans_per_cell() {
+    // A cell with one rep: improvement must equal the direct ratio.
+    let spec = CellSpec {
+        setting: Setting::Heterogeneous,
+        processors: 8,
+        ccr: 2.0,
+        reps: 1,
+        base_seed: 9,
+        tasks: Some(50),
+        validate: true,
+        strong_baseline: false,
+    };
+    let r = run_cell(&spec);
+    let expect = 100.0 * (r.ba_makespan - r.oihsa_makespan) / r.ba_makespan;
+    assert!((r.oihsa_improvement - expect).abs() < 1e-9);
+    let expect_b = 100.0 * (r.ba_makespan - r.bbsa_makespan) / r.ba_makespan;
+    assert!((r.bbsa_improvement - expect_b).abs() < 1e-9);
+}
+
+#[test]
+fn headline_shape_proposed_algorithms_do_not_lose_on_average() {
+    // Aggregate over a moderate grid: the paper's core claim is that
+    // OIHSA and BBSA beat BA; at minimum they must not lose on average
+    // across the sweep (individual cells are noisy).
+    // Individual instances swing ±30% (the schedulers are greedy and
+    // chaotic in the orders they lock in), so this aggregates 32
+    // instances and allows a noise floor well inside the paper's
+    // claimed gains.
+    let p = FigureParams {
+        reps: 8,
+        tasks: Some(60),
+        base_seed: 31415,
+        procs: vec![8, 16],
+        ccrs: vec![1.0, 5.0],
+        threads: 8,
+        validate: true,
+        strong_baseline: false,
+        progress: false,
+    };
+    let f = fig3(&p);
+    let mean_oi: f64 = f.oihsa.iter().sum::<f64>() / f.oihsa.len() as f64;
+    let mean_bb: f64 = f.bbsa.iter().sum::<f64>() / f.bbsa.len() as f64;
+    assert!(mean_oi > -4.0, "OIHSA mean {mean_oi}%");
+    assert!(mean_bb > -2.0, "BBSA mean {mean_bb}%");
+}
+
+#[test]
+fn suite_grid_schedules_validly_across_all_kernels_and_platforms() {
+    use es_core::{validate::validate, BbsaScheduler, ListScheduler, Scheduler};
+    // The full kernel × platform grid (30 scenarios) at small size:
+    // every scheduler must produce a valid schedule on every scenario.
+    for sc in es_workload::suite::grid(30, 5, 2.0, 4242) {
+        for sched in [
+            Box::new(ListScheduler::ba_static()) as Box<dyn Scheduler>,
+            Box::new(ListScheduler::oihsa()),
+            Box::new(BbsaScheduler::new()),
+        ] {
+            let s = sched
+                .schedule(&sc.dag, &sc.topo)
+                .unwrap_or_else(|e| {
+                    panic!("{} on {}/{}: {e}", sched.name(), sc.kernel.name(), sc.platform.name())
+                });
+            if let Err(errs) = validate(&sc.dag, &sc.topo, &s) {
+                panic!(
+                    "{} on {}/{}: {}",
+                    sched.name(),
+                    sc.kernel.name(),
+                    sc.platform.name(),
+                    errs.join("\n")
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Cross-crate integration: every scheduler × every topology family ×
+//! several DAG shapes must produce valid schedules with sane bounds.
+
+use es_core::config::{EdgeEst, EdgeOrder, Insertion, ListConfig, ProcSelection, Routing, Switching};
+use es_core::{
+    validate::validate, BbsaScheduler, CommPlacement, IdealScheduler, ListScheduler, Scheduler,
+};
+use es_dag::gen::structured::{chain, diamond_mesh, fft_graph, fork_join, gauss_elim, stencil_1d};
+use es_dag::{critical_path, TaskGraph, TaskGraphBuilder};
+use es_net::gen::{self, SpeedDist};
+use es_net::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(ListScheduler::ba()),
+        Box::new(ListScheduler::ba_static()),
+        Box::new(ListScheduler::oihsa()),
+        Box::new(ListScheduler::oihsa_probing()),
+        Box::new(BbsaScheduler::new()),
+        Box::new(BbsaScheduler::with_config(
+            es_core::bbsa::BbsaConfig::probing(),
+        )),
+    ]
+}
+
+fn dags() -> Vec<TaskGraph> {
+    vec![
+        chain(6, 10.0, 5.0),
+        fork_join(5, 20.0, 15.0),
+        gauss_elim(5, 12.0, 8.0),
+        fft_graph(8, 10.0, 6.0),
+        stencil_1d(4, 4, 7.0, 5.0),
+        diamond_mesh(4, 9.0, 4.0),
+    ]
+}
+
+fn topologies() -> Vec<(&'static str, Topology)> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let hom = SpeedDist::Fixed(1.0);
+    let het = SpeedDist::UniformInt(1, 10);
+    vec![
+        ("star-hom", gen::star(4, hom, hom, &mut rng)),
+        ("star-het", gen::star(4, het, het, &mut rng)),
+        ("fully-connected", gen::fully_connected(4, hom, hom, &mut rng)),
+        ("ring", gen::switch_ring(3, 2, hom, hom, &mut rng)),
+        ("mesh", gen::switch_mesh2d(2, 2, 1, het, het, &mut rng)),
+        ("bus", gen::shared_bus(4, hom, 1.0, &mut rng)),
+        (
+            "wan-hom",
+            gen::random_switched_wan(&gen::WanConfig::homogeneous(12), &mut rng),
+        ),
+        (
+            "wan-het",
+            gen::random_switched_wan(&gen::WanConfig::heterogeneous(12), &mut rng),
+        ),
+    ]
+}
+
+#[test]
+fn all_schedulers_valid_on_all_platforms() {
+    for dag in &dags() {
+        for (tname, topo) in &topologies() {
+            for sched in schedulers() {
+                let s = sched
+                    .schedule(dag, topo)
+                    .unwrap_or_else(|e| panic!("{} on {tname}: {e}", sched.name()));
+                if let Err(errs) = validate(dag, topo, &s) {
+                    panic!(
+                        "{} on {tname}: invalid schedule:\n{}",
+                        sched.name(),
+                        errs.join("\n")
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn makespan_respects_computation_lower_bound() {
+    // No schedule can beat total-work / total-speed, nor the weight of
+    // the heaviest task on the fastest processor.
+    for dag in &dags() {
+        for (tname, topo) in &topologies() {
+            let total_work: f64 = dag.task_ids().map(|t| dag.weight(t)).sum();
+            let total_speed: f64 = topo.proc_ids().map(|p| topo.proc_speed(p)).sum();
+            let max_speed = topo
+                .proc_ids()
+                .map(|p| topo.proc_speed(p))
+                .fold(0.0, f64::max);
+            let max_weight = dag.task_ids().map(|t| dag.weight(t)).fold(0.0, f64::max);
+            let lb = (total_work / total_speed).max(max_weight / max_speed);
+            for sched in schedulers() {
+                let s = sched.schedule(dag, topo).expect("schedulable");
+                assert!(
+                    s.makespan + 1e-6 >= lb,
+                    "{} on {tname}: makespan {} beats lower bound {lb}",
+                    sched.name(),
+                    s.makespan
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_processor_makespan_is_exact() {
+    // With one processor everything serialises and communication is
+    // free: makespan = total work / speed, for every scheduler.
+    let mut b = Topology::builder();
+    b.add_processor(2.0);
+    let topo = b.build().unwrap();
+    for dag in &dags() {
+        let total_work: f64 = dag.task_ids().map(|t| dag.weight(t)).sum();
+        for sched in schedulers() {
+            let s = sched.schedule(dag, &topo).expect("single proc");
+            assert!(
+                (s.makespan - total_work / 2.0).abs() < 1e-6,
+                "{}: {} != {}",
+                sched.name(),
+                s.makespan,
+                total_work / 2.0
+            );
+            assert!(s.comms.iter().all(|c| matches!(c, CommPlacement::Local)));
+        }
+    }
+}
+
+#[test]
+fn independent_tasks_reach_perfect_parallelism() {
+    let mut b = TaskGraphBuilder::new();
+    for _ in 0..4 {
+        b.add_task(10.0);
+    }
+    let dag = b.build().unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let topo = gen::star(4, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+    // With no communication at all, every selection strategy must find
+    // the perfectly parallel optimum.
+    for sched in schedulers() {
+        let s = sched.schedule(&dag, &topo).expect("ok");
+        assert_eq!(s.makespan, 10.0, "{}", sched.name());
+    }
+}
+
+#[test]
+fn probing_ba_stays_near_serial_upper_bound() {
+    // Greedy per-task EFT gives no strict global guarantee (an early
+    // locally-optimal placement can hurt later tasks), but on these
+    // small regular fixtures it must stay within 2x of the trivial
+    // serialise-on-the-fastest-processor schedule — a coarse tripwire
+    // for pathological regressions.
+    for dag in &dags() {
+        for (tname, topo) in &topologies() {
+            let best_speed = topo
+                .proc_ids()
+                .map(|p| topo.proc_speed(p))
+                .fold(0.0, f64::max);
+            let serial: f64 =
+                dag.task_ids().map(|t| dag.weight(t)).sum::<f64>() / best_speed;
+            let s = ListScheduler::ba().schedule(dag, topo).expect("ok");
+            assert!(
+                s.makespan <= 2.0 * serial + 1e-6,
+                "BA on {tname}: {} far beyond serial {serial}",
+                s.makespan
+            );
+        }
+    }
+}
+
+#[test]
+fn ideal_scheduler_lower_bounds_contention_aware_on_shared_star() {
+    // Heavy contention: classic-model estimates are optimistic.
+    let dag = fork_join(6, 10.0, 50.0);
+    let mut rng = StdRng::seed_from_u64(11);
+    let topo = gen::star(3, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+    let ideal = IdealScheduler::new().schedule(&dag, &topo).unwrap();
+    for sched in schedulers() {
+        let s = sched.schedule(&dag, &topo).unwrap();
+        assert!(
+            ideal.makespan <= s.makespan + 1e-6,
+            "{} beat the contention-free bound",
+            sched.name()
+        );
+    }
+}
+
+#[test]
+fn every_list_config_combination_works() {
+    // Exhaustive sweep over the configuration space on one fixture: no
+    // combination may crash or produce an invalid schedule.
+    let dag = gauss_elim(5, 10.0, 20.0);
+    let mut rng = StdRng::seed_from_u64(17);
+    let topo = gen::random_switched_wan(&gen::WanConfig::heterogeneous(8), &mut rng);
+    for proc_selection in [
+        ProcSelection::EarliestFinishProbe,
+        ProcSelection::HybridStatic,
+    ] {
+        for routing in [Routing::Bfs, Routing::ModifiedDijkstra] {
+            for edge_order in [EdgeOrder::Arrival, EdgeOrder::CostDesc, EdgeOrder::CostAsc] {
+                for edge_est in [EdgeEst::SourceFinish, EdgeEst::ReadyTime] {
+                    for (insertion, switching) in [
+                        (Insertion::Basic, Switching::CutThrough),
+                        (Insertion::Optimal, Switching::CutThrough),
+                        (Insertion::Basic, Switching::StoreAndForward),
+                        (Insertion::Optimal, Switching::StoreAndForward),
+                    ] {
+                        let cfg = ListConfig {
+                            name: "sweep",
+                            priority: es_dag::Priority::BottomLevel,
+                            proc_selection,
+                            routing,
+                            edge_order,
+                            edge_est,
+                            switching,
+                            insertion,
+                        };
+                        let s = ListScheduler::with_config(cfg)
+                            .schedule(&dag, &topo)
+                            .unwrap_or_else(|e| panic!("{cfg:?}: {e}"));
+                        if let Err(errs) = validate(&dag, &topo, &s) {
+                            panic!("{cfg:?}: {}", errs.join("\n"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn chain_on_fast_network_still_bounded_by_critical_path() {
+    let dag = chain(8, 5.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(23);
+    let topo = gen::star(4, SpeedDist::Fixed(1.0), SpeedDist::Fixed(10.0), &mut rng);
+    let cp_work_only: f64 = dag.task_ids().map(|t| dag.weight(t)).sum();
+    for sched in schedulers() {
+        let s = sched.schedule(&dag, &topo).unwrap();
+        // A chain cannot run faster than its serial work on a speed-1
+        // processor; and no sane scheduler should pay more than the
+        // fully-remote critical path either.
+        assert!(s.makespan + 1e-6 >= cp_work_only, "{}", sched.name());
+        assert!(
+            s.makespan <= critical_path(&dag) + 1e-6,
+            "{} paid more than the fully-remote critical path",
+            sched.name()
+        );
+    }
+}

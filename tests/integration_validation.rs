@@ -1,0 +1,285 @@
+//! Mutation testing of the validator: corrupt valid schedules in every
+//! way the model forbids and check the validator objects each time.
+
+use es_core::{validate::validate, BbsaScheduler, ListScheduler, Schedule, Scheduler};
+use es_core::CommPlacement;
+use es_dag::gen::structured::{fork_join, gauss_elim};
+use es_dag::TaskGraph;
+use es_net::gen::{self, SpeedDist};
+use es_net::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fixture guaranteed to contain remote (link-scheduled)
+/// communications for both the slotted and the fluid scheduler.
+fn fixture() -> (TaskGraph, Topology) {
+    let dag = fork_join(5, 50.0, 10.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let topo = gen::star(3, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+    (dag, topo)
+}
+
+fn slotted_schedule() -> (TaskGraph, Topology, Schedule) {
+    let (dag, topo) = fixture();
+    let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+    assert!(validate(&dag, &topo, &s).is_ok());
+    assert!(s
+        .comms
+        .iter()
+        .any(|c| matches!(c, CommPlacement::Slotted { .. })));
+    (dag, topo, s)
+}
+
+fn fluid_schedule() -> (TaskGraph, Topology, Schedule) {
+    let (dag, topo) = fixture();
+    let s = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
+    assert!(validate(&dag, &topo, &s).is_ok());
+    assert!(s
+        .comms
+        .iter()
+        .any(|c| matches!(c, CommPlacement::Fluid { .. })));
+    (dag, topo, s)
+}
+
+fn assert_rejected(dag: &TaskGraph, topo: &Topology, s: &Schedule, needle: &str) {
+    let errs = validate(dag, topo, s).expect_err("corruption must be detected");
+    assert!(
+        errs.iter().any(|e| e.contains(needle)),
+        "expected an error containing {needle:?}, got: {errs:#?}"
+    );
+}
+
+#[test]
+fn detects_task_on_wrong_processor_speed() {
+    let (dag, topo, mut s) = slotted_schedule();
+    // Stretch one task's finish time: finish != start + w/s.
+    s.tasks[0].finish += 1.0;
+    s.makespan = Schedule::compute_makespan(&s.tasks);
+    assert_rejected(&dag, &topo, &s, "start + w/s");
+}
+
+#[test]
+fn detects_negative_start() {
+    let (dag, topo, mut s) = slotted_schedule();
+    let w = dag.weight(es_dag::TaskId(0));
+    s.tasks[0].start = -5.0;
+    s.tasks[0].finish = -5.0 + w;
+    assert_rejected(&dag, &topo, &s, "negative");
+}
+
+#[test]
+fn detects_processor_overlap() {
+    let (dag, topo, mut s) = slotted_schedule();
+    // Find two tasks on different processors and force them together.
+    let p0 = s.tasks[1].proc;
+    for i in 2..s.tasks.len() {
+        if s.tasks[i].proc != p0 {
+            s.tasks[i].proc = p0;
+            s.tasks[i].start = s.tasks[1].start;
+            s.tasks[i].finish = s.tasks[1].start + dag.weight(es_dag::TaskId(i as u32));
+            break;
+        }
+    }
+    s.makespan = Schedule::compute_makespan(&s.tasks);
+    let errs = validate(&dag, &topo, &s).expect_err("must be detected");
+    assert!(!errs.is_empty());
+}
+
+#[test]
+fn detects_destination_starting_before_arrival() {
+    let (dag, topo, mut s) = slotted_schedule();
+    // The join task depends on remote data; pull it to time 0.
+    let last = s.tasks.len() - 1;
+    let w = dag.weight(es_dag::TaskId(last as u32));
+    s.tasks[last].start = 0.0;
+    s.tasks[last].finish = w / topo.proc_speed(s.tasks[last].proc);
+    s.makespan = Schedule::compute_makespan(&s.tasks);
+    let errs = validate(&dag, &topo, &s).expect_err("must be detected");
+    assert!(errs.iter().any(|e| e.contains("before")), "{errs:#?}");
+}
+
+#[test]
+fn detects_wrong_slot_duration() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Slotted { times, .. } = c {
+            times[0].1 += 3.0; // stretch the first hop
+            break;
+        }
+    }
+    assert_rejected(&dag, &topo, &s, "duration");
+}
+
+#[test]
+fn detects_causality_violation_along_route() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Slotted { times, .. } = c {
+            if times.len() >= 2 {
+                // Make the second hop finish before the first (shift
+                // both endpoints to keep durations consistent).
+                let d = times[1].1 - times[1].0;
+                times[1].0 = times[0].0 - 1.0;
+                times[1].1 = times[1].0 + d;
+                break;
+            }
+        }
+    }
+    assert_rejected(&dag, &topo, &s, "causality");
+}
+
+#[test]
+fn detects_broken_route_chain() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Slotted { route, .. } = c {
+            if route.len() >= 2 {
+                route.swap(0, 1);
+                break;
+            }
+        }
+    }
+    let errs = validate(&dag, &topo, &s).expect_err("must be detected");
+    assert!(
+        errs.iter().any(|e| e.contains("chain") || e.contains("starts at")),
+        "{errs:#?}"
+    );
+}
+
+#[test]
+fn detects_route_ending_at_wrong_processor() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Slotted { route, .. } = c {
+            route.pop();
+            break;
+        }
+    }
+    let errs = validate(&dag, &topo, &s).expect_err("must be detected");
+    assert!(!errs.is_empty());
+}
+
+#[test]
+fn detects_link_overcommitment_slotted() {
+    let (dag, topo, mut s) = slotted_schedule();
+    // Copy one slotted comm's placement onto another so they collide.
+    let mut template: Option<CommPlacement> = None;
+    let mut victim = None;
+    for (i, c) in s.comms.iter().enumerate() {
+        if matches!(c, CommPlacement::Slotted { .. }) {
+            if template.is_none() {
+                template = Some(c.clone());
+            } else {
+                victim = Some(i);
+                break;
+            }
+        }
+    }
+    let (Some(t), Some(v)) = (template, victim) else {
+        panic!("fixture needs two slotted comms");
+    };
+    s.comms[v] = t;
+    let errs = validate(&dag, &topo, &s).expect_err("must be detected");
+    assert!(
+        errs.iter()
+            .any(|e| e.contains("overcommitted") || e.contains("route") || e.contains("before")),
+        "{errs:#?}"
+    );
+}
+
+#[test]
+fn detects_fluid_volume_loss() {
+    let (dag, topo, mut s) = fluid_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Fluid { flows, .. } = c {
+            flows[0].pieces.pop();
+            break;
+        }
+    }
+    assert_rejected(&dag, &topo, &s, "volume");
+}
+
+#[test]
+fn detects_fluid_rate_overflow() {
+    let (dag, topo, mut s) = fluid_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Fluid { flows, .. } = c {
+            for p in &mut flows[0].pieces {
+                p.rate *= 3.0; // invalid rate > 1
+            }
+            break;
+        }
+    }
+    let errs = validate(&dag, &topo, &s).expect_err("must be detected");
+    assert!(!errs.is_empty());
+}
+
+#[test]
+fn detects_fluid_causality_violation() {
+    let (dag, topo, mut s) = fluid_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Fluid { flows, .. } = c {
+            if flows.len() >= 2 {
+                // Shift the downstream flow far earlier than arrival.
+                for p in &mut flows[1].pieces {
+                    p.start -= 1000.0;
+                    p.end -= 1000.0;
+                }
+                break;
+            }
+        }
+    }
+    let errs = validate(&dag, &topo, &s).expect_err("must be detected");
+    assert!(!errs.is_empty());
+}
+
+#[test]
+fn detects_makespan_mismatch() {
+    let (dag, topo, mut s) = slotted_schedule();
+    s.makespan *= 2.0;
+    assert_rejected(&dag, &topo, &s, "makespan");
+}
+
+#[test]
+fn detects_local_marker_across_processors() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for (i, c) in s.comms.iter_mut().enumerate() {
+        let edge = dag.edge(es_dag::EdgeId(i as u32));
+        if s.tasks[edge.src.index()].proc != s.tasks[edge.dst.index()].proc {
+            *c = CommPlacement::Local;
+            break;
+        }
+    }
+    assert_rejected(&dag, &topo, &s, "Local");
+}
+
+#[test]
+fn reports_multiple_violations_at_once() {
+    let (dag, topo, mut s) = slotted_schedule();
+    s.makespan += 1.0;
+    s.tasks[0].finish += 1.0;
+    let errs = validate(&dag, &topo, &s).unwrap_err();
+    assert!(errs.len() >= 2, "{errs:#?}");
+}
+
+#[test]
+fn validator_accepts_all_clean_schedules_repeatedly() {
+    // Deterministic re-validation across many seeds; guards against
+    // false positives from accumulated float noise in the validator.
+    for seed in 0..10u64 {
+        let dag = gauss_elim(5, 15.0, 25.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo =
+            gen::random_switched_wan(&gen::WanConfig::heterogeneous(10), &mut rng);
+        for sched in [
+            Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
+            Box::new(ListScheduler::oihsa()),
+            Box::new(BbsaScheduler::new()),
+        ] {
+            let s = sched.schedule(&dag, &topo).unwrap();
+            if let Err(errs) = validate(&dag, &topo, &s) {
+                panic!("{} seed {seed}: {errs:#?}", sched.name());
+            }
+        }
+    }
+}
