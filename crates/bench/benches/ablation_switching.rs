@@ -19,7 +19,8 @@ fn fixture(hop_delay: f64) -> (es_dag::TaskGraph, es_net::Topology) {
     let mut rng = StdRng::seed_from_u64(20060810);
     let topo = {
         let t = random_switched_wan(&WanConfig::heterogeneous(16), &mut rng);
-        if hop_delay == 0.0 {
+        let zero: f64 = 0.0;
+        if hop_delay.to_bits() == zero.to_bits() {
             t
         } else {
             // Rebuild with the delay: easiest faithful path is a fresh

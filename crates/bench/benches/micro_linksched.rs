@@ -34,14 +34,23 @@ fn bench(c: &mut Criterion) {
     });
 
     c.bench_function("optimal_insert_plan_200slots", |b| {
-        b.iter(|| black_box(plan_optimal_insert(&q, black_box(10.0), black_box(2.0), &dts)))
+        b.iter(|| {
+            black_box(plan_optimal_insert(
+                &q,
+                black_box(10.0),
+                black_box(2.0),
+                &dts,
+            ))
+        })
     });
 
     let mut profile = RateProfile::new();
     for i in 0..100u64 {
         let f = profile.allocate(
             2.0,
-            ArrivalCurve::Instant { at: (i % 10) as f64 * 7.0 },
+            ArrivalCurve::Instant {
+                at: (i % 10) as f64 * 7.0,
+            },
             5.0,
         );
         profile.commit(CommId(i), &f);
@@ -50,16 +59,15 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             black_box(profile.allocate(
                 2.0,
-                ArrivalCurve::Instant { at: black_box(12.0) },
+                ArrivalCurve::Instant {
+                    at: black_box(12.0),
+                },
                 black_box(8.0),
             ))
         })
     });
 
-    let topo = random_switched_wan(
-        &WanConfig::heterogeneous(64),
-        &mut StdRng::seed_from_u64(1),
-    );
+    let topo = random_switched_wan(&WanConfig::heterogeneous(64), &mut StdRng::seed_from_u64(1));
     let a = topo.node_of_proc(es_net::ProcId(0));
     let b_ = topo.node_of_proc(es_net::ProcId(63));
     c.bench_function("bfs_route_64proc_wan", |b| {

@@ -24,7 +24,7 @@ use std::io::Write as _;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("{}", USAGE);
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let cmd = args[0].as_str();
@@ -51,6 +51,7 @@ fn main() {
         "cell" => run_single_cell(&opts),
         "suite" => run_suite(&opts),
         "export" => export_instance(&opts),
+        "verify" => verify_export(&opts),
         "demo" => demo(),
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {
@@ -64,7 +65,7 @@ const USAGE: &str = "\
 es-experiments — reproduce Han & Wang (ICPP 2006), Figures 1-4
 
 USAGE:
-  es-experiments <fig1|fig2|fig3|fig4|all|cell|suite|export|demo> [options]
+  es-experiments <fig1|fig2|fig3|fig4|all|cell|suite|export|verify|demo> [options]
 
 OPTIONS:
   --reps N            repetitions per cell            (default 5)
@@ -80,11 +81,19 @@ OPTIONS:
   --progress          print a line to stderr per completed cell
   --csv PATH          write per-cell results as CSV
   --out DIR           (export only) output directory   (default: export/)
+  --in DIR            (verify only) exported run to audit (default: export/)
+  --json              (verify only) emit es-diag-v1 JSON reports
 
 The `export` command generates one instance (--setting/--procs/--ccr/
 --seed/--tasks), schedules it with BA-static, BA, OIHSA and BBSA, and
-writes DOT renderings of the DAG and topology plus per-schedule CSVs
-and text Gantt charts into DIR.";
+writes DOT renderings of the DAG and topology plus per-schedule CSVs,
+text Gantt charts and a manifest into DIR.
+
+The `verify` command re-audits an exported run: it regenerates the
+instance from the manifest's recorded seed/config, parses each
+algorithm's schedule back from its CSVs, and checks every model
+invariant (diagnostic codes ES-E000..ES-E008, DESIGN.md §8). Exit
+status is nonzero if any error-severity finding exists.";
 
 struct Options {
     params: FigureParams,
@@ -92,6 +101,8 @@ struct Options {
     setting: Setting,
     single_ccr: f64,
     out_dir: String,
+    in_dir: String,
+    json: bool,
 }
 
 impl Options {
@@ -104,18 +115,19 @@ impl Options {
         let mut setting = Setting::Homogeneous;
         let mut single_ccr = 1.0;
         let mut out_dir = String::from("export");
+        let mut in_dir = String::from("export");
+        let mut json = false;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut take = || {
                 it.next()
-                    .map(|s| s.to_string())
+                    .cloned()
                     .ok_or_else(|| format!("{a} needs a value"))
             };
             match a.as_str() {
                 "--reps" => params.reps = take()?.parse().map_err(|e| format!("--reps: {e}"))?,
                 "--tasks" => {
-                    params.tasks =
-                        Some(take()?.parse().map_err(|e| format!("--tasks: {e}"))?)
+                    params.tasks = Some(take()?.parse().map_err(|e| format!("--tasks: {e}"))?)
                 }
                 "--seed" => {
                     params.base_seed = take()?.parse().map_err(|e| format!("--seed: {e}"))?
@@ -149,6 +161,8 @@ impl Options {
                 "--strong-baseline" => params.strong_baseline = true,
                 "--csv" => csv = Some(take()?),
                 "--out" => out_dir = take()?,
+                "--in" => in_dir = take()?,
+                "--json" => json = true,
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -158,6 +172,8 @@ impl Options {
             setting,
             single_ccr,
             out_dir,
+            in_dir,
+            json,
         })
     }
 }
@@ -281,15 +297,20 @@ fn export_instance(opts: &Options) {
     write("dag.dot", es_dag::dot::to_dot(&inst.dag, "instance"));
     write("topology.dot", es_net::dot::to_dot(&inst.topo, "network"));
 
-    let mut summary = String::from("algorithm,makespan,speedup,slr,procs_used,links_used
-");
+    let mut summary = String::from(
+        "algorithm,makespan,speedup,slr,procs_used,links_used
+",
+    );
+    let mut manifest = manifest_header(&cfg);
     for sched in [
         Box::new(ListScheduler::ba_static()) as Box<dyn Scheduler>,
         Box::new(ListScheduler::ba()),
         Box::new(ListScheduler::oihsa()),
         Box::new(BbsaScheduler::new()),
     ] {
-        let s = sched.schedule(&inst.dag, &inst.topo).expect("connected WAN");
+        let s = sched
+            .schedule(&inst.dag, &inst.topo)
+            .expect("connected WAN");
         validate(&inst.dag, &inst.topo, &s).expect("valid schedule");
         let tag = s.algorithm.to_lowercase().replace('-', "_");
         write(
@@ -310,8 +331,175 @@ fn export_instance(opts: &Options) {
 ",
             s.algorithm, s.makespan, m.speedup, m.slr, m.processors_used, m.links_used
         ));
+        // Full-precision makespan so `verify` can re-check ES-E008.
+        manifest.push_str(&format!(
+            "schedule={tag},{},{:?}\n",
+            s.algorithm, s.makespan
+        ));
     }
     write("summary.csv", summary);
+    write("manifest.txt", manifest);
+}
+
+/// Key=value manifest recording everything `verify` needs to
+/// regenerate the instance and re-audit each exported schedule.
+fn manifest_header(cfg: &es_workload::InstanceConfig) -> String {
+    let mut m = String::from("schema=es-export-v1\n");
+    m.push_str(&format!(
+        "setting={}\n",
+        match cfg.setting {
+            Setting::Homogeneous => "homogeneous",
+            Setting::Heterogeneous => "heterogeneous",
+        }
+    ));
+    m.push_str(&format!("processors={}\n", cfg.processors));
+    m.push_str(&format!("ccr={:?}\n", cfg.ccr));
+    if let Some(t) = cfg.tasks {
+        m.push_str(&format!("tasks={t}\n"));
+    }
+    m.push_str(&format!("seed={}\n", cfg.seed));
+    m
+}
+
+/// `verify`: re-audit an exported run against the regenerated
+/// instance. Exits nonzero when any error-severity diagnostic fires.
+fn verify_export(opts: &Options) {
+    use es_core::export::schedule_from_csv;
+    use es_core::validate::audit;
+    use es_workload::{generate, InstanceConfig};
+
+    let dir = std::path::Path::new(&opts.in_dir);
+    let manifest_path = dir.join("manifest.txt");
+    let manifest = std::fs::read_to_string(&manifest_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", manifest_path.display());
+        eprintln!("(run `es-experiments export --out DIR` first)");
+        std::process::exit(2);
+    });
+
+    // --- Parse the manifest.
+    let mut setting = None;
+    let mut processors = None;
+    let mut ccr = None;
+    let mut tasks = None;
+    let mut seed = None;
+    let mut schedules: Vec<(String, String, f64)> = Vec::new(); // (tag, algorithm, makespan)
+    let fail = |why: String| -> ! {
+        eprintln!("bad manifest {}: {why}", manifest_path.display());
+        std::process::exit(2);
+    };
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            fail(format!("line without `=`: {line}"));
+        };
+        match key {
+            "schema" => {
+                if value != "es-export-v1" {
+                    fail(format!("unsupported schema {value}"));
+                }
+            }
+            "setting" => {
+                setting = Some(match value {
+                    "homogeneous" => Setting::Homogeneous,
+                    "heterogeneous" => Setting::Heterogeneous,
+                    other => fail(format!("unknown setting {other}")),
+                })
+            }
+            "processors" => {
+                processors = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|e| fail(format!("processors: {e}"))),
+                )
+            }
+            "ccr" => ccr = Some(value.parse().unwrap_or_else(|e| fail(format!("ccr: {e}")))),
+            "tasks" => {
+                tasks = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|e| fail(format!("tasks: {e}"))),
+                )
+            }
+            "seed" => seed = Some(value.parse().unwrap_or_else(|e| fail(format!("seed: {e}")))),
+            "schedule" => {
+                let parts: Vec<&str> = value.split(',').collect();
+                if parts.len() != 3 {
+                    fail(format!(
+                        "schedule line needs tag,algorithm,makespan: {value}"
+                    ));
+                }
+                let makespan: f64 = parts[2]
+                    .parse()
+                    .unwrap_or_else(|e| fail(format!("schedule makespan: {e}")));
+                schedules.push((parts[0].to_string(), parts[1].to_string(), makespan));
+            }
+            other => fail(format!("unknown key {other}")),
+        }
+    }
+    let cfg = InstanceConfig {
+        setting: setting.unwrap_or_else(|| fail("missing setting".into())),
+        processors: processors.unwrap_or_else(|| fail("missing processors".into())),
+        ccr: ccr.unwrap_or_else(|| fail("missing ccr".into())),
+        tasks,
+        seed: seed.unwrap_or_else(|| fail("missing seed".into())),
+    };
+    if schedules.is_empty() {
+        fail("no schedule entries".into());
+    }
+
+    // --- Regenerate the instance (deterministic) and audit each run.
+    let inst = generate(&cfg);
+    let mut total_errors = 0usize;
+    for (tag, algorithm, makespan) in schedules {
+        let read = |name: String| -> String {
+            std::fs::read_to_string(dir.join(&name)).unwrap_or_else(|e| {
+                eprintln!("cannot read {name}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let tasks_csv = read(format!("{tag}_tasks.csv"));
+        let comms_csv = read(format!("{tag}_comms.csv"));
+        // `Schedule.algorithm` is a &'static str by design (schedulers
+        // name themselves with literals); a verified import earns its
+        // lifetime via a one-off leak, bounded by the manifest size.
+        let name: &'static str = Box::leak(algorithm.into_boxed_str());
+        match schedule_from_csv(name, &inst.dag, &tasks_csv, &comms_csv, makespan) {
+            Ok(schedule) => {
+                let report = audit(&inst.dag, &inst.topo, &schedule);
+                total_errors += report.error_count();
+                if opts.json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render_human());
+                }
+            }
+            Err(why) => {
+                // Unparseable exports are structural failures: report
+                // them in-band as an ES-E000 diagnostic so --json
+                // consumers see one uniform stream.
+                let mut report = es_core::Report::new(name);
+                report.push(es_core::Diagnostic::error(
+                    es_core::Code::Structure,
+                    es_core::Span::Schedule,
+                    format!("export for `{tag}` cannot be parsed: {why}"),
+                ));
+                total_errors += 1;
+                if opts.json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render_human());
+                }
+            }
+        }
+    }
+    if total_errors > 0 {
+        eprintln!("verify: {total_errors} error(s)");
+        std::process::exit(1);
+    }
+    println!("verify: all schedules clean");
 }
 
 /// A tiny end-to-end walkthrough on a fixed instance — smoke test and
@@ -337,7 +525,10 @@ fn demo() {
     ] {
         let s = sched.schedule(&inst.dag, &inst.topo).expect("schedulable");
         validate(&inst.dag, &inst.topo, &s).expect("valid");
-        println!("  {:<10} makespan {:>10.1}  (validated)", s.algorithm, s.makespan);
+        println!(
+            "  {:<10} makespan {:>10.1}  (validated)",
+            s.algorithm, s.makespan
+        );
     }
     let _ = std::io::stdout().flush();
 }
@@ -347,7 +538,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<Options, String> {
-        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let owned: Vec<String> = args.iter().map(ToString::to_string).collect();
         Options::parse(&owned)
     }
 
@@ -365,7 +556,17 @@ mod tests {
 
     #[test]
     fn parses_numeric_options() {
-        let o = parse(&["--reps", "7", "--tasks", "120", "--seed", "99", "--threads", "3"]).unwrap();
+        let o = parse(&[
+            "--reps",
+            "7",
+            "--tasks",
+            "120",
+            "--seed",
+            "99",
+            "--threads",
+            "3",
+        ])
+        .unwrap();
         assert_eq!(o.params.reps, 7);
         assert_eq!(o.params.tasks, Some(120));
         assert_eq!(o.params.base_seed, 99);
@@ -381,7 +582,15 @@ mod tests {
 
     #[test]
     fn parses_flags_and_setting() {
-        let o = parse(&["--validate", "--strong-baseline", "--setting", "het", "--ccr", "4.5"]).unwrap();
+        let o = parse(&[
+            "--validate",
+            "--strong-baseline",
+            "--setting",
+            "het",
+            "--ccr",
+            "4.5",
+        ])
+        .unwrap();
         assert!(o.params.validate);
         assert!(o.params.strong_baseline);
         assert_eq!(o.setting, Setting::Heterogeneous);

@@ -1,0 +1,93 @@
+//! End-to-end test of `es-experiments verify`: export a run, audit it
+//! (clean), corrupt one CSV, and check that the verifier reports a
+//! documented `ES-E00x` diagnostic as JSON and exits nonzero.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_es-experiments"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("es-verify-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn export_into(dir: &Path) {
+    let out = bin()
+        .args([
+            "export",
+            "--out",
+            dir.to_str().unwrap(),
+            "--setting",
+            "het",
+            "--procs",
+            "6",
+            "--ccr",
+            "2",
+            "--seed",
+            "7",
+            "--tasks",
+            "30",
+        ])
+        .output()
+        .expect("run export");
+    assert!(out.status.success(), "export failed: {out:?}");
+    assert!(dir.join("manifest.txt").is_file());
+    assert!(dir.join("ba_tasks.csv").is_file());
+}
+
+#[test]
+fn verify_passes_on_untouched_export() {
+    let dir = scratch("clean");
+    export_into(&dir);
+    let out = bin()
+        .args(["verify", "--in", dir.to_str().unwrap()])
+        .output()
+        .expect("run verify");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "verify failed on clean export:\n{stdout}"
+    );
+    assert!(stdout.contains("PASS"), "{stdout}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verify_flags_corrupted_export_with_stable_code() {
+    let dir = scratch("corrupt");
+    export_into(&dir);
+
+    // Drop the last data row of one schedule's task CSV: the task count
+    // no longer matches the regenerated DAG, a structural ES-E000.
+    let tasks = dir.join("ba_tasks.csv");
+    let body = fs::read_to_string(&tasks).unwrap();
+    let mut lines: Vec<&str> = body.lines().collect();
+    assert!(lines.len() > 2, "expected header + rows, got: {body}");
+    lines.pop();
+    fs::write(&tasks, lines.join("\n") + "\n").unwrap();
+
+    let out = bin()
+        .args(["verify", "--in", dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run verify");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "verify must fail, got:\n{stdout}");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout.contains("\"code\":\"ES-E000\""), "{stdout}");
+    assert!(stdout.contains("\"severity\":\"error\""), "{stdout}");
+
+    // The JSON is the es-diag-v1 document diag::Report understands.
+    let report_line = stdout
+        .lines()
+        .find(|l| l.contains("ES-E000"))
+        .expect("a JSON report line mentioning ES-E000");
+    let parsed = es_core::Report::from_json(report_line).expect("parse verify output");
+    assert!(parsed.error_count() >= 1);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -146,7 +146,7 @@ impl FlowState {
     }
 }
 
-impl<'a> BbsaRun<'a> {
+impl BbsaRun<'_> {
     fn run(&mut self) -> Result<Schedule, SchedError> {
         let order = priority_list(self.dag, self.cfg.priority);
         for &task in &order {
@@ -178,7 +178,7 @@ impl<'a> BbsaRun<'a> {
             let start = self.procs.earliest_start(p, data_ready);
             let finish = start + weight / self.topo.proc_speed(p);
             self.rollback_in_edges(task, p);
-            if best.map_or(true, |(_, bf)| finish < bf - EPS) {
+            if best.is_none_or(|(_, bf)| finish < bf - EPS) {
                 best = Some((p, finish));
             }
         }
@@ -192,7 +192,7 @@ impl<'a> BbsaRun<'a> {
             let src = self.placed[edge.src.index()].expect("placed");
             if src.proc != p {
                 for hop in std::mem::take(&mut self.comm_routes[e.index()]) {
-                    self.profiles[hop.link.index()].remove_comm(CommId(e.0 as u64));
+                    self.profiles[hop.link.index()].remove_comm(CommId(u64::from(e.0)));
                 }
                 self.comm_flows[e.index()].clear();
             }
@@ -217,7 +217,7 @@ impl<'a> BbsaRun<'a> {
             }
             let start = comm_part.max(self.procs.finish_time(p));
             let value = start + weight / self.topo.proc_speed(p);
-            if best.map_or(true, |(_, bv)| value < bv - EPS) {
+            if best.is_none_or(|(_, bv)| value < bv - EPS) {
                 best = Some((p, value));
             }
         }
@@ -328,7 +328,7 @@ impl<'a> BbsaRun<'a> {
                     )
                 }
             };
-            self.profiles[hop.link.index()].commit(CommId(e.0 as u64), &flow);
+            self.profiles[hop.link.index()].commit(CommId(u64::from(e.0)), &flow);
             arrival = flow.finish().unwrap_or(arrival);
             flows.push(flow);
         }
@@ -449,7 +449,9 @@ mod tests {
         let topo = star(2);
 
         let bbsa = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
-        let ba = crate::list::ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let ba = crate::list::ListScheduler::ba()
+            .schedule(&dag, &topo)
+            .unwrap();
         assert!(
             bbsa.makespan <= ba.makespan + EPS,
             "BBSA {} vs BA {}",
@@ -475,7 +477,9 @@ mod tests {
             ..BbsaConfig::default()
         };
         let dag = fork_join(4, 3.0, 15.0);
-        let s = BbsaScheduler::with_config(cfg).schedule(&dag, &star(3)).unwrap();
+        let s = BbsaScheduler::with_config(cfg)
+            .schedule(&dag, &star(3))
+            .unwrap();
         assert!(s.makespan.is_finite());
     }
 

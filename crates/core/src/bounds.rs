@@ -106,10 +106,7 @@ mod tests {
     fn no_scheduler_beats_the_combined_bound() {
         let mut rng = StdRng::seed_from_u64(5);
         for dag in [fork_join(5, 12.0, 20.0), gauss_elim(5, 9.0, 14.0)] {
-            let topo = gen::random_switched_wan(
-                &gen::WanConfig::heterogeneous(10),
-                &mut rng,
-            );
+            let topo = gen::random_switched_wan(&gen::WanConfig::heterogeneous(10), &mut rng);
             let lb = makespan_lower_bound(&dag, &topo);
             for sched in [
                 Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
@@ -132,12 +129,7 @@ mod tests {
     fn bound_ordering_sanity() {
         let dag = gauss_elim(4, 7.0, 3.0);
         let mut rng = StdRng::seed_from_u64(6);
-        let topo = gen::star(
-            3,
-            SpeedDist::Fixed(2.0),
-            SpeedDist::Fixed(1.0),
-            &mut rng,
-        );
+        let topo = gen::star(3, SpeedDist::Fixed(2.0), SpeedDist::Fixed(1.0), &mut rng);
         let combined = makespan_lower_bound(&dag, &topo);
         assert!(combined >= work_bound(&dag, &topo));
         assert!(combined >= chain_bound(&dag, &topo));

@@ -168,8 +168,7 @@ pub fn execute(
                 for k in 1..route.len() {
                     preds[node_of_hop(e.index(), k)].push(node_of_hop(e.index(), k - 1));
                 }
-                preds[node_of_task(edge.dst.index())]
-                    .push(node_of_hop(e.index(), route.len() - 1));
+                preds[node_of_task(edge.dst.index())].push(node_of_hop(e.index(), route.len() - 1));
             }
             CommPlacement::Local | CommPlacement::Ideal { .. } => {
                 preds[node_of_task(edge.dst.index())].push(node_of_task(edge.src.index()));
@@ -388,10 +387,7 @@ mod tests {
         for seed in 0..6u64 {
             let _ = seed;
             let dag = gauss_elim(5, 10.0, 25.0);
-            let topo = gen::random_switched_wan(
-                &gen::WanConfig::heterogeneous(8),
-                &mut rng,
-            );
+            let topo = gen::random_switched_wan(&gen::WanConfig::heterogeneous(8), &mut rng);
             for sched in [
                 ListScheduler::ba(),
                 ListScheduler::ba_static(),
@@ -400,8 +396,7 @@ mod tests {
             ] {
                 let s = sched.schedule(&dag, &topo).unwrap();
                 let exec = execute(&dag, &topo, &s).unwrap();
-                check_dominates(&s, &exec)
-                    .unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
+                check_dominates(&s, &exec).unwrap_or_else(|e| panic!("{}: {e}", sched.name()));
             }
         }
     }
@@ -449,7 +444,9 @@ mod tests {
     fn ideal_schedules_execute() {
         let dag = fork_join(3, 10.0, 10.0);
         let topo = star(3);
-        let s = crate::ideal::IdealScheduler::new().schedule(&dag, &topo).unwrap();
+        let s = crate::ideal::IdealScheduler::new()
+            .schedule(&dag, &topo)
+            .unwrap();
         let exec = execute(&dag, &topo, &s).unwrap();
         check_dominates(&s, &exec).unwrap();
     }

@@ -4,9 +4,16 @@
 //! renderers): one row per task placement and one row per transfer
 //! piece. Kept dependency-free — plain string assembly, stable column
 //! order, round-trippable numbers via `{:?}`-style full precision.
+//!
+//! The importers ([`tasks_from_csv`], [`comms_from_csv`],
+//! [`schedule_from_csv`]) parse those CSVs back into a [`Schedule`],
+//! which is what `es-experiments verify` audits against the
+//! regenerated instance.
 
-use crate::schedule::{CommPlacement, Schedule};
+use crate::schedule::{CommPlacement, Schedule, TaskPlacement};
 use es_dag::TaskGraph;
+use es_linksched::bandwidth::{Flow, Piece};
+use es_net::{Hop, LinkId, NodeId, ProcId};
 use std::fmt::Write as _;
 
 /// CSV of task placements:
@@ -89,9 +96,284 @@ pub fn comms_to_csv(dag: &TaskGraph, schedule: &Schedule) -> String {
     out
 }
 
+/// Parse [`tasks_to_csv`] output back into task placements.
+///
+/// The row count must match the DAG; rows may appear in any order but
+/// every task must appear exactly once.
+pub fn tasks_from_csv(dag: &TaskGraph, csv: &str) -> Result<Vec<TaskPlacement>, String> {
+    let mut placements: Vec<Option<TaskPlacement>> = vec![None; dag.task_count()];
+    for (lineno, line) in csv.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv(line);
+        if fields.len() != 5 {
+            return Err(format!(
+                "tasks csv line {}: {} fields, expected 5",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let task: usize = fields[0]
+            .parse()
+            .map_err(|e| format!("tasks csv line {}: task id: {e}", lineno + 1))?;
+        if task >= dag.task_count() {
+            return Err(format!(
+                "tasks csv line {}: task {task} out of range (DAG has {})",
+                lineno + 1,
+                dag.task_count()
+            ));
+        }
+        if placements[task].is_some() {
+            return Err(format!("tasks csv: duplicate row for task {task}"));
+        }
+        let num = |i: usize, what: &str| -> Result<f64, String> {
+            fields[i]
+                .parse()
+                .map_err(|e| format!("tasks csv line {}: {what}: {e}", lineno + 1))
+        };
+        placements[task] = Some(TaskPlacement {
+            proc: ProcId(
+                fields[2]
+                    .parse()
+                    .map_err(|e| format!("tasks csv line {}: proc: {e}", lineno + 1))?,
+            ),
+            start: num(3, "start")?,
+            finish: num(4, "finish")?,
+        });
+    }
+    placements
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| p.ok_or_else(|| format!("tasks csv: no row for task {i}")))
+        .collect()
+}
+
+/// Parse [`comms_to_csv`] output back into communication placements.
+///
+/// Rows are grouped by edge; `slot`/`fluid` rows must appear in hop
+/// order (as the exporter writes them). Every DAG edge must appear.
+pub fn comms_from_csv(dag: &TaskGraph, csv: &str) -> Result<Vec<CommPlacement>, String> {
+    // (kind, hop, link, from, to, start, end, rate) rows per edge, in
+    // file order.
+    type Row = (
+        String,
+        Option<usize>,
+        Option<u32>,
+        Option<u32>,
+        Option<u32>,
+        Option<f64>,
+        Option<f64>,
+        Option<f64>,
+    );
+    let mut rows: std::collections::BTreeMap<usize, Vec<Row>> = std::collections::BTreeMap::new();
+    for (lineno, line) in csv.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv(line);
+        if fields.len() != 9 {
+            return Err(format!(
+                "comms csv line {}: {} fields, expected 9",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let edge: usize = fields[0]
+            .parse()
+            .map_err(|e| format!("comms csv line {}: edge id: {e}", lineno + 1))?;
+        if edge >= dag.edge_count() {
+            return Err(format!(
+                "comms csv line {}: edge {edge} out of range (DAG has {})",
+                lineno + 1,
+                dag.edge_count()
+            ));
+        }
+        let opt = |i: usize| -> Option<&str> {
+            let f = fields[i].trim();
+            (!f.is_empty()).then_some(f)
+        };
+        let opt_num = |i: usize, what: &str| -> Result<Option<f64>, String> {
+            opt(i)
+                .map(|f| {
+                    f.parse()
+                        .map_err(|e| format!("comms csv line {}: {what}: {e}", lineno + 1))
+                })
+                .transpose()
+        };
+        let opt_int = |i: usize, what: &str| -> Result<Option<u32>, String> {
+            opt(i)
+                .map(|f| {
+                    f.parse()
+                        .map_err(|e| format!("comms csv line {}: {what}: {e}", lineno + 1))
+                })
+                .transpose()
+        };
+        rows.entry(edge).or_default().push((
+            fields[1].clone(),
+            opt(2)
+                .map(|f| {
+                    f.parse::<usize>()
+                        .map_err(|e| format!("comms csv line {}: hop: {e}", lineno + 1))
+                })
+                .transpose()?,
+            opt_int(3, "link")?,
+            opt_int(4, "from")?,
+            opt_int(5, "to")?,
+            opt_num(6, "start")?,
+            opt_num(7, "end")?,
+            opt_num(8, "rate")?,
+        ));
+    }
+
+    let mut comms = Vec::with_capacity(dag.edge_count());
+    for e in dag.edge_ids() {
+        let Some(edge_rows) = rows.get(&e.index()) else {
+            return Err(format!("comms csv: no rows for edge {}", e.index()));
+        };
+        let kind = edge_rows[0].0.as_str();
+        if edge_rows.iter().any(|r| r.0 != kind) {
+            return Err(format!("comms csv: edge {} mixes row kinds", e.index()));
+        }
+        let placement = match kind {
+            "local" => CommPlacement::Local,
+            "ideal" => {
+                let (_, _, _, _, _, start, end, _) = edge_rows[0];
+                let (Some(start), Some(end)) = (start, end) else {
+                    return Err(format!(
+                        "comms csv: edge {} ideal row lacks times",
+                        e.index()
+                    ));
+                };
+                CommPlacement::Ideal {
+                    delay: end - start,
+                    arrival: end,
+                }
+            }
+            "slot" => {
+                let mut route = Vec::new();
+                let mut times = Vec::new();
+                for (i, row) in edge_rows.iter().enumerate() {
+                    let (_, hop, link, from, to, start, end, _) = *row;
+                    if hop != Some(i) {
+                        return Err(format!(
+                            "comms csv: edge {} slot rows out of hop order",
+                            e.index()
+                        ));
+                    }
+                    let (Some(link), Some(from), Some(to), Some(start), Some(end)) =
+                        (link, from, to, start, end)
+                    else {
+                        return Err(format!(
+                            "comms csv: edge {} slot row missing fields",
+                            e.index()
+                        ));
+                    };
+                    route.push(Hop {
+                        link: LinkId(link),
+                        from: NodeId(from),
+                        to: NodeId(to),
+                    });
+                    times.push((start, end));
+                }
+                CommPlacement::Slotted { route, times }
+            }
+            "fluid" => {
+                let mut route: Vec<Hop> = Vec::new();
+                let mut flows: Vec<Flow> = Vec::new();
+                for row in edge_rows {
+                    let (_, hop, link, from, to, start, end, rate) = *row;
+                    let (
+                        Some(hop),
+                        Some(link),
+                        Some(from),
+                        Some(to),
+                        Some(start),
+                        Some(end),
+                        Some(rate),
+                    ) = (hop, link, from, to, start, end, rate)
+                    else {
+                        return Err(format!(
+                            "comms csv: edge {} fluid row missing fields",
+                            e.index()
+                        ));
+                    };
+                    if hop == route.len() {
+                        route.push(Hop {
+                            link: LinkId(link),
+                            from: NodeId(from),
+                            to: NodeId(to),
+                        });
+                        flows.push(Flow::default());
+                    } else if hop + 1 != route.len() {
+                        return Err(format!(
+                            "comms csv: edge {} fluid rows out of hop order",
+                            e.index()
+                        ));
+                    }
+                    flows[hop].pieces.push(Piece { start, end, rate });
+                }
+                CommPlacement::Fluid { route, flows }
+            }
+            other => {
+                return Err(format!(
+                    "comms csv: edge {} has unknown kind `{other}`",
+                    e.index()
+                ))
+            }
+        };
+        comms.push(placement);
+    }
+    Ok(comms)
+}
+
+/// Reassemble a full [`Schedule`] from exported CSVs plus the recorded
+/// algorithm name and makespan (from the export manifest).
+pub fn schedule_from_csv(
+    algorithm: &'static str,
+    dag: &TaskGraph,
+    tasks_csv: &str,
+    comms_csv: &str,
+    makespan: f64,
+) -> Result<Schedule, String> {
+    Ok(Schedule {
+        algorithm,
+        tasks: tasks_from_csv(dag, tasks_csv)?,
+        comms: comms_from_csv(dag, comms_csv)?,
+        makespan,
+    })
+}
+
+/// Split one CSV line into fields, honouring double-quote escaping as
+/// produced by [`escape`].
+fn split_csv(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => quoted = true,
+            ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
 /// Full precision without trailing noise for integral values.
 fn fmt(x: f64) -> String {
-    if x.fract() == 0.0 && x.abs() < 1e15 {
+    // `x == x.trunc()` is exact for finite x and literal-free (xtask L2).
+    if x == x.trunc() && x.abs() < 1e15 {
         format!("{}", x as i64)
     } else {
         format!("{x}")
@@ -167,6 +449,62 @@ mod tests {
     fn integral_numbers_stay_compact() {
         assert_eq!(fmt(4.0), "4");
         assert_eq!(fmt(4.5), "4.5");
+    }
+
+    #[test]
+    fn split_csv_honours_quotes() {
+        assert_eq!(split_csv("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_csv("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
+        assert_eq!(
+            split_csv("x,\"say \"\"hi\"\"\","),
+            vec!["x", "say \"hi\"", ""]
+        );
+    }
+
+    #[test]
+    fn slotted_schedule_round_trips_through_csv() {
+        let (dag, topo) = fixture();
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let back = schedule_from_csv(
+            "BA",
+            &dag,
+            &tasks_to_csv(&dag, &s),
+            &comms_to_csv(&dag, &s),
+            s.makespan,
+        )
+        .expect("round trip");
+        assert_eq!(back.tasks, s.tasks);
+        assert_eq!(back.comms, s.comms);
+        assert!(crate::validate::audit(&dag, &topo, &back).is_clean());
+    }
+
+    #[test]
+    fn fluid_schedule_round_trips_through_csv() {
+        let (dag, topo) = fixture();
+        let s = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
+        let back = schedule_from_csv(
+            "BBSA",
+            &dag,
+            &tasks_to_csv(&dag, &s),
+            &comms_to_csv(&dag, &s),
+            s.makespan,
+        )
+        .expect("round trip");
+        assert_eq!(back.comms, s.comms);
+        assert!(crate::validate::audit(&dag, &topo, &back).is_clean());
+    }
+
+    #[test]
+    fn importers_reject_malformed_input() {
+        let (dag, _) = fixture();
+        assert!(tasks_from_csv(&dag, "task,label,proc,start,finish\n").is_err());
+        assert!(tasks_from_csv(&dag, "task,label,proc,start,finish\n99,x,0,0,1\n").is_err());
+        assert!(comms_from_csv(&dag, "edge,kind,hop,link,from,to,start,end,rate\n").is_err());
+        assert!(comms_from_csv(
+            &dag,
+            "edge,kind,hop,link,from,to,start,end,rate\n0,martian,,,,,,,\n"
+        )
+        .is_err());
     }
 
     use es_dag::TaskGraph;

@@ -32,12 +32,15 @@ impl Default for GanttOptions {
 }
 
 /// Render the schedule as a text Gantt chart.
-pub fn render(dag: &TaskGraph, topo: &Topology, schedule: &Schedule, opts: &GanttOptions) -> String {
+pub fn render(
+    dag: &TaskGraph,
+    topo: &Topology,
+    schedule: &Schedule,
+    opts: &GanttOptions,
+) -> String {
     let span = schedule.makespan.max(1e-9);
     let width = opts.width.max(10);
-    let scale = |t: f64| -> usize {
-        (((t / span) * width as f64).round() as usize).min(width)
-    };
+    let scale = |t: f64| -> usize { (((t / span) * width as f64).round() as usize).min(width) };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -93,8 +96,10 @@ pub fn render(dag: &TaskGraph, topo: &Topology, schedule: &Schedule, opts: &Gant
                         }
                         any = true;
                         for piece in &flow.pieces {
-                            let (a, b) =
-                                (scale(piece.start), scale(piece.end).max(scale(piece.start) + 1));
+                            let (a, b) = (
+                                scale(piece.start),
+                                scale(piece.end).max(scale(piece.start) + 1),
+                            );
                             // Show the rate decile: '9' = full bandwidth.
                             let d = ((piece.rate * 9.0).round() as u32).min(9);
                             let label = char::from_digit(d, 10).unwrap() as u8;
@@ -167,7 +172,10 @@ mod tests {
         let s = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
         let txt = render(&dag, &topo, &s, &GanttOptions::default());
         // Full-rate pieces render as '9' on link rows.
-        let link_lines: Vec<&str> = txt.lines().filter(|l| l.trim_start().starts_with('L')).collect();
+        let link_lines: Vec<&str> = txt
+            .lines()
+            .filter(|l| l.trim_start().starts_with('L'))
+            .collect();
         assert!(!link_lines.is_empty());
         assert!(link_lines.iter().any(|l| l.contains('9')), "{txt}");
     }
@@ -186,7 +194,11 @@ mod tests {
             },
         );
         let pruned = render(&dag, &topo, &s, &GanttOptions::default());
-        let count = |t: &str| t.lines().filter(|l| l.trim_start().starts_with('L')).count();
+        let count = |t: &str| {
+            t.lines()
+                .filter(|l| l.trim_start().starts_with('L'))
+                .count()
+        };
         assert!(count(&all) >= count(&pruned));
         assert_eq!(count(&all), topo.link_count());
     }

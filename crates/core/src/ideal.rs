@@ -62,7 +62,7 @@ impl Scheduler for IdealScheduler {
                 }
                 let start = procs.earliest_start(p, dr);
                 let finish = start + weight / topo.proc_speed(p);
-                if best.map_or(true, |(_, _, bf)| finish < bf - EPS) {
+                if best.is_none_or(|(_, _, bf)| finish < bf - EPS) {
                     best = Some((p, dr, finish));
                 }
             }
@@ -127,7 +127,9 @@ mod tests {
         let dag = fork_join(6, 5.0, 40.0);
         let topo = star(3);
         let ideal = IdealScheduler::new().schedule(&dag, &topo).unwrap();
-        let ba = crate::list::ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let ba = crate::list::ListScheduler::ba()
+            .schedule(&dag, &topo)
+            .unwrap();
         assert!(ideal.makespan <= ba.makespan + EPS);
     }
 

@@ -49,6 +49,7 @@
 pub mod bbsa;
 pub mod bounds;
 pub mod config;
+pub mod diag;
 pub mod exec;
 pub mod export;
 pub mod gantt;
@@ -62,6 +63,7 @@ pub mod validate;
 
 pub use bbsa::BbsaScheduler;
 pub use config::{EdgeEst, EdgeOrder, Insertion, ListConfig, ProcSelection, Routing, Switching};
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use ideal::IdealScheduler;
 pub use list::ListScheduler;
 pub use metrics::{metrics, ScheduleMetrics};

@@ -171,7 +171,7 @@ impl<'a> Run<'a> {
                 let est = ready_time.unwrap_or(src.finish);
                 self.links.schedule_comm(
                     self.topo,
-                    CommId(e.0 as u64),
+                    CommId(u64::from(e.0)),
                     est,
                     edge.cost,
                     src.proc,
@@ -192,7 +192,7 @@ impl<'a> Run<'a> {
             let edge = self.dag.edge(e);
             let src = self.placed[edge.src.index()].expect("placed");
             if src.proc != p {
-                self.links.unschedule(CommId(e.0 as u64));
+                self.links.unschedule(CommId(u64::from(e.0)));
             }
         }
     }
@@ -207,7 +207,7 @@ impl<'a> Run<'a> {
             let start = self.procs.earliest_start(p, data_ready);
             let finish = start + weight / self.topo.proc_speed(p);
             self.rollback_in_edges(task, p);
-            if best.map_or(true, |(_, bf)| finish < bf - EPS) {
+            if best.is_none_or(|(_, bf)| finish < bf - EPS) {
                 best = Some((p, finish));
             }
         }
@@ -232,7 +232,7 @@ impl<'a> Run<'a> {
             }
             let start = comm_part.max(self.procs.finish_time(p));
             let value = start + weight / self.topo.proc_speed(p);
-            if best.map_or(true, |(_, bv)| value < bv - EPS) {
+            if best.is_none_or(|(_, bv)| value < bv - EPS) {
                 best = Some((p, value));
             }
         }
@@ -275,7 +275,7 @@ impl<'a> Run<'a> {
                 if tasks[edge.src.index()].proc == tasks[edge.dst.index()].proc {
                     CommPlacement::Local
                 } else {
-                    let (route, times) = self.links.placement(CommId(e.0 as u64));
+                    let (route, times) = self.links.placement(CommId(u64::from(e.0)));
                     CommPlacement::Slotted { route, times }
                 }
             })
@@ -349,7 +349,7 @@ mod tests {
         let topo = star(4);
         let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
         assert_eq!(s.makespan, 10.0, "perfect parallelism");
-        let procs: std::collections::HashSet<_> = s.tasks.iter().map(|t| t.proc).collect();
+        let procs: std::collections::BTreeSet<_> = s.tasks.iter().map(|t| t.proc).collect();
         assert_eq!(procs.len(), 4);
     }
 
@@ -467,7 +467,9 @@ mod tests {
                 edge_order: order,
                 ..ListConfig::oihsa()
             };
-            let s = ListScheduler::with_config(cfg).schedule(&dag, &topo).unwrap();
+            let s = ListScheduler::with_config(cfg)
+                .schedule(&dag, &topo)
+                .unwrap();
             assert!(s.makespan.is_finite());
         }
     }

@@ -53,7 +53,10 @@ pub fn metrics(dag: &TaskGraph, topo: &Topology, schedule: &Schedule) -> Schedul
     let mean_proc_utilisation = if processors_used == 0 || makespan <= 0.0 {
         0.0
     } else {
-        busy.iter().filter(|&&b| b > 0.0).map(|b| b / makespan).sum::<f64>()
+        busy.iter()
+            .filter(|&&b| b > 0.0)
+            .map(|b| b / makespan)
+            .sum::<f64>()
             / processors_used as f64
     };
 
@@ -91,7 +94,12 @@ pub fn metrics(dag: &TaskGraph, topo: &Topology, schedule: &Schedule) -> Schedul
     let slotted_or_fluid = schedule
         .comms
         .iter()
-        .filter(|c| matches!(c, CommPlacement::Slotted { .. } | CommPlacement::Fluid { .. }))
+        .filter(|c| {
+            matches!(
+                c,
+                CommPlacement::Slotted { .. } | CommPlacement::Fluid { .. }
+            )
+        })
         .count();
 
     let total_work: f64 = dag.task_ids().map(|t| dag.weight(t)).sum();

@@ -38,7 +38,13 @@ impl ProcState {
 
     /// Place a task of weight `w` on `p` with the given data-ready
     /// time; returns `(start, finish)` and marks the processor busy.
-    pub fn place(&mut self, topo: &Topology, p: ProcId, data_ready: f64, weight: f64) -> (f64, f64) {
+    pub fn place(
+        &mut self,
+        topo: &Topology,
+        p: ProcId,
+        data_ready: f64,
+        weight: f64,
+    ) -> (f64, f64) {
         let start = self.earliest_start(p, data_ready);
         let finish = start + weight / topo.proc_speed(p);
         self.finish[p.index()] = finish;

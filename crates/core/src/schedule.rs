@@ -57,7 +57,9 @@ impl CommPlacement {
         match self {
             CommPlacement::Local => None,
             CommPlacement::Slotted { times, .. } => times.last().map(|&(_, f)| f),
-            CommPlacement::Fluid { flows, .. } => flows.last().and_then(|f| f.finish()),
+            CommPlacement::Fluid { flows, .. } => {
+                flows.last().and_then(es_linksched::bandwidth::Flow::finish)
+            }
             CommPlacement::Ideal { arrival, .. } => Some(*arrival),
         }
     }

@@ -22,7 +22,7 @@ use es_linksched::slot::SlotQueue;
 use es_linksched::CommId;
 use es_net::{Hop, NodeId, ProcId, Topology};
 use es_route::{bfs_route, dijkstra_route, Route};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bookkeeping for one scheduled communication.
 #[derive(Clone, Debug, Default)]
@@ -39,8 +39,9 @@ pub struct SlottedState {
     queues: Vec<SlotQueue>,
     comms: Vec<CommRecord>,
     /// Cache of BFS routes between vertex pairs (the topology is
-    /// static, so minimal routes never change).
-    bfs_cache: HashMap<(NodeId, NodeId), Option<Route>>,
+    /// static, so minimal routes never change). Ordered map: iteration
+    /// order must be deterministic for the analyze/determinism audits.
+    bfs_cache: BTreeMap<(NodeId, NodeId), Option<Route>>,
 }
 
 impl SlottedState {
@@ -50,7 +51,7 @@ impl SlottedState {
         Self {
             queues: (0..topo.link_count()).map(|_| SlotQueue::new()).collect(),
             comms: vec![CommRecord::default(); comm_count],
-            bfs_cache: HashMap::new(),
+            bfs_cache: BTreeMap::new(),
         }
     }
 
@@ -61,7 +62,11 @@ impl SlottedState {
 
     /// Recorded `(start, finish)` of `comm` on hop `seq`.
     pub fn hop_times(&self, comm: CommId, seq: usize) -> Option<(f64, f64)> {
-        self.comms[comm.0 as usize].times.get(seq).copied().flatten()
+        self.comms[comm.0 as usize]
+            .times
+            .get(seq)
+            .copied()
+            .flatten()
     }
 
     /// The committed route of `comm` (empty if unscheduled).
@@ -160,7 +165,6 @@ impl SlottedState {
         switching: Switching,
     ) -> f64 {
         let rec_idx = comm.0 as usize;
-        self.comms[rec_idx].route = route.clone();
         self.comms[rec_idx].times = vec![None; route.len()];
 
         let (mut prev_start, mut prev_finish) = (est, est);
@@ -174,9 +178,7 @@ impl SlottedState {
             // both at full bandwidth. Store-and-forward waits for the
             // whole message instead.
             let bound = match switching {
-                Switching::CutThrough => {
-                    (prev_start + delay).max(prev_finish + delay - int)
-                }
+                Switching::CutThrough => (prev_start + delay).max(prev_finish + delay - int),
                 Switching::StoreAndForward => prev_finish + delay,
             };
             let queue = &mut self.queues[hop.link.index()];
@@ -188,14 +190,12 @@ impl SlottedState {
                 }
                 Insertion::Optimal => {
                     let dts = deferrable_times(queue, &self.comms);
-                    let placement =
-                        optimal_insert(queue, comm, seq as u32, bound, int, &dts);
+                    let placement = optimal_insert(queue, comm, seq as u32, bound, int, &dts);
                     // Propagate deferrals into the displaced
                     // communications' recorded times.
                     for shift in &placement.shifts {
                         let rec = &mut self.comms[shift.comm.0 as usize];
-                        rec.times[shift.seq as usize] =
-                            Some((shift.new_start, shift.new_end));
+                        rec.times[shift.seq as usize] = Some((shift.new_start, shift.new_end));
                     }
                     (placement.start, placement.end)
                 }
@@ -204,6 +204,10 @@ impl SlottedState {
             prev_start = start;
             prev_finish = finish;
         }
+        // The route is recorded only now, which keeps Lemma-2 deferrable
+        // times at the conservative 0 for this comm's own mid-placement
+        // slots (their next-hop times are unset either way).
+        self.comms[rec_idx].route = route;
         prev_finish
     }
 
@@ -234,7 +238,8 @@ impl SlottedState {
     /// Check every queue's internal invariants (tests/validation).
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, q) in self.queues.iter().enumerate() {
-            q.check_invariants().map_err(|e| format!("link L{i}: {e}"))?;
+            q.check_invariants()
+                .map_err(|e| format!("link L{i}: {e}"))?;
         }
         Ok(())
     }
@@ -317,10 +322,30 @@ mod tests {
     fn second_comm_queues_behind_first() {
         let topo = line();
         let mut st = SlottedState::new(&topo, 4);
-        st.schedule_comm(&topo, c(0), 0.0, 5.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
-            .unwrap();
+        st.schedule_comm(
+            &topo,
+            c(0),
+            0.0,
+            5.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::Bfs,
+            Insertion::Basic,
+            Switching::CutThrough,
+        )
+        .unwrap();
         let arrival = st
-            .schedule_comm(&topo, c(1), 0.0, 5.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .schedule_comm(
+                &topo,
+                c(1),
+                0.0,
+                5.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
             .unwrap();
         // First link busy [0,5): second transfer starts at 5.
         assert_eq!(arrival, 10.0);
@@ -338,7 +363,17 @@ mod tests {
         let topo = b.build().unwrap();
         let mut st = SlottedState::new(&topo, 2);
         let arrival = st
-            .schedule_comm(&topo, c(0), 0.0, 8.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .schedule_comm(
+                &topo,
+                c(0),
+                0.0,
+                8.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
             .unwrap();
         let (_, times) = st.placement(c(0));
         // Slow hop [0,8); fast hop int=2 with virtual start 6: [6,8).
@@ -354,14 +389,44 @@ mod tests {
     fn unschedule_rolls_back_exactly() {
         let topo = line();
         let mut st = SlottedState::new(&topo, 4);
-        st.schedule_comm(&topo, c(0), 0.0, 5.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
-            .unwrap();
+        st.schedule_comm(
+            &topo,
+            c(0),
+            0.0,
+            5.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::Bfs,
+            Insertion::Basic,
+            Switching::CutThrough,
+        )
+        .unwrap();
         let a1 = st
-            .schedule_comm(&topo, c(1), 0.0, 3.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .schedule_comm(
+                &topo,
+                c(1),
+                0.0,
+                3.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
             .unwrap();
         st.unschedule(c(1));
         let a2 = st
-            .schedule_comm(&topo, c(1), 0.0, 3.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .schedule_comm(
+                &topo,
+                c(1),
+                0.0,
+                3.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
             .unwrap();
         assert_eq!(a1, a2, "re-scheduling after rollback is deterministic");
         assert!(st.route_of(c(1)).len() == 2);
@@ -375,7 +440,17 @@ mod tests {
         let topo = b.build().unwrap();
         let mut st = SlottedState::new(&topo, 1);
         let err = st
-            .schedule_comm(&topo, c(0), 0.0, 1.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
+            .schedule_comm(
+                &topo,
+                c(0),
+                0.0,
+                1.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
             .unwrap_err();
         assert_eq!(
             err,
@@ -392,15 +467,45 @@ mod tests {
         let mut st = SlottedState::new(&topo, 8);
         // comm 0: cost 4 over both hops; on the first link it sits at
         // [0,4), on the second [0,4).
-        st.schedule_comm(&topo, c(0), 0.0, 4.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
-            .unwrap();
+        st.schedule_comm(
+            &topo,
+            c(0),
+            0.0,
+            4.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::Bfs,
+            Insertion::Basic,
+            Switching::CutThrough,
+        )
+        .unwrap();
         // comm 1: queues behind comm 0 on both links: first link [4,8),
         // second [4,8). Its first-link slot has slack 0 (start/finish
         // equal on both links) — deferral impossible; comm 2 must queue.
-        st.schedule_comm(&topo, c(1), 0.0, 4.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
-            .unwrap();
+        st.schedule_comm(
+            &topo,
+            c(1),
+            0.0,
+            4.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::Bfs,
+            Insertion::Basic,
+            Switching::CutThrough,
+        )
+        .unwrap();
         let arrival = st
-            .schedule_comm(&topo, c(2), 0.0, 2.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Optimal, Switching::CutThrough)
+            .schedule_comm(
+                &topo,
+                c(2),
+                0.0,
+                2.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Optimal,
+                Switching::CutThrough,
+            )
             .unwrap();
         assert_eq!(arrival, 10.0);
         st.check_invariants().unwrap();
@@ -423,13 +528,33 @@ mod tests {
         let mut st = SlottedState::new(&topo, 8);
 
         // comm 0 congests sw->p1 with [0, 10).
-        st.schedule_comm(&topo, c(0), 0.0, 10.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
-            .unwrap();
+        st.schedule_comm(
+            &topo,
+            c(0),
+            0.0,
+            10.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::Bfs,
+            Insertion::Basic,
+            Switching::CutThrough,
+        )
+        .unwrap();
         // comm 1 (p0 -> p1, cost 4): p0->sw is busy [0,10) from comm 0
         // too... actually comm 0 occupies p0->sw [0,10) as well, so
         // comm 1 sits at [10,14) on p0->sw and [10,14) on sw->p1.
-        st.schedule_comm(&topo, c(1), 0.0, 4.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
-            .unwrap();
+        st.schedule_comm(
+            &topo,
+            c(1),
+            0.0,
+            4.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::Bfs,
+            Insertion::Basic,
+            Switching::CutThrough,
+        )
+        .unwrap();
         let (_, t1) = st.placement(c(1));
         assert_eq!(t1[0], (10.0, 14.0));
 
@@ -438,7 +563,17 @@ mod tests {
         // no deferral; comm 2 appends at 14 on p0->sw... but BFS route
         // p0->sw->p2 only shares the first link.
         let arrival = st
-            .schedule_comm(&topo, c(2), 0.0, 6.0, ProcId(0), ProcId(2), Routing::Bfs, Insertion::Optimal, Switching::CutThrough)
+            .schedule_comm(
+                &topo,
+                c(2),
+                0.0,
+                6.0,
+                ProcId(0),
+                ProcId(2),
+                Routing::Bfs,
+                Insertion::Optimal,
+                Switching::CutThrough,
+            )
             .unwrap();
         assert_eq!(arrival, 20.0);
         st.check_invariants().unwrap();
@@ -460,8 +595,18 @@ mod tests {
         let mut st = SlottedState::new(&topo, 8);
 
         // Saturate the sa path.
-        st.schedule_comm(&topo, c(0), 0.0, 50.0, ProcId(0), ProcId(1), Routing::Bfs, Insertion::Basic, Switching::CutThrough)
-            .unwrap();
+        st.schedule_comm(
+            &topo,
+            c(0),
+            0.0,
+            50.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::Bfs,
+            Insertion::Basic,
+            Switching::CutThrough,
+        )
+        .unwrap();
         let via_sa = st.route_of(c(0))[0].to;
         // BFS would tie-break to the same path; modified Dijkstra must
         // pick the other one.

@@ -21,103 +21,167 @@
 //!    exceeds 100%, each hop carries the full volume `c(e)`, and
 //!    forwarding never outpaces arrival (cumulative causality);
 //! 8. the reported makespan equals the latest task finish.
+//!
+//! Findings are reported as structured [`Diagnostic`]s: family *n*
+//! above maps to code `ES-E00n` (plus `ES-E000` for structural shape
+//! mismatches that prevent deeper checks). [`audit`] returns the full
+//! [`Report`]; [`validate`] is the legacy string-based shim over it.
 
+use crate::diag::{Code, Diagnostic, Report, Span};
 use crate::schedule::{CommPlacement, Schedule};
 use es_dag::TaskGraph;
 use es_linksched::bandwidth::Flow;
 use es_linksched::time::EPS;
-use es_net::{Hop, LinkId, Topology};
+use es_net::{Hop, Topology};
+use std::collections::BTreeMap;
 
 /// Tolerance for accumulated arithmetic (volumes, capacities).
 const VOL_EPS: f64 = 1e-3;
 
-/// Validate `schedule` against the model; returns every violation found
-/// (empty error list never occurs — `Ok(())` means fully valid).
-pub fn validate(dag: &TaskGraph, topo: &Topology, schedule: &Schedule) -> Result<(), Vec<String>> {
-    let mut errs = Vec::new();
+/// Audit `schedule` against the model and report every finding.
+///
+/// Error-severity diagnostics are model violations; warnings are
+/// advisory (e.g. idealised communications that weaken what the audit
+/// can check). A structurally malformed schedule (ES-E000 on the
+/// placement counts) short-circuits the deeper checks.
+pub fn audit(dag: &TaskGraph, topo: &Topology, schedule: &Schedule) -> Report {
+    let mut report = Report::new(schedule.algorithm);
 
     if schedule.tasks.len() != dag.task_count() {
-        errs.push(format!(
-            "schedule has {} task placements for {} tasks",
-            schedule.tasks.len(),
-            dag.task_count()
-        ));
-        return Err(errs);
+        report.push(
+            Diagnostic::error(
+                Code::Structure,
+                Span::Schedule,
+                format!(
+                    "schedule has {} task placements for {} tasks",
+                    schedule.tasks.len(),
+                    dag.task_count()
+                ),
+            )
+            .with("placements", schedule.tasks.len())
+            .with("tasks", dag.task_count()),
+        );
+        return report;
     }
     if schedule.comms.len() != dag.edge_count() {
-        errs.push(format!(
-            "schedule has {} comm placements for {} edges",
-            schedule.comms.len(),
-            dag.edge_count()
-        ));
-        return Err(errs);
+        report.push(
+            Diagnostic::error(
+                Code::Structure,
+                Span::Schedule,
+                format!(
+                    "schedule has {} comm placements for {} edges",
+                    schedule.comms.len(),
+                    dag.edge_count()
+                ),
+            )
+            .with("placements", schedule.comms.len())
+            .with("edges", dag.edge_count()),
+        );
+        return report;
     }
 
-    check_task_timing(dag, topo, schedule, &mut errs);
-    check_processor_exclusivity(schedule, &mut errs);
-    check_comms(dag, topo, schedule, &mut errs);
-    check_link_capacity(topo, schedule, &mut errs);
+    check_task_timing(dag, topo, schedule, &mut report);
+    check_processor_exclusivity(schedule, &mut report);
+    check_comms(dag, topo, schedule, &mut report);
+    check_link_capacity(topo, schedule, &mut report);
 
-    let max_finish = schedule
-        .tasks
-        .iter()
-        .map(|t| t.finish)
-        .fold(0.0, f64::max);
+    let max_finish = schedule.tasks.iter().map(|t| t.finish).fold(0.0, f64::max);
     if (schedule.makespan - max_finish).abs() > EPS {
-        errs.push(format!(
-            "makespan {} != max task finish {max_finish}",
-            schedule.makespan
-        ));
+        report.push(
+            Diagnostic::error(
+                Code::Makespan,
+                Span::Schedule,
+                format!(
+                    "makespan {} != max task finish {max_finish}",
+                    schedule.makespan
+                ),
+            )
+            .with("reported", schedule.makespan)
+            .with("actual", max_finish),
+        );
     }
 
-    if errs.is_empty() {
+    report
+}
+
+/// Legacy validation interface: `Ok(())` when no error-severity
+/// finding exists, otherwise every error message (warnings are
+/// advisory and never fail validation). Thin shim over [`audit`].
+pub fn validate(dag: &TaskGraph, topo: &Topology, schedule: &Schedule) -> Result<(), Vec<String>> {
+    let report = audit(dag, topo, schedule);
+    if report.is_clean() {
         Ok(())
     } else {
-        Err(errs)
+        Err(report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == crate::diag::Severity::Error)
+            .map(|d| d.message.clone())
+            .collect())
     }
 }
 
-fn check_task_timing(
-    dag: &TaskGraph,
-    topo: &Topology,
-    schedule: &Schedule,
-    errs: &mut Vec<String>,
-) {
+fn check_task_timing(dag: &TaskGraph, topo: &Topology, schedule: &Schedule, report: &mut Report) {
     for t in dag.task_ids() {
         let p = &schedule.tasks[t.index()];
         if p.start < -EPS {
-            errs.push(format!("{t} starts at negative time {}", p.start));
+            report.push(
+                Diagnostic::error(
+                    Code::TaskTiming,
+                    Span::Task(t.0),
+                    format!("{t} starts at negative time {}", p.start),
+                )
+                .with("start", p.start),
+            );
         }
         let expect = p.start + dag.weight(t) / topo.proc_speed(p.proc);
         if (p.finish - expect).abs() > 1e-6 {
-            errs.push(format!(
-                "{t} finish {} != start + w/s = {expect}",
-                p.finish
-            ));
+            report.push(
+                Diagnostic::error(
+                    Code::TaskTiming,
+                    Span::Task(t.0),
+                    format!("{t} finish {} != start + w/s = {expect}", p.finish),
+                )
+                .with("finish", p.finish)
+                .with("expected", expect),
+            );
         }
     }
 }
 
-fn check_processor_exclusivity(schedule: &Schedule, errs: &mut Vec<String>) {
-    let mut by_proc: std::collections::HashMap<u32, Vec<(f64, f64)>> =
-        std::collections::HashMap::new();
+fn check_processor_exclusivity(schedule: &Schedule, report: &mut Report) {
+    // BTreeMap: deterministic processor order in reports (and lint L1
+    // bans hash-ordered iteration in this crate).
+    let mut by_proc: BTreeMap<u32, Vec<(f64, f64)>> = BTreeMap::new();
     for t in &schedule.tasks {
-        by_proc.entry(t.proc.0).or_default().push((t.start, t.finish));
+        by_proc
+            .entry(t.proc.0)
+            .or_default()
+            .push((t.start, t.finish));
     }
     for (p, mut spans) in by_proc {
         spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         for w in spans.windows(2) {
             if w[0].1 > w[1].0 + EPS {
-                errs.push(format!(
-                    "processor P{p}: tasks overlap ([{}, {}) then [{}, {}))",
-                    w[0].0, w[0].1, w[1].0, w[1].1
-                ));
+                report.push(
+                    Diagnostic::error(
+                        Code::ProcOverlap,
+                        Span::Proc(p),
+                        format!(
+                            "processor P{p}: tasks overlap ([{}, {}) then [{}, {}))",
+                            w[0].0, w[0].1, w[1].0, w[1].1
+                        ),
+                    )
+                    .with("first", format!("[{}, {})", w[0].0, w[0].1))
+                    .with("second", format!("[{}, {})", w[1].0, w[1].1)),
+                );
             }
         }
     }
 }
 
-fn check_comms(dag: &TaskGraph, topo: &Topology, schedule: &Schedule, errs: &mut Vec<String>) {
+fn check_comms(dag: &TaskGraph, topo: &Topology, schedule: &Schedule, report: &mut Report) {
+    let mut ideal_comms = 0usize;
     for e in dag.edge_ids() {
         let edge = dag.edge(e);
         let src = &schedule.tasks[edge.src.index()];
@@ -127,45 +191,86 @@ fn check_comms(dag: &TaskGraph, topo: &Topology, schedule: &Schedule, errs: &mut
         match comm {
             CommPlacement::Local => {
                 if src.proc != dst.proc {
-                    errs.push(format!("{e} marked Local but crosses {} -> {}", src.proc, dst.proc));
+                    report.push(
+                        Diagnostic::error(
+                            Code::Route,
+                            Span::Edge(e.0),
+                            format!("{e} marked Local but crosses {} -> {}", src.proc, dst.proc),
+                        )
+                        .with("src", src.proc)
+                        .with("dst", dst.proc),
+                    );
                 }
                 if dst.start < src.finish - EPS {
-                    errs.push(format!(
-                        "{e}: destination starts {} before source finishes {}",
-                        dst.start, src.finish
-                    ));
+                    report.push(
+                        Diagnostic::error(
+                            Code::Precedence,
+                            Span::Edge(e.0),
+                            format!(
+                                "{e}: destination starts {} before source finishes {}",
+                                dst.start, src.finish
+                            ),
+                        )
+                        .with("dst_start", dst.start)
+                        .with("src_finish", src.finish),
+                    );
                 }
             }
             CommPlacement::Ideal { arrival, .. } => {
+                ideal_comms += 1;
                 if dst.start < arrival - EPS {
-                    errs.push(format!(
-                        "{e}: destination starts {} before ideal arrival {arrival}",
-                        dst.start
-                    ));
+                    report.push(
+                        Diagnostic::error(
+                            Code::Precedence,
+                            Span::Edge(e.0),
+                            format!(
+                                "{e}: destination starts {} before ideal arrival {arrival}",
+                                dst.start
+                            ),
+                        )
+                        .with("dst_start", dst.start)
+                        .with("arrival", *arrival),
+                    );
                 }
             }
             CommPlacement::Slotted { route, times } => {
                 if src.proc == dst.proc {
-                    errs.push(format!("{e} is Slotted but both tasks on {}", src.proc));
+                    report.push(Diagnostic::error(
+                        Code::Route,
+                        Span::Edge(e.0),
+                        format!("{e} is Slotted but both tasks on {}", src.proc),
+                    ));
                     continue;
                 }
-                check_route_shape(topo, e, route, src.proc, dst.proc, errs);
+                check_route_shape(topo, e, route, src.proc, dst.proc, report);
                 if times.len() != route.len() {
-                    errs.push(format!(
-                        "{e}: {} hop times for {} hops",
-                        times.len(),
-                        route.len()
-                    ));
+                    report.push(
+                        Diagnostic::error(
+                            Code::Structure,
+                            Span::Edge(e.0),
+                            format!("{e}: {} hop times for {} hops", times.len(), route.len()),
+                        )
+                        .with("times", times.len())
+                        .with("hops", route.len()),
+                    );
                     continue;
                 }
                 // Durations, causality, source availability, arrival.
                 for (k, (hop, &(s, f))) in route.iter().zip(times).enumerate() {
                     let int = edge.cost / topo.link_speed(hop.link);
                     if (f - s - int).abs() > 1e-6 {
-                        errs.push(format!(
-                            "{e} hop {k}: duration {} != c/s = {int}",
-                            f - s
-                        ));
+                        report.push(
+                            Diagnostic::error(
+                                Code::SlotExclusivity,
+                                Span::Hop {
+                                    edge: e.0,
+                                    hop: k as u32,
+                                },
+                                format!("{e} hop {k}: duration {} != c/s = {int}", f - s),
+                            )
+                            .with("duration", f - s)
+                            .with("expected", int),
+                        );
                     }
                     if k > 0 {
                         // Link causality, strengthened by the per-hop
@@ -173,86 +278,164 @@ fn check_comms(dag: &TaskGraph, topo: &Topology, schedule: &Schedule, errs: &mut
                         let d = topo.hop_delay();
                         let (ps, pf) = times[k - 1];
                         if s < ps + d - EPS || f < pf + d - EPS {
-                            errs.push(format!(
-                                "{e} hop {k}: causality violated ([{ps},{pf}) then [{s},{f}), hop delay {d})"
-                            ));
+                            report.push(
+                                Diagnostic::error(
+                                    Code::LinkCausality,
+                                    Span::Hop {
+                                        edge: e.0,
+                                        hop: k as u32,
+                                    },
+                                    format!(
+                                        "{e} hop {k}: causality violated ([{ps},{pf}) then [{s},{f}), hop delay {d})"
+                                    ),
+                                )
+                                .with("prev", format!("[{ps}, {pf})"))
+                                .with("cur", format!("[{s}, {f})"))
+                                .with("hop_delay", d),
+                            );
                         }
                     }
                 }
                 if let Some(&(first_start, _)) = times.first() {
                     if first_start < src.finish - EPS {
-                        errs.push(format!(
-                            "{e}: transfer starts {first_start} before source finishes {}",
-                            src.finish
-                        ));
+                        report.push(
+                            Diagnostic::error(
+                                Code::Precedence,
+                                Span::Edge(e.0),
+                                format!(
+                                    "{e}: transfer starts {first_start} before source finishes {}",
+                                    src.finish
+                                ),
+                            )
+                            .with("transfer_start", first_start)
+                            .with("src_finish", src.finish),
+                        );
                     }
                 }
                 if let Some(&(_, last_finish)) = times.last() {
                     if dst.start < last_finish - EPS {
-                        errs.push(format!(
-                            "{e}: destination starts {} before arrival {last_finish}",
-                            dst.start
-                        ));
+                        report.push(
+                            Diagnostic::error(
+                                Code::Precedence,
+                                Span::Edge(e.0),
+                                format!(
+                                    "{e}: destination starts {} before arrival {last_finish}",
+                                    dst.start
+                                ),
+                            )
+                            .with("dst_start", dst.start)
+                            .with("arrival", last_finish),
+                        );
                     }
                 }
             }
             CommPlacement::Fluid { route, flows } => {
                 if src.proc == dst.proc {
-                    errs.push(format!("{e} is Fluid but both tasks on {}", src.proc));
-                    continue;
-                }
-                check_route_shape(topo, e, route, src.proc, dst.proc, errs);
-                if flows.len() != route.len() {
-                    errs.push(format!(
-                        "{e}: {} flows for {} hops",
-                        flows.len(),
-                        route.len()
+                    report.push(Diagnostic::error(
+                        Code::Route,
+                        Span::Edge(e.0),
+                        format!("{e} is Fluid but both tasks on {}", src.proc),
                     ));
                     continue;
                 }
+                check_route_shape(topo, e, route, src.proc, dst.proc, report);
+                if flows.len() != route.len() {
+                    report.push(
+                        Diagnostic::error(
+                            Code::Structure,
+                            Span::Edge(e.0),
+                            format!("{e}: {} flows for {} hops", flows.len(), route.len()),
+                        )
+                        .with("flows", flows.len())
+                        .with("hops", route.len()),
+                    );
+                    continue;
+                }
                 for (k, (hop, flow)) in route.iter().zip(flows).enumerate() {
+                    let span = Span::Hop {
+                        edge: e.0,
+                        hop: k as u32,
+                    };
                     if let Err(why) = flow.check_invariants() {
-                        errs.push(format!("{e} hop {k}: {why}"));
+                        report.push(Diagnostic::error(
+                            Code::FluidCapacity,
+                            span,
+                            format!("{e} hop {k}: {why}"),
+                        ));
                     }
                     let vol = flow.volume(topo.link_speed(hop.link));
                     if (vol - edge.cost).abs() > VOL_EPS * edge.cost.max(1.0) {
-                        errs.push(format!(
-                            "{e} hop {k}: volume {vol} != c(e) = {}",
-                            edge.cost
-                        ));
+                        report.push(
+                            Diagnostic::error(
+                                Code::FluidCapacity,
+                                span,
+                                format!("{e} hop {k}: volume {vol} != c(e) = {}", edge.cost),
+                            )
+                            .with("volume", vol)
+                            .with("expected", edge.cost),
+                        );
                     }
                     if k > 0 {
                         let prev_speed = topo.link_speed(route[k - 1].link);
                         check_cumulative_causality(
-                            e.index(),
+                            e.0,
                             k,
                             &flows[k - 1],
                             prev_speed,
                             flow,
                             topo.link_speed(hop.link),
                             topo.hop_delay(),
-                            errs,
+                            report,
                         );
                     }
                 }
                 if let Some(first) = flows.first().and_then(Flow::start) {
                     if first < src.finish - EPS {
-                        errs.push(format!(
-                            "{e}: flow starts {first} before source finishes {}",
-                            src.finish
-                        ));
+                        report.push(
+                            Diagnostic::error(
+                                Code::Precedence,
+                                Span::Edge(e.0),
+                                format!(
+                                    "{e}: flow starts {first} before source finishes {}",
+                                    src.finish
+                                ),
+                            )
+                            .with("flow_start", first)
+                            .with("src_finish", src.finish),
+                        );
                     }
                 }
                 if let Some(last) = flows.last().and_then(Flow::finish) {
                     if dst.start < last - EPS {
-                        errs.push(format!(
-                            "{e}: destination starts {} before fluid arrival {last}",
-                            dst.start
-                        ));
+                        report.push(
+                            Diagnostic::error(
+                                Code::Precedence,
+                                Span::Edge(e.0),
+                                format!(
+                                    "{e}: destination starts {} before fluid arrival {last}",
+                                    dst.start
+                                ),
+                            )
+                            .with("dst_start", dst.start)
+                            .with("arrival", last),
+                        );
                     }
                 }
             }
         }
+    }
+    if ideal_comms > 0 {
+        report.push(
+            Diagnostic::warning(
+                Code::Route,
+                Span::Schedule,
+                format!(
+                    "{ideal_comms} communication(s) use the idealised contention-free \
+                     model; link exclusivity and capacity checks do not apply to them"
+                ),
+            )
+            .with("ideal_comms", ideal_comms),
+        );
     }
 }
 
@@ -264,31 +447,62 @@ fn check_route_shape(
     route: &[Hop],
     from: es_net::ProcId,
     to: es_net::ProcId,
-    errs: &mut Vec<String>,
+    report: &mut Report,
 ) {
     if route.is_empty() {
-        errs.push(format!("{e}: empty route for a remote communication"));
+        report.push(Diagnostic::error(
+            Code::Route,
+            Span::Edge(e.0),
+            format!("{e}: empty route for a remote communication"),
+        ));
         return;
     }
     if route[0].from != topo.node_of_proc(from) {
-        errs.push(format!("{e}: route starts at {} not {}", route[0].from, from));
+        report.push(
+            Diagnostic::error(
+                Code::Route,
+                Span::Edge(e.0),
+                format!("{e}: route starts at {} not {}", route[0].from, from),
+            )
+            .with("starts_at", route[0].from)
+            .with("expected", from),
+        );
     }
     if route.last().unwrap().to != topo.node_of_proc(to) {
-        errs.push(format!(
-            "{e}: route ends at {} not {to}",
-            route.last().unwrap().to
-        ));
+        report.push(
+            Diagnostic::error(
+                Code::Route,
+                Span::Edge(e.0),
+                format!("{e}: route ends at {} not {to}", route.last().unwrap().to),
+            )
+            .with("ends_at", route.last().unwrap().to)
+            .with("expected", to),
+        );
     }
-    for w in route.windows(2) {
+    for (k, w) in route.windows(2).enumerate() {
         if w[0].to != w[1].from {
-            errs.push(format!("{e}: hops do not chain ({} then {})", w[0].to, w[1].from));
+            report.push(Diagnostic::error(
+                Code::Route,
+                Span::Hop {
+                    edge: e.0,
+                    hop: k as u32 + 1,
+                },
+                format!("{e}: hops do not chain ({} then {})", w[0].to, w[1].from),
+            ));
         }
     }
-    for hop in route {
+    for (k, hop) in route.iter().enumerate() {
         if !topo.link(hop.link).permits(hop.from, hop.to) {
-            errs.push(format!(
-                "{e}: link {} does not permit {} -> {}",
-                hop.link, hop.from, hop.to
+            report.push(Diagnostic::error(
+                Code::Route,
+                Span::Hop {
+                    edge: e.0,
+                    hop: k as u32,
+                },
+                format!(
+                    "{e}: link {} does not permit {} -> {}",
+                    hop.link, hop.from, hop.to
+                ),
             ));
         }
     }
@@ -299,14 +513,14 @@ fn check_route_shape(
 /// `hop_delay` earlier.
 #[allow(clippy::too_many_arguments)]
 fn check_cumulative_causality(
-    edge_idx: usize,
+    edge_idx: u32,
     hop: usize,
     prev: &Flow,
     prev_speed: f64,
     cur: &Flow,
     cur_speed: f64,
     hop_delay: f64,
-    errs: &mut Vec<String>,
+    report: &mut Report,
 ) {
     let cum = |flow: &Flow, speed: f64, t: f64| -> f64 {
         flow.pieces
@@ -328,18 +542,31 @@ fn check_cumulative_causality(
         let out = cum(cur, cur_speed, t);
         let inn = cum(prev, prev_speed, t - hop_delay);
         if out > inn + VOL_EPS * inn.max(1.0) {
-            errs.push(format!(
-                "e{edge_idx} hop {hop}: forwarded {out} > arrived {inn} at t={t}"
-            ));
+            report.push(
+                Diagnostic::error(
+                    Code::FluidCapacity,
+                    Span::Hop {
+                        edge: edge_idx,
+                        hop: hop as u32,
+                    },
+                    format!("e{edge_idx} hop {hop}: forwarded {out} > arrived {inn} at t={t}"),
+                )
+                .with("forwarded", out)
+                .with("arrived", inn)
+                .with("t", t),
+            );
             return;
         }
     }
 }
 
 /// Links never carry more than 100% bandwidth: slotted transfers count
-/// as rate-1 pieces, fluid ones at their allocated rates.
-fn check_link_capacity(topo: &Topology, schedule: &Schedule, errs: &mut Vec<String>) {
+/// as rate-1 pieces, fluid ones at their allocated rates. Slotted-only
+/// overcommitment is an exclusivity violation (ES-E006); once fluid
+/// pieces are involved it is a capacity violation (ES-E007).
+fn check_link_capacity(topo: &Topology, schedule: &Schedule, report: &mut Report) {
     let mut per_link: Vec<Vec<(f64, f64, f64)>> = vec![Vec::new(); topo.link_count()];
+    let mut has_fluid: Vec<bool> = vec![false; topo.link_count()];
     for comm in &schedule.comms {
         match comm {
             CommPlacement::Slotted { route, times } => {
@@ -349,6 +576,7 @@ fn check_link_capacity(topo: &Topology, schedule: &Schedule, errs: &mut Vec<Stri
             }
             CommPlacement::Fluid { route, flows } => {
                 for (hop, flow) in route.iter().zip(flows) {
+                    has_fluid[hop.link.index()] = true;
                     for p in &flow.pieces {
                         per_link[hop.link.index()].push((p.start, p.end, p.rate));
                     }
@@ -361,6 +589,11 @@ fn check_link_capacity(topo: &Topology, schedule: &Schedule, errs: &mut Vec<Stri
         if pieces.is_empty() {
             continue;
         }
+        let code = if has_fluid[li] {
+            Code::FluidCapacity
+        } else {
+            Code::SlotExclusivity
+        };
         // Sweep: +rate at start, -rate at end.
         let mut events: Vec<(f64, f64)> = Vec::with_capacity(pieces.len() * 2);
         for &(s, f, r) in pieces {
@@ -389,20 +622,30 @@ fn check_link_capacity(topo: &Topology, schedule: &Schedule, errs: &mut Vec<Stri
                 }
             } else if let Some((t0, peak)) = over_since.take() {
                 if t - t0 > EPS && !reported {
-                    errs.push(format!(
-                        "{}: bandwidth overcommitted ({peak:.6}) on [{t0}, {t})",
-                        LinkId(li as u32)
-                    ));
+                    report.push(
+                        Diagnostic::error(
+                            code,
+                            Span::Link(li as u32),
+                            format!("L{li}: bandwidth overcommitted ({peak:.6}) on [{t0}, {t})"),
+                        )
+                        .with("peak", peak)
+                        .with("window", format!("[{t0}, {t})")),
+                    );
                     reported = true;
                 }
             }
         }
         if let Some((t0, peak)) = over_since {
             if !reported {
-                errs.push(format!(
-                    "{}: bandwidth overcommitted ({peak:.6}) from t={t0} onwards",
-                    LinkId(li as u32)
-                ));
+                report.push(
+                    Diagnostic::error(
+                        code,
+                        Span::Link(li as u32),
+                        format!("L{li}: bandwidth overcommitted ({peak:.6}) from t={t0} onwards"),
+                    )
+                    .with("peak", peak)
+                    .with("from", t0),
+                );
             }
         }
     }
@@ -411,9 +654,9 @@ fn check_link_capacity(topo: &Topology, schedule: &Schedule, errs: &mut Vec<Stri
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::list::ListScheduler;
     use crate::bbsa::BbsaScheduler;
     use crate::ideal::IdealScheduler;
+    use crate::list::ListScheduler;
     use crate::schedule::Scheduler;
     use es_dag::gen::structured::{fork_join, gauss_elim, stencil_1d};
     use es_net::gen::{self, SpeedDist};
@@ -431,7 +674,11 @@ mod tests {
 
     #[test]
     fn valid_schedules_pass_for_all_algorithms() {
-        let dags = [fork_join(5, 4.0, 25.0), gauss_elim(4, 3.0, 12.0), stencil_1d(3, 3, 2.0, 9.0)];
+        let dags = [
+            fork_join(5, 4.0, 25.0),
+            gauss_elim(4, 3.0, 12.0),
+            stencil_1d(3, 3, 2.0, 9.0),
+        ];
         let topo = star(3);
         for dag in &dags {
             for sched in [
@@ -444,8 +691,24 @@ mod tests {
                 if let Err(errs) = validate(dag, &topo, &s) {
                     panic!("{} invalid: {errs:#?}", sched.name());
                 }
+                assert!(audit(dag, &topo, &s).is_clean());
             }
         }
+    }
+
+    #[test]
+    fn ideal_schedules_carry_an_advisory_warning() {
+        // Heavy tasks, near-free communication: the ideal scheduler
+        // spreads tasks across processors, so remote Ideal placements
+        // must exist.
+        let dag = fork_join(3, 50.0, 0.1);
+        let topo = star(3);
+        let s = IdealScheduler::new().schedule(&dag, &topo).unwrap();
+        let report = audit(&dag, &topo, &s);
+        assert!(report.is_clean());
+        assert!(report.warning_count() >= 1);
+        // Warnings never leak into the legacy interface.
+        assert!(validate(&dag, &topo, &s).is_ok());
     }
 
     #[test]
@@ -456,6 +719,11 @@ mod tests {
         s.makespan += 1.0;
         let errs = validate(&dag, &topo, &s).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("makespan")));
+        let report = audit(&dag, &topo, &s);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::Makespan && d.span == Span::Schedule));
     }
 
     #[test]
@@ -473,6 +741,10 @@ mod tests {
         }
         let errs = validate(&dag, &topo, &s).unwrap_err();
         assert!(errs.iter().any(|e| e.contains("overlap")), "{errs:?}");
+        assert!(audit(&dag, &topo, &s)
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::ProcOverlap));
     }
 
     #[test]
@@ -513,7 +785,8 @@ mod tests {
         // shift all its hop times to [0, int) to collide with whatever
         // else uses the link... simplest reliable corruption: set two
         // slotted comms to identical times on identical routes.
-        let mut first: Option<(Vec<es_net::Hop>, Vec<(f64, f64)>)> = None;
+        type SlottedParts = (Vec<es_net::Hop>, Vec<(f64, f64)>);
+        let mut first: Option<SlottedParts> = None;
         let mut broke = false;
         for c in &mut s.comms {
             if let CommPlacement::Slotted { route, times } = c {
@@ -531,9 +804,21 @@ mod tests {
         if broke {
             let errs = validate(&dag, &topo, &s).unwrap_err();
             assert!(
-                errs.iter().any(|e| e.contains("overcommitted") || e.contains("route")),
+                errs.iter()
+                    .any(|e| e.contains("overcommitted") || e.contains("route")),
                 "{errs:?}"
             );
         }
+    }
+
+    #[test]
+    fn structural_mismatch_short_circuits() {
+        let dag = fork_join(3, 2.0, 5.0);
+        let topo = star(2);
+        let mut s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        s.tasks.pop();
+        let report = audit(&dag, &topo, &s);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, Code::Structure);
     }
 }

@@ -91,7 +91,9 @@ fn store_and_forward_never_beats_cut_through() {
         switching: Switching::StoreAndForward,
         ..ListConfig::ba()
     };
-    let sf = ListScheduler::with_config(sf_cfg).schedule(&dag, &topo).unwrap();
+    let sf = ListScheduler::with_config(sf_cfg)
+        .schedule(&dag, &topo)
+        .unwrap();
     validate(&dag, &topo, &sf).expect("store-and-forward schedules are valid");
     assert!(
         sf.makespan >= ct.makespan - 1e-9,
@@ -114,7 +116,9 @@ fn store_and_forward_schedules_are_valid_everywhere() {
             switching: Switching::StoreAndForward,
             ..base
         };
-        let s = ListScheduler::with_config(cfg).schedule(&dag, &topo).unwrap();
+        let s = ListScheduler::with_config(cfg)
+            .schedule(&dag, &topo)
+            .unwrap();
         if let Err(errs) = validate(&dag, &topo, &s) {
             panic!("{base:?} SF: {}", errs.join("\n"));
         }

@@ -5,6 +5,7 @@
 //! x-axis) and the experiment reports.
 
 use crate::graph::{TaskGraph, TaskId};
+use es_linksched::time;
 
 /// Summary statistics of a task graph.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -83,9 +84,9 @@ pub fn measured_ccr(g: &TaskGraph, mps: f64, mls: f64) -> f64 {
     let s = stats(g);
     let comm_time = s.mean_comm / mls;
     let work_time = s.mean_work / mps;
-    if comm_time == 0.0 {
+    if time::approx_eq(comm_time, 0.0) {
         0.0
-    } else if work_time == 0.0 {
+    } else if time::approx_eq(work_time, 0.0) {
         f64::INFINITY
     } else {
         comm_time / work_time
@@ -99,7 +100,7 @@ pub fn measured_ccr(g: &TaskGraph, mps: f64, mls: f64) -> f64 {
 /// not controllable).
 pub fn ccr_scale_factor(g: &TaskGraph, target: f64, mps: f64, mls: f64) -> Option<f64> {
     let current = measured_ccr(g, mps, mls);
-    if current == 0.0 || !current.is_finite() {
+    if time::approx_eq(current, 0.0) || !current.is_finite() {
         None
     } else {
         Some(target / current)

@@ -40,7 +40,7 @@ pub fn to_dot(g: &TaskGraph, name: &str) -> String {
 
 /// Strip trailing `.0` from integral floats for compact labels.
 fn trim_num(x: f64) -> String {
-    if x.fract() == 0.0 && x.abs() < 1e15 {
+    if x == x.trunc() && x.abs() < 1e15 {
         format!("{}", x as i64)
     } else {
         format!("{x:.2}")
@@ -51,7 +51,13 @@ fn trim_num(x: f64) -> String {
 fn sanitise(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
         format!("g_{cleaned}")

@@ -8,7 +8,7 @@
 //! rescaling applied by the workload layer).
 
 use crate::graph::{TaskGraph, TaskGraphBuilder};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Parameters of the layered random DAG generator.
 ///
@@ -65,7 +65,10 @@ pub fn random_layered<R: Rng + ?Sized>(cfg: &LayeredDagConfig, rng: &mut R) -> T
         (0.0..=1.0).contains(&cfg.edge_density),
         "edge_density must lie in [0, 1]"
     );
-    assert!(cfg.weight_range.0 <= cfg.weight_range.1, "empty weight range");
+    assert!(
+        cfg.weight_range.0 <= cfg.weight_range.1,
+        "empty weight range"
+    );
     assert!(cfg.cost_range.0 <= cfg.cost_range.1, "empty cost range");
 
     // Partition tasks into layers.
@@ -97,7 +100,8 @@ pub fn random_layered<R: Rng + ?Sized>(cfg: &LayeredDagConfig, rng: &mut R) -> T
             let prev = &layers[li - 1];
             let parent = prev[rng.random_range(0..prev.len())];
             let c = rng.random_range(cfg.cost_range.0..=cfg.cost_range.1) as f64;
-            b.add_edge(parent, t, c).expect("generator wires valid edges");
+            b.add_edge(parent, t, c)
+                .expect("generator wires valid edges");
 
             let lo_layer = li.saturating_sub(cfg.max_jump);
             for lj in lo_layer..li {
@@ -106,8 +110,7 @@ pub fn random_layered<R: Rng + ?Sized>(cfg: &LayeredDagConfig, rng: &mut R) -> T
                         continue;
                     }
                     if rng.random_bool(cfg.edge_density) {
-                        let c =
-                            rng.random_range(cfg.cost_range.0..=cfg.cost_range.1) as f64;
+                        let c = rng.random_range(cfg.cost_range.0..=cfg.cost_range.1) as f64;
                         // Duplicate edges can only happen via `parent`,
                         // which we skipped, so this cannot fail.
                         b.add_edge(cand, t, c).expect("no duplicate candidates");
@@ -117,7 +120,8 @@ pub fn random_layered<R: Rng + ?Sized>(cfg: &LayeredDagConfig, rng: &mut R) -> T
         }
     }
 
-    b.build().expect("layered construction is acyclic by layering")
+    b.build()
+        .expect("layered construction is acyclic by layering")
 }
 
 #[cfg(test)]
@@ -162,9 +166,7 @@ mod tests {
         let g2 = random_layered(&cfg(120), &mut StdRng::seed_from_u64(2));
         // Extremely unlikely to coincide in both edge count and costs.
         let same = g1.edge_count() == g2.edge_count()
-            && g1
-                .edge_ids()
-                .all(|e| g1.edge(e).cost == g2.edge(e).cost);
+            && g1.edge_ids().all(|e| g1.edge(e).cost == g2.edge(e).cost);
         assert!(!same);
     }
 

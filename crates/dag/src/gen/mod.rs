@@ -17,8 +17,7 @@
 pub mod layered;
 pub mod structured;
 
-pub use layered::{LayeredDagConfig, random_layered};
+pub use layered::{random_layered, LayeredDagConfig};
 pub use structured::{
-    chain, cholesky, diamond_mesh, fft_graph, fork_join, gauss_elim, in_tree, out_tree,
-    stencil_1d,
+    chain, cholesky, diamond_mesh, fft_graph, fork_join, gauss_elim, in_tree, out_tree, stencil_1d,
 };

@@ -73,7 +73,8 @@ pub fn gauss_elim(n: usize, weight: f64, cost: f64) -> TaskGraph {
     for k in 0..n - 1 {
         for j in k + 1..n {
             let u = updates[&(k, j)];
-            b.add_edge(pivots[k], u, cost).expect("pivot->update unique");
+            b.add_edge(pivots[k], u, cost)
+                .expect("pivot->update unique");
             if k + 1 < n - 1 || (k + 1 == n - 1 && j > k + 1) {
                 // Feed the next stage.
                 if j == k + 1 {
@@ -97,7 +98,10 @@ pub fn gauss_elim(n: usize, weight: f64, cost: f64) -> TaskGraph {
 /// # Panics
 /// Panics if `points` is not a power of two or is < 2.
 pub fn fft_graph(points: usize, weight: f64, cost: f64) -> TaskGraph {
-    assert!(points >= 2 && points.is_power_of_two(), "points must be a power of two >= 2");
+    assert!(
+        points >= 2 && points.is_power_of_two(),
+        "points must be a power of two >= 2"
+    );
     let ranks = points.trailing_zeros() as usize + 1;
     let mut b = TaskGraphBuilder::with_capacity(ranks * points, 2 * (ranks - 1) * points);
     let mut grid: Vec<Vec<TaskId>> = Vec::with_capacity(ranks);
@@ -190,7 +194,10 @@ pub fn diamond_mesh(side: usize, weight: f64, cost: f64) -> TaskGraph {
 /// # Panics
 /// Panics if `arity == 0` or `depth == 0`.
 pub fn out_tree(arity: usize, depth: usize, weight: f64, cost: f64) -> TaskGraph {
-    assert!(arity > 0 && depth > 0, "out_tree needs positive arity and depth");
+    assert!(
+        arity > 0 && depth > 0,
+        "out_tree needs positive arity and depth"
+    );
     let mut b = TaskGraphBuilder::new();
     let root = b.add_labeled_task(weight, "root");
     let mut frontier = vec![root];
@@ -214,7 +221,10 @@ pub fn out_tree(arity: usize, depth: usize, weight: f64, cost: f64) -> TaskGraph
 /// # Panics
 /// Panics if `arity == 0` or `depth == 0`.
 pub fn in_tree(arity: usize, depth: usize, weight: f64, cost: f64) -> TaskGraph {
-    assert!(arity > 0 && depth > 0, "in_tree needs positive arity and depth");
+    assert!(
+        arity > 0 && depth > 0,
+        "in_tree needs positive arity and depth"
+    );
     let mut b = TaskGraphBuilder::new();
     // Build leaves-first: level d has arity^(depth-1-d) nodes.
     let mut frontier: Vec<TaskId> = (0..arity.pow((depth - 1) as u32))
@@ -267,9 +277,11 @@ pub fn cholesky(n: usize, weight: f64, cost: f64) -> TaskGraph {
             b.add_edge(potrf[&k], trsm[&(k, i)], cost).expect("unique");
             // trsm feeds the updates in its row/column of panel k.
             for j in k + 1..=i {
-                b.add_edge(trsm[&(k, i)], upd[&(k, i, j)], cost).expect("unique");
+                b.add_edge(trsm[&(k, i)], upd[&(k, i, j)], cost)
+                    .expect("unique");
                 if j != i {
-                    b.add_edge(trsm[&(k, j)], upd[&(k, i, j)], cost).expect("unique");
+                    b.add_edge(trsm[&(k, j)], upd[&(k, i, j)], cost)
+                        .expect("unique");
                 }
             }
         }

@@ -198,12 +198,16 @@ impl TaskGraph {
 
     /// Predecessor tasks `pred(n)`.
     pub fn predecessors(&self, n: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.in_edges(n).iter().map(move |&e| self.edges[e.index()].src)
+        self.in_edges(n)
+            .iter()
+            .map(move |&e| self.edges[e.index()].src)
     }
 
     /// Successor tasks `succ(n)`.
     pub fn successors(&self, n: TaskId) -> impl Iterator<Item = TaskId> + '_ {
-        self.out_edges(n).iter().map(move |&e| self.edges[e.index()].dst)
+        self.out_edges(n)
+            .iter()
+            .map(move |&e| self.edges[e.index()].dst)
     }
 
     /// Tasks without predecessors (graph sources).
@@ -320,10 +324,7 @@ impl TaskGraphBuilder {
         }
         for (i, t) in self.tasks.iter().enumerate() {
             if !t.weight.is_finite() || t.weight < 0.0 {
-                return Err(GraphError::InvalidCost(format!(
-                    "w(n{i}) = {}",
-                    t.weight
-                )));
+                return Err(GraphError::InvalidCost(format!("w(n{i}) = {}", t.weight)));
             }
         }
         for (i, e) in self.edges.iter().enumerate() {
@@ -457,7 +458,10 @@ mod tests {
         let mut b = TaskGraph::builder();
         let a = b.add_task(1.0);
         let ghost = TaskId(99);
-        assert_eq!(b.add_edge(a, ghost, 1.0), Err(GraphError::UnknownTask(ghost)));
+        assert_eq!(
+            b.add_edge(a, ghost, 1.0),
+            Err(GraphError::UnknownTask(ghost))
+        );
     }
 
     #[test]
@@ -487,7 +491,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_graph() {
-        assert!(matches!(TaskGraph::builder().build(), Err(GraphError::Empty)));
+        assert!(matches!(
+            TaskGraph::builder().build(),
+            Err(GraphError::Empty)
+        ));
     }
 
     #[test]

@@ -143,7 +143,10 @@ pub fn priority_list(g: &TaskGraph, priority: Priority) -> Vec<TaskId> {
         }
     }
     debug_assert_eq!(list.len(), g.task_count());
-    debug_assert!(is_topological(g, &list), "priority list must respect precedence");
+    debug_assert!(
+        is_topological(g, &list),
+        "priority list must respect precedence"
+    );
     list
 }
 
@@ -222,16 +225,17 @@ mod tests {
         let g = diamond();
         let list = priority_list(&g, Priority::BottomLevel);
         // Descending bl: n0 (71), n2 (49), n1 (38), n3 (5).
-        assert_eq!(
-            list,
-            vec![TaskId(0), TaskId(2), TaskId(1), TaskId(3)]
-        );
+        assert_eq!(list, vec![TaskId(0), TaskId(2), TaskId(1), TaskId(3)]);
     }
 
     #[test]
     fn priority_lists_are_topological_for_all_priorities() {
         let g = diamond();
-        for p in [Priority::BottomLevel, Priority::TopLevel, Priority::BottomPlusTop] {
+        for p in [
+            Priority::BottomLevel,
+            Priority::TopLevel,
+            Priority::BottomPlusTop,
+        ] {
             let list = priority_list(&g, p);
             assert!(is_topological(&g, &list), "{p:?}");
             assert_eq!(list.len(), g.task_count());

@@ -155,14 +155,16 @@ mod tests {
     fn series_glues_exits_to_entries() {
         let a = fork_join(2, 1.0, 1.0); // 1 exit
         let b = chain(3, 1.0, 1.0); // 1 entry
-        let g = series(&a, &b, 9.0);
+        let glue_cost = 9.0;
+        let g = series(&a, &b, glue_cost);
         assert_eq!(g.task_count(), 7);
         assert_eq!(g.edge_count(), a.edge_count() + b.edge_count() + 1);
-        // The glue edge carries the requested cost.
+        // The glue edge carries the requested cost verbatim, so a
+        // bitwise comparison is exact here.
         let glue = g
             .edge_ids()
             .map(|e| g.cost(e))
-            .filter(|&c| c == 9.0)
+            .filter(|&c| c.to_bits() == glue_cost.to_bits())
             .count();
         assert_eq!(glue, 1);
         // Depth adds up.

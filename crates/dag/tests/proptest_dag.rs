@@ -10,11 +10,11 @@ use rand::SeedableRng;
 /// whole parameter space at property scale.
 fn dag_strategy() -> impl Strategy<Value = TaskGraph> {
     (
-        1usize..120,         // tasks
-        1usize..12,          // mean width
-        0.0f64..=1.0,        // edge density
-        1usize..4,           // max jump
-        any::<u64>(),        // seed
+        1usize..120,  // tasks
+        1usize..12,   // mean width
+        0.0f64..=1.0, // edge density
+        1usize..4,    // max jump
+        any::<u64>(), // seed
     )
         .prop_map(|(tasks, width, density, jump, seed)| {
             let cfg = LayeredDagConfig {

@@ -145,7 +145,11 @@ impl RateProfile {
 
     /// Remaining bandwidth fraction at time `t`.
     pub fn remaining_at(&self, t: f64) -> f64 {
-        match self.segs.iter().find(|s| t >= s.start - EPS && t < s.end - EPS) {
+        match self
+            .segs
+            .iter()
+            .find(|s| t >= s.start - EPS && t < s.end - EPS)
+        {
             Some(s) => (1.0 - s.used).max(0.0),
             None => 1.0,
         }
@@ -187,7 +191,11 @@ impl RateProfile {
         }
         match arrival {
             ArrivalCurve::Instant { at } => self.sweep_instant(speed, at, volume),
-            ArrivalCurve::Upstream { flow, speed: prev_speed, delay } => {
+            ArrivalCurve::Upstream {
+                flow,
+                speed: prev_speed,
+                delay,
+            } => {
                 let carried = flow.volume(prev_speed);
                 assert!(
                     carried + 1e-3 >= volume,
@@ -261,7 +269,10 @@ impl RateProfile {
     /// module docs).
     fn sweep_upstream(&self, speed: f64, arrival: &Flow, prev_speed: f64, volume: f64) -> Flow {
         let pieces = &arrival.pieces;
-        debug_assert!(!pieces.is_empty(), "upstream flow with volume must have pieces");
+        debug_assert!(
+            !pieces.is_empty(),
+            "upstream flow with volume must have pieces"
+        );
         let mut t = pieces[0].start;
         let mut ai = 0usize; // arrival cursor
         let mut arrived = 0.0; // volume arrived by time t
@@ -632,7 +643,10 @@ mod tests {
         assert_eq!(f.pieces.len(), 1);
         assert!((f.pieces[0].rate - 0.25).abs() < 1e-9, "formula (4) cap");
         assert_eq!(f.pieces[0].start, 0.0);
-        assert!((f.finish().unwrap() - 8.0).abs() < 1e-9, "cut-through: same finish");
+        assert!(
+            (f.finish().unwrap() - 8.0).abs() < 1e-9,
+            "cut-through: same finish"
+        );
     }
 
     #[test]
@@ -778,7 +792,9 @@ mod tests {
         let mut p = RateProfile::new();
         let mut x: u64 = 7;
         for i in 0..40 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let at = ((x >> 33) % 100) as f64 / 4.0;
             let vol = 1.0 + ((x >> 13) % 80) as f64 / 8.0;
             let f = p.allocate(2.0, ArrivalCurve::Instant { at }, vol);
@@ -826,7 +842,10 @@ mod tests {
     #[test]
     fn remove_comm_survives_many_cycles() {
         let mut p = RateProfile::new();
-        p.commit(c(1), &p.allocate(2.0, ArrivalCurve::Instant { at: 0.0 }, 6.0));
+        p.commit(
+            c(1),
+            &p.allocate(2.0, ArrivalCurve::Instant { at: 0.0 }, 6.0),
+        );
         let reference = p.allocate(2.0, ArrivalCurve::Instant { at: 0.0 }, 10.0);
         for i in 0..50 {
             let f = p.allocate(2.0, ArrivalCurve::Instant { at: 0.0 }, 10.0);

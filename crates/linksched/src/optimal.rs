@@ -103,7 +103,11 @@ pub fn plan_optimal_insert(
     // Head-most feasible position minimises the start time (the start
     // candidate max(bound, prev.end) is non-decreasing in the index).
     for i in 0..n {
-        let start = if i == 0 { bound } else { bound.max(slots[i - 1].end) };
+        let start = if i == 0 {
+            bound
+        } else {
+            bound.max(slots[i - 1].end)
+        };
         // Condition (3).
         if approx_le(start + duration, slots[i].start + accum[i]) {
             let end = start + duration;
@@ -117,7 +121,11 @@ pub fn plan_optimal_insert(
         }
     }
     // Append after the last slot.
-    let start = if n == 0 { bound } else { bound.max(slots[n - 1].end) };
+    let start = if n == 0 {
+        bound
+    } else {
+        bound.max(slots[n - 1].end)
+    };
     OptimalPlacement {
         index: n,
         start,
@@ -186,7 +194,10 @@ pub fn optimal_insert(
             end: plan.end,
         },
     );
-    debug_assert!(queue.check_invariants().is_ok(), "optimal insert broke queue");
+    debug_assert!(
+        queue.check_invariants().is_ok(),
+        "optimal insert broke queue"
+    );
     plan
 }
 
@@ -259,9 +270,9 @@ mod tests {
         q.commit(c(1), 0, 0.0, 2.0); // [0,2)
         q.commit(c(2), 0, 2.0, 2.0); // [2,4) back-to-back
         q.commit(c(3), 0, 4.0, 2.0); // [4,6)
-        // All can defer by 3. Insert a 3-unit transfer at the head by
-        // pushing the whole train right by 3... but appending at 6 is
-        // later than inserting at 0 with shifts, so insertion wins.
+                                     // All can defer by 3. Insert a 3-unit transfer at the head by
+                                     // pushing the whole train right by 3... but appending at 6 is
+                                     // later than inserting at 0 with shifts, so insertion wins.
         let p = plan_optimal_insert(&q, 0.0, 3.0, &[3.0, 3.0, 3.0]);
         assert_eq!(p.index, 0);
         assert_eq!(p.start, 0.0);
@@ -276,8 +287,8 @@ mod tests {
         let mut q = SlotQueue::new();
         q.commit(c(1), 0, 2.0, 2.0); // [2,4)
         q.commit(c(2), 0, 9.0, 2.0); // [9,11): gap of 5 after slot 1
-        // Insert 4 units at bound 0: needs slot 1 pushed by 2; the gap
-        // absorbs it, slot 2 untouched.
+                                     // Insert 4 units at bound 0: needs slot 1 pushed by 2; the gap
+                                     // absorbs it, slot 2 untouched.
         let p = plan_optimal_insert(&q, 0.0, 4.0, &[2.0, 0.0]);
         assert_eq!(p.index, 0);
         assert_eq!(p.start, 0.0);
@@ -291,8 +302,8 @@ mod tests {
         let mut q = SlotQueue::new();
         q.commit(c(1), 0, 2.0, 2.0); // [2,4), dt = 5
         q.commit(c(2), 0, 4.0, 2.0); // [4,6), dt = 0 (immovable)
-        // Slot 1 nominally defers 5 but slot 2 blocks it entirely:
-        // a 4-unit transfer cannot go before slot 1 (needs push 2).
+                                     // Slot 1 nominally defers 5 but slot 2 blocks it entirely:
+                                     // a 4-unit transfer cannot go before slot 1 (needs push 2).
         let p = plan_optimal_insert(&q, 0.0, 4.0, &[5.0, 0.0]);
         assert_eq!(p.index, 2, "must append");
         assert_eq!(p.start, 6.0);
@@ -311,7 +322,7 @@ mod tests {
     fn partial_deferral_uses_exact_delta() {
         let mut q = SlotQueue::new();
         q.commit(c(1), 0, 3.0, 3.0); // [3,6), dt = 10
-        // Insert 5 units at bound 0: fits before if slot 1 shifts by 2.
+                                     // Insert 5 units at bound 0: fits before if slot 1 shifts by 2.
         let p = plan_optimal_insert(&q, 0.0, 5.0, &[10.0]);
         assert_eq!(p.start, 0.0);
         assert_eq!(p.shifts[0].delta, 2.0);
@@ -357,15 +368,21 @@ mod tests {
             let mut dts = Vec::new();
             let mut t = 0.0;
             for i in 0..20 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 t += ((x >> 33) % 30) as f64 / 10.0;
                 let d = 0.5 + ((x >> 13) % 30) as f64 / 10.0;
                 q.commit(c(i), 0, t, d);
                 t += d;
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 dts.push(((x >> 23) % 40) as f64 / 10.0);
             }
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let bound = ((x >> 33) % 100) as f64 / 10.0;
             let duration = 0.5 + ((x >> 3) % 50) as f64 / 10.0;
             let basic = q.probe(bound, duration);

@@ -302,7 +302,9 @@ mod tests {
         let mut q = SlotQueue::new();
         let mut x: u64 = 12345;
         for i in 0..200 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let bound = (x >> 33) as f64 % 50.0;
             let duration = ((x >> 13) % 70) as f64 / 10.0;
             let start = q.probe(bound, duration);

@@ -88,6 +88,7 @@ impl Interval {
 
     /// Shift both endpoints by `dt`.
     #[inline]
+    #[must_use]
     pub fn shifted(&self, dt: f64) -> Interval {
         Interval {
             start: self.start + dt,

@@ -11,22 +11,20 @@ use proptest::prelude::*;
 /// A slot queue built from arbitrary probe/commit requests, plus a
 /// deferrable time per slot.
 fn queue_strategy() -> impl Strategy<Value = (SlotQueue, Vec<f64>)> {
-    prop::collection::vec((0.0f64..200.0, 0.1f64..20.0, 0.0f64..15.0), 0..40).prop_map(
-        |reqs| {
-            let mut q = SlotQueue::new();
-            let mut dts = Vec::new();
-            for (i, (bound, dur, dt)) in reqs.into_iter().enumerate() {
-                let start = q.probe(bound, dur);
-                q.commit(CommId(i as u64), 0, start, dur);
-                dts.push(dt);
-            }
-            // dts indexed by *slot order*, not insertion order: rebuild
-            // aligned to the sorted queue (values are arbitrary anyway,
-            // only the count must match).
-            let n = q.len();
-            (q, dts.into_iter().take(n).collect())
-        },
-    )
+    prop::collection::vec((0.0f64..200.0, 0.1f64..20.0, 0.0f64..15.0), 0..40).prop_map(|reqs| {
+        let mut q = SlotQueue::new();
+        let mut dts = Vec::new();
+        for (i, (bound, dur, dt)) in reqs.into_iter().enumerate() {
+            let start = q.probe(bound, dur);
+            q.commit(CommId(i as u64), 0, start, dur);
+            dts.push(dt);
+        }
+        // dts indexed by *slot order*, not insertion order: rebuild
+        // aligned to the sorted queue (values are arbitrary anyway,
+        // only the count must match).
+        let n = q.len();
+        (q, dts.into_iter().take(n).collect())
+    })
 }
 
 proptest! {
@@ -53,7 +51,7 @@ proptest! {
         let step = (start - bound).max(0.0) / 8.0;
         if step > EPS {
             for k in 0..8 {
-                let cand = bound + step * k as f64;
+                let cand = bound + step * f64::from(k);
                 let overlaps = q.slots().iter().any(|s| {
                     cand < s.end - EPS && s.start < cand + dur - EPS
                 });

@@ -166,14 +166,21 @@ mod tests {
         // of each processor — 1! The diversity lives between SWITCHES.
         let a = t.node_of_proc(crate::ProcId(0));
         let b = t.node_of_proc(crate::ProcId(2));
-        assert_eq!(edge_disjoint_paths(&t, a, b), 1, "endpoint uplinks bottleneck");
+        assert_eq!(
+            edge_disjoint_paths(&t, a, b),
+            1,
+            "endpoint uplinks bottleneck"
+        );
         // Between the edge switches themselves there are 4 disjoint
         // routes (one per spine).
         let edges: Vec<NodeId> = t
             .node_ids()
             .filter(|&n| {
                 t.proc_of_node(n).is_none()
-                    && t.node(n).label.as_deref().map(|l| l.starts_with("edge")) == Some(true)
+                    && t.node(n)
+                        .label
+                        .as_deref()
+                        .is_some_and(|l| l.starts_with("edge"))
             })
             .collect();
         assert_eq!(edge_disjoint_paths(&t, edges[0], edges[1]), 4);

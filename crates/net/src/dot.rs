@@ -19,10 +19,7 @@ pub fn to_dot(t: &Topology, name: &str) -> String {
         let node = t.node(n);
         match node.kind {
             NodeKind::Processor(p) => {
-                let label = node
-                    .label
-                    .clone()
-                    .unwrap_or_else(|| format!("{p}"));
+                let label = node.label.clone().unwrap_or_else(|| format!("{p}"));
                 let _ = writeln!(
                     out,
                     "  n{} [shape=box, label=\"{}\\ns={}\"];",
@@ -102,7 +99,7 @@ pub fn to_dot(t: &Topology, name: &str) -> String {
 }
 
 fn trim_num(x: f64) -> String {
-    if x.fract() == 0.0 && x.abs() < 1e15 {
+    if x == x.trunc() && x.abs() < 1e15 {
         format!("{}", x as i64)
     } else {
         format!("{x:.2}")
@@ -112,7 +109,13 @@ fn trim_num(x: f64) -> String {
 fn sanitise(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() || cleaned.chars().next().unwrap().is_ascii_digit() {
         format!("g_{cleaned}")

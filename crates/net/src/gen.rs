@@ -11,7 +11,7 @@
 //! otherwise; speeds are drawn from a [`SpeedDist`].
 
 use crate::topology::{NodeId, Topology};
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// How to draw processor/link speeds.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -259,11 +259,17 @@ pub fn hypercube<R: Rng + ?Sized>(
     link_speed: SpeedDist,
     rng: &mut R,
 ) -> Topology {
-    assert!(dim >= 1 && dim <= 16, "dimension must be in 1..=16");
+    assert!((1..=16).contains(&dim), "dimension must be in 1..=16");
     let n = 1usize << dim;
     let mut b = Topology::builder();
     let nodes: Vec<NodeId> = (0..n)
-        .map(|i| b.add_labeled_processor(proc_speed.sample(rng), format!("p{i:0w$b}", w = dim as usize)).0)
+        .map(|i| {
+            b.add_labeled_processor(
+                proc_speed.sample(rng),
+                format!("p{i:0w$b}", w = dim as usize),
+            )
+            .0
+        })
         .collect();
     for i in 0..n {
         for d in 0..dim {
@@ -380,19 +386,13 @@ mod tests {
 
     #[test]
     fn wan_homogeneous_speeds_are_one() {
-        let t = random_switched_wan(
-            &WanConfig::homogeneous(32),
-            &mut StdRng::seed_from_u64(2),
-        );
+        let t = random_switched_wan(&WanConfig::homogeneous(32), &mut StdRng::seed_from_u64(2));
         assert!(t.is_homogeneous());
     }
 
     #[test]
     fn wan_heterogeneous_speeds_in_range() {
-        let t = random_switched_wan(
-            &WanConfig::heterogeneous(64),
-            &mut StdRng::seed_from_u64(3),
-        );
+        let t = random_switched_wan(&WanConfig::heterogeneous(64), &mut StdRng::seed_from_u64(3));
         for p in t.proc_ids() {
             let s = t.proc_speed(p);
             assert!((1.0..=10.0).contains(&s));
@@ -401,7 +401,10 @@ mod tests {
             let s = t.link_speed(l);
             assert!((1.0..=10.0).contains(&s));
         }
-        assert!(!t.is_homogeneous() || t.proc_count() < 3, "overwhelmingly likely");
+        assert!(
+            !t.is_homogeneous() || t.proc_count() < 3,
+            "overwhelmingly likely"
+        );
     }
 
     #[test]
@@ -502,7 +505,12 @@ mod tests {
 
     #[test]
     fn bus_topology_single_link() {
-        let t = shared_bus(4, SpeedDist::Fixed(1.0), 2.0, &mut StdRng::seed_from_u64(10));
+        let t = shared_bus(
+            4,
+            SpeedDist::Fixed(1.0),
+            2.0,
+            &mut StdRng::seed_from_u64(10),
+        );
         assert_eq!(t.link_count(), 1);
         assert!(t.is_connected());
         assert_eq!(t.mean_link_speed(), 2.0);

@@ -33,6 +33,6 @@ pub mod gen;
 pub mod topology;
 
 pub use topology::{
-    Hop, Link, LinkConn, LinkId, NetNode, NodeId, NodeKind, ProcId, Processor, TopoError,
-    Topology, TopologyBuilder,
+    Hop, Link, LinkConn, LinkId, NetNode, NodeId, NodeKind, ProcId, Processor, TopoError, Topology,
+    TopologyBuilder,
 };

@@ -357,8 +357,14 @@ impl Topology {
     /// True iff all processors and links have speed 1 (the paper's
     /// homogeneous setting).
     pub fn is_homogeneous(&self) -> bool {
-        self.processors.iter().all(|p| p.speed == 1.0)
-            && self.links.iter().all(|l| l.speed == 1.0)
+        // Generators write the speed verbatim, so an exact bitwise
+        // check is intended here (not an epsilon comparison).
+        fn is_unit(speed: f64) -> bool {
+            let unit: f64 = 1.0;
+            speed.to_bits() == unit.to_bits()
+        }
+        self.processors.iter().all(|p| is_unit(p.speed))
+            && self.links.iter().all(|l| is_unit(l.speed))
     }
 }
 

@@ -141,7 +141,10 @@ pub fn dijkstra_route<S: Clone>(
         node: from,
     });
 
-    while let Some(HeapEntry { node: u, key: k, .. }) = heap.pop() {
+    while let Some(HeapEntry {
+        node: u, key: k, ..
+    }) = heap.pop()
+    {
         if settled[u.index()] || k > best[u.index()] + EPS {
             continue;
         }
@@ -335,7 +338,7 @@ mod tests {
                     continue;
                 }
                 let r = bfs_route(&t, t.node_of_proc(a), t.node_of_proc(bp)).unwrap();
-                let mut seen = std::collections::HashSet::new();
+                let mut seen = std::collections::BTreeSet::new();
                 seen.insert(r[0].from);
                 for hop in &r {
                     assert!(seen.insert(hop.to), "revisited vertex on route");
@@ -348,8 +351,12 @@ mod tests {
     fn bus_routes_work() {
         let mut rng = StdRng::seed_from_u64(11);
         let t = gen::shared_bus(4, SpeedDist::Fixed(1.0), 1.0, &mut rng);
-        let r = bfs_route(&t, t.node_of_proc(es_net::ProcId(0)), t.node_of_proc(es_net::ProcId(3)))
-            .unwrap();
+        let r = bfs_route(
+            &t,
+            t.node_of_proc(es_net::ProcId(0)),
+            t.node_of_proc(es_net::ProcId(3)),
+        )
+        .unwrap();
         assert_eq!(r.len(), 1, "bus is a single hop");
     }
 }

@@ -110,7 +110,7 @@ proptest! {
         // Congest every link with a slot at the front.
         let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
         for q in &mut busy {
-            let dur = rng.random_range(1..50) as f64;
+            let dur = f64::from(rng.random_range(1..50));
             q.commit(CommId(0), 0, 0.0, dur);
         }
         let a = t.node_of_proc(es_net::ProcId(0));

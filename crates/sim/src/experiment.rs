@@ -16,7 +16,7 @@
 use crate::runner::parallel_map;
 use crate::stats::{improvement_percent, Summary};
 use es_core::{BbsaScheduler, ListScheduler, Scheduler};
-use es_workload::{cell_seed, ccr_values, generate, proc_counts, InstanceConfig, Setting};
+use es_workload::{ccr_values, cell_seed, generate, proc_counts, InstanceConfig, Setting};
 use serde::{Deserialize, Serialize};
 
 /// One experiment cell: a point in the sweep grid.
@@ -108,9 +108,11 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
                 .schedule(&inst.dag, &inst.topo)
                 .unwrap_or_else(|e| panic!("{} failed on seed {seed}: {e}", s.name()));
             if spec.validate {
-                if let Err(errs) = es_core::validate::validate(&inst.dag, &inst.topo, &schedule)
-                {
-                    panic!("{} produced an invalid schedule (seed {seed}): {errs:#?}", s.name());
+                if let Err(errs) = es_core::validate::validate(&inst.dag, &inst.topo, &schedule) {
+                    panic!(
+                        "{} produced an invalid schedule (seed {seed}): {errs:#?}",
+                        s.name()
+                    );
                 }
             }
             schedule.makespan
@@ -276,7 +278,7 @@ impl FigureParams {
         }
         let total = specs.len();
         let done = std::sync::atomic::AtomicUsize::new(0);
-        parallel_map(specs, self.threads, |spec| {
+        parallel_map(&specs, self.threads, |spec| {
             let r = run_cell(spec);
             if self.progress {
                 let k = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
@@ -303,8 +305,7 @@ impl FigureParams {
         let mut oihsa = Vec::new();
         let mut bbsa = Vec::new();
         for k in keys {
-            let group: Vec<&CellResult> =
-                cells.iter().filter(|c| key_of(c) == *k).collect();
+            let group: Vec<&CellResult> = cells.iter().filter(|c| key_of(c) == *k).collect();
             let oi: Vec<f64> = group.iter().map(|c| c.oihsa_improvement).collect();
             let bb: Vec<f64> = group.iter().map(|c| c.bbsa_improvement).collect();
             labels.push(k.to_string());
@@ -377,8 +378,7 @@ pub fn fig_pair(params: &FigureParams, setting: Setting) -> (FigureResult, Figur
         bbsa,
         cells: cells.clone(),
     };
-    let (x, oihsa, bbsa) =
-        FigureParams::aggregate(&cells, &params.procs, |c| c.spec.processors);
+    let (x, oihsa, bbsa) = FigureParams::aggregate(&cells, &params.procs, |c| c.spec.processors);
     let by_procs = FigureResult {
         title: proc_title.to_string(),
         x_name: "processors".to_string(),
@@ -392,8 +392,7 @@ pub fn fig_pair(params: &FigureParams, setting: Setting) -> (FigureResult, Figur
 
 fn by_ccr(params: &FigureParams, setting: Setting, title: &str) -> FigureResult {
     let cells = params.run_grid(setting);
-    let (x, oihsa, bbsa) =
-        FigureParams::aggregate(&cells, &params.ccrs, |c| c.spec.ccr);
+    let (x, oihsa, bbsa) = FigureParams::aggregate(&cells, &params.ccrs, |c| c.spec.ccr);
     FigureResult {
         title: title.to_string(),
         x_name: "CCR".to_string(),
@@ -406,8 +405,7 @@ fn by_ccr(params: &FigureParams, setting: Setting, title: &str) -> FigureResult 
 
 fn by_procs(params: &FigureParams, setting: Setting, title: &str) -> FigureResult {
     let cells = params.run_grid(setting);
-    let (x, oihsa, bbsa) =
-        FigureParams::aggregate(&cells, &params.procs, |c| c.spec.processors);
+    let (x, oihsa, bbsa) = FigureParams::aggregate(&cells, &params.procs, |c| c.spec.processors);
     FigureResult {
         title: title.to_string(),
         x_name: "processors".to_string(),

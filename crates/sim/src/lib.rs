@@ -9,8 +9,8 @@
 //! * [`stats`] — means, standard deviations, confidence intervals and
 //!   the improvement ratio;
 //! * [`runner`] — a work-stealing-ish parallel map over experiment
-//!   cells (std scoped threads + a crossbeam channel as the work
-//!   queue), because a full paper sweep is thousands of independent
+//!   cells (std scoped threads draining a shared atomic work counter),
+//!   because a full paper sweep is thousands of independent
 //!   scheduling runs;
 //! * [`experiment`] — cell and figure definitions, execution, and the
 //!   text tables the CLI prints.
@@ -24,8 +24,8 @@ pub mod runner;
 pub mod stats;
 
 pub use experiment::{
-    fig1, fig2, fig3, fig4, fig_pair, run_cell, run_cell_adaptive, CellResult, CellSpec, FigureParams,
-    FigureResult,
+    fig1, fig2, fig3, fig4, fig_pair, run_cell, run_cell_adaptive, CellResult, CellSpec,
+    FigureParams, FigureResult,
 };
 pub use runner::parallel_map;
 pub use stats::{improvement_percent, Summary};

@@ -115,7 +115,11 @@ mod tests {
         let md = figure_to_markdown(&f);
         assert!(md.contains("### Figure 1"));
         assert!(md.contains("| CCR |"));
-        assert_eq!(md.matches('\n').count(), 4 + f.x.len(), "title + blank + header + separator + rows");
+        assert_eq!(
+            md.matches('\n').count(),
+            4 + f.x.len(),
+            "title + blank + header + separator + rows"
+        );
     }
 
     #[test]

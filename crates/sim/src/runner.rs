@@ -2,70 +2,70 @@
 //!
 //! A full paper sweep is `19 CCRs × 7 processor counts × repetitions`
 //! independent scheduling runs — embarrassingly parallel. Rather than
-//! pull in a full work-stealing runtime, we use the idiom the Rust
-//! concurrency literature recommends for this shape: **scoped threads
-//! draining a shared channel** (crossbeam's MPMC channel as the work
-//! queue, `std::thread::scope` so borrows of the input live safely on
-//! the stack). Results are written into pre-allocated slots guarded by
-//! a `parking_lot::Mutex`, preserving input order.
+//! pull in a work-stealing runtime, we use plain std primitives:
+//! **scoped threads draining a shared atomic work counter**
+//! (`std::thread::scope` so borrows of the input live safely on the
+//! stack). Each worker claims the next item with a `fetch_add`, so
+//! faster workers take more cells — no static partitioning imbalance —
+//! and writes its result into that item's pre-allocated slot,
+//! preserving input order.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Apply `f` to every item on up to `threads` worker threads,
 /// preserving input order in the output.
 ///
 /// `f` must be `Sync` (it is shared by reference across workers) and
-/// the items are handed out through a channel, so faster workers take
-/// more cells — no static partitioning imbalance.
+/// items are handed out through a shared counter, so faster workers
+/// take more cells.
 ///
 /// `threads == 0` or `1` degrades to a sequential map (useful under
 /// `cargo test` and for debugging).
 ///
 /// # Panics
 /// Propagates panics from `f` (the scope joins all workers).
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let n = items.len();
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, &T)>();
-    for pair in items.iter().enumerate() {
-        tx.send(pair).expect("unbounded channel accepts all work");
-    }
-    drop(tx);
+    let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            let rx = rx.clone();
+            let next = &next;
             let slots = &slots;
             let f = &f;
-            scope.spawn(move || {
-                while let Ok((idx, item)) = rx.recv() {
-                    let result = f(item);
-                    *slots[idx].lock() = Some(result);
-                }
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                let result = f(item);
+                *slots[idx].lock().expect("no poisoned slot") = Some(result);
             });
         }
     });
 
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled by a worker"))
+        .map(|m| {
+            m.into_inner()
+                .expect("no poisoned slot")
+                .expect("every slot filled by a worker")
+        })
         .collect()
 }
 
 /// A sensible default worker count: the number of available CPUs
 /// (minimum 1).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 #[cfg(test)]
@@ -76,15 +76,15 @@ mod tests {
     #[test]
     fn preserves_order() {
         let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(items, 8, |&x| x * 2);
+        let out = parallel_map(&items, 8, |&x| x * 2);
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn sequential_fallback_matches() {
         let items: Vec<u64> = (0..20).collect();
-        let a = parallel_map(items.clone(), 1, |&x| x + 1);
-        let b = parallel_map(items, 4, |&x| x + 1);
+        let a = parallel_map(&items, 1, |&x| x + 1);
+        let b = parallel_map(&items, 4, |&x| x + 1);
         assert_eq!(a, b);
     }
 
@@ -92,7 +92,7 @@ mod tests {
     fn every_item_processed_exactly_once() {
         let count = AtomicUsize::new(0);
         let items: Vec<usize> = (0..500).collect();
-        let out = parallel_map(items, 6, |&x| {
+        let out = parallel_map(&items, 6, |&x| {
             count.fetch_add(1, Ordering::Relaxed);
             x
         });
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), 4, |&x| x);
+        let out: Vec<u64> = parallel_map(&Vec::<u64>::new(), 4, |&x| x);
         assert!(out.is_empty());
     }
 
@@ -110,7 +110,7 @@ mod tests {
     fn uneven_work_is_balanced() {
         // Items with wildly different costs still all complete.
         let items: Vec<u64> = (0..32).collect();
-        let out = parallel_map(items, 4, |&x| {
+        let out = parallel_map(&items, 4, |&x| {
             if x % 7 == 0 {
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }

@@ -96,7 +96,7 @@ mod tests {
     #[test]
     fn ci_shrinks_with_n() {
         let small = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
-        let xs: Vec<f64> = (0..64).map(|i| 1.0 + (i % 4) as f64).collect();
+        let xs: Vec<f64> = (0..64).map(|i| 1.0 + f64::from(i % 4)).collect();
         let big = Summary::of(&xs);
         assert!(big.ci95_half_width() < small.ci95_half_width());
     }

@@ -44,8 +44,8 @@ pub enum Setting {
 /// The paper's CCR sweep: 0.1–1.0 in steps of 0.1, then 2–10 in steps
 /// of 1 (x-axis of Figures 1 and 3).
 pub fn ccr_values() -> Vec<f64> {
-    let mut v: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
-    v.extend((2..=10).map(|i| i as f64));
+    let mut v: Vec<f64> = (1..=10).map(|i| f64::from(i) / 10.0).collect();
+    v.extend((2..=10).map(f64::from));
     v
 }
 
@@ -83,6 +83,7 @@ impl InstanceConfig {
 
     /// Same configuration but with a fixed task count — used by tests
     /// and benches that need bounded runtime.
+    #[must_use]
     pub fn with_tasks(mut self, tasks: usize) -> Self {
         self.tasks = Some(tasks);
         self
@@ -110,9 +111,7 @@ pub fn generate(config: &InstanceConfig) -> Instance {
     };
     let topo = random_switched_wan(&wan, &mut rng);
 
-    let tasks = config
-        .tasks
-        .unwrap_or_else(|| rng.random_range(40..=1000));
+    let tasks = config.tasks.unwrap_or_else(|| rng.random_range(40..=1000));
     // Graph shape following the layered construction of Bajaj &
     // Agrawal: width grows with the square root of the task count so
     // depth and parallelism both scale.
@@ -125,7 +124,12 @@ pub fn generate(config: &InstanceConfig) -> Instance {
         cost_range: (1, 1000),
     };
     let raw = random_layered(&dag_cfg, &mut rng);
-    let dag = scale_to_ccr(&raw, config.ccr, topo.mean_proc_speed(), topo.mean_link_speed());
+    let dag = scale_to_ccr(
+        &raw,
+        config.ccr,
+        topo.mean_proc_speed(),
+        topo.mean_link_speed(),
+    );
 
     Instance {
         config: *config,

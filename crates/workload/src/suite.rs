@@ -163,12 +163,9 @@ impl Platform {
                     &mut rng,
                 )
             }
-            Platform::Bus => gen::shared_bus(
-                processors.max(2),
-                SpeedDist::Fixed(1.0),
-                1.0,
-                &mut rng,
-            ),
+            Platform::Bus => {
+                gen::shared_bus(processors.max(2), SpeedDist::Fixed(1.0), 1.0, &mut rng)
+            }
         }
     }
 }
@@ -245,11 +242,8 @@ mod tests {
         let g = grid(40, 6, 2.0, 9);
         assert_eq!(g.len(), 30);
         for s in &g {
-            let measured = analysis::measured_ccr(
-                &s.dag,
-                s.topo.mean_proc_speed(),
-                s.topo.mean_link_speed(),
-            );
+            let measured =
+                analysis::measured_ccr(&s.dag, s.topo.mean_proc_speed(), s.topo.mean_link_speed());
             assert!(
                 (measured - 2.0).abs() < 1e-9,
                 "{}/{} CCR {measured}",

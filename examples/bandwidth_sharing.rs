@@ -77,8 +77,10 @@ fn part1_link_layer() {
 }
 
 fn part2_schedulers() {
-    println!("== Part 2: end-to-end on a contended WAN ==
-");
+    println!(
+        "== Part 2: end-to-end on a contended WAN ==
+"
+    );
     // A communication-heavy stencil on the paper's heterogeneous WAN:
     // plenty of concurrent transfers funnelling through shared trunks,
     // which is where the fluid model's concurrency pays off.

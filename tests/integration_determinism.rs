@@ -20,7 +20,10 @@ fn instances_are_bit_identical_across_generations() {
         assert_eq!(a.dag.edge(e).dst, b.dag.edge(e).dst);
     }
     for l in a.topo.link_ids() {
-        assert_eq!(a.topo.link_speed(l).to_bits(), b.topo.link_speed(l).to_bits());
+        assert_eq!(
+            a.topo.link_speed(l).to_bits(),
+            b.topo.link_speed(l).to_bits()
+        );
     }
 }
 
@@ -36,7 +39,12 @@ fn schedules_are_bit_identical_across_runs() {
     ] {
         let s1 = sched.schedule(&inst.dag, &inst.topo).unwrap();
         let s2 = sched.schedule(&inst.dag, &inst.topo).unwrap();
-        assert_eq!(s1.makespan.to_bits(), s2.makespan.to_bits(), "{}", sched.name());
+        assert_eq!(
+            s1.makespan.to_bits(),
+            s2.makespan.to_bits(),
+            "{}",
+            sched.name()
+        );
         for (a, b) in s1.tasks.iter().zip(&s2.tasks) {
             assert_eq!(a.proc, b.proc);
             assert_eq!(a.start.to_bits(), b.start.to_bits());
@@ -61,8 +69,8 @@ fn cell_results_do_not_depend_on_thread_count() {
         })
         .collect();
 
-    let seq = parallel_map(specs.clone(), 1, run_cell);
-    let par = parallel_map(specs, 4, run_cell);
+    let seq = parallel_map(&specs, 1, run_cell);
+    let par = parallel_map(&specs, 4, run_cell);
     for (a, b) in seq.iter().zip(&par) {
         assert_eq!(a.ba_makespan.to_bits(), b.ba_makespan.to_bits());
         assert_eq!(a.oihsa_makespan.to_bits(), b.oihsa_makespan.to_bits());
@@ -78,9 +86,7 @@ fn different_seeds_give_different_instances() {
         .dag
         .edge_ids()
         .take(a.dag.edge_count().min(b.dag.edge_count()))
-        .any(|e| {
-            e.index() < b.dag.edge_count() && a.dag.cost(e) != b.dag.cost(e)
-        });
+        .any(|e| e.index() < b.dag.edge_count() && a.dag.cost(e) != b.dag.cost(e));
     assert!(
         costs_differ || a.dag.edge_count() != b.dag.edge_count(),
         "seeds 1 and 2 produced identical instances"

@@ -1,0 +1,233 @@
+//! Mutation testing of the structured audit: corrupt a known-valid
+//! schedule one invariant family at a time and assert that exactly the
+//! documented `ES-E00x` code fires — and that the finding survives the
+//! `es-diag-v1` JSON round-trip unchanged.
+//!
+//! This complements `integration_validation.rs`, which asserts on the
+//! human messages through the `validate()` shim; here we pin down the
+//! stable code taxonomy (DESIGN.md §8).
+
+use es_core::validate::audit;
+use es_core::{
+    BbsaScheduler, Code, CommPlacement, ListScheduler, Report, Schedule, Scheduler, Severity,
+};
+use es_dag::gen::structured::fork_join;
+use es_dag::TaskGraph;
+use es_net::gen::{self, SpeedDist};
+use es_net::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fixture guaranteed to contain remote (link-scheduled)
+/// communications for both the slotted and the fluid scheduler.
+fn fixture() -> (TaskGraph, Topology) {
+    let dag = fork_join(5, 50.0, 10.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let topo = gen::star(3, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+    (dag, topo)
+}
+
+fn slotted_schedule() -> (TaskGraph, Topology, Schedule) {
+    let (dag, topo) = fixture();
+    let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+    assert!(audit(&dag, &topo, &s).is_clean());
+    (dag, topo, s)
+}
+
+fn fluid_schedule() -> (TaskGraph, Topology, Schedule) {
+    let (dag, topo) = fixture();
+    let s = BbsaScheduler::new().schedule(&dag, &topo).unwrap();
+    assert!(audit(&dag, &topo, &s).is_clean());
+    (dag, topo, s)
+}
+
+/// Audit the corrupted schedule, assert `code` fires as an error, then
+/// push the whole report through JSON and assert nothing was lost.
+fn assert_fires(dag: &TaskGraph, topo: &Topology, s: &Schedule, code: Code) {
+    let report = audit(dag, topo, s);
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == code && d.severity == Severity::Error),
+        "expected an error with code {}, got:\n{}",
+        code.as_str(),
+        report.render_human()
+    );
+    let parsed = Report::from_json(&report.to_json()).expect("es-diag-v1 round-trip");
+    assert_eq!(parsed, report, "JSON round-trip must be lossless");
+    assert_eq!(
+        parsed.counts_by_code()[&code],
+        report.counts_by_code()[&code]
+    );
+}
+
+#[test]
+fn e000_structural_mismatch() {
+    let (dag, topo, mut s) = slotted_schedule();
+    s.tasks.pop();
+    let report = audit(&dag, &topo, &s);
+    // Structure errors short-circuit: nothing else can be audited.
+    assert_eq!(report.diagnostics.len(), 1);
+    assert_fires(&dag, &topo, &s, Code::Structure);
+}
+
+#[test]
+fn e001_task_timing() {
+    let (dag, topo, mut s) = slotted_schedule();
+    s.tasks[0].finish += 1.0;
+    s.makespan = Schedule::compute_makespan(&s.tasks);
+    assert_fires(&dag, &topo, &s, Code::TaskTiming);
+}
+
+#[test]
+fn e002_processor_overlap() {
+    let (dag, topo, mut s) = slotted_schedule();
+    let p0 = s.tasks[1].proc;
+    for i in 2..s.tasks.len() {
+        if s.tasks[i].proc != p0 {
+            s.tasks[i].proc = p0;
+            s.tasks[i].start = s.tasks[1].start;
+            s.tasks[i].finish = s.tasks[1].start + dag.weight(es_dag::TaskId(i as u32));
+            break;
+        }
+    }
+    s.makespan = Schedule::compute_makespan(&s.tasks);
+    assert_fires(&dag, &topo, &s, Code::ProcOverlap);
+}
+
+#[test]
+fn e003_precedence() {
+    let (dag, topo, mut s) = slotted_schedule();
+    // The join task depends on remote data; pull it to time 0.
+    let last = s.tasks.len() - 1;
+    let w = dag.weight(es_dag::TaskId(last as u32));
+    s.tasks[last].start = 0.0;
+    s.tasks[last].finish = w / topo.proc_speed(s.tasks[last].proc);
+    s.makespan = Schedule::compute_makespan(&s.tasks);
+    assert_fires(&dag, &topo, &s, Code::Precedence);
+}
+
+#[test]
+fn e004_route_validity() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Slotted { route, .. } = c {
+            if route.len() >= 2 {
+                route.swap(0, 1);
+                break;
+            }
+        }
+    }
+    assert_fires(&dag, &topo, &s, Code::Route);
+}
+
+#[test]
+fn e004_local_marker_across_processors() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for (i, c) in s.comms.iter_mut().enumerate() {
+        let edge = dag.edge(es_dag::EdgeId(i as u32));
+        if s.tasks[edge.src.index()].proc != s.tasks[edge.dst.index()].proc {
+            *c = CommPlacement::Local;
+            break;
+        }
+    }
+    assert_fires(&dag, &topo, &s, Code::Route);
+}
+
+#[test]
+fn e005_link_causality() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Slotted { times, .. } = c {
+            if times.len() >= 2 {
+                // Shift the second hop before the first, keeping its
+                // duration so only causality is violated.
+                let d = times[1].1 - times[1].0;
+                times[1].0 = times[0].0 - 1.0;
+                times[1].1 = times[1].0 + d;
+                break;
+            }
+        }
+    }
+    assert_fires(&dag, &topo, &s, Code::LinkCausality);
+}
+
+#[test]
+fn e006_slot_duration() {
+    let (dag, topo, mut s) = slotted_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Slotted { times, .. } = c {
+            times[0].1 += 3.0;
+            break;
+        }
+    }
+    assert_fires(&dag, &topo, &s, Code::SlotExclusivity);
+}
+
+#[test]
+fn e007_fluid_volume() {
+    let (dag, topo, mut s) = fluid_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Fluid { flows, .. } = c {
+            flows[0].pieces.pop();
+            break;
+        }
+    }
+    assert_fires(&dag, &topo, &s, Code::FluidCapacity);
+}
+
+#[test]
+fn e007_fluid_rate_overflow() {
+    let (dag, topo, mut s) = fluid_schedule();
+    for c in &mut s.comms {
+        if let CommPlacement::Fluid { flows, .. } = c {
+            for p in &mut flows[0].pieces {
+                p.rate *= 3.0;
+            }
+            break;
+        }
+    }
+    assert_fires(&dag, &topo, &s, Code::FluidCapacity);
+}
+
+#[test]
+fn e008_makespan() {
+    let (dag, topo, mut s) = slotted_schedule();
+    s.makespan *= 2.0;
+    assert_fires(&dag, &topo, &s, Code::Makespan);
+}
+
+#[test]
+fn warnings_do_not_fail_the_shim() {
+    // An Ideal schedule with remote placements carries an advisory
+    // ES-E004 warning; the legacy validate() shim must still pass.
+    let dag = fork_join(3, 50.0, 0.1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let topo = gen::star(3, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+    let s = es_core::IdealScheduler::new()
+        .schedule(&dag, &topo)
+        .unwrap();
+    let report = audit(&dag, &topo, &s);
+    if report.warning_count() > 0 {
+        assert!(report.error_count() == 0);
+        assert!(es_core::validate::validate(&dag, &topo, &s).is_ok());
+        // Warnings round-trip too.
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+}
+
+#[test]
+fn every_fired_code_is_in_the_documented_taxonomy() {
+    // Belt and braces for DESIGN.md §8: any diagnostic the audit can
+    // produce parses back to a known Code via its stable string.
+    let (dag, topo, mut s) = slotted_schedule();
+    s.tasks[0].finish += 1.0;
+    s.makespan *= 3.0;
+    let report = audit(&dag, &topo, &s);
+    assert!(!report.is_clean());
+    for d in &report.diagnostics {
+        assert_eq!(Code::parse(d.code.as_str()), Some(d.code));
+    }
+}

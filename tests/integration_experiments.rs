@@ -147,11 +147,14 @@ fn suite_grid_schedules_validly_across_all_kernels_and_platforms() {
             Box::new(ListScheduler::oihsa()),
             Box::new(BbsaScheduler::new()),
         ] {
-            let s = sched
-                .schedule(&sc.dag, &sc.topo)
-                .unwrap_or_else(|e| {
-                    panic!("{} on {}/{}: {e}", sched.name(), sc.kernel.name(), sc.platform.name())
-                });
+            let s = sched.schedule(&sc.dag, &sc.topo).unwrap_or_else(|e| {
+                panic!(
+                    "{} on {}/{}: {e}",
+                    sched.name(),
+                    sc.kernel.name(),
+                    sc.platform.name()
+                )
+            });
             if let Err(errs) = validate(&sc.dag, &sc.topo, &s) {
                 panic!(
                     "{} on {}/{}: {}",

@@ -1,8 +1,8 @@
 //! Mutation testing of the validator: corrupt valid schedules in every
 //! way the model forbids and check the validator objects each time.
 
-use es_core::{validate::validate, BbsaScheduler, ListScheduler, Schedule, Scheduler};
 use es_core::CommPlacement;
+use es_core::{validate::validate, BbsaScheduler, ListScheduler, Schedule, Scheduler};
 use es_dag::gen::structured::{fork_join, gauss_elim};
 use es_dag::TaskGraph;
 use es_net::gen::{self, SpeedDist};
@@ -141,7 +141,8 @@ fn detects_broken_route_chain() {
     }
     let errs = validate(&dag, &topo, &s).expect_err("must be detected");
     assert!(
-        errs.iter().any(|e| e.contains("chain") || e.contains("starts at")),
+        errs.iter()
+            .any(|e| e.contains("chain") || e.contains("starts at")),
         "{errs:#?}"
     );
 }
@@ -269,8 +270,7 @@ fn validator_accepts_all_clean_schedules_repeatedly() {
     for seed in 0..10u64 {
         let dag = gauss_elim(5, 15.0, 25.0);
         let mut rng = StdRng::seed_from_u64(seed);
-        let topo =
-            gen::random_switched_wan(&gen::WanConfig::heterogeneous(10), &mut rng);
+        let topo = gen::random_switched_wan(&gen::WanConfig::heterogeneous(10), &mut rng);
         for sched in [
             Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
             Box::new(ListScheduler::oihsa()),

@@ -1,0 +1,143 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates registry, so this vendored crate
+//! provides the API the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`). It is a smoke-runner, not a
+//! statistics engine: each benchmark closure is timed over a small
+//! fixed number of iterations and a mean is printed. CLI arguments
+//! (`--quick`, filters) are accepted and ignored.
+
+// Vendored stand-in: compiled as first-party workspace code, but not
+// held to the pedantic bar the real crates are.
+#![allow(clippy::pedantic)]
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark.
+const ITERS: u32 = 3;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A named group; benchmarks print as `group/name`.
+pub struct BenchmarkGroup {
+    prefix: String,
+}
+
+impl BenchmarkGroup {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{name}", self.prefix), &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] times the
+/// routine.
+pub struct Bencher {
+    total_nanos: u128,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.timed_iters += u64::from(ITERS);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        total_nanos: 0,
+        timed_iters: 0,
+    };
+    f(&mut b);
+    if b.timed_iters > 0 {
+        let mean = b.total_nanos / u128::from(b.timed_iters);
+        println!("bench {name:<50} {mean:>12} ns/iter (offline smoke runner)");
+    } else {
+        println!("bench {name:<50} (no iterations)");
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore criterion CLI flags (--quick, filters).
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut count = 0u32;
+        Criterion::default().bench_function("smoke", |b| b.iter(|| count += 1));
+        // 1 warm-up + ITERS timed.
+        assert_eq!(count, 1 + ITERS);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut ran = false;
+        g.bench_function("x", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! vendored crate provides exactly the API surface the workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`]/[`RngExt`] methods `random_range` / `random_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fully
+//! deterministic per seed on every platform, which is the property the
+//! workspace's reproducibility story actually depends on. The stream
+//! differs from upstream `rand`'s `StdRng` (ChaCha12), so seeds are
+//! *internally* stable but not interchangeable with upstream.
+
+// Vendored stand-in: compiled as first-party workspace code, but not
+// held to the pedantic bar the real crates are.
+#![allow(clippy::pedantic)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from an (inclusive or exclusive) range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Alias kept for import compatibility (`use rand::RngExt` must bring
+/// the sampling methods into scope just like `use rand::Rng` does, so
+/// it is the same trait under a second name, not a subtrait).
+pub use Rng as RngExt;
+
+/// Map a raw word to `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that [`Rng::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi]` (both inclusive).
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+/// Range arguments accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// `(low, high)` with `high` inclusive.
+    fn bounds(self) -> (T, T);
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty sampling range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // Multiply-shift range reduction; the bias is < 2^-64
+                // per draw, far below anything these workloads resolve.
+                let word = rng.next_u64() as u128;
+                let off = (word * span) >> 64;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty sampling range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn bounds(self) -> ($t, $t) {
+                self.into_inner()
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty sampling range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn bounds(self) -> (f64, f64) {
+        assert!(self.start < self.end, "empty sampling range");
+        (self.start, self.end)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn bounds(self) -> (f64, f64) {
+        self.into_inner()
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (offline stand-in for the
+    /// upstream `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.random_range(5u64..=9);
+            assert!((5..=9).contains(&w));
+            let x = rng.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..300 {
+            seen[rng.random_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

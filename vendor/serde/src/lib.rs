@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates registry, so this vendored crate
+//! satisfies the workspace's `use serde::{Deserialize, Serialize}`
+//! imports with no-op derive macros (see `vendor/serde_derive`). Real
+//! serialisation in this repo — schedule CSVs, diagnostic JSON — is
+//! hand-written and dependency-free (`es_core::export`,
+//! `es_core::diag`).
+
+// Vendored stand-in: compiled as first-party workspace code, but not
+// held to the pedantic bar the real crates are.
+#![allow(clippy::pedantic)]
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

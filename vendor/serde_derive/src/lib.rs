@@ -1,0 +1,24 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types but
+//! never serialises them through serde (all real serialisation in this
+//! repo is hand-written CSV/JSON). These derives accept the same syntax
+//! — including `#[serde(...)]` helper attributes — and emit nothing.
+
+// Vendored stand-in: compiled as first-party workspace code, but not
+// held to the pedantic bar the real crates are.
+#![allow(clippy::pedantic)]
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

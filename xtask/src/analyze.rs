@@ -1,0 +1,385 @@
+//! The `xtask analyze` workspace pass.
+//!
+//! Three static lints over the workspace sources (via the token
+//! scanner in [`crate::lexer`]) plus an optional runtime determinism
+//! audit ([`crate::determinism`]):
+//!
+//! * **L1** — no `HashMap`/`HashSet` in scheduler / link-scheduler
+//!   sources (`crates/core`, `crates/linksched`, `crates/route`).
+//!   Hash iteration order is randomized per process; any tie broken by
+//!   it makes schedules irreproducible. Use `BTreeMap`/`BTreeSet` or
+//!   sorted `Vec`s.
+//! * **L2** — no bare `==`/`!=` with an f64 literal operand anywhere
+//!   outside `crates/linksched/src/time.rs` (the EPS helpers). Exact
+//!   float comparison is only meaningful inside the tolerance layer.
+//! * **L3** — every `ES-Exxx` diagnostic code that appears in
+//!   `crates/core` sources must be documented in DESIGN.md's
+//!   diagnostics table, and vice versa.
+//!
+//! Findings print as `LINT file:line — message` (or JSON lines with
+//! `--json`) and the process exits 1 if any were produced.
+
+use crate::determinism;
+use crate::lexer::{lex, Token, TokenKind};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+pub struct Finding {
+    /// Lint identifier (`L1` / `L2` / `L3` / `DET`).
+    pub lint: &'static str,
+    /// Path relative to the workspace root (empty for runtime audits).
+    pub file: String,
+    /// 1-based line, 0 when not applicable.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Entry point for `xtask analyze`; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut run_determinism = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--determinism" => run_determinism = true,
+            "--root" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--root requires a directory argument");
+                    return 2;
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown `analyze` option `{other}`");
+                return 2;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(detect_root);
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!("no Cargo.toml under {} — wrong --root?", root.display());
+        return 2;
+    }
+
+    let mut findings = analyze_workspace(&root);
+    if run_determinism {
+        eprintln!("running determinism audit (schedulers twice per seeded instance)...");
+        for d in determinism::audit() {
+            findings.push(Finding {
+                lint: "DET",
+                file: String::new(),
+                line: 0,
+                message: format!(
+                    "{} nondeterministic on {}: {}",
+                    d.scheduler, d.instance, d.detail
+                ),
+            });
+        }
+    }
+
+    for f in &findings {
+        if json {
+            println!("{}", to_json(f));
+        } else if f.file.is_empty() {
+            println!("{}  {}", f.lint, f.message);
+        } else {
+            println!("{}  {}:{} — {}", f.lint, f.file, f.line, f.message);
+        }
+    }
+    if findings.is_empty() {
+        if !json {
+            println!(
+                "analyze: clean (L1, L2, L3{} pass)",
+                if run_determinism { ", DET" } else { "" }
+            );
+        }
+        0
+    } else {
+        eprintln!("analyze: {} finding(s)", findings.len());
+        1
+    }
+}
+
+/// All static findings for the workspace at `root`, sorted by
+/// (lint, file, line) for stable output.
+pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let files = rust_sources(root);
+
+    let mut core_code_sites: Vec<(String, u32, String)> = Vec::new(); // (code, line, file)
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let tokens = lex(&src);
+
+        if in_hot_path(&rel) {
+            lint_l1(&rel, &tokens, &mut findings);
+        }
+        if rel != "crates/linksched/src/time.rs" {
+            lint_l2(&rel, &tokens, &mut findings);
+        }
+        if rel.starts_with("crates/core/src/") {
+            for (code, line) in scan_codes(&src) {
+                core_code_sites.push((code, line, rel.clone()));
+            }
+        }
+    }
+
+    lint_l3(root, &core_code_sites, &mut findings);
+
+    findings.sort_by(|a, b| (a.lint, &a.file, a.line).cmp(&(b.lint, &b.file, b.line)));
+    findings
+}
+
+/// L1 scope: sources whose iteration order feeds scheduling decisions.
+fn in_hot_path(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/")
+        || rel.starts_with("crates/linksched/src/")
+        || rel.starts_with("crates/route/src/")
+}
+
+fn lint_l1(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for t in tokens {
+        if let TokenKind::Ident(name) = &t.kind {
+            if name == "HashMap" || name == "HashSet" {
+                findings.push(Finding {
+                    lint: "L1",
+                    file: rel.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{name}` in a scheduling hot path — hash iteration order is \
+                         nondeterministic; use BTreeMap/BTreeSet or a sorted Vec"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn lint_l2(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        let TokenKind::Op(op) = &t.kind else { continue };
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let float_left = i > 0 && tokens[i - 1].kind == TokenKind::Float;
+        let float_right = i + 1 < tokens.len() && tokens[i + 1].kind == TokenKind::Float;
+        if float_left || float_right {
+            findings.push(Finding {
+                lint: "L2",
+                file: rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "bare `{op}` with an f64 literal — use the es_linksched::time \
+                     EPS helpers (approx_eq / approx_le / ...) or an exact \
+                     formulation that avoids float equality"
+                ),
+            });
+        }
+    }
+}
+
+/// Extract `ES-Exxx` code occurrences (with their lines) from raw text.
+fn scan_codes(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let b = line.as_bytes();
+        let mut from = 0usize;
+        while let Some(pos) = line[from..].find("ES-E") {
+            let at = from + pos;
+            let digits = &b[at + 4..];
+            if digits.len() >= 3 && digits[..3].iter().all(u8::is_ascii_digit) {
+                out.push((line[at..at + 7].to_string(), lineno as u32 + 1));
+            }
+            from = at + 4;
+        }
+    }
+    out
+}
+
+/// L3: cross-check codes in core sources against DESIGN.md's table.
+fn lint_l3(root: &Path, sites: &[(String, u32, String)], findings: &mut Vec<Finding>) {
+    let design_path = root.join("DESIGN.md");
+    let design = std::fs::read_to_string(&design_path).unwrap_or_default();
+    let documented: Vec<String> = {
+        let mut v: Vec<String> = scan_codes(&design).into_iter().map(|(c, _)| c).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+
+    let mut constructed: Vec<(String, u32, String)> = sites.to_vec();
+    constructed.sort();
+    let mut seen: Vec<String> = Vec::new();
+    for (code, line, file) in &constructed {
+        if seen.last() == Some(code) {
+            continue;
+        }
+        seen.push(code.clone());
+        if !documented.contains(code) {
+            findings.push(Finding {
+                lint: "L3",
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "diagnostic code {code} is constructed in core but missing \
+                     from DESIGN.md's diagnostics table"
+                ),
+            });
+        }
+    }
+    for code in &documented {
+        if !seen.contains(code) {
+            findings.push(Finding {
+                lint: "L3",
+                file: "DESIGN.md".to_string(),
+                line: 0,
+                message: format!(
+                    "diagnostic code {code} is documented but never constructed \
+                     in crates/core — stale table row?"
+                ),
+            });
+        }
+    }
+}
+
+/// Every `.rs` file under the workspace except vendored stubs, build
+/// artifacts, and VCS metadata; sorted for deterministic reports.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(name.as_ref(), "vendor" | "target" | ".git" | ".github") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Workspace root: parent of the xtask crate when built by cargo,
+/// otherwise the current directory.
+fn detect_root() -> PathBuf {
+    if let Some(manifest) = std::env::var_os("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(parent) = p.parent() {
+            return parent.to_path_buf();
+        }
+    }
+    std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
+}
+
+/// Render one finding as a JSON object (hand-rolled; no serde runtime).
+fn to_json(f: &Finding) -> String {
+    let mut s = String::from("{");
+    let _ = write!(
+        s,
+        "\"lint\":{},\"file\":{},\"line\":{},\"message\":{}",
+        json_str(f.lint),
+        json_str(&f.file),
+        f.line,
+        json_str(&f.message)
+    );
+    s.push('}');
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_flags_float_literal_comparisons() {
+        let toks = lex("if x == 0.0 { } if 1e-6 != y { } if a == b { }");
+        let mut f = Vec::new();
+        lint_l2("t.rs", &toks, &mut f);
+        assert_eq!(
+            f.len(),
+            2,
+            "{:?}",
+            f.iter().map(|x| &x.message).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn l2_ignores_int_comparisons_and_strings() {
+        let toks = lex(r#"if n == 0 { } let s = "x == 0.0"; // y == 1.0"#);
+        let mut f = Vec::new();
+        lint_l2("t.rs", &toks, &mut f);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn l1_flags_hash_collections() {
+        let toks = lex("use std::collections::HashMap; let s: HashSet<u32>;");
+        let mut f = Vec::new();
+        lint_l1("crates/core/src/x.rs", &toks, &mut f);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn code_scanner_finds_codes_with_lines() {
+        let src = "// ES-E001 here\nlet c = \"ES-E008\"; // and ES-E00 is not a code\n";
+        let codes = scan_codes(src);
+        assert_eq!(
+            codes,
+            vec![("ES-E001".to_string(), 1), ("ES-E008".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        let f = Finding {
+            lint: "L2",
+            file: "a\"b.rs".into(),
+            line: 3,
+            message: "tab\there".into(),
+        };
+        assert_eq!(
+            to_json(&f),
+            r#"{"lint":"L2","file":"a\"b.rs","line":3,"message":"tab\there"}"#
+        );
+    }
+}

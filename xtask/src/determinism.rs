@@ -1,0 +1,205 @@
+//! Runtime determinism audit (`xtask analyze --determinism`).
+//!
+//! The L1 lint bans hash-ordered iteration statically; this module is
+//! its runtime counterpart. For a grid of seeded instances spanning
+//! both speed regimes and several sizes, every scheduler is run
+//! **twice on independently regenerated instances** and the two
+//! schedules are diffed bit-for-bit: same placements, same routes,
+//! same hop times, same makespan. Any divergence means hidden
+//! iteration-order (or other ambient) nondeterminism survived the
+//! static lints.
+
+use es_core::schedule::{CommPlacement, Schedule, Scheduler};
+use es_core::{BbsaScheduler, IdealScheduler, ListScheduler};
+use es_workload::{generate, Instance, InstanceConfig, Setting};
+
+/// One observed divergence between two identically seeded runs.
+pub struct Divergence {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// Instance description (setting / procs / ccr / seed).
+    pub instance: String,
+    /// What differed.
+    pub detail: String,
+}
+
+/// Run the audit; returns all divergences found (empty = deterministic).
+pub fn audit() -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let mut cases = 0usize;
+    for &setting in &[Setting::Homogeneous, Setting::Heterogeneous] {
+        for &(procs, tasks) in &[(4usize, 30usize), (8, 60)] {
+            for &ccr in &[0.5f64, 5.0] {
+                let seed = 0xA0D1_7000 + cases as u64;
+                let config = InstanceConfig::paper(setting, procs, ccr, seed).with_tasks(tasks);
+                let a = generate(&config);
+                let b = generate(&config);
+                if let Some(d) = diff_instances(&a, &b) {
+                    out.push(Divergence {
+                        scheduler: "workload::generate",
+                        instance: describe(&config),
+                        detail: d,
+                    });
+                    continue;
+                }
+                for scheduler in schedulers() {
+                    cases += 1;
+                    let run = |inst: &Instance| scheduler.schedule(&inst.dag, &inst.topo);
+                    match (run(&a), run(&b)) {
+                        (Ok(sa), Ok(sb)) => {
+                            if let Some(d) = diff_schedules(&sa, &sb) {
+                                out.push(Divergence {
+                                    scheduler: scheduler.name(),
+                                    instance: describe(&config),
+                                    detail: d,
+                                });
+                            }
+                        }
+                        (Err(ea), Err(eb)) if format!("{ea:?}") == format!("{eb:?}") => {}
+                        (ra, rb) => out.push(Divergence {
+                            scheduler: scheduler.name(),
+                            instance: describe(&config),
+                            detail: format!(
+                                "outcomes differ: {:?} vs {:?}",
+                                ra.map(|s| s.makespan),
+                                rb.map(|s| s.makespan)
+                            ),
+                        }),
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(ListScheduler::ba()),
+        Box::new(ListScheduler::ba_static()),
+        Box::new(ListScheduler::oihsa()),
+        Box::new(ListScheduler::oihsa_probing()),
+        Box::new(BbsaScheduler::new()),
+        Box::new(IdealScheduler::new()),
+    ]
+}
+
+fn describe(c: &InstanceConfig) -> String {
+    format!(
+        "{:?} procs={} ccr={} seed={:#x}",
+        c.setting, c.processors, c.ccr, c.seed
+    )
+}
+
+/// Bitwise instance diff: same seeds must regenerate the same DAG and
+/// topology before scheduler determinism is even meaningful.
+fn diff_instances(a: &Instance, b: &Instance) -> Option<String> {
+    if a.dag.task_count() != b.dag.task_count() || a.dag.edge_count() != b.dag.edge_count() {
+        return Some(format!(
+            "dag shape differs: {}t/{}e vs {}t/{}e",
+            a.dag.task_count(),
+            a.dag.edge_count(),
+            b.dag.task_count(),
+            b.dag.edge_count()
+        ));
+    }
+    for t in a.dag.task_ids() {
+        if a.dag.weight(t).to_bits() != b.dag.weight(t).to_bits() {
+            return Some(format!("weight of task {} differs", t.index()));
+        }
+    }
+    for e in a.dag.edge_ids() {
+        if a.dag.cost(e).to_bits() != b.dag.cost(e).to_bits() {
+            return Some(format!("cost of edge {} differs", e.index()));
+        }
+    }
+    if a.topo.proc_count() != b.topo.proc_count() || a.topo.link_count() != b.topo.link_count() {
+        return Some("topology shape differs".into());
+    }
+    None
+}
+
+/// Bitwise schedule diff; `None` when identical.
+pub fn diff_schedules(a: &Schedule, b: &Schedule) -> Option<String> {
+    if a.algorithm != b.algorithm {
+        return Some(format!("algorithm {:?} vs {:?}", a.algorithm, b.algorithm));
+    }
+    if a.makespan.to_bits() != b.makespan.to_bits() {
+        return Some(format!("makespan {} vs {}", a.makespan, b.makespan));
+    }
+    if a.tasks.len() != b.tasks.len() || a.comms.len() != b.comms.len() {
+        return Some("placement counts differ".into());
+    }
+    for (i, (ta, tb)) in a.tasks.iter().zip(&b.tasks).enumerate() {
+        if ta.proc != tb.proc
+            || ta.start.to_bits() != tb.start.to_bits()
+            || ta.finish.to_bits() != tb.finish.to_bits()
+        {
+            return Some(format!("task n{i}: {ta:?} vs {tb:?}"));
+        }
+    }
+    for (i, (ca, cb)) in a.comms.iter().zip(&b.comms).enumerate() {
+        if !comm_eq(ca, cb) {
+            return Some(format!("comm e{i}: {ca:?} vs {cb:?}"));
+        }
+    }
+    None
+}
+
+/// Bitwise comm-placement equality (PartialEq would use `==` on f64,
+/// which both misses -0.0/0.0 flips and is banned by lint L2).
+fn comm_eq(a: &CommPlacement, b: &CommPlacement) -> bool {
+    let bits = |x: f64| x.to_bits();
+    match (a, b) {
+        (CommPlacement::Local, CommPlacement::Local) => true,
+        (
+            CommPlacement::Slotted {
+                route: ra,
+                times: ta,
+            },
+            CommPlacement::Slotted {
+                route: rb,
+                times: tb,
+            },
+        ) => {
+            ra == rb
+                && ta.len() == tb.len()
+                && ta
+                    .iter()
+                    .zip(tb)
+                    .all(|(x, y)| bits(x.0) == bits(y.0) && bits(x.1) == bits(y.1))
+        }
+        (
+            CommPlacement::Fluid {
+                route: ra,
+                flows: fa,
+            },
+            CommPlacement::Fluid {
+                route: rb,
+                flows: fb,
+            },
+        ) => {
+            ra == rb
+                && fa.len() == fb.len()
+                && fa.iter().zip(fb).all(|(x, y)| {
+                    x.pieces.len() == y.pieces.len()
+                        && x.pieces.iter().zip(&y.pieces).all(|(p, q)| {
+                            bits(p.start) == bits(q.start)
+                                && bits(p.end) == bits(q.end)
+                                && bits(p.rate) == bits(q.rate)
+                        })
+                })
+        }
+        (
+            CommPlacement::Ideal {
+                delay: da,
+                arrival: aa,
+            },
+            CommPlacement::Ideal {
+                delay: db,
+                arrival: ab,
+            },
+        ) => bits(*da) == bits(*db) && bits(*aa) == bits(*ab),
+        _ => false,
+    }
+}

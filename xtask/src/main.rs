@@ -1,0 +1,47 @@
+//! Workspace task runner. See `analyze` module docs; usage:
+//!
+//! ```text
+//! cargo run -p xtask -- analyze [--determinism] [--json] [--root DIR]
+//! ```
+
+mod analyze;
+mod determinism;
+mod lexer;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let code = analyze::run(&args[1..]);
+            std::process::exit(code);
+        }
+        Some("help" | "--help" | "-h") | None => {
+            println!("{USAGE}");
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "\
+xtask — workspace static analysis (DESIGN.md §8)
+
+USAGE:
+  cargo run -p xtask -- analyze [options]
+
+OPTIONS:
+  --determinism   also run each scheduler twice on seeded instances and
+                  diff the full schedules (slow; runs the L1 lint's
+                  runtime counterpart)
+  --json          emit findings as JSON lines instead of human text
+  --root DIR      workspace root to analyze (default: auto-detected)
+
+LINTS:
+  L1  no HashMap/HashSet in scheduler/link-scheduler hot paths
+      (nondeterministic iteration order changes tie-breaking)
+  L2  no bare ==/!= against f64 literals outside es_linksched::time
+      (use the EPS comparison helpers)
+  L3  every diagnostic code constructed in es-core must be documented
+      in DESIGN.md's diagnostics table";
