@@ -3,6 +3,7 @@
 //! ```text
 //! es-experiments <fig1|fig2|fig3|fig4|all> [options]
 //! es-experiments cell --setting hetero --procs 32 --ccr 5 [options]
+//! es-experiments robustness --procs 8 --intensities 0.2,0.5,0.8 [options]
 //! es-experiments demo
 //!
 //! Options:
@@ -12,6 +13,7 @@
 //!   --threads N         worker threads                  (default: CPUs)
 //!   --procs A,B,C       processor counts                (default 2,4,8,16,32,64,128)
 //!   --ccrs A,B,C        CCR values                      (default: the paper's 19)
+//!   --intensities A,B   fault intensities               (default 0.2,0.5,0.8)
 //!   --validate          re-validate every schedule
 //!   --strong-baseline   also run the probing BA family
 //!   --csv PATH          write the per-cell results as CSV
@@ -49,6 +51,7 @@ fn main() {
             emit(&[f1, f2, f3, f4], &opts);
         }
         "cell" => run_single_cell(&opts),
+        "robustness" => run_robustness_sweep(&opts),
         "suite" => run_suite(&opts),
         "export" => export_instance(&opts),
         "verify" => verify_export(&opts),
@@ -65,7 +68,7 @@ const USAGE: &str = "\
 es-experiments — reproduce Han & Wang (ICPP 2006), Figures 1-4
 
 USAGE:
-  es-experiments <fig1|fig2|fig3|fig4|all|cell|suite|export|verify|demo> [options]
+  es-experiments <fig1|fig2|fig3|fig4|all|cell|robustness|suite|export|verify|demo> [options]
 
 OPTIONS:
   --reps N            repetitions per cell            (default 5)
@@ -74,13 +77,15 @@ OPTIONS:
   --threads N         worker threads                  (default: CPUs)
   --procs A,B,C       processor counts                (default 2,4,8,16,32,64,128)
   --ccrs A,B,C        CCR values                      (default: the paper's 19 values)
-  --setting h|het     (cell only) homogeneous or heterogeneous
-  --ccr X             (cell only) single CCR
+  --setting h|het     (cell/robustness) homogeneous or heterogeneous
+  --ccr X             (cell/robustness) single CCR
+  --intensities A,B   (robustness) fault intensities in [0,1] (default 0.2,0.5,0.8)
   --validate          re-validate every schedule against the model
   --strong-baseline   also run the probing-BA family for comparison
   --progress          print a line to stderr per completed cell
   --csv PATH          write per-cell results as CSV
-  --out DIR           (export only) output directory   (default: export/)
+  --out DIR           (export) output directory       (default: export/)
+                      (robustness) also export repaired schedules to DIR
   --in DIR            (verify only) exported run to audit (default: export/)
   --json              (verify only) emit es-diag-v1 JSON reports
 
@@ -88,6 +93,15 @@ The `export` command generates one instance (--setting/--procs/--ccr/
 --seed/--tasks), schedules it with BA-static, BA, OIHSA and BBSA, and
 writes DOT renderings of the DAG and topology plus per-schedule CSVs,
 text Gantt charts and a manifest into DIR.
+
+The `robustness` command sweeps fault intensities over one workload
+cell: each scheduler's output is replayed under seeded soft faults
+(weight jitter, link degradation, outages) and under hard failures
+(one processor + one link killed mid-horizon), reporting degradation
+ratios, infeasibility, and failure-aware repair statistics. With
+--out DIR it additionally exports the repaired schedules at the
+highest intensity as an es-export-v1 run that `verify --in DIR`
+audits unchanged (repairs are valid against the full topology).
 
 The `verify` command re-audits an exported run: it regenerates the
 instance from the manifest's recorded seed/config, parses each
@@ -100,7 +114,8 @@ struct Options {
     csv: Option<String>,
     setting: Setting,
     single_ccr: f64,
-    out_dir: String,
+    intensities: Vec<f64>,
+    out_dir: Option<String>,
     in_dir: String,
     json: bool,
 }
@@ -114,7 +129,8 @@ impl Options {
         let mut csv = None;
         let mut setting = Setting::Homogeneous;
         let mut single_ccr = 1.0;
-        let mut out_dir = String::from("export");
+        let mut intensities = vec![0.2, 0.5, 0.8];
+        let mut out_dir = None;
         let mut in_dir = String::from("export");
         let mut json = false;
         let mut it = args.iter();
@@ -148,6 +164,12 @@ impl Options {
                         .collect::<Result<_, _>>()?
                 }
                 "--ccr" => single_ccr = take()?.parse().map_err(|e| format!("--ccr: {e}"))?,
+                "--intensities" => {
+                    intensities = take()?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--intensities: {e}")))
+                        .collect::<Result<_, _>>()?
+                }
                 "--setting" => {
                     let v = take()?;
                     setting = match v.as_str() {
@@ -160,7 +182,7 @@ impl Options {
                 "--progress" => params.progress = true,
                 "--strong-baseline" => params.strong_baseline = true,
                 "--csv" => csv = Some(take()?),
-                "--out" => out_dir = take()?,
+                "--out" => out_dir = Some(take()?),
                 "--in" => in_dir = take()?,
                 "--json" => json = true,
                 other => return Err(format!("unknown option `{other}`")),
@@ -171,6 +193,7 @@ impl Options {
             csv,
             setting,
             single_ccr,
+            intensities,
             out_dir,
             in_dir,
             json,
@@ -228,6 +251,113 @@ fn run_single_cell(opts: &Options) {
     }
 }
 
+/// `robustness`: fault-intensity sweep on one workload cell, with an
+/// optional es-export-v1 dump of the repaired schedules.
+fn run_robustness_sweep(opts: &Options) {
+    use es_sim::report::{robustness_to_csv, robustness_to_markdown};
+    use es_sim::{run_robustness, RobustnessSpec};
+
+    let spec = RobustnessSpec {
+        setting: opts.setting,
+        processors: *opts.params.procs.first().unwrap_or(&8),
+        ccr: opts.single_ccr,
+        reps: opts.params.reps,
+        base_seed: opts.params.base_seed,
+        tasks: opts.params.tasks,
+        intensities: opts.intensities.clone(),
+        threads: opts.params.threads,
+    };
+    let cells = run_robustness(&spec);
+    print!("{}", robustness_to_markdown(&spec, &cells));
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, robustness_to_csv(&spec, &cells)).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote robustness CSV to {path}");
+    }
+    if let Some(dir) = &opts.out_dir {
+        export_repaired(&spec, dir);
+    }
+}
+
+/// Export the rep-0 instance's repaired schedules (highest swept
+/// intensity, one processor + one link killed) as an es-export-v1 run.
+/// Repairs are valid against the full topology, so `verify --in DIR`
+/// re-audits them with the unchanged pipeline.
+fn export_repaired(spec: &es_sim::RobustnessSpec, dir_name: &str) {
+    use es_core::{repair, FaultPlan, FaultSpec, ListScheduler, Scheduler};
+    use es_sim::robustness::fault_seed;
+    use es_workload::{cell_seed, generate, InstanceConfig};
+
+    let seed = cell_seed(spec.base_seed, spec.setting, spec.processors, spec.ccr, 0);
+    let mut cfg = InstanceConfig::paper(spec.setting, spec.processors, spec.ccr, seed);
+    cfg.tasks = spec.tasks;
+    let inst = generate(&cfg);
+    let dir = std::path::Path::new(dir_name);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let write = |name: &str, contents: String| {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    };
+    let intensity = spec.intensities.last().copied().unwrap_or(0.5);
+    let mut manifest = manifest_header(&cfg);
+    for sched in [ListScheduler::ba_static(), ListScheduler::oihsa()] {
+        let s = sched
+            .schedule(&inst.dag, &inst.topo)
+            .expect("connected WAN");
+        let plan = FaultPlan::seeded(
+            &inst.dag,
+            &inst.topo,
+            &FaultSpec {
+                intensity,
+                horizon: s.makespan,
+                kill_proc: true,
+                kill_link: true,
+            },
+            fault_seed(seed, intensity).wrapping_add(1),
+        );
+        let outcome = repair(&inst.dag, &inst.topo, &s, &plan).unwrap_or_else(|e| {
+            eprintln!("repair failed for {}: {e}", s.algorithm);
+            std::process::exit(1);
+        });
+        let r = &outcome.schedule;
+        let tag = format!("{}_repaired", s.algorithm.to_lowercase().replace('-', "_"));
+        write(
+            &format!("{tag}_tasks.csv"),
+            es_core::export::tasks_to_csv(&inst.dag, r),
+        );
+        write(
+            &format!("{tag}_comms.csv"),
+            es_core::export::comms_to_csv(&inst.dag, r),
+        );
+        manifest.push_str(&format!(
+            "schedule={tag},{},{:?}\n",
+            r.algorithm, r.makespan
+        ));
+        println!(
+            "  {:<10} repaired makespan {:>10.1} ({} moved, {} rerouted{})",
+            r.algorithm,
+            r.makespan,
+            outcome.moved_tasks.len(),
+            outcome.rerouted_comms,
+            if outcome.used_fallback {
+                ", basic-insertion fallback"
+            } else {
+                ""
+            }
+        );
+    }
+    write("manifest.txt", manifest);
+}
+
 /// The kernel × platform suite: every structured kernel on every
 /// platform family, BA-static vs OIHSA vs BBSA improvements.
 fn run_suite(opts: &Options) {
@@ -280,7 +410,8 @@ fn export_instance(opts: &Options) {
     );
     cfg.tasks = opts.params.tasks;
     let inst = generate(&cfg);
-    let dir = std::path::Path::new(&opts.out_dir);
+    let dir_name = opts.out_dir.as_deref().unwrap_or("export");
+    let dir = std::path::Path::new(dir_name);
     std::fs::create_dir_all(dir).unwrap_or_else(|e| {
         eprintln!("cannot create {}: {e}", dir.display());
         std::process::exit(1);
@@ -552,6 +683,21 @@ mod tests {
         assert!(!o.params.validate);
         assert!(!o.params.strong_baseline);
         assert!(o.csv.is_none());
+        assert!(o.out_dir.is_none());
+        assert_eq!(o.intensities.len(), 3);
+    }
+
+    #[test]
+    fn parses_intensities() {
+        let o = parse(&["--intensities", "0.1, 0.9"]).unwrap();
+        assert_eq!(o.intensities, vec![0.1, 0.9]);
+        assert!(parse(&["--intensities", "high"]).is_err());
+    }
+
+    #[test]
+    fn out_dir_recorded_when_given() {
+        let o = parse(&["--out", "runs/x"]).unwrap();
+        assert_eq!(o.out_dir.as_deref(), Some("runs/x"));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | ES-E006 | slotted exclusivity (duration, no link overlap)    |
 //! | ES-E007 | fluid capacity & volume conservation               |
 //! | ES-E008 | reported makespan equals latest task finish        |
+//! | ES-E009 | fault feasibility (decisions vs hard failures)     |
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -92,11 +93,15 @@ pub enum Code {
     FluidCapacity,
     /// ES-E008 — the reported makespan equals the latest task finish.
     Makespan,
+    /// ES-E009 — fault feasibility: under a hard-failure plan, every
+    /// scheduled decision finishes before its resource fail-stops
+    /// (reported by [`crate::exec::PerturbedExecution::to_report`]).
+    FaultInfeasible,
 }
 
 impl Code {
     /// All codes, in numeric order.
-    pub const ALL: [Code; 9] = [
+    pub const ALL: [Code; 10] = [
         Code::Structure,
         Code::TaskTiming,
         Code::ProcOverlap,
@@ -106,6 +111,7 @@ impl Code {
         Code::SlotExclusivity,
         Code::FluidCapacity,
         Code::Makespan,
+        Code::FaultInfeasible,
     ];
 
     /// The stable `ES-Exxx` identifier.
@@ -120,6 +126,7 @@ impl Code {
             Code::SlotExclusivity => "ES-E006",
             Code::FluidCapacity => "ES-E007",
             Code::Makespan => "ES-E008",
+            Code::FaultInfeasible => "ES-E009",
         }
     }
 
@@ -135,6 +142,7 @@ impl Code {
             Code::SlotExclusivity => "slotted link exclusivity",
             Code::FluidCapacity => "fluid capacity and volume conservation",
             Code::Makespan => "reported makespan consistency",
+            Code::FaultInfeasible => "fault feasibility under hard failures",
         }
     }
 

@@ -1,4 +1,4 @@
-//! Operational execution of slotted schedules.
+//! Operational execution of slotted schedules, with fault injection.
 //!
 //! A schedule fixes three kinds of *decisions*: where each task runs,
 //! which route each communication takes, and in what order each
@@ -19,10 +19,19 @@
 //! strong differential oracle for the schedulers' time bookkeeping
 //! (checked in tests and usable on any valid schedule).
 //!
-//! Two entry points:
+//! Entry points:
 //!
 //! * [`execute`] — re-derive times; errors if the decision graph is
 //!   cyclic (which would mean the schedule's orderings are inconsistent);
+//! * [`execute_with`] — the same replay under a deterministic
+//!   [`FaultPlan`]: per-task weight jitter, per-link speed degradation,
+//!   transient link outages (busy intervals injected into the replay),
+//!   and hard fail-stop processor/link failures. Returns a
+//!   [`PerturbedExecution`] with realized times, per-task slack, and
+//!   the decisions the hard failures made infeasible. Under
+//!   [`FaultPlan::none`] it reproduces [`execute`] bit for bit (every
+//!   identity factor is an exact IEEE multiplication by 1.0 and the
+//!   outage scan is a no-op).
 //! * [`compact`] — rebuild the schedule with the derived times: a
 //!   classic *schedule compaction* post-pass. For OIHSA this can close
 //!   the gaps that optimal-insertion deferrals opened; for BA it is the
@@ -32,10 +41,13 @@
 //! already saturate the resources they were granted; [`execute`]
 //! rejects them explicitly.
 
+use crate::diag::{Code, Diagnostic, Report, Span};
 use crate::schedule::{CommPlacement, Schedule, TaskPlacement};
 use es_dag::TaskGraph;
 use es_linksched::time::EPS;
-use es_net::Topology;
+use es_net::{LinkId, ProcId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// Why execution was refused.
@@ -63,6 +75,192 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// A deterministic fault scenario for [`execute_with`] and
+/// [`crate::repair::repair`].
+///
+/// Every vector is either **empty** (no fault of that class — the
+/// accessors then return exact identity values) or sized to the
+/// instance. Fail times use the schedule's own time axis and
+/// `f64::INFINITY` encodes "never fails", so a plan never needs
+/// `Option` per resource.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Multiplicative factor on each task's weight (`> 1` slows the
+    /// task down). Empty = every factor is exactly 1.
+    pub task_weight_factor: Vec<f64>,
+    /// Multiplicative factor on each link's speed (`< 1` degrades
+    /// bandwidth). Empty = every factor is exactly 1.
+    pub link_speed_factor: Vec<f64>,
+    /// Transient outages per link: sorted, disjoint `[start, end)`
+    /// intervals during which the link carries no traffic.
+    pub link_outages: Vec<Vec<(f64, f64)>>,
+    /// Hard fail-stop time per processor (`INFINITY` = never).
+    pub proc_fail: Vec<f64>,
+    /// Hard fail-stop time per link (`INFINITY` = never).
+    pub link_fail: Vec<f64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: [`execute_with`] reproduces [`execute`] bitwise
+    /// and [`crate::repair::repair`] is the identity.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when the plan carries no faults of any class.
+    pub fn is_none(&self) -> bool {
+        self.task_weight_factor.is_empty()
+            && self.link_speed_factor.is_empty()
+            && self.link_outages.iter().all(Vec::is_empty)
+            && !self.has_hard_failures()
+    }
+
+    /// True when any processor or link has a finite fail time.
+    pub fn has_hard_failures(&self) -> bool {
+        self.proc_fail
+            .iter()
+            .chain(&self.link_fail)
+            .any(|t| t.is_finite())
+    }
+
+    /// Weight factor of one task (1.0 when unperturbed).
+    #[inline]
+    pub fn weight_factor(&self, task: usize) -> f64 {
+        self.task_weight_factor.get(task).copied().unwrap_or(1.0)
+    }
+
+    /// Speed factor of one link (1.0 when unperturbed).
+    #[inline]
+    pub fn link_factor(&self, link: LinkId) -> f64 {
+        self.link_speed_factor
+            .get(link.index())
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Outage intervals of one link (empty when none).
+    #[inline]
+    pub fn outages(&self, link: LinkId) -> &[(f64, f64)] {
+        self.link_outages
+            .get(link.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Fail-stop time of one processor (`INFINITY` = never).
+    #[inline]
+    pub fn proc_fail_time(&self, proc: ProcId) -> f64 {
+        self.proc_fail
+            .get(proc.index())
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Fail-stop time of one link (`INFINITY` = never).
+    #[inline]
+    pub fn link_fail_time(&self, link: LinkId) -> f64 {
+        self.link_fail
+            .get(link.index())
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// A plan whose only fault is `proc` fail-stopping at time `at`.
+    pub fn kill_processor(topo: &Topology, proc: ProcId, at: f64) -> Self {
+        let mut proc_fail = vec![f64::INFINITY; topo.proc_count()];
+        proc_fail[proc.index()] = at;
+        Self {
+            proc_fail,
+            ..Self::default()
+        }
+    }
+
+    /// A plan whose only fault is `link` fail-stopping at time `at`.
+    pub fn kill_link(topo: &Topology, link: LinkId, at: f64) -> Self {
+        let mut link_fail = vec![f64::INFINITY; topo.link_count()];
+        link_fail[link.index()] = at;
+        Self {
+            link_fail,
+            ..Self::default()
+        }
+    }
+
+    /// Draw a deterministic plan from `spec` and `seed`.
+    ///
+    /// Soft faults scale with `spec.intensity`: task weights inflate by
+    /// up to `intensity` (uniform), link speeds degrade by up to the
+    /// same factor, and each link suffers at most one outage (with
+    /// probability `intensity / 2`) placed inside `spec.horizon`. Hard
+    /// failures draw one victim resource each, failing between 25% and
+    /// 75% of the horizon; a processor kill needs at least two
+    /// processors (killing the only one leaves nothing to repair onto).
+    pub fn seeded(dag: &TaskGraph, topo: &Topology, spec: &FaultSpec, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let intensity = spec.intensity.clamp(0.0, 1.0);
+        let horizon = spec.horizon.max(1.0);
+        let mut plan = FaultPlan::none();
+        if intensity > 0.0 {
+            plan.task_weight_factor = (0..dag.task_count())
+                .map(|_| 1.0 + intensity * rng.random_range(0.0..1.0))
+                .collect();
+            plan.link_speed_factor = (0..topo.link_count())
+                .map(|_| 1.0 / (1.0 + intensity * rng.random_range(0.0..1.0)))
+                .collect();
+            plan.link_outages = (0..topo.link_count())
+                .map(|_| {
+                    if rng.random_bool(0.5 * intensity) {
+                        let at = rng.random_range(0.0..horizon);
+                        let len = rng.random_range(0.0..0.25 * intensity * horizon);
+                        vec![(at, at + len)]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+        }
+        if spec.kill_proc && topo.proc_count() > 1 {
+            let victim = rng.random_range(0..topo.proc_count());
+            let at = horizon * rng.random_range(0.25..0.75);
+            plan.proc_fail = vec![f64::INFINITY; topo.proc_count()];
+            plan.proc_fail[victim] = at;
+        }
+        if spec.kill_link && topo.link_count() > 0 {
+            let victim = rng.random_range(0..topo.link_count());
+            let at = horizon * rng.random_range(0.25..0.75);
+            plan.link_fail = vec![f64::INFINITY; topo.link_count()];
+            plan.link_fail[victim] = at;
+        }
+        plan
+    }
+}
+
+/// Knobs for [`FaultPlan::seeded`]: one scalar intensity scales every
+/// soft-fault class; hard failures are opt-in per resource kind.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Soft-fault intensity in `[0, 1]` (clamped): scales weight
+    /// jitter, link degradation, and outage probability/length.
+    pub intensity: f64,
+    /// Reference duration (typically the scheduled makespan): outages
+    /// and failure times are drawn relative to it.
+    pub horizon: f64,
+    /// Draw one processor that hard-fails mid-horizon.
+    pub kill_proc: bool,
+    /// Draw one link that hard-fails mid-horizon.
+    pub kill_link: bool,
+}
+
+impl FaultSpec {
+    /// Soft faults only at the given intensity (no hard failures).
+    pub fn soft(intensity: f64, horizon: f64) -> Self {
+        Self {
+            intensity,
+            horizon,
+            kill_proc: false,
+            kill_link: false,
+        }
+    }
+}
+
 /// Event node: a task or one hop of a communication.
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Node {
@@ -83,12 +281,176 @@ pub struct Execution {
     pub makespan: f64,
 }
 
+/// One scheduled decision that a hard failure made impossible.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Infeasibility {
+    /// A task cannot complete before its processor fail-stops.
+    Task {
+        /// Task index.
+        task: usize,
+        /// The processor that fails.
+        proc: ProcId,
+        /// When it fails.
+        fail_at: f64,
+    },
+    /// A hop cannot complete before its link fail-stops.
+    Hop {
+        /// Edge index of the communication.
+        edge: usize,
+        /// 0-based hop position along its route.
+        hop: usize,
+        /// The link that fails.
+        link: LinkId,
+        /// When it fails.
+        fail_at: f64,
+    },
+    /// A task transitively depends on an infeasible decision.
+    DownstreamTask {
+        /// Task index.
+        task: usize,
+    },
+    /// A hop transitively depends on an infeasible decision.
+    DownstreamHop {
+        /// Edge index of the communication.
+        edge: usize,
+        /// 0-based hop position along its route.
+        hop: usize,
+    },
+}
+
+/// Result of [`execute_with`]: the realized (perturbed) execution plus
+/// the fault analysis.
+///
+/// Realized times for infeasible decisions are "as if the hard failure
+/// had not struck" — the replay keeps deriving them so slack and
+/// degradation stay well-defined; [`PerturbedExecution::is_feasible`]
+/// says whether the makespan is actually achievable.
+#[derive(Clone, Debug)]
+pub struct PerturbedExecution {
+    /// Realized times under the fault plan.
+    pub execution: Execution,
+    /// Per-task slack: scheduled finish minus realized finish. Negative
+    /// slack means the perturbation made the task late; without faults
+    /// it is non-negative (the domination property of the replay).
+    pub slack: Vec<f64>,
+    /// Decisions made impossible by hard failures, in node order
+    /// (tasks by index, then hops by edge and position).
+    pub infeasible: Vec<Infeasibility>,
+}
+
+impl PerturbedExecution {
+    /// True when no scheduled decision was hit by a hard failure.
+    pub fn is_feasible(&self) -> bool {
+        self.infeasible.is_empty()
+    }
+
+    /// Realized makespan (shortcut for `execution.makespan`).
+    pub fn realized_makespan(&self) -> f64 {
+        self.execution.makespan
+    }
+
+    /// Render the infeasibilities as ES-E009 diagnostics: direct hits
+    /// are errors, transitively affected decisions are warnings.
+    pub fn to_report(&self, subject: impl Into<String>) -> Report {
+        let mut report = Report::new(subject);
+        for inf in &self.infeasible {
+            report.push(match *inf {
+                Infeasibility::Task {
+                    task,
+                    proc,
+                    fail_at,
+                } => Diagnostic::error(
+                    Code::FaultInfeasible,
+                    Span::Task(task as u32),
+                    format!("task cannot finish before its processor fails at {fail_at}"),
+                )
+                .with("proc", proc.index())
+                .with("fail_at", fail_at),
+                Infeasibility::Hop {
+                    edge,
+                    hop,
+                    link,
+                    fail_at,
+                } => Diagnostic::error(
+                    Code::FaultInfeasible,
+                    Span::Hop {
+                        edge: edge as u32,
+                        hop: hop as u32,
+                    },
+                    format!("hop cannot finish before its link fails at {fail_at}"),
+                )
+                .with("link", link.index())
+                .with("fail_at", fail_at),
+                Infeasibility::DownstreamTask { task } => Diagnostic::warning(
+                    Code::FaultInfeasible,
+                    Span::Task(task as u32),
+                    "task depends on an infeasible decision",
+                ),
+                Infeasibility::DownstreamHop { edge, hop } => Diagnostic::warning(
+                    Code::FaultInfeasible,
+                    Span::Hop {
+                        edge: edge as u32,
+                        hop: hop as u32,
+                    },
+                    "hop depends on an infeasible decision",
+                ),
+            });
+        }
+        report
+    }
+}
+
+/// Internal replay state shared by [`execute`] and [`execute_with`].
+struct Replay {
+    nodes: Vec<Node>,
+    hop_base: Vec<usize>,
+    /// Topological order in which node times were computed.
+    order: Vec<usize>,
+    times: Vec<(f64, f64)>,
+}
+
 /// Replay the schedule's decisions ASAP; see the module docs.
 pub fn execute(
     dag: &TaskGraph,
     topo: &Topology,
     schedule: &Schedule,
 ) -> Result<Execution, ExecError> {
+    let replay = replay(dag, topo, schedule, &FaultPlan::none())?;
+    Ok(assemble(dag, schedule, &replay))
+}
+
+/// Replay the schedule's decisions ASAP under a [`FaultPlan`]; see the
+/// module docs. With [`FaultPlan::none`] this reproduces [`execute`]
+/// bit for bit.
+pub fn execute_with(
+    dag: &TaskGraph,
+    topo: &Topology,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+) -> Result<PerturbedExecution, ExecError> {
+    let replay = replay(dag, topo, schedule, plan)?;
+    let execution = assemble(dag, schedule, &replay);
+    let slack = schedule
+        .tasks
+        .iter()
+        .zip(&execution.tasks)
+        .map(|(s, d)| s.finish - d.finish)
+        .collect();
+    let infeasible = find_infeasible(dag, schedule, plan, &replay);
+    Ok(PerturbedExecution {
+        execution,
+        slack,
+        infeasible,
+    })
+}
+
+/// Build the decision graph and compute every node's ASAP times.
+fn replay(
+    dag: &TaskGraph,
+    topo: &Topology,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+) -> Result<Replay, ExecError> {
     if schedule.tasks.len() != dag.task_count() || schedule.comms.len() != dag.edge_count() {
         return Err(ExecError::Malformed(format!(
             "{} task / {} comm placements for {} / {}",
@@ -125,17 +487,14 @@ pub fn execute(
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
 
     // Processor order: sort tasks per processor by scheduled start.
+    // total_cmp, not partial_cmp: a NaN start in a malformed import
+    // must surface as an audit diagnostic downstream, not a panic here.
     let mut per_proc: Vec<Vec<usize>> = vec![Vec::new(); topo.proc_count()];
     for (i, t) in schedule.tasks.iter().enumerate() {
         per_proc[t.proc.index()].push(i);
     }
     for list in &mut per_proc {
-        list.sort_by(|&a, &b| {
-            schedule.tasks[a]
-                .start
-                .partial_cmp(&schedule.tasks[b].start)
-                .expect("finite")
-        });
+        list.sort_by(|&a, &b| schedule.tasks[a].start.total_cmp(&schedule.tasks[b].start));
         for w in list.windows(2) {
             preds[node_of_task(w[1])].push(node_of_task(w[0]));
         }
@@ -151,7 +510,7 @@ pub fn execute(
         }
     }
     for list in &mut per_link {
-        list.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
+        list.sort_by(|a, b| a.2.total_cmp(&b.2));
         for w in list.windows(2) {
             preds[node_of_hop(w[1].0, w[1].1)].push(node_of_hop(w[0].0, w[0].1));
         }
@@ -188,12 +547,13 @@ pub fn execute(
     }
     let mut queue: VecDeque<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
     let mut times: Vec<(f64, f64)> = vec![(0.0, 0.0); n];
-    let mut done = 0usize;
+    let mut order: Vec<usize> = Vec::with_capacity(n);
 
     // The ready time each node may start at, accumulated from preds.
     while let Some(v) = queue.pop_front() {
-        done += 1;
-        let (start, finish) = compute_node_times(dag, topo, schedule, &nodes, v, &preds[v], &times);
+        order.push(v);
+        let (start, finish) =
+            compute_node_times(dag, topo, schedule, plan, &nodes, v, &preds[v], &times);
         times[v] = (start, finish);
         for &s in &succs[v] {
             indegree[s] -= 1;
@@ -202,43 +562,142 @@ pub fn execute(
             }
         }
     }
-    if done != n {
+    if order.len() != n {
         return Err(ExecError::InconsistentOrdering);
     }
+    Ok(Replay {
+        nodes,
+        hop_base,
+        order,
+        times,
+    })
+}
 
-    // --- Assemble.
+/// Assemble an [`Execution`] from computed replay times.
+fn assemble(dag: &TaskGraph, schedule: &Schedule, replay: &Replay) -> Execution {
     let tasks: Vec<TaskPlacement> = schedule
         .tasks
         .iter()
         .enumerate()
         .map(|(i, t)| TaskPlacement {
             proc: t.proc,
-            start: times[node_of_task(i)].0,
-            finish: times[node_of_task(i)].1,
+            start: replay.times[i].0,
+            finish: replay.times[i].1,
         })
         .collect();
     let hop_times: Vec<Vec<(f64, f64)>> = dag
         .edge_ids()
         .map(|e| match &schedule.comms[e.index()] {
             CommPlacement::Slotted { route, .. } => (0..route.len())
-                .map(|k| times[node_of_hop(e.index(), k)])
+                .map(|k| replay.times[replay.hop_base[e.index()] + k])
                 .collect(),
             _ => Vec::new(),
         })
         .collect();
     let makespan = tasks.iter().map(|t| t.finish).fold(0.0, f64::max);
-    Ok(Execution {
+    Execution {
         tasks,
         hop_times,
         makespan,
-    })
+    }
+}
+
+/// Which decisions the plan's hard failures make impossible: direct
+/// hits (realized interval not strictly before the resource's fail
+/// time) plus everything data-dependent on them.
+fn find_infeasible(
+    dag: &TaskGraph,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+    replay: &Replay,
+) -> Vec<Infeasibility> {
+    if !plan.has_hard_failures() {
+        return Vec::new();
+    }
+    const OK: u8 = 0;
+    const DOWNSTREAM: u8 = 1;
+    const DIRECT: u8 = 2;
+    let mut status = vec![OK; replay.nodes.len()];
+    for (v, node) in replay.nodes.iter().enumerate() {
+        let finish = replay.times[v].1;
+        match *node {
+            Node::Task(t) => {
+                if finish > plan.proc_fail_time(schedule.tasks[t].proc) + EPS {
+                    status[v] = DIRECT;
+                }
+            }
+            Node::Hop(e, k) => {
+                let CommPlacement::Slotted { route, .. } = &schedule.comms[e] else {
+                    unreachable!("hops exist only for slotted comms")
+                };
+                if finish > plan.link_fail_time(route[k].link) + EPS {
+                    status[v] = DIRECT;
+                }
+            }
+        }
+    }
+    // Propagate along data dependencies (not queue-order edges: a
+    // queue successor could legitimately run without its predecessor)
+    // in the replay's topological order.
+    for &v in &replay.order {
+        if status[v] != OK {
+            continue;
+        }
+        let tainted =
+            match replay.nodes[v] {
+                Node::Task(t) => dag.in_edges(es_dag::TaskId(t as u32)).iter().any(|&e| {
+                    match &schedule.comms[e.index()] {
+                        CommPlacement::Slotted { route, .. } => {
+                            status[replay.hop_base[e.index()] + route.len() - 1] != OK
+                        }
+                        _ => status[dag.edge(e).src.index()] != OK,
+                    }
+                }),
+                Node::Hop(e, 0) => status[dag.edge(es_dag::EdgeId(e as u32)).src.index()] != OK,
+                Node::Hop(e, k) => status[replay.hop_base[e] + k - 1] != OK,
+            };
+        if tainted {
+            status[v] = DOWNSTREAM;
+        }
+    }
+    let mut out = Vec::new();
+    for (v, node) in replay.nodes.iter().enumerate() {
+        match (*node, status[v]) {
+            (_, OK) => {}
+            (Node::Task(task), DIRECT) => {
+                let proc = schedule.tasks[task].proc;
+                out.push(Infeasibility::Task {
+                    task,
+                    proc,
+                    fail_at: plan.proc_fail_time(proc),
+                });
+            }
+            (Node::Hop(edge, hop), DIRECT) => {
+                let CommPlacement::Slotted { route, .. } = &schedule.comms[edge] else {
+                    unreachable!("hops exist only for slotted comms")
+                };
+                let link = route[hop].link;
+                out.push(Infeasibility::Hop {
+                    edge,
+                    hop,
+                    link,
+                    fail_at: plan.link_fail_time(link),
+                });
+            }
+            (Node::Task(task), _) => out.push(Infeasibility::DownstreamTask { task }),
+            (Node::Hop(edge, hop), _) => out.push(Infeasibility::DownstreamHop { edge, hop }),
+        }
+    }
+    out
 }
 
 /// ASAP times of one node given its (already computed) dependencies.
+#[allow(clippy::too_many_arguments)]
 fn compute_node_times(
     dag: &TaskGraph,
     topo: &Topology,
     schedule: &Schedule,
+    plan: &FaultPlan,
     nodes: &[Node],
     v: usize,
     preds: &[usize],
@@ -263,15 +722,16 @@ fn compute_node_times(
                 }
             }
             let speed = topo.proc_speed(schedule.tasks[t].proc);
-            let w = dag.weight(es_dag::TaskId(t as u32));
+            let w = dag.weight(es_dag::TaskId(t as u32)) * plan.weight_factor(t);
             (ready, ready + w / speed)
         }
         Node::Hop(e, k) => {
             let CommPlacement::Slotted { route, .. } = &schedule.comms[e] else {
                 unreachable!("hops exist only for slotted comms")
             };
+            let link = route[k].link;
             let cost = dag.cost(es_dag::EdgeId(e as u32));
-            let int = cost / topo.link_speed(route[k].link);
+            let int = cost / (topo.link_speed(link) * plan.link_factor(link));
             let delay = if k == 0 { 0.0 } else { topo.hop_delay() };
             let mut bound = 0.0_f64;
             for &p in preds {
@@ -287,9 +747,25 @@ fn compute_node_times(
                     Node::Hop(_, _) => times[p].1,
                 });
             }
-            (bound, bound + int)
+            let start = next_clear_of_outages(plan.outages(link), bound, int);
+            (start, start + int)
         }
     }
+}
+
+/// Earliest `t >= bound` such that `[t, t + int)` overlaps no outage
+/// interval. Intervals are sorted by start and disjoint, so one
+/// forward pass suffices (skipping past an interval can only collide
+/// with later ones). Empty slice: returns `bound` unchanged, which is
+/// what keeps the zero-fault replay bitwise identical to [`execute`].
+fn next_clear_of_outages(outages: &[(f64, f64)], bound: f64, int: f64) -> f64 {
+    let mut start = bound;
+    for &(o_start, o_end) in outages {
+        if start + int > o_start + EPS && start < o_end - EPS {
+            start = o_end;
+        }
+    }
+    start
 }
 
 /// Schedule compaction: execute and rebuild the schedule with the
@@ -438,6 +914,10 @@ mod tests {
             execute(&dag, &topo, &s).unwrap_err(),
             ExecError::FluidNotSupported
         );
+        assert_eq!(
+            execute_with(&dag, &topo, &s, &FaultPlan::none()).unwrap_err(),
+            ExecError::FluidNotSupported
+        );
     }
 
     #[test]
@@ -449,5 +929,136 @@ mod tests {
             .unwrap();
         let exec = execute(&dag, &topo, &s).unwrap();
         check_dominates(&s, &exec).unwrap();
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_identity() {
+        let dag = gauss_elim(5, 10.0, 25.0);
+        let mut rng = StdRng::seed_from_u64(31);
+        let topo = gen::random_switched_wan(&gen::WanConfig::heterogeneous(8), &mut rng);
+        let s = ListScheduler::oihsa().schedule(&dag, &topo).unwrap();
+        let plain = execute(&dag, &topo, &s).unwrap();
+        let faulted = execute_with(&dag, &topo, &s, &FaultPlan::none()).unwrap();
+        assert!(faulted.is_feasible());
+        assert_eq!(
+            plain.makespan.to_bits(),
+            faulted.execution.makespan.to_bits()
+        );
+        for (a, b) in plain.tasks.iter().zip(&faulted.execution.tasks) {
+            assert_eq!(a.start.to_bits(), b.start.to_bits());
+            assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+        }
+        for (a, b) in plain.hop_times.iter().zip(&faulted.execution.hop_times) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.0.to_bits(), y.0.to_bits());
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn weight_jitter_inflates_makespan() {
+        let dag = fork_join(5, 20.0, 12.0);
+        let topo = star(3);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        let plan = FaultPlan {
+            task_weight_factor: vec![1.5; dag.task_count()],
+            ..FaultPlan::none()
+        };
+        let p = execute_with(&dag, &topo, &s, &plan).unwrap();
+        assert!(p.is_feasible());
+        assert!(
+            p.execution.makespan > s.makespan + EPS,
+            "{} vs {}",
+            p.execution.makespan,
+            s.makespan
+        );
+        assert!(p.slack.iter().any(|&sl| sl < -EPS), "some task ran late");
+    }
+
+    #[test]
+    fn outage_defers_hops() {
+        let dag = fork_join(5, 20.0, 12.0);
+        let topo = star(3);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        // Block every link for the first half of the schedule: every
+        // remote transfer must start at or after the outage end.
+        let outage_end = s.makespan / 2.0;
+        let plan = FaultPlan {
+            link_outages: vec![vec![(0.0, outage_end)]; topo.link_count()],
+            ..FaultPlan::none()
+        };
+        let p = execute_with(&dag, &topo, &s, &plan).unwrap();
+        for hops in &p.execution.hop_times {
+            for &(start, _) in hops {
+                assert!(start + EPS >= outage_end, "hop started inside the outage");
+            }
+        }
+    }
+
+    #[test]
+    fn processor_failure_marks_decisions_infeasible() {
+        let dag = fork_join(5, 20.0, 12.0);
+        let topo = star(3);
+        let s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        // Fail the processor of the exit task just before the end: at
+        // least that task becomes infeasible.
+        let exit = s.tasks.len() - 1;
+        let plan = FaultPlan::kill_processor(&topo, s.tasks[exit].proc, s.makespan / 2.0);
+        let p = execute_with(&dag, &topo, &s, &plan).unwrap();
+        assert!(!p.is_feasible());
+        let report = p.to_report("test");
+        assert!(report.error_count() >= 1);
+        assert!(report.counts_by_code().contains_key(&Code::FaultInfeasible));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let dag = gauss_elim(5, 10.0, 25.0);
+        let mut rng = StdRng::seed_from_u64(77);
+        let topo = gen::random_switched_wan(&gen::WanConfig::heterogeneous(8), &mut rng);
+        let spec = FaultSpec {
+            intensity: 0.6,
+            horizon: 500.0,
+            kill_proc: true,
+            kill_link: true,
+        };
+        let a = FaultPlan::seeded(&dag, &topo, &spec, 42);
+        let b = FaultPlan::seeded(&dag, &topo, &spec, 42);
+        assert_eq!(a.task_weight_factor.len(), b.task_weight_factor.len());
+        for (x, y) in a.task_weight_factor.iter().zip(&b.task_weight_factor) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.proc_fail.iter().zip(&b.proc_fail) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert!(a.has_hard_failures());
+        let c = FaultPlan::seeded(&dag, &topo, &spec, 43);
+        let differs = a
+            .task_weight_factor
+            .iter()
+            .zip(&c.task_weight_factor)
+            .any(|(x, y)| x.to_bits() != y.to_bits());
+        assert!(differs, "different seeds draw different jitter");
+    }
+
+    #[test]
+    fn zero_intensity_spec_without_kills_is_no_faults() {
+        let dag = fork_join(3, 10.0, 10.0);
+        let topo = star(2);
+        let plan = FaultPlan::seeded(&dag, &topo, &FaultSpec::soft(0.0, 100.0), 7);
+        assert!(plan.is_none());
+    }
+
+    #[test]
+    fn nan_start_does_not_panic_the_replay() {
+        // Malformed import: a NaN start must not crash the sort — the
+        // replay still runs and the audit catches the bad timing.
+        let dag = fork_join(3, 10.0, 10.0);
+        let topo = star(2);
+        let mut s = ListScheduler::ba().schedule(&dag, &topo).unwrap();
+        s.tasks[0].start = f64::NAN;
+        let _ = execute(&dag, &topo, &s);
     }
 }

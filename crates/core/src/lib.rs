@@ -57,6 +57,7 @@ pub mod ideal;
 pub mod list;
 pub mod metrics;
 pub mod procsched;
+pub mod repair;
 pub mod schedule;
 pub mod slotted;
 pub mod validate;
@@ -64,9 +65,11 @@ pub mod validate;
 pub use bbsa::BbsaScheduler;
 pub use config::{EdgeEst, EdgeOrder, Insertion, ListConfig, ProcSelection, Routing, Switching};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use exec::{execute, execute_with, FaultPlan, FaultSpec, PerturbedExecution};
 pub use ideal::IdealScheduler;
 pub use list::ListScheduler;
 pub use metrics::{metrics, ScheduleMetrics};
+pub use repair::{repair, RepairError, RepairOutcome};
 pub use schedule::{CommPlacement, SchedError, Schedule, Scheduler, TaskPlacement};
 
 /// Re-export of the epsilon-tolerant time helpers every consumer needs.

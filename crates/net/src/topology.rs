@@ -312,6 +312,22 @@ impl Topology {
         self.hop_delay
     }
 
+    /// A view of this topology with some links masked out: every hop
+    /// using a link for which `failed` returns true is removed from the
+    /// adjacency, so routing (BFS / modified Dijkstra) simply never
+    /// sees it. The node, processor, and link *tables* are kept intact
+    /// — [`NodeId`]/[`ProcId`]/[`LinkId`] indices stay stable, so
+    /// schedules built against the masked view remain valid against
+    /// the full topology.
+    #[must_use]
+    pub fn masked(&self, failed: impl Fn(LinkId) -> bool) -> Topology {
+        let mut view = self.clone();
+        for hops in &mut view.adjacency {
+            hops.retain(|h| !failed(h.link));
+        }
+        view
+    }
+
     /// Mean link speed `MLS` — the paper's §4.1 processor-selection
     /// criterion divides communication costs by this average.
     pub fn mean_link_speed(&self) -> f64 {
@@ -607,6 +623,28 @@ mod tests {
         }
         // The switch is not a processor.
         assert_eq!(t.proc_of_node(NodeId(2)), None);
+    }
+
+    #[test]
+    fn masked_view_hides_failed_links_only() {
+        let t = two_proc_star();
+        // Kill the p0 -> switch direction of the first cable.
+        let dead = t.hops_from(NodeId(0))[0].link;
+        let view = t.masked(|l| l == dead);
+        // Tables are untouched: ids keep meaning the same resources.
+        assert_eq!(view.node_count(), t.node_count());
+        assert_eq!(view.proc_count(), t.proc_count());
+        assert_eq!(view.link_count(), t.link_count());
+        assert_eq!(view.link_speed(dead), t.link_speed(dead));
+        // Only the failed hop disappeared from the adjacency.
+        assert!(view.hops_from(NodeId(0)).is_empty());
+        assert_eq!(view.hops_from(NodeId(1)).len(), 1);
+        assert_eq!(view.hops_from(NodeId(2)).len(), 2);
+        // Masking nothing is the identity on the adjacency.
+        let same = t.masked(|_| false);
+        for n in t.node_ids() {
+            assert_eq!(same.hops_from(n), t.hops_from(n));
+        }
     }
 
     #[test]

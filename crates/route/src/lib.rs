@@ -73,6 +73,26 @@ fn reconstruct(pred: &[Option<Hop>], from: NodeId, to: NodeId) -> Route {
     route
 }
 
+/// BFS flood from `from`: `result[n.index()]` is true iff vertex `n`
+/// is reachable (the source itself always is). Used by the repair
+/// layer to pre-flight connectivity on masked topology views before
+/// committing to a surviving-processor set.
+pub fn reachable_nodes(topo: &Topology, from: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; topo.node_count()];
+    seen[from.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    while let Some(u) = queue.pop_front() {
+        for &hop in topo.hops_from(u) {
+            if !seen[hop.to.index()] {
+                seen[hop.to.index()] = true;
+                queue.push_back(hop.to);
+            }
+        }
+    }
+    seen
+}
+
 /// Heap entry for [`dijkstra_route`]: min-ordered by key, then by
 /// insertion sequence (determinism).
 struct HeapEntry {
@@ -251,6 +271,33 @@ mod tests {
         let t = b.build().unwrap();
         assert!(bfs_route(&t, p0, p1).is_some());
         assert_eq!(bfs_route(&t, p1, p0), None);
+    }
+
+    #[test]
+    fn reachability_agrees_with_bfs_and_respects_masks() {
+        let (t, p0, p1, _) = parallel_paths();
+        let all = reachable_nodes(&t, p0);
+        for n in t.node_ids() {
+            assert_eq!(all[n.index()], bfs_route(&t, p0, n).is_some());
+        }
+        // Sever every link incident to p0 (both directions of its two
+        // duplex cables): the node is fully isolated.
+        let mut dead: Vec<LinkId> = t.hops_from(p0).iter().map(|h| h.link).collect();
+        for n in t.node_ids() {
+            for h in t.hops_from(n) {
+                if h.to == p0 {
+                    dead.push(h.link);
+                }
+            }
+        }
+        let cut = t.masked(|l| dead.contains(&l));
+        let isolated = reachable_nodes(&cut, p0);
+        assert!(isolated[p0.index()]);
+        assert_eq!(isolated.iter().filter(|&&r| r).count(), 1);
+        // The rest of the network neither sees nor reaches it.
+        let from_p1 = reachable_nodes(&cut, p1);
+        assert!(from_p1[p1.index()]);
+        assert!(!from_p1[p0.index()], "p0 unreachable after the cut");
     }
 
     #[test]

@@ -13,13 +13,17 @@
 //!   because a full paper sweep is thousands of independent
 //!   scheduling runs;
 //! * [`experiment`] — cell and figure definitions, execution, and the
-//!   text tables the CLI prints.
+//!   text tables the CLI prints;
+//! * [`robustness`] — a fault-injection sweep (intensity × scheduler)
+//!   measuring degradation under perturbed execution and the success
+//!   rate / cost of failure-aware schedule repair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiment;
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod stats;
 
@@ -27,5 +31,6 @@ pub use experiment::{
     fig1, fig2, fig3, fig4, fig_pair, run_cell, run_cell_adaptive, CellResult, CellSpec,
     FigureParams, FigureResult,
 };
-pub use runner::parallel_map;
+pub use robustness::{run_robustness, RobustnessCell, RobustnessSpec, ROBUSTNESS_SCHEDULERS};
+pub use runner::{parallel_map, try_parallel_map, ItemPanic};
 pub use stats::{improvement_percent, Summary};

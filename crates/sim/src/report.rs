@@ -4,6 +4,7 @@
 //! documentation; also CSV assembly shared with the CLI.
 
 use crate::experiment::{CellResult, FigureResult};
+use crate::robustness::{RobustnessCell, RobustnessSpec};
 use std::fmt::Write as _;
 
 /// Render one figure as a GitHub-flavoured markdown table.
@@ -90,6 +91,73 @@ pub fn figures_to_csv(figs: &[FigureResult]) -> String {
     out
 }
 
+/// The CSV header for robustness-sweep exports.
+pub const ROBUSTNESS_CSV_HEADER: &str = "setting,processors,ccr,reps,scheduler,intensity,\
+mean_degradation,p95_degradation,infeasible_rate,repair_success_rate,\
+mean_repair_inflation,mean_moved_tasks,fallback_rate";
+
+/// One CSV row for a robustness cell (no trailing newline).
+pub fn robustness_to_csv_row(spec: &RobustnessSpec, c: &RobustnessCell) -> String {
+    format!(
+        "{:?},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+        spec.setting,
+        spec.processors,
+        spec.ccr,
+        c.reps,
+        c.scheduler,
+        c.intensity,
+        c.mean_degradation,
+        c.p95_degradation,
+        c.infeasible_rate,
+        c.repair_success_rate,
+        c.mean_repair_inflation,
+        c.mean_moved_tasks,
+        c.fallback_rate,
+    )
+}
+
+/// Full CSV for a robustness sweep.
+pub fn robustness_to_csv(spec: &RobustnessSpec, cells: &[RobustnessCell]) -> String {
+    let mut out = String::from(ROBUSTNESS_CSV_HEADER);
+    out.push('\n');
+    for c in cells {
+        out.push_str(&robustness_to_csv_row(spec, c));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a robustness sweep as a GitHub-flavoured markdown table.
+pub fn robustness_to_markdown(spec: &RobustnessSpec, cells: &[RobustnessCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Robustness: {:?}, {} procs, CCR {}, {} reps\n",
+        spec.setting, spec.processors, spec.ccr, spec.reps
+    );
+    let _ = writeln!(
+        out,
+        "| scheduler | intensity | mean degr. | P95 degr. | infeasible | repair ok | repair infl. | moved | fallback |"
+    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3} | {:.3} | {:.0}% | {:.0}% | {:.3} | {:.1} | {:.0}% |",
+            c.scheduler,
+            c.intensity,
+            c.mean_degradation,
+            c.p95_degradation,
+            c.infeasible_rate * 100.0,
+            c.repair_success_rate * 100.0,
+            c.mean_repair_inflation,
+            c.mean_moved_tasks,
+            c.fallback_rate * 100.0,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +206,32 @@ mod tests {
         for line in csv.lines() {
             assert_eq!(line.split(',').count(), header_fields, "{line}");
         }
+    }
+
+    #[test]
+    fn robustness_csv_field_count_and_markdown_shape() {
+        use crate::robustness::{run_robustness, RobustnessSpec};
+        use es_workload::Setting;
+        let spec = RobustnessSpec {
+            setting: Setting::Homogeneous,
+            processors: 4,
+            ccr: 1.0,
+            reps: 1,
+            base_seed: 3,
+            tasks: Some(15),
+            intensities: vec![0.4],
+            threads: 1,
+        };
+        let cells = run_robustness(&spec);
+        let csv = robustness_to_csv(&spec, &cells);
+        let header_fields = ROBUSTNESS_CSV_HEADER.split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), header_fields, "{line}");
+        }
+        assert_eq!(csv.lines().count(), 1 + cells.len());
+        let md = robustness_to_markdown(&spec, &cells);
+        assert!(md.contains("### Robustness"));
+        assert_eq!(md.lines().count(), 3 + cells.len() + 1);
     }
 
     #[test]

@@ -10,8 +10,26 @@
 //! and writes its result into that item's pre-allocated slot,
 //! preserving input order.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A captured panic from one work item of [`try_parallel_map`].
+#[derive(Clone, Debug)]
+pub struct ItemPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the overwhelmingly
+    /// common case — `panic!`/`assert!` messages); a placeholder
+    /// otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
 
 /// Apply `f` to every item on up to `threads` worker threads,
 /// preserving input order in the output.
@@ -24,29 +42,59 @@ use std::sync::Mutex;
 /// `cargo test` and for debugging).
 ///
 /// # Panics
-/// Propagates panics from `f` (the scope joins all workers).
+/// If `f` panics on any item, re-panics **after the whole sweep has
+/// drained** with the item's index and the original message — one bad
+/// cell no longer kills the run with an anonymous scope-join panic,
+/// and the index identifies the offending parameters. Use
+/// [`try_parallel_map`] to handle failures per item instead.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    try_parallel_map(items, threads, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("parallel_map: {p}")))
+        .collect()
+}
+
+/// Like [`parallel_map`], but a panicking item becomes
+/// `Err(`[`ItemPanic`]`)` in its output slot instead of tearing down
+/// the sweep; all other items still complete.
+pub fn try_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, ItemPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let guarded = |idx: usize, item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| ItemPanic {
+            index: idx,
+            message: panic_message(payload.as_ref()),
+        })
+    };
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| guarded(i, item))
+            .collect();
     }
     let n = items.len();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, ItemPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             let next = &next;
             let slots = &slots;
-            let f = &f;
+            let guarded = &guarded;
             scope.spawn(move || loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(idx) else { break };
-                let result = f(item);
+                let result = guarded(idx, item);
                 *slots[idx].lock().expect("no poisoned slot") = Some(result);
             });
         }
@@ -60,6 +108,17 @@ where
                 .expect("every slot filled by a worker")
         })
         .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 /// A sensible default worker count: the number of available CPUs
@@ -122,5 +181,46 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn try_map_isolates_a_panicking_item() {
+        let items: Vec<u64> = (0..16).collect();
+        let out = try_parallel_map(&items, 4, |&x| {
+            assert!(x != 11, "cell x={x} exploded");
+            x * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i == 11 {
+                let p = r.as_ref().expect_err("item 11 must fail");
+                assert_eq!(p.index, 11);
+                assert!(p.message.contains("x=11"), "message: {}", p.message);
+            } else {
+                assert_eq!(*r.as_ref().expect("other items succeed"), items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_repanic_names_the_item() {
+        let items: Vec<u64> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 2, |&x| {
+                assert!(x != 5, "boom at x={x}");
+                x
+            })
+        }))
+        .expect_err("must re-panic");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("item 5"), "message: {msg}");
+        assert!(msg.contains("boom at x=5"), "message: {msg}");
+    }
+
+    #[test]
+    fn try_map_sequential_path_also_captures() {
+        let items = vec![1u64];
+        let out = try_parallel_map(&items, 1, |_| -> u64 { panic!("lonely") });
+        assert_eq!(out[0].as_ref().expect_err("captured").index, 0);
     }
 }

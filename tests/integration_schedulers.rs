@@ -160,6 +160,11 @@ fn probing_ba_stays_near_serial_upper_bound() {
     // stars the serial bound ignores communication entirely, and a
     // single fast processor can push the ratio past 2 on unlucky
     // speed draws.)
+    //
+    // RETIGHTEN(rand): the unlucky draws that need 3x come from the
+    // vendored xoshiro RNG stub, whose stream differs from upstream
+    // `rand`'s StdRng. If the workspace ever swaps the stub for the
+    // real crate, re-measure these fixtures and tighten the factor.
     for dag in &dags() {
         for (tname, topo) in &topologies() {
             let best_speed = topo
@@ -175,6 +180,16 @@ fn probing_ba_stays_near_serial_upper_bound() {
             );
         }
     }
+}
+
+#[test]
+fn retighten_marker_stays_next_to_the_loose_tripwire() {
+    // Keeps the RETIGHTEN(rand) note and the 3.0x factor from drifting
+    // apart: whoever tightens the bound must revisit (and remove) the
+    // marker in the same change.
+    let src = include_str!("integration_schedulers.rs");
+    assert!(src.contains("RETIGHTEN(rand)"));
+    assert!(src.contains("3.0 * serial"));
 }
 
 #[test]

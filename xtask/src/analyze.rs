@@ -67,7 +67,9 @@ pub fn run(args: &[String]) -> i32 {
 
     let mut findings = analyze_workspace(&root);
     if run_determinism {
-        eprintln!("running determinism audit (schedulers twice per seeded instance)...");
+        eprintln!(
+            "running determinism audit (schedulers, perturbed replay, and repair twice per seeded instance)..."
+        );
         for d in determinism::audit() {
             findings.push(Finding {
                 lint: "DET",

@@ -8,9 +8,20 @@
 //! same hop times, same makespan. Any divergence means hidden
 //! iteration-order (or other ambient) nondeterminism survived the
 //! static lints.
+//!
+//! The fault path gets the same treatment: for every schedule that
+//! replays (all but BBSA's fluid model) the audit checks that
+//! `execute_with` under [`es_core::FaultPlan::none`] reproduces
+//! `execute` bit for bit, then builds the same seeded fault plan
+//! twice, replays under it twice, and repairs under it twice, diffing
+//! every derived time and the repaired schedule bitwise.
 
+use es_core::exec::Execution;
 use es_core::schedule::{CommPlacement, Schedule, Scheduler};
-use es_core::{BbsaScheduler, IdealScheduler, ListScheduler};
+use es_core::{
+    execute, execute_with, repair, BbsaScheduler, FaultPlan, FaultSpec, IdealScheduler,
+    ListScheduler,
+};
 use es_workload::{generate, Instance, InstanceConfig, Setting};
 
 /// One observed divergence between two identically seeded runs.
@@ -53,6 +64,12 @@ pub fn audit() -> Vec<Divergence> {
                                     instance: describe(&config),
                                     detail: d,
                                 });
+                            } else if let Some(d) = fault_path_divergence(&a, &sa, seed) {
+                                out.push(Divergence {
+                                    scheduler: scheduler.name(),
+                                    instance: describe(&config),
+                                    detail: d,
+                                });
                             }
                         }
                         (Err(ea), Err(eb)) if format!("{ea:?}") == format!("{eb:?}") => {}
@@ -71,6 +88,98 @@ pub fn audit() -> Vec<Divergence> {
         }
     }
     out
+}
+
+/// Double-run the fault path on one schedule: zero-fault identity,
+/// then seeded perturbed execution and repair, all diffed bitwise.
+/// Fluid (BBSA) schedules don't replay and are skipped.
+fn fault_path_divergence(inst: &Instance, s: &Schedule, seed: u64) -> Option<String> {
+    let Ok(base) = execute(&inst.dag, &inst.topo, s) else {
+        return None;
+    };
+    let none = match execute_with(&inst.dag, &inst.topo, s, &FaultPlan::none()) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("execute_with(none) failed where execute ran: {e}")),
+    };
+    if let Some(d) = diff_executions(&base, &none.execution) {
+        return Some(format!("zero-fault replay is not the identity: {d}"));
+    }
+
+    let spec = FaultSpec {
+        intensity: 0.4,
+        horizon: s.makespan,
+        kill_proc: true,
+        kill_link: true,
+    };
+    let fseed = seed ^ 0xFA17_5EED;
+    let p1 = FaultPlan::seeded(&inst.dag, &inst.topo, &spec, fseed);
+    let p2 = FaultPlan::seeded(&inst.dag, &inst.topo, &spec, fseed);
+    let run = |plan: &FaultPlan| execute_with(&inst.dag, &inst.topo, s, plan);
+    match (run(&p1), run(&p2)) {
+        (Ok(e1), Ok(e2)) => {
+            if let Some(d) = diff_executions(&e1.execution, &e2.execution) {
+                return Some(format!("perturbed replay diverged: {d}"));
+            }
+            if e1.infeasible != e2.infeasible {
+                return Some("perturbed replay infeasibility sets diverged".into());
+            }
+        }
+        (r1, r2) => {
+            return Some(format!(
+                "perturbed replay outcomes differ: {:?} vs {:?}",
+                r1.map(|p| p.realized_makespan()),
+                r2.map(|p| p.realized_makespan())
+            ))
+        }
+    }
+    match (
+        repair(&inst.dag, &inst.topo, s, &p1),
+        repair(&inst.dag, &inst.topo, s, &p2),
+    ) {
+        (Ok(r1), Ok(r2)) => {
+            if let Some(d) = diff_schedules(&r1.schedule, &r2.schedule) {
+                return Some(format!("repair diverged: {d}"));
+            }
+            if r1.moved_tasks != r2.moved_tasks || r1.used_fallback != r2.used_fallback {
+                return Some("repair metadata diverged".into());
+            }
+        }
+        (Err(e1), Err(e2)) if format!("{e1}") == format!("{e2}") => {}
+        (r1, r2) => {
+            return Some(format!(
+                "repair outcomes differ: {:?} vs {:?}",
+                r1.map(|o| o.schedule.makespan),
+                r2.map(|o| o.schedule.makespan)
+            ))
+        }
+    }
+    None
+}
+
+/// Bitwise execution diff; `None` when identical.
+fn diff_executions(a: &Execution, b: &Execution) -> Option<String> {
+    if a.makespan.to_bits() != b.makespan.to_bits() {
+        return Some(format!("makespan {} vs {}", a.makespan, b.makespan));
+    }
+    for (i, (ta, tb)) in a.tasks.iter().zip(&b.tasks).enumerate() {
+        if ta.proc != tb.proc
+            || ta.start.to_bits() != tb.start.to_bits()
+            || ta.finish.to_bits() != tb.finish.to_bits()
+        {
+            return Some(format!("derived task n{i}: {ta:?} vs {tb:?}"));
+        }
+    }
+    for (i, (ha, hb)) in a.hop_times.iter().zip(&b.hop_times).enumerate() {
+        let same = ha.len() == hb.len()
+            && ha
+                .iter()
+                .zip(hb)
+                .all(|(x, y)| x.0.to_bits() == y.0.to_bits() && x.1.to_bits() == y.1.to_bits());
+        if !same {
+            return Some(format!("derived hop times of e{i} differ"));
+        }
+    }
+    None
 }
 
 fn schedulers() -> Vec<Box<dyn Scheduler>> {
