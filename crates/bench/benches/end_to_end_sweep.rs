@@ -1,0 +1,60 @@
+//! End-to-end sweep: every slotted scheduler over paper-like instances,
+//! once with the reference [`Tuning`] and once with the optimized one
+//! (route cache + indexed gap search). The two must produce bitwise
+//! identical schedules — asserted inline here, enforced exhaustively by
+//! `tests/integration_differential.rs` — so any timing gap between the
+//! `ref`/`opt` variants is pure hot-path overhead.
+//!
+//! `cargo run -p xtask -- bench` runs the same sweep with wall-clock
+//! instrumentation and writes BENCH_PR4.json; this criterion harness is
+//! the per-configuration microscope.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use es_core::diff::diff_schedules;
+use es_core::{ListConfig, ListScheduler, Scheduler, Tuning};
+use es_workload::{cell_seed, generate, InstanceConfig, Setting};
+use std::hint::black_box;
+
+fn configs() -> Vec<ListConfig> {
+    vec![
+        ListConfig::ba(),
+        ListConfig::ba_static(),
+        ListConfig::oihsa(),
+        ListConfig::oihsa_probing(),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let seed = cell_seed(20060810, Setting::Heterogeneous, 8, 5.0, 0);
+    let inst =
+        generate(&InstanceConfig::paper(Setting::Heterogeneous, 8, 5.0, seed).with_tasks(80));
+
+    let mut g = c.benchmark_group("end_to_end_sweep");
+    for cfg in configs() {
+        // Bitwise identity gate before timing anything.
+        let run = |tuning: Tuning| {
+            ListScheduler::with_config(ListConfig { tuning, ..cfg })
+                .schedule(&inst.dag, &inst.topo)
+                .unwrap()
+        };
+        if let Some(d) = diff_schedules(&run(Tuning::optimized()), &run(Tuning::reference())) {
+            panic!("{}: optimized vs reference schedules differ: {d}", cfg.name);
+        }
+        for (label, tuning) in [("ref", Tuning::reference()), ("opt", Tuning::optimized())] {
+            g.bench_function(format!("{}/{}", cfg.name, label), |b| {
+                b.iter(|| {
+                    black_box(
+                        ListScheduler::with_config(ListConfig { tuning, ..cfg })
+                            .schedule(black_box(&inst.dag), black_box(&inst.topo))
+                            .unwrap()
+                            .makespan,
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -24,7 +24,17 @@ pub enum EdgeOrder {
 impl EdgeOrder {
     /// Sort edge indices `0..n` of equal-priority in-edges.
     pub fn order(self, costs: &[f64]) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..costs.len()).collect();
+        let mut idx = Vec::new();
+        self.order_into(costs, &mut idx);
+        idx
+    }
+
+    /// [`EdgeOrder::order`] into a caller-owned buffer (the probe loop
+    /// orders the same in-edges once per processor candidate; reusing
+    /// the buffer removes the per-candidate allocations).
+    pub fn order_into(self, costs: &[f64], idx: &mut Vec<usize>) {
+        idx.clear();
+        idx.extend(0..costs.len());
         match self {
             EdgeOrder::Arrival => {}
             EdgeOrder::CostDesc => idx.sort_by(|&a, &b| {
@@ -40,7 +50,59 @@ impl EdgeOrder {
                     .then_with(|| a.cmp(&b))
             }),
         }
-        idx
+    }
+}
+
+/// Hot-path performance toggles (independent of the algorithmic axes
+/// above). Every combination must produce bitwise-identical schedules;
+/// the differential oracle in `tests/integration_differential.rs` and
+/// the proptests under `crates/core/tests/` enforce this, so these
+/// knobs trade only time and memory, never results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tuning {
+    /// Memoize modified-Dijkstra search state across the processor
+    /// candidates probed for one ready task. The cache is keyed by a
+    /// link-state epoch and the topology's identity signature, so it is
+    /// invalidated precisely when any link queue mutates or a different
+    /// (e.g. [`es_net::Topology::masked`]) adjacency view is used.
+    pub route_cache: bool,
+    /// Use the indexed free-gap search in each link's `SlotQueue`
+    /// ([`es_linksched::SlotQueue::indexed`]) instead of the linear
+    /// first-fit rescan.
+    pub indexed_gaps: bool,
+}
+
+impl Tuning {
+    /// All optimizations on — the production configuration.
+    #[must_use]
+    pub fn optimized() -> Self {
+        Self {
+            route_cache: true,
+            indexed_gaps: true,
+        }
+    }
+
+    /// The pre-optimization reference paths, kept permanently as the
+    /// differential-testing baseline.
+    #[must_use]
+    pub fn reference() -> Self {
+        Self {
+            route_cache: false,
+            indexed_gaps: false,
+        }
+    }
+}
+
+impl Default for Tuning {
+    /// Optimized, unless the `reference-default` cargo feature flips
+    /// the whole workspace onto the reference paths (used by the
+    /// differential oracle to double-build identical binaries).
+    fn default() -> Self {
+        if cfg!(feature = "reference-default") {
+            Self::reference()
+        } else {
+            Self::optimized()
+        }
     }
 }
 
@@ -146,6 +208,8 @@ pub struct ListConfig {
     pub switching: Switching,
     /// Link insertion policy.
     pub insertion: Insertion,
+    /// Hot-path performance toggles (bitwise-neutral; see [`Tuning`]).
+    pub tuning: Tuning,
 }
 
 impl ListConfig {
@@ -162,6 +226,7 @@ impl ListConfig {
             edge_est: EdgeEst::SourceFinish,
             switching: Switching::CutThrough,
             insertion: Insertion::Basic,
+            tuning: Tuning::default(),
         }
     }
 
@@ -192,6 +257,7 @@ impl ListConfig {
             edge_est: EdgeEst::ReadyTime,
             switching: Switching::CutThrough,
             insertion: Insertion::Optimal,
+            tuning: Tuning::default(),
         }
     }
 
@@ -258,5 +324,25 @@ mod tests {
             ProcSelection::HybridStatic
         );
         assert_eq!(ListConfig::ba_static().routing, Routing::Bfs);
+    }
+
+    #[test]
+    fn tuning_default_tracks_reference_feature() {
+        let expect = if cfg!(feature = "reference-default") {
+            Tuning::reference()
+        } else {
+            Tuning::optimized()
+        };
+        assert_eq!(Tuning::default(), expect);
+        assert_eq!(ListConfig::ba().tuning, expect);
+        assert_eq!(ListConfig::oihsa_probing().tuning, expect);
+        assert_ne!(Tuning::optimized(), Tuning::reference());
+    }
+
+    #[test]
+    fn order_into_reuses_buffer() {
+        let mut buf = vec![9, 9, 9, 9, 9];
+        EdgeOrder::CostDesc.order_into(&[1.0, 4.0], &mut buf);
+        assert_eq!(buf, vec![1, 0]);
     }
 }

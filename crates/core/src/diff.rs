@@ -1,0 +1,174 @@
+//! Bitwise schedule/execution comparison helpers.
+//!
+//! These are the shared vocabulary of every differential check in the
+//! workspace: the xtask determinism audit, the optimized-vs-reference
+//! tuning oracle (`tests/integration_differential.rs`), and the bench
+//! harness's inline identity gate. All comparisons go through
+//! `f64::to_bits` — *bitwise* identity, no epsilon — because the
+//! guarantee under test is "the optimization changed nothing at all",
+//! not "the results are close".
+
+use crate::exec::Execution;
+use crate::schedule::{CommPlacement, Schedule};
+
+/// Bitwise schedule diff; `None` when identical.
+pub fn diff_schedules(a: &Schedule, b: &Schedule) -> Option<String> {
+    if a.algorithm != b.algorithm {
+        return Some(format!("algorithm {:?} vs {:?}", a.algorithm, b.algorithm));
+    }
+    if a.makespan.to_bits() != b.makespan.to_bits() {
+        return Some(format!("makespan {} vs {}", a.makespan, b.makespan));
+    }
+    if a.tasks.len() != b.tasks.len() || a.comms.len() != b.comms.len() {
+        return Some("placement counts differ".into());
+    }
+    for (i, (ta, tb)) in a.tasks.iter().zip(&b.tasks).enumerate() {
+        if ta.proc != tb.proc
+            || ta.start.to_bits() != tb.start.to_bits()
+            || ta.finish.to_bits() != tb.finish.to_bits()
+        {
+            return Some(format!("task n{i}: {ta:?} vs {tb:?}"));
+        }
+    }
+    for (i, (ca, cb)) in a.comms.iter().zip(&b.comms).enumerate() {
+        if !comm_eq(ca, cb) {
+            return Some(format!("comm e{i}: {ca:?} vs {cb:?}"));
+        }
+    }
+    None
+}
+
+/// Bitwise comm-placement equality (PartialEq would use `==` on f64,
+/// which both misses -0.0/0.0 flips and is banned by lint L2).
+pub fn comm_eq(a: &CommPlacement, b: &CommPlacement) -> bool {
+    let bits = |x: f64| x.to_bits();
+    match (a, b) {
+        (CommPlacement::Local, CommPlacement::Local) => true,
+        (
+            CommPlacement::Slotted {
+                route: ra,
+                times: ta,
+            },
+            CommPlacement::Slotted {
+                route: rb,
+                times: tb,
+            },
+        ) => {
+            ra == rb
+                && ta.len() == tb.len()
+                && ta
+                    .iter()
+                    .zip(tb)
+                    .all(|(x, y)| bits(x.0) == bits(y.0) && bits(x.1) == bits(y.1))
+        }
+        (
+            CommPlacement::Fluid {
+                route: ra,
+                flows: fa,
+            },
+            CommPlacement::Fluid {
+                route: rb,
+                flows: fb,
+            },
+        ) => {
+            ra == rb
+                && fa.len() == fb.len()
+                && fa.iter().zip(fb).all(|(x, y)| {
+                    x.pieces.len() == y.pieces.len()
+                        && x.pieces.iter().zip(&y.pieces).all(|(p, q)| {
+                            bits(p.start) == bits(q.start)
+                                && bits(p.end) == bits(q.end)
+                                && bits(p.rate) == bits(q.rate)
+                        })
+                })
+        }
+        (
+            CommPlacement::Ideal {
+                delay: da,
+                arrival: aa,
+            },
+            CommPlacement::Ideal {
+                delay: db,
+                arrival: ab,
+            },
+        ) => bits(*da) == bits(*db) && bits(*aa) == bits(*ab),
+        _ => false,
+    }
+}
+
+/// Bitwise execution diff; `None` when identical.
+pub fn diff_executions(a: &Execution, b: &Execution) -> Option<String> {
+    if a.makespan.to_bits() != b.makespan.to_bits() {
+        return Some(format!("makespan {} vs {}", a.makespan, b.makespan));
+    }
+    for (i, (ta, tb)) in a.tasks.iter().zip(&b.tasks).enumerate() {
+        if ta.proc != tb.proc
+            || ta.start.to_bits() != tb.start.to_bits()
+            || ta.finish.to_bits() != tb.finish.to_bits()
+        {
+            return Some(format!("derived task n{i}: {ta:?} vs {tb:?}"));
+        }
+    }
+    for (i, (ha, hb)) in a.hop_times.iter().zip(&b.hop_times).enumerate() {
+        let same = ha.len() == hb.len()
+            && ha
+                .iter()
+                .zip(hb)
+                .all(|(x, y)| x.0.to_bits() == y.0.to_bits() && x.1.to_bits() == y.1.to_bits());
+        if !same {
+            return Some(format!("derived hop times of e{i} differ"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::TaskPlacement;
+    use es_net::ProcId;
+
+    fn schedule(makespan: f64) -> Schedule {
+        Schedule {
+            algorithm: "t",
+            tasks: vec![TaskPlacement {
+                proc: ProcId(0),
+                start: 0.0,
+                finish: makespan,
+            }],
+            comms: vec![CommPlacement::Local],
+            makespan,
+        }
+    }
+
+    #[test]
+    fn identical_schedules_diff_to_none() {
+        assert!(diff_schedules(&schedule(4.0), &schedule(4.0)).is_none());
+    }
+
+    #[test]
+    fn bitwise_diff_catches_negative_zero() {
+        // -0.0 == 0.0 under f64 PartialEq; the bitwise diff must not
+        // let that slide.
+        assert!(diff_schedules(&schedule(0.0), &schedule(-0.0)).is_some());
+        assert!(!comm_eq(
+            &CommPlacement::Ideal {
+                delay: 0.0,
+                arrival: 1.0
+            },
+            &CommPlacement::Ideal {
+                delay: -0.0,
+                arrival: 1.0
+            }
+        ));
+    }
+
+    #[test]
+    fn placement_changes_are_reported() {
+        let a = schedule(4.0);
+        let mut b = schedule(4.0);
+        b.tasks[0].proc = ProcId(1);
+        let d = diff_schedules(&a, &b).expect("differs");
+        assert!(d.contains("task n0"), "{d}");
+    }
+}

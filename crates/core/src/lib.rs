@@ -50,6 +50,7 @@ pub mod bbsa;
 pub mod bounds;
 pub mod config;
 pub mod diag;
+pub mod diff;
 pub mod exec;
 pub mod export;
 pub mod gantt;
@@ -63,14 +64,18 @@ pub mod slotted;
 pub mod validate;
 
 pub use bbsa::BbsaScheduler;
-pub use config::{EdgeEst, EdgeOrder, Insertion, ListConfig, ProcSelection, Routing, Switching};
+pub use config::{
+    EdgeEst, EdgeOrder, Insertion, ListConfig, ProcSelection, Routing, Switching, Tuning,
+};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use diff::{comm_eq, diff_executions, diff_schedules};
 pub use exec::{execute, execute_with, FaultPlan, FaultSpec, PerturbedExecution};
 pub use ideal::IdealScheduler;
 pub use list::ListScheduler;
 pub use metrics::{metrics, ScheduleMetrics};
-pub use repair::{repair, RepairError, RepairOutcome};
+pub use repair::{repair, repair_with, RepairError, RepairOutcome};
 pub use schedule::{CommPlacement, SchedError, Schedule, Scheduler, TaskPlacement};
+pub use slotted::{reset_route_cache_stats, route_cache_stats, CacheStats};
 
 /// Re-export of the epsilon-tolerant time helpers every consumer needs.
 pub use es_linksched::time;

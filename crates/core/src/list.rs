@@ -94,6 +94,12 @@ struct Run<'a> {
     links: SlottedState,
     placed: Vec<Option<TaskPlacement>>,
     mls: f64,
+    /// Scratch buffers for the in-edge ordering, reused across the
+    /// probe loop's candidates (allocation hoisting; no behavioural
+    /// effect).
+    edge_costs: Vec<f64>,
+    edge_idx: Vec<usize>,
+    ordered_edges: Vec<EdgeId>,
 }
 
 impl<'a> Run<'a> {
@@ -110,9 +116,12 @@ impl<'a> Run<'a> {
             dag,
             topo,
             procs: ProcState::new(topo),
-            links: SlottedState::new(topo, dag.edge_count()),
+            links: SlottedState::with_tuning(topo, dag.edge_count(), cfg.tuning),
             placed: vec![None; dag.task_count()],
             mls: topo.mean_link_speed(),
+            edge_costs: Vec::new(),
+            edge_idx: Vec::new(),
+            ordered_edges: Vec::new(),
         })
     }
 
@@ -128,16 +137,19 @@ impl<'a> Run<'a> {
         self.finish()
     }
 
-    /// In-edge ids of `task` in the configured scheduling order.
-    fn ordered_in_edges(&self, task: TaskId) -> Vec<EdgeId> {
+    /// Fill `self.ordered_edges` with `task`'s in-edge ids in the
+    /// configured scheduling order (buffers reused across candidates).
+    fn order_in_edges(&mut self, task: TaskId) {
         let in_edges = self.dag.in_edges(task);
-        let costs: Vec<f64> = in_edges.iter().map(|&e| self.dag.cost(e)).collect();
+        self.edge_costs.clear();
+        self.edge_costs
+            .extend(in_edges.iter().map(|&e| self.dag.cost(e)));
         self.cfg
             .edge_order
-            .order(&costs)
-            .into_iter()
-            .map(|i| in_edges[i])
-            .collect()
+            .order_into(&self.edge_costs, &mut self.edge_idx);
+        self.ordered_edges.clear();
+        self.ordered_edges
+            .extend(self.edge_idx.iter().map(|&i| in_edges[i]));
     }
 
     /// Schedule all remote in-edges of `task` to processor `p` and
@@ -162,7 +174,9 @@ impl<'a> Run<'a> {
             ),
         };
         let mut data_ready = 0.0_f64;
-        for e in self.ordered_in_edges(task) {
+        self.order_in_edges(task);
+        for k in 0..self.ordered_edges.len() {
+            let e = self.ordered_edges[k];
             let edge = self.dag.edge(e);
             let src = self.placed[edge.src.index()].expect("predecessors are placed first");
             let arrival = if src.proc == p {
@@ -201,12 +215,19 @@ impl<'a> Run<'a> {
     /// probed by tentatively scheduling the communications.
     fn pick_by_probe(&mut self, task: TaskId) -> Result<ProcId, SchedError> {
         let weight = self.dag.weight(task);
+        // All candidates probe the same link state and (for
+        // candidate-independent ESTs) the same search parameters, so a
+        // checkpoint lets the route cache share one incremental search
+        // across the whole loop. Each rollback is exact, which is what
+        // `restore` requires.
+        let cp = self.links.checkpoint();
         let mut best: Option<(ProcId, f64)> = None;
         for p in self.topo.proc_ids() {
             let data_ready = self.schedule_in_edges(task, p, Insertion::Basic)?;
             let start = self.procs.earliest_start(p, data_ready);
             let finish = start + weight / self.topo.proc_speed(p);
             self.rollback_in_edges(task, p);
+            self.links.restore(cp);
             if best.is_none_or(|(_, bf)| finish < bf - EPS) {
                 best = Some((p, finish));
             }

@@ -41,7 +41,7 @@
 //! moment of the crash". Communications are always re-planned as
 //! slotted (or local) placements, whatever their original kind.
 
-use crate::config::{EdgeOrder, Insertion, Routing, Switching};
+use crate::config::{EdgeOrder, Insertion, Routing, Switching, Tuning};
 use crate::diag::Report;
 use crate::exec::FaultPlan;
 use crate::procsched::ProcState;
@@ -52,7 +52,7 @@ use es_dag::{priority_list, Priority, TaskGraph, TaskId};
 use es_linksched::time::EPS;
 use es_linksched::CommId;
 use es_net::{LinkId, ProcId, Topology};
-use es_route::reachable_nodes;
+use es_route::{reachable_nodes_with, BfsScratch};
 
 /// Why a repair could not be completed.
 #[derive(Debug)]
@@ -107,12 +107,25 @@ pub struct RepairOutcome {
 
 /// Repair `schedule` against the hard failures in `plan`; see the
 /// module docs. A plan without hard failures returns the schedule
-/// unchanged (the identity repair).
+/// unchanged (the identity repair). Uses [`Tuning::default`].
 pub fn repair(
     dag: &TaskGraph,
     topo: &Topology,
     schedule: &Schedule,
     plan: &FaultPlan,
+) -> Result<RepairOutcome, RepairError> {
+    repair_with(dag, topo, schedule, plan, Tuning::default())
+}
+
+/// [`repair`] with an explicit performance [`Tuning`] for the rebuild's
+/// link state. Tuning never changes the repaired schedule (bitwise);
+/// the `repair_cache_equivalence` integration test enforces this.
+pub fn repair_with(
+    dag: &TaskGraph,
+    topo: &Topology,
+    schedule: &Schedule,
+    plan: &FaultPlan,
+    tuning: Tuning,
 ) -> Result<RepairOutcome, RepairError> {
     if schedule.tasks.len() != dag.task_count() || schedule.comms.len() != dag.edge_count() {
         return Err(RepairError::Malformed(format!(
@@ -158,7 +171,9 @@ pub fn repair(
     let mls = surviving_mls(topo, plan);
 
     let attempt = |insertion: Insertion| -> Result<Schedule, SchedError> {
-        rebuild(dag, &masked, schedule, &pinned, &usable, mls, insertion)
+        rebuild(
+            dag, &masked, schedule, &pinned, &usable, mls, insertion, tuning,
+        )
     };
 
     let mut used_fallback = false;
@@ -203,9 +218,11 @@ fn surviving_component(topo: &Topology, masked: &Topology, plan: &FaultPlan) -> 
         .collect();
     // Forward reachability from every surviving processor's node; the
     // pair (p, q) is mutually connected iff each reaches the other.
+    // One shared traversal scratch across all the sweeps.
+    let mut scratch = BfsScratch::new();
     let reach: Vec<Vec<bool>> = survivors
         .iter()
-        .map(|&p| reachable_nodes(masked, topo.node_of_proc(p)))
+        .map(|&p| reachable_nodes_with(masked, topo.node_of_proc(p), &mut scratch).to_vec())
         .collect();
     let mutual = |i: usize, j: usize| {
         reach[i][topo.node_of_proc(survivors[j]).index()]
@@ -238,13 +255,16 @@ fn connected_to_component(topo: &Topology, masked: &Topology, usable: &[bool]) -
     let Some(reference) = topo.proc_ids().find(|&p| usable[p.index()]) else {
         return vec![false; topo.proc_count()];
     };
-    let from_ref = reachable_nodes(masked, topo.node_of_proc(reference));
+    let mut scratch = BfsScratch::new();
+    let from_ref =
+        reachable_nodes_with(masked, topo.node_of_proc(reference), &mut scratch).to_vec();
     topo.proc_ids()
         .map(|p| {
             usable[p.index()] || {
                 let n = topo.node_of_proc(p);
                 from_ref[n.index()]
-                    && reachable_nodes(masked, n)[topo.node_of_proc(reference).index()]
+                    && reachable_nodes_with(masked, n, &mut scratch)
+                        [topo.node_of_proc(reference).index()]
             }
         })
         .collect()
@@ -272,6 +292,7 @@ fn surviving_mls(topo: &Topology, plan: &FaultPlan) -> f64 {
 /// unpinned tasks are placed by the hybrid criterion over `usable`,
 /// all communications re-planned on the masked topology with OIHSA's
 /// edge order / routing / switching and the given insertion policy.
+#[allow(clippy::too_many_arguments)]
 fn rebuild(
     dag: &TaskGraph,
     masked: &Topology,
@@ -280,9 +301,10 @@ fn rebuild(
     usable: &[bool],
     mls: f64,
     insertion: Insertion,
+    tuning: Tuning,
 ) -> Result<Schedule, SchedError> {
     let mut procs = ProcState::new(masked);
-    let mut links = SlottedState::new(masked, dag.edge_count());
+    let mut links = SlottedState::with_tuning(masked, dag.edge_count(), tuning);
     let mut placed: Vec<Option<TaskPlacement>> = vec![None; dag.task_count()];
 
     for &task in &priority_list(dag, Priority::BottomLevel) {

@@ -14,15 +14,120 @@
 //!   defers other slots;
 //! * exact rollback of basic-insertion placements, which BA's
 //!   earliest-finish processor probe requires.
+//!
+//! # Performance model (DESIGN.md §10)
+//!
+//! With [`Tuning::route_cache`] on, modified-Dijkstra search state is
+//! memoized *across the processor candidates probed for one ready
+//! task*: the search trajectory is destination-independent, so the P
+//! per-candidate searches from the same source collapse into at most
+//! one [`IncrementalDijkstra`] that each candidate merely advances.
+//! The cache key includes a link-state **epoch** (bumped by every
+//! placement and rollback) and the topology's identity signature, so a
+//! cached search is consulted only while the link schedules it probed
+//! are provably unchanged — and only between [`SlottedState::checkpoint`]
+//! and matching [`SlottedState::restore`] calls, which is exactly the
+//! probe loop's schedule/rollback cycle. Every answer is bitwise
+//! identical to a fresh search; the differential oracle enforces this.
 
-use crate::config::{Insertion, Routing, Switching};
+use crate::config::{Insertion, Routing, Switching, Tuning};
 use crate::schedule::SchedError;
-use es_linksched::optimal::optimal_insert;
+use es_linksched::optimal::{optimal_insert_with, InsertScratch};
 use es_linksched::slot::SlotQueue;
 use es_linksched::CommId;
 use es_net::{Hop, NodeId, ProcId, Topology};
-use es_route::{bfs_route, dijkstra_route, Route};
+use es_route::{
+    bfs_route_with, dijkstra_route, dijkstra_route_with, BfsScratch, DijkstraScratch,
+    IncrementalDijkstra, Route,
+};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide route-cache counters (relaxed; they feed the bench
+/// report and never influence scheduling).
+static ROUTE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+// TEMP instrumentation
+static ROUTE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide route-cache hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Modified-Dijkstra searches answered by resuming a cached one.
+    pub hits: u64,
+    /// Searches that had to be opened fresh.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total cacheable lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from cache (0 when none happened).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// Read the process-wide route-cache counters. Counters only ever
+/// increase while the process runs; tests assert on deltas.
+#[must_use]
+pub fn route_cache_stats() -> CacheStats {
+    CacheStats {
+        hits: ROUTE_CACHE_HITS.load(Ordering::Relaxed),
+        misses: ROUTE_CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset the process-wide route-cache counters (bench harness only;
+/// racy if schedulers run concurrently).
+pub fn reset_route_cache_stats() {
+    ROUTE_CACHE_HITS.store(0, Ordering::Relaxed);
+    ROUTE_CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Identity of one memoizable modified-Dijkstra search. Two lookups
+/// with equal keys are guaranteed to probe identical link schedules
+/// (same epoch, same adjacency view) with identical parameters, so
+/// resuming the cached search is bitwise-equivalent to a fresh one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SearchKey {
+    /// [`Topology::signature`] of the adjacency view probed.
+    topo_sig: u64,
+    /// Link-state epoch the search was opened under.
+    epoch: u64,
+    /// Search source vertex (destination is *not* part of the key —
+    /// that is the whole point of [`IncrementalDijkstra`]).
+    src: NodeId,
+    /// `est.to_bits()` — bitwise, no tolerance.
+    est: u64,
+    /// `cost.to_bits()`.
+    cost: u64,
+    switching: Switching,
+}
+
+/// One memoized search. Stored in a small Vec scanned linearly: entry
+/// count is bounded by the distinct (src, est, cost) triples probed for
+/// a single ready task, which is tiny, and Vec order is deterministic
+/// (the analyze pass bans hash maps in scheduling hot paths).
+#[derive(Clone, Debug)]
+struct RouteCacheEntry {
+    key: SearchKey,
+    search: IncrementalDijkstra<(f64, f64)>,
+}
+
+/// FIFO backstop so pathological probe patterns cannot grow the cache
+/// without bound; epoch-based pruning keeps it far below this in
+/// practice.
+const ROUTE_CACHE_CAP: usize = 32;
 
 /// Bookkeeping for one scheduled communication.
 #[derive(Clone, Debug, Default)]
@@ -33,26 +138,80 @@ struct CommRecord {
     times: Vec<Option<(f64, f64)>>,
 }
 
+/// Opaque token naming a link-state snapshot, returned by
+/// [`SlottedState::checkpoint`]. Restoring asserts (in debug builds)
+/// that the caller really rolled the content back to the checkpointed
+/// state — the token does not itself restore any slots.
+#[derive(Clone, Copy, Debug)]
+pub struct StateEpoch {
+    epoch: u64,
+    #[cfg(debug_assertions)]
+    checksum: u64,
+}
+
 /// All link schedules plus communication bookkeeping.
 #[derive(Clone, Debug)]
 pub struct SlottedState {
     queues: Vec<SlotQueue>,
     comms: Vec<CommRecord>,
-    /// Cache of BFS routes between vertex pairs (the topology is
-    /// static, so minimal routes never change). Ordered map: iteration
-    /// order must be deterministic for the analyze/determinism audits.
+    /// Cache of BFS routes between vertex pairs. Minimal routes depend
+    /// only on the adjacency view, so entries are guarded by the
+    /// topology signature below. Ordered map: iteration order must be
+    /// deterministic for the analyze/determinism audits.
     bfs_cache: BTreeMap<(NodeId, NodeId), Option<Route>>,
+    /// [`Topology::signature`] of the view the BFS cache was filled
+    /// from; a different (e.g. masked) view clears it. 0 (unsigned
+    /// topology) is never trusted.
+    bfs_cache_sig: u64,
+    tuning: Tuning,
+    /// Monotonically increasing link-state version: bumped by every
+    /// placement and rollback. Epoch numbers are never reissued.
+    epoch: u64,
+    next_epoch: u64,
+    /// The epoch the current probe cycle checkpointed at, if any. The
+    /// route cache is consulted only while `epoch` equals this — i.e.
+    /// while the link schedules are in the exact checkpointed state.
+    active_checkpoint: Option<u64>,
+    route_cache: Vec<RouteCacheEntry>,
+    /// Scratch buffers reused across placements (allocation hoisting;
+    /// no behavioural effect).
+    bfs_scratch: BfsScratch,
+    insert_scratch: InsertScratch,
+    dts_scratch: Vec<f64>,
+    search_scratch: DijkstraScratch<(f64, f64)>,
 }
 
 impl SlottedState {
     /// Fresh state: all links idle; capacity for `comm_count`
-    /// communications (one per DAG edge).
+    /// communications (one per DAG edge). Uses [`Tuning::default`].
     pub fn new(topo: &Topology, comm_count: usize) -> Self {
+        Self::with_tuning(topo, comm_count, Tuning::default())
+    }
+
+    /// Fresh state with explicit performance [`Tuning`].
+    pub fn with_tuning(topo: &Topology, comm_count: usize, tuning: Tuning) -> Self {
         Self {
-            queues: (0..topo.link_count()).map(|_| SlotQueue::new()).collect(),
+            queues: (0..topo.link_count())
+                .map(|_| SlotQueue::indexed(tuning.indexed_gaps))
+                .collect(),
             comms: vec![CommRecord::default(); comm_count],
             bfs_cache: BTreeMap::new(),
+            bfs_cache_sig: topo.signature(),
+            tuning,
+            epoch: 0,
+            next_epoch: 1,
+            active_checkpoint: None,
+            route_cache: Vec::new(),
+            bfs_scratch: BfsScratch::new(),
+            insert_scratch: InsertScratch::new(),
+            dts_scratch: Vec::new(),
+            search_scratch: DijkstraScratch::new(),
         }
+    }
+
+    /// The performance tuning this state was built with.
+    pub fn tuning(&self) -> Tuning {
+        self.tuning
     }
 
     /// The slot queue of a link (validators and tests peek at these).
@@ -74,6 +233,59 @@ impl SlottedState {
         &self.comms[comm.0 as usize].route
     }
 
+    /// Bump the link-state epoch after any queue mutation. Cached
+    /// searches from other epochs can only become consultable again
+    /// through a [`SlottedState::restore`] to the active checkpoint, so
+    /// everything else is pruned here (epochs are never reissued).
+    fn touch(&mut self) {
+        self.epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let keep = self.active_checkpoint;
+        self.route_cache.retain(|e| Some(e.key.epoch) == keep);
+    }
+
+    /// Open a probe cycle: name the current link state and allow the
+    /// route cache to serve searches while the state matches it. The
+    /// caller promises to return the queues to exactly this state (via
+    /// exact rollbacks) before each [`SlottedState::restore`].
+    pub fn checkpoint(&mut self) -> StateEpoch {
+        self.active_checkpoint = Some(self.epoch);
+        let epoch = self.epoch;
+        self.route_cache.retain(|e| e.key.epoch == epoch);
+        StateEpoch {
+            epoch,
+            #[cfg(debug_assertions)]
+            checksum: self.content_checksum(),
+        }
+    }
+
+    /// Declare the link state rolled back to `cp`'s snapshot; re-arms
+    /// the route cache for the next candidate of the probe cycle.
+    pub fn restore(&mut self, cp: StateEpoch) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            self.content_checksum(),
+            cp.checksum,
+            "restore() without an exact rollback to the checkpointed state"
+        );
+        self.epoch = cp.epoch;
+        self.route_cache.retain(|e| e.key.epoch == cp.epoch);
+    }
+
+    /// Order-insensitive digest of all slot content, for the debug
+    /// assertion that `restore` only follows exact rollbacks.
+    #[cfg(debug_assertions)]
+    fn content_checksum(&self) -> u64 {
+        let mut h = 0u64;
+        for q in &self.queues {
+            h = h.wrapping_mul(31).wrapping_add(q.len() as u64);
+            for s in q.slots() {
+                h ^= s.start.to_bits().rotate_left(17) ^ s.end.to_bits() ^ s.comm.0;
+            }
+        }
+        h
+    }
+
     /// Route and schedule one communication.
     ///
     /// * `est` — earliest start (source task finish time);
@@ -84,6 +296,7 @@ impl SlottedState {
     /// causality using `insertion`. With [`Insertion::Optimal`],
     /// already-scheduled slots may be deferred within their Lemma-2
     /// slack; the displaced communications' recorded times are updated.
+    #[allow(clippy::too_many_arguments)]
     pub fn schedule_comm(
         &mut self,
         topo: &Topology,
@@ -106,6 +319,7 @@ impl SlottedState {
     }
 
     /// Choose a route per the configured strategy.
+    #[allow(clippy::too_many_arguments)]
     fn pick_route(
         &mut self,
         topo: &Topology,
@@ -117,11 +331,21 @@ impl SlottedState {
         switching: Switching,
     ) -> Option<Route> {
         match routing {
-            Routing::Bfs => self
-                .bfs_cache
-                .entry((src, dst))
-                .or_insert_with(|| bfs_route(topo, src, dst))
-                .clone(),
+            Routing::Bfs => {
+                let sig = topo.signature();
+                if sig == 0 || sig != self.bfs_cache_sig {
+                    // A different adjacency view (e.g. a masked repair
+                    // topology) or an unsigned one: minimal routes may
+                    // differ, so the memoized ones must not be served.
+                    self.bfs_cache.clear();
+                    self.bfs_cache_sig = sig;
+                }
+                let scratch = &mut self.bfs_scratch;
+                self.bfs_cache
+                    .entry((src, dst))
+                    .or_insert_with(|| bfs_route_with(topo, src, dst, scratch))
+                    .clone()
+            }
             Routing::ModifiedDijkstra => {
                 // §4.3: relax by the finish time of this communication
                 // on each link, probed with basic insertion against the
@@ -130,23 +354,71 @@ impl SlottedState {
                 // actual placement applies it precisely.
                 let queues = &self.queues;
                 let delay = topo.hop_delay();
-                dijkstra_route(
-                    topo,
-                    src,
-                    dst,
-                    (est, est),
-                    |&(s, f), hop| {
-                        let int = cost / topo.link_speed(hop.link);
-                        let bound = match switching {
-                            Switching::CutThrough => (s + delay).max(f + delay - int),
-                            Switching::StoreAndForward => f + delay,
-                        };
-                        let start = queues[hop.link.index()].probe(bound, int);
-                        (start, (start + int).max(f))
-                    },
-                    |&(_, f)| f,
-                )
-                .map(|(route, _)| route)
+                let relax = |&(s, f): &(f64, f64), hop: &Hop| {
+                    let int = cost / topo.link_speed(hop.link);
+                    let bound = match switching {
+                        Switching::CutThrough => (s + delay).max(f + delay - int),
+                        Switching::StoreAndForward => f + delay,
+                    };
+                    let start = queues[hop.link.index()].probe(bound, int);
+                    (start, (start + int).max(f))
+                };
+                let key = |&(_, f): &(f64, f64)| f;
+
+                let sig = topo.signature();
+                let cacheable = self.tuning.route_cache
+                    && sig != 0
+                    && self.active_checkpoint == Some(self.epoch);
+                if cacheable {
+                    let k = SearchKey {
+                        topo_sig: sig,
+                        epoch: self.epoch,
+                        src,
+                        est: est.to_bits(),
+                        cost: cost.to_bits(),
+                        switching,
+                    };
+                    let cache = &mut self.route_cache;
+                    let entry = if let Some(i) = cache.iter().position(|e| e.key == k) {
+                        ROUTE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                        &mut cache[i]
+                    } else {
+                        ROUTE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                        if cache.len() >= ROUTE_CACHE_CAP {
+                            cache.remove(0);
+                        }
+                        cache.push(RouteCacheEntry {
+                            key: k,
+                            search: IncrementalDijkstra::new(
+                                topo.node_count(),
+                                src,
+                                (est, est),
+                                est,
+                            ),
+                        });
+                        cache.last_mut().expect("just pushed")
+                    };
+                    entry
+                        .search
+                        .route_to(topo, dst, relax, key)
+                        .map(|(route, _)| route)
+                } else if self.tuning.route_cache {
+                    // Not at a checkpointed state, but the buffer-reuse
+                    // half of the optimization still applies: the same
+                    // search over hoisted scratch allocations.
+                    dijkstra_route_with(
+                        topo,
+                        src,
+                        dst,
+                        (est, est),
+                        relax,
+                        key,
+                        &mut self.search_scratch,
+                    )
+                    .map(|(route, _)| route)
+                } else {
+                    dijkstra_route(topo, src, dst, (est, est), relax, key).map(|(route, _)| route)
+                }
             }
         }
     }
@@ -165,7 +437,9 @@ impl SlottedState {
         switching: Switching,
     ) -> f64 {
         let rec_idx = comm.0 as usize;
-        self.comms[rec_idx].times = vec![None; route.len()];
+        let times = &mut self.comms[rec_idx].times;
+        times.clear();
+        times.resize(route.len(), None);
 
         let (mut prev_start, mut prev_finish) = (est, est);
         for (seq, hop) in route.iter().enumerate() {
@@ -181,16 +455,28 @@ impl SlottedState {
                 Switching::CutThrough => (prev_start + delay).max(prev_finish + delay - int),
                 Switching::StoreAndForward => prev_finish + delay,
             };
-            let queue = &mut self.queues[hop.link.index()];
             let (start, finish) = match insertion {
                 Insertion::Basic => {
+                    let queue = &mut self.queues[hop.link.index()];
                     let start = queue.probe(bound, int);
                     queue.commit(comm, seq as u32, start, int);
                     (start, start + int)
                 }
                 Insertion::Optimal => {
-                    let dts = deferrable_times(queue, &self.comms);
-                    let placement = optimal_insert(queue, comm, seq as u32, bound, int, &dts);
+                    deferrable_times_into(
+                        &self.queues[hop.link.index()],
+                        &self.comms,
+                        &mut self.dts_scratch,
+                    );
+                    let placement = optimal_insert_with(
+                        &mut self.queues[hop.link.index()],
+                        comm,
+                        seq as u32,
+                        bound,
+                        int,
+                        &self.dts_scratch,
+                        &mut self.insert_scratch,
+                    );
                     // Propagate deferrals into the displaced
                     // communications' recorded times.
                     for shift in &placement.shifts {
@@ -208,6 +494,7 @@ impl SlottedState {
         // times at the conservative 0 for this comm's own mid-placement
         // slots (their next-hop times are unset either way).
         self.comms[rec_idx].route = route;
+        self.touch();
         prev_finish
     }
 
@@ -218,9 +505,26 @@ impl SlottedState {
     /// tentative probe therefore always runs with basic insertion.
     pub fn unschedule(&mut self, comm: CommId) {
         let rec = std::mem::take(&mut self.comms[comm.0 as usize]);
-        for hop in &rec.route {
-            self.queues[hop.link.index()].remove_comm(comm);
+        if self.tuning.indexed_gaps {
+            // The recorded per-hop times pin each slot exactly (optimal
+            // insertion keeps them updated when it defers slots), so a
+            // binary-searched single-slot removal replaces the full
+            // scan. Any miss falls back to the reference path — the
+            // resulting queues are identical either way.
+            for (seq, hop) in rec.route.iter().enumerate() {
+                let queue = &mut self.queues[hop.link.index()];
+                let removed = rec.times[seq]
+                    .is_some_and(|(start, _)| queue.remove_slot_at(comm, seq as u32, start));
+                if !removed {
+                    queue.remove_comm(comm);
+                }
+            }
+        } else {
+            for hop in &rec.route {
+                self.queues[hop.link.index()].remove_comm(comm);
+            }
         }
+        self.touch();
     }
 
     /// Extract the per-hop times of a scheduled communication (for the
@@ -245,7 +549,8 @@ impl SlottedState {
     }
 }
 
-/// Lemma 2 deferrable times for every slot of one queue.
+/// Lemma 2 deferrable times for every slot of one queue, into a
+/// caller-owned buffer (the buffer is cleared first).
 ///
 /// A slot of communication `c` at route position `seq` can defer by
 /// `min( t_s(c, next) - t_s(c, here), t_f(c, next) - t_f(c, here) )`
@@ -253,25 +558,22 @@ impl SlottedState {
 /// (the arrival may already gate the destination task), and 0 when the
 /// next hop is not yet placed (conservative; happens only mid-placement
 /// of `c` itself).
-fn deferrable_times(queue: &SlotQueue, comms: &[CommRecord]) -> Vec<f64> {
-    queue
-        .slots()
-        .iter()
-        .map(|slot| {
-            let rec = &comms[slot.comm.0 as usize];
-            let seq = slot.seq as usize;
-            if seq + 1 >= rec.route.len() {
-                return 0.0;
+fn deferrable_times_into(queue: &SlotQueue, comms: &[CommRecord], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(queue.slots().iter().map(|slot| {
+        let rec = &comms[slot.comm.0 as usize];
+        let seq = slot.seq as usize;
+        if seq + 1 >= rec.route.len() {
+            return 0.0;
+        }
+        match rec.times.get(seq + 1).copied().flatten() {
+            None => 0.0,
+            Some((next_start, next_finish)) => {
+                let dt = (next_start - slot.start).min(next_finish - slot.end);
+                dt.max(0.0)
             }
-            match rec.times.get(seq + 1).copied().flatten() {
-                None => 0.0,
-                Some((next_start, next_finish)) => {
-                    let dt = (next_start - slot.start).min(next_finish - slot.end);
-                    dt.max(0.0)
-                }
-            }
-        })
-        .collect()
+        }
+    }));
 }
 
 #[cfg(test)]
@@ -625,5 +927,176 @@ mod tests {
             .unwrap();
         assert_eq!(arrival, 5.0, "took the free path");
         assert_ne!(st.route_of(c(1))[0].to, via_sa);
+    }
+
+    #[test]
+    fn route_cache_reuses_search_across_probe_candidates() {
+        // Probe-cycle pattern: checkpoint, then repeatedly schedule the
+        // same communication, roll it back exactly, and restore. The
+        // second and later searches must be served from cache and yield
+        // bitwise-identical results.
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let sa = b.add_switch();
+        let sb = b.add_switch();
+        b.add_duplex_cable(p0, sa, 1.0);
+        b.add_duplex_cable(sa, p1, 1.0);
+        b.add_duplex_cable(p0, sb, 1.0);
+        b.add_duplex_cable(sb, p1, 1.0);
+        let topo = b.build().unwrap();
+
+        let before = route_cache_stats();
+        let mut st = SlottedState::with_tuning(&topo, 8, Tuning::optimized());
+        st.schedule_comm(
+            &topo,
+            c(0),
+            0.0,
+            20.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::ModifiedDijkstra,
+            Insertion::Basic,
+            Switching::CutThrough,
+        )
+        .unwrap();
+
+        let cp = st.checkpoint();
+        let mut arrivals = Vec::new();
+        for _ in 0..3 {
+            let a = st
+                .schedule_comm(
+                    &topo,
+                    c(1),
+                    1.0,
+                    7.0,
+                    ProcId(0),
+                    ProcId(1),
+                    Routing::ModifiedDijkstra,
+                    Insertion::Basic,
+                    Switching::CutThrough,
+                )
+                .unwrap();
+            arrivals.push(a);
+            st.unschedule(c(1));
+            st.restore(cp);
+        }
+        assert_eq!(arrivals[0].to_bits(), arrivals[1].to_bits());
+        assert_eq!(arrivals[0].to_bits(), arrivals[2].to_bits());
+
+        let after = route_cache_stats();
+        // Counters are process-global and tests run in parallel, so
+        // only delta lower bounds are safe to assert.
+        assert!(after.misses > before.misses, "first search misses");
+        assert!(after.hits >= before.hits + 2, "repeat searches hit");
+    }
+
+    #[test]
+    fn route_cache_is_inert_without_checkpoint() {
+        // HybridStatic schedulers never checkpoint; searches must not
+        // consult (or populate) the cache, and mutations between calls
+        // must yield exactly the reference answers.
+        let topo = line();
+        let mut opt = SlottedState::with_tuning(&topo, 8, Tuning::optimized());
+        let mut refr = SlottedState::with_tuning(&topo, 8, Tuning::reference());
+        for (i, cost) in [5.0, 3.0, 9.0, 2.0].into_iter().enumerate() {
+            let a = opt
+                .schedule_comm(
+                    &topo,
+                    c(i as u64),
+                    0.0,
+                    cost,
+                    ProcId(0),
+                    ProcId(1),
+                    Routing::ModifiedDijkstra,
+                    Insertion::Optimal,
+                    Switching::CutThrough,
+                )
+                .unwrap();
+            let b = refr
+                .schedule_comm(
+                    &topo,
+                    c(i as u64),
+                    0.0,
+                    cost,
+                    ProcId(0),
+                    ProcId(1),
+                    Routing::ModifiedDijkstra,
+                    Insertion::Optimal,
+                    Switching::CutThrough,
+                )
+                .unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+            let (ra, ta) = opt.placement(c(i as u64));
+            let (rb, tb) = refr.placement(c(i as u64));
+            assert_eq!(ra, rb);
+            assert_eq!(ta.len(), tb.len());
+            for (x, y) in ta.iter().zip(&tb) {
+                assert_eq!(x.0.to_bits(), y.0.to_bits());
+                assert_eq!(x.1.to_bits(), y.1.to_bits());
+            }
+        }
+        assert!(opt.route_cache.is_empty(), "no checkpoint, no cache");
+    }
+
+    #[test]
+    fn masked_view_invalidates_bfs_cache() {
+        // Two disjoint paths; cache a BFS route, then mask the link it
+        // used. The next lookup must not serve the stale route.
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let sa = b.add_switch();
+        let sb = b.add_switch();
+        b.add_duplex_cable(p0, sa, 1.0);
+        b.add_duplex_cable(sa, p1, 1.0);
+        b.add_duplex_cable(p0, sb, 1.0);
+        b.add_duplex_cable(sb, p1, 1.0);
+        let topo = b.build().unwrap();
+        let src = topo.node_of_proc(ProcId(0));
+        let dst = topo.node_of_proc(ProcId(1));
+
+        let mut st = SlottedState::with_tuning(&topo, 4, Tuning::optimized());
+        let first = st
+            .pick_route(
+                &topo,
+                src,
+                dst,
+                0.0,
+                1.0,
+                Routing::Bfs,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        let used = first[0].link;
+        let masked = topo.masked(|l| l == used);
+        let rerouted = st
+            .pick_route(
+                &masked,
+                src,
+                dst,
+                0.0,
+                1.0,
+                Routing::Bfs,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        assert!(
+            rerouted.iter().all(|h| h.link != used),
+            "stale cached route served across a masked view"
+        );
+        // And back: the original view gets its own fresh fill again.
+        let back = st
+            .pick_route(
+                &topo,
+                src,
+                dst,
+                0.0,
+                1.0,
+                Routing::Bfs,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        assert_eq!(back, first);
     }
 }

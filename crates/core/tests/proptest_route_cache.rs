@@ -1,0 +1,167 @@
+//! Property: the route/probe cache never serves a stale route. Twin
+//! [`SlottedState`]s — one with the optimized tuning (cache + indexed
+//! gaps), one with the reference tuning — are driven through identical
+//! random sequences of probe cycles (checkpoint → tentative schedule →
+//! exact rollback → restore), real commits, and schedules against
+//! masked repair views of the topology. Every returned arrival time
+//! and every recorded placement must match bit for bit; any stale
+//! cache entry surviving a link-queue mutation or a topology mask
+//! switch would diverge here.
+
+use es_core::config::{Insertion, Routing, Switching};
+use es_core::slotted::SlottedState;
+use es_core::Tuning;
+use es_linksched::CommId;
+use es_net::gen::{self, WanConfig};
+use es_net::Topology;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One scripted communication request.
+#[derive(Clone, Debug)]
+struct Req {
+    est: f64,
+    cost: f64,
+    from: usize,
+    to: usize,
+    candidates: usize,
+    optimal: bool,
+    /// Schedule this request against the masked view instead of the
+    /// full topology (exercises signature-keyed invalidation).
+    masked: bool,
+}
+
+fn reqs_strategy() -> impl Strategy<Value = Vec<Req>> {
+    prop::collection::vec(
+        (
+            0.0f64..50.0,
+            0.5f64..40.0,
+            0usize..64,
+            0usize..64,
+            1usize..5,
+            prop::bool::ANY,
+            0u8..10,
+        ),
+        1..24,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(est, cost, from, to, candidates, optimal, m)| Req {
+                est,
+                cost,
+                from,
+                to,
+                candidates,
+                optimal,
+                masked: m < 3,
+            })
+            .collect()
+    })
+}
+
+fn drive(topo: &Topology, masked: &Topology, reqs: &[Req], tuning: Tuning) -> SlottedState {
+    let mut st = SlottedState::with_tuning(topo, reqs.len() * 8, tuning);
+    let procs = topo.proc_count();
+    let mut next = 0u64;
+    for r in reqs {
+        let from = r.from % procs;
+        let view = if r.masked { masked } else { topo };
+        let insertion = if r.optimal {
+            Insertion::Optimal
+        } else {
+            Insertion::Basic
+        };
+        // Probe cycle over candidate destinations, mirroring
+        // pick_by_probe: tentative schedules are exactly rolled back
+        // before each restore, so the cache may serve repeat searches.
+        let cp = st.checkpoint();
+        for c in 0..r.candidates {
+            let to = (r.to + c) % procs;
+            if to == from {
+                st.restore(cp);
+                continue;
+            }
+            let comm = CommId(next);
+            let ok = st
+                .schedule_comm(
+                    view,
+                    comm,
+                    r.est,
+                    r.cost,
+                    es_net::ProcId(from as u32),
+                    es_net::ProcId(to as u32),
+                    Routing::ModifiedDijkstra,
+                    Insertion::Basic,
+                    Switching::CutThrough,
+                )
+                .is_ok();
+            if ok {
+                st.unschedule(comm);
+            }
+            st.restore(cp);
+        }
+        // Real commit (mutates the link queues, moving the epoch, so
+        // any cached search must stop being served afterwards).
+        let to = if r.to % procs == from {
+            (from + 1) % procs
+        } else {
+            r.to % procs
+        };
+        if to != from {
+            let comm = CommId(next);
+            next += 1;
+            let _ = st.schedule_comm(
+                view,
+                comm,
+                r.est,
+                r.cost,
+                es_net::ProcId(from as u32),
+                es_net::ProcId(to as u32),
+                Routing::ModifiedDijkstra,
+                insertion,
+                Switching::CutThrough,
+            );
+        }
+    }
+    st.check_invariants().expect("invariants");
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn route_cache_never_serves_stale_routes(
+        procs in 2usize..10,
+        seed in any::<u64>(),
+        hetero in prop::bool::ANY,
+        mask_seed in any::<u64>(),
+        reqs in reqs_strategy(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = if hetero {
+            WanConfig::heterogeneous(procs)
+        } else {
+            WanConfig::homogeneous(procs)
+        };
+        let topo = gen::random_switched_wan(&cfg, &mut rng);
+        // Mask a pseudo-random subset of links (possibly disconnecting
+        // the view — NoRoute results must then match on both sides).
+        let masked = topo.masked(|l| (mask_seed >> (l.index() % 61)) & 1 == 1);
+
+        let opt = drive(&topo, &masked, &reqs, Tuning::optimized());
+        let refr = drive(&topo, &masked, &reqs, Tuning::reference());
+
+        for link in topo.link_ids() {
+            let (a, b) = (opt.queue(link), refr.queue(link));
+            prop_assert_eq!(a.len(), b.len(), "queue length on link {}", link.index());
+            for (x, y) in a.slots().iter().zip(b.slots()) {
+                prop_assert_eq!(x.comm, y.comm);
+                prop_assert_eq!(x.seq, y.seq);
+                prop_assert_eq!(x.start.to_bits(), y.start.to_bits());
+                prop_assert_eq!(x.end.to_bits(), y.end.to_bits());
+            }
+        }
+    }
+}

@@ -67,6 +67,22 @@ pub struct OptimalPlacement {
     pub shifts: Vec<SlotShift>,
 }
 
+/// Reusable buffers for [`plan_optimal_insert_with`] /
+/// [`optimal_insert_with`]. Placement probes run once per processor
+/// candidate per hop; sharing one scratch removes the per-probe
+/// `accum`/shift allocations without changing any arithmetic.
+#[derive(Clone, Debug, Default)]
+pub struct InsertScratch {
+    accum: Vec<f64>,
+}
+
+impl InsertScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Plan the optimal insertion of a transfer of length `duration` with
 /// earliest feasible start `bound` into `queue`, where `dts[i]` is the
 /// longest deferrable time (Lemma 2) of the i-th occupied slot.
@@ -83,6 +99,18 @@ pub fn plan_optimal_insert(
     duration: f64,
     dts: &[f64],
 ) -> OptimalPlacement {
+    plan_optimal_insert_with(queue, bound, duration, dts, &mut InsertScratch::new())
+}
+
+/// [`plan_optimal_insert`] reusing the caller's scratch buffers; same
+/// plan, bit for bit.
+pub fn plan_optimal_insert_with(
+    queue: &SlotQueue,
+    bound: f64,
+    duration: f64,
+    dts: &[f64],
+    scratch: &mut InsertScratch,
+) -> OptimalPlacement {
     let slots = queue.slots();
     let n = slots.len();
     assert_eq!(dts.len(), n, "need one deferrable time per occupied slot");
@@ -90,7 +118,9 @@ pub fn plan_optimal_insert(
     debug_assert!(duration >= 0.0);
 
     // Formula (2): accumulated deferrable time, scanned tail -> head.
-    let mut accum = vec![0.0_f64; n];
+    scratch.accum.clear();
+    scratch.accum.resize(n, 0.0);
+    let accum = &mut scratch.accum;
     for i in (0..n).rev() {
         let room_after = if i + 1 == n {
             f64::INFINITY
@@ -175,7 +205,29 @@ pub fn optimal_insert(
     duration: f64,
     dts: &[f64],
 ) -> OptimalPlacement {
-    let plan = plan_optimal_insert(queue, bound, duration, dts);
+    optimal_insert_with(
+        queue,
+        comm,
+        seq,
+        bound,
+        duration,
+        dts,
+        &mut InsertScratch::new(),
+    )
+}
+
+/// [`optimal_insert`] reusing the caller's scratch buffers; same
+/// placement and queue mutation, bit for bit.
+pub fn optimal_insert_with(
+    queue: &mut SlotQueue,
+    comm: CommId,
+    seq: u32,
+    bound: f64,
+    duration: f64,
+    dts: &[f64],
+    scratch: &mut InsertScratch,
+) -> OptimalPlacement {
+    let plan = plan_optimal_insert_with(queue, bound, duration, dts, scratch);
     // Apply shifts from the tail of the affected range backwards so the
     // queue never transiently overlaps.
     for (offset, shift) in plan.shifts.iter().enumerate().rev() {

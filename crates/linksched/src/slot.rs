@@ -9,6 +9,7 @@
 
 use crate::time::{approx_ge, approx_le, EPS};
 use crate::CommId;
+use std::cell::{Cell, RefCell};
 
 /// One occupied time slot `TS` on a link.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,16 +27,111 @@ pub struct Slot {
     pub end: f64,
 }
 
+/// Acceleration structure for [`SlotQueue::probe`], maintained by a
+/// watermark: mutations are O(1) (they only lower the watermark to the
+/// first changed position) and the index repairs itself incrementally
+/// the next time an indexed probe runs, recomputing just the suffix
+/// past the watermark. Bursts of mutations between probes therefore
+/// coalesce into a single repair, and probe-free phases pay nothing.
+///
+/// `prefix_max_end[i]` is the *leftmost* maximum of `slots[0..=i].end`
+/// (ties keep the earlier slot's bits, matching the first-fit fold's
+/// `>` replacement rule). A probe with lower bound `b` skips every
+/// leading slot whose prefix-max end is below `b - EPS`: such a slot
+/// can neither satisfy the fit test (its start is below the candidate,
+/// which never drops below `b`) nor raise the candidate. The remaining
+/// walk is the reference loop verbatim, so the result is bitwise
+/// identical to [`SlotQueue::probe_reference`] (see DESIGN.md §10).
+/// Interior mutability keeps `probe` callable through `&self`.
+#[derive(Clone, Debug, Default)]
+struct GapIndex {
+    /// Entries `[0..watermark)` of `prefix_max_end` are valid.
+    watermark: Cell<usize>,
+    prefix_max_end: RefCell<Vec<f64>>,
+}
+
+impl GapIndex {
+    /// Recompute `prefix_max_end` from the watermark to the tail.
+    fn repair(&self, slots: &[Slot]) {
+        let n = slots.len();
+        let from = self.watermark.get().min(n);
+        let mut pme = self.prefix_max_end.borrow_mut();
+        // Always trim to length: after removals the tail past `n` is
+        // stale and must not participate in the binary search.
+        pme.resize(n, 0.0);
+        if from == n {
+            self.watermark.set(n);
+            return;
+        }
+        let mut run = if from > 0 {
+            pme[from - 1]
+        } else {
+            f64::NEG_INFINITY
+        };
+        for i in from..n {
+            if slots[i].end > run {
+                run = slots[i].end;
+            }
+            pme[i] = run;
+        }
+        self.watermark.set(n);
+    }
+}
+
+/// Queues shorter than this answer probes by the reference scan even
+/// when indexed: a first-fit walk over a handful of slots is cheaper
+/// than a repair plus binary search. The watermark stays maintained
+/// either way, so the threshold is a pure dispatch decision per probe.
+const MIN_INDEXED_LEN: usize = 8;
+
 /// Sorted, non-overlapping queue of occupied slots on one link.
 #[derive(Clone, Debug, Default)]
 pub struct SlotQueue {
     slots: Vec<Slot>,
+    /// `Some` enables the indexed probe fast path; `None` keeps the
+    /// reference first-fit scan. Both produce bitwise-identical probes.
+    index: Option<GapIndex>,
 }
 
 impl SlotQueue {
-    /// New empty queue.
+    /// New empty queue using the reference (naive) probe scan.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New empty queue with the indexed probe fast path enabled.
+    pub fn with_gap_index() -> Self {
+        Self {
+            slots: Vec::new(),
+            index: Some(GapIndex::default()),
+        }
+    }
+
+    /// [`SlotQueue::new`] or [`SlotQueue::with_gap_index`] by flag.
+    pub fn indexed(enable: bool) -> Self {
+        if enable {
+            Self::with_gap_index()
+        } else {
+            Self::new()
+        }
+    }
+
+    /// Whether the indexed probe fast path is enabled.
+    #[inline]
+    pub fn has_gap_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// Lower the index watermark to `idx` — the first position whose
+    /// slot (or predecessor set) changed. O(1); the index repairs the
+    /// suffix lazily at the next indexed probe.
+    #[inline]
+    fn index_update_from(&mut self, idx: usize) {
+        if let Some(ix) = &self.index {
+            if idx < ix.watermark.get() {
+                ix.watermark.set(idx);
+            }
+        }
     }
 
     /// Number of occupied slots.
@@ -61,10 +157,48 @@ impl SlotQueue {
     ///
     /// First-fit scan over the gaps between occupied slots; always
     /// succeeds because the horizon past the last slot is free.
+    ///
+    /// Queues built with [`SlotQueue::with_gap_index`] answer through
+    /// the indexed fast path; the result is bitwise identical to
+    /// [`SlotQueue::probe_reference`] either way.
     pub fn probe(&self, bound: f64, duration: f64) -> f64 {
+        match &self.index {
+            Some(ix) if self.slots.len() >= MIN_INDEXED_LEN => {
+                self.probe_indexed(ix, bound, duration)
+            }
+            _ => self.probe_reference(bound, duration),
+        }
+    }
+
+    /// The pre-optimization first-fit probe, kept verbatim as the
+    /// differential-testing reference for the indexed fast path.
+    pub fn probe_reference(&self, bound: f64, duration: f64) -> f64 {
         debug_assert!(duration >= 0.0);
         let mut candidate = bound;
         for s in &self.slots {
+            if approx_le(candidate + duration, s.start) {
+                return candidate;
+            }
+            if s.end > candidate {
+                candidate = s.end;
+            }
+        }
+        candidate
+    }
+
+    /// Indexed probe: binary-search past the prefix that cannot affect
+    /// the scan, then run the reference loop on the rest.
+    fn probe_indexed(&self, ix: &GapIndex, bound: f64, duration: f64) -> f64 {
+        debug_assert!(duration >= 0.0);
+        ix.repair(&self.slots);
+        let pme = ix.prefix_max_end.borrow();
+        // Slots before i0 all end below bound - EPS: they can neither
+        // satisfy the fit test (their start is below the candidate)
+        // nor raise the candidate above `bound`. prefix_max_end is
+        // non-decreasing, so the predicate is partitioned.
+        let i0 = pme.partition_point(|&e| e < bound - EPS);
+        let mut candidate = bound;
+        for s in &self.slots[i0..] {
             if approx_le(candidate + duration, s.start) {
                 return candidate;
             }
@@ -114,6 +248,7 @@ impl SlotQueue {
                 end,
             },
         );
+        self.index_update_from(idx);
     }
 
     /// Remove every slot belonging to `comm`; returns how many were
@@ -121,8 +256,30 @@ impl SlotQueue {
     /// processor scan.
     pub fn remove_comm(&mut self, comm: CommId) -> usize {
         let before = self.slots.len();
+        let first = self.slots.iter().position(|s| s.comm == comm);
         self.slots.retain(|s| s.comm != comm);
+        if let Some(idx) = first {
+            self.index_update_from(idx);
+        }
         before - self.slots.len()
+    }
+
+    /// Remove the single slot `(comm, seq)` whose recorded start is
+    /// `start` (within EPS). Returns whether it was found; callers fall
+    /// back to [`SlotQueue::remove_comm`] on a miss. The binary search
+    /// makes unscheduling O(log n + tail) instead of a full scan — the
+    /// resulting queue is identical either way.
+    pub fn remove_slot_at(&mut self, comm: CommId, seq: u32, start: f64) -> bool {
+        let mut i = self.slots.partition_point(|s| s.start < start - EPS);
+        while i < self.slots.len() && self.slots[i].start <= start + EPS {
+            if self.slots[i].comm == comm && self.slots[i].seq == seq {
+                self.slots.remove(i);
+                self.index_update_from(i);
+                return true;
+            }
+            i += 1;
+        }
+        false
     }
 
     /// The slot (and its index) occupied by `(comm, seq)`, if present.
@@ -141,12 +298,14 @@ impl SlotQueue {
         debug_assert!(delta >= -EPS, "shift must be rightward, got {delta}");
         self.slots[idx].start += delta;
         self.slots[idx].end += delta;
+        self.index_update_from(idx);
     }
 
     /// Insert a pre-validated slot at position `idx` (optimal
     /// insertion's commit path, which has already established order).
     pub(crate) fn insert_at(&mut self, idx: usize, slot: Slot) {
         self.slots.insert(idx, slot);
+        self.index_update_from(idx);
     }
 
     /// Total busy time on the link (sum of slot lengths).
@@ -177,6 +336,27 @@ impl SlotQueue {
                     "slot {} has negative length [{}, {})",
                     s.comm, s.start, s.end
                 ));
+            }
+        }
+        if let Some(ix) = &self.index {
+            // Entries below the watermark must equal the fold exactly;
+            // entries past it are allowed to be stale by construction.
+            let valid = ix.watermark.get().min(self.slots.len());
+            let pme = ix.prefix_max_end.borrow();
+            if pme.len() < valid {
+                return Err(format!(
+                    "gap index shorter than its watermark: {} < {valid}",
+                    pme.len()
+                ));
+            }
+            let mut run = f64::NEG_INFINITY;
+            for (i, s) in self.slots.iter().take(valid).enumerate() {
+                if s.end > run {
+                    run = s.end;
+                }
+                if pme[i].to_bits() != run.to_bits() {
+                    return Err(format!("gap index stale at {i}: {} vs fold {run}", pme[i]));
+                }
             }
         }
         Ok(())
@@ -294,6 +474,101 @@ mod tests {
         q.commit(c(2), 0, 5.0, 0.5);
         assert_eq!(q.busy_time(), 2.5);
         assert_eq!(q.horizon(), 5.5);
+    }
+
+    #[test]
+    fn indexed_probe_matches_reference_bitwise_under_mutation() {
+        let mut naive = SlotQueue::new();
+        let mut fast = SlotQueue::with_gap_index();
+        assert!(fast.has_gap_index() && !naive.has_gap_index());
+        let mut x: u64 = 0xDEAD_BEEF;
+        let step = |x: &mut u64| {
+            *x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x
+        };
+        for i in 0..300u64 {
+            let r = step(&mut x);
+            let bound = (r >> 33) as f64 % 80.0;
+            let duration = 0.1 + ((r >> 11) % 60) as f64 / 10.0;
+            // Probe repeatedly with shifted bounds and cross-check
+            // bitwise — repeats push the indexed queue past its
+            // probe-count threshold so the fast path (not just the
+            // reference bypass) is exercised once the queue is long
+            // enough, and the reference-mode probe of the *same* queue
+            // rules out state drift.
+            for (k, b0) in [bound, bound / 2.0, 0.0, bound + 1.0]
+                .into_iter()
+                .enumerate()
+            {
+                let a = naive.probe(b0, duration);
+                let b = fast.probe(b0, duration);
+                assert_eq!(a.to_bits(), b.to_bits(), "step {i}.{k}: {a} vs {b}");
+                assert_eq!(a.to_bits(), fast.probe_reference(b0, duration).to_bits());
+            }
+            // Mostly insert, sometimes remove a random comm.
+            if r % 4 == 0 {
+                naive.remove_comm(c(r % 40));
+                fast.remove_comm(c(r % 40));
+            } else {
+                let start = naive.probe(bound, duration);
+                naive.commit(c(i % 40), (i / 40) as u32, start, duration);
+                fast.commit(c(i % 40), (i / 40) as u32, start, duration);
+            }
+            naive.check_invariants().unwrap();
+            fast.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn indexed_probe_edge_cases() {
+        let mut q = SlotQueue::with_gap_index();
+        assert_eq!(q.probe(3.0, 2.0), 3.0, "empty queue returns bound");
+        q.commit(c(1), 0, 0.0, 2.0);
+        q.commit(c(2), 0, 5.0, 2.0);
+        // Same cases as the reference probe tests.
+        assert_eq!(q.probe(0.0, 3.0), 2.0);
+        assert_eq!(q.probe(0.0, 4.0), 7.0);
+        assert_eq!(q.probe(3.0, 2.0), 3.0);
+        assert_eq!(q.probe(3.0, 2.5), 7.0);
+        assert_eq!(q.probe(6.0, 1.0), 7.0, "bound inside last slot");
+        // Clone keeps the index mode and stays consistent.
+        let mut q2 = q.clone();
+        assert!(q2.has_gap_index());
+        q2.commit(c(3), 0, 9.0, 1.0);
+        assert_eq!(
+            q2.probe(0.0, 4.0).to_bits(),
+            q2.probe_reference(0.0, 4.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn long_queue_engages_indexed_path() {
+        // Past MIN_INDEXED_LEN slots the indexed body (watermark
+        // repair + prefix skip) answers — still bitwise equal to the
+        // reference scan.
+        let mut q = SlotQueue::with_gap_index();
+        for i in 0..(MIN_INDEXED_LEN as u64 + 8) {
+            // Gaps of width 1 between slots of width 2, one wide gap.
+            let start = if i < 20 {
+                i as f64 * 3.0
+            } else {
+                i as f64 * 3.0 + 50.0
+            };
+            q.commit(c(i), 0, start, 2.0);
+        }
+        assert!(q.len() >= MIN_INDEXED_LEN);
+        for trial in 0..8u32 {
+            let bound = f64::from(trial) * 7.0;
+            for duration in [0.5, 1.0, 1.5, 2.5, 40.0, 60.0] {
+                assert_eq!(
+                    q.probe(bound, duration).to_bits(),
+                    q.probe_reference(bound, duration).to_bits(),
+                    "bound {bound} duration {duration}"
+                );
+            }
+        }
     }
 
     #[test]

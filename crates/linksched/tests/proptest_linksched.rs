@@ -260,3 +260,123 @@ proptest! {
         }
     }
 }
+
+/// Random op scripts for the indexed-vs-plain differential: each step
+/// either probes (with several bounds), probe-commits, removes a
+/// random committed communication wholesale, or removes one slot by
+/// its exact recorded start (the targeted unschedule fast path).
+fn op_script() -> impl Strategy<Value = Vec<(u8, f64, f64, u64)>> {
+    prop::collection::vec((0u8..8, 0.0f64..200.0, 0.1f64..20.0, any::<u64>()), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Differential: a gap-indexed queue and a plain queue driven
+    /// through the same mutation script answer every probe bitwise
+    /// identically and hold bitwise-identical slots throughout —
+    /// i.e. the index (watermark repair, prefix skip, targeted
+    /// removal) is unobservable except in speed.
+    #[test]
+    fn indexed_queue_matches_plain_queue_under_random_ops(ops in op_script()) {
+        let mut qp = SlotQueue::new();
+        let mut qi = SlotQueue::with_gap_index();
+        let mut committed: Vec<CommId> = Vec::new();
+        let mut next = 0u64;
+        for (k, a, b, r) in ops {
+            match k % 4 {
+                0 | 1 => {
+                    // Probe-commit at a random bound (k%4==1 probes
+                    // extra shifted bounds first, exercising repeat
+                    // reads of a repaired index).
+                    if k % 4 == 1 {
+                        for bound in [a, a / 2.0, 0.0, a + b] {
+                            prop_assert_eq!(
+                                qp.probe(bound, b).to_bits(),
+                                qi.probe(bound, b).to_bits()
+                            );
+                        }
+                    }
+                    let sp = qp.probe(a, b);
+                    let si = qi.probe(a, b);
+                    prop_assert_eq!(sp.to_bits(), si.to_bits());
+                    let c = CommId(next);
+                    next += 1;
+                    qp.commit(c, 0, sp, b);
+                    qi.commit(c, 0, si, b);
+                    committed.push(c);
+                }
+                2 => {
+                    if !committed.is_empty() {
+                        let c = committed.remove(r as usize % committed.len());
+                        qp.remove_comm(c);
+                        qi.remove_comm(c);
+                    }
+                }
+                _ => {
+                    // Targeted single-slot removal on the indexed
+                    // queue vs the reference full scan on the plain
+                    // one — the fast path SlottedState::unschedule
+                    // takes under `indexed_gaps`.
+                    if !committed.is_empty() {
+                        let c = committed.remove(r as usize % committed.len());
+                        let (_, slot) = qp.find(c, 0).expect("committed slot");
+                        qp.remove_comm(c);
+                        prop_assert!(qi.remove_slot_at(c, 0, slot.start));
+                    }
+                }
+            }
+            prop_assert!(qp.check_invariants().is_ok());
+            prop_assert!(qi.check_invariants().is_ok());
+            prop_assert_eq!(qp.len(), qi.len());
+            for (x, y) in qp.slots().iter().zip(qi.slots()) {
+                prop_assert_eq!(x.comm, y.comm);
+                prop_assert_eq!(x.seq, y.seq);
+                prop_assert_eq!(x.start.to_bits(), y.start.to_bits());
+                prop_assert_eq!(x.end.to_bits(), y.end.to_bits());
+            }
+        }
+    }
+
+    /// Differential: optimal insertion (including dts-limited cascade
+    /// shifts) plans and applies identically on indexed and plain
+    /// queues holding the same slots.
+    #[test]
+    fn indexed_optimal_insert_matches_plain_exactly((q, dts) in queue_strategy(),
+                                                    bound in 0.0f64..250.0,
+                                                    dur in 0.1f64..25.0) {
+        // Mirror the plain queue into an indexed one, slot for slot.
+        let mut qi = SlotQueue::with_gap_index();
+        for s in q.slots() {
+            qi.commit(s.comm, s.seq, s.start, s.end - s.start);
+        }
+        // Warm the index so the plan runs against a repaired state.
+        let _ = qi.probe(bound, dur);
+
+        let pp = plan_optimal_insert(&q, bound, dur, &dts);
+        let pi = plan_optimal_insert(&qi, bound, dur, &dts);
+        prop_assert_eq!(pp.index, pi.index);
+        prop_assert_eq!(pp.start.to_bits(), pi.start.to_bits());
+        prop_assert_eq!(pp.end.to_bits(), pi.end.to_bits());
+        prop_assert_eq!(pp.shifts.len(), pi.shifts.len());
+        for (x, y) in pp.shifts.iter().zip(&pi.shifts) {
+            prop_assert_eq!(x.comm, y.comm);
+            prop_assert_eq!(x.seq, y.seq);
+            prop_assert_eq!(x.delta.to_bits(), y.delta.to_bits());
+            prop_assert_eq!(x.new_start.to_bits(), y.new_start.to_bits());
+            prop_assert_eq!(x.new_end.to_bits(), y.new_end.to_bits());
+        }
+
+        let mut qp = q;
+        es_linksched::optimal::optimal_insert(&mut qp, CommId(8888), 0, bound, dur, &dts);
+        es_linksched::optimal::optimal_insert(&mut qi, CommId(8888), 0, bound, dur, &dts);
+        prop_assert!(qp.check_invariants().is_ok());
+        prop_assert!(qi.check_invariants().is_ok());
+        prop_assert_eq!(qp.len(), qi.len());
+        for (x, y) in qp.slots().iter().zip(qi.slots()) {
+            prop_assert_eq!(x.comm, y.comm);
+            prop_assert_eq!(x.start.to_bits(), y.start.to_bits());
+            prop_assert_eq!(x.end.to_bits(), y.end.to_bits());
+        }
+    }
+}

@@ -2,6 +2,15 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global allocator for [`Topology::signature`] values.
+/// Starts at 1 so 0 can mean "unsigned" (e.g. deserialized views).
+static NEXT_SIGNATURE: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_signature() -> u64 {
+    NEXT_SIGNATURE.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Identifier of a network vertex (processor or switch). Dense index.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -209,6 +218,12 @@ pub struct Topology {
     /// this is that extension point; 0 by default.
     #[serde(default)]
     hop_delay: f64,
+    /// Process-unique identity of this adjacency view (see
+    /// [`Topology::signature`]). Not serialized: deserialized
+    /// topologies carry signature 0 ("unsigned"), which caches must
+    /// treat as never-cacheable.
+    #[serde(skip)]
+    signature: u64,
 }
 
 impl Topology {
@@ -312,6 +327,24 @@ impl Topology {
         self.hop_delay
     }
 
+    /// Process-unique identity of this topology's *adjacency view*.
+    ///
+    /// Every [`TopologyBuilder::build`] and every [`Topology::masked`]
+    /// call mints a fresh nonzero signature, so two `Topology` values
+    /// with the same signature are guaranteed to expose the same
+    /// adjacency (clones share the signature of their — immutable —
+    /// original). Route caches key on this to invalidate precisely
+    /// when a scheduler switches between a topology and its masked
+    /// repair views. A signature of 0 means "unsigned" (deserialized);
+    /// caches must treat unsigned topologies as never-cacheable.
+    ///
+    /// Signatures are identity, not content: their values depend on
+    /// allocation order and must never influence scheduling decisions.
+    #[inline]
+    pub fn signature(&self) -> u64 {
+        self.signature
+    }
+
     /// A view of this topology with some links masked out: every hop
     /// using a link for which `failed` returns true is removed from the
     /// adjacency, so routing (BFS / modified Dijkstra) simply never
@@ -325,6 +358,7 @@ impl Topology {
         for hops in &mut view.adjacency {
             hops.retain(|h| !failed(h.link));
         }
+        view.signature = fresh_signature();
         view
     }
 
@@ -585,6 +619,7 @@ impl TopologyBuilder {
             links: self.links,
             adjacency,
             hop_delay: self.hop_delay,
+            signature: fresh_signature(),
         })
     }
 }
@@ -645,6 +680,29 @@ mod tests {
         for n in t.node_ids() {
             assert_eq!(same.hops_from(n), t.hops_from(n));
         }
+    }
+
+    #[test]
+    fn signatures_identify_adjacency_views() {
+        let t = two_proc_star();
+        assert_ne!(t.signature(), 0, "built topologies are signed");
+        assert_eq!(
+            t.clone().signature(),
+            t.signature(),
+            "clones share the identity of their immutable original"
+        );
+        let view = t.masked(|_| false);
+        assert_ne!(
+            view.signature(),
+            t.signature(),
+            "masked views are new identities"
+        );
+        assert_ne!(view.signature(), 0);
+        assert_ne!(
+            two_proc_star().signature(),
+            t.signature(),
+            "independent builds never collide"
+        );
     }
 
     #[test]

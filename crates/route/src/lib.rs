@@ -93,8 +93,89 @@ pub fn reachable_nodes(topo: &Topology, from: NodeId) -> Vec<bool> {
     seen
 }
 
+/// Reusable buffers for [`bfs_route_with`] / [`reachable_nodes_with`].
+///
+/// Sweep contexts (repair pre-flights, per-state BFS caches) issue many
+/// searches back to back; sharing one scratch avoids reallocating the
+/// visited/predecessor/queue buffers on every call. Results are bitwise
+/// identical to the allocating entry points.
+#[derive(Clone, Debug, Default)]
+pub struct BfsScratch {
+    seen: Vec<bool>,
+    pred: Vec<Option<Hop>>,
+    queue: VecDeque<NodeId>,
+}
+
+impl BfsScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.seen.clear();
+        self.seen.resize(n, false);
+        self.queue.clear();
+    }
+}
+
+/// [`bfs_route`] reusing the caller's scratch buffers. Bitwise
+/// identical to `bfs_route` (same traversal, same tie-breaking).
+pub fn bfs_route_with(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    scratch: &mut BfsScratch,
+) -> Option<Route> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let n = topo.node_count();
+    scratch.reset(n);
+    scratch.pred.clear();
+    scratch.pred.resize(n, None);
+    scratch.seen[from.index()] = true;
+    scratch.queue.push_back(from);
+    while let Some(u) = scratch.queue.pop_front() {
+        for &hop in topo.hops_from(u) {
+            if !scratch.seen[hop.to.index()] {
+                scratch.seen[hop.to.index()] = true;
+                scratch.pred[hop.to.index()] = Some(hop);
+                if hop.to == to {
+                    return Some(reconstruct(&scratch.pred, from, to));
+                }
+                scratch.queue.push_back(hop.to);
+            }
+        }
+    }
+    None
+}
+
+/// [`reachable_nodes`] reusing the caller's scratch buffers; the
+/// reachability flags are returned as a borrow of the scratch (valid
+/// until the next call). Bitwise identical to `reachable_nodes`.
+pub fn reachable_nodes_with<'a>(
+    topo: &Topology,
+    from: NodeId,
+    scratch: &'a mut BfsScratch,
+) -> &'a [bool] {
+    scratch.reset(topo.node_count());
+    scratch.seen[from.index()] = true;
+    scratch.queue.push_back(from);
+    while let Some(u) = scratch.queue.pop_front() {
+        for &hop in topo.hops_from(u) {
+            if !scratch.seen[hop.to.index()] {
+                scratch.seen[hop.to.index()] = true;
+                scratch.queue.push_back(hop.to);
+            }
+        }
+    }
+    &scratch.seen
+}
+
 /// Heap entry for [`dijkstra_route`]: min-ordered by key, then by
 /// insertion sequence (determinism).
+#[derive(Clone, Debug)]
 struct HeapEntry {
     key: f64,
     seq: u64,
@@ -199,6 +280,221 @@ pub fn dijkstra_route<S: Clone>(
         }
     }
     None
+}
+
+/// Reusable buffers for [`dijkstra_route_with`], hoisting the per-call
+/// allocations of [`dijkstra_route`] out of search-heavy loops (the
+/// scheduler probe cycle issues hundreds of thousands of searches).
+#[derive(Clone, Debug, Default)]
+pub struct DijkstraScratch<S> {
+    best: Vec<f64>,
+    state: Vec<Option<S>>,
+    pred: Vec<Option<Hop>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl<S: Clone> DijkstraScratch<S> {
+    /// Empty scratch; buffers grow to the topology size on first use.
+    pub fn new() -> Self {
+        Self {
+            best: Vec::new(),
+            state: Vec::new(),
+            pred: Vec::new(),
+            settled: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.best.clear();
+        self.best.resize(n, f64::INFINITY);
+        self.state.clear();
+        self.state.resize(n, None);
+        self.pred.clear();
+        self.pred.resize(n, None);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.heap.clear();
+    }
+}
+
+/// [`dijkstra_route`] over caller-owned buffers — the loop body is the
+/// same statement for statement, so the result is bitwise identical;
+/// only the allocations differ.
+pub fn dijkstra_route_with<S: Clone>(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    init: S,
+    mut relax: impl FnMut(&S, &Hop) -> S,
+    key: impl Fn(&S) -> f64,
+    scratch: &mut DijkstraScratch<S>,
+) -> Option<(Route, S)> {
+    scratch.reset(topo.node_count());
+    let mut seq = 0u64;
+
+    scratch.best[from.index()] = key(&init);
+    scratch.state[from.index()] = Some(init);
+    scratch.heap.push(HeapEntry {
+        key: scratch.best[from.index()],
+        seq,
+        node: from,
+    });
+
+    while let Some(HeapEntry {
+        node: u, key: k, ..
+    }) = scratch.heap.pop()
+    {
+        if scratch.settled[u.index()] || k > scratch.best[u.index()] + EPS {
+            continue;
+        }
+        scratch.settled[u.index()] = true;
+        if u == to {
+            let route = reconstruct(&scratch.pred, from, to);
+            let final_state = scratch.state[to.index()]
+                .clone()
+                .expect("settled node has state");
+            return Some((route, final_state));
+        }
+        let u_state = scratch.state[u.index()]
+            .clone()
+            .expect("popped node has state");
+        for &hop in topo.hops_from(u) {
+            if scratch.settled[hop.to.index()] {
+                continue;
+            }
+            let next = relax(&u_state, &hop);
+            let nk = key(&next);
+            debug_assert!(
+                nk + EPS >= k,
+                "routing metric decreased along a hop ({k} -> {nk}); Dijkstra invalid"
+            );
+            if nk < scratch.best[hop.to.index()] - EPS {
+                scratch.best[hop.to.index()] = nk;
+                scratch.state[hop.to.index()] = Some(next);
+                scratch.pred[hop.to.index()] = Some(hop);
+                seq += 1;
+                scratch.heap.push(HeapEntry {
+                    key: nk,
+                    seq,
+                    node: hop.to,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// A resumable [`dijkstra_route`]: one search frontier answering
+/// queries for *many* destinations from the same source and metric.
+///
+/// The trajectory of a Dijkstra search — which vertices settle, in
+/// which order, with which predecessor — does not depend on the
+/// destination; the destination only decides where a targeted search
+/// *stops*. This type runs that destination-independent search lazily:
+/// [`IncrementalDijkstra::route_to`] pops the frontier until the asked
+/// destination settles, then reconstructs its route. A later call for
+/// another destination resumes from where the previous one stopped
+/// instead of re-running the whole search.
+///
+/// As long as the link schedules probed by `relax` do not change
+/// between calls (callers key caches on a state epoch to guarantee
+/// this), every `route_to` answer is **bitwise identical** to a fresh
+/// `dijkstra_route` with the same arguments: same route, same state,
+/// same tie-breaking — the fresh search settles the same vertices with
+/// the same predecessors before reaching the destination.
+#[derive(Clone, Debug)]
+pub struct IncrementalDijkstra<S> {
+    from: NodeId,
+    best: Vec<f64>,
+    state: Vec<Option<S>>,
+    pred: Vec<Option<Hop>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+    seq: u64,
+}
+
+impl<S: Clone> IncrementalDijkstra<S> {
+    /// Open a search from `from` over a graph of `node_count` vertices.
+    /// `init` is the state at the source and `init_key` its key (the
+    /// caller evaluates `key(&init)` once; passing anything else breaks
+    /// the equivalence with [`dijkstra_route`]).
+    pub fn new(node_count: usize, from: NodeId, init: S, init_key: f64) -> Self {
+        let mut s = Self {
+            from,
+            best: vec![f64::INFINITY; node_count],
+            state: vec![None; node_count],
+            pred: vec![None; node_count],
+            settled: vec![false; node_count],
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
+        s.best[from.index()] = init_key;
+        s.state[from.index()] = Some(init);
+        s.heap.push(HeapEntry {
+            key: init_key,
+            seq: s.seq,
+            node: from,
+        });
+        s
+    }
+
+    /// Advance the search until `to` settles and return its route and
+    /// state; `None` when unreachable. `relax`/`key` must compute the
+    /// same metric on every call for this search (same closures probing
+    /// the same unchanged link schedules).
+    pub fn route_to(
+        &mut self,
+        topo: &Topology,
+        to: NodeId,
+        mut relax: impl FnMut(&S, &Hop) -> S,
+        key: impl Fn(&S) -> f64,
+    ) -> Option<(Route, S)> {
+        while !self.settled[to.index()] {
+            let HeapEntry {
+                node: u, key: k, ..
+            } = self.heap.pop()?;
+            if self.settled[u.index()] || k > self.best[u.index()] + EPS {
+                continue;
+            }
+            self.settled[u.index()] = true;
+            let u_state = self.state[u.index()]
+                .clone()
+                .expect("popped node has state");
+            // Unlike the targeted search we relax even the queried
+            // destination's out-hops: a fresh search for any *other*
+            // destination would have done so when this vertex popped,
+            // and relaxing never changes an already-settled vertex.
+            for &hop in topo.hops_from(u) {
+                if self.settled[hop.to.index()] {
+                    continue;
+                }
+                let next = relax(&u_state, &hop);
+                let nk = key(&next);
+                debug_assert!(
+                    nk + EPS >= k,
+                    "routing metric decreased along a hop ({k} -> {nk}); Dijkstra invalid"
+                );
+                if nk < self.best[hop.to.index()] - EPS {
+                    self.best[hop.to.index()] = nk;
+                    self.state[hop.to.index()] = Some(next);
+                    self.pred[hop.to.index()] = Some(hop);
+                    self.seq += 1;
+                    self.heap.push(HeapEntry {
+                        key: nk,
+                        seq: self.seq,
+                        node: hop.to,
+                    });
+                }
+            }
+        }
+        let route = reconstruct(&self.pred, self.from, to);
+        let state = self.state[to.index()]
+            .clone()
+            .expect("settled node has state");
+        Some((route, state))
+    }
 }
 
 /// Hop-count Dijkstra — exists so tests can cross-check BFS and the
@@ -392,6 +688,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_ones() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let t = gen::random_switched_wan(&gen::WanConfig::heterogeneous(16), &mut rng);
+        let mut scratch = BfsScratch::new();
+        for a in t.node_ids() {
+            let flags = reachable_nodes(&t, a);
+            assert_eq!(reachable_nodes_with(&t, a, &mut scratch), &flags[..]);
+            for b in t.node_ids() {
+                assert_eq!(
+                    bfs_route_with(&t, a, b, &mut scratch),
+                    bfs_route(&t, a, b),
+                    "{a} -> {b}"
+                );
+            }
+        }
+    }
+
+    /// One resumable search must answer every destination exactly as a
+    /// fresh targeted search would — including tie-breaking and the
+    /// probed state, checked bitwise against congested link schedules.
+    #[test]
+    fn incremental_dijkstra_is_bitwise_identical_to_fresh_searches() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let t = gen::random_switched_wan(&gen::WanConfig::heterogeneous(12), &mut rng);
+        // Congest a few links so the metric is nontrivial.
+        let mut queues: Vec<SlotQueue> = (0..t.link_count()).map(|_| SlotQueue::new()).collect();
+        for (i, q) in queues.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                q.commit(es_linksched::CommId(i as u64), 0, 1.5, 40.0 + i as f64);
+            }
+        }
+        let duration = 7.0;
+        let relax = |&(s, f): &(f64, f64), hop: &es_net::Hop| {
+            let bound = s.max(f - duration);
+            let start = queues[hop.link.index()].probe(bound, duration);
+            (start, (start + duration).max(f))
+        };
+        let key = |&(_, f): &(f64, f64)| f;
+
+        let src = t.node_of_proc(es_net::ProcId(0));
+        let mut inc = IncrementalDijkstra::new(t.node_count(), src, (3.0, 3.0), 3.0);
+        for p in t.proc_ids() {
+            let dst = t.node_of_proc(p);
+            let fresh = dijkstra_route(&t, src, dst, (3.0, 3.0), relax, key);
+            let resumed = inc.route_to(&t, dst, relax, key);
+            match (fresh, resumed) {
+                (None, None) => {}
+                (Some((r1, s1)), Some((r2, s2))) => {
+                    assert_eq!(r1, r2, "route to {p}");
+                    assert_eq!(s1.0.to_bits(), s2.0.to_bits(), "start to {p}");
+                    assert_eq!(s1.1.to_bits(), s2.1.to_bits(), "finish to {p}");
+                }
+                (a, b) => panic!("reachability disagrees for {p}: {a:?} vs {b:?}"),
+            }
+        }
+        // Asking again is a pure cache hit and still identical.
+        let dst = t.node_of_proc(es_net::ProcId(1));
+        let again = inc.route_to(&t, dst, relax, key).unwrap();
+        let fresh = dijkstra_route(&t, src, dst, (3.0, 3.0), relax, key).unwrap();
+        assert_eq!(again.0, fresh.0);
+        assert_eq!(again.1 .1.to_bits(), fresh.1 .1.to_bits());
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Differential-testing oracle for the hot-path optimization layer
+//! (DESIGN.md §10): every optimized path — route/probe cache, indexed
+//! gap search, scratch-buffer searches, targeted unschedule — must
+//! produce **bitwise-identical** schedules and executions to the
+//! reference implementations kept behind [`Tuning::reference`].
+//!
+//! The matrix covers all four paper presets × several workload
+//! families (the paper's random layered DAGs in both speed regimes
+//! plus structured suite kernels) × eight seeds, and checks
+//! `execute()` and `execute_with()` outputs bit for bit.
+
+use es_core::{
+    diff_executions, diff_schedules, execute, execute_with, FaultPlan, FaultSpec, ListConfig,
+    ListScheduler, Scheduler, Tuning,
+};
+use es_dag::TaskGraph;
+use es_net::Topology;
+use es_workload::suite::{Kernel, Platform};
+use es_workload::{generate, scale_to_ccr, InstanceConfig, Setting};
+
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 1009, 0x00C0_FFEE];
+
+fn presets() -> [(&'static str, ListConfig); 4] {
+    [
+        ("BA", ListConfig::ba()),
+        ("BA-static", ListConfig::ba_static()),
+        ("OIHSA", ListConfig::oihsa()),
+        ("OIHSA-probe", ListConfig::oihsa_probing()),
+    ]
+}
+
+/// One instance per workload family for a given seed: two paper
+/// settings plus three structured kernels on distinct platforms.
+fn families(seed: u64) -> Vec<(String, TaskGraph, Topology)> {
+    let mut out = Vec::new();
+    for setting in [Setting::Homogeneous, Setting::Heterogeneous] {
+        let inst = generate(&InstanceConfig::paper(setting, 8, 4.0, seed).with_tasks(36));
+        out.push((format!("paper-{setting:?}"), inst.dag, inst.topo));
+    }
+    for (k, platform, ccr) in [
+        (Kernel::ForkJoin, Platform::WanHeterogeneous, 8.0),
+        (Kernel::GaussElim, Platform::Star, 3.0),
+        (Kernel::Stencil, Platform::FatTree, 5.0),
+    ] {
+        let topo = platform.instantiate(8, seed);
+        let raw = k.instantiate(36);
+        let dag = scale_to_ccr(&raw, ccr, topo.mean_proc_speed(), topo.mean_link_speed());
+        out.push((format!("{}-{}", k.name(), platform.name()), dag, topo));
+    }
+    out
+}
+
+/// The oracle: for every preset × family × seed, the optimized tuning
+/// must reproduce the reference schedule, its `execute()` replay, and
+/// its `execute_with()` replay under a seeded soft-fault plan, all
+/// bitwise.
+#[test]
+fn optimized_paths_are_bitwise_identical_to_reference() {
+    for &seed in &SEEDS {
+        for (family, dag, topo) in families(seed) {
+            for (name, cfg) in presets() {
+                let run = |tuning: Tuning| {
+                    ListScheduler::with_config(ListConfig { tuning, ..cfg })
+                        .schedule(&dag, &topo)
+                        .unwrap_or_else(|e| panic!("{name}/{family}/seed {seed}: {e}"))
+                };
+                let opt = run(Tuning::optimized());
+                let refr = run(Tuning::reference());
+                if let Some(d) = diff_schedules(&opt, &refr) {
+                    panic!("{name}/{family}/seed {seed}: schedule diverged: {d}");
+                }
+                let eo = execute(&dag, &topo, &opt).expect("execute optimized");
+                let er = execute(&dag, &topo, &refr).expect("execute reference");
+                if let Some(d) = diff_executions(&eo, &er) {
+                    panic!("{name}/{family}/seed {seed}: execution diverged: {d}");
+                }
+                // Perturbed replay: identical schedules must stay
+                // identical under the same seeded fault plan.
+                let spec = FaultSpec::soft(0.3, refr.makespan);
+                let plan = FaultPlan::seeded(&dag, &topo, &spec, seed ^ 0xFA17);
+                let po = execute_with(&dag, &topo, &opt, &plan).expect("execute_with optimized");
+                let pr = execute_with(&dag, &topo, &refr, &plan).expect("execute_with reference");
+                if let Some(d) = diff_executions(&po.execution, &pr.execution) {
+                    panic!("{name}/{family}/seed {seed}: perturbed execution diverged: {d}");
+                }
+                for (a, b) in po.slack.iter().zip(&pr.slack) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{name}/{family}/seed {seed}: slack"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mixed tunings must also agree pairwise: cache-only and index-only
+/// each reproduce the reference schedule on their own (the two
+/// optimizations are independent, so any subset is bit-identical).
+#[test]
+fn each_optimization_is_independently_identical() {
+    let seed = SEEDS[0];
+    for (family, dag, topo) in families(seed) {
+        for (name, cfg) in presets() {
+            let run = |tuning: Tuning| {
+                ListScheduler::with_config(ListConfig { tuning, ..cfg })
+                    .schedule(&dag, &topo)
+                    .unwrap_or_else(|e| panic!("{name}/{family}: {e}"))
+            };
+            let refr = run(Tuning::reference());
+            for (label, tuning) in [
+                (
+                    "cache-only",
+                    Tuning {
+                        route_cache: true,
+                        indexed_gaps: false,
+                    },
+                ),
+                (
+                    "index-only",
+                    Tuning {
+                        route_cache: false,
+                        indexed_gaps: true,
+                    },
+                ),
+            ] {
+                let s = run(tuning);
+                if let Some(d) = diff_schedules(&s, &refr) {
+                    panic!("{name}/{family}/{label}: schedule diverged: {d}");
+                }
+            }
+        }
+    }
+}

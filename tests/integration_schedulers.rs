@@ -238,6 +238,7 @@ fn every_list_config_combination_works() {
                             edge_est,
                             switching,
                             insertion,
+                            tuning: es_core::Tuning::optimized(),
                         };
                         let s = ListScheduler::with_config(cfg)
                             .schedule(&dag, &topo)

@@ -1,0 +1,423 @@
+//! End-to-end performance harness (`cargo run -p xtask -- bench`).
+//!
+//! Runs the slotted schedulers over a sweep of paper-like instances
+//! twice — once with the reference [`Tuning`] and once with the
+//! optimized one — interleaved in a single process, and emits a
+//! machine-readable `BENCH_PR4.json` with per-case wall times,
+//! scheduling throughput, and route-cache hit rates.
+//!
+//! Correctness comes first: before any timing, every case's optimized
+//! and reference schedules are diffed bitwise (placements, routes, slot
+//! times) and their zero-fault executions likewise; `--check` turns any
+//! divergence into a non-zero exit, which is what the CI `bench-smoke`
+//! job gates on. The measured speedup is reported, never gated — CI
+//! machines are too noisy for a hard threshold; the committed
+//! BENCH_PR4.json records the measured trajectory instead
+//! (EXPERIMENTS.md, "Reading BENCH_*.json").
+
+use es_core::diff::{diff_executions, diff_schedules};
+use es_core::{
+    execute, reset_route_cache_stats, route_cache_stats, ListConfig, ListScheduler, Scheduler,
+    Tuning,
+};
+use es_workload::suite::{Kernel, Platform};
+use es_workload::{cell_seed, generate, scale_to_ccr, InstanceConfig, Setting};
+use std::time::Instant;
+
+/// One sweep point: a fully instantiated (workload, platform) pair.
+struct SweepPoint {
+    /// Workload family ("paper" for the random layered sweep, kernel
+    /// names for the structured suite).
+    family: &'static str,
+    /// Platform description.
+    platform: String,
+    procs: usize,
+    ccr: f64,
+    tasks: usize,
+    seed: u64,
+    dag: es_dag::TaskGraph,
+    topo: es_net::Topology,
+}
+
+/// One measured (scheduler, instance) case.
+struct CaseResult {
+    scheduler: &'static str,
+    family: &'static str,
+    platform: String,
+    procs: usize,
+    ccr: f64,
+    tasks: usize,
+    seed: u64,
+    reps: usize,
+    ref_ms: f64,
+    opt_ms: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    identical: bool,
+    detail: Option<String>,
+}
+
+impl CaseResult {
+    fn speedup(&self) -> f64 {
+        if self.opt_ms > 0.0 {
+            self.ref_ms / self.opt_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Task-placement decisions per second under each tuning.
+    fn decisions_per_sec(&self, ms: f64) -> f64 {
+        if ms > 0.0 {
+            (self.tasks * self.reps) as f64 / (ms / 1000.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+pub fn run(args: &[String]) -> i32 {
+    let mut fast = false;
+    let mut check = false;
+    let mut criterion = false;
+    let mut out_path = String::from("BENCH_PR4.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fast" => fast = true,
+            "--check" => check = true,
+            "--criterion" => criterion = true,
+            "--out" => {
+                i += 1;
+                if let Some(p) = args.get(i) {
+                    out_path.clone_from(p);
+                } else {
+                    eprintln!("--out requires a path");
+                    return 2;
+                }
+            }
+            other => {
+                eprintln!("unknown bench option `{other}`");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let (points, reps) = sweep(fast);
+    let configs = [
+        ListConfig::ba(),
+        ListConfig::ba_static(),
+        ListConfig::oihsa(),
+        ListConfig::oihsa_probing(),
+    ];
+
+    let mut cases: Vec<CaseResult> = Vec::new();
+    for point in &points {
+        for cfg in configs {
+            cases.push(measure(point, cfg, reps));
+        }
+    }
+
+    let all_identical = cases.iter().all(|c| c.identical);
+    let total_ref: f64 = cases.iter().map(|c| c.ref_ms).sum();
+    let total_opt: f64 = cases.iter().map(|c| c.opt_ms).sum();
+    let overall = if total_opt > 0.0 {
+        total_ref / total_opt
+    } else {
+        0.0
+    };
+    let hits: u64 = cases.iter().map(|c| c.cache_hits).sum();
+    let misses: u64 = cases.iter().map(|c| c.cache_misses).sum();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
+    let json = render_json(
+        &cases,
+        fast,
+        reps,
+        all_identical,
+        total_ref,
+        total_opt,
+        overall,
+        hit_rate,
+    );
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return 1;
+    }
+
+    for c in &cases {
+        println!(
+            "{:14} {:14} {:12} procs={:<2} ccr={:<4} tasks={:<4} ref {:8.2}ms opt {:8.2}ms x{:.2} hit-rate {:.0}% {}",
+            c.scheduler,
+            c.family,
+            c.platform,
+            c.procs,
+            c.ccr,
+            c.tasks,
+            c.ref_ms,
+            c.opt_ms,
+            c.speedup(),
+            100.0 * c.cache_hits as f64 / (c.cache_hits + c.cache_misses).max(1) as f64,
+            if c.identical { "ok" } else { "DIVERGED" },
+        );
+        if let Some(d) = &c.detail {
+            println!("    {d}");
+        }
+    }
+    println!(
+        "\ntotal: ref {total_ref:.1}ms opt {total_opt:.1}ms speedup x{overall:.2}; \
+         route-cache hit rate {:.1}%; identity {}",
+        hit_rate * 100.0,
+        if all_identical { "ok" } else { "FAILED" },
+    );
+    println!("wrote {out_path}");
+
+    if criterion {
+        println!("\nrunning criterion suite (cargo bench -p es-bench)...");
+        let status = std::process::Command::new("cargo")
+            .args(["bench", "-p", "es-bench"])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("criterion suite failed: {s}");
+                if check {
+                    return 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot spawn cargo bench: {e}");
+                if check {
+                    return 1;
+                }
+            }
+        }
+    }
+
+    if check && !all_identical {
+        eprintln!("bench --check: differential identity FAILED");
+        return 1;
+    }
+    0
+}
+
+/// The sweep grid: the paper's random layered DAGs on switched WANs
+/// plus structured kernels from the suite, spanning low and high CCR
+/// and both speed regimes. Full mode is the committed BENCH_PR4.json
+/// trajectory; fast mode is the CI smoke subset.
+fn sweep(fast: bool) -> (Vec<SweepPoint>, usize) {
+    let mut points = Vec::new();
+    let paper = |setting: Setting, procs: usize, ccr: f64, tasks: usize| {
+        let seed = cell_seed(0xBE4C_2404, setting, procs, ccr, 0);
+        let inst = generate(&InstanceConfig::paper(setting, procs, ccr, seed).with_tasks(tasks));
+        SweepPoint {
+            family: "paper",
+            platform: format!("{setting:?}"),
+            procs,
+            ccr,
+            tasks: inst.dag.task_count(),
+            seed,
+            dag: inst.dag,
+            topo: inst.topo,
+        }
+    };
+    let kernel = |k: Kernel, platform: Platform, procs: usize, ccr: f64, tasks: usize| {
+        let seed = cell_seed(0x5EED_04B1, Setting::Heterogeneous, procs, ccr, 0);
+        let topo = platform.instantiate(procs, seed);
+        let raw = k.instantiate(tasks);
+        let dag = scale_to_ccr(&raw, ccr, topo.mean_proc_speed(), topo.mean_link_speed());
+        SweepPoint {
+            family: k.name(),
+            platform: platform.name().to_string(),
+            procs,
+            ccr,
+            tasks: dag.task_count(),
+            seed,
+            dag,
+            topo,
+        }
+    };
+    if fast {
+        points.push(paper(Setting::Homogeneous, 8, 2.0, 40));
+        points.push(kernel(
+            Kernel::ForkJoin,
+            Platform::WanHeterogeneous,
+            8,
+            8.0,
+            40,
+        ));
+        (points, 1)
+    } else {
+        points.push(paper(Setting::Homogeneous, 16, 2.0, 150));
+        points.push(paper(Setting::Heterogeneous, 32, 8.0, 150));
+        points.push(kernel(
+            Kernel::ForkJoin,
+            Platform::WanHeterogeneous,
+            32,
+            8.0,
+            150,
+        ));
+        points.push(kernel(
+            Kernel::DivideConquer,
+            Platform::WanHomogeneous,
+            32,
+            8.0,
+            150,
+        ));
+        points.push(kernel(
+            Kernel::GaussElim,
+            Platform::WanHeterogeneous,
+            16,
+            5.0,
+            150,
+        ));
+        points.push(kernel(Kernel::Stencil, Platform::FatTree, 16, 5.0, 150));
+        (points, 5)
+    }
+}
+
+/// Measure one (scheduler, instance) case: identity gate first, then
+/// `reps` interleaved ref/opt timed runs.
+fn measure(point: &SweepPoint, cfg: ListConfig, reps: usize) -> CaseResult {
+    let run = |tuning: Tuning| {
+        ListScheduler::with_config(ListConfig { tuning, ..cfg }).schedule(&point.dag, &point.topo)
+    };
+
+    // Identity gate (doubles as warmup).
+    let (identical, detail) = match (run(Tuning::optimized()), run(Tuning::reference())) {
+        (Ok(opt), Ok(refr)) => {
+            if let Some(d) = diff_schedules(&opt, &refr) {
+                (false, Some(format!("schedule diverged: {d}")))
+            } else {
+                match (
+                    execute(&point.dag, &point.topo, &opt),
+                    execute(&point.dag, &point.topo, &refr),
+                ) {
+                    (Ok(eo), Ok(er)) => match diff_executions(&eo, &er) {
+                        Some(d) => (false, Some(format!("execution diverged: {d}"))),
+                        None => (true, None),
+                    },
+                    (Err(a), Err(b)) if format!("{a:?}") == format!("{b:?}") => (true, None),
+                    (a, b) => (
+                        false,
+                        Some(format!(
+                            "execution outcomes differ: {:?} vs {:?}",
+                            a.map(|e| e.makespan),
+                            b.map(|e| e.makespan)
+                        )),
+                    ),
+                }
+            }
+        }
+        (Err(a), Err(b)) if format!("{a:?}") == format!("{b:?}") => {
+            (true, Some(format!("both tunings error: {a:?}")))
+        }
+        (a, b) => (
+            false,
+            Some(format!(
+                "outcomes differ: {:?} vs {:?}",
+                a.map(|s| s.makespan),
+                b.map(|s| s.makespan)
+            )),
+        ),
+    };
+
+    // Interleaved timing: ref and opt alternate so drift hits both.
+    let mut ref_ms = 0.0;
+    let mut opt_ms = 0.0;
+    let stats_before = {
+        reset_route_cache_stats();
+        route_cache_stats()
+    };
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let _ = run(Tuning::reference());
+        ref_ms += t0.elapsed().as_secs_f64() * 1000.0;
+        let t1 = Instant::now();
+        let _ = run(Tuning::optimized());
+        opt_ms += t1.elapsed().as_secs_f64() * 1000.0;
+    }
+    let stats = route_cache_stats();
+
+    CaseResult {
+        scheduler: cfg.name,
+        family: point.family,
+        platform: point.platform.clone(),
+        procs: point.procs,
+        ccr: point.ccr,
+        tasks: point.tasks,
+        seed: point.seed,
+        reps,
+        ref_ms,
+        opt_ms,
+        cache_hits: stats.hits - stats_before.hits,
+        cache_misses: stats.misses - stats_before.misses,
+        identical,
+        detail,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    cases: &[CaseResult],
+    fast: bool,
+    reps: usize,
+    all_identical: bool,
+    total_ref: f64,
+    total_opt: f64,
+    overall: f64,
+    hit_rate: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"PR4\",\n");
+    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if fast { "fast" } else { "full" }
+    ));
+    s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str(&format!(
+        "  \"optimized_build\": {},\n",
+        !cfg!(debug_assertions)
+    ));
+    s.push_str(&format!("  \"identity_ok\": {all_identical},\n"));
+    s.push_str(&format!("  \"total_ref_ms\": {total_ref:.3},\n"));
+    s.push_str(&format!("  \"total_opt_ms\": {total_opt:.3},\n"));
+    s.push_str(&format!("  \"overall_speedup\": {overall:.4},\n"));
+    s.push_str(&format!("  \"route_cache_hit_rate\": {hit_rate:.4},\n"));
+    s.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scheduler\": \"{}\", \"family\": \"{}\", \"platform\": \"{}\", \
+             \"procs\": {}, \"ccr\": {}, \
+             \"tasks\": {}, \"seed\": {}, \"ref_ms\": {:.3}, \"opt_ms\": {:.3}, \
+             \"speedup\": {:.4}, \"decisions_per_sec_ref\": {:.1}, \
+             \"decisions_per_sec_opt\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"identical\": {}}}{}\n",
+            c.scheduler,
+            c.family,
+            c.platform,
+            c.procs,
+            c.ccr,
+            c.tasks,
+            c.seed,
+            c.ref_ms,
+            c.opt_ms,
+            c.speedup(),
+            c.decisions_per_sec(c.ref_ms),
+            c.decisions_per_sec(c.opt_ms),
+            c.cache_hits,
+            c.cache_misses,
+            c.identical,
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -16,11 +16,11 @@
 //! twice, replays under it twice, and repairs under it twice, diffing
 //! every derived time and the repaired schedule bitwise.
 
-use es_core::exec::Execution;
-use es_core::schedule::{CommPlacement, Schedule, Scheduler};
+use es_core::diff::{diff_executions, diff_schedules};
+use es_core::schedule::{Schedule, Scheduler};
 use es_core::{
-    execute, execute_with, repair, BbsaScheduler, FaultPlan, FaultSpec, IdealScheduler,
-    ListScheduler,
+    execute, execute_with, repair, BbsaScheduler, FaultPlan, FaultSpec, IdealScheduler, ListConfig,
+    ListScheduler, Tuning,
 };
 use es_workload::{generate, Instance, InstanceConfig, Setting};
 
@@ -84,10 +84,59 @@ pub fn audit() -> Vec<Divergence> {
                         }),
                     }
                 }
+                // Optimized-vs-reference tuning double-run: the hot-path
+                // optimizations (route cache, indexed gap search) must
+                // be invisible in the output, bit for bit.
+                for cfg in [
+                    ListConfig::ba(),
+                    ListConfig::ba_static(),
+                    ListConfig::oihsa(),
+                    ListConfig::oihsa_probing(),
+                ] {
+                    cases += 1;
+                    if let Some(d) = tuning_divergence(&a, cfg) {
+                        out.push(Divergence {
+                            scheduler: cfg.name,
+                            instance: describe(&config),
+                            detail: d,
+                        });
+                    }
+                }
             }
         }
     }
     out
+}
+
+/// Run one configuration with the optimized and the reference tunings
+/// on the same instance; any bitwise difference in the schedule or its
+/// execution is a cache/index soundness bug.
+fn tuning_divergence(inst: &Instance, cfg: ListConfig) -> Option<String> {
+    let run = |tuning: Tuning| {
+        ListScheduler::with_config(ListConfig { tuning, ..cfg }).schedule(&inst.dag, &inst.topo)
+    };
+    match (run(Tuning::optimized()), run(Tuning::reference())) {
+        (Ok(opt), Ok(refr)) => {
+            if let Some(d) = diff_schedules(&opt, &refr) {
+                return Some(format!("optimized vs reference tuning: {d}"));
+            }
+            if let (Ok(eo), Ok(er)) = (
+                execute(&inst.dag, &inst.topo, &opt),
+                execute(&inst.dag, &inst.topo, &refr),
+            ) {
+                if let Some(d) = diff_executions(&eo, &er) {
+                    return Some(format!("optimized vs reference execution: {d}"));
+                }
+            }
+            None
+        }
+        (Err(eo), Err(er)) if format!("{eo:?}") == format!("{er:?}") => None,
+        (ro, rr) => Some(format!(
+            "tuning outcomes differ: {:?} vs {:?}",
+            ro.map(|s| s.makespan),
+            rr.map(|s| s.makespan)
+        )),
+    }
 }
 
 /// Double-run the fault path on one schedule: zero-fault identity,
@@ -156,32 +205,6 @@ fn fault_path_divergence(inst: &Instance, s: &Schedule, seed: u64) -> Option<Str
     None
 }
 
-/// Bitwise execution diff; `None` when identical.
-fn diff_executions(a: &Execution, b: &Execution) -> Option<String> {
-    if a.makespan.to_bits() != b.makespan.to_bits() {
-        return Some(format!("makespan {} vs {}", a.makespan, b.makespan));
-    }
-    for (i, (ta, tb)) in a.tasks.iter().zip(&b.tasks).enumerate() {
-        if ta.proc != tb.proc
-            || ta.start.to_bits() != tb.start.to_bits()
-            || ta.finish.to_bits() != tb.finish.to_bits()
-        {
-            return Some(format!("derived task n{i}: {ta:?} vs {tb:?}"));
-        }
-    }
-    for (i, (ha, hb)) in a.hop_times.iter().zip(&b.hop_times).enumerate() {
-        let same = ha.len() == hb.len()
-            && ha
-                .iter()
-                .zip(hb)
-                .all(|(x, y)| x.0.to_bits() == y.0.to_bits() && x.1.to_bits() == y.1.to_bits());
-        if !same {
-            return Some(format!("derived hop times of e{i} differ"));
-        }
-    }
-    None
-}
-
 fn schedulers() -> Vec<Box<dyn Scheduler>> {
     vec![
         Box::new(ListScheduler::ba()),
@@ -226,89 +249,4 @@ fn diff_instances(a: &Instance, b: &Instance) -> Option<String> {
         return Some("topology shape differs".into());
     }
     None
-}
-
-/// Bitwise schedule diff; `None` when identical.
-pub fn diff_schedules(a: &Schedule, b: &Schedule) -> Option<String> {
-    if a.algorithm != b.algorithm {
-        return Some(format!("algorithm {:?} vs {:?}", a.algorithm, b.algorithm));
-    }
-    if a.makespan.to_bits() != b.makespan.to_bits() {
-        return Some(format!("makespan {} vs {}", a.makespan, b.makespan));
-    }
-    if a.tasks.len() != b.tasks.len() || a.comms.len() != b.comms.len() {
-        return Some("placement counts differ".into());
-    }
-    for (i, (ta, tb)) in a.tasks.iter().zip(&b.tasks).enumerate() {
-        if ta.proc != tb.proc
-            || ta.start.to_bits() != tb.start.to_bits()
-            || ta.finish.to_bits() != tb.finish.to_bits()
-        {
-            return Some(format!("task n{i}: {ta:?} vs {tb:?}"));
-        }
-    }
-    for (i, (ca, cb)) in a.comms.iter().zip(&b.comms).enumerate() {
-        if !comm_eq(ca, cb) {
-            return Some(format!("comm e{i}: {ca:?} vs {cb:?}"));
-        }
-    }
-    None
-}
-
-/// Bitwise comm-placement equality (PartialEq would use `==` on f64,
-/// which both misses -0.0/0.0 flips and is banned by lint L2).
-fn comm_eq(a: &CommPlacement, b: &CommPlacement) -> bool {
-    let bits = |x: f64| x.to_bits();
-    match (a, b) {
-        (CommPlacement::Local, CommPlacement::Local) => true,
-        (
-            CommPlacement::Slotted {
-                route: ra,
-                times: ta,
-            },
-            CommPlacement::Slotted {
-                route: rb,
-                times: tb,
-            },
-        ) => {
-            ra == rb
-                && ta.len() == tb.len()
-                && ta
-                    .iter()
-                    .zip(tb)
-                    .all(|(x, y)| bits(x.0) == bits(y.0) && bits(x.1) == bits(y.1))
-        }
-        (
-            CommPlacement::Fluid {
-                route: ra,
-                flows: fa,
-            },
-            CommPlacement::Fluid {
-                route: rb,
-                flows: fb,
-            },
-        ) => {
-            ra == rb
-                && fa.len() == fb.len()
-                && fa.iter().zip(fb).all(|(x, y)| {
-                    x.pieces.len() == y.pieces.len()
-                        && x.pieces.iter().zip(&y.pieces).all(|(p, q)| {
-                            bits(p.start) == bits(q.start)
-                                && bits(p.end) == bits(q.end)
-                                && bits(p.rate) == bits(q.rate)
-                        })
-                })
-        }
-        (
-            CommPlacement::Ideal {
-                delay: da,
-                arrival: aa,
-            },
-            CommPlacement::Ideal {
-                delay: db,
-                arrival: ab,
-            },
-        ) => bits(*da) == bits(*db) && bits(*aa) == bits(*ab),
-        _ => false,
-    }
 }

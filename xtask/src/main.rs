@@ -1,10 +1,12 @@
-//! Workspace task runner. See `analyze` module docs; usage:
+//! Workspace task runner. See `analyze` / `bench` module docs; usage:
 //!
 //! ```text
 //! cargo run -p xtask -- analyze [--determinism] [--json] [--root DIR]
+//! cargo run -p xtask --release -- bench [--fast] [--check] [--out PATH]
 //! ```
 
 mod analyze;
+mod bench;
 mod determinism;
 mod lexer;
 
@@ -13,6 +15,10 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("analyze") => {
             let code = analyze::run(&args[1..]);
+            std::process::exit(code);
+        }
+        Some("bench") => {
+            let code = bench::run(&args[1..]);
             std::process::exit(code);
         }
         Some("help" | "--help" | "-h") | None => {
@@ -26,17 +32,26 @@ fn main() {
 }
 
 const USAGE: &str = "\
-xtask — workspace static analysis (DESIGN.md §8)
+xtask — workspace static analysis (DESIGN.md §8) and perf harness (§10)
 
 USAGE:
   cargo run -p xtask -- analyze [options]
+  cargo run -p xtask --release -- bench [options]
 
-OPTIONS:
+ANALYZE OPTIONS:
   --determinism   also run each scheduler twice on seeded instances and
                   diff the full schedules (slow; runs the L1 lint's
-                  runtime counterpart)
+                  runtime counterpart), plus optimized-vs-reference
+                  tuning double-runs
   --json          emit findings as JSON lines instead of human text
   --root DIR      workspace root to analyze (default: auto-detected)
+
+BENCH OPTIONS:
+  --fast          CI smoke subset (small instances, 1 rep)
+  --check         exit non-zero if optimized vs reference schedules or
+                  executions are not bitwise identical
+  --out PATH      output file (default: BENCH_PR4.json)
+  --criterion     also run the criterion suite via `cargo bench`
 
 LINTS:
   L1  no HashMap/HashSet in scheduler/link-scheduler hot paths
