@@ -10,7 +10,7 @@
 //!   --reps N            repetitions per cell            (default 5)
 //!   --tasks N           fixed task count                (default: paper's U(40,1000))
 //!   --seed N            base seed                       (default 20060810)
-//!   --threads N         worker threads                  (default: CPUs)
+//!   --threads N         worker threads                  (default: $ES_THREADS or CPUs)
 //!   --procs A,B,C       processor counts                (default 2,4,8,16,32,64,128)
 //!   --ccrs A,B,C        CCR values                      (default: the paper's 19)
 //!   --intensities A,B   fault intensities               (default 0.2,0.5,0.8)
@@ -74,7 +74,7 @@ OPTIONS:
   --reps N            repetitions per cell            (default 5)
   --tasks N           fixed task count                (default: paper's U(40,1000))
   --seed N            base seed                       (default 20060810)
-  --threads N         worker threads                  (default: CPUs)
+  --threads N         worker threads                  (default: $ES_THREADS or CPUs)
   --procs A,B,C       processor counts                (default 2,4,8,16,32,64,128)
   --ccrs A,B,C        CCR values                      (default: the paper's 19 values)
   --setting h|het     (cell/robustness) homogeneous or heterogeneous

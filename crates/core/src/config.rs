@@ -53,6 +53,54 @@ impl EdgeOrder {
     }
 }
 
+/// How the earliest-finish processor probe fans candidate processors
+/// out over worker lanes (DESIGN.md §11). Purely a performance knob:
+/// every variant is bitwise-identical to the sequential
+/// mutate-and-rollback probe — workers probe copy-on-write overlays of
+/// the same base link state and the reducer applies the exact
+/// sequential tie-break order, so only wall-clock time changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProbeParallelism {
+    /// The pre-overlay mutate-and-rollback probe on the real link
+    /// queues (the differential reference twin).
+    Sequential,
+    /// Resolve the lane count from the environment once per scheduler
+    /// run ([`es_runner::Threads::resolve`]: `ES_THREADS` override,
+    /// else the CPU count). Resolving to 1 lane keeps the sequential
+    /// path — on a single-core host `Auto` is exactly `Sequential`.
+    Auto,
+    /// Exactly `n` lanes (clamped to ≥ 1). Unlike `Auto`, one lane
+    /// still takes the overlay path (inline, no worker threads) — the
+    /// differential oracle uses this to pin overlay semantics without
+    /// scheduling nondeterminism in the mix.
+    Workers(usize),
+}
+
+impl ProbeParallelism {
+    /// Lane count this variant resolves to right now (≥ 1).
+    /// `Sequential` reports 1; only [`ProbeParallelism::Workers`]
+    /// forces the overlay path at 1 lane.
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        match self {
+            ProbeParallelism::Sequential => 1,
+            ProbeParallelism::Auto => es_runner::Threads::resolve().get(),
+            ProbeParallelism::Workers(n) => n.max(1),
+        }
+    }
+
+    /// Whether this variant takes the overlay probing path at all
+    /// (given its resolved lane count).
+    #[must_use]
+    pub fn uses_overlay(self) -> bool {
+        match self {
+            ProbeParallelism::Sequential => false,
+            ProbeParallelism::Auto => self.lanes() > 1,
+            ProbeParallelism::Workers(_) => true,
+        }
+    }
+}
+
 /// Hot-path performance toggles (independent of the algorithmic axes
 /// above). Every combination must produce bitwise-identical schedules;
 /// the differential oracle in `tests/integration_differential.rs` and
@@ -70,6 +118,9 @@ pub struct Tuning {
     /// ([`es_linksched::SlotQueue::indexed`]) instead of the linear
     /// first-fit rescan.
     pub indexed_gaps: bool,
+    /// Fan the earliest-finish processor probe out over copy-on-write
+    /// link-state overlays (see [`ProbeParallelism`]).
+    pub parallel_probe: ProbeParallelism,
 }
 
 impl Tuning {
@@ -79,6 +130,7 @@ impl Tuning {
         Self {
             route_cache: true,
             indexed_gaps: true,
+            parallel_probe: ProbeParallelism::Auto,
         }
     }
 
@@ -89,6 +141,7 @@ impl Tuning {
         Self {
             route_cache: false,
             indexed_gaps: false,
+            parallel_probe: ProbeParallelism::Sequential,
         }
     }
 }
@@ -337,6 +390,22 @@ mod tests {
         assert_eq!(ListConfig::ba().tuning, expect);
         assert_eq!(ListConfig::oihsa_probing().tuning, expect);
         assert_ne!(Tuning::optimized(), Tuning::reference());
+    }
+
+    #[test]
+    fn probe_parallelism_lane_resolution() {
+        assert_eq!(ProbeParallelism::Sequential.lanes(), 1);
+        assert!(!ProbeParallelism::Sequential.uses_overlay());
+        assert_eq!(ProbeParallelism::Workers(0).lanes(), 1);
+        assert_eq!(ProbeParallelism::Workers(4).lanes(), 4);
+        // Workers forces the overlay path even at one lane, so the
+        // differential oracle can pin overlay semantics thread-free.
+        assert!(ProbeParallelism::Workers(1).uses_overlay());
+        assert!(ProbeParallelism::Auto.lanes() >= 1);
+        assert_eq!(
+            ProbeParallelism::Auto.uses_overlay(),
+            ProbeParallelism::Auto.lanes() > 1
+        );
     }
 
     #[test]

@@ -65,7 +65,8 @@ pub mod validate;
 
 pub use bbsa::BbsaScheduler;
 pub use config::{
-    EdgeEst, EdgeOrder, Insertion, ListConfig, ProcSelection, Routing, Switching, Tuning,
+    EdgeEst, EdgeOrder, Insertion, ListConfig, ProbeParallelism, ProcSelection, Routing, Switching,
+    Tuning,
 };
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use diff::{comm_eq, diff_executions, diff_schedules};

@@ -19,11 +19,13 @@
 use crate::config::{Insertion, ListConfig, ProcSelection};
 use crate::procsched::ProcState;
 use crate::schedule::{CommPlacement, SchedError, Schedule, Scheduler, TaskPlacement};
-use crate::slotted::SlottedState;
+use crate::slotted::{OverlayState, ProbeWorkspace, SlottedState};
 use es_dag::{priority_list, EdgeId, TaskGraph, TaskId};
 use es_linksched::time::EPS;
 use es_linksched::CommId;
 use es_net::{ProcId, Topology};
+use es_runner::WorkerPool;
+use std::sync::Mutex;
 
 /// Configurable slotted list scheduler. See the module docs; use
 /// [`ListScheduler::ba`] / [`ListScheduler::oihsa`] for the paper's
@@ -85,6 +87,21 @@ impl Scheduler for ListScheduler {
     }
 }
 
+/// One remote-or-local in-edge of the task being probed, precomputed
+/// once per task — every field is candidate-independent, so all worker
+/// lanes probe from the same immutable list.
+#[derive(Clone, Copy, Debug)]
+struct ProbeEdge {
+    comm: CommId,
+    /// Earliest start on the links (ready time or source finish, per
+    /// [`crate::config::EdgeEst`]).
+    est: f64,
+    cost: f64,
+    src_proc: ProcId,
+    /// Arrival when the candidate equals `src_proc` (local edge).
+    src_finish: f64,
+}
+
 /// One scheduling run's working state.
 struct Run<'a> {
     cfg: &'a ListConfig,
@@ -100,6 +117,19 @@ struct Run<'a> {
     edge_costs: Vec<f64>,
     edge_idx: Vec<usize>,
     ordered_edges: Vec<EdgeId>,
+    /// Speculative-probe machinery (DESIGN.md §11), built only when
+    /// [`crate::config::ProbeParallelism`] selects the overlay path for
+    /// an earliest-finish-probe scheduler. The pool persists across all
+    /// tasks of the run; each lane owns one [`ProbeWorkspace`].
+    probe_pool: Option<WorkerPool>,
+    probe_lanes: Vec<Mutex<ProbeWorkspace>>,
+    /// Reused per-task buffers for the overlay probe (clear-don't-drop).
+    probe_edges: Vec<ProbeEdge>,
+    probe_candidates: Vec<ProcId>,
+    probe_results: Vec<Mutex<Option<Result<f64, SchedError>>>>,
+    /// Names the current probe cycle so lanes invalidate their
+    /// incremental searches between tasks.
+    probe_serial: u64,
 }
 
 impl<'a> Run<'a> {
@@ -111,6 +141,17 @@ impl<'a> Run<'a> {
         if topo.proc_count() == 0 {
             return Err(SchedError::NoProcessors);
         }
+        let use_overlay = cfg.tuning.parallel_probe.uses_overlay()
+            && matches!(cfg.proc_selection, ProcSelection::EarliestFinishProbe);
+        let (probe_pool, probe_lanes) = if use_overlay {
+            let lanes = cfg.tuning.parallel_probe.lanes();
+            let workspaces = (0..lanes)
+                .map(|_| Mutex::new(ProbeWorkspace::new(topo.link_count())))
+                .collect();
+            (Some(WorkerPool::new(lanes)), workspaces)
+        } else {
+            (None, Vec::new())
+        };
         Ok(Self {
             cfg,
             dag,
@@ -122,6 +163,12 @@ impl<'a> Run<'a> {
             edge_costs: Vec::new(),
             edge_idx: Vec::new(),
             ordered_edges: Vec::new(),
+            probe_pool,
+            probe_lanes,
+            probe_edges: Vec::new(),
+            probe_candidates: Vec::new(),
+            probe_results: Vec::new(),
+            probe_serial: 0,
         })
     }
 
@@ -212,8 +259,19 @@ impl<'a> Run<'a> {
     }
 
     /// BA's processor choice: earliest task finish over all processors,
-    /// probed by tentatively scheduling the communications.
+    /// probed by tentatively scheduling the communications. Dispatches
+    /// to the speculative overlay path when configured; both paths are
+    /// bitwise identical (the differential oracle enforces it).
     fn pick_by_probe(&mut self, task: TaskId) -> Result<ProcId, SchedError> {
+        if self.probe_pool.is_some() {
+            self.pick_by_probe_overlay(task)
+        } else {
+            self.pick_by_probe_serial(task)
+        }
+    }
+
+    /// The sequential mutate-and-rollback probe (reference path).
+    fn pick_by_probe_serial(&mut self, task: TaskId) -> Result<ProcId, SchedError> {
         let weight = self.dag.weight(task);
         // All candidates probe the same link state and (for
         // candidate-independent ESTs) the same search parameters, so a
@@ -230,6 +288,124 @@ impl<'a> Run<'a> {
             self.links.restore(cp);
             if best.is_none_or(|(_, bf)| finish < bf - EPS) {
                 best = Some((p, finish));
+            }
+        }
+        Ok(best.expect("at least one processor").0)
+    }
+
+    /// The speculative probe (DESIGN.md §11): every candidate processor
+    /// is probed concurrently against an immutable snapshot of the link
+    /// state through a private copy-on-write overlay, so no candidate
+    /// ever mutates shared queues. Workers only report finish-time
+    /// bits; the reducer below replays the exact sequential tie-break
+    /// (ascending processor id, strict `EPS` improvement) and the exact
+    /// sequential error semantics (first erroring candidate in
+    /// processor order wins), making the selection bitwise identical to
+    /// [`Run::pick_by_probe_serial`].
+    fn pick_by_probe_overlay(&mut self, task: TaskId) -> Result<ProcId, SchedError> {
+        let weight = self.dag.weight(task);
+        // Candidate-independent precomputation, mirrored from
+        // `schedule_in_edges` (same edge order, same ESTs).
+        let ready_time = match self.cfg.edge_est {
+            crate::config::EdgeEst::SourceFinish => None,
+            crate::config::EdgeEst::ReadyTime => Some(
+                self.dag
+                    .predecessors(task)
+                    .map(|s| self.placed[s.index()].expect("placed").finish)
+                    .fold(0.0_f64, f64::max),
+            ),
+        };
+        self.order_in_edges(task);
+        self.probe_edges.clear();
+        for k in 0..self.ordered_edges.len() {
+            let e = self.ordered_edges[k];
+            let edge = self.dag.edge(e);
+            let src = self.placed[edge.src.index()].expect("predecessors are placed first");
+            self.probe_edges.push(ProbeEdge {
+                comm: CommId(u64::from(e.0)),
+                est: ready_time.unwrap_or(src.finish),
+                cost: edge.cost,
+                src_proc: src.proc,
+                src_finish: src.finish,
+            });
+        }
+        self.probe_candidates.clear();
+        self.probe_candidates.extend(self.topo.proc_ids());
+        let n = self.probe_candidates.len();
+        if self.probe_results.len() < n {
+            self.probe_results.resize_with(n, || Mutex::new(None));
+        }
+        for slot in &self.probe_results[..n] {
+            *slot.lock().expect("probe result lock") = None;
+        }
+        self.probe_serial += 1;
+
+        // Immutable shared state for the burst; disjoint from the
+        // pool's `&mut` borrow below.
+        let snap = self.links.queue_slices();
+        let tuning = self.links.tuning();
+        let serial = self.probe_serial;
+        let topo = self.topo;
+        let procs = &self.procs;
+        let edges = &self.probe_edges;
+        let candidates = &self.probe_candidates;
+        let results = &self.probe_results;
+        let lanes_ws = &self.probe_lanes;
+        let routing = self.cfg.routing;
+        let switching = self.cfg.switching;
+        let job = move |lane: usize, idx: usize| {
+            let p = candidates[idx];
+            let mut ws = lanes_ws[lane].lock().expect("probe workspace lock");
+            ws.begin_candidate(serial);
+            let mut ov = OverlayState::new(&snap, tuning, &mut ws);
+            let mut out: Result<f64, SchedError> = Ok(0.0);
+            let mut data_ready = 0.0_f64;
+            for pe in edges {
+                let arrival = if pe.src_proc == p {
+                    pe.src_finish
+                } else {
+                    // Probes always use basic insertion, exactly like
+                    // the reversible sequential probe.
+                    match ov.schedule_comm(
+                        topo,
+                        pe.comm,
+                        pe.est,
+                        pe.cost,
+                        pe.src_proc,
+                        p,
+                        routing,
+                        switching,
+                    ) {
+                        Ok(a) => a,
+                        Err(e) => {
+                            out = Err(e);
+                            break;
+                        }
+                    }
+                };
+                data_ready = data_ready.max(arrival);
+            }
+            let out = out.map(|_| {
+                let start = procs.earliest_start(p, data_ready);
+                start + weight / topo.proc_speed(p)
+            });
+            *results[idx].lock().expect("probe result lock") = Some(out);
+        };
+        self.probe_pool
+            .as_mut()
+            .expect("overlay path requires a pool")
+            .run(n, &job);
+
+        // Deterministic reduction in ascending processor-id order.
+        let mut best: Option<(ProcId, f64)> = None;
+        for i in 0..n {
+            let finish = self.probe_results[i]
+                .lock()
+                .expect("probe result lock")
+                .take()
+                .expect("worker filled every slot")?;
+            if best.is_none_or(|(_, bf)| finish < bf - EPS) {
+                best = Some((self.probe_candidates[i], finish));
             }
         }
         Ok(best.expect("at least one processor").0)

@@ -306,6 +306,11 @@ fn rebuild(
     let mut procs = ProcState::new(masked);
     let mut links = SlottedState::with_tuning(masked, dag.edge_count(), tuning);
     let mut placed: Vec<Option<TaskPlacement>> = vec![None; dag.task_count()];
+    // In-edge ordering scratch, hoisted out of the task loop
+    // (clear-don't-drop; the analyze pass's L4 lint bans per-task
+    // allocations in this loop).
+    let mut edge_costs: Vec<f64> = Vec::new();
+    let mut edge_idx: Vec<usize> = Vec::new();
 
     for &task in &priority_list(dag, Priority::BottomLevel) {
         let proc = match pinned[task.index()] {
@@ -320,10 +325,12 @@ fn rebuild(
             .map(|s| placed[s.index()].expect("predecessors placed first").finish)
             .fold(0.0_f64, f64::max);
         let in_edges = dag.in_edges(task);
-        let costs: Vec<f64> = in_edges.iter().map(|&e| dag.cost(e)).collect();
+        edge_costs.clear();
+        edge_costs.extend(in_edges.iter().map(|&e| dag.cost(e)));
+        EdgeOrder::CostDesc.order_into(&edge_costs, &mut edge_idx);
         let mut data_ready = 0.0_f64;
-        for i in EdgeOrder::CostDesc.order(&costs) {
-            let e = in_edges[i];
+        for k in 0..edge_idx.len() {
+            let e = in_edges[edge_idx[k]];
             let edge = dag.edge(e);
             let src = placed[edge.src.index()].expect("predecessors placed first");
             let arrival = if src.proc == proc {

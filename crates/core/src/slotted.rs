@@ -33,7 +33,8 @@
 use crate::config::{Insertion, Routing, Switching, Tuning};
 use crate::schedule::SchedError;
 use es_linksched::optimal::{optimal_insert_with, InsertScratch};
-use es_linksched::slot::SlotQueue;
+use es_linksched::overlay::SlotQueueOverlay;
+use es_linksched::slot::{Slot, SlotQueue};
 use es_linksched::CommId;
 use es_net::{Hop, NodeId, ProcId, Topology};
 use es_route::{
@@ -217,6 +218,15 @@ impl SlottedState {
     /// The slot queue of a link (validators and tests peek at these).
     pub fn queue(&self, link: es_net::LinkId) -> &SlotQueue {
         &self.queues[link.index()]
+    }
+
+    /// Immutable per-link slot slices, indexed by `LinkId::index()` —
+    /// the shared **base** that overlay probing reads. `&[Slot]` is
+    /// plain data (`Sync`), so the snapshot crosses worker lanes even
+    /// though [`SlotQueue`]'s lazy gap index keeps the queues
+    /// themselves `!Sync`.
+    pub fn queue_slices(&self) -> Vec<&[Slot]> {
+        self.queues.iter().map(SlotQueue::slots).collect()
     }
 
     /// Recorded `(start, finish)` of `comm` on hop `seq`.
@@ -546,6 +556,262 @@ impl SlottedState {
                 .map_err(|e| format!("link L{i}: {e}"))?;
         }
         Ok(())
+    }
+}
+
+/// Identity of one memoizable overlay search. Unlike [`SearchKey`]
+/// there is no epoch or topology signature: a [`ProbeWorkspace`] lives
+/// inside a single `pick_by_probe` call (one ready task, one immutable
+/// base snapshot, one topology view) and is invalidated wholesale
+/// between tasks via [`ProbeWorkspace::begin_candidate`]'s serial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct WorkerSearchKey {
+    src: NodeId,
+    /// `est.to_bits()` — bitwise, no tolerance.
+    est: u64,
+    /// `cost.to_bits()`.
+    cost: u64,
+    switching: Switching,
+}
+
+/// Per-lane scratch for speculative overlay probing (DESIGN.md §11).
+///
+/// Each worker lane owns one workspace for the whole scheduling run;
+/// everything in it is clear-don't-drop so steady-state probing does
+/// not allocate. It holds the private per-link deltas of the candidate
+/// currently being probed plus the lane-local mirrors of the sequential
+/// path's caches: a BFS route memo, hoisted Dijkstra/BFS scratch
+/// buffers, and the incremental modified-Dijkstra searches that the
+/// route cache resumes across candidates of the same task.
+#[derive(Clone, Debug)]
+pub struct ProbeWorkspace {
+    /// Private copy-on-write deltas, indexed like the base snapshot
+    /// (`LinkId::index()`). Kept allocated across candidates.
+    deltas: Vec<Vec<Slot>>,
+    /// Links whose delta is currently non-empty.
+    touched: Vec<usize>,
+    /// Lane-local mirror of [`SlottedState::bfs_cache`] (same
+    /// signature guard); survives across tasks — minimal routes only
+    /// depend on the adjacency view.
+    bfs_cache: BTreeMap<(NodeId, NodeId), Option<Route>>,
+    bfs_cache_sig: u64,
+    bfs_scratch: BfsScratch,
+    search_scratch: DijkstraScratch<(f64, f64)>,
+    /// Lane-local incremental searches, valid for one probe cycle.
+    incr: Vec<(WorkerSearchKey, IncrementalDijkstra<(f64, f64)>)>,
+    /// The probe cycle (task) `incr` belongs to.
+    probe_serial: u64,
+}
+
+impl ProbeWorkspace {
+    /// Fresh workspace for a topology with `link_count` links.
+    #[must_use]
+    pub fn new(link_count: usize) -> Self {
+        Self {
+            deltas: vec![Vec::new(); link_count],
+            touched: Vec::new(),
+            bfs_cache: BTreeMap::new(),
+            bfs_cache_sig: 0,
+            bfs_scratch: BfsScratch::new(),
+            search_scratch: DijkstraScratch::new(),
+            incr: Vec::new(),
+            probe_serial: 0,
+        }
+    }
+
+    /// Reset for the next candidate: drop its deltas (keeping their
+    /// buffers) and, when `probe_serial` names a new probe cycle (a new
+    /// ready task), invalidate the incremental searches — they probed
+    /// a snapshot that no longer exists.
+    pub fn begin_candidate(&mut self, probe_serial: u64) {
+        for &l in &self.touched {
+            self.deltas[l].clear();
+        }
+        self.touched.clear();
+        if self.probe_serial != probe_serial {
+            self.probe_serial = probe_serial;
+            self.incr.clear();
+        }
+    }
+}
+
+/// A probe-only view of the link state: an immutable base snapshot
+/// (per-link slot slices from [`SlottedState::queue_slices`]) plus one
+/// lane's private [`ProbeWorkspace`] deltas. Supports exactly what the
+/// earliest-finish processor probe needs — basic-insertion
+/// `schedule_comm` — and answers it bitwise identically to the
+/// sequential mutate-and-rollback path by construction: overlay probes
+/// equal real-queue probes ([`SlotQueueOverlay`]'s contract) and the
+/// route searches run the very same relax/key closures.
+pub struct OverlayState<'a> {
+    base: &'a [&'a [Slot]],
+    tuning: Tuning,
+    ws: &'a mut ProbeWorkspace,
+}
+
+impl<'a> OverlayState<'a> {
+    /// Wrap a base snapshot and one lane's workspace. The workspace
+    /// must have been created for the same link count and
+    /// [`ProbeWorkspace::begin_candidate`]-reset by the caller.
+    pub fn new(base: &'a [&'a [Slot]], tuning: Tuning, ws: &'a mut ProbeWorkspace) -> Self {
+        debug_assert_eq!(base.len(), ws.deltas.len(), "snapshot/workspace link count");
+        Self { base, tuning, ws }
+    }
+
+    /// Probe-only twin of [`SlottedState::schedule_comm`] with
+    /// [`Insertion::Basic`] (the only insertion probes ever use):
+    /// routes the communication and places every hop into this lane's
+    /// private deltas, returning the arrival time at the destination.
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule_comm(
+        &mut self,
+        topo: &Topology,
+        comm: CommId,
+        est: f64,
+        cost: f64,
+        from: ProcId,
+        to: ProcId,
+        routing: Routing,
+        switching: Switching,
+    ) -> Result<f64, SchedError> {
+        debug_assert_ne!(from, to, "local communications never reach the link layer");
+        let src = topo.node_of_proc(from);
+        let dst = topo.node_of_proc(to);
+        let route = self
+            .pick_route(topo, src, dst, est, cost, routing, switching)
+            .ok_or(SchedError::NoRoute { from, to })?;
+        Ok(self.place_on_route(topo, comm, est, cost, &route, switching))
+    }
+
+    /// Overlay mirror of [`SlottedState::pick_route`] — statement for
+    /// statement, with queue probes going through the merged view.
+    #[allow(clippy::too_many_arguments)]
+    fn pick_route(
+        &mut self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        est: f64,
+        cost: f64,
+        routing: Routing,
+        switching: Switching,
+    ) -> Option<Route> {
+        match routing {
+            Routing::Bfs => {
+                let ws = &mut *self.ws;
+                let sig = topo.signature();
+                if sig == 0 || sig != ws.bfs_cache_sig {
+                    ws.bfs_cache.clear();
+                    ws.bfs_cache_sig = sig;
+                }
+                let scratch = &mut ws.bfs_scratch;
+                ws.bfs_cache
+                    .entry((src, dst))
+                    .or_insert_with(|| bfs_route_with(topo, src, dst, scratch))
+                    .clone()
+            }
+            Routing::ModifiedDijkstra => {
+                let base = self.base;
+                let ws = &mut *self.ws;
+                let deltas = &ws.deltas;
+                let delay = topo.hop_delay();
+                let relax = |&(s, f): &(f64, f64), hop: &Hop| {
+                    let int = cost / topo.link_speed(hop.link);
+                    let bound = match switching {
+                        Switching::CutThrough => (s + delay).max(f + delay - int),
+                        Switching::StoreAndForward => f + delay,
+                    };
+                    let l = hop.link.index();
+                    let start = SlotQueueOverlay::new(base[l], &deltas[l]).probe(bound, int);
+                    (start, (start + int).max(f))
+                };
+                let key = |&(_, f): &(f64, f64)| f;
+
+                // Mirror of the sequential cacheability window: a
+                // memoized search is resumable only while the link
+                // state it probed is provably unchanged. Sequentially
+                // that is `epoch == checkpoint`; here it is "no private
+                // delta yet" — each candidate's first searches probe
+                // the pristine snapshot, exactly like each sequential
+                // candidate right after `restore()`.
+                let cacheable =
+                    self.tuning.route_cache && topo.signature() != 0 && ws.touched.is_empty();
+                if cacheable {
+                    let k = WorkerSearchKey {
+                        src,
+                        est: est.to_bits(),
+                        cost: cost.to_bits(),
+                        switching,
+                    };
+                    let cache = &mut ws.incr;
+                    let entry = if let Some(i) = cache.iter().position(|(key, _)| *key == k) {
+                        ROUTE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                        &mut cache[i].1
+                    } else {
+                        ROUTE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+                        if cache.len() >= ROUTE_CACHE_CAP {
+                            cache.remove(0);
+                        }
+                        cache.push((
+                            k,
+                            IncrementalDijkstra::new(topo.node_count(), src, (est, est), est),
+                        ));
+                        &mut cache.last_mut().expect("just pushed").1
+                    };
+                    entry
+                        .route_to(topo, dst, relax, key)
+                        .map(|(route, _)| route)
+                } else if self.tuning.route_cache {
+                    dijkstra_route_with(
+                        topo,
+                        src,
+                        dst,
+                        (est, est),
+                        relax,
+                        key,
+                        &mut ws.search_scratch,
+                    )
+                    .map(|(route, _)| route)
+                } else {
+                    dijkstra_route(topo, src, dst, (est, est), relax, key).map(|(route, _)| route)
+                }
+            }
+        }
+    }
+
+    /// Overlay mirror of [`SlottedState::place_on_route`], basic
+    /// insertion only: per-hop probe against the merged view, commit
+    /// into the private delta. Returns the arrival on the last hop.
+    fn place_on_route(
+        &mut self,
+        topo: &Topology,
+        comm: CommId,
+        est: f64,
+        cost: f64,
+        route: &Route,
+        switching: Switching,
+    ) -> f64 {
+        let ws = &mut *self.ws;
+        let (mut prev_start, mut prev_finish) = (est, est);
+        for (seq, hop) in route.iter().enumerate() {
+            let int = cost / topo.link_speed(hop.link);
+            // Per-hop switch latency applies from the second hop on.
+            let delay = if seq == 0 { 0.0 } else { topo.hop_delay() };
+            let bound = match switching {
+                Switching::CutThrough => (prev_start + delay).max(prev_finish + delay - int),
+                Switching::StoreAndForward => prev_finish + delay,
+            };
+            let l = hop.link.index();
+            let delta = &mut ws.deltas[l];
+            let start = SlotQueueOverlay::new(self.base[l], delta).probe(bound, int);
+            if delta.is_empty() {
+                ws.touched.push(l);
+            }
+            SlotQueueOverlay::commit_into(self.base[l], delta, comm, seq as u32, start, int);
+            prev_start = start;
+            prev_finish = start + int;
+        }
+        prev_finish
     }
 }
 
@@ -1098,5 +1364,163 @@ mod tests {
             )
             .unwrap();
         assert_eq!(back, first);
+    }
+
+    /// Two disjoint switch paths p0 -> p1 with some traffic preloaded,
+    /// so route probes actually discriminate.
+    fn congested_pair() -> (Topology, SlottedState) {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(2.0);
+        let sa = b.add_switch();
+        let sb = b.add_switch();
+        b.add_duplex_cable(p0, sa, 1.0);
+        b.add_duplex_cable(sa, p1, 2.0);
+        b.add_duplex_cable(p0, sb, 1.0);
+        b.add_duplex_cable(sb, p1, 1.0);
+        let topo = b.build().unwrap();
+        let mut st = SlottedState::with_tuning(&topo, 32, Tuning::optimized());
+        for (i, cost) in [20.0, 7.0].into_iter().enumerate() {
+            st.schedule_comm(
+                &topo,
+                c(i as u64),
+                0.0,
+                cost,
+                ProcId(0),
+                ProcId(1),
+                Routing::ModifiedDijkstra,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        }
+        (topo, st)
+    }
+
+    /// The overlay probe must answer exactly what the sequential
+    /// schedule-then-rollback cycle answers, for every routing and
+    /// switching mode, across repeated candidates of one probe cycle.
+    #[test]
+    fn overlay_probe_matches_sequential_probe() {
+        let (topo, mut st) = congested_pair();
+        let mut ws = ProbeWorkspace::new(topo.link_count());
+        for (serial, (est, cost)) in [(1.0, 5.0), (0.0, 9.0), (2.5, 1.5)].into_iter().enumerate() {
+            for routing in [Routing::Bfs, Routing::ModifiedDijkstra] {
+                for switching in [Switching::CutThrough, Switching::StoreAndForward] {
+                    // Sequential twin: schedule, record, roll back.
+                    let cp = st.checkpoint();
+                    let mut expected = Vec::new();
+                    for _candidate in 0..3 {
+                        let a = st
+                            .schedule_comm(
+                                &topo,
+                                c(9),
+                                est,
+                                cost,
+                                ProcId(0),
+                                ProcId(1),
+                                routing,
+                                Insertion::Basic,
+                                switching,
+                            )
+                            .unwrap();
+                        expected.push(a);
+                        st.unschedule(c(9));
+                        st.restore(cp);
+                    }
+                    // Overlay probes of the same snapshot.
+                    let snap = st.queue_slices();
+                    for &e in &expected {
+                        ws.begin_candidate(serial as u64 + 1);
+                        let mut ov = OverlayState::new(&snap, st.tuning(), &mut ws);
+                        let a = ov
+                            .schedule_comm(
+                                &topo,
+                                c(9),
+                                est,
+                                cost,
+                                ProcId(0),
+                                ProcId(1),
+                                routing,
+                                switching,
+                            )
+                            .unwrap();
+                        assert_eq!(
+                            a.to_bits(),
+                            e.to_bits(),
+                            "overlay vs sequential ({routing:?}/{switching:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Within one candidate, consecutive probed communications must see
+    /// each other (delta accumulation), exactly like the sequential
+    /// path's committed-then-rolled-back placements.
+    #[test]
+    fn overlay_accumulates_deltas_like_sequential_commits() {
+        let (topo, mut st) = congested_pair();
+        let probes = [(c(8), 0.0, 6.0), (c(9), 1.0, 6.0), (c(10), 2.0, 4.0)];
+
+        let cp = st.checkpoint();
+        let mut expected = Vec::new();
+        for &(comm, est, cost) in &probes {
+            let a = st
+                .schedule_comm(
+                    &topo,
+                    comm,
+                    est,
+                    cost,
+                    ProcId(0),
+                    ProcId(1),
+                    Routing::ModifiedDijkstra,
+                    Insertion::Basic,
+                    Switching::CutThrough,
+                )
+                .unwrap();
+            expected.push(a);
+        }
+        for &(comm, _, _) in probes.iter().rev() {
+            st.unschedule(comm);
+        }
+        st.restore(cp);
+
+        let snap = st.queue_slices();
+        let mut ws = ProbeWorkspace::new(topo.link_count());
+        ws.begin_candidate(1);
+        let mut ov = OverlayState::new(&snap, st.tuning(), &mut ws);
+        for (&(comm, est, cost), &e) in probes.iter().zip(&expected) {
+            let a = ov
+                .schedule_comm(
+                    &topo,
+                    comm,
+                    est,
+                    cost,
+                    ProcId(0),
+                    ProcId(1),
+                    Routing::ModifiedDijkstra,
+                    Switching::CutThrough,
+                )
+                .unwrap();
+            assert_eq!(a.to_bits(), e.to_bits(), "delta accumulation diverged");
+        }
+        // A fresh candidate starts from the pristine snapshot again.
+        ws.begin_candidate(1);
+        let mut ov = OverlayState::new(&snap, st.tuning(), &mut ws);
+        let a = ov
+            .schedule_comm(
+                &topo,
+                c(8),
+                0.0,
+                6.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::ModifiedDijkstra,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        assert_eq!(a.to_bits(), expected[0].to_bits());
     }
 }

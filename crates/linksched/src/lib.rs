@@ -29,11 +29,13 @@
 
 pub mod bandwidth;
 pub mod optimal;
+pub mod overlay;
 pub mod slot;
 pub mod time;
 
 pub use bandwidth::{ArrivalCurve, Flow, Piece, RateProfile};
 pub use optimal::{optimal_insert, OptimalPlacement, SlotShift};
+pub use overlay::SlotQueueOverlay;
 pub use slot::{Slot, SlotQueue};
 pub use time::{approx_eq, approx_ge, approx_gt, approx_le, approx_lt, Interval, EPS};
 

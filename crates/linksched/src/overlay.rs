@@ -1,0 +1,404 @@
+//! Copy-on-write overlays over [`SlotQueue`] link state.
+//!
+//! BA-style processor probing tentatively schedules every in-edge of a
+//! ready task on *each* candidate processor. Done against the real
+//! [`SlotQueue`]s this forces mutate-and-rollback serialization; but in
+//! the Sinnen–Sousa contention model the candidates' probes are
+//! independent reads of the same base link state, so each candidate can
+//! instead work against an **overlay**: the immutable base slot slice
+//! shared by all candidates plus a small private delta holding only the
+//! slots this candidate tentatively committed. Overlays never touch the
+//! base, so any number of candidates probe concurrently and a losing
+//! candidate's work is discarded by clearing its delta — no rollback
+//! walk, no epoch churn, no gap-index invalidation.
+//!
+//! Equivalence with the real queue is **by construction**: the overlay
+//! answers probes by running [`SlotQueue::probe_reference`]'s exact
+//! first-fit fold over the merge of base and delta, and the merge
+//! yields slots in precisely the order [`SlotQueue::commit`] would have
+//! produced had the delta been committed onto the base (commit inserts
+//! at `partition_point(start < new_start - EPS)`, i.e. a later commit
+//! sorts *before* existing slots whose start is within EPS — the merge
+//! therefore prefers the delta side unless the base slot is strictly
+//! earlier). The indexed probe path is bitwise-identical to the
+//! reference fold (DESIGN.md §10), so overlay probes are bitwise-equal
+//! to probes of the mutated real queue in either tuning.
+
+use crate::slot::{Slot, SlotQueue};
+use crate::time::{approx_ge, approx_le, EPS};
+use crate::CommId;
+
+/// A read-only view of one link's schedule as seen by one probing
+/// candidate: the shared base slots plus the candidate's private delta.
+///
+/// The delta vector itself lives in the caller's per-worker workspace
+/// (clear-don't-drop across candidates); this type borrows both parts,
+/// so constructing it is free and many overlays of the same base can
+/// exist at once across threads.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotQueueOverlay<'a> {
+    base: &'a [Slot],
+    delta: &'a [Slot],
+}
+
+impl<'a> SlotQueueOverlay<'a> {
+    /// View `base` (the real queue's slots) through `delta` (this
+    /// candidate's tentative commits, maintained by
+    /// [`SlotQueueOverlay::commit_into`]).
+    pub fn new(base: &'a [Slot], delta: &'a [Slot]) -> Self {
+        Self { base, delta }
+    }
+
+    /// Total number of slots in the merged view.
+    pub fn len(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+
+    /// True when both base and delta are empty.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.delta.is_empty()
+    }
+
+    /// The merged slots in the order the real queue would hold them
+    /// after committing the delta onto the base.
+    pub fn iter_merged(&self) -> Merged<'a> {
+        Merged {
+            base: self.base,
+            delta: self.delta,
+        }
+    }
+
+    /// Earliest start `>= bound` of an idle interval of length
+    /// `duration` — [`SlotQueue::probe_reference`]'s first-fit fold
+    /// over the merged view, bitwise-equal to probing the mutated real
+    /// queue.
+    pub fn probe(&self, bound: f64, duration: f64) -> f64 {
+        debug_assert!(duration >= 0.0);
+        let mut candidate = bound;
+        for s in self.iter_merged() {
+            if approx_le(candidate + duration, s.start) {
+                return candidate;
+            }
+            if s.end > candidate {
+                candidate = s.end;
+            }
+        }
+        candidate
+    }
+
+    /// Tentatively insert a slot `[start, start + duration)` into
+    /// `delta`, exactly where [`SlotQueue::commit`] would sort it.
+    ///
+    /// An associated function rather than a method because probing
+    /// borrows many overlays immutably at once (one per route hop)
+    /// while commits need `&mut` on a single delta.
+    ///
+    /// # Panics
+    /// Panics if the new slot overlaps a merged neighbour by more than
+    /// EPS — same contract as [`SlotQueue::commit`]: only commit starts
+    /// obtained from [`SlotQueueOverlay::probe`].
+    pub fn commit_into(
+        base: &[Slot],
+        delta: &mut Vec<Slot>,
+        comm: CommId,
+        seq: u32,
+        start: f64,
+        duration: f64,
+    ) {
+        let end = start + duration;
+        let di = delta.partition_point(|s| s.start < start - EPS);
+        let bi = base.partition_point(|s| s.start < start - EPS);
+        // The merged predecessor/successor of the new slot are among
+        // these four (both lists are sorted and non-overlapping).
+        for prev in [
+            di.checked_sub(1).map(|i| &delta[i]),
+            bi.checked_sub(1).map(|i| &base[i]),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            assert!(
+                approx_le(prev.end, start),
+                "overlay slot overlap: {comm} [{start}, {end}) vs {} [{}, {})",
+                prev.comm,
+                prev.start,
+                prev.end
+            );
+        }
+        for next in [delta.get(di), base.get(bi)].into_iter().flatten() {
+            assert!(
+                approx_le(end, next.start),
+                "overlay slot overlap: {comm} [{start}, {end}) vs {} [{}, {})",
+                next.comm,
+                next.start,
+                next.end
+            );
+        }
+        delta.insert(
+            di,
+            Slot {
+                comm,
+                seq,
+                start,
+                end,
+            },
+        );
+    }
+
+    /// Replay the merged view into a fresh [`SlotQueue`] (test/debug
+    /// helper; the scheduler replays a winning delta through the real
+    /// queue's own mutation path instead).
+    pub fn to_queue(&self, indexed: bool) -> SlotQueue {
+        let mut q = SlotQueue::indexed(indexed);
+        for s in self.iter_merged() {
+            q.commit(s.comm, s.seq, s.start, s.end - s.start);
+        }
+        q
+    }
+
+    /// Merged-view invariants: sorted within EPS and non-overlapping —
+    /// the same checks [`SlotQueue::check_invariants`] applies.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev: Option<&Slot> = None;
+        for s in self.iter_merged() {
+            if !approx_ge(s.end, s.start) {
+                return Err(format!(
+                    "overlay slot {} has negative length [{}, {})",
+                    s.comm, s.start, s.end
+                ));
+            }
+            if let Some(p) = prev {
+                if !approx_le(p.end, s.start) {
+                    return Err(format!(
+                        "overlay slots overlap or are unsorted: {} [{}, {}) then {} [{}, {})",
+                        p.comm, p.start, p.end, s.comm, s.start, s.end
+                    ));
+                }
+            }
+            prev = Some(s);
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over an overlay's merged slots in real-queue order: the
+/// base slot goes first only when strictly earlier than the delta head
+/// (`b.start < d.start - EPS`); otherwise the delta slot does, because
+/// a later [`SlotQueue::commit`] sorts before existing slots whose
+/// start is within EPS of its own.
+#[derive(Clone, Debug)]
+pub struct Merged<'a> {
+    base: &'a [Slot],
+    delta: &'a [Slot],
+}
+
+impl<'a> Iterator for Merged<'a> {
+    type Item = &'a Slot;
+
+    fn next(&mut self) -> Option<&'a Slot> {
+        match (self.base.first(), self.delta.first()) {
+            (Some(b), Some(d)) => {
+                if b.start < d.start - EPS {
+                    self.base = &self.base[1..];
+                    Some(b)
+                } else {
+                    self.delta = &self.delta[1..];
+                    Some(d)
+                }
+            }
+            (Some(b), None) => {
+                self.base = &self.base[1..];
+                Some(b)
+            }
+            (None, Some(d)) => {
+                self.delta = &self.delta[1..];
+                Some(d)
+            }
+            (None, None) => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.base.len() + self.delta.len();
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u64) -> CommId {
+        CommId(n)
+    }
+
+    /// Drive the same probe→commit script through a real queue and an
+    /// overlay over a frozen base; every probe answer and the final
+    /// slot sequences must agree bitwise.
+    fn assert_script_equivalent(base_commits: &[(u64, f64, f64)], script: &[(f64, f64)]) {
+        let mut real = SlotQueue::new();
+        for &(id, start, dur) in base_commits {
+            real.commit(c(id), 0, start, dur);
+        }
+        let base: Vec<Slot> = real.slots().to_vec();
+        let mut delta: Vec<Slot> = Vec::new();
+
+        for (i, &(bound, dur)) in script.iter().enumerate() {
+            let ov = SlotQueueOverlay::new(&base, &delta);
+            let a = ov.probe(bound, dur);
+            let b = real.probe(bound, dur);
+            assert_eq!(a.to_bits(), b.to_bits(), "probe {i}: {a} vs {b}");
+            let id = c(1000 + i as u64);
+            SlotQueueOverlay::commit_into(&base, &mut delta, id, i as u32, a, dur);
+            real.commit(id, i as u32, b, dur);
+            SlotQueueOverlay::new(&base, &delta)
+                .check_invariants()
+                .unwrap();
+            real.check_invariants().unwrap();
+        }
+
+        let merged: Vec<Slot> = SlotQueueOverlay::new(&base, &delta)
+            .iter_merged()
+            .copied()
+            .collect();
+        assert_eq!(merged.len(), real.len());
+        for (m, r) in merged.iter().zip(real.slots()) {
+            assert_eq!(m.comm, r.comm);
+            assert_eq!(m.seq, r.seq);
+            assert_eq!(m.start.to_bits(), r.start.to_bits());
+            assert_eq!(m.end.to_bits(), r.end.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_base_and_delta() {
+        let ov = SlotQueueOverlay::new(&[], &[]);
+        assert!(ov.is_empty());
+        assert_eq!(ov.probe(3.0, 2.0), 3.0);
+        assert_eq!(ov.iter_merged().count(), 0);
+    }
+
+    #[test]
+    fn probe_sees_base_and_delta_together() {
+        assert_script_equivalent(
+            &[(1, 0.0, 2.0), (2, 5.0, 2.0)],
+            &[(0.0, 3.0), (0.0, 3.0), (0.0, 1.0), (2.5, 0.4)],
+        );
+    }
+
+    #[test]
+    fn delta_fills_base_gap_and_blocks_it() {
+        let mut real = SlotQueue::new();
+        real.commit(c(1), 0, 0.0, 2.0);
+        real.commit(c(2), 0, 5.0, 2.0);
+        let base: Vec<Slot> = real.slots().to_vec();
+        let mut delta = Vec::new();
+        // Fill the [2,5) gap through the overlay.
+        let ov = SlotQueueOverlay::new(&base, &delta);
+        assert_eq!(ov.probe(0.0, 3.0), 2.0);
+        SlotQueueOverlay::commit_into(&base, &mut delta, c(9), 0, 2.0, 3.0);
+        // A second probe must now skip past the delta slot to the tail.
+        let ov = SlotQueueOverlay::new(&base, &delta);
+        assert_eq!(ov.probe(0.0, 1.0), 7.0);
+        // The base itself is untouched.
+        assert_eq!(base.len(), 2);
+        assert_eq!(real.probe(0.0, 3.0), 2.0, "real queue still sees its gap");
+    }
+
+    #[test]
+    fn interleaved_probe_commit_matches_real_queue() {
+        assert_script_equivalent(
+            &[(1, 1.0, 1.5), (2, 4.0, 0.5), (3, 8.0, 2.0), (4, 13.0, 1.0)],
+            &[
+                (0.0, 1.0),
+                (0.0, 1.0),
+                (2.0, 1.2),
+                (0.0, 0.3),
+                (6.0, 1.9),
+                (0.0, 5.0),
+                (3.0, 0.1),
+            ],
+        );
+    }
+
+    #[test]
+    fn pseudo_random_scripts_match_real_queue() {
+        let mut x: u64 = 0x0E17_AB1E;
+        let mut step = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for trial in 0..40 {
+            let mut base_commits = Vec::new();
+            let mut probe_q = SlotQueue::new();
+            for i in 0..(step() % 12) {
+                let r = step();
+                let bound = (r >> 33) as f64 % 40.0;
+                let dur = 0.1 + ((r >> 11) % 50) as f64 / 10.0;
+                let start = probe_q.probe(bound, dur);
+                probe_q.commit(c(i), 0, start, dur);
+                base_commits.push((i, start, dur));
+            }
+            let mut script = Vec::new();
+            for _ in 0..=(step() % 10) {
+                let r = step();
+                script.push((
+                    (r >> 33) as f64 % 50.0,
+                    0.1 + ((r >> 11) % 40) as f64 / 10.0,
+                ));
+            }
+            // Base commits are (id, start, dur) with probe-derived
+            // starts, so re-committing them in order reproduces the
+            // queue inside the helper.
+            let commits: Vec<(u64, f64, f64)> = base_commits
+                .iter()
+                .map(|&(id, start, dur)| (id, start, dur))
+                .collect();
+            assert_script_equivalent(&commits, &script);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn to_queue_round_trips_and_validates() {
+        let mut real = SlotQueue::new();
+        real.commit(c(1), 0, 0.0, 1.0);
+        real.commit(c(2), 0, 3.0, 1.0);
+        let base: Vec<Slot> = real.slots().to_vec();
+        let mut delta = Vec::new();
+        SlotQueueOverlay::commit_into(&base, &mut delta, c(3), 0, 1.0, 1.5);
+        let ov = SlotQueueOverlay::new(&base, &delta);
+        assert_eq!(ov.len(), 3);
+        for indexed in [false, true] {
+            let q = ov.to_queue(indexed);
+            assert_eq!(q.len(), 3);
+            q.check_invariants().unwrap();
+            assert_eq!(
+                q.probe(0.0, 2.0).to_bits(),
+                ov.probe(0.0, 2.0).to_bits(),
+                "replayed queue probes like the overlay"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlay slot overlap")]
+    fn commit_into_panics_on_base_overlap() {
+        let mut real = SlotQueue::new();
+        real.commit(c(1), 0, 0.0, 3.0);
+        let base: Vec<Slot> = real.slots().to_vec();
+        let mut delta = Vec::new();
+        SlotQueueOverlay::commit_into(&base, &mut delta, c(2), 0, 2.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlay slot overlap")]
+    fn commit_into_panics_on_delta_overlap() {
+        let base: Vec<Slot> = Vec::new();
+        let mut delta = Vec::new();
+        SlotQueueOverlay::commit_into(&base, &mut delta, c(1), 0, 0.0, 3.0);
+        SlotQueueOverlay::commit_into(&base, &mut delta, c(2), 0, 2.0, 2.0);
+    }
+}

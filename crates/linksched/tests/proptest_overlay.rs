@@ -1,0 +1,90 @@
+//! Property-based equivalence of [`SlotQueueOverlay`] against direct
+//! [`SlotQueue`] mutation: the copy-on-write overlay must answer every
+//! probe bitwise identically to a really-mutated queue and, after an
+//! arbitrary probe→commit script, merge to the identical slot sequence
+//! (which is what makes the speculative parallel probe in `es-core`
+//! exact — see DESIGN.md §11).
+
+use es_linksched::overlay::SlotQueueOverlay;
+use es_linksched::slot::{Slot, SlotQueue};
+use es_linksched::CommId;
+use proptest::prelude::*;
+
+/// A base queue built from arbitrary probe/commit requests (first-fit
+/// placements never overlap, so the queue is valid by construction).
+fn base_strategy() -> impl Strategy<Value = SlotQueue> {
+    prop::collection::vec((0.0f64..150.0, 0.1f64..15.0), 0..30).prop_map(|reqs| {
+        let mut q = SlotQueue::new();
+        for (i, (bound, dur)) in reqs.into_iter().enumerate() {
+            let start = q.probe(bound, dur);
+            q.commit(CommId(i as u64), 0, start, dur);
+        }
+        q
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Drive the same random probe→commit script through a really
+    /// mutated clone and through an overlay delta: every probe answer
+    /// and the final queues must match bit for bit.
+    #[test]
+    fn overlay_script_matches_direct_mutation(
+        base in base_strategy(),
+        script in prop::collection::vec((0.0f64..250.0, 0.1f64..20.0), 0..25),
+    ) {
+        let mut real = base.clone();
+        let mut delta: Vec<Slot> = Vec::new();
+        for (k, (bound, dur)) in script.iter().copied().enumerate() {
+            let comm = CommId(1000 + k as u64);
+            let got = SlotQueueOverlay::new(base.slots(), &delta).probe(bound, dur);
+            let want = real.probe(bound, dur);
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "probe #{} diverged", k);
+            SlotQueueOverlay::commit_into(base.slots(), &mut delta, comm, k as u32, got, dur);
+            real.commit(comm, k as u32, want, dur);
+        }
+
+        let ov = SlotQueueOverlay::new(base.slots(), &delta);
+        ov.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert_eq!(ov.len(), real.len());
+        for (a, b) in ov.iter_merged().zip(real.slots()) {
+            prop_assert_eq!(a.comm, b.comm);
+            prop_assert_eq!(a.seq, b.seq);
+            prop_assert_eq!(a.start.to_bits(), b.start.to_bits());
+            prop_assert_eq!(a.end.to_bits(), b.end.to_bits());
+        }
+        // Replaying the delta into a fresh queue (either tuning)
+        // reproduces the really-mutated queue exactly.
+        for indexed in [false, true] {
+            let q = ov.to_queue(indexed);
+            q.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(q.len(), real.len());
+            for (a, b) in q.slots().iter().zip(real.slots()) {
+                prop_assert_eq!(a.comm, b.comm);
+                prop_assert_eq!(a.start.to_bits(), b.start.to_bits());
+                prop_assert_eq!(a.end.to_bits(), b.end.to_bits());
+            }
+        }
+    }
+
+    /// Probes are read-only: any number of overlays over the same base
+    /// and delta agree with each other and leave both untouched.
+    #[test]
+    fn overlay_probe_is_pure(
+        base in base_strategy(),
+        bound in 0.0f64..250.0,
+        dur in 0.1f64..20.0,
+    ) {
+        let delta: Vec<Slot> = Vec::new();
+        let before: Vec<Slot> = base.slots().to_vec();
+        let a = SlotQueueOverlay::new(base.slots(), &delta).probe(bound, dur);
+        let b = SlotQueueOverlay::new(base.slots(), &delta).probe(bound, dur);
+        prop_assert_eq!(a.to_bits(), b.to_bits());
+        prop_assert_eq!(base.slots().len(), before.len());
+        for (x, y) in base.slots().iter().zip(&before) {
+            prop_assert_eq!(x.start.to_bits(), y.start.to_bits());
+            prop_assert_eq!(x.end.to_bits(), y.end.to_bits());
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! # es-runner — shared parallel execution primitives
+//!
+//! Both the experiment harness (`es-sim`) and the scheduler core
+//! (`es-core`, for parallel speculative processor probing) need the
+//! same thing: fan independent work items out over a few threads with
+//! **no external runtime**, deterministic output order, and panics
+//! reported per item. This crate holds that machinery once:
+//!
+//! * [`parallel_map`] / [`try_parallel_map`] — scoped threads draining
+//!   a shared atomic work counter (one scope per call; right for
+//!   long-running sweeps where spawn cost is noise);
+//! * [`WorkerPool`] — a persistent pool for **short, frequent** bursts
+//!   (one probe cycle per ready task) where re-spawning threads per
+//!   call would dominate; workers park on a condvar between bursts;
+//! * [`Threads`] — the one place thread counts are resolved, honoring
+//!   the `ES_THREADS` environment override so CI and bench runs are
+//!   reproducible on any machine.
+
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A captured panic from one work item of [`try_parallel_map`] or a
+/// [`WorkerPool`] burst.
+#[derive(Clone, Debug)]
+pub struct ItemPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the overwhelmingly
+    /// common case — `panic!`/`assert!` messages); a placeholder
+    /// otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// Apply `f` to every item on up to `threads` worker threads,
+/// preserving input order in the output.
+///
+/// `f` must be `Sync` (it is shared by reference across workers) and
+/// items are handed out through a shared counter, so faster workers
+/// take more cells.
+///
+/// `threads == 0` or `1` degrades to a sequential map (useful under
+/// `cargo test` and for debugging).
+///
+/// # Panics
+/// If `f` panics on any item, re-panics **after the whole sweep has
+/// drained** with the item's index and the original message — one bad
+/// cell no longer kills the run with an anonymous scope-join panic,
+/// and the index identifies the offending parameters. Use
+/// [`try_parallel_map`] to handle failures per item instead.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_parallel_map(items, threads, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("parallel_map: {p}")))
+        .collect()
+}
+
+/// Like [`parallel_map`], but a panicking item becomes
+/// `Err(`[`ItemPanic`]`)` in its output slot instead of tearing down
+/// the sweep; all other items still complete.
+pub fn try_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, ItemPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let guarded = |idx: usize, item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| ItemPanic {
+            index: idx,
+            message: panic_message(payload.as_ref()),
+        })
+    };
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| guarded(i, item))
+            .collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<Result<R, ItemPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let next = &next;
+            let slots = &slots;
+            let guarded = &guarded;
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(idx) else { break };
+                let result = guarded(idx, item);
+                *slots[idx].lock().expect("no poisoned slot") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("no poisoned slot")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// A sensible default worker count: the number of available CPUs
+/// (minimum 1). Ignores `ES_THREADS` — use [`Threads::resolve`] when
+/// the override should apply (every sweep/bench entry point does).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// A resolved worker-thread count (always ≥ 1).
+///
+/// Thread counts used to be consulted ad hoc (`default_threads()` per
+/// sweep call); this type is the single resolution point. Resolution
+/// order: the `ES_THREADS` environment variable when set to a positive
+/// integer, else [`default_threads`]. Carry the resolved value through
+/// a run rather than re-reading the environment mid-sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Threads(usize);
+
+impl Threads {
+    /// Resolve from the environment: `ES_THREADS` (positive integer)
+    /// wins, else the available CPU count.
+    pub fn resolve() -> Self {
+        match std::env::var("ES_THREADS") {
+            Ok(s) => Self::from_override(&s),
+            Err(_) => Self::exact(default_threads()),
+        }
+    }
+
+    /// Resolution given the raw override string (empty/invalid values
+    /// fall back to the CPU count). Split out so the policy is
+    /// testable without touching process-global environment state.
+    pub fn from_override(value: &str) -> Self {
+        match value.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Self(n),
+            _ => Self::exact(default_threads()),
+        }
+    }
+
+    /// An explicit count, clamped to at least one thread.
+    pub fn exact(n: usize) -> Self {
+        Self(n.max(1))
+    }
+
+    /// The resolved count (≥ 1).
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Self::resolve()
+    }
+}
+
+/// A type-erased job pointer published to pool workers: a thin data
+/// pointer to the caller's closure plus a monomorphized call thunk.
+/// Using a thin pointer + fn pointer (rather than a raw trait object)
+/// sidesteps trait-object lifetime-bound erasure entirely.
+#[derive(Clone, Copy)]
+struct JobPtr {
+    data: *const (),
+    /// # Safety
+    /// `data` must point to a live `F` matching the thunk's type.
+    call: unsafe fn(*const (), usize, usize),
+}
+
+// SAFETY: `data` always points at an `F: Sync` borrowed by
+// `WorkerPool::run`, which does not return until every claimed item
+// has completed — so any worker dereferencing the pointer does so
+// while the closure is alive, and sharing `&F` across threads is
+// exactly what `Sync` permits.
+#[allow(unsafe_code)]
+unsafe impl Send for JobPtr {}
+
+/// Pool control state. All claim decisions happen under one mutex so a
+/// worker can never observe a job pointer from one burst and an item
+/// index from another.
+struct Ctrl {
+    job: Option<JobPtr>,
+    items: usize,
+    next: usize,
+    completed: usize,
+    shutdown: bool,
+    panic: Option<ItemPanic>,
+}
+
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    /// Signalled when a burst is published (or on shutdown).
+    work: Condvar,
+    /// Signalled when the last item of a burst completes.
+    done: Condvar,
+}
+
+/// A small persistent worker pool for short, frequent parallel bursts.
+///
+/// [`parallel_map`] spawns a thread scope per call, which is fine for
+/// sweeps measured in seconds but far too heavy for a scheduler's
+/// inner loop (one burst per ready task, each a few microseconds to a
+/// few milliseconds). `WorkerPool` spawns its threads once; between
+/// bursts workers park on a condvar.
+///
+/// A burst is `run(items, job)`: `job(lane, index)` is called exactly
+/// once for every `index < items`, distributed over `lanes()` lanes
+/// (the calling thread participates as lane 0, so a 1-lane pool runs
+/// everything inline and spawns nothing). Lane numbers let callers
+/// keep per-worker scratch state without locking contention: at most
+/// one item runs per lane at any time.
+///
+/// # Panics
+/// If `job` panics on any item, the burst still drains (so no lane is
+/// left holding a claimed item) and `run` re-panics with the item
+/// index and original message, mirroring [`parallel_map`].
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    lanes: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Create a pool with `lanes` lanes (clamped to ≥ 1). Spawns
+    /// `lanes - 1` OS threads; the caller of [`WorkerPool::run`] is
+    /// lane 0.
+    pub fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let shared = Arc::new(Shared {
+            ctrl: Mutex::new(Ctrl {
+                job: None,
+                items: 0,
+                next: 0,
+                completed: 0,
+                shutdown: false,
+                panic: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..lanes)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared, lane))
+            })
+            .collect();
+        Self {
+            shared,
+            lanes,
+            handles,
+        }
+    }
+
+    /// Number of lanes (including the caller's lane 0).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Run one burst: call `job(lane, index)` once per `index <
+    /// items`, across all lanes. Returns only after every item has
+    /// completed, so `job` may freely borrow from the caller's stack.
+    pub fn run<F: Fn(usize, usize) + Sync>(&mut self, items: usize, job: &F) {
+        if items == 0 {
+            return;
+        }
+        if self.lanes == 1 || items == 1 {
+            for idx in 0..items {
+                job(0, idx);
+            }
+            return;
+        }
+
+        /// # Safety
+        /// `data` must point at a live `F`.
+        #[allow(unsafe_code, clippy::items_after_statements)]
+        unsafe fn thunk<F: Fn(usize, usize) + Sync>(data: *const (), lane: usize, idx: usize) {
+            // SAFETY: upheld by the caller (the pool publishes `data`
+            // only between publication and completion of one burst,
+            // during which `run` keeps the closure borrowed).
+            let f = unsafe { &*data.cast::<F>() };
+            f(lane, idx);
+        }
+
+        {
+            let mut c = self.shared.ctrl.lock().expect("pool mutex");
+            debug_assert!(c.job.is_none(), "re-entrant burst");
+            c.job = Some(JobPtr {
+                data: std::ptr::from_ref(job).cast::<()>(),
+                call: thunk::<F>,
+            });
+            c.items = items;
+            c.next = 0;
+            c.completed = 0;
+            c.panic = None;
+            self.shared.work.notify_all();
+        }
+
+        // The caller participates as lane 0 until the burst's items
+        // are all claimed.
+        loop {
+            let idx = {
+                let mut c = self.shared.ctrl.lock().expect("pool mutex");
+                if c.next >= c.items {
+                    break;
+                }
+                let idx = c.next;
+                c.next += 1;
+                idx
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| job(0, idx)));
+            let mut c = self.shared.ctrl.lock().expect("pool mutex");
+            Self::finish_item(&self.shared, &mut c, idx, result);
+        }
+
+        // Wait for other lanes' in-flight items, then retire the
+        // burst. `job` stays borrowed until here, so no worker can
+        // ever dereference a dangling pointer.
+        let mut c = self.shared.ctrl.lock().expect("pool mutex");
+        while c.completed < c.items {
+            c = self.shared.done.wait(c).expect("pool mutex");
+        }
+        c.job = None;
+        let panic = c.panic.take();
+        drop(c);
+        if let Some(p) = panic {
+            panic!("worker pool: {p}");
+        }
+    }
+
+    /// Record one finished item under the control lock.
+    fn finish_item(
+        shared: &Shared,
+        c: &mut Ctrl,
+        idx: usize,
+        result: Result<(), Box<dyn std::any::Any + Send>>,
+    ) {
+        if let Err(payload) = result {
+            if c.panic.is_none() {
+                c.panic = Some(ItemPanic {
+                    index: idx,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        }
+        c.completed += 1;
+        if c.completed == c.items {
+            shared.done.notify_all();
+        }
+    }
+
+    fn worker_loop(shared: &Shared, lane: usize) {
+        let mut c = shared.ctrl.lock().expect("pool mutex");
+        loop {
+            if c.shutdown {
+                return;
+            }
+            let claim = match c.job {
+                Some(ptr) if c.next < c.items => {
+                    let idx = c.next;
+                    c.next += 1;
+                    Some((ptr, idx))
+                }
+                _ => None,
+            };
+            let Some((ptr, idx)) = claim else {
+                c = shared.work.wait(c).expect("pool mutex");
+                continue;
+            };
+            drop(c);
+            // SAFETY: `ptr` and `idx` were claimed atomically under
+            // the control lock from the same published burst, and the
+            // submitter cannot clear the job (nor return from `run`,
+            // nor drop the closure) until this item's completion is
+            // counted below — so the closure behind `ptr.data` is
+            // alive for the whole call.
+            #[allow(unsafe_code)]
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe {
+                (ptr.call)(ptr.data, lane, idx);
+            }));
+            c = shared.ctrl.lock().expect("pool mutex");
+            Self::finish_item(shared, &mut c, idx, result);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut c = self.shared.ctrl.lock().expect("pool mutex");
+            c.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let items: Vec<u64> = (0..20).collect();
+        let a = parallel_map(&items, 1, |&x| x + 1);
+        let b = parallel_map(&items, 4, |&x| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..500).collect();
+        let out = parallel_map(&items, 6, |&x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(&Vec::<u64>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still all complete.
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, 4, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * x
+        });
+        assert_eq!(out[31], 31 * 31);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn try_map_isolates_a_panicking_item() {
+        let items: Vec<u64> = (0..16).collect();
+        let out = try_parallel_map(&items, 4, |&x| {
+            assert!(x != 11, "cell x={x} exploded");
+            x * 2
+        });
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i == 11 {
+                let p = r.as_ref().expect_err("item 11 must fail");
+                assert_eq!(p.index, 11);
+                assert!(p.message.contains("x=11"), "message: {}", p.message);
+            } else {
+                assert_eq!(*r.as_ref().expect("other items succeed"), items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_repanic_names_the_item() {
+        let items: Vec<u64> = (0..8).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 2, |&x| {
+                assert!(x != 5, "boom at x={x}");
+                x
+            })
+        }))
+        .expect_err("must re-panic");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("item 5"), "message: {msg}");
+        assert!(msg.contains("boom at x=5"), "message: {msg}");
+    }
+
+    #[test]
+    fn try_map_sequential_path_also_captures() {
+        let items = vec![1u64];
+        let out = try_parallel_map(&items, 1, |_| -> u64 { panic!("lonely") });
+        assert_eq!(out[0].as_ref().expect_err("captured").index, 0);
+    }
+
+    #[test]
+    fn threads_override_parsing() {
+        assert_eq!(Threads::from_override("4").get(), 4);
+        assert_eq!(Threads::from_override(" 2 ").get(), 2);
+        // Invalid or non-positive values fall back to the CPU count.
+        assert_eq!(Threads::from_override("0").get(), default_threads());
+        assert_eq!(Threads::from_override("").get(), default_threads());
+        assert_eq!(Threads::from_override("many").get(), default_threads());
+        assert_eq!(Threads::from_override("-3").get(), default_threads());
+    }
+
+    #[test]
+    fn threads_exact_clamps_to_one() {
+        assert_eq!(Threads::exact(0).get(), 1);
+        assert_eq!(Threads::exact(7).get(), 7);
+        assert!(Threads::resolve().get() >= 1);
+    }
+
+    #[test]
+    fn pool_runs_every_item_once() {
+        let mut pool = WorkerPool::new(4);
+        for round in 0..50 {
+            let n = 1 + (round % 17);
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(n, &|_lane, idx| {
+                hits[idx].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "round {round} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_lane_ids_are_exclusive_and_in_range() {
+        let mut pool = WorkerPool::new(3);
+        assert_eq!(pool.lanes(), 3);
+        let in_lane: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(64, &|lane, _idx| {
+            assert!(lane < 3);
+            // At most one item in flight per lane at any moment.
+            assert_eq!(in_lane[lane].fetch_add(1, Ordering::SeqCst), 0);
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            in_lane[lane].fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn pool_single_lane_runs_inline() {
+        let mut pool = WorkerPool::new(1);
+        let main = std::thread::current().id();
+        let count = AtomicUsize::new(0);
+        pool.run(9, &|lane, _idx| {
+            assert_eq!(lane, 0);
+            assert_eq!(std::thread::current().id(), main);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 9);
+    }
+
+    #[test]
+    fn pool_burst_borrows_stack_data() {
+        let mut pool = WorkerPool::new(4);
+        let input: Vec<u64> = (0..40).collect();
+        let out: Vec<Mutex<u64>> = (0..40).map(|_| Mutex::new(0)).collect();
+        pool.run(input.len(), &|_lane, idx| {
+            *out[idx].lock().expect("slot") = input[idx] * 3;
+        });
+        for (i, m) in out.iter().enumerate() {
+            assert_eq!(*m.lock().expect("slot"), input[i] * 3);
+        }
+    }
+
+    #[test]
+    fn pool_drains_and_repanics_with_item_index() {
+        let mut pool = WorkerPool::new(2);
+        let done = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, &|_lane, idx| {
+                assert!(idx != 7, "probe idx={idx} exploded");
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }))
+        .expect_err("must re-panic");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("item 7"), "message: {msg}");
+        assert!(msg.contains("idx=7"), "message: {msg}");
+        // The rest of the burst still drained.
+        assert_eq!(done.load(Ordering::Relaxed), 15);
+        // And the pool is reusable afterwards.
+        let count = AtomicUsize::new(0);
+        pool.run(5, &|_lane, _idx| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn pool_shutdown_joins_workers() {
+        let pool = WorkerPool::new(4);
+        drop(pool); // must not hang
+    }
+}

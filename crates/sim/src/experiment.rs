@@ -191,7 +191,10 @@ pub struct FigureParams {
     pub procs: Vec<usize>,
     /// CCR values to sweep (default: the paper's 19 values).
     pub ccrs: Vec<f64>,
-    /// Worker threads for the cell sweep.
+    /// Worker threads for the cell sweep. The default is the one
+    /// resolved [`crate::runner::Threads`] config (`ES_THREADS`
+    /// override, else the CPU count); CLI flags may still override the
+    /// resolved value explicitly.
     pub threads: usize,
     /// Validate every schedule (slower; on by default in tests).
     pub validate: bool,
@@ -210,7 +213,7 @@ impl Default for FigureParams {
             base_seed: 20060810, // ICPP 2006
             procs: proc_counts(),
             ccrs: ccr_values(),
-            threads: crate::runner::default_threads(),
+            threads: crate::runner::Threads::resolve().get(),
             validate: false,
             strong_baseline: false,
             progress: false,

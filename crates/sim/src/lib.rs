@@ -32,5 +32,5 @@ pub use experiment::{
     FigureParams, FigureResult,
 };
 pub use robustness::{run_robustness, RobustnessCell, RobustnessSpec, ROBUSTNESS_SCHEDULERS};
-pub use runner::{parallel_map, try_parallel_map, ItemPanic};
+pub use runner::{parallel_map, try_parallel_map, ItemPanic, Threads};
 pub use stats::{improvement_percent, Summary};

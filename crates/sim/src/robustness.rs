@@ -39,7 +39,11 @@ pub struct RobustnessSpec {
     pub tasks: Option<usize>,
     /// Fault intensities to sweep, each in `[0, 1]`.
     pub intensities: Vec<f64>,
-    /// Worker threads for the sweep.
+    /// Worker threads for the sweep. Callers should seed this from the
+    /// one resolved [`crate::runner::Threads`] config (`ES_THREADS`
+    /// override, else the CPU count) rather than consulting
+    /// `default_threads()` ad hoc; the CLI inherits it through
+    /// [`crate::FigureParams::default`].
     pub threads: usize,
 }
 

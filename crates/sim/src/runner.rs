@@ -1,226 +1,9 @@
 //! Parallel execution of independent experiment cells.
 //!
-//! A full paper sweep is `19 CCRs × 7 processor counts × repetitions`
-//! independent scheduling runs — embarrassingly parallel. Rather than
-//! pull in a work-stealing runtime, we use plain std primitives:
-//! **scoped threads draining a shared atomic work counter**
-//! (`std::thread::scope` so borrows of the input live safely on the
-//! stack). Each worker claims the next item with a `fetch_add`, so
-//! faster workers take more cells — no static partitioning imbalance —
-//! and writes its result into that item's pre-allocated slot,
-//! preserving input order.
+//! The machinery itself (scoped threads draining a shared atomic work
+//! counter, per-item panic capture, thread-count resolution) lives in
+//! the shared [`es_runner`] crate since the scheduler core also fans
+//! work out (parallel speculative probing); this module re-exports it
+//! under the historical `es_sim::runner` path.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// A captured panic from one work item of [`try_parallel_map`].
-#[derive(Clone, Debug)]
-pub struct ItemPanic {
-    /// Index of the item whose closure panicked.
-    pub index: usize,
-    /// The panic payload, when it was a string (the overwhelmingly
-    /// common case — `panic!`/`assert!` messages); a placeholder
-    /// otherwise.
-    pub message: String,
-}
-
-impl std::fmt::Display for ItemPanic {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "item {} panicked: {}", self.index, self.message)
-    }
-}
-
-/// Apply `f` to every item on up to `threads` worker threads,
-/// preserving input order in the output.
-///
-/// `f` must be `Sync` (it is shared by reference across workers) and
-/// items are handed out through a shared counter, so faster workers
-/// take more cells.
-///
-/// `threads == 0` or `1` degrades to a sequential map (useful under
-/// `cargo test` and for debugging).
-///
-/// # Panics
-/// If `f` panics on any item, re-panics **after the whole sweep has
-/// drained** with the item's index and the original message — one bad
-/// cell no longer kills the run with an anonymous scope-join panic,
-/// and the index identifies the offending parameters. Use
-/// [`try_parallel_map`] to handle failures per item instead.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    try_parallel_map(items, threads, f)
-        .into_iter()
-        .map(|r| r.unwrap_or_else(|p| panic!("parallel_map: {p}")))
-        .collect()
-}
-
-/// Like [`parallel_map`], but a panicking item becomes
-/// `Err(`[`ItemPanic`]`)` in its output slot instead of tearing down
-/// the sweep; all other items still complete.
-pub fn try_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, ItemPanic>>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let guarded = |idx: usize, item: &T| {
-        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| ItemPanic {
-            index: idx,
-            message: panic_message(payload.as_ref()),
-        })
-    };
-    if threads <= 1 || items.len() <= 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| guarded(i, item))
-            .collect();
-    }
-    let n = items.len();
-    let slots: Vec<Mutex<Option<Result<R, ItemPanic>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            let next = &next;
-            let slots = &slots;
-            let guarded = &guarded;
-            scope.spawn(move || loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(idx) else { break };
-                let result = guarded(idx, item);
-                *slots[idx].lock().expect("no poisoned slot") = Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("no poisoned slot")
-                .expect("every slot filled by a worker")
-        })
-        .collect()
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_string()
-    }
-}
-
-/// A sensible default worker count: the number of available CPUs
-/// (minimum 1).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn preserves_order() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = parallel_map(&items, 8, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn sequential_fallback_matches() {
-        let items: Vec<u64> = (0..20).collect();
-        let a = parallel_map(&items, 1, |&x| x + 1);
-        let b = parallel_map(&items, 4, |&x| x + 1);
-        assert_eq!(a, b);
-    }
-
-    #[test]
-    fn every_item_processed_exactly_once() {
-        let count = AtomicUsize::new(0);
-        let items: Vec<usize> = (0..500).collect();
-        let out = parallel_map(&items, 6, |&x| {
-            count.fetch_add(1, Ordering::Relaxed);
-            x
-        });
-        assert_eq!(count.load(Ordering::Relaxed), 500);
-        assert_eq!(out.len(), 500);
-    }
-
-    #[test]
-    fn empty_input() {
-        let out: Vec<u64> = parallel_map(&Vec::<u64>::new(), 4, |&x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn uneven_work_is_balanced() {
-        // Items with wildly different costs still all complete.
-        let items: Vec<u64> = (0..32).collect();
-        let out = parallel_map(&items, 4, |&x| {
-            if x % 7 == 0 {
-                std::thread::sleep(std::time::Duration::from_millis(2));
-            }
-            x * x
-        });
-        assert_eq!(out[31], 31 * 31);
-    }
-
-    #[test]
-    fn default_threads_is_positive() {
-        assert!(default_threads() >= 1);
-    }
-
-    #[test]
-    fn try_map_isolates_a_panicking_item() {
-        let items: Vec<u64> = (0..16).collect();
-        let out = try_parallel_map(&items, 4, |&x| {
-            assert!(x != 11, "cell x={x} exploded");
-            x * 2
-        });
-        assert_eq!(out.len(), 16);
-        for (i, r) in out.iter().enumerate() {
-            if i == 11 {
-                let p = r.as_ref().expect_err("item 11 must fail");
-                assert_eq!(p.index, 11);
-                assert!(p.message.contains("x=11"), "message: {}", p.message);
-            } else {
-                assert_eq!(*r.as_ref().expect("other items succeed"), items[i] * 2);
-            }
-        }
-    }
-
-    #[test]
-    fn parallel_map_repanic_names_the_item() {
-        let items: Vec<u64> = (0..8).collect();
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            parallel_map(&items, 2, |&x| {
-                assert!(x != 5, "boom at x={x}");
-                x
-            })
-        }))
-        .expect_err("must re-panic");
-        let msg = panic_message(caught.as_ref());
-        assert!(msg.contains("item 5"), "message: {msg}");
-        assert!(msg.contains("boom at x=5"), "message: {msg}");
-    }
-
-    #[test]
-    fn try_map_sequential_path_also_captures() {
-        let items = vec![1u64];
-        let out = try_parallel_map(&items, 1, |_| -> u64 { panic!("lonely") });
-        assert_eq!(out[0].as_ref().expect_err("captured").index, 0);
-    }
-}
+pub use es_runner::{default_threads, parallel_map, try_parallel_map, ItemPanic, Threads};

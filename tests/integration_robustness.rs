@@ -198,14 +198,20 @@ fn repair_is_audit_clean_after_every_single_link_failure() {
     }
 }
 
-/// ISSUE 4 satellite: failure-aware repair must be tuning-invariant.
+/// ISSUE 4/5 satellite: failure-aware repair must be tuning-invariant.
 /// For every single-link failure, `repair_with` under the optimized
 /// tuning (route cache + indexed gaps, exercised through the masked
-/// repair views) must reproduce the reference-tuning repair bit for
-/// bit, and the repaired schedule must stay audit-clean.
+/// repair views) and under the forced-overlay tuning (ISSUE 5's
+/// speculative probing — structurally inert in the probe-free rebuild,
+/// which this pins down) must reproduce the reference-tuning repair bit
+/// for bit, and the repaired schedule must stay audit-clean.
 #[test]
 fn repair_cache_equivalence() {
-    use es_core::{diff_schedules, repair_with, Tuning};
+    use es_core::{diff_schedules, repair_with, ProbeParallelism, Tuning};
+    let overlay = Tuning {
+        parallel_probe: ProbeParallelism::Workers(2),
+        ..Tuning::optimized()
+    };
     for dag in &dags() {
         for (tname, topo) in &topologies() {
             for sched in [ListScheduler::ba_static(), ListScheduler::oihsa()] {
@@ -213,18 +219,31 @@ fn repair_cache_equivalence() {
                 for victim in topo.link_ids() {
                     let plan = FaultPlan::kill_link(topo, victim, 0.3 * s.makespan);
                     let ctx = format!("{} on {tname}, link {} dead", sched.name(), victim.index());
-                    let on = repair_with(dag, topo, &s, &plan, Tuning::optimized())
-                        .unwrap_or_else(|e| panic!("{ctx} (cache on): {e}"));
                     let off = repair_with(dag, topo, &s, &plan, Tuning::reference())
-                        .unwrap_or_else(|e| panic!("{ctx} (cache off): {e}"));
-                    if let Some(d) = diff_schedules(&on.schedule, &off.schedule) {
-                        panic!("{ctx}: repair diverged under tuning: {d}");
+                        .unwrap_or_else(|e| panic!("{ctx} (reference): {e}"));
+                    for (label, tuning) in [("cache on", Tuning::optimized()), ("overlay", overlay)]
+                    {
+                        let on = repair_with(dag, topo, &s, &plan, tuning)
+                            .unwrap_or_else(|e| panic!("{ctx} ({label}): {e}"));
+                        if let Some(d) = diff_schedules(&on.schedule, &off.schedule) {
+                            panic!("{ctx}/{label}: repair diverged under tuning: {d}");
+                        }
+                        assert_eq!(on.moved_tasks, off.moved_tasks, "{ctx}/{label}: moved set");
+                        assert_eq!(
+                            on.rerouted_comms, off.rerouted_comms,
+                            "{ctx}/{label}: reroutes"
+                        );
+                        assert_eq!(
+                            on.used_fallback, off.used_fallback,
+                            "{ctx}/{label}: fallback"
+                        );
+                        let report = audit(dag, topo, &on.schedule);
+                        assert!(
+                            report.is_clean(),
+                            "{ctx}/{label}:\n{}",
+                            report.render_human()
+                        );
                     }
-                    assert_eq!(on.moved_tasks, off.moved_tasks, "{ctx}: moved set");
-                    assert_eq!(on.rerouted_comms, off.rerouted_comms, "{ctx}: reroutes");
-                    assert_eq!(on.used_fallback, off.used_fallback, "{ctx}: fallback");
-                    let report = audit(dag, topo, &on.schedule);
-                    assert!(report.is_clean(), "{ctx}:\n{}", report.render_human());
                 }
             }
         }

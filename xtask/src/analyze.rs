@@ -15,6 +15,12 @@
 //! * **L3** — every `ES-Exxx` diagnostic code that appears in
 //!   `crates/core` sources must be documented in DESIGN.md's
 //!   diagnostics table, and vice versa.
+//! * **L4** — no `Vec::new` / `.collect()` inside the loop bodies of
+//!   the probe/rebuild functions in `crates/core/src/list.rs` and
+//!   `crates/core/src/repair.rs`. Those loops run O(tasks ×
+//!   candidates) times per schedule; buffers must be hoisted and
+//!   reused (clear-don't-drop). Allocations before/after the loops are
+//!   fine — that is where the hoisted buffers live.
 //!
 //! Findings print as `LINT file:line — message` (or JSON lines with
 //! `--json`) and the process exits 1 if any were produced.
@@ -26,7 +32,7 @@ use std::path::{Path, PathBuf};
 
 /// One lint finding.
 pub struct Finding {
-    /// Lint identifier (`L1` / `L2` / `L3` / `DET`).
+    /// Lint identifier (`L1` / `L2` / `L3` / `L4` / `DET`).
     pub lint: &'static str,
     /// Path relative to the workspace root (empty for runtime audits).
     pub file: String,
@@ -95,7 +101,7 @@ pub fn run(args: &[String]) -> i32 {
     if findings.is_empty() {
         if !json {
             println!(
-                "analyze: clean (L1, L2, L3{} pass)",
+                "analyze: clean (L1, L2, L3, L4{} pass)",
                 if run_determinism { ", DET" } else { "" }
             );
         }
@@ -129,6 +135,10 @@ pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
         }
         if rel != "crates/linksched/src/time.rs" {
             lint_l2(&rel, &tokens, &mut findings);
+        }
+        let l4_targets = probe_fns(&rel);
+        if !l4_targets.is_empty() {
+            lint_l4(&rel, l4_targets, &tokens, &mut findings);
         }
         if rel.starts_with("crates/core/src/") {
             for (code, line) in scan_codes(&src) {
@@ -188,6 +198,108 @@ fn lint_l2(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                 ),
             });
         }
+    }
+}
+
+/// L4 scope: the functions whose loops form the per-task probe/rebuild
+/// hot paths — one entry per task × processor candidate (× in-edge).
+fn probe_fns(rel: &str) -> &'static [&'static str] {
+    match rel {
+        "crates/core/src/list.rs" => &[
+            "pick_by_probe",
+            "pick_by_probe_serial",
+            "pick_by_probe_overlay",
+            "pick_by_hybrid_criterion",
+            "schedule_in_edges",
+            "rollback_in_edges",
+            "order_in_edges",
+        ],
+        "crates/core/src/repair.rs" => &["rebuild", "pick_target"],
+        _ => &[],
+    }
+}
+
+/// L4: `Vec::new` / `.collect()` inside a loop body of a probe/rebuild
+/// function allocates O(tasks × candidates) times per schedule. Tracks
+/// function and loop extents by brace depth over the token stream:
+/// `fn <target>` arms a function frame at its body `{`; `for` /
+/// `while` / `loop` arm a loop frame at theirs; allocation idents are
+/// flagged only while at least one loop frame is open.
+fn lint_l4(rel: &str, targets: &[&str], tokens: &[Token], findings: &mut Vec<Finding>) {
+    // Brace stack: true = this `{` opened a loop body.
+    let mut braces: Vec<bool> = Vec::new();
+    let mut loop_depth = 0usize;
+    // (name, brace depth at body open) of the target fn we are inside.
+    let mut active: Option<(String, usize)> = None;
+    let mut pending_fn: Option<String> = None;
+    let mut pending_loop = false;
+    let flag = |line: u32, what: &str, name: &str, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            lint: "L4",
+            file: rel.to_string(),
+            line,
+            message: format!(
+                "{what} inside a loop of `{name}` — this runs O(tasks × candidates) \
+                 times; hoist the buffer out of the loop and reuse it \
+                 (clear-don't-drop)"
+            ),
+        });
+    };
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::Ident(id) if id == "fn" => {
+                if let Some(Token {
+                    kind: TokenKind::Ident(name),
+                    ..
+                }) = tokens.get(i + 1)
+                {
+                    pending_fn = Some(name.clone());
+                    i += 2;
+                    continue;
+                }
+            }
+            TokenKind::Ident(id)
+                if active.is_some() && (id == "for" || id == "while" || id == "loop") =>
+            {
+                pending_loop = true;
+            }
+            TokenKind::Op(op) if op == "{" => {
+                braces.push(std::mem::take(&mut pending_loop));
+                if *braces.last().expect("just pushed") {
+                    loop_depth += 1;
+                }
+                if let Some(name) = pending_fn.take() {
+                    if active.is_none() && targets.contains(&name.as_str()) {
+                        active = Some((name, braces.len()));
+                    }
+                }
+            }
+            TokenKind::Op(op) if op == "}" => {
+                if let Some(was_loop) = braces.pop() {
+                    if was_loop {
+                        loop_depth -= 1;
+                    }
+                }
+                if active.as_ref().is_some_and(|&(_, d)| braces.len() < d) {
+                    active = None;
+                }
+            }
+            TokenKind::Ident(id) if loop_depth > 0 => {
+                let name = active.as_ref().map_or("", |(n, _)| n.as_str());
+                if id == "collect" {
+                    flag(t.line, "`.collect()`", name, findings);
+                } else if id == "Vec"
+                    && matches!(tokens.get(i + 1), Some(Token { kind: TokenKind::Op(o), .. }) if o == "::")
+                    && matches!(tokens.get(i + 2), Some(Token { kind: TokenKind::Ident(n), .. }) if n == "new")
+                {
+                    flag(t.line, "`Vec::new`", name, findings);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
     }
 }
 
@@ -369,6 +481,68 @@ mod tests {
             codes,
             vec![("ES-E001".to_string(), 1), ("ES-E008".to_string(), 2)]
         );
+    }
+
+    #[test]
+    fn l4_flags_allocations_inside_probe_loops() {
+        let src = "fn pick_by_probe(&mut self) {\n\
+                   for p in procs {\n\
+                   let v = Vec::new();\n\
+                   let c: Vec<f64> = xs.iter().collect();\n\
+                   }\n\
+                   }";
+        let toks = lex(src);
+        let mut f = Vec::new();
+        lint_l4(
+            "crates/core/src/list.rs",
+            probe_fns("crates/core/src/list.rs"),
+            &toks,
+            &mut f,
+        );
+        assert_eq!(
+            f.len(),
+            2,
+            "{:?}",
+            f.iter().map(|x| &x.message).collect::<Vec<_>>()
+        );
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[1].line, 4);
+    }
+
+    #[test]
+    fn l4_allows_hoisted_buffers_and_non_probe_fns() {
+        // Allocations before/after the loop (the hoisted buffers) and
+        // in non-target functions are fine; clear/extend/resize_with
+        // inside the loop are the intended pattern.
+        let src = "fn rebuild() {\n\
+                   let mut buf: Vec<f64> = Vec::new();\n\
+                   for t in tasks {\n\
+                   buf.clear();\n\
+                   buf.extend(xs);\n\
+                   idx.resize_with(3, Default::default);\n\
+                   }\n\
+                   let out: Vec<f64> = buf.iter().copied().collect();\n\
+                   }\n\
+                   fn helper() { for x in ys { let v = Vec::new(); } }";
+        let toks = lex(src);
+        let mut f = Vec::new();
+        lint_l4(
+            "crates/core/src/repair.rs",
+            probe_fns("crates/core/src/repair.rs"),
+            &toks,
+            &mut f,
+        );
+        assert!(
+            f.is_empty(),
+            "{:?}",
+            f.iter().map(|x| &x.message).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn l4_is_scoped_to_probe_files() {
+        assert!(probe_fns("crates/core/src/slotted.rs").is_empty());
+        assert!(!probe_fns("crates/core/src/list.rs").is_empty());
     }
 
     #[test]

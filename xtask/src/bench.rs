@@ -1,25 +1,32 @@
 //! End-to-end performance harness (`cargo run -p xtask -- bench`).
 //!
 //! Runs the slotted schedulers over a sweep of paper-like instances
-//! twice — once with the reference [`Tuning`] and once with the
-//! optimized one — interleaved in a single process, and emits a
-//! machine-readable `BENCH_PR4.json` with per-case wall times,
-//! scheduling throughput, and route-cache hit rates.
+//! three times — with the reference [`Tuning`], the optimized one, and
+//! the optimized one with speculative parallel probing
+//! (`ProbeParallelism::Workers(threads)`) — interleaved in a single
+//! process, and emits a machine-readable `BENCH_PR5.json` with per-case
+//! wall times, scheduling throughput, and route-cache hit rates.
 //!
-//! Correctness comes first: before any timing, every case's optimized
-//! and reference schedules are diffed bitwise (placements, routes, slot
-//! times) and their zero-fault executions likewise; `--check` turns any
-//! divergence into a non-zero exit, which is what the CI `bench-smoke`
-//! job gates on. The measured speedup is reported, never gated — CI
-//! machines are too noisy for a hard threshold; the committed
-//! BENCH_PR4.json records the measured trajectory instead
-//! (EXPERIMENTS.md, "Reading BENCH_*.json").
+//! Correctness comes first: before any timing, every case's optimized,
+//! parallel-probe, and reference schedules are diffed bitwise
+//! (placements, routes, slot times) and their zero-fault executions
+//! likewise; `--check` turns any divergence into a non-zero exit, which
+//! is what the CI `bench-smoke` job gates on. The measured speedup is
+//! reported, never hard-gated against wall-clock — with one exception:
+//! when a baseline file is available (`--baseline`, default: the
+//! latest committed `BENCH_PR*.json`), any matched **paper-family**
+//! row whose best ref-relative speedup (across the opt and par lanes)
+//! drops by more than 10% versus that baseline exits non-zero (the
+//! in-process ratio is stable under machine-load drift, unlike
+//! absolute times; EXPERIMENTS.md, "Reading BENCH_*.json" and
+//! "Baseline comparison").
 
 use es_core::diff::{diff_executions, diff_schedules};
 use es_core::{
-    execute, reset_route_cache_stats, route_cache_stats, ListConfig, ListScheduler, Scheduler,
-    Tuning,
+    execute, reset_route_cache_stats, route_cache_stats, ListConfig, ListScheduler,
+    ProbeParallelism, Scheduler, Tuning,
 };
+use es_runner::Threads;
 use es_workload::suite::{Kernel, Platform};
 use es_workload::{cell_seed, generate, scale_to_ccr, InstanceConfig, Setting};
 use std::time::Instant;
@@ -51,6 +58,7 @@ struct CaseResult {
     reps: usize,
     ref_ms: f64,
     opt_ms: f64,
+    par_ms: f64,
     cache_hits: u64,
     cache_misses: u64,
     identical: bool,
@@ -66,6 +74,14 @@ impl CaseResult {
         }
     }
 
+    fn speedup_par(&self) -> f64 {
+        if self.par_ms > 0.0 {
+            self.ref_ms / self.par_ms
+        } else {
+            0.0
+        }
+    }
+
     /// Task-placement decisions per second under each tuning.
     fn decisions_per_sec(&self, ms: f64) -> f64 {
         if ms > 0.0 {
@@ -76,11 +92,132 @@ impl CaseResult {
     }
 }
 
+/// One comparable row loaded from a previous `BENCH_PR*.json`.
+struct BaselineRow {
+    scheduler: String,
+    family: String,
+    platform: String,
+    procs: usize,
+    ccr: f64,
+    ref_ms: f64,
+    opt_ms: f64,
+}
+
+impl BaselineRow {
+    fn speedup(&self) -> f64 {
+        if self.opt_ms > 0.0 {
+            self.ref_ms / self.opt_ms
+        } else {
+            0.0
+        }
+    }
+
+    fn matches(&self, c: &CaseResult) -> bool {
+        self.scheduler == c.scheduler
+            && self.family == c.family
+            && self.platform == c.platform
+            && self.procs == c.procs
+            && (self.ccr - c.ccr).abs() < 1e-9
+    }
+}
+
+/// Latest committed `BENCH_PR*.json` in the working directory (highest
+/// PR number), excluding this run's own output file.
+fn default_baseline(out_path: &str) -> Option<String> {
+    let mut best: Option<(u32, String)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == out_path {
+            continue;
+        }
+        let Some(num) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|r| r.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        if let Ok(n) = num.parse::<u32>() {
+            if best.as_ref().is_none_or(|&(b, _)| n > b) {
+                best = Some((n, name));
+            }
+        }
+    }
+    best.map(|(_, name)| name)
+}
+
+fn json_str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let i = obj.find(&pat)? + pat.len();
+    let rest = &obj[i..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn json_num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let i = obj.find(&pat)? + pat.len();
+    let rest = &obj[i..];
+    let end = rest.find([',', '}', '\n'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Parse the `cases` array of a bench JSON written by [`render_json`]
+/// (any PR's schema — only the row-identity, `ref_ms`, and `opt_ms`
+/// fields are read, so older baselines without `par_ms` load fine).
+#[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+fn load_baseline(path: &str) -> Result<Vec<BaselineRow>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let cases_at = text
+        .find("\"cases\"")
+        .ok_or_else(|| format!("baseline {path}: no \"cases\" array"))?;
+    let mut rows = Vec::new();
+    let mut rest = &text[cases_at..];
+    while let Some(open) = rest.find('{') {
+        let Some(close) = rest[open..].find('}') else {
+            break;
+        };
+        let obj = &rest[open..=open + close];
+        if let (
+            Some(scheduler),
+            Some(family),
+            Some(platform),
+            Some(procs),
+            Some(ccr),
+            Some(ref_ms),
+            Some(opt_ms),
+        ) = (
+            json_str_field(obj, "scheduler"),
+            json_str_field(obj, "family"),
+            json_str_field(obj, "platform"),
+            json_num_field(obj, "procs"),
+            json_num_field(obj, "ccr"),
+            json_num_field(obj, "ref_ms"),
+            json_num_field(obj, "opt_ms"),
+        ) {
+            rows.push(BaselineRow {
+                scheduler,
+                family,
+                platform,
+                procs: procs as usize,
+                ccr,
+                ref_ms,
+                opt_ms,
+            });
+        }
+        rest = &rest[open + close + 1..];
+    }
+    if rows.is_empty() {
+        return Err(format!("baseline {path}: no parseable case rows"));
+    }
+    Ok(rows)
+}
+
 pub fn run(args: &[String]) -> i32 {
     let mut fast = false;
     let mut check = false;
     let mut criterion = false;
-    let mut out_path = String::from("BENCH_PR4.json");
+    let mut out_path = String::from("BENCH_PR5.json");
+    let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -96,6 +233,15 @@ pub fn run(args: &[String]) -> i32 {
                     return 2;
                 }
             }
+            "--baseline" => {
+                i += 1;
+                if let Some(p) = args.get(i) {
+                    baseline_path = Some(p.clone());
+                } else {
+                    eprintln!("--baseline requires a path");
+                    return 2;
+                }
+            }
             other => {
                 eprintln!("unknown bench option `{other}`");
                 return 2;
@@ -103,6 +249,23 @@ pub fn run(args: &[String]) -> i32 {
         }
         i += 1;
     }
+    let baseline_path = baseline_path.or_else(|| default_baseline(&out_path));
+    let baseline = if let Some(p) = &baseline_path {
+        match load_baseline(p) {
+            Ok(rows) => {
+                println!("baseline: {p} ({} rows)", rows.len());
+                rows
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    } else {
+        println!("baseline: none found (no BENCH_PR*.json besides the output)");
+        Vec::new()
+    };
+    let threads = Threads::resolve().get();
 
     let (points, reps) = sweep(fast);
     let configs = [
@@ -115,13 +278,14 @@ pub fn run(args: &[String]) -> i32 {
     let mut cases: Vec<CaseResult> = Vec::new();
     for point in &points {
         for cfg in configs {
-            cases.push(measure(point, cfg, reps));
+            cases.push(measure(point, cfg, reps, threads));
         }
     }
 
     let all_identical = cases.iter().all(|c| c.identical);
     let total_ref: f64 = cases.iter().map(|c| c.ref_ms).sum();
     let total_opt: f64 = cases.iter().map(|c| c.opt_ms).sum();
+    let total_par: f64 = cases.iter().map(|c| c.par_ms).sum();
     let overall = if total_opt > 0.0 {
         total_ref / total_opt
     } else {
@@ -139,9 +303,12 @@ pub fn run(args: &[String]) -> i32 {
         &cases,
         fast,
         reps,
+        threads,
+        baseline_path.as_deref(),
         all_identical,
         total_ref,
         total_opt,
+        total_par,
         overall,
         hit_rate,
     );
@@ -150,9 +317,50 @@ pub fn run(args: &[String]) -> i32 {
         return 1;
     }
 
+    // Per-row baseline comparison. The printed ratio is baseline
+    // opt_ms over this run's opt_ms (wall-clock, >1 = faster now); the
+    // *gate* compares each row's best ref-relative speedup across the
+    // supported fast tunings (opt and par) against the baseline's,
+    // because absolute wall times drift with machine load between
+    // sessions while the interleaved in-process ratio isolates whether
+    // this PR lost the optimization trajectory. Paper-family rows
+    // whose best speedup drops >10% are hard failures; rows under
+    // GATE_FLOOR_MS in the baseline are scheduler-jitter noise
+    // (EXPERIMENTS.md: "BA-static rows are sub-millisecond and noisy —
+    // ignore their ratios") and are only reported, never gated. Rows
+    // with no matching baseline entry (e.g. --fast subset vs a full
+    // baseline) are skipped.
+    const GATE_FLOOR_MS: f64 = 10.0;
+    let mut regressions: Vec<String> = Vec::new();
+    let mut matched = 0usize;
     for c in &cases {
+        let vs_base = baseline.iter().find(|r| r.matches(c)).map(|r| {
+            matched += 1;
+            let ratio = if c.opt_ms > 0.0 {
+                r.opt_ms / c.opt_ms
+            } else {
+                0.0
+            };
+            let best = c.speedup().max(c.speedup_par());
+            if c.family == "paper" && r.opt_ms >= GATE_FLOOR_MS && best < r.speedup() * 0.90 {
+                regressions.push(format!(
+                    "{} {} {} procs={} ccr={}: best speedup x{:.2} (opt x{:.2}, par x{:.2}) \
+                     vs baseline x{:.2}",
+                    c.scheduler,
+                    c.family,
+                    c.platform,
+                    c.procs,
+                    c.ccr,
+                    best,
+                    c.speedup(),
+                    c.speedup_par(),
+                    r.speedup(),
+                ));
+            }
+            ratio
+        });
         println!(
-            "{:14} {:14} {:12} procs={:<2} ccr={:<4} tasks={:<4} ref {:8.2}ms opt {:8.2}ms x{:.2} hit-rate {:.0}% {}",
+            "{:14} {:14} {:12} procs={:<2} ccr={:<4} tasks={:<4} ref {:8.2}ms opt {:8.2}ms x{:.2} par {:8.2}ms x{:.2} hit-rate {:.0}% {}{}",
             c.scheduler,
             c.family,
             c.platform,
@@ -162,19 +370,34 @@ pub fn run(args: &[String]) -> i32 {
             c.ref_ms,
             c.opt_ms,
             c.speedup(),
+            c.par_ms,
+            c.speedup_par(),
             100.0 * c.cache_hits as f64 / (c.cache_hits + c.cache_misses).max(1) as f64,
             if c.identical { "ok" } else { "DIVERGED" },
+            match vs_base {
+                Some(r) => format!(" vs-baseline x{r:.2}"),
+                None if baseline.is_empty() => String::new(),
+                None => " (no baseline row)".to_string(),
+            },
         );
         if let Some(d) = &c.detail {
             println!("    {d}");
         }
     }
     println!(
-        "\ntotal: ref {total_ref:.1}ms opt {total_opt:.1}ms speedup x{overall:.2}; \
+        "\ntotal: ref {total_ref:.1}ms opt {total_opt:.1}ms par {total_par:.1}ms \
+         (threads={threads}) speedup x{overall:.2}; \
          route-cache hit rate {:.1}%; identity {}",
         hit_rate * 100.0,
         if all_identical { "ok" } else { "FAILED" },
     );
+    if !baseline.is_empty() {
+        println!(
+            "baseline match: {matched}/{} rows compared against {}",
+            cases.len(),
+            baseline_path.as_deref().unwrap_or("?"),
+        );
+    }
     println!("wrote {out_path}");
 
     if criterion {
@@ -201,6 +424,13 @@ pub fn run(args: &[String]) -> i32 {
 
     if check && !all_identical {
         eprintln!("bench --check: differential identity FAILED");
+        return 1;
+    }
+    if !regressions.is_empty() {
+        eprintln!("\nbench: paper-family rows regressed >10% vs baseline:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
         return 1;
     }
     0
@@ -281,55 +511,75 @@ fn sweep(fast: bool) -> (Vec<SweepPoint>, usize) {
     }
 }
 
-/// Measure one (scheduler, instance) case: identity gate first, then
-/// `reps` interleaved ref/opt timed runs.
-fn measure(point: &SweepPoint, cfg: ListConfig, reps: usize) -> CaseResult {
+/// Measure one (scheduler, instance) case: identity gate first (the
+/// reference, optimized, and parallel-probe tunings must agree bit for
+/// bit), then `reps` interleaved ref/opt/par timed runs.
+fn measure(point: &SweepPoint, cfg: ListConfig, reps: usize, threads: usize) -> CaseResult {
+    let par_tuning = Tuning {
+        parallel_probe: ProbeParallelism::Workers(threads),
+        ..Tuning::optimized()
+    };
     let run = |tuning: Tuning| {
         ListScheduler::with_config(ListConfig { tuning, ..cfg }).schedule(&point.dag, &point.topo)
     };
 
     // Identity gate (doubles as warmup).
-    let (identical, detail) = match (run(Tuning::optimized()), run(Tuning::reference())) {
-        (Ok(opt), Ok(refr)) => {
-            if let Some(d) = diff_schedules(&opt, &refr) {
-                (false, Some(format!("schedule diverged: {d}")))
-            } else {
-                match (
-                    execute(&point.dag, &point.topo, &opt),
-                    execute(&point.dag, &point.topo, &refr),
-                ) {
-                    (Ok(eo), Ok(er)) => match diff_executions(&eo, &er) {
-                        Some(d) => (false, Some(format!("execution diverged: {d}"))),
-                        None => (true, None),
-                    },
-                    (Err(a), Err(b)) if format!("{a:?}") == format!("{b:?}") => (true, None),
-                    (a, b) => (
-                        false,
-                        Some(format!(
-                            "execution outcomes differ: {:?} vs {:?}",
-                            a.map(|e| e.makespan),
-                            b.map(|e| e.makespan)
-                        )),
-                    ),
+    let gate = |a: Result<es_core::Schedule, es_core::SchedError>,
+                b: Result<es_core::Schedule, es_core::SchedError>,
+                label: &str|
+     -> (bool, Option<String>) {
+        match (a, b) {
+            (Ok(opt), Ok(refr)) => {
+                if let Some(d) = diff_schedules(&opt, &refr) {
+                    (false, Some(format!("{label} schedule diverged: {d}")))
+                } else {
+                    match (
+                        execute(&point.dag, &point.topo, &opt),
+                        execute(&point.dag, &point.topo, &refr),
+                    ) {
+                        (Ok(eo), Ok(er)) => match diff_executions(&eo, &er) {
+                            Some(d) => (false, Some(format!("{label} execution diverged: {d}"))),
+                            None => (true, None),
+                        },
+                        (Err(a), Err(b)) if format!("{a:?}") == format!("{b:?}") => (true, None),
+                        (a, b) => (
+                            false,
+                            Some(format!(
+                                "{label} execution outcomes differ: {:?} vs {:?}",
+                                a.map(|e| e.makespan),
+                                b.map(|e| e.makespan)
+                            )),
+                        ),
+                    }
                 }
             }
+            (Err(a), Err(b)) if format!("{a:?}") == format!("{b:?}") => {
+                (true, Some(format!("both tunings error ({label}): {a:?}")))
+            }
+            (a, b) => (
+                false,
+                Some(format!(
+                    "{label} outcomes differ: {:?} vs {:?}",
+                    a.map(|s| s.makespan),
+                    b.map(|s| s.makespan)
+                )),
+            ),
         }
-        (Err(a), Err(b)) if format!("{a:?}") == format!("{b:?}") => {
-            (true, Some(format!("both tunings error: {a:?}")))
-        }
-        (a, b) => (
-            false,
-            Some(format!(
-                "outcomes differ: {:?} vs {:?}",
-                a.map(|s| s.makespan),
-                b.map(|s| s.makespan)
-            )),
-        ),
     };
+    let (opt_ok, opt_detail) = gate(
+        run(Tuning::optimized()),
+        run(Tuning::reference()),
+        "opt/ref",
+    );
+    let (par_ok, par_detail) = gate(run(par_tuning), run(Tuning::reference()), "par/ref");
+    let identical = opt_ok && par_ok;
+    let detail = opt_detail.or(par_detail);
 
-    // Interleaved timing: ref and opt alternate so drift hits both.
+    // Interleaved timing: ref, opt, and par alternate so drift hits all
+    // three lanes equally.
     let mut ref_ms = 0.0;
     let mut opt_ms = 0.0;
+    let mut par_ms = 0.0;
     let stats_before = {
         reset_route_cache_stats();
         route_cache_stats()
@@ -341,6 +591,9 @@ fn measure(point: &SweepPoint, cfg: ListConfig, reps: usize) -> CaseResult {
         let t1 = Instant::now();
         let _ = run(Tuning::optimized());
         opt_ms += t1.elapsed().as_secs_f64() * 1000.0;
+        let t2 = Instant::now();
+        let _ = run(par_tuning);
+        par_ms += t2.elapsed().as_secs_f64() * 1000.0;
     }
     let stats = route_cache_stats();
 
@@ -355,6 +608,7 @@ fn measure(point: &SweepPoint, cfg: ListConfig, reps: usize) -> CaseResult {
         reps,
         ref_ms,
         opt_ms,
+        par_ms,
         cache_hits: stats.hits - stats_before.hits,
         cache_misses: stats.misses - stats_before.misses,
         identical,
@@ -367,21 +621,29 @@ fn render_json(
     cases: &[CaseResult],
     fast: bool,
     reps: usize,
+    threads: usize,
+    baseline: Option<&str>,
     all_identical: bool,
     total_ref: f64,
     total_opt: f64,
+    total_par: f64,
     overall: f64,
     hit_rate: f64,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"bench\": \"PR4\",\n");
-    s.push_str("  \"schema_version\": 1,\n");
+    s.push_str("  \"bench\": \"PR5\",\n");
+    s.push_str("  \"schema_version\": 2,\n");
     s.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if fast { "fast" } else { "full" }
     ));
     s.push_str(&format!("  \"reps\": {reps},\n"));
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!(
+        "  \"baseline\": {},\n",
+        baseline.map_or_else(|| "null".to_string(), |b| format!("\"{b}\""))
+    ));
     s.push_str(&format!(
         "  \"optimized_build\": {},\n",
         !cfg!(debug_assertions)
@@ -389,6 +651,7 @@ fn render_json(
     s.push_str(&format!("  \"identity_ok\": {all_identical},\n"));
     s.push_str(&format!("  \"total_ref_ms\": {total_ref:.3},\n"));
     s.push_str(&format!("  \"total_opt_ms\": {total_opt:.3},\n"));
+    s.push_str(&format!("  \"total_par_ms\": {total_par:.3},\n"));
     s.push_str(&format!("  \"overall_speedup\": {overall:.4},\n"));
     s.push_str(&format!("  \"route_cache_hit_rate\": {hit_rate:.4},\n"));
     s.push_str("  \"cases\": [\n");
@@ -397,7 +660,8 @@ fn render_json(
             "    {{\"scheduler\": \"{}\", \"family\": \"{}\", \"platform\": \"{}\", \
              \"procs\": {}, \"ccr\": {}, \
              \"tasks\": {}, \"seed\": {}, \"ref_ms\": {:.3}, \"opt_ms\": {:.3}, \
-             \"speedup\": {:.4}, \"decisions_per_sec_ref\": {:.1}, \
+             \"par_ms\": {:.3}, \
+             \"speedup\": {:.4}, \"speedup_par\": {:.4}, \"decisions_per_sec_ref\": {:.1}, \
              \"decisions_per_sec_opt\": {:.1}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"identical\": {}}}{}\n",
             c.scheduler,
@@ -409,7 +673,9 @@ fn render_json(
             c.seed,
             c.ref_ms,
             c.opt_ms,
+            c.par_ms,
             c.speedup(),
+            c.speedup_par(),
             c.decisions_per_sec(c.ref_ms),
             c.decisions_per_sec(c.opt_ms),
             c.cache_hits,

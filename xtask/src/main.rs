@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p xtask -- analyze [--determinism] [--json] [--root DIR]
 //! cargo run -p xtask --release -- bench [--fast] [--check] [--out PATH]
+//!                                       [--baseline PATH]
 //! ```
 
 mod analyze;
@@ -48,9 +49,14 @@ ANALYZE OPTIONS:
 
 BENCH OPTIONS:
   --fast          CI smoke subset (small instances, 1 rep)
-  --check         exit non-zero if optimized vs reference schedules or
-                  executions are not bitwise identical
-  --out PATH      output file (default: BENCH_PR4.json)
+  --check         exit non-zero if optimized/parallel vs reference
+                  schedules or executions are not bitwise identical
+  --out PATH      output file (default: BENCH_PR5.json)
+  --baseline PATH previous BENCH_PR*.json to compare against (default:
+                  latest committed BENCH_PR*.json besides the output);
+                  any matched paper-family row with baseline opt_ms
+                  >= 10ms whose best speedup (opt or par lane) drops
+                  >10% vs the baseline's exits non-zero
   --criterion     also run the criterion suite via `cargo bench`
 
 LINTS:
@@ -59,4 +65,7 @@ LINTS:
   L2  no bare ==/!= against f64 literals outside es_linksched::time
       (use the EPS comparison helpers)
   L3  every diagnostic code constructed in es-core must be documented
-      in DESIGN.md's diagnostics table";
+      in DESIGN.md's diagnostics table
+  L4  no per-candidate allocations (`Vec::new`, `.collect()`) inside
+      the probe/repair loop bodies of list.rs and repair.rs
+      (hoist buffers out of the loop and reuse — clear-don't-drop)";
