@@ -200,6 +200,7 @@ impl BbsaRun<'_> {
     }
 
     /// OIHSA §4.1 criterion, shared verbatim with the slotted path.
+    // TWIN(hybrid-criterion): begin
     fn pick_by_hybrid_criterion(&self, task: TaskId) -> ProcId {
         let weight = self.dag.weight(task);
         let mut best: Option<(ProcId, f64)> = None;
@@ -223,6 +224,7 @@ impl BbsaRun<'_> {
         }
         best.expect("at least one processor").0
     }
+    // TWIN(hybrid-criterion): end
 
     fn schedule_in_edges(&mut self, task: TaskId, p: ProcId) -> Result<f64, SchedError> {
         let in_edges = self.dag.in_edges(task);

@@ -286,9 +286,11 @@ impl<'a> Run<'a> {
             let finish = start + weight / self.topo.proc_speed(p);
             self.rollback_in_edges(task, p);
             self.links.restore(cp);
+            // TWIN(probe-tie-break): begin
             if best.is_none_or(|(_, bf)| finish < bf - EPS) {
-                best = Some((p, finish));
+                best = Some((p, finish)); // TWIN-OK: serial keeps the loop binding as the candidate id
             }
+            // TWIN(probe-tie-break): end
         }
         Ok(best.expect("at least one processor").0)
     }
@@ -404,14 +406,17 @@ impl<'a> Run<'a> {
                 .expect("probe result lock")
                 .take()
                 .expect("worker filled every slot")?;
+            // TWIN(probe-tie-break): begin
             if best.is_none_or(|(_, bf)| finish < bf - EPS) {
-                best = Some((self.probe_candidates[i], finish));
+                best = Some((self.probe_candidates[i], finish)); // TWIN-OK: reduction reads the candidate id from the indexed slot
             }
+            // TWIN(probe-tie-break): end
         }
         Ok(best.expect("at least one processor").0)
     }
 
     /// OIHSA §4.1: hybrid static criterion with mean link speed.
+    // TWIN(hybrid-criterion): begin
     fn pick_by_hybrid_criterion(&self, task: TaskId) -> ProcId {
         let weight = self.dag.weight(task);
         let mut best: Option<(ProcId, f64)> = None;
@@ -435,6 +440,7 @@ impl<'a> Run<'a> {
         }
         best.expect("at least one processor").0
     }
+    // TWIN(hybrid-criterion): end
 
     /// Definitively schedule `task` on `proc`.
     fn commit_task(

@@ -342,6 +342,7 @@ impl SlottedState {
     ) -> Option<Route> {
         match routing {
             Routing::Bfs => {
+                // TWIN(bfs-cache-guard): begin
                 let sig = topo.signature();
                 if sig == 0 || sig != self.bfs_cache_sig {
                     // A different adjacency view (e.g. a masked repair
@@ -355,6 +356,7 @@ impl SlottedState {
                     .entry((src, dst))
                     .or_insert_with(|| bfs_route_with(topo, src, dst, scratch))
                     .clone()
+                // TWIN(bfs-cache-guard): end
             }
             Routing::ModifiedDijkstra => {
                 // §4.3: relax by the finish time of this communication
@@ -363,6 +365,7 @@ impl SlottedState {
                 // (including the first hop) — a conservative metric;
                 // actual placement applies it precisely.
                 let queues = &self.queues;
+                // TWIN(dijkstra-relax): begin
                 let delay = topo.hop_delay();
                 let relax = |&(s, f): &(f64, f64), hop: &Hop| {
                     let int = cost / topo.link_speed(hop.link);
@@ -370,10 +373,11 @@ impl SlottedState {
                         Switching::CutThrough => (s + delay).max(f + delay - int),
                         Switching::StoreAndForward => f + delay,
                     };
-                    let start = queues[hop.link.index()].probe(bound, int);
+                    let start = queues[hop.link.index()].probe(bound, int); // TWIN-OK: serial probes the committed queues directly
                     (start, (start + int).max(f))
                 };
                 let key = |&(_, f): &(f64, f64)| f;
+                // TWIN(dijkstra-relax): end
 
                 let sig = topo.signature();
                 let cacheable = self.tuning.route_cache
@@ -453,6 +457,7 @@ impl SlottedState {
 
         let (mut prev_start, mut prev_finish) = (est, est);
         for (seq, hop) in route.iter().enumerate() {
+            // TWIN(hop-bound): begin
             let int = cost / topo.link_speed(hop.link);
             // Per-hop switch latency applies from the second hop on.
             let delay = if seq == 0 { 0.0 } else { topo.hop_delay() };
@@ -465,6 +470,7 @@ impl SlottedState {
                 Switching::CutThrough => (prev_start + delay).max(prev_finish + delay - int),
                 Switching::StoreAndForward => prev_finish + delay,
             };
+            // TWIN(hop-bound): end
             let (start, finish) = match insertion {
                 Insertion::Basic => {
                     let queue = &mut self.queues[hop.link.index()];
@@ -699,6 +705,7 @@ impl<'a> OverlayState<'a> {
         match routing {
             Routing::Bfs => {
                 let ws = &mut *self.ws;
+                // TWIN(bfs-cache-guard): begin map ws=self
                 let sig = topo.signature();
                 if sig == 0 || sig != ws.bfs_cache_sig {
                     ws.bfs_cache.clear();
@@ -709,11 +716,13 @@ impl<'a> OverlayState<'a> {
                     .entry((src, dst))
                     .or_insert_with(|| bfs_route_with(topo, src, dst, scratch))
                     .clone()
+                // TWIN(bfs-cache-guard): end
             }
             Routing::ModifiedDijkstra => {
                 let base = self.base;
                 let ws = &mut *self.ws;
                 let deltas = &ws.deltas;
+                // TWIN(dijkstra-relax): begin
                 let delay = topo.hop_delay();
                 let relax = |&(s, f): &(f64, f64), hop: &Hop| {
                     let int = cost / topo.link_speed(hop.link);
@@ -721,11 +730,12 @@ impl<'a> OverlayState<'a> {
                         Switching::CutThrough => (s + delay).max(f + delay - int),
                         Switching::StoreAndForward => f + delay,
                     };
-                    let l = hop.link.index();
-                    let start = SlotQueueOverlay::new(base[l], &deltas[l]).probe(bound, int);
+                    let l = hop.link.index(); // TWIN-OK: overlay indexes per-link base/delta pairs
+                    let start = SlotQueueOverlay::new(base[l], &deltas[l]).probe(bound, int); // TWIN-OK: overlay probes the merged base+delta view
                     (start, (start + int).max(f))
                 };
                 let key = |&(_, f): &(f64, f64)| f;
+                // TWIN(dijkstra-relax): end
 
                 // Mirror of the sequential cacheability window: a
                 // memoized search is resumable only while the link
@@ -794,6 +804,7 @@ impl<'a> OverlayState<'a> {
         let ws = &mut *self.ws;
         let (mut prev_start, mut prev_finish) = (est, est);
         for (seq, hop) in route.iter().enumerate() {
+            // TWIN(hop-bound): begin
             let int = cost / topo.link_speed(hop.link);
             // Per-hop switch latency applies from the second hop on.
             let delay = if seq == 0 { 0.0 } else { topo.hop_delay() };
@@ -801,6 +812,7 @@ impl<'a> OverlayState<'a> {
                 Switching::CutThrough => (prev_start + delay).max(prev_finish + delay - int),
                 Switching::StoreAndForward => prev_finish + delay,
             };
+            // TWIN(hop-bound): end
             let l = hop.link.index();
             let delta = &mut ws.deltas[l];
             let start = SlotQueueOverlay::new(self.base[l], delta).probe(bound, int);

@@ -1,52 +1,45 @@
-//! The `xtask analyze` workspace pass.
+//! The `xtask analyze` workspace pass: orchestrates the token-level
+//! lints (L1–L4), the syntax-aware passes (N1–N5, see
+//! [`crate::passes`]), the optional runtime determinism audit
+//! ([`crate::determinism`]), and the suppression file
+//! ([`crate::report`]).
 //!
-//! Three static lints over the workspace sources (via the token
-//! scanner in [`crate::lexer`]) plus an optional runtime determinism
-//! audit ([`crate::determinism`]):
+//! Token-level lints (DESIGN.md §8):
 //!
-//! * **L1** — no `HashMap`/`HashSet` in scheduler / link-scheduler
-//!   sources (`crates/core`, `crates/linksched`, `crates/route`).
-//!   Hash iteration order is randomized per process; any tie broken by
-//!   it makes schedules irreproducible. Use `BTreeMap`/`BTreeSet` or
-//!   sorted `Vec`s.
-//! * **L2** — no bare `==`/`!=` with an f64 literal operand anywhere
-//!   outside `crates/linksched/src/time.rs` (the EPS helpers). Exact
-//!   float comparison is only meaningful inside the tolerance layer.
-//! * **L3** — every `ES-Exxx` diagnostic code that appears in
-//!   `crates/core` sources must be documented in DESIGN.md's
+//! * **L1 / ES-A001** — no `HashMap`/`HashSet` in scheduler /
+//!   link-scheduler sources (`crates/core`, `crates/linksched`,
+//!   `crates/route`). Hash iteration order is randomized per process;
+//!   any tie broken by it makes schedules irreproducible.
+//! * **L2 / ES-A002** — no bare `==`/`!=` with an f64 literal operand
+//!   anywhere outside `crates/linksched/src/time.rs` (the EPS
+//!   helpers).
+//! * **L3 / ES-A003** — every `ES-Exxx` diagnostic code that appears
+//!   in `crates/core` sources must be documented in DESIGN.md's
 //!   diagnostics table, and vice versa.
-//! * **L4** — no `Vec::new` / `.collect()` inside the loop bodies of
-//!   the probe/rebuild functions in `crates/core/src/list.rs` and
-//!   `crates/core/src/repair.rs`. Those loops run O(tasks ×
-//!   candidates) times per schedule; buffers must be hoisted and
-//!   reused (clear-don't-drop). Allocations before/after the loops are
-//!   fine — that is where the hoisted buffers live.
+//! * **L4 / ES-A004** — no `Vec::new` / `.collect()` inside the loop
+//!   bodies of the probe/rebuild functions in `crates/core/src/list.rs`
+//!   and `crates/core/src/repair.rs`.
 //!
-//! Findings print as `LINT file:line — message` (or JSON lines with
-//! `--json`) and the process exits 1 if any were produced.
+//! Syntax-aware passes (DESIGN.md §12): N1 nondeterminism taint, N2
+//! epoch discipline, N3 twin drift, N4 unsafe audit, N5 lock
+//! discipline.
+//!
+//! Findings print as `CODE PASS file:line — message` (or as one
+//! `es-analyze-v1` JSON document with `--json`) and the process exits
+//! 1 if any non-suppressed findings were produced.
 
 use crate::determinism;
-use crate::lexer::{lex, Token, TokenKind};
-use std::fmt::Write as _;
+use crate::lexer::{Token, TokenKind};
+use crate::passes::Model;
+use crate::report::{self, Finding};
 use std::path::{Path, PathBuf};
-
-/// One lint finding.
-pub struct Finding {
-    /// Lint identifier (`L1` / `L2` / `L3` / `L4` / `DET`).
-    pub lint: &'static str,
-    /// Path relative to the workspace root (empty for runtime audits).
-    pub file: String,
-    /// 1-based line, 0 when not applicable.
-    pub line: u32,
-    /// Human-readable description.
-    pub message: String,
-}
 
 /// Entry point for `xtask analyze`; returns the process exit code.
 pub fn run(args: &[String]) -> i32 {
     let mut json = false;
     let mut run_determinism = false;
     let mut root: Option<PathBuf> = None;
+    let mut suppressions: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -58,6 +51,13 @@ pub fn run(args: &[String]) -> i32 {
                     return 2;
                 };
                 root = Some(PathBuf::from(dir));
+            }
+            "--suppressions" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--suppressions requires a file argument");
+                    return 2;
+                };
+                suppressions = Some(PathBuf::from(p));
             }
             other => {
                 eprintln!("unknown `analyze` option `{other}`");
@@ -78,7 +78,8 @@ pub fn run(args: &[String]) -> i32 {
         );
         for d in determinism::audit() {
             findings.push(Finding {
-                lint: "DET",
+                code: "ES-A005",
+                pass: "DET",
                 file: String::new(),
                 line: 0,
                 message: format!(
@@ -89,67 +90,86 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
-    for f in &findings {
-        if json {
-            println!("{}", to_json(f));
-        } else if f.file.is_empty() {
-            println!("{}  {}", f.lint, f.message);
-        } else {
-            println!("{}  {}:{} — {}", f.lint, f.file, f.line, f.message);
+    // Suppression file: explicit allows with mandatory justifications.
+    let sup_path = suppressions.unwrap_or_else(|| root.join("analyze-suppressions.txt"));
+    let sup_rel = sup_path
+        .strip_prefix(&root)
+        .unwrap_or(&sup_path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let sup_text = std::fs::read_to_string(&sup_path).unwrap_or_default();
+    let (mut entries, malformed) = report::parse_suppressions(&sup_text, &sup_rel);
+    let (mut active, suppressed) = report::apply_suppressions(findings, &mut entries, &sup_rel);
+    active.extend(malformed);
+    active.sort_by(|a, b| (a.code, &a.file, a.line).cmp(&(b.code, &b.file, b.line)));
+
+    if json {
+        println!(
+            "{}",
+            report::render_report(&root.to_string_lossy(), &active, &suppressed)
+        );
+    } else {
+        for f in &active {
+            if f.file.is_empty() {
+                println!("{} {}  {}", f.code, f.pass, f.message);
+            } else {
+                println!(
+                    "{} {}  {}:{} — {}",
+                    f.code, f.pass, f.file, f.line, f.message
+                );
+            }
         }
-    }
-    if findings.is_empty() {
-        if !json {
+        if active.is_empty() {
             println!(
-                "analyze: clean (L1, L2, L3, L4{} pass)",
-                if run_determinism { ", DET" } else { "" }
+                "analyze: clean (L1-L4, N1-N5{} pass; {} suppressed)",
+                if run_determinism { ", DET" } else { "" },
+                suppressed.len()
             );
         }
+    }
+    if active.is_empty() {
         0
     } else {
-        eprintln!("analyze: {} finding(s)", findings.len());
+        eprintln!(
+            "analyze: {} finding(s) ({} suppressed)",
+            active.len(),
+            suppressed.len()
+        );
         1
     }
 }
 
-/// All static findings for the workspace at `root`, sorted by
-/// (lint, file, line) for stable output.
+/// All static findings for the workspace at `root` (L1–L4 and N1–N5),
+/// before suppression handling; sorted by (code, file, line).
 pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
-    let mut findings = Vec::new();
     let files = rust_sources(root);
+    let model = Model::load(root, &files);
+    let mut findings = Vec::new();
 
     let mut core_code_sites: Vec<(String, u32, String)> = Vec::new(); // (code, line, file)
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let Ok(src) = std::fs::read_to_string(path) else {
-            continue;
-        };
-        let tokens = lex(&src);
-
-        if in_hot_path(&rel) {
-            lint_l1(&rel, &tokens, &mut findings);
+    for file in &model.files {
+        let rel = file.rel.as_str();
+        if in_hot_path(rel) {
+            lint_l1(rel, &file.tokens, &mut findings);
         }
         if rel != "crates/linksched/src/time.rs" {
-            lint_l2(&rel, &tokens, &mut findings);
+            lint_l2(rel, &file.tokens, &mut findings);
         }
-        let l4_targets = probe_fns(&rel);
+        let l4_targets = probe_fns(rel);
         if !l4_targets.is_empty() {
-            lint_l4(&rel, l4_targets, &tokens, &mut findings);
+            lint_l4(rel, l4_targets, &file.tokens, &mut findings);
         }
         if rel.starts_with("crates/core/src/") {
-            for (code, line) in scan_codes(&src) {
-                core_code_sites.push((code, line, rel.clone()));
+            for (code, line) in scan_codes(&file.src) {
+                core_code_sites.push((code, line, rel.to_string()));
             }
         }
     }
+    lint_l3(&model.design, &core_code_sites, &mut findings);
 
-    lint_l3(root, &core_code_sites, &mut findings);
+    findings.extend(model.run_passes());
 
-    findings.sort_by(|a, b| (a.lint, &a.file, a.line).cmp(&(b.lint, &b.file, b.line)));
+    findings.sort_by(|a, b| (a.code, &a.file, a.line).cmp(&(b.code, &b.file, b.line)));
     findings
 }
 
@@ -165,7 +185,8 @@ fn lint_l1(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
         if let TokenKind::Ident(name) = &t.kind {
             if name == "HashMap" || name == "HashSet" {
                 findings.push(Finding {
-                    lint: "L1",
+                    code: "ES-A001",
+                    pass: "L1",
                     file: rel.to_string(),
                     line: t.line,
                     message: format!(
@@ -188,7 +209,8 @@ fn lint_l2(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
         let float_right = i + 1 < tokens.len() && tokens[i + 1].kind == TokenKind::Float;
         if float_left || float_right {
             findings.push(Finding {
-                lint: "L2",
+                code: "ES-A002",
+                pass: "L2",
                 file: rel.to_string(),
                 line: t.line,
                 message: format!(
@@ -235,7 +257,8 @@ fn lint_l4(rel: &str, targets: &[&str], tokens: &[Token], findings: &mut Vec<Fin
     let mut pending_loop = false;
     let flag = |line: u32, what: &str, name: &str, findings: &mut Vec<Finding>| {
         findings.push(Finding {
-            lint: "L4",
+            code: "ES-A004",
+            pass: "L4",
             file: rel.to_string(),
             line,
             message: format!(
@@ -322,11 +345,9 @@ fn scan_codes(src: &str) -> Vec<(String, u32)> {
 }
 
 /// L3: cross-check codes in core sources against DESIGN.md's table.
-fn lint_l3(root: &Path, sites: &[(String, u32, String)], findings: &mut Vec<Finding>) {
-    let design_path = root.join("DESIGN.md");
-    let design = std::fs::read_to_string(&design_path).unwrap_or_default();
+fn lint_l3(design: &str, sites: &[(String, u32, String)], findings: &mut Vec<Finding>) {
     let documented: Vec<String> = {
-        let mut v: Vec<String> = scan_codes(&design).into_iter().map(|(c, _)| c).collect();
+        let mut v: Vec<String> = scan_codes(design).into_iter().map(|(c, _)| c).collect();
         v.sort();
         v.dedup();
         v
@@ -342,7 +363,8 @@ fn lint_l3(root: &Path, sites: &[(String, u32, String)], findings: &mut Vec<Find
         seen.push(code.clone());
         if !documented.contains(code) {
             findings.push(Finding {
-                lint: "L3",
+                code: "ES-A003",
+                pass: "L3",
                 file: file.clone(),
                 line: *line,
                 message: format!(
@@ -355,7 +377,8 @@ fn lint_l3(root: &Path, sites: &[(String, u32, String)], findings: &mut Vec<Find
     for code in &documented {
         if !seen.contains(code) {
             findings.push(Finding {
-                lint: "L3",
+                code: "ES-A003",
+                pass: "L3",
                 file: "DESIGN.md".to_string(),
                 line: 0,
                 message: format!(
@@ -368,8 +391,9 @@ fn lint_l3(root: &Path, sites: &[(String, u32, String)], findings: &mut Vec<Find
 }
 
 /// Every `.rs` file under the workspace except vendored stubs, build
-/// artifacts, and VCS metadata; sorted for deterministic reports.
-fn rust_sources(root: &Path) -> Vec<PathBuf> {
+/// artifacts, the known-bad fixture corpus, and VCS metadata; sorted
+/// for deterministic reports.
+pub fn rust_sources(root: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];
     while let Some(dir) = stack.pop() {
@@ -381,7 +405,10 @@ fn rust_sources(root: &Path) -> Vec<PathBuf> {
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if path.is_dir() {
-                if matches!(name.as_ref(), "vendor" | "target" | ".git" | ".github") {
+                if matches!(
+                    name.as_ref(),
+                    "vendor" | "target" | ".git" | ".github" | "fixtures"
+                ) {
                     continue;
                 }
                 stack.push(path);
@@ -406,43 +433,10 @@ fn detect_root() -> PathBuf {
     std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
 }
 
-/// Render one finding as a JSON object (hand-rolled; no serde runtime).
-fn to_json(f: &Finding) -> String {
-    let mut s = String::from("{");
-    let _ = write!(
-        s,
-        "\"lint\":{},\"file\":{},\"line\":{},\"message\":{}",
-        json_str(f.lint),
-        json_str(&f.file),
-        f.line,
-        json_str(&f.message)
-    );
-    s.push('}');
-    s
-}
-
-fn json_str(v: &str) -> String {
-    let mut s = String::with_capacity(v.len() + 2);
-    s.push('"');
-    for c in v.chars() {
-        match c {
-            '"' => s.push_str("\\\""),
-            '\\' => s.push_str("\\\\"),
-            '\n' => s.push_str("\\n"),
-            '\t' => s.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(s, "\\u{:04x}", c as u32);
-            }
-            c => s.push(c),
-        }
-    }
-    s.push('"');
-    s
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lexer::lex;
 
     #[test]
     fn l2_flags_float_literal_comparisons() {
@@ -471,6 +465,7 @@ mod tests {
         let mut f = Vec::new();
         lint_l1("crates/core/src/x.rs", &toks, &mut f);
         assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.code == "ES-A001"));
     }
 
     #[test]
@@ -543,19 +538,5 @@ mod tests {
     fn l4_is_scoped_to_probe_files() {
         assert!(probe_fns("crates/core/src/slotted.rs").is_empty());
         assert!(!probe_fns("crates/core/src/list.rs").is_empty());
-    }
-
-    #[test]
-    fn json_escaping() {
-        let f = Finding {
-            lint: "L2",
-            file: "a\"b.rs".into(),
-            line: 3,
-            message: "tab\there".into(),
-        };
-        assert_eq!(
-            to_json(&f),
-            r#"{"lint":"L2","file":"a\"b.rs","line":3,"message":"tab\there"}"#
-        );
     }
 }

@@ -1,23 +1,29 @@
-//! A minimal Rust lexer for the workspace lints.
+//! A minimal Rust lexer for the workspace analysis passes.
 //!
-//! No `syn` is available offline, and the lints only need token-level
+//! No `syn` is available offline, and the passes only need token-level
 //! facts (identifier occurrences, operators adjacent to float
-//! literals), so this hand-rolled scanner is sufficient — and honest:
-//! it never guesses types, only reports lexical patterns, and the lint
-//! definitions in `analyze` are phrased at exactly that level.
+//! literals, token-stream equality for twin regions), so this
+//! hand-rolled scanner is sufficient — and honest: it never guesses
+//! types, only reports lexical patterns, and the pass definitions in
+//! `passes` are phrased at exactly that level.
 //!
-//! Handled: line/block comments (nested), string/char/byte literals,
-//! raw strings with hashes, numeric literals (with `_`, exponents,
-//! suffixes), identifiers, and multi-char operators. Everything else
-//! comes out as single-char punctuation tokens.
+//! Handled: line/block comments (nested), string/char/byte literals
+//! (with escapes), raw strings with hashes, byte-char literals
+//! (`b'x'`), numeric literals (with `_`, exponents, suffixes),
+//! identifiers, lifetimes-vs-char-literals, and multi-char operators.
+//! Everything else comes out as single-char punctuation tokens.
 
-/// One lexical token with its source line (1-based).
+/// One lexical token with its source line (1-based) and raw text.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Token {
-    /// Token kind and text.
+    /// Token kind.
     pub kind: TokenKind,
     /// 1-based line of the token's first character.
     pub line: u32,
+    /// The raw source text of the token (for literals, the full
+    /// literal including quotes/prefix). The twin-drift pass compares
+    /// token streams by this field.
+    pub text: String,
 }
 
 /// Classification of a token.
@@ -31,11 +37,12 @@ pub enum TokenKind {
     Float,
     /// Operator or punctuation, e.g. `==`, `!=`, `::`, `.`, `(`.
     Op(String),
-    /// String, raw-string, char, or byte literal (content dropped).
+    /// String, raw-string, char, byte, or lifetime literal.
     Literal,
 }
 
 /// Lex `src` into tokens, skipping comments and whitespace.
+#[allow(clippy::too_many_lines)]
 pub fn lex(src: &str) -> Vec<Token> {
     let b = src.as_bytes();
     let mut tokens = Vec::new();
@@ -77,9 +84,14 @@ pub fn lex(src: &str) -> Vec<Token> {
                 }
                 bump_lines(start, i.min(b.len()), &mut line);
             }
-            b'"' => {
+            // Escaped (non-raw) string and byte-string literals. `b"…"`
+            // takes this path too: byte strings honour `\"` escapes,
+            // which the raw-string scanner below must not apply.
+            b'"' | b'b'
+                if c == b'"' || (is_prefixed_literal(b, i) && b.get(i + 1) == Some(&b'"')) =>
+            {
                 let start = i;
-                i += 1;
+                i += usize::from(c == b'b') + 1; // prefix + opening quote
                 while i < b.len() {
                     match b[i] {
                         b'\\' => i += 2,
@@ -90,17 +102,39 @@ pub fn lex(src: &str) -> Vec<Token> {
                         _ => i += 1,
                     }
                 }
+                let end = i.min(b.len());
                 tokens.push(Token {
                     kind: TokenKind::Literal,
                     line,
+                    text: src[start..end].to_string(),
                 });
-                bump_lines(start, i.min(b.len()), &mut line);
+                bump_lines(start, end, &mut line);
+            }
+            // Byte-char literal `b'x'` (with escapes).
+            b'b' if is_prefixed_literal(b, i) && b.get(i + 1) == Some(&b'\'') => {
+                let start = i;
+                i += 2;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'\'' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                    text: src[start..i.min(b.len())].to_string(),
+                });
             }
             b'r' | b'b' if is_raw_string_start(b, i) => {
                 let start = i;
-                // Skip `r`/`br`/`rb` prefix then count hashes.
+                // Skip `r`/`br` prefix then count hashes.
                 i += 1;
-                if i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+                if i < b.len() && b[i] == b'r' {
                     i += 1;
                 }
                 let mut hashes = 0usize;
@@ -119,21 +153,19 @@ pub fn lex(src: &str) -> Vec<Token> {
                 tokens.push(Token {
                     kind: TokenKind::Literal,
                     line,
+                    text: src[start..i].to_string(),
                 });
                 bump_lines(start, i, &mut line);
             }
             b'\'' => {
                 // Char literal or lifetime. Lifetime: 'ident not
                 // followed by a closing quote.
+                let start = i;
                 if is_lifetime(b, i) {
                     i += 1;
                     while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                         i += 1;
                     }
-                    tokens.push(Token {
-                        kind: TokenKind::Literal,
-                        line,
-                    });
                 } else {
                     i += 1;
                     while i < b.len() {
@@ -146,11 +178,12 @@ pub fn lex(src: &str) -> Vec<Token> {
                             _ => i += 1,
                         }
                     }
-                    tokens.push(Token {
-                        kind: TokenKind::Literal,
-                        line,
-                    });
                 }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                    text: src[start..i.min(b.len())].to_string(),
+                });
             }
             _ if c.is_ascii_digit() => {
                 let start = i;
@@ -204,7 +237,6 @@ pub fn lex(src: &str) -> Vec<Token> {
                         is_float = true;
                     }
                 }
-                let _ = start;
                 tokens.push(Token {
                     kind: if is_float {
                         TokenKind::Float
@@ -212,6 +244,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                         TokenKind::Int
                     },
                     line,
+                    text: src[start..i].to_string(),
                 });
             }
             _ if c.is_ascii_alphabetic() || c == b'_' => {
@@ -222,10 +255,11 @@ pub fn lex(src: &str) -> Vec<Token> {
                 tokens.push(Token {
                     kind: TokenKind::Ident(src[start..i].to_string()),
                     line,
+                    text: src[start..i].to_string(),
                 });
             }
             _ => {
-                // Multi-char operators the lints care about, longest
+                // Multi-char operators the passes care about, longest
                 // first; everything else is single-char punctuation.
                 const OPS: [&str; 10] =
                     ["==", "!=", "<=", ">=", "::", "->", "=>", "..", "&&", "||"];
@@ -244,8 +278,9 @@ pub fn lex(src: &str) -> Vec<Token> {
                 };
                 i += op.len();
                 tokens.push(Token {
-                    kind: TokenKind::Op(op),
+                    kind: TokenKind::Op(op.clone()),
                     line,
+                    text: op,
                 });
             }
         }
@@ -253,8 +288,16 @@ pub fn lex(src: &str) -> Vec<Token> {
     tokens
 }
 
-/// Does position `i` start a raw/byte string (`r"`, `r#`, `b"`, `br`,
-/// `rb`)? Avoids misreading identifiers like `regex` or `bytes`.
+/// Is the `b` at `i` a byte-literal prefix (`b"…"` or `b'…'`) rather
+/// than the tail of an identifier like `grab`?
+fn is_prefixed_literal(b: &[u8], i: usize) -> bool {
+    b[i] == b'b' && !(i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_'))
+}
+
+/// Does position `i` start a *raw* string (`r"`, `r#"`, `br#"`)?
+/// Escaped `b"…"` byte strings are handled by the string arm instead
+/// (they honour backslash escapes; raw strings must not). Avoids
+/// misreading identifiers like `regex` or `bytes`.
 fn is_raw_string_start(b: &[u8], i: usize) -> bool {
     // Must not be preceded by an identifier character.
     if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
@@ -263,16 +306,14 @@ fn is_raw_string_start(b: &[u8], i: usize) -> bool {
     let mut j = i;
     if b[j] == b'b' {
         j += 1;
+        // Only `br…` is raw; bare `b"` is an escaped byte string.
         if j < b.len() && b[j] == b'r' {
             j += 1;
         } else {
-            return j < b.len() && b[j] == b'"';
+            return false;
         }
     } else if b[j] == b'r' {
         j += 1;
-        if j < b.len() && b[j] == b'b' {
-            j += 1;
-        }
     } else {
         return false;
     }
@@ -312,6 +353,14 @@ mod tests {
             .collect()
     }
 
+    fn literals(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text)
+            .collect()
+    }
+
     #[test]
     fn comments_and_strings_are_skipped() {
         let src = r##"
@@ -326,12 +375,79 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        // A raw string containing an unescaped quote and a `"#`-like
+        // fragment closes only at the matching `"##`.
+        let src = r###"let a = r##"has "quotes" and "# inside"##; let after = 1;"###;
+        let lits = literals(src);
+        assert_eq!(lits.len(), 1, "{lits:?}");
+        assert!(lits[0].contains("quotes"));
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn multiline_raw_string_keeps_line_numbers() {
+        let src = "let a = r#\"line1\nline2\nline3\"#;\nlet tail = 2;";
+        let toks = lex(src);
+        let tail = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("tail".into()))
+            .unwrap();
+        assert_eq!(tail.line, 4);
+    }
+
+    #[test]
+    fn byte_strings_honour_escapes() {
+        // `b"\""` is a complete byte string; the old raw-string path
+        // closed it at the escaped quote and mis-tokenized the rest.
+        let src = r#"let a = b"\""; let after = 1;"#;
+        let lits = literals(src);
+        assert_eq!(lits, vec!["b\"\\\"\"".to_string()], "{lits:?}");
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn byte_char_literals_lex_as_one_literal() {
+        let src = r"let a = b'r'; let b_ = b'\''; let c = grab;";
+        let lits = literals(src);
+        assert_eq!(lits, vec!["b'r'".to_string(), r"b'\''".to_string()]);
+        // `grab` must stay one identifier, not `gra` + `b…`.
+        assert!(idents(src).contains(&"grab".to_string()));
+    }
+
+    #[test]
+    fn raw_byte_strings_are_raw() {
+        // `br#"…"#` must NOT honour backslash escapes.
+        let src = r##"let a = br#"back\slash"#; let after = 1;"##;
+        let lits = literals(src);
+        assert_eq!(lits.len(), 1, "{lits:?}");
+        assert!(lits[0].contains("back\\slash"));
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let src = "/* a /* b /* c */ */ still comment */ let x = 1;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let".to_string(), "x".to_string()]);
+        // Unterminated nesting consumes to EOF without panicking.
+        assert!(lex("/* open /* deeper */ never closed").is_empty());
+    }
+
+    #[test]
     fn float_vs_int_literals() {
         let toks = lex("let a = 1; let b = 2.5; let c = 1e-6; let d = 3f64; let e = 0x1F;");
         let floats = toks.iter().filter(|t| t.kind == TokenKind::Float).count();
         let ints = toks.iter().filter(|t| t.kind == TokenKind::Int).count();
         assert_eq!(floats, 3, "{toks:?}");
         assert_eq!(ints, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn numeric_tokens_carry_their_text() {
+        let toks = lex("0.0 1e-6 42 0xFF");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["0.0", "1e-6", "42", "0xFF"]);
     }
 
     #[test]
@@ -375,6 +491,16 @@ mod tests {
         assert!(toks
             .iter()
             .any(|t| t.kind == TokenKind::Ident("str".into())));
+    }
+
+    #[test]
+    fn lifetime_edge_cases() {
+        // 'static at EOF, '_ anonymous, escaped quote char, char with
+        // an alphabetic body followed by a quote.
+        assert_eq!(literals("&'static"), vec!["'static".to_string()]);
+        assert_eq!(literals("&'_ str"), vec!["'_".to_string()]);
+        assert_eq!(literals(r"let c = '\'';"), vec![r"'\''".to_string()]);
+        assert_eq!(literals("let c = 'q';"), vec!["'q'".to_string()]);
     }
 
     #[test]

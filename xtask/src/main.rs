@@ -2,14 +2,12 @@
 //!
 //! ```text
 //! cargo run -p xtask -- analyze [--determinism] [--json] [--root DIR]
+//!                               [--suppressions PATH]
 //! cargo run -p xtask --release -- bench [--fast] [--check] [--out PATH]
 //!                                       [--baseline PATH]
 //! ```
 
-mod analyze;
-mod bench;
-mod determinism;
-mod lexer;
+use xtask::{analyze, bench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +31,7 @@ fn main() {
 }
 
 const USAGE: &str = "\
-xtask — workspace static analysis (DESIGN.md §8) and perf harness (§10)
+xtask — workspace static analysis (DESIGN.md §8, §12) and perf harness (§10)
 
 USAGE:
   cargo run -p xtask -- analyze [options]
@@ -44,8 +42,13 @@ ANALYZE OPTIONS:
                   diff the full schedules (slow; runs the L1 lint's
                   runtime counterpart), plus optimized-vs-reference
                   tuning double-runs
-  --json          emit findings as JSON lines instead of human text
+  --json          emit one `es-analyze-v1` JSON document instead of
+                  human text (pass registry, findings, suppressions,
+                  summary)
   --root DIR      workspace root to analyze (default: auto-detected)
+  --suppressions PATH
+                  suppression file (default: <root>/analyze-suppressions.txt;
+                  entries: `ES-A0xx <file>[:<line>] -- <justification>`)
 
 BENCH OPTIONS:
   --fast          CI smoke subset (small instances, 1 rep)
@@ -59,7 +62,7 @@ BENCH OPTIONS:
                   >10% vs the baseline's exits non-zero
   --criterion     also run the criterion suite via `cargo bench`
 
-LINTS:
+TOKEN LINTS (ES-A001..004):
   L1  no HashMap/HashSet in scheduler/link-scheduler hot paths
       (nondeterministic iteration order changes tie-breaking)
   L2  no bare ==/!= against f64 literals outside es_linksched::time
@@ -68,4 +71,17 @@ LINTS:
       in DESIGN.md's diagnostics table
   L4  no per-candidate allocations (`Vec::new`, `.collect()`) inside
       the probe/repair loop bodies of list.rs and repair.rs
-      (hoist buffers out of the loop and reuse — clear-don't-drop)";
+      (hoist buffers out of the loop and reuse — clear-don't-drop)
+
+SYNTAX-AWARE PASSES (DESIGN.md §12):
+  N1  ES-A010  nondeterminism taint: no hash iteration, wall clocks,
+               thread ids, pointer-as-int, or unordered float
+               reductions reachable from schedule/execute/repair
+  N2  ES-A020  epoch discipline: SlotQueue mutation sites pair with
+               touch()/cache invalidation (route-cache soundness)
+  N3  ES-A030  twin drift: TWIN-delimited reference/optimized regions
+               stay token-identical modulo declared divergences
+  N4  ES-A040  unsafe audit: SAFETY comments + DESIGN.md registry,
+               cross-checked both ways
+  N5  ES-A050  lock discipline in es-runner: no lock across
+               dispatch/park, no nested acquisition";

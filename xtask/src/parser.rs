@@ -1,0 +1,529 @@
+//! A lightweight syntactic layer over [`crate::lexer`]'s token stream.
+//!
+//! This is not a full Rust parser (no `syn` offline) — it recovers
+//! exactly the structure the analysis passes need and nothing more:
+//!
+//! * **items** — `fn` definitions with their body extents (token
+//!   ranges), `mod` nesting with `#[cfg(test)]` detection, and
+//!   `impl`/`struct`/`enum`/`trait` scopes for context names;
+//! * **call sites** — `name(`, `recv.name(`, and `name::<T>(`
+//!   occurrences inside fn bodies, attributed to the innermost
+//!   enclosing fn (macros `name!(…)` are excluded);
+//! * **`unsafe` surface** — every `unsafe` block, `unsafe fn`
+//!   (named or pointer type), `unsafe impl`, and `unsafe trait`,
+//!   classified and labeled with its enclosing context.
+//!
+//! The supported subset is documented in DESIGN.md §12.1. Known
+//! approximations: callee resolution is by name (no type inference),
+//! so method calls resolve to any same-named fn; const-generic brace
+//! expressions in signatures and raw identifiers (`r#type`) are not
+//! handled (neither appears in this workspace).
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::ops::Range;
+
+/// One parsed source file: tokens plus the recovered structure.
+pub struct ParsedFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Raw source text (passes that need comments re-scan this).
+    pub src: String,
+    /// Lexed token stream.
+    pub tokens: Vec<Token>,
+    /// Function definitions in source order.
+    pub fns: Vec<FnDef>,
+    /// `unsafe` sites in source order.
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// A `fn` definition (free, method, or nested).
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body (exclusive of the outer braces).
+    pub body: Range<usize>,
+    /// Inside a `#[cfg(test)]` mod / `mod tests`, or `#[test]`-marked,
+    /// or nested in such a fn.
+    pub is_test: bool,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Call sites inside this fn's body (innermost-fn attribution).
+    pub calls: Vec<Call>,
+}
+
+/// One call site inside a fn body.
+pub struct Call {
+    /// Callee name (last path segment for `a::b::f(…)`).
+    pub callee: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// Preceded by `.` (method-call syntax).
+    pub method: bool,
+}
+
+/// Classification of an `unsafe` occurrence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnsafeKind {
+    /// `unsafe { … }` block.
+    Block,
+    /// `unsafe fn name(…)` definition (free fn or method).
+    Fn,
+    /// `unsafe impl Trait for Type { … }`.
+    Impl,
+    /// `unsafe trait Name { … }`.
+    Trait,
+    /// `unsafe fn(…)` function-pointer *type* (e.g. a struct field).
+    FnPtrType,
+}
+
+impl UnsafeKind {
+    /// Short registry-label prefix (`block`, `fn`, `impl`, `trait`,
+    /// `fn-ptr`).
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::FnPtrType => "fn-ptr",
+        }
+    }
+}
+
+/// One `unsafe` site, labeled for the DESIGN.md registry cross-check.
+pub struct UnsafeSite {
+    /// What kind of `unsafe` syntax this is.
+    pub kind: UnsafeKind,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Context name: the fn's own name for `fn` sites, the impl/trait
+    /// header for those, the innermost enclosing fn/type for blocks
+    /// and pointer types.
+    pub context: String,
+}
+
+impl UnsafeSite {
+    /// Registry label, e.g. `block:worker_loop` or `impl:Send for JobPtr`.
+    pub fn registry_label(&self) -> String {
+        format!("{}:{}", self.kind.label(), self.context)
+    }
+}
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: [&str; 26] = [
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "let", "mut", "ref", "move", "fn", "impl", "where", "pub", "use", "mod", "dyn", "box", "await",
+    "async", "unsafe",
+];
+
+enum ScopeKind {
+    Fn(usize),
+    Mod { test: bool },
+    Named,
+    Other,
+}
+
+enum Pending {
+    Fn {
+        name: String,
+        line: u32,
+        is_test: bool,
+        is_unsafe: bool,
+    },
+    Mod {
+        test: bool,
+    },
+    Named(String),
+}
+
+/// Parse `src` (lexing it first) into a [`ParsedFile`].
+#[allow(clippy::too_many_lines)]
+pub fn parse(rel: &str, src: &str) -> ParsedFile {
+    let tokens = lex(src);
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut unsafe_sites: Vec<UnsafeSite> = Vec::new();
+    let mut scopes: Vec<ScopeKind> = Vec::new();
+    // Names of enclosing Named scopes, parallel to `scopes` filtered.
+    let mut named_stack: Vec<String> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut has_test_attr = false;
+    let mut next_fn_unsafe = false;
+
+    let ident = |i: usize| -> Option<&str> {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let op = |i: usize| -> Option<&str> {
+        match tokens.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Op(o)) => Some(o.as_str()),
+            _ => None,
+        }
+    };
+
+    let in_test_scope = |scopes: &[ScopeKind], fns: &[FnDef]| {
+        scopes.iter().any(|s| match s {
+            ScopeKind::Mod { test } => *test,
+            ScopeKind::Fn(idx) => fns[*idx].is_test,
+            _ => false,
+        })
+    };
+    // Innermost context name: enclosing fn first, else enclosing type.
+    let context_name = |scopes: &[ScopeKind], fns: &[FnDef], named: &[String]| -> String {
+        for s in scopes.iter().rev() {
+            if let ScopeKind::Fn(idx) = s {
+                return fns[*idx].name.clone();
+            }
+        }
+        named
+            .last()
+            .cloned()
+            .unwrap_or_else(|| "<file>".to_string())
+    };
+    // Join the idents of an impl/trait header (`impl Send for JobPtr`)
+    // up to its opening brace; skips generics/lifetime noise.
+    let header_name = |from: usize| -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        let mut j = from;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokenKind::Op(o) if o == "{" || o == ";" => break,
+                TokenKind::Ident(s) if s == "where" => break,
+                TokenKind::Ident(s) => parts.push(s.as_str()),
+                _ => {}
+            }
+            j += 1;
+        }
+        parts.join(" ")
+    };
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match &t.kind {
+            // Attributes: skip `#[…]` / `#![…]` wholesale; an outer
+            // attribute containing `test` marks the next item.
+            TokenKind::Op(o) if o == "#" => {
+                let mut j = i + 1;
+                let inner = op(j) == Some("!");
+                if inner {
+                    j += 1;
+                }
+                if op(j) == Some("[") {
+                    let mut depth = 0i32;
+                    let mut saw_test = false;
+                    while j < tokens.len() {
+                        match &tokens[j].kind {
+                            TokenKind::Op(o) if o == "[" => depth += 1,
+                            TokenKind::Op(o) if o == "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            TokenKind::Ident(s) if s == "test" => saw_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if saw_test && !inner {
+                        has_test_attr = true;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            TokenKind::Ident(kw) if kw == "fn" => {
+                // `fn(` is a pointer/trait-object type, not an item.
+                if let Some(name) = ident(i + 1) {
+                    if pending.is_none() {
+                        pending = Some(Pending::Fn {
+                            name: name.to_string(),
+                            line: t.line,
+                            is_test: has_test_attr || in_test_scope(&scopes, &fns),
+                            is_unsafe: std::mem::take(&mut next_fn_unsafe),
+                        });
+                        has_test_attr = false;
+                        i += 2;
+                        continue;
+                    }
+                }
+                next_fn_unsafe = false;
+            }
+            TokenKind::Ident(kw) if kw == "mod" => {
+                if let Some(name) = ident(i + 1) {
+                    if pending.is_none() {
+                        pending = Some(Pending::Mod {
+                            test: name == "tests" || has_test_attr || in_test_scope(&scopes, &fns),
+                        });
+                        has_test_attr = false;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            TokenKind::Ident(kw)
+                if matches!(kw.as_str(), "struct" | "enum" | "union" | "trait")
+                    && pending.is_none() =>
+            {
+                if let Some(name) = ident(i + 1) {
+                    pending = Some(Pending::Named(name.to_string()));
+                    has_test_attr = false;
+                    i += 2;
+                    continue;
+                }
+            }
+            TokenKind::Ident(kw) if kw == "impl" && pending.is_none() => {
+                pending = Some(Pending::Named(header_name(i + 1)));
+            }
+            TokenKind::Ident(kw) if kw == "unsafe" => match ident(i + 1) {
+                Some("fn") => {
+                    if op(i + 2) == Some("(") {
+                        unsafe_sites.push(UnsafeSite {
+                            kind: UnsafeKind::FnPtrType,
+                            line: t.line,
+                            context: context_name(&scopes, &fns, &named_stack),
+                        });
+                    } else if let Some(name) = ident(i + 2) {
+                        unsafe_sites.push(UnsafeSite {
+                            kind: UnsafeKind::Fn,
+                            line: t.line,
+                            context: name.to_string(),
+                        });
+                        next_fn_unsafe = true;
+                    }
+                }
+                Some("impl") => unsafe_sites.push(UnsafeSite {
+                    kind: UnsafeKind::Impl,
+                    line: t.line,
+                    context: header_name(i + 2),
+                }),
+                Some("trait") => {
+                    if let Some(name) = ident(i + 2) {
+                        unsafe_sites.push(UnsafeSite {
+                            kind: UnsafeKind::Trait,
+                            line: t.line,
+                            context: name.to_string(),
+                        });
+                    }
+                }
+                _ => {
+                    if op(i + 1) == Some("{") {
+                        unsafe_sites.push(UnsafeSite {
+                            kind: UnsafeKind::Block,
+                            line: t.line,
+                            context: context_name(&scopes, &fns, &named_stack),
+                        });
+                    }
+                }
+            },
+            TokenKind::Op(o) if o == "{" => match pending.take() {
+                Some(Pending::Fn {
+                    name,
+                    line,
+                    is_test,
+                    is_unsafe,
+                }) => {
+                    fns.push(FnDef {
+                        name,
+                        line,
+                        body: i + 1..i + 1,
+                        is_test,
+                        is_unsafe,
+                        calls: Vec::new(),
+                    });
+                    scopes.push(ScopeKind::Fn(fns.len() - 1));
+                }
+                Some(Pending::Mod { test }) => scopes.push(ScopeKind::Mod { test }),
+                Some(Pending::Named(n)) => {
+                    named_stack.push(n);
+                    scopes.push(ScopeKind::Named);
+                }
+                None => scopes.push(ScopeKind::Other),
+            },
+            TokenKind::Op(o) if o == "}" => match scopes.pop() {
+                Some(ScopeKind::Fn(idx)) => fns[idx].body.end = i,
+                Some(ScopeKind::Named) => {
+                    named_stack.pop();
+                }
+                _ => {}
+            },
+            TokenKind::Op(o) if o == ";" => {
+                pending = None;
+                has_test_attr = false;
+            }
+            TokenKind::Ident(name) => {
+                // Call detection, attributed to the innermost fn.
+                let enclosing = scopes.iter().rev().find_map(|s| match s {
+                    ScopeKind::Fn(idx) => Some(*idx),
+                    _ => None,
+                });
+                if let Some(fn_idx) = enclosing {
+                    if !NON_CALL_KEYWORDS.contains(&name.as_str()) {
+                        let is_macro = op(i + 1) == Some("!");
+                        let mut call_paren = op(i + 1) == Some("(");
+                        // Turbofish: `name::<T, U>(…)`.
+                        if !call_paren && op(i + 1) == Some("::") && op(i + 2) == Some("<") {
+                            let mut depth = 0i32;
+                            let mut j = i + 2;
+                            while j < tokens.len() {
+                                match op(j) {
+                                    Some("<") => depth += 1,
+                                    Some(">") => {
+                                        depth -= 1;
+                                        if depth == 0 {
+                                            break;
+                                        }
+                                    }
+                                    Some(";" | "{") => break,
+                                    _ => {}
+                                }
+                                j += 1;
+                            }
+                            call_paren = op(j + 1) == Some("(");
+                        }
+                        if call_paren && !is_macro {
+                            let method = i > 0 && op(i - 1) == Some(".");
+                            fns[fn_idx].calls.push(Call {
+                                callee: name.clone(),
+                                line: t.line,
+                                tok: i,
+                                method,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    ParsedFile {
+        rel: rel.to_string(),
+        src: src.to_string(),
+        tokens,
+        fns,
+        unsafe_sites,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_bodies_and_calls() {
+        let f = parse(
+            "x.rs",
+            "fn outer(x: u32) -> u32 {\n  helper(x);\n  y.method(1);\n  mac!(z);\n  0\n}\nfn helper(v: u32) {}\n",
+        );
+        assert_eq!(f.fns.len(), 2);
+        let outer = &f.fns[0];
+        assert_eq!(outer.name, "outer");
+        let callees: Vec<&str> = outer.calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(callees, vec!["helper", "method"]);
+        assert!(outer.calls[1].method);
+        assert!(!outer.calls[0].method);
+    }
+
+    #[test]
+    fn turbofish_calls_are_detected() {
+        let f = parse("x.rs", "fn g(v: Vec<f64>) -> f64 { v.iter().sum::<f64>() }");
+        let callees: Vec<&str> = f.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(callees.contains(&"sum"), "{callees:?}");
+    }
+
+    #[test]
+    fn nested_fn_attribution() {
+        let f = parse("x.rs", "fn outer() { fn inner() { deep(); } shallow(); }");
+        let outer = f.fns.iter().find(|d| d.name == "outer").unwrap();
+        let inner = f.fns.iter().find(|d| d.name == "inner").unwrap();
+        assert_eq!(
+            outer.calls.iter().map(|c| &c.callee).collect::<Vec<_>>(),
+            vec!["shallow"]
+        );
+        assert_eq!(
+            inner.calls.iter().map(|c| &c.callee).collect::<Vec<_>>(),
+            vec!["deep"]
+        );
+    }
+
+    #[test]
+    fn test_mods_and_attrs_mark_fns() {
+        let src = "\
+            fn prod() {}\n\
+            #[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn case() {}\n}\n\
+            #[test]\nfn top_level_case() {}\n";
+        let f = parse("x.rs", src);
+        let by_name = |n: &str| f.fns.iter().find(|d| d.name == n).unwrap();
+        assert!(!by_name("prod").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("case").is_test);
+        assert!(by_name("top_level_case").is_test);
+    }
+
+    #[test]
+    fn unsafe_sites_classified() {
+        let src = "\
+            struct JobPtr { call: unsafe fn(*const ()), }\n\
+            unsafe impl Send for JobPtr {}\n\
+            unsafe trait Scary {}\n\
+            unsafe fn thunk() { }\n\
+            fn worker_loop() { unsafe { go(); } }\n";
+        let f = parse("crates/runner/src/lib.rs", src);
+        let labels: Vec<String> = f
+            .unsafe_sites
+            .iter()
+            .map(UnsafeSite::registry_label)
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "fn-ptr:JobPtr",
+                "impl:Send for JobPtr",
+                "trait:Scary",
+                "fn:thunk",
+                "block:worker_loop",
+            ]
+        );
+        assert!(f.fns.iter().find(|d| d.name == "thunk").unwrap().is_unsafe);
+    }
+
+    #[test]
+    fn impl_headers_do_not_eat_fn_bodies() {
+        let f = parse(
+            "x.rs",
+            "impl Foo for Bar { fn m(&self) -> u32 { helper(); 1 } }",
+        );
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "m");
+        assert_eq!(f.fns[0].calls.len(), 1);
+    }
+
+    #[test]
+    fn return_position_impl_does_not_shadow_fn() {
+        let f = parse(
+            "x.rs",
+            "fn make() -> impl Iterator<Item = u32> { build().into_iter() }",
+        );
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "make");
+        assert!(!f.fns[0].calls.is_empty());
+    }
+
+    #[test]
+    fn closures_attribute_to_enclosing_fn() {
+        let f = parse(
+            "x.rs",
+            "fn run() { let job = move |lane, idx| { work(lane, idx); }; dispatch(job); }",
+        );
+        let callees: Vec<&str> = f.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(callees, vec!["work", "dispatch"]);
+    }
+}

@@ -1,0 +1,155 @@
+//! **N2 — epoch discipline** (`ES-A020`).
+//!
+//! The PR 4 cacheability-window invariant: the route cache is keyed on
+//! the link-state epoch, so every function in `crates/core/src/` that
+//! mutates committed `SlotQueue` state must also bump the epoch
+//! (`touch()`) or invalidate the caches before returning. Until this
+//! pass, the invariant was enforced only by debug checksums at
+//! runtime; here it is structural.
+//!
+//! Mutators: `commit`, `remove_comm`, `remove_slot_at`, `shift_right`,
+//! `insert_at`, `optimal_insert_with`. Reconcilers: `touch`,
+//! `invalidate_caches`. `commit_into` is deliberately *not* a mutator:
+//! it writes lane-private overlay deltas (DESIGN.md §11), which never
+//! feed the shared route cache.
+//!
+//! Granularity is per function: a fn that calls a mutator without any
+//! reconciler call in the same body gets one finding per mutator call
+//! site. Test functions are exempt (they assert on raw queue state).
+//!
+//! Scope refinement: the invariant attaches to the *slotted* link
+//! state (`SlotQueue`/`SlottedState`/`OverlayState`), so only files
+//! that mention those types participate. The fluid BBSA path reuses
+//! the method names `commit`/`remove_comm` on `RateProfile`, but has
+//! no epoch-keyed cache — fresh route searches every probe — so an
+//! epoch bump there would be meaningless.
+
+use super::Model;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+
+/// Calls that mutate committed SlotQueue / link state.
+const MUTATORS: [&str; 6] = [
+    "commit",
+    "remove_comm",
+    "remove_slot_at",
+    "shift_right",
+    "insert_at",
+    "optimal_insert_with",
+];
+
+/// Calls that reconcile the epoch/caches after mutation.
+const RECONCILERS: [&str; 2] = ["touch", "invalidate_caches"];
+
+/// Types whose presence marks a file as using the slotted machinery.
+const SLOTTED_TYPES: [&str; 4] = [
+    "SlotQueue",
+    "SlottedState",
+    "OverlayState",
+    "SlotQueueOverlay",
+];
+
+/// Run N2 over the model.
+pub fn run(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &model.files {
+        if !file.rel.starts_with("crates/core/src/") {
+            continue;
+        }
+        let uses_slotted = file.tokens.iter().any(|t| match &t.kind {
+            TokenKind::Ident(s) => SLOTTED_TYPES.contains(&s.as_str()),
+            _ => false,
+        });
+        if !uses_slotted {
+            continue;
+        }
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let reconciles = f
+                .calls
+                .iter()
+                .any(|c| RECONCILERS.contains(&c.callee.as_str()));
+            if reconciles {
+                continue;
+            }
+            for c in &f.calls {
+                if MUTATORS.contains(&c.callee.as_str()) {
+                    findings.push(Finding {
+                        code: "ES-A020",
+                        pass: "N2",
+                        file: file.rel.clone(),
+                        line: c.line,
+                        message: format!(
+                            "`{}` mutates committed link state in `{}` with no \
+                             `touch()` / `invalidate_caches()` in the same fn — \
+                             the epoch-keyed route cache would serve stale \
+                             shortest paths (DESIGN.md §12.2/N2)",
+                            c.callee, f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> Model {
+        Model::from_sources(
+            vec![("crates/core/src/t.rs".to_string(), src.to_string())],
+            String::new(),
+        )
+    }
+
+    #[test]
+    fn mutation_without_touch_fires() {
+        let f = run(&model("fn place(q: &mut SlotQueue) { q.commit(slot); }\n"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "ES-A020");
+    }
+
+    #[test]
+    fn mutation_with_touch_is_clean() {
+        assert!(run(&model(
+            "fn place(&mut self, q: &mut SlotQueue) { q.commit(slot); self.touch(); }\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn overlay_commit_into_is_exempt() {
+        assert!(run(&model(
+            "fn place_overlay(d: &mut SlotQueueOverlay) { d.commit_into(slot); }\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn fluid_rate_profile_files_are_out_of_scope() {
+        // BBSA's RateProfile shares the `commit`/`remove_comm` method
+        // names but has no epoch-keyed cache; files that never mention
+        // the slotted types do not participate.
+        assert!(run(&model(
+            "fn rollback(p: &mut RateProfile) { p.remove_comm(c); p.commit(c, f); }\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let m = Model::from_sources(
+            vec![(
+                "crates/linksched/src/slot.rs".to_string(),
+                "fn internal(q: &mut Q) { q.commit(s); }".to_string(),
+            )],
+            String::new(),
+        );
+        assert!(run(&m).is_empty());
+    }
+}

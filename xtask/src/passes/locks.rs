@@ -1,0 +1,331 @@
+//! **N5 — lock discipline** (`ES-A050` dispatch/park under lock,
+//! `ES-A051` nested lock acquisition).
+//!
+//! es-runner's worker pool must never hold the pool mutex across a
+//! job dispatch (the job body can take arbitrarily long — every other
+//! worker would serialize on the guard) and must never acquire a
+//! second lock while one is held (lock-order inversion risk). The
+//! runner's own convention is *publish under lock, dispatch outside*:
+//! guards are dropped (`drop(c)` or scope end) before `job(…)` /
+//! `(ptr.call)(…)` runs, and condvar waits consume their own guard.
+//!
+//! The pass tracks guard liveness lexically per function in
+//! `crates/runner/src/`: a `lock()`/`try_lock()` call bound by
+//! `let [mut] name = …` arms a guard; `drop(name)`, scope exit, or
+//! rebinding kill it. While any guard is live:
+//!
+//! * a dispatch site — a call to `job(…)` or a fn-pointer invoke
+//!   `(recv.call)(…)` — fires `ES-A050`;
+//! * a condvar park — `wait(…)`/`wait_timeout(…)` whose arguments do
+//!   not consume that guard — fires `ES-A050`;
+//! * another `lock()` acquisition fires `ES-A051`.
+//!
+//! Statement-temporary guards (`*slots[i].lock()… = v;`) are released
+//! within their statement and are not tracked — but they still count
+//! as nested acquisitions if a named guard is live.
+
+use super::Model;
+use crate::lexer::TokenKind;
+use crate::parser::{FnDef, ParsedFile};
+use crate::report::Finding;
+
+/// Callee names treated as job-dispatch sites.
+const DISPATCH_CALLEES: [&str; 1] = ["job"];
+
+/// Run N5 over the model.
+pub fn run(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &model.files {
+        if !file.rel.starts_with("crates/runner/src/") {
+            continue;
+        }
+        for f in &file.fns {
+            if !f.is_test {
+                scan_fn(file, f, &mut findings);
+            }
+        }
+    }
+    findings
+}
+
+struct Guard {
+    name: String,
+    depth: i32,
+}
+
+#[allow(clippy::too_many_lines)]
+fn scan_fn(file: &ParsedFile, f: &FnDef, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let ident = |i: usize| -> Option<&str> {
+        match toks.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let op = |i: usize| -> Option<&str> {
+        match toks.get(i).map(|t| &t.kind) {
+            Some(TokenKind::Op(o)) => Some(o.as_str()),
+            _ => None,
+        }
+    };
+
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = f.body.start;
+    while i < f.body.end {
+        match op(i) {
+            Some("{") => depth += 1,
+            Some("}") => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            _ => {}
+        }
+        let Some(name) = ident(i) else {
+            i += 1;
+            continue;
+        };
+        match name {
+            "lock" | "try_lock" if op(i + 1) == Some("(") => {
+                // Binding: walk back to the statement start looking for
+                // `let [mut] <name> =` or a plain `<name> =` rebind.
+                let bound = binding_name(file, f.body.start, i);
+                let rebind_of_live = bound
+                    .as_deref()
+                    .is_some_and(|b| guards.iter().any(|g| g.name == b));
+                if !rebind_of_live {
+                    for g in &guards {
+                        findings.push(Finding {
+                            code: "ES-A051",
+                            pass: "N5",
+                            file: file.rel.clone(),
+                            line: toks[i].line,
+                            message: format!(
+                                "nested lock acquisition in `{}` while guard `{}` is \
+                                 live — lock-order inversion risk; release the first \
+                                 guard before taking another",
+                                f.name, g.name
+                            ),
+                        });
+                    }
+                }
+                if let Some(b) = bound {
+                    if !rebind_of_live {
+                        guards.push(Guard { name: b, depth });
+                    }
+                }
+            }
+            "drop" if op(i + 1) == Some("(") => {
+                if let Some(dropped) = ident(i + 2) {
+                    guards.retain(|g| g.name != dropped);
+                }
+            }
+            "wait" | "wait_timeout" if op(i + 1) == Some("(") && !guards.is_empty() => {
+                // The guard passed to wait() is consumed (and comes back
+                // on return); any *other* live guard is held across the
+                // park.
+                let close = matching_paren(file, i + 1, f.body.end);
+                for g in &guards {
+                    let consumed = (i + 2..close).any(|j| ident(j) == Some(g.name.as_str()));
+                    if !consumed {
+                        findings.push(Finding {
+                            code: "ES-A050",
+                            pass: "N5",
+                            file: file.rel.clone(),
+                            line: toks[i].line,
+                            message: format!(
+                                "condvar park in `{}` while guard `{}` is held — \
+                                 every thread needing `{}` blocks until wakeup; \
+                                 drop it before waiting",
+                                f.name, g.name, g.name
+                            ),
+                        });
+                    }
+                }
+            }
+            _ if !guards.is_empty() => {
+                // Dispatch: `job(…)` call or `(recv.call)(…)` invoke.
+                let named_dispatch = DISPATCH_CALLEES.contains(&name) && op(i + 1) == Some("(");
+                let fnptr_invoke = name == "call"
+                    && op(i.wrapping_sub(1)) == Some(".")
+                    && op(i + 1) == Some(")")
+                    && op(i + 2) == Some("(");
+                if named_dispatch || fnptr_invoke {
+                    for g in &guards {
+                        findings.push(Finding {
+                            code: "ES-A050",
+                            pass: "N5",
+                            file: file.rel.clone(),
+                            line: toks[i].line,
+                            message: format!(
+                                "job dispatched in `{}` while guard `{}` is held — \
+                                 the job body runs user code of unbounded duration; \
+                                 publish under the lock, dispatch outside it",
+                                f.name, g.name
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// For a `lock()` call at token `at`, the variable it is bound to:
+/// `let [mut] name = … lock(…)` or `name = … lock(…)`. `None` for
+/// statement temporaries.
+fn binding_name(file: &ParsedFile, body_start: usize, at: usize) -> Option<String> {
+    let toks = &file.tokens;
+    let mut j = at;
+    // Find the statement start.
+    while j > body_start {
+        if let TokenKind::Op(ref o) = toks[j - 1].kind {
+            if o == ";" || o == "{" || o == "}" {
+                break;
+            }
+        }
+        j -= 1;
+    }
+    let ident_at = |k: usize| -> Option<&str> {
+        match toks.get(k).map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let op_at = |k: usize| -> Option<&str> {
+        match toks.get(k).map(|t| &t.kind) {
+            Some(TokenKind::Op(o)) => Some(o.as_str()),
+            _ => None,
+        }
+    };
+    if ident_at(j) == Some("let") {
+        let mut n = j + 1;
+        if ident_at(n) == Some("mut") {
+            n += 1;
+        }
+        let name = ident_at(n)?;
+        // Skip a type annotation up to the `=`.
+        let mut e = n + 1;
+        while e < at && op_at(e) != Some("=") {
+            e += 1;
+        }
+        (e < at).then(|| name.to_string())
+    } else if ident_at(j).is_some() && op_at(j + 1) == Some("=") {
+        ident_at(j).map(ToString::to_string)
+    } else {
+        None
+    }
+}
+
+/// Token index of the `)` matching the `(` at `open`.
+fn matching_paren(file: &ParsedFile, open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < end {
+        if let TokenKind::Op(ref o) = file.tokens[j].kind {
+            if o == "(" {
+                depth += 1;
+            } else if o == ")" {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        j += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> Model {
+        Model::from_sources(
+            vec![("crates/runner/src/lib.rs".to_string(), src.to_string())],
+            String::new(),
+        )
+    }
+
+    #[test]
+    fn dispatch_under_lock_fires() {
+        let f = run(&model(
+            "fn run_all(&self) { let mut c = self.ctrl.lock().unwrap(); job(0, c.next); }\n",
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "ES-A050");
+        assert!(f[0].message.contains("dispatched"));
+    }
+
+    #[test]
+    fn publish_then_drop_then_dispatch_is_clean() {
+        let f = run(&model(
+            "fn run_all(&self) { let mut c = self.ctrl.lock().unwrap(); c.next += 1; \
+             drop(c); job(0, 1); }\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn scope_exit_releases_the_guard() {
+        let f = run(&model(
+            "fn run_all(&self) { let idx = { let mut c = self.ctrl.lock().unwrap(); \
+             c.next += 1; c.next }; job(0, idx); }\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fn_pointer_invoke_counts_as_dispatch() {
+        let f = run(&model(
+            "fn worker(&self, ptr: JobPtr) { let c = self.ctrl.lock().unwrap(); \
+             (ptr.call)(ptr.data, 0, c.next); }\n",
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "ES-A050");
+    }
+
+    #[test]
+    fn nested_lock_fires_but_condvar_rebind_does_not() {
+        let f = run(&model(
+            "fn bad(&self) { let a = self.m1.lock().unwrap(); \
+             let b = self.m2.lock().unwrap(); use_(a, b); }\n",
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "ES-A051");
+
+        // `c = cv.wait(c)` and a rebinding `c = m.lock()` of the same
+        // (sole) guard are the runner's park/reacquire idiom.
+        let f = run(&model(
+            "fn ok(&self) { let mut c = self.ctrl.lock().unwrap(); \
+             while c.busy { c = self.cv.wait(c).unwrap(); } drop(c); \
+             let mut c = self.ctrl.lock().unwrap(); finish(&mut c); }\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn park_holding_a_second_guard_fires() {
+        let f = run(&model(
+            "fn bad(&self) { let g = self.state.lock().unwrap(); \
+             let mut c = self.ctrl.lock().unwrap(); \
+             c = self.cv.wait(c).unwrap(); use_(g, c); }\n",
+        ));
+        // Nested acquisition plus the park with `g` still held.
+        let codes: Vec<&str> = f.iter().map(|x| x.code).collect();
+        assert!(codes.contains(&"ES-A051"), "{f:?}");
+        assert!(codes.contains(&"ES-A050"), "{f:?}");
+    }
+
+    #[test]
+    fn test_fns_are_exempt() {
+        let f = run(&model(
+            "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { \
+             let c = m.lock().unwrap(); job(0, 0); }\n}\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,360 @@
+//! **N3 — twin drift** (`ES-A030` drift, `ES-A031` marker structure).
+//!
+//! The determinism story rests on "statement-identical twins": the
+//! reference implementations (serial probe, `SlottedState` route
+//! pick/placement) and their optimized counterparts (overlay probe,
+//! `OverlayState`) must make *bitwise identical* decisions. PR 4/5
+//! made that claim testable at runtime (differential suites); this
+//! pass makes it checkable at the source level.
+//!
+//! Regions are delimited with line markers:
+//!
+//! ```text
+//! // TWIN(<name>): begin [map a=b,c=d]
+//! …
+//! // TWIN(<name>): end
+//! ```
+//!
+//! Each `<name>` must appear exactly twice in the workspace (the
+//! reference and the optimized region). The two regions' token
+//! streams must be identical after (a) dropping lines carrying a
+//! `// TWIN-OK: <reason>` marker — the *declared* divergences, reason
+//! mandatory — and (b) renaming identifiers through the region's
+//! `map` clause (e.g. `map ws=self` on the overlay side). Comments
+//! and whitespace never participate (the comparison is token-level).
+
+use super::Model;
+use crate::lexer::{lex, TokenKind};
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+struct Region {
+    file: String,
+    begin_line: u32,
+    map: Vec<(String, String)>,
+    /// Kept lines: (absolute 1-based line, text).
+    kept: Vec<(u32, String)>,
+}
+
+/// Run N3 over the model.
+pub fn run(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut groups: BTreeMap<String, Vec<Region>> = BTreeMap::new();
+
+    for file in &model.files {
+        // Twins are a crates/ concern; scoping also keeps marker-shaped
+        // text in xtask's own tests (raw string fixtures) out of scope.
+        if file.rel.starts_with("crates/") {
+            collect_regions(&file.rel, &file.src, &mut groups, &mut findings);
+        }
+    }
+
+    for (name, regions) in &groups {
+        if regions.len() != 2 {
+            for r in regions {
+                findings.push(Finding {
+                    code: "ES-A031",
+                    pass: "N3",
+                    file: r.file.clone(),
+                    line: r.begin_line,
+                    message: format!(
+                        "twin `{name}` has {} region(s) — exactly 2 required \
+                         (one reference, one optimized)",
+                        regions.len()
+                    ),
+                });
+            }
+            continue;
+        }
+        compare(name, &regions[0], &regions[1], &mut findings);
+    }
+    findings
+}
+
+/// Scan one file's lines for TWIN markers, accumulating regions.
+fn collect_regions(
+    rel: &str,
+    src: &str,
+    groups: &mut BTreeMap<String, Vec<Region>>,
+    findings: &mut Vec<Finding>,
+) {
+    let mut open: Option<(String, Region)> = None;
+    let structure = |line: u32, msg: String, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            code: "ES-A031",
+            pass: "N3",
+            file: rel.to_string(),
+            line,
+            message: msg,
+        });
+    };
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let trimmed = raw.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("// TWIN(") {
+            let Some((name, tail)) = rest.split_once(')') else {
+                structure(
+                    lineno,
+                    "malformed TWIN marker: missing `)` after name".to_string(),
+                    findings,
+                );
+                continue;
+            };
+            let tail = tail.trim_start_matches(':').trim();
+            if tail == "end" {
+                match open.take() {
+                    Some((open_name, region)) if open_name == name => {
+                        groups.entry(open_name).or_default().push(region);
+                    }
+                    Some((open_name, _)) => structure(
+                        lineno,
+                        format!(
+                            "TWIN end for `{name}` while `{open_name}` is open — \
+                             regions cannot interleave"
+                        ),
+                        findings,
+                    ),
+                    None => structure(
+                        lineno,
+                        format!("TWIN end for `{name}` with no matching begin"),
+                        findings,
+                    ),
+                }
+            } else if let Some(map_clause) = tail.strip_prefix("begin") {
+                if let Some((prev_name, region)) = open.take() {
+                    structure(
+                        region.begin_line,
+                        format!(
+                            "TWIN `{prev_name}` begun here is never ended before \
+                             `{name}` begins"
+                        ),
+                        findings,
+                    );
+                }
+                let mut map = Vec::new();
+                let clause = map_clause.trim();
+                if let Some(pairs) = clause.strip_prefix("map") {
+                    for pair in pairs.split(',') {
+                        let pair = pair.trim();
+                        if pair.is_empty() {
+                            continue;
+                        }
+                        match pair.split_once('=') {
+                            Some((a, b)) if !a.trim().is_empty() && !b.trim().is_empty() => {
+                                map.push((a.trim().to_string(), b.trim().to_string()));
+                            }
+                            _ => structure(
+                                lineno,
+                                format!("malformed TWIN map entry `{pair}` — want `a=b`"),
+                                findings,
+                            ),
+                        }
+                    }
+                } else if !clause.is_empty() {
+                    structure(
+                        lineno,
+                        format!("unexpected text after TWIN begin: `{clause}`"),
+                        findings,
+                    );
+                }
+                open = Some((
+                    name.to_string(),
+                    Region {
+                        file: rel.to_string(),
+                        begin_line: lineno,
+                        map,
+                        kept: Vec::new(),
+                    },
+                ));
+            } else {
+                structure(
+                    lineno,
+                    format!("malformed TWIN marker: want `begin [map …]` or `end`, got `{tail}`"),
+                    findings,
+                );
+            }
+            continue;
+        }
+        if let Some((_, region)) = open.as_mut() {
+            if let Some(pos) = raw.find("// TWIN-OK") {
+                let reason = raw[pos + "// TWIN-OK".len()..]
+                    .trim_start_matches(':')
+                    .trim();
+                if reason.is_empty() {
+                    structure(
+                        lineno,
+                        "TWIN-OK divergence marker requires a reason: \
+                         `// TWIN-OK: <why this line may differ>`"
+                            .to_string(),
+                        findings,
+                    );
+                }
+                // Declared divergence: the whole line is excluded.
+                continue;
+            }
+            region.kept.push((lineno, raw.to_string()));
+        }
+    }
+    if let Some((name, region)) = open {
+        structure(
+            region.begin_line,
+            format!("TWIN `{name}` begun here is never ended"),
+            findings,
+        );
+    }
+}
+
+/// Token-compare two regions after normalization.
+fn compare(name: &str, a: &Region, b: &Region, findings: &mut Vec<Finding>) {
+    let ta = normalize(a);
+    let tb = normalize(b);
+    let n = ta.len().min(tb.len());
+    for i in 0..n {
+        if ta[i].1 != tb[i].1 {
+            findings.push(Finding {
+                code: "ES-A030",
+                pass: "N3",
+                file: b.file.clone(),
+                line: tb[i].0,
+                message: format!(
+                    "twin `{name}` drifted from its reference: `{}` here vs `{}` \
+                     at {}:{} — twins must stay token-identical modulo declared \
+                     TWIN-OK divergences",
+                    tb[i].1, ta[i].1, a.file, ta[i].0
+                ),
+            });
+            return;
+        }
+    }
+    if ta.len() != tb.len() {
+        let (longer, shorter, where_line) = if ta.len() > tb.len() {
+            (&ta, "reference", tb.last().map_or(b.begin_line, |t| t.0))
+        } else {
+            (&tb, "optimized", ta.last().map_or(a.begin_line, |t| t.0))
+        };
+        findings.push(Finding {
+            code: "ES-A030",
+            pass: "N3",
+            file: b.file.clone(),
+            line: where_line,
+            message: format!(
+                "twin `{name}` drifted: the {shorter} region ends while its twin \
+                 still has `{}` (+{} token(s))",
+                longer[n].1,
+                longer.len() - n
+            ),
+        });
+    }
+}
+
+/// Lex a region's kept lines and apply its identifier map.
+/// Returns (absolute line, normalized token text) pairs.
+fn normalize(r: &Region) -> Vec<(u32, String)> {
+    let text: String = r
+        .kept
+        .iter()
+        .map(|(_, l)| l.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    let abs_line = |rel: u32| -> u32 {
+        r.kept
+            .get(rel as usize - 1)
+            .map_or(r.begin_line, |&(abs, _)| abs)
+    };
+    lex(&text)
+        .into_iter()
+        .map(|t| {
+            let text = match &t.kind {
+                TokenKind::Ident(s) => r
+                    .map
+                    .iter()
+                    .find(|(from, _)| from == s)
+                    .map_or_else(|| t.text.clone(), |(_, to)| to.clone()),
+                _ => t.text.clone(),
+            };
+            (abs_line(t.line), text)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(files: Vec<(&str, &str)>) -> Model {
+        Model::from_sources(
+            files
+                .into_iter()
+                .map(|(r, s)| (r.to_string(), s.to_string()))
+                .collect(),
+            String::new(),
+        )
+    }
+
+    #[test]
+    fn identical_twins_are_clean() {
+        let m = model(vec![(
+            "crates/core/src/t.rs",
+            "// TWIN(relax): begin\nlet x = a + b; // hot\n// TWIN(relax): end\n\
+             // TWIN(relax): begin\n// different comment\nlet x = a + b;\n// TWIN(relax): end\n",
+        )]);
+        assert!(run(&m).is_empty());
+    }
+
+    #[test]
+    fn drift_is_reported_with_both_sites() {
+        let m = model(vec![(
+            "crates/core/src/t.rs",
+            "// TWIN(relax): begin\nlet x = a + b;\n// TWIN(relax): end\n\
+             // TWIN(relax): begin\nlet x = a - b;\n// TWIN(relax): end\n",
+        )]);
+        let f = run(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "ES-A030");
+        assert!(f[0].message.contains('-') && f[0].message.contains('+'));
+    }
+
+    #[test]
+    fn maps_and_twin_ok_declare_divergences() {
+        let m = model(vec![(
+            "crates/core/src/t.rs",
+            "// TWIN(probe): begin\n\
+             let q = self.cache;\n\
+             let v = queues[i].probe(t); // TWIN-OK: serial probes committed state\n\
+             // TWIN(probe): end\n\
+             // TWIN(probe): begin map ws=self\n\
+             let q = ws.cache;\n\
+             let v = overlay.probe_delta(t); // TWIN-OK: overlay probes through deltas\n\
+             // TWIN(probe): end\n",
+        )]);
+        assert!(run(&m).is_empty(), "{:?}", run(&m));
+    }
+
+    #[test]
+    fn structure_errors_fire_es_a031() {
+        let m = model(vec![(
+            "crates/core/src/t.rs",
+            "// TWIN(a): begin\nlet x = 1; // TWIN-OK:\n",
+        )]);
+        let f = run(&m);
+        // Empty TWIN-OK reason + unterminated region (which therefore
+        // never joins a group, so no group-arity finding on top).
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.code == "ES-A031"));
+    }
+
+    #[test]
+    fn regions_pair_across_files() {
+        let m = model(vec![
+            (
+                "crates/core/src/a.rs",
+                "// TWIN(x): begin\nfinish < best\n// TWIN(x): end\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "// TWIN(x): begin\nfinish < best\n// TWIN(x): end\n",
+            ),
+        ]);
+        assert!(run(&m).is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! **N4 — unsafe audit** (`ES-A040` missing SAFETY comment, `ES-A041`
+//! unregistered site, `ES-A042` stale registry row).
+//!
+//! The workspace forbids `unsafe` everywhere except `crates/runner`
+//! (the JobPtr dispatch thunks). This pass keeps that surface honest
+//! in both directions:
+//!
+//! * every `unsafe` block / fn / impl / trait / fn-pointer type must
+//!   carry an adjacent `// SAFETY:` comment (a `/// # Safety` doc
+//!   section also counts, per std convention for `unsafe fn`);
+//! * every site must have a row in the DESIGN.md §12.3 unsafe
+//!   registry (`| <file> | <kind>:<context> | <why sound> |`), and
+//!   every registry row must correspond to a live site — so the
+//!   registry can neither lag behind new unsafe code nor accumulate
+//!   rows for code that no longer exists.
+//!
+//! Labels are `<kind>:<context>` (e.g. `block:worker_loop`,
+//! `impl:Send for JobPtr`); same-label sites in one file get `#2`,
+//! `#3`… suffixes in source order.
+
+use super::Model;
+use crate::report::Finding;
+
+/// Run N4 over the model.
+pub fn run(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut live: Vec<(String, String)> = Vec::new(); // (file, label)
+
+    for file in &model.files {
+        let lines: Vec<&str> = file.src.lines().collect();
+        let mut seen: Vec<String> = Vec::new();
+        for site in &file.unsafe_sites {
+            let mut label = site.registry_label();
+            let dups = seen.iter().filter(|l| **l == label).count();
+            seen.push(label.clone());
+            if dups > 0 {
+                label = format!("{label}#{}", dups + 1);
+            }
+            if !has_safety_comment(&lines, site.line) {
+                findings.push(Finding {
+                    code: "ES-A040",
+                    pass: "N4",
+                    file: file.rel.clone(),
+                    line: site.line,
+                    message: format!(
+                        "unsafe site `{label}` has no adjacent `// SAFETY:` comment \
+                         (or `# Safety` doc section) stating why the invariants hold"
+                    ),
+                });
+            }
+            live.push((file.rel.clone(), label));
+        }
+    }
+
+    let registry = registry_rows(&model.design);
+    for (file, label) in &live {
+        if !registry.iter().any(|(f, l, _)| f == file && l == label) {
+            // Anchor at the site so the fix location is obvious.
+            let line = site_line(model, file, label);
+            findings.push(Finding {
+                code: "ES-A041",
+                pass: "N4",
+                file: file.clone(),
+                line,
+                message: format!(
+                    "unsafe site `{label}` is missing from the DESIGN.md §12.3 \
+                     unsafe registry — add a row `| {file} | {label} | <why sound> |`"
+                ),
+            });
+        }
+    }
+    for (file, label, design_line) in &registry {
+        if !live.iter().any(|(f, l)| f == file && l == label) {
+            findings.push(Finding {
+                code: "ES-A042",
+                pass: "N4",
+                file: "DESIGN.md".to_string(),
+                line: *design_line,
+                message: format!(
+                    "unsafe registry row `{file} | {label}` matches no live unsafe \
+                     site — stale row, delete it"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Line of the (deduped) labeled site, for ES-A041 anchoring.
+fn site_line(model: &Model, file: &str, label: &str) -> u32 {
+    let base = label.split('#').next().unwrap_or(label);
+    let ordinal: usize = label
+        .rsplit_once('#')
+        .and_then(|(_, n)| n.parse().ok())
+        .unwrap_or(1);
+    model.files.iter().find(|f| f.rel == file).map_or(0, |f| {
+        f.unsafe_sites
+            .iter()
+            .filter(|s| s.registry_label() == base)
+            .nth(ordinal - 1)
+            .map_or(0, |s| s.line)
+    })
+}
+
+/// Is there a SAFETY comment on or directly above `site_line`
+/// (1-based)? Attributes and doc comments may sit between.
+fn has_safety_comment(lines: &[&str], site_line: u32) -> bool {
+    let idx = site_line as usize - 1;
+    let is_safety = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    if lines.get(idx).is_some_and(|l| is_safety(l)) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") || t.starts_with('*') {
+            if is_safety(t) {
+                return true;
+            }
+            continue;
+        }
+        // Block-comment body/open lines.
+        if t.starts_with("/*") {
+            return is_safety(t);
+        }
+        break;
+    }
+    false
+}
+
+/// Extract `(file, label, line)` rows from the DESIGN.md registry
+/// table: markdown rows whose first cell is a `.rs` path and whose
+/// second cell is a `<kind>:<context>` label.
+fn registry_rows(design: &str) -> Vec<(String, String, u32)> {
+    const KINDS: [&str; 5] = ["block:", "fn:", "impl:", "trait:", "fn-ptr:"];
+    let mut rows = Vec::new();
+    for (idx, raw) in design.lines().enumerate() {
+        let line = raw.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let file = cells[0].trim_matches('`');
+        let label = cells[1].trim_matches('`');
+        let is_rs = std::path::Path::new(file)
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("rs"));
+        if is_rs && KINDS.iter().any(|k| label.starts_with(k)) {
+            rows.push((
+                file.to_string(),
+                label.to_string(),
+                u32::try_from(idx + 1).unwrap_or(u32::MAX),
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str, design: &str) -> Model {
+        Model::from_sources(
+            vec![("crates/runner/src/lib.rs".to_string(), src.to_string())],
+            design.to_string(),
+        )
+    }
+
+    const GOOD_SRC: &str = "\
+fn worker_loop() {
+    // SAFETY: ptr outlives the pool run; see JobPtr contract.
+    unsafe { go() };
+}
+";
+
+    #[test]
+    fn commented_and_registered_site_is_clean() {
+        let design = "| `crates/runner/src/lib.rs` | `block:worker_loop` | ptr outlives run |\n";
+        let f = run(&model(GOOD_SRC, design));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn missing_comment_and_registry_row_both_fire() {
+        let src = "fn worker_loop() {\n    unsafe { go() };\n}\n";
+        let f = run(&model(src, ""));
+        let codes: Vec<&str> = f.iter().map(|x| x.code).collect();
+        assert_eq!(codes, vec!["ES-A040", "ES-A041"], "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn stale_registry_row_fires_es_a042() {
+        let design = "\
+| `crates/runner/src/lib.rs` | `block:worker_loop` | ptr outlives run |
+| `crates/runner/src/lib.rs` | `fn:gone_thunk` | removed in PR 9 |
+";
+        let f = run(&model(GOOD_SRC, design));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "ES-A042");
+        assert_eq!(f[0].file, "DESIGN.md");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn safety_doc_section_counts_for_unsafe_fn() {
+        let src = "\
+/// Dispatch trampoline.
+///
+/// # Safety
+/// Caller guarantees `data` points at a live `F`.
+unsafe fn thunk(data: *const ()) { }
+";
+        let design = "| `crates/runner/src/lib.rs` | `fn:thunk` | see doc |\n";
+        let f = run(&model(src, design));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn duplicate_labels_get_ordinal_suffixes() {
+        let src = "\
+fn w() {
+    // SAFETY: first.
+    unsafe { a() };
+    // SAFETY: second.
+    unsafe { b() };
+}
+";
+        let design = "\
+| `crates/runner/src/lib.rs` | `block:w` | first |
+| `crates/runner/src/lib.rs` | `block:w#2` | second |
+";
+        let f = run(&model(src, design));
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

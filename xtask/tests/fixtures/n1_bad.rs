@@ -1,0 +1,18 @@
+// N1 fixture (bad): the scheduler entry point reaches a HashMap
+// iteration through the call graph — iteration order is arbitrary, so
+// the pick is nondeterministic. Must fire ES-A010.
+use std::collections::HashMap;
+
+pub fn schedule(n: u32) -> f64 {
+    pick_processor(n)
+}
+
+fn pick_processor(n: u32) -> f64 {
+    let mut finish_times = HashMap::new();
+    finish_times.insert(n, 1.0_f64);
+    let mut acc = 0.0_f64;
+    for (_, v) in &finish_times {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,18 @@
+// N1 fixture (good): the same HashMap-iteration hazard exists, but no
+// scheduler entry point reaches it — diagnostics helpers may iterate
+// hashes. Taint gating must keep this silent.
+use std::collections::HashMap;
+
+pub fn debug_histogram(n: u32) -> f64 {
+    let mut finish_times = HashMap::new();
+    finish_times.insert(n, 1.0_f64);
+    let mut acc = 0.0_f64;
+    for (_, v) in &finish_times {
+        acc += v;
+    }
+    acc
+}
+
+pub fn schedule(n: u32) -> f64 {
+    f64::from(n)
+}

@@ -1,0 +1,6 @@
+// N2 fixture (bad): commits into a SlotQueue without bumping the
+// link-state epoch — the epoch-keyed route cache would serve stale
+// shortest paths. Must fire ES-A020.
+pub fn place(q: &mut SlotQueue, slot: Slot) {
+    q.commit(slot);
+}

@@ -1,0 +1,6 @@
+// N2 fixture (good): the mutation is paired with `touch()` in the
+// same fn, reconciling the epoch. Silent.
+pub fn place(state: &mut SlottedState, q: &mut SlotQueue, slot: Slot) {
+    q.commit(slot);
+    state.touch();
+}

@@ -1,0 +1,15 @@
+// N3 fixture (bad): the optimized twin drifted from its reference
+// (`<` became `<=`, which flips EPS tie-breaks). Must fire ES-A030.
+pub fn reference(a: f64, b: f64) -> bool {
+    // TWIN(tie-break): begin
+    let better = a < b - EPS;
+    // TWIN(tie-break): end
+    better
+}
+
+pub fn optimized(a: f64, b: f64) -> bool {
+    // TWIN(tie-break): begin
+    let better = a <= b - EPS;
+    // TWIN(tie-break): end
+    better
+}

@@ -1,0 +1,18 @@
+// N3 fixture (good): token-identical twins with one declared
+// divergence per side (TWIN-OK) and an identifier map on the
+// optimized region. Silent.
+pub fn reference(q: &State, a: f64, b: f64) -> bool {
+    // TWIN(tie-break): begin
+    let bound = q.bound(); // TWIN-OK: serial reads the committed bound
+    let better = a < b - EPS;
+    // TWIN(tie-break): end
+    better && bound > 0.0
+}
+
+pub fn optimized(ws: &State, a: f64, b: f64) -> bool {
+    // TWIN(tie-break): begin map ws=q
+    let bound = ws.snapshot_bound(); // TWIN-OK: overlay reads the snapshot bound
+    let better = a < b - EPS;
+    // TWIN(tie-break): end
+    better && bound > 0.0
+}

@@ -1,0 +1,5 @@
+// N4 fixture (bad): an unsafe block with no adjacent SAFETY comment
+// and no row in the DESIGN.md registry. Must fire ES-A040 + ES-A041.
+pub fn worker_loop(ptr: *const ()) {
+    unsafe { dispatch(ptr) };
+}

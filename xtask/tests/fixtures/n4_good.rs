@@ -1,0 +1,7 @@
+// N4 fixture (good): the unsafe block carries a SAFETY comment and is
+// registered (see n4_registry.md). Silent.
+pub fn worker_loop(ptr: *const ()) {
+    // SAFETY: `ptr` originates from a live JobPtr; the pool's run
+    // barrier keeps the closure alive until every worker checks out.
+    unsafe { dispatch(ptr) };
+}

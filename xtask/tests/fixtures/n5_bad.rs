@@ -1,0 +1,10 @@
+// N5 fixture (bad): dispatches a job while holding a mutex guard
+// (ES-A050), then acquires the same mutex again with the first guard
+// still live (ES-A051).
+pub fn run_worker(m: &Mutex<State>, job: Job) {
+    let mut guard = m.lock().unwrap();
+    guard.count += 1;
+    job(guard.count);
+    let second = m.lock().unwrap();
+    drop(second);
+}

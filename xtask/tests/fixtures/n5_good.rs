@@ -1,0 +1,9 @@
+// N5 fixture (good): the guard is dropped before the dispatch, and no
+// second acquisition happens while it is live. Silent.
+pub fn run_worker(m: &Mutex<State>, job: Job) {
+    let mut guard = m.lock().unwrap();
+    guard.count += 1;
+    let n = guard.count;
+    drop(guard);
+    job(n);
+}
