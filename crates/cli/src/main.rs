@@ -30,6 +30,12 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = args[0].as_str();
+    // The serve family has its own flag grammar — hand it off before
+    // the figure-option parser can trip over it. Workers spawned by a
+    // driver started this way re-exec this binary as `serve worker`.
+    if cmd == "serve" {
+        std::process::exit(es_serve::run_cli(&args[1..], &["serve", "worker"]));
+    }
     let opts = match Options::parse(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
@@ -69,6 +75,7 @@ es-experiments — reproduce Han & Wang (ICPP 2006), Figures 1-4
 
 USAGE:
   es-experiments <fig1|fig2|fig3|fig4|all|cell|robustness|suite|export|verify|demo> [options]
+  es-experiments serve <driver|worker|bench> [serve options]
 
 OPTIONS:
   --reps N            repetitions per cell            (default 5)
@@ -107,7 +114,12 @@ The `verify` command re-audits an exported run: it regenerates the
 instance from the manifest's recorded seed/config, parses each
 algorithm's schedule back from its CSVs, and checks every model
 invariant (diagnostic codes ES-E000..ES-E008, DESIGN.md §8). Exit
-status is nonzero if any error-severity finding exists.";
+status is nonzero if any error-severity finding exists.
+
+The `serve` command runs the es-serve scheduling service: a driver on
+a Unix socket with supervised worker processes (deadlines, retries,
+backoff, load shedding), plus a chaos-capable load-generating bench.
+Run `es-experiments serve` with no arguments for its own usage.";
 
 struct Options {
     params: FigureParams,

@@ -20,11 +20,21 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Acquire a mutex, recovering the guard if a previous holder
+/// panicked. Every lock in this crate guards plain counters and
+/// `Option` slots whose invariants are re-established by the next
+/// writer, so a poisoned guard is always safe to adopt — and adopting
+/// it keeps one panicking job from wedging every other lane behind a
+/// `PoisonError` panic cascade.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A captured panic from one work item of [`try_parallel_map`] or a
 /// [`WorkerPool`] burst.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ItemPanic {
     /// Index of the item whose closure panicked.
     pub index: usize,
@@ -104,7 +114,7 @@ where
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(idx) else { break };
                 let result = guarded(idx, item);
-                *slots[idx].lock().expect("no poisoned slot") = Some(result);
+                *lock_recovering(&slots[idx]) = Some(result);
             });
         }
     });
@@ -113,7 +123,7 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("no poisoned slot")
+                .unwrap_or_else(PoisonError::into_inner)
                 .expect("every slot filled by a worker")
         })
         .collect()
@@ -137,6 +147,72 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
+/// A diagnosable configuration-parse failure: an environment variable
+/// (or CLI flag routed through the same helpers) was set, but its
+/// value does not parse. Carries everything a log line needs; callers
+/// decide between falling back to a default and refusing to start.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnvError {
+    /// The variable (or flag) that failed to parse.
+    pub var: String,
+    /// The offending raw value (lossily decoded when not UTF-8).
+    pub value: String,
+    /// Why it was rejected, e.g. `expected a positive integer`.
+    pub reason: String,
+}
+
+impl std::fmt::Display for EnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}={:?}: {} (ignoring; using default)",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Read and parse an environment variable. `Ok(None)` when unset,
+/// `Ok(Some(v))` when it parses, `Err` with a typed diagnostic when it
+/// is set but malformed — the caller chooses the fallback, nothing
+/// here panics.
+pub fn env_parse<T: std::str::FromStr>(var: &str) -> Result<Option<T>, EnvError> {
+    let raw = match std::env::var(var) {
+        Ok(s) => s,
+        Err(std::env::VarError::NotPresent) => return Ok(None),
+        Err(std::env::VarError::NotUnicode(os)) => {
+            return Err(EnvError {
+                var: var.to_string(),
+                value: os.to_string_lossy().into_owned(),
+                reason: "not valid UTF-8".to_string(),
+            })
+        }
+    };
+    match raw.trim().parse::<T>() {
+        Ok(v) => Ok(Some(v)),
+        Err(_) => Err(EnvError {
+            var: var.to_string(),
+            value: raw,
+            reason: format!("expected a {}", std::any::type_name::<T>()),
+        }),
+    }
+}
+
+/// [`env_parse`] specialised to positive integers (the shape of every
+/// count/limit knob in this workspace): `0` is rejected with a
+/// diagnostic rather than silently clamped.
+pub fn env_usize(var: &str) -> Result<Option<usize>, EnvError> {
+    match env_parse::<usize>(var)? {
+        Some(0) => Err(EnvError {
+            var: var.to_string(),
+            value: "0".to_string(),
+            reason: "expected a positive integer".to_string(),
+        }),
+        other => Ok(other),
+    }
+}
+
 /// A resolved worker-thread count (always ≥ 1).
 ///
 /// Thread counts used to be consulted ad hoc (`default_threads()` per
@@ -149,11 +225,22 @@ pub struct Threads(usize);
 
 impl Threads {
     /// Resolve from the environment: `ES_THREADS` (positive integer)
-    /// wins, else the available CPU count.
+    /// wins, else the available CPU count. A malformed override falls
+    /// back to the CPU count; use [`Threads::resolve_reporting`] when
+    /// the caller wants the diagnostic too.
     pub fn resolve() -> Self {
-        match std::env::var("ES_THREADS") {
-            Ok(s) => Self::from_override(&s),
-            Err(_) => Self::exact(default_threads()),
+        Self::resolve_reporting().0
+    }
+
+    /// Like [`Threads::resolve`], but surfaces a typed [`EnvError`]
+    /// when `ES_THREADS` was set to something unusable — so service
+    /// entry points (es-serve) can log exactly what was ignored
+    /// instead of silently diverging from the operator's intent.
+    pub fn resolve_reporting() -> (Self, Option<EnvError>) {
+        match env_usize("ES_THREADS") {
+            Ok(Some(n)) => (Self(n), None),
+            Ok(None) => (Self::exact(default_threads()), None),
+            Err(e) => (Self::exact(default_threads()), Some(e)),
         }
     }
 
@@ -161,9 +248,22 @@ impl Threads {
     /// fall back to the CPU count). Split out so the policy is
     /// testable without touching process-global environment state.
     pub fn from_override(value: &str) -> Self {
+        Self::from_override_reporting(value).0
+    }
+
+    /// [`Threads::from_override`] with the diagnostic for malformed
+    /// values (the fallback to the CPU count is unchanged).
+    pub fn from_override_reporting(value: &str) -> (Self, Option<EnvError>) {
         match value.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => Self(n),
-            _ => Self::exact(default_threads()),
+            Ok(n) if n >= 1 => (Self(n), None),
+            _ => (
+                Self::exact(default_threads()),
+                Some(EnvError {
+                    var: "ES_THREADS".to_string(),
+                    value: value.to_string(),
+                    reason: "expected a positive integer".to_string(),
+                }),
+            ),
         }
     }
 
@@ -288,15 +388,45 @@ impl WorkerPool {
     /// Run one burst: call `job(lane, index)` once per `index <
     /// items`, across all lanes. Returns only after every item has
     /// completed, so `job` may freely borrow from the caller's stack.
+    ///
+    /// Panicking variant of [`WorkerPool::try_run`]: re-panics with
+    /// the first captured [`ItemPanic`].
     pub fn run<F: Fn(usize, usize) + Sync>(&mut self, items: usize, job: &F) {
+        if let Err(p) = self.try_run(items, job) {
+            panic!("worker pool: {p}");
+        }
+    }
+
+    /// Run one burst like [`WorkerPool::run`], but report a panicking
+    /// item as `Err(`[`ItemPanic`]`)` instead of re-panicking. The
+    /// burst always drains fully — every item runs exactly once, no
+    /// lane is left holding a claim, and the pool stays reusable —
+    /// whatever the verdict. Only the first panic is reported (by
+    /// claim order); subsequent ones are dropped after draining.
+    pub fn try_run<F: Fn(usize, usize) + Sync>(
+        &mut self,
+        items: usize,
+        job: &F,
+    ) -> Result<(), ItemPanic> {
         if items == 0 {
-            return;
+            return Ok(());
         }
         if self.lanes == 1 || items == 1 {
+            let mut first: Option<ItemPanic> = None;
             for idx in 0..items {
-                job(0, idx);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(0, idx))) {
+                    if first.is_none() {
+                        first = Some(ItemPanic {
+                            index: idx,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                }
             }
-            return;
+            return match first {
+                Some(p) => Err(p),
+                None => Ok(()),
+            };
         }
 
         /// # Safety
@@ -311,7 +441,7 @@ impl WorkerPool {
         }
 
         {
-            let mut c = self.shared.ctrl.lock().expect("pool mutex");
+            let mut c = lock_recovering(&self.shared.ctrl);
             debug_assert!(c.job.is_none(), "re-entrant burst");
             c.job = Some(JobPtr {
                 data: std::ptr::from_ref(job).cast::<()>(),
@@ -328,7 +458,7 @@ impl WorkerPool {
         // are all claimed.
         loop {
             let idx = {
-                let mut c = self.shared.ctrl.lock().expect("pool mutex");
+                let mut c = lock_recovering(&self.shared.ctrl);
                 if c.next >= c.items {
                     break;
                 }
@@ -337,22 +467,27 @@ impl WorkerPool {
                 idx
             };
             let result = catch_unwind(AssertUnwindSafe(|| job(0, idx)));
-            let mut c = self.shared.ctrl.lock().expect("pool mutex");
+            let mut c = lock_recovering(&self.shared.ctrl);
             Self::finish_item(&self.shared, &mut c, idx, result);
         }
 
         // Wait for other lanes' in-flight items, then retire the
         // burst. `job` stays borrowed until here, so no worker can
         // ever dereference a dangling pointer.
-        let mut c = self.shared.ctrl.lock().expect("pool mutex");
+        let mut c = lock_recovering(&self.shared.ctrl);
         while c.completed < c.items {
-            c = self.shared.done.wait(c).expect("pool mutex");
+            c = self
+                .shared
+                .done
+                .wait(c)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         c.job = None;
         let panic = c.panic.take();
         drop(c);
-        if let Some(p) = panic {
-            panic!("worker pool: {p}");
+        match panic {
+            Some(p) => Err(p),
+            None => Ok(()),
         }
     }
 
@@ -378,7 +513,7 @@ impl WorkerPool {
     }
 
     fn worker_loop(shared: &Shared, lane: usize) {
-        let mut c = shared.ctrl.lock().expect("pool mutex");
+        let mut c = lock_recovering(&shared.ctrl);
         loop {
             if c.shutdown {
                 return;
@@ -392,7 +527,7 @@ impl WorkerPool {
                 _ => None,
             };
             let Some((ptr, idx)) = claim else {
-                c = shared.work.wait(c).expect("pool mutex");
+                c = shared.work.wait(c).unwrap_or_else(PoisonError::into_inner);
                 continue;
             };
             drop(c);
@@ -406,7 +541,7 @@ impl WorkerPool {
             let result = catch_unwind(AssertUnwindSafe(|| unsafe {
                 (ptr.call)(ptr.data, lane, idx);
             }));
-            c = shared.ctrl.lock().expect("pool mutex");
+            c = lock_recovering(&shared.ctrl);
             Self::finish_item(shared, &mut c, idx, result);
         }
     }
@@ -415,7 +550,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut c = self.shared.ctrl.lock().expect("pool mutex");
+            let mut c = lock_recovering(&self.shared.ctrl);
             c.shutdown = true;
             self.shared.work.notify_all();
         }
@@ -623,5 +758,109 @@ mod tests {
     fn pool_shutdown_joins_workers() {
         let pool = WorkerPool::new(4);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn pool_try_run_surfaces_panic_as_result() {
+        let mut pool = WorkerPool::new(3);
+        let done = AtomicUsize::new(0);
+        let err = pool
+            .try_run(20, &|_lane, idx| {
+                assert!(idx != 4, "lane job idx={idx} exploded");
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect_err("item 4 must fail");
+        assert_eq!(err.index, 4);
+        assert!(err.message.contains("idx=4"), "message: {}", err.message);
+        // Every other item still ran; no lane is wedged.
+        assert_eq!(done.load(Ordering::Relaxed), 19);
+        assert_eq!(pool.try_run(8, &|_lane, _idx| {}), Ok(()));
+    }
+
+    #[test]
+    fn pool_try_run_single_lane_drains_too() {
+        let mut pool = WorkerPool::new(1);
+        let done = AtomicUsize::new(0);
+        let err = pool
+            .try_run(6, &|_lane, idx| {
+                assert!(idx != 2, "inline idx={idx}");
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect_err("item 2 must fail");
+        assert_eq!(err.index, 2);
+        assert_eq!(done.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn pool_survives_repeated_panicking_bursts() {
+        // A lane that catches a panic must keep claiming work on the
+        // very next burst — no poisoned mutex, no dead lane.
+        let mut pool = WorkerPool::new(4);
+        for round in 0..10 {
+            let err = pool
+                .try_run(9, &|_lane, idx| assert!(idx != round % 9, "boom"))
+                .expect_err("one item fails per round");
+            assert_eq!(err.index, round % 9);
+        }
+        let count = AtomicUsize::new(0);
+        pool.run(16, &|_lane, _idx| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn env_parse_unset_is_none() {
+        assert_eq!(env_parse::<usize>("ES_TEST_UNSET_VAR_XYZ"), Ok(None));
+    }
+
+    #[test]
+    fn env_parse_reads_and_trims() {
+        std::env::set_var("ES_TEST_PARSE_OK", " 42 ");
+        assert_eq!(env_parse::<usize>("ES_TEST_PARSE_OK"), Ok(Some(42)));
+    }
+
+    #[test]
+    fn env_parse_malformed_is_typed_error() {
+        std::env::set_var("ES_TEST_PARSE_BAD", "over 9000");
+        let err = env_parse::<usize>("ES_TEST_PARSE_BAD").expect_err("malformed");
+        assert_eq!(err.var, "ES_TEST_PARSE_BAD");
+        assert_eq!(err.value, "over 9000");
+        let shown = err.to_string();
+        assert!(shown.contains("ES_TEST_PARSE_BAD"), "display: {shown}");
+        assert!(shown.contains("using default"), "display: {shown}");
+    }
+
+    #[test]
+    fn env_usize_rejects_zero() {
+        std::env::set_var("ES_TEST_USIZE_ZERO", "0");
+        let err = env_usize("ES_TEST_USIZE_ZERO").expect_err("zero is not a lane count");
+        assert!(err.reason.contains("positive"), "reason: {}", err.reason);
+        std::env::set_var("ES_TEST_USIZE_OK", "3");
+        assert_eq!(env_usize("ES_TEST_USIZE_OK"), Ok(Some(3)));
+    }
+
+    #[test]
+    fn threads_reporting_carries_diagnostic() {
+        let (t, err) = Threads::from_override_reporting("4");
+        assert_eq!((t.get(), err), (4, None));
+        let (t, err) = Threads::from_override_reporting("banana");
+        assert_eq!(t.get(), default_threads());
+        let err = err.expect("malformed override is diagnosed");
+        assert_eq!(err.var, "ES_THREADS");
+        assert_eq!(err.value, "banana");
+    }
+
+    #[test]
+    fn lock_recovering_adopts_poisoned_guard() {
+        let m = Arc::new(Mutex::new(5u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().expect("fresh mutex");
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recovering(&m), 5);
     }
 }

@@ -1,0 +1,160 @@
+//! Seeded, deterministic chaos injection (DESIGN.md §13.5).
+//!
+//! Chaos mode proves the driver's fault tolerance *measurably*: with
+//! `--chaos kill-worker:p,stall-worker:q` the driver itself sabotages
+//! a seeded fraction of first attempts — SIGKILLing the worker right
+//! after dispatch, or wedging it past the supervision timeout — and
+//! the bench then asserts that every admitted request still completes
+//! with a bitwise-identical schedule.
+//!
+//! Decisions are a pure hash of `(seed, job id)`: independent of
+//! timing, thread interleaving and worker identity, so a chaos run is
+//! exactly reproducible from its config. Chaos strikes only the
+//! *first* attempt of a job — one injected fault per request — which
+//! keeps the completion guarantee provable with a bounded retry
+//! budget (a single retry already clears every injected fault).
+
+/// What the driver does to the worker right after dispatching a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Dispatch normally.
+    None,
+    /// SIGKILL the worker immediately after writing the request —
+    /// the in-flight attempt dies with it.
+    KillWorker,
+    /// Prepend a `Stall` frame so the worker sleeps past the
+    /// supervision timeout; the driver must detect and kill it.
+    StallWorker,
+}
+
+/// Parsed `--chaos` specification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosSpec {
+    /// Probability a job's first attempt gets [`ChaosAction::KillWorker`].
+    pub kill_worker: f64,
+    /// Probability a job's first attempt gets [`ChaosAction::StallWorker`].
+    pub stall_worker: f64,
+    /// Decision seed; equal seeds make equal runs.
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// Parse `kill-worker:P,stall-worker:Q` (either term optional,
+    /// any order; probabilities in `[0, 1]` summing to ≤ 1).
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut kill = 0.0f64;
+        let mut stall = 0.0f64;
+        for term in spec.split(',').filter(|t| !t.trim().is_empty()) {
+            let (name, prob) = term
+                .trim()
+                .split_once(':')
+                .ok_or_else(|| format!("chaos term `{term}` is not name:probability"))?;
+            let p: f64 = prob
+                .trim()
+                .parse()
+                .map_err(|_| format!("chaos probability `{prob}` is not a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("chaos probability {p} outside [0, 1]"));
+            }
+            match name.trim() {
+                "kill-worker" => kill = p,
+                "stall-worker" => stall = p,
+                other => return Err(format!("unknown chaos fault `{other}`")),
+            }
+        }
+        if kill + stall > 1.0 {
+            return Err(format!("chaos probabilities sum to {} > 1", kill + stall));
+        }
+        Ok(Self {
+            kill_worker: kill,
+            stall_worker: stall,
+            seed,
+        })
+    }
+
+    /// The action for `job`'s first attempt. A pure function: hash
+    /// `(seed, job)` to a uniform draw in `[0, 1)`, carve it into
+    /// `[0, kill)`, `[kill, kill+stall)`, rest.
+    pub fn decide(&self, job: u64) -> ChaosAction {
+        let h = splitmix64(self.seed ^ job.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        // 53 uniform bits — exactly representable in f64.
+        #[allow(clippy::cast_precision_loss)]
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.kill_worker {
+            ChaosAction::KillWorker
+        } else if u < self.kill_worker + self.stall_worker {
+            ChaosAction::StallWorker
+        } else {
+            ChaosAction::None
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the same bit mixer the workload generator's
+/// seeding uses; full-period and well-distributed for sequential ids.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_and_partial_specs() {
+        let c = ChaosSpec::parse("kill-worker:0.2,stall-worker:0.1", 7).expect("valid");
+        assert!((c.kill_worker - 0.2).abs() < 1e-12);
+        assert!((c.stall_worker - 0.1).abs() < 1e-12);
+        let c = ChaosSpec::parse("stall-worker:1.0", 7).expect("valid");
+        assert!(c.kill_worker.abs() < 1e-12);
+        let c = ChaosSpec::parse("", 7).expect("empty spec = no chaos");
+        assert_eq!(c.decide(42), ChaosAction::None);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(ChaosSpec::parse("kill-worker", 0).is_err());
+        assert!(ChaosSpec::parse("kill-worker:2.0", 0).is_err());
+        assert!(ChaosSpec::parse("rm-rf:0.1", 0).is_err());
+        assert!(ChaosSpec::parse("kill-worker:0.7,stall-worker:0.7", 0).is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = ChaosSpec::parse("kill-worker:0.5", 1).expect("valid");
+        let b = ChaosSpec::parse("kill-worker:0.5", 2).expect("valid");
+        let da: Vec<ChaosAction> = (0..64).map(|j| a.decide(j)).collect();
+        assert_eq!(da, (0..64).map(|j| a.decide(j)).collect::<Vec<_>>());
+        assert_ne!(da, (0..64).map(|j| b.decide(j)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let c = ChaosSpec::parse("kill-worker:0.3,stall-worker:0.2", 99).expect("valid");
+        let n = 10_000u64;
+        let mut kills = 0;
+        let mut stalls = 0;
+        for j in 0..n {
+            match c.decide(j) {
+                ChaosAction::KillWorker => kills += 1,
+                ChaosAction::StallWorker => stalls += 1,
+                ChaosAction::None => {}
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let (k, s) = (f64::from(kills) / n as f64, f64::from(stalls) / n as f64);
+        assert!((k - 0.3).abs() < 0.02, "kill rate {k}");
+        assert!((s - 0.2).abs() < 0.02, "stall rate {s}");
+    }
+
+    #[test]
+    fn extreme_probabilities_are_exact() {
+        let all = ChaosSpec::parse("kill-worker:1.0", 3).expect("valid");
+        assert!((0..500).all(|j| all.decide(j) == ChaosAction::KillWorker));
+        let none = ChaosSpec::parse("kill-worker:0,stall-worker:0", 3).expect("valid");
+        assert!((0..500).all(|j| none.decide(j) == ChaosAction::None));
+    }
+}

@@ -1,0 +1,49 @@
+//! A small synchronous client for the es-serve driver socket, used by
+//! the load generator, the e2e tests, and anyone scripting the
+//! service from Rust.
+
+use es_wire::{read_frame, read_preamble, write_frame, write_preamble, Frame, WireError};
+use std::io::{BufReader, BufWriter};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One connection to a driver: frames out, frames in, strictly in
+/// the order the driver answers (the driver replies per request id,
+/// so callers matching on ids may pipeline freely).
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: BufWriter<UnixStream>,
+}
+
+impl Client {
+    /// Connect and exchange preambles.
+    pub fn connect(socket: &Path) -> Result<Self, WireError> {
+        let stream = UnixStream::connect(socket).map_err(WireError::from)?;
+        let read_half = stream.try_clone().map_err(WireError::from)?;
+        let mut writer = BufWriter::new(stream);
+        write_preamble(&mut writer)?;
+        std::io::Write::flush(&mut writer)?;
+        let mut reader = BufReader::new(read_half);
+        read_preamble(&mut reader)?;
+        Ok(Self { reader, writer })
+    }
+
+    /// Send one frame (flushed on return).
+    pub fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    /// Receive the next frame; `Ok(None)` when the driver closed the
+    /// connection.
+    pub fn recv(&mut self) -> Result<Option<Frame>, WireError> {
+        read_frame(&mut self.reader)
+    }
+
+    /// Send a frame and block for the next reply, treating an EOF as
+    /// a protocol error (for callers that know a reply is due).
+    pub fn round_trip(&mut self, frame: &Frame) -> Result<Frame, WireError> {
+        self.send(frame)?;
+        self.recv()?
+            .ok_or(WireError::Truncated { need: 1, have: 0 })
+    }
+}

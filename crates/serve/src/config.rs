@@ -1,0 +1,219 @@
+//! Driver configuration: defaults, `ES_SERVE_*` environment
+//! overrides, and CLI-flag parsing — all through the typed
+//! [`EnvError`] diagnostics of `es-runner`, so a malformed knob is
+//! logged and replaced by its default instead of panicking the
+//! service at startup (DESIGN.md §13.4).
+
+use crate::chaos::ChaosSpec;
+use es_runner::{env_parse, env_usize, EnvError};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// What to do when a request arrives and the admission queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the arriving request (`Overloaded` to the newcomer);
+    /// admitted work is never dropped. The default.
+    RejectNewest,
+    /// Admit the newcomer and shed the oldest *queued* request
+    /// (`Overloaded` to its client) — freshest-first service.
+    /// Dispatched work is still never dropped.
+    RejectOldest,
+}
+
+impl ShedPolicy {
+    /// Parse a policy name as used by `ES_SERVE_SHED` / `--shed`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "reject-newest" => Some(Self::RejectNewest),
+            "reject-oldest" => Some(Self::RejectOldest),
+            _ => None,
+        }
+    }
+
+    /// The name [`ShedPolicy::parse`] accepts for this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RejectNewest => "reject-newest",
+            Self::RejectOldest => "reject-oldest",
+        }
+    }
+}
+
+/// Full driver configuration. Every field has a default; the
+/// environment (`ES_SERVE_*`) and CLI flags override it.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix-domain socket path the driver listens on.
+    pub socket: PathBuf,
+    /// Worker processes to keep alive (`ES_SERVE_WORKERS`, ≥ 1).
+    pub workers: usize,
+    /// Admission-queue capacity (`ES_SERVE_QUEUE_CAP`, ≥ 1); beyond
+    /// it the shed policy applies.
+    pub queue_cap: usize,
+    /// Shed policy when the queue is full (`ES_SERVE_SHED`).
+    pub shed: ShedPolicy,
+    /// Default per-request deadline, applied when a request carries
+    /// `deadline_ms == 0` (`ES_SERVE_DEADLINE_MS`).
+    pub deadline_ms: u64,
+    /// Maximum attempts per admitted request (`ES_SERVE_RETRY_MAX`,
+    /// ≥ 1); beyond it the request is rejected `RetriesExhausted`.
+    pub retry_max: u32,
+    /// Base of the exponential retry backoff
+    /// (`ES_SERVE_BACKOFF_MS`): attempt *n* waits
+    /// `backoff_base_ms × 2^(n-1)` before re-dispatch.
+    pub backoff_base_ms: u64,
+    /// Heartbeat-ping period for idle workers
+    /// (`ES_SERVE_HEARTBEAT_MS`).
+    pub heartbeat_ms: u64,
+    /// Supervision timeout (`ES_SERVE_STALL_MS`): an idle worker
+    /// whose last pong is older than this, or a busy worker holding
+    /// one attempt longer than this, is declared stalled and killed.
+    pub stall_timeout_ms: u64,
+    /// Optional chaos injection (`--chaos`; never read from the
+    /// environment — chaos is an explicit harness decision).
+    pub chaos: Option<ChaosSpec>,
+}
+
+impl ServeConfig {
+    /// Defaults for a driver listening on `socket`. Tuned for the
+    /// workspace's instance sizes: scheduling one service-mix
+    /// instance is milliseconds, so second-scale deadlines and
+    /// half-second stall detection are generous in release builds.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        Self {
+            socket: socket.into(),
+            workers: 2,
+            queue_cap: 64,
+            shed: ShedPolicy::RejectNewest,
+            deadline_ms: 30_000,
+            retry_max: 4,
+            backoff_base_ms: 10,
+            heartbeat_ms: 100,
+            stall_timeout_ms: 2_000,
+            chaos: None,
+        }
+    }
+
+    /// Apply `ES_SERVE_*` environment overrides. Malformed values are
+    /// returned as typed diagnostics and the field keeps its previous
+    /// value — the service starts with the operator told exactly what
+    /// was ignored, rather than dying or silently misbehaving.
+    pub fn apply_env(&mut self) -> Vec<EnvError> {
+        let mut diags = Vec::new();
+        let mut take_usize = |var: &str, slot: &mut usize| match env_usize(var) {
+            Ok(Some(v)) => *slot = v,
+            Ok(None) => {}
+            Err(e) => diags.push(e),
+        };
+        take_usize("ES_SERVE_WORKERS", &mut self.workers);
+        take_usize("ES_SERVE_QUEUE_CAP", &mut self.queue_cap);
+        let mut take_u64 = |var: &str, slot: &mut u64| match env_parse::<u64>(var) {
+            Ok(Some(v)) => *slot = v,
+            Ok(None) => {}
+            Err(e) => diags.push(e),
+        };
+        take_u64("ES_SERVE_DEADLINE_MS", &mut self.deadline_ms);
+        take_u64("ES_SERVE_BACKOFF_MS", &mut self.backoff_base_ms);
+        take_u64("ES_SERVE_HEARTBEAT_MS", &mut self.heartbeat_ms);
+        take_u64("ES_SERVE_STALL_MS", &mut self.stall_timeout_ms);
+        match env_parse::<u32>("ES_SERVE_RETRY_MAX") {
+            Ok(Some(v)) if v >= 1 => self.retry_max = v,
+            Ok(Some(zero)) => diags.push(EnvError {
+                var: "ES_SERVE_RETRY_MAX".to_string(),
+                value: zero.to_string(),
+                reason: "expected a positive integer".to_string(),
+            }),
+            Ok(None) => {}
+            Err(e) => diags.push(e),
+        }
+        match env_parse::<String>("ES_SERVE_SHED") {
+            Ok(Some(s)) => match ShedPolicy::parse(&s) {
+                Some(p) => self.shed = p,
+                None => diags.push(EnvError {
+                    var: "ES_SERVE_SHED".to_string(),
+                    value: s,
+                    reason: "expected `reject-newest` or `reject-oldest`".to_string(),
+                }),
+            },
+            Ok(None) => {}
+            Err(e) => diags.push(e),
+        }
+        diags
+    }
+
+    /// The effective deadline for a request-level override (`0` means
+    /// "use the driver default").
+    pub fn effective_deadline(&self, request_deadline_ms: u32) -> Duration {
+        if request_deadline_ms == 0 {
+            Duration::from_millis(self.deadline_ms)
+        } else {
+            Duration::from_millis(u64::from(request_deadline_ms))
+        }
+    }
+
+    /// Backoff before re-dispatching attempt `next_attempt` (≥ 2):
+    /// `backoff_base_ms × 2^(next_attempt - 2)`, i.e. the first retry
+    /// waits one base period, each further retry doubles it.
+    pub fn backoff(&self, next_attempt: u32) -> Duration {
+        let doublings = next_attempt.saturating_sub(2).min(16);
+        Duration::from_millis(self.backoff_base_ms.saturating_mul(1 << doublings))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_policy_parses_its_own_names() {
+        for p in [ShedPolicy::RejectNewest, ShedPolicy::RejectOldest] {
+            assert_eq!(ShedPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(ShedPolicy::parse("drop-table"), None);
+    }
+
+    #[test]
+    fn env_overrides_apply_and_malformed_ones_diagnose() {
+        // Process-global env: use keys unique to this test.
+        std::env::set_var("ES_SERVE_WORKERS", "5");
+        std::env::set_var("ES_SERVE_QUEUE_CAP", "banana");
+        std::env::set_var("ES_SERVE_SHED", "reject-oldest");
+        std::env::set_var("ES_SERVE_RETRY_MAX", "0");
+        let mut cfg = ServeConfig::new("/tmp/es-serve-test.sock");
+        let before_cap = cfg.queue_cap;
+        let before_retry = cfg.retry_max;
+        let diags = cfg.apply_env();
+        assert_eq!(cfg.workers, 5);
+        assert_eq!(cfg.queue_cap, before_cap, "malformed value keeps default");
+        assert_eq!(cfg.shed, ShedPolicy::RejectOldest);
+        assert_eq!(cfg.retry_max, before_retry, "zero retries rejected");
+        let vars: Vec<&str> = diags.iter().map(|d| d.var.as_str()).collect();
+        assert!(vars.contains(&"ES_SERVE_QUEUE_CAP"), "diags: {vars:?}");
+        assert!(vars.contains(&"ES_SERVE_RETRY_MAX"), "diags: {vars:?}");
+        std::env::remove_var("ES_SERVE_WORKERS");
+        std::env::remove_var("ES_SERVE_QUEUE_CAP");
+        std::env::remove_var("ES_SERVE_SHED");
+        std::env::remove_var("ES_SERVE_RETRY_MAX");
+    }
+
+    #[test]
+    fn deadlines_and_backoff_shapes() {
+        let cfg = ServeConfig::new("/tmp/s.sock");
+        assert_eq!(
+            cfg.effective_deadline(0),
+            Duration::from_millis(cfg.deadline_ms)
+        );
+        assert_eq!(cfg.effective_deadline(250), Duration::from_millis(250));
+        // Attempt 2 (first retry) waits one base period; 3 doubles it.
+        assert_eq!(cfg.backoff(2), Duration::from_millis(cfg.backoff_base_ms));
+        assert_eq!(
+            cfg.backoff(3),
+            Duration::from_millis(cfg.backoff_base_ms * 2)
+        );
+        assert_eq!(
+            cfg.backoff(4),
+            Duration::from_millis(cfg.backoff_base_ms * 4)
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! The `es-serve` binary: `driver`, `worker` and `bench` subcommands
+//! over [`es_serve::run_cli`]. Workers spawned by a driver launched
+//! from this binary re-exec it with the `worker` subcommand.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(es_serve::run_cli(&args, &["worker"]));
+}

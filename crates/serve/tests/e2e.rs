@@ -1,0 +1,254 @@
+//! End-to-end tests: a real driver (in-process event loop) with real
+//! worker child processes (the compiled `es-serve` binary's `worker`
+//! subcommand) over a real Unix socket.
+//!
+//! The chaos tests here are the crate's load-bearing guarantee: with
+//! every first attempt sabotaged, every admitted request must still
+//! complete bitwise-identically to the single-process reference.
+
+use es_serve::worker::compute_schedule;
+use es_serve::{run_driver, ChaosSpec, Client, ServeConfig, WorkerCommand};
+use es_wire::{AlgoId, Frame, Request, WireInstance, WireTuning};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn worker_cmd() -> WorkerCommand {
+    WorkerCommand {
+        program: PathBuf::from(env!("CARGO_BIN_EXE_es-serve")),
+        args: vec!["worker".to_string()],
+    }
+}
+
+fn test_socket(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("es-serve-e2e-{}-{name}.sock", std::process::id()))
+}
+
+fn fast_cfg(socket: &Path) -> ServeConfig {
+    let mut cfg = ServeConfig::new(socket);
+    cfg.workers = 2;
+    cfg.heartbeat_ms = 25;
+    cfg.stall_timeout_ms = 400;
+    cfg.backoff_base_ms = 5;
+    cfg.retry_max = 5;
+    cfg
+}
+
+fn sample_request(id: u64) -> Request {
+    Request {
+        id,
+        deadline_ms: 0,
+        algo: AlgoId::ALL[(id as usize) % AlgoId::ALL.len()],
+        tuning: WireTuning::current_default(),
+        instance: WireInstance {
+            heterogeneous: id.is_multiple_of(2),
+            processors: 3,
+            ccr: 1.0,
+            tasks: Some(12),
+            seed: 0xE2E0 + id,
+        },
+        fault: None,
+    }
+}
+
+/// Start a driver thread and wait for its socket to accept.
+fn start_driver(
+    cfg: ServeConfig,
+) -> (
+    std::thread::JoinHandle<std::io::Result<es_wire::DriverStats>>,
+    PathBuf,
+) {
+    let socket = cfg.socket.clone();
+    let handle = std::thread::spawn(move || run_driver(cfg, worker_cmd()));
+    for _ in 0..400 {
+        if Client::connect(&socket).is_ok() {
+            return (handle, socket);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("driver socket never came up at {}", socket.display());
+}
+
+#[test]
+fn round_trip_matches_single_process_reference() {
+    let (driver, socket) = start_driver(fast_cfg(&test_socket("roundtrip")));
+    let mut client = Client::connect(&socket).expect("connect");
+    for id in 0..5u64 {
+        let req = sample_request(id);
+        let reply = client
+            .round_trip(&Frame::Request(req.clone()))
+            .expect("reply");
+        match reply {
+            Frame::Schedule(reply) => {
+                assert_eq!(reply.id, id);
+                assert_eq!(reply.attempts, 1, "no chaos, no retries");
+                let reference = compute_schedule(&req).expect("schedulable");
+                assert_eq!(reply.schedule, reference, "request {id} diverged");
+            }
+            other => panic!("expected schedule for {id}, got {other:?}"),
+        }
+    }
+    client.send(&Frame::Shutdown).expect("shutdown");
+    let stats = driver.join().expect("no panic").expect("clean run");
+    assert_eq!(stats.admitted, 5);
+    assert_eq!(stats.completed, 5);
+    assert_eq!(stats.retries, 0);
+}
+
+#[test]
+fn chaos_kill_every_first_attempt_loses_nothing() {
+    let mut cfg = fast_cfg(&test_socket("chaoskill"));
+    cfg.chaos = Some(ChaosSpec::parse("kill-worker:1.0", 11).expect("valid"));
+    let (driver, socket) = start_driver(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+    let n = 6u64;
+    for id in 0..n {
+        let req = sample_request(id);
+        let reply = client
+            .round_trip(&Frame::Request(req.clone()))
+            .expect("reply");
+        match reply {
+            Frame::Schedule(reply) => {
+                assert_eq!(reply.id, id);
+                assert!(
+                    reply.attempts >= 2,
+                    "first attempt was chaos-killed, so request {id} must retry"
+                );
+                let reference = compute_schedule(&req).expect("schedulable");
+                assert_eq!(
+                    reply.schedule, reference,
+                    "request {id} diverged after chaos retries"
+                );
+            }
+            other => panic!("expected schedule for {id}, got {other:?}"),
+        }
+    }
+    client.send(&Frame::Shutdown).expect("shutdown");
+    let stats = driver.join().expect("no panic").expect("clean run");
+    assert_eq!(stats.completed, n, "every admitted request completed");
+    assert_eq!(stats.chaos_kills, n);
+    assert!(stats.retries >= n);
+    assert!(stats.worker_respawns >= n);
+    assert_eq!(stats.deadline_rejected, 0);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn chaos_stall_is_detected_and_retried() {
+    let mut cfg = fast_cfg(&test_socket("chaosstall"));
+    cfg.stall_timeout_ms = 250;
+    cfg.chaos = Some(ChaosSpec::parse("stall-worker:1.0", 5).expect("valid"));
+    let (driver, socket) = start_driver(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+    let req = sample_request(0);
+    let reply = client
+        .round_trip(&Frame::Request(req.clone()))
+        .expect("reply");
+    match reply {
+        Frame::Schedule(reply) => {
+            assert!(reply.attempts >= 2, "stalled attempt must be retried");
+            assert_eq!(reply.schedule, compute_schedule(&req).expect("ok"));
+        }
+        other => panic!("expected schedule, got {other:?}"),
+    }
+    client.send(&Frame::Shutdown).expect("shutdown");
+    let stats = driver.join().expect("no panic").expect("clean run");
+    assert_eq!(stats.chaos_stalls, 1);
+    assert!(
+        stats.worker_kills >= 1,
+        "supervisor must kill the wedged worker"
+    );
+    assert_eq!(stats.completed, 1);
+}
+
+#[test]
+fn overload_sheds_with_explicit_reply() {
+    let mut cfg = fast_cfg(&test_socket("overload"));
+    cfg.workers = 1;
+    cfg.queue_cap = 1;
+    let (driver, socket) = start_driver(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+    // Pipeline a burst without reading replies: with one worker and a
+    // one-slot queue, some of these must shed.
+    let n = 8u64;
+    for id in 0..n {
+        client
+            .send(&Frame::Request(sample_request(id)))
+            .expect("send");
+    }
+    let mut schedules = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..n {
+        match client.recv().expect("reply").expect("stream open") {
+            Frame::Schedule(reply) => {
+                let reference = compute_schedule(&sample_request(reply.id)).expect("ok");
+                assert_eq!(reply.schedule, reference);
+                schedules += 1;
+            }
+            Frame::Overloaded { .. } => overloaded += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(schedules + overloaded, n, "every request got a reply");
+    assert!(overloaded > 0, "burst over a 1-slot queue must shed");
+    assert!(schedules > 0, "admitted requests still complete");
+    client.send(&Frame::Shutdown).expect("shutdown");
+    let stats = driver.join().expect("no panic").expect("clean run");
+    assert_eq!(stats.shed, overloaded);
+    assert_eq!(stats.completed, schedules);
+}
+
+#[test]
+fn stats_frame_reports_progress() {
+    let (driver, socket) = start_driver(fast_cfg(&test_socket("stats")));
+    let mut client = Client::connect(&socket).expect("connect");
+    let reply = client
+        .round_trip(&Frame::Request(sample_request(3)))
+        .expect("reply");
+    assert!(matches!(reply, Frame::Schedule(_)));
+    match client.round_trip(&Frame::StatsRequest).expect("stats") {
+        Frame::Stats(stats) => {
+            assert_eq!(stats.admitted, 1);
+            assert_eq!(stats.completed, 1);
+            assert_eq!(stats.workers_alive, 2);
+            assert_eq!(stats.inflight, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    client.send(&Frame::Shutdown).expect("shutdown");
+    driver.join().expect("no panic").expect("clean run");
+}
+
+#[test]
+fn draining_driver_rejects_new_work() {
+    let mut cfg = fast_cfg(&test_socket("draining"));
+    cfg.workers = 1;
+    let (driver, socket) = start_driver(cfg);
+    let mut client = Client::connect(&socket).expect("connect");
+    // Put one slow-ish job in flight so the drain isn't instant, then
+    // shut down and try to sneak another request in.
+    client
+        .send(&Frame::Request(sample_request(0)))
+        .expect("send");
+    client.send(&Frame::Shutdown).expect("shutdown");
+    client
+        .send(&Frame::Request(sample_request(1)))
+        .expect("send");
+    let mut saw_schedule = false;
+    let mut saw_shutdown_reject = false;
+    while let Ok(Some(frame)) = client.recv() {
+        match frame {
+            Frame::Schedule(reply) if reply.id == 0 => saw_schedule = true,
+            Frame::Reject {
+                id: 1,
+                reason: es_wire::RejectReason::ShuttingDown,
+            } => saw_shutdown_reject = true,
+            other => panic!("unexpected reply {other:?}"),
+        }
+        if saw_schedule && saw_shutdown_reject {
+            break;
+        }
+    }
+    assert!(saw_schedule, "in-flight work drains to completion");
+    assert!(saw_shutdown_reject, "post-shutdown work is refused, typed");
+    driver.join().expect("no panic").expect("clean run");
+}

@@ -16,7 +16,10 @@
 //!   text tables the CLI prints;
 //! * [`robustness`] — a fault-injection sweep (intensity × scheduler)
 //!   measuring degradation under perturbed execution and the success
-//!   rate / cost of failure-aware schedule repair.
+//!   rate / cost of failure-aware schedule repair;
+//! * [`service`] — deterministic request-mix generation for the
+//!   es-serve driver's load generator and chaos harness (DESIGN.md
+//!   §13).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +28,7 @@ pub mod experiment;
 pub mod report;
 pub mod robustness;
 pub mod runner;
+pub mod service;
 pub mod stats;
 
 pub use experiment::{
@@ -33,4 +37,5 @@ pub use experiment::{
 };
 pub use robustness::{run_robustness, RobustnessCell, RobustnessSpec, ROBUSTNESS_SCHEDULERS};
 pub use runner::{parallel_map, try_parallel_map, ItemPanic, Threads};
+pub use service::{ServiceMix, ServiceRequest, SERVICE_ALGOS};
 pub use stats::{improvement_percent, Summary};

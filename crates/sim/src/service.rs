@@ -1,0 +1,230 @@
+//! Service scenario generator: deterministic request mixes for the
+//! es-serve driver's load generator and chaos harness.
+//!
+//! The robustness story of DESIGN.md §13 needs realistic *service*
+//! traffic — a stream of scheduling requests mixing algorithms,
+//! instance sizes, speed regimes and the occasional fault-injected
+//! replay — that is nonetheless **fully reproducible**: the chaos
+//! invariant ("every admitted request's schedule is bitwise-identical
+//! to a single-process run") is only checkable when the reference run
+//! can regenerate the exact same requests. So, as everywhere else in
+//! this workspace, the mix is a pure function of its config: one seed,
+//! one [`ServiceMix`], one request stream.
+
+use es_workload::{InstanceConfig, Setting};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Wire-style algorithm ids a service request can name. These are the
+/// lowercase ids `es-wire`'s `AlgoId::parse` accepts (the sim layer
+/// stays independent of the wire crate; the strings are the contract).
+pub const SERVICE_ALGOS: [&str; 5] = ["ba-static", "ba", "oihsa", "oihsa-probe", "bbsa"];
+
+/// One scheduling request of a generated service scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceRequest {
+    /// Wire-style algorithm id (an entry of [`SERVICE_ALGOS`]).
+    pub algo: &'static str,
+    /// Deterministic generator coordinates of the instance to solve.
+    pub instance: InstanceConfig,
+    /// Per-request deadline in milliseconds (`0` = driver default).
+    pub deadline_ms: u32,
+    /// When set, the request also asks for a fault-injected replay +
+    /// repair at this intensity (in `[0, 1]`).
+    pub fault_intensity: Option<f64>,
+}
+
+/// Configuration of a deterministic service request mix.
+///
+/// Every field is data, so a mix can travel in a bench config or a CI
+/// matrix; [`ServiceMix::generate`] is a pure function of the struct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceMix {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Probability of the heterogeneous speed regime per request.
+    pub heterogeneous_share: f64,
+    /// Processor counts to draw from (uniformly).
+    pub processors: Vec<usize>,
+    /// CCR values to draw from (uniformly).
+    pub ccrs: Vec<f64>,
+    /// Inclusive task-count range per instance.
+    pub tasks: (usize, usize),
+    /// Algorithms to draw from (uniformly); wire-style ids.
+    pub algos: Vec<&'static str>,
+    /// Probability that a request carries a fault-injection leg.
+    pub fault_share: f64,
+    /// Fault intensities to draw from when a request gets one.
+    pub fault_intensities: Vec<f64>,
+    /// Deadline applied to every request (`0` = driver default).
+    pub deadline_ms: u32,
+    /// Master seed; everything else flows from it.
+    pub seed: u64,
+}
+
+impl Default for ServiceMix {
+    /// A paper-flavored default: the §6 evaluation's parameter ranges
+    /// at service scale — small-to-medium instances across both speed
+    /// regimes, every scheduler, a 20% fault-replay share.
+    fn default() -> Self {
+        Self {
+            requests: 64,
+            heterogeneous_share: 0.5,
+            processors: vec![3, 4, 6, 8],
+            ccrs: vec![0.1, 0.5, 1.0, 2.0, 5.0],
+            tasks: (20, 60),
+            algos: SERVICE_ALGOS.to_vec(),
+            fault_share: 0.2,
+            fault_intensities: vec![0.1, 0.3, 0.5],
+            deadline_ms: 0,
+            seed: 0x5e57_11ce,
+        }
+    }
+}
+
+/// Domain-separation constant folded into per-request instance seeds
+/// so they never alias the figure sweeps' [`es_workload::cell_seed`]
+/// streams (which fold their own constants).
+const SERVICE_STREAM: u64 = 0x5e72_71ce_5177_a27b;
+
+impl ServiceMix {
+    /// Generate the request stream this mix describes. Deterministic:
+    /// equal mixes produce equal streams, and each request's instance
+    /// seed is itself derived from (mix seed, request index), so any
+    /// single request can be regenerated in isolation — which is how
+    /// the driver's workers and the bench's reference run agree.
+    pub fn generate(&self) -> Vec<ServiceRequest> {
+        assert!(
+            !self.processors.is_empty() && !self.ccrs.is_empty() && !self.algos.is_empty(),
+            "service mix needs at least one processor count, CCR and algorithm"
+        );
+        assert!(
+            self.tasks.0 >= 1 && self.tasks.0 <= self.tasks.1,
+            "task range must be non-empty and start at ≥ 1"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ SERVICE_STREAM);
+        (0..self.requests)
+            .map(|i| {
+                let setting = if rng.random_bool(self.heterogeneous_share) {
+                    Setting::Heterogeneous
+                } else {
+                    Setting::Homogeneous
+                };
+                let procs = self.processors[rng.random_range(0..self.processors.len())];
+                let ccr = self.ccrs[rng.random_range(0..self.ccrs.len())];
+                let tasks = rng.random_range(self.tasks.0..=self.tasks.1);
+                let algo = self.algos[rng.random_range(0..self.algos.len())];
+                let fault_intensity = if self.fault_intensities.is_empty() {
+                    None
+                } else {
+                    rng.random_bool(self.fault_share).then(|| {
+                        self.fault_intensities[rng.random_range(0..self.fault_intensities.len())]
+                    })
+                };
+                // The instance seed mixes the master seed with the
+                // request index (splitmix-style odd constant) so
+                // request i is regenerable without replaying 0..i.
+                let instance_seed = (self.seed ^ SERVICE_STREAM)
+                    .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                ServiceRequest {
+                    algo,
+                    instance: InstanceConfig::paper(setting, procs, ccr, instance_seed)
+                        .with_tasks(tasks),
+                    deadline_ms: self.deadline_ms,
+                    fault_intensity,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_mixes_generate_equal_streams() {
+        let mix = ServiceMix::default();
+        assert_eq!(mix.generate(), mix.generate());
+        let other = ServiceMix {
+            seed: mix.seed + 1,
+            ..mix.clone()
+        };
+        assert_ne!(mix.generate(), other.generate());
+    }
+
+    #[test]
+    fn stream_respects_the_mix_bounds() {
+        let mix = ServiceMix {
+            requests: 200,
+            ..ServiceMix::default()
+        };
+        for req in mix.generate() {
+            assert!(mix.processors.contains(&req.instance.processors));
+            assert!(mix.ccrs.contains(&req.instance.ccr));
+            let t = req.instance.tasks.expect("mix always sets task count");
+            assert!(t >= mix.tasks.0 && t <= mix.tasks.1);
+            assert!(mix.algos.contains(&req.algo));
+            if let Some(f) = req.fault_intensity {
+                assert!(mix.fault_intensities.contains(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn every_algorithm_and_both_regimes_appear() {
+        let mix = ServiceMix {
+            requests: 300,
+            ..ServiceMix::default()
+        };
+        let stream = mix.generate();
+        for algo in SERVICE_ALGOS {
+            assert!(
+                stream.iter().any(|r| r.algo == algo),
+                "algorithm {algo} never drawn in 300 requests"
+            );
+        }
+        assert!(stream
+            .iter()
+            .any(|r| matches!(r.instance.setting, Setting::Heterogeneous)));
+        assert!(stream
+            .iter()
+            .any(|r| matches!(r.instance.setting, Setting::Homogeneous)));
+        let faulted = stream
+            .iter()
+            .filter(|r| r.fault_intensity.is_some())
+            .count();
+        assert!(
+            faulted > 0,
+            "fault share of 0.2 never drawn in 300 requests"
+        );
+    }
+
+    #[test]
+    fn request_seeds_are_distinct_and_index_addressable() {
+        let mix = ServiceMix::default();
+        let stream = mix.generate();
+        let mut seeds: Vec<u64> = stream.iter().map(|r| r.instance.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), stream.len(), "instance seeds collide");
+        // Regenerating the mix reproduces request i's seed without
+        // consuming the RNG stream differently.
+        assert_eq!(stream[7].instance.seed, mix.generate()[7].instance.seed);
+    }
+
+    #[test]
+    fn generated_instances_schedule() {
+        use es_core::{ListScheduler, Scheduler};
+        let mix = ServiceMix {
+            requests: 6,
+            ..ServiceMix::default()
+        };
+        for req in mix.generate() {
+            let inst = es_workload::generate(&req.instance);
+            ListScheduler::oihsa()
+                .schedule(&inst.dag, &inst.topo)
+                .expect("service instances are schedulable");
+        }
+    }
+}

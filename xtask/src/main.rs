@@ -83,5 +83,5 @@ SYNTAX-AWARE PASSES (DESIGN.md §12):
                stay token-identical modulo declared divergences
   N4  ES-A040  unsafe audit: SAFETY comments + DESIGN.md registry,
                cross-checked both ways
-  N5  ES-A050  lock discipline in es-runner: no lock across
-               dispatch/park, no nested acquisition";
+  N5  ES-A050  lock discipline in es-runner + es-serve: no lock
+               across dispatch/park, no nested acquisition";

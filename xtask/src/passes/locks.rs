@@ -9,8 +9,15 @@
 //! guards are dropped (`drop(c)` or scope end) before `job(…)` /
 //! `(ptr.call)(…)` runs, and condvar waits consume their own guard.
 //!
+//! es-serve's driver goes further: its event loop is single-owner by
+//! design — *no* driver state lives behind a mutex — so any lock that
+//! appears in `crates/serve/src/` gets the same scrutiny as the
+//! runner's (and dispatching a job or parking a condvar under one is
+//! just as wrong there).
+//!
 //! The pass tracks guard liveness lexically per function in
-//! `crates/runner/src/`: a `lock()`/`try_lock()` call bound by
+//! `crates/runner/src/` and `crates/serve/src/`: a
+//! `lock()`/`try_lock()` call bound by
 //! `let [mut] name = …` arms a guard; `drop(name)`, scope exit, or
 //! rebinding kill it. While any guard is live:
 //!
@@ -36,7 +43,9 @@ const DISPATCH_CALLEES: [&str; 1] = ["job"];
 pub fn run(model: &Model) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in &model.files {
-        if !file.rel.starts_with("crates/runner/src/") {
+        let in_scope =
+            file.rel.starts_with("crates/runner/src/") || file.rel.starts_with("crates/serve/src/");
+        if !in_scope {
             continue;
         }
         for f in &file.fns {
@@ -318,6 +327,22 @@ mod tests {
         let codes: Vec<&str> = f.iter().map(|x| x.code).collect();
         assert!(codes.contains(&"ES-A051"), "{f:?}");
         assert!(codes.contains(&"ES-A050"), "{f:?}");
+    }
+
+    #[test]
+    fn serve_crate_is_in_scope() {
+        let m = Model::from_sources(
+            vec![(
+                "crates/serve/src/driver.rs".to_string(),
+                "fn dispatch(&self) { let c = self.state.lock().unwrap(); job(0, c.next); }\n"
+                    .to_string(),
+            )],
+            String::new(),
+        );
+        let f = run(&m);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].code, "ES-A050");
+        assert_eq!(f[0].file, "crates/serve/src/driver.rs");
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub const PASSES: &[PassDesc] = &[
         id: "N5",
         codes: &["ES-A050", "ES-A051"],
         title: "lock discipline: no lock held across dispatch/park, no \
-                nested lock acquisition in es-runner",
+                nested lock acquisition in es-runner and es-serve",
     },
 ];
 
