@@ -57,6 +57,7 @@ fn main() {
             emit(&[f1, f2, f3, f4], &opts);
         }
         "cell" => run_single_cell(&opts),
+        "backends" => run_backend_comparison(&opts),
         "robustness" => run_robustness_sweep(&opts),
         "suite" => run_suite(&opts),
         "export" => export_instance(&opts),
@@ -74,7 +75,7 @@ const USAGE: &str = "\
 es-experiments — reproduce Han & Wang (ICPP 2006), Figures 1-4
 
 USAGE:
-  es-experiments <fig1|fig2|fig3|fig4|all|cell|robustness|suite|export|verify|demo> [options]
+  es-experiments <fig1|fig2|fig3|fig4|all|cell|backends|robustness|suite|export|verify|demo> [options]
   es-experiments serve <driver|worker|bench> [serve options]
 
 OPTIONS:
@@ -87,6 +88,8 @@ OPTIONS:
   --setting h|het     (cell/robustness) homogeneous or heterogeneous
   --ccr X             (cell/robustness) single CCR
   --intensities A,B   (robustness) fault intensities in [0,1] (default 0.2,0.5,0.8)
+  --backend B         (robustness) link-model backend: slot | fluid | saf |
+                      saf:QUANTUM:LATENCY              (default slot)
   --validate          re-validate every schedule against the model
   --strong-baseline   also run the probing-BA family for comparison
   --progress          print a line to stderr per completed cell
@@ -100,6 +103,12 @@ The `export` command generates one instance (--setting/--procs/--ccr/
 --seed/--tasks), schedules it with BA-static, BA, OIHSA and BBSA, and
 writes DOT renderings of the DAG and topology plus per-schedule CSVs,
 text Gantt charts and a manifest into DIR.
+
+The `backends` command schedules one workload cell under every link
+model — slot queues (the paper's model), fluid bandwidth sharing
+(BBSA), and the packet-quantized store-and-forward model with per-link
+latency — and prints a Markdown makespan-comparison table (each
+schedule validated against its backend's transformed instance).
 
 The `robustness` command sweeps fault intensities over one workload
 cell: each scheduler's output is replayed under seeded soft faults
@@ -127,6 +136,7 @@ struct Options {
     setting: Setting,
     single_ccr: f64,
     intensities: Vec<f64>,
+    backend: es_core::LinkBackend,
     out_dir: Option<String>,
     in_dir: String,
     json: bool,
@@ -142,6 +152,7 @@ impl Options {
         let mut setting = Setting::Homogeneous;
         let mut single_ccr = 1.0;
         let mut intensities = vec![0.2, 0.5, 0.8];
+        let mut backend = es_core::LinkBackend::default();
         let mut out_dir = None;
         let mut in_dir = String::from("export");
         let mut json = false;
@@ -190,6 +201,9 @@ impl Options {
                         _ => return Err(format!("--setting: unknown value {v}")),
                     };
                 }
+                "--backend" => {
+                    backend = take()?.parse().map_err(|e| format!("--backend: {e}"))?;
+                }
                 "--validate" => params.validate = true,
                 "--progress" => params.progress = true,
                 "--strong-baseline" => params.strong_baseline = true,
@@ -206,6 +220,7 @@ impl Options {
             setting,
             single_ccr,
             intensities,
+            backend,
             out_dir,
             in_dir,
             json,
@@ -263,11 +278,27 @@ fn run_single_cell(opts: &Options) {
     }
 }
 
+/// `backends`: one workload cell scheduled under every link-model
+/// backend, printed as the Markdown table EXPERIMENTS.md embeds.
+fn run_backend_comparison(opts: &Options) {
+    use es_sim::backends::{compare_backends, markdown_table, BackendCompareSpec};
+
+    let mut spec =
+        BackendCompareSpec::paper_cell(opts.params.reps, opts.params.tasks, opts.params.base_seed);
+    spec.setting = opts.setting;
+    spec.processors = *opts.params.procs.first().unwrap_or(&8);
+    spec.ccr = opts.single_ccr;
+    spec.validate = opts.params.validate;
+    spec.threads = opts.params.threads;
+    let rows = compare_backends(&spec);
+    print!("{}", markdown_table(&spec, &rows));
+}
+
 /// `robustness`: fault-intensity sweep on one workload cell, with an
 /// optional es-export-v1 dump of the repaired schedules.
 fn run_robustness_sweep(opts: &Options) {
     use es_sim::report::{robustness_to_csv, robustness_to_markdown};
-    use es_sim::{run_robustness, RobustnessSpec};
+    use es_sim::{run_robustness_backend, RobustnessSpec};
 
     let spec = RobustnessSpec {
         setting: opts.setting,
@@ -279,7 +310,10 @@ fn run_robustness_sweep(opts: &Options) {
         intensities: opts.intensities.clone(),
         threads: opts.params.threads,
     };
-    let cells = run_robustness(&spec);
+    let cells = run_robustness_backend(&spec, opts.backend);
+    if opts.backend != es_core::LinkBackend::default() {
+        println!("link backend: {}", opts.backend);
+    }
     print!("{}", robustness_to_markdown(&spec, &cells));
     if let Some(path) = &opts.csv {
         std::fs::write(path, robustness_to_csv(&spec, &cells)).unwrap_or_else(|e| {
@@ -704,6 +738,22 @@ mod tests {
         let o = parse(&["--intensities", "0.1, 0.9"]).unwrap();
         assert_eq!(o.intensities, vec![0.1, 0.9]);
         assert!(parse(&["--intensities", "high"]).is_err());
+    }
+
+    #[test]
+    fn parses_backend_selection() {
+        use es_core::{LinkBackend, SafTiming};
+        assert_eq!(parse(&[]).unwrap().backend, LinkBackend::SlotQueue);
+        assert_eq!(
+            parse(&["--backend", "fluid"]).unwrap().backend,
+            LinkBackend::Fluid
+        );
+        assert_eq!(
+            parse(&["--backend", "saf:2:0.5"]).unwrap().backend,
+            LinkBackend::StoreForward(SafTiming::new(2.0, 0.5))
+        );
+        let err = parse(&["--backend", "carrier-pigeon"]).err().unwrap();
+        assert!(err.contains("--backend"), "{err}");
     }
 
     #[test]

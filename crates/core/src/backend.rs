@@ -1,0 +1,350 @@
+//! Link-model backend selection at the scheduler level.
+//!
+//! The `es-linksched` crate exposes three [`es_linksched::LinkModel`]
+//! implementations — slot queue, fluid rate profile, and the
+//! packet-quantized store-and-forward link. The slotted and BBSA
+//! schedulers are built directly on the first two; [`LinkBackend`]
+//! makes the third available to *every* existing scheduler without
+//! touching their hot paths, via an **instance transform**:
+//!
+//! * [`LinkBackend::prepare`] quantizes each edge's communication cost
+//!   up to whole packets (`SafLink::packets` × quantum) and folds the
+//!   per-link forwarding latency into the topology's per-hop delay
+//!   ([`es_net::Topology::with_hop_delay`]);
+//! * [`LinkBackend::adapt`] forces [`Switching::StoreAndForward`], the
+//!   semantics of a store-and-forward fabric.
+//!
+//! A scheduler run on the transformed instance is then *exactly* a run
+//! of the store-and-forward model: link occupancy is
+//! `packets × quantum / speed` (bitwise equal to `SafLink::occupancy`
+//! thanks to the shared multiply-before-divide form), and each hop
+//! after the first pays the forwarding latency. Every validator,
+//! executor, repair pass, cache, and overlay applies unchanged, and
+//! the slot/fluid backends keep producing bitwise-identical schedules
+//! because their transform is the identity.
+
+use crate::config::{ListConfig, Switching};
+use es_dag::{TaskGraph, TaskGraphBuilder};
+use es_linksched::SafLink;
+use es_net::Topology;
+use std::fmt;
+
+/// Timing parameters of the store-and-forward backend. Stored as IEEE
+/// bit patterns so the type is `Eq`/`Hash` (backends key sweep tables).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SafTiming {
+    quantum_bits: u64,
+    latency_bits: u64,
+}
+
+impl SafTiming {
+    /// Timing with the given packet quantum (volume units, `> 0`) and
+    /// per-link forwarding latency (seconds, `>= 0`).
+    ///
+    /// # Panics
+    /// Panics on a non-positive/non-finite quantum or a negative
+    /// latency — same domain [`SafLink::new`] enforces.
+    #[must_use]
+    pub fn new(quantum: f64, latency: f64) -> Self {
+        assert!(
+            quantum > 0.0 && quantum.is_finite(),
+            "packet quantum must be positive, got {quantum}"
+        );
+        assert!(
+            latency >= 0.0 && latency.is_finite(),
+            "forwarding latency must be non-negative, got {latency}"
+        );
+        Self {
+            quantum_bits: quantum.to_bits(),
+            latency_bits: latency.to_bits(),
+        }
+    }
+
+    /// The packet quantum (volume units).
+    #[must_use]
+    pub fn quantum(self) -> f64 {
+        f64::from_bits(self.quantum_bits)
+    }
+
+    /// The per-link forwarding latency (seconds).
+    #[must_use]
+    pub fn latency(self) -> f64 {
+        f64::from_bits(self.latency_bits)
+    }
+
+    /// A [`SafLink`] with this timing (reference probe scan), for
+    /// dropping the scheduler-level transform onto the link-level
+    /// model in tests.
+    #[must_use]
+    pub fn link(self) -> SafLink {
+        SafLink::new(self.quantum(), self.latency())
+    }
+}
+
+impl Default for SafTiming {
+    /// Unit packets, zero latency — the timing under which the
+    /// store-and-forward backend degenerates to the slot backend on
+    /// integral costs (the equivalence the integration suite pins).
+    fn default() -> Self {
+        Self::new(1.0, 0.0)
+    }
+}
+
+/// Which link model the schedulers run against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum LinkBackend {
+    /// Non-preemptive slot queues — the paper's model and the default.
+    #[default]
+    SlotQueue,
+    /// Fluid bandwidth sharing (BBSA's native model). Only the BBSA
+    /// scheduler family runs on it; the slotted family is unaffected.
+    Fluid,
+    /// Packet-quantized store-and-forward with per-link latency +
+    /// bandwidth, realized as an instance transform (module docs).
+    StoreForward(SafTiming),
+}
+
+/// A backend string did not parse. Carries the offending input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendParseError(pub String);
+
+impl fmt::Display for BackendParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown link backend {:?}; expected slot | fluid | saf | saf:QUANTUM:LATENCY",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for BackendParseError {}
+
+impl std::str::FromStr for LinkBackend {
+    type Err = BackendParseError;
+
+    /// `slot` | `fluid` | `saf` | `saf:QUANTUM:LATENCY`
+    /// (e.g. `saf:0.5:0.1`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || BackendParseError(s.to_string());
+        match s.trim() {
+            "slot" => Ok(LinkBackend::SlotQueue),
+            "fluid" => Ok(LinkBackend::Fluid),
+            "saf" => Ok(LinkBackend::StoreForward(SafTiming::default())),
+            other => {
+                let rest = other.strip_prefix("saf:").ok_or_else(err)?;
+                let (q, l) = rest.split_once(':').ok_or_else(err)?;
+                let quantum: f64 = q.parse().map_err(|_| err())?;
+                let latency: f64 = l.parse().map_err(|_| err())?;
+                if !(quantum > 0.0 && quantum.is_finite() && latency >= 0.0 && latency.is_finite())
+                {
+                    return Err(err());
+                }
+                Ok(LinkBackend::StoreForward(SafTiming::new(quantum, latency)))
+            }
+        }
+    }
+}
+
+impl fmt::Display for LinkBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkBackend::SlotQueue => write!(f, "slot"),
+            LinkBackend::Fluid => write!(f, "fluid"),
+            LinkBackend::StoreForward(t) => {
+                write!(f, "saf:{}:{}", t.quantum(), t.latency())
+            }
+        }
+    }
+}
+
+impl LinkBackend {
+    /// Short stable name (no timing parameters) for report columns and
+    /// CI matrix legs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkBackend::SlotQueue => "slot",
+            LinkBackend::Fluid => "fluid",
+            LinkBackend::StoreForward(_) => "saf",
+        }
+    }
+
+    /// One representative of every backend family, for sweeps and the
+    /// conformance/differential matrices. The store-and-forward member
+    /// uses a non-degenerate timing so sweeps actually exercise
+    /// quantization and latency.
+    #[must_use]
+    pub fn all() -> Vec<LinkBackend> {
+        vec![
+            LinkBackend::SlotQueue,
+            LinkBackend::Fluid,
+            LinkBackend::StoreForward(SafTiming::new(1.0, 0.5)),
+        ]
+    }
+
+    /// Transform an instance into the form this backend's semantics
+    /// require. Identity (plain clones — the topology keeps its
+    /// signature, so route caches stay warm) for the slot and fluid
+    /// backends; the store-and-forward transform quantizes edge costs
+    /// up to whole packets and folds the forwarding latency into the
+    /// per-hop delay.
+    #[must_use]
+    pub fn prepare(self, dag: &TaskGraph, topo: &Topology) -> (TaskGraph, Topology) {
+        let LinkBackend::StoreForward(timing) = self else {
+            return (dag.clone(), topo.clone());
+        };
+        let model = timing.link();
+        let mut b = TaskGraphBuilder::with_capacity(dag.task_count(), dag.edge_count());
+        for t in dag.task_ids() {
+            let node = dag.task(t);
+            match &node.label {
+                Some(l) => b.add_labeled_task(node.weight, l.clone()),
+                None => b.add_task(node.weight),
+            };
+        }
+        for e in dag.edge_ids() {
+            let edge = dag.edge(e);
+            // Same multiply-before-divide form as `SafLink::occupancy`:
+            // the scheduler's `qcost / link_speed` carries the bits the
+            // link-level model would produce.
+            let qcost = (model.packets(edge.cost) as f64) * timing.quantum();
+            b.add_edge(edge.src, edge.dst, qcost)
+                .expect("quantizing a valid graph");
+        }
+        let dag = b.build().expect("quantizing a valid graph");
+        let topo = topo.with_hop_delay(topo.hop_delay() + timing.latency());
+        (dag, topo)
+    }
+
+    /// Adapt a slotted-scheduler configuration to this backend's
+    /// switching semantics. Identity except under store-and-forward,
+    /// where a link may transmit only after the whole message arrived
+    /// over the previous link.
+    #[must_use]
+    pub fn adapt(self, cfg: ListConfig) -> ListConfig {
+        match self {
+            LinkBackend::StoreForward(_) => ListConfig {
+                switching: Switching::StoreAndForward,
+                ..cfg
+            },
+            _ => cfg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es_dag::gen::structured::fork_join;
+    use es_net::gen::{star, SpeedDist};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn paper_instance() -> (TaskGraph, Topology) {
+        let dag = fork_join(4, 10.0, 7.3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let topo = star(3, SpeedDist::Fixed(1.0), SpeedDist::Fixed(2.0), &mut rng);
+        (dag, topo)
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["slot", "fluid", "saf", "saf:0.5:0.25"] {
+            let b: LinkBackend = s.parse().unwrap();
+            assert_eq!(b.to_string().parse::<LinkBackend>().unwrap(), b);
+        }
+        assert_eq!("slot".parse::<LinkBackend>(), Ok(LinkBackend::SlotQueue));
+        assert_eq!(
+            " saf ".parse::<LinkBackend>(),
+            Ok(LinkBackend::StoreForward(SafTiming::default()))
+        );
+        assert_eq!(
+            "saf:2:1.5".parse::<LinkBackend>(),
+            Ok(LinkBackend::StoreForward(SafTiming::new(2.0, 1.5)))
+        );
+        for bad in [
+            "",
+            "slots",
+            "saf:",
+            "saf:0:1",
+            "saf:-1:0",
+            "saf:1:-1",
+            "saf:1:x",
+            "saf:inf:0",
+        ] {
+            assert!(
+                bad.parse::<LinkBackend>().is_err(),
+                "{bad:?} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn identity_backends_preserve_instance_and_signature() {
+        let (dag, topo) = paper_instance();
+        for b in [LinkBackend::SlotQueue, LinkBackend::Fluid] {
+            let (d2, t2) = b.prepare(&dag, &topo);
+            assert_eq!(d2.edge_count(), dag.edge_count());
+            for e in dag.edge_ids() {
+                assert_eq!(d2.cost(e).to_bits(), dag.cost(e).to_bits());
+            }
+            // Clones keep the signature: route caches built against the
+            // original stay valid, keeping the refactor bitwise-neutral.
+            assert_eq!(t2.signature(), topo.signature());
+            assert_eq!(t2.hop_delay().to_bits(), topo.hop_delay().to_bits());
+            assert_eq!(b.adapt(ListConfig::oihsa()), ListConfig::oihsa());
+        }
+    }
+
+    #[test]
+    fn saf_prepare_quantizes_and_adds_latency() {
+        let (dag, topo) = paper_instance();
+        let timing = SafTiming::new(4.0, 0.5);
+        let (d2, t2) = LinkBackend::StoreForward(timing).prepare(&dag, &topo);
+        for e in dag.edge_ids() {
+            // 7.3 volume → 2 packets × 4.0 = 8.0.
+            assert_eq!(d2.cost(e), 8.0);
+            assert_eq!(d2.edge(e).src, dag.edge(e).src);
+            assert_eq!(d2.edge(e).dst, dag.edge(e).dst);
+        }
+        for t in dag.task_ids() {
+            assert_eq!(d2.weight(t).to_bits(), dag.weight(t).to_bits());
+        }
+        assert_eq!(t2.hop_delay(), 0.5);
+        assert_ne!(
+            t2.signature(),
+            topo.signature(),
+            "timed view is a new identity"
+        );
+        assert_eq!(
+            LinkBackend::StoreForward(timing)
+                .adapt(ListConfig::ba())
+                .switching,
+            Switching::StoreAndForward
+        );
+    }
+
+    #[test]
+    fn default_timing_is_identity_on_integral_costs() {
+        // Integral costs + unit quantum + zero latency: prepare() is a
+        // bitwise no-op on the numbers (only the signature changes),
+        // which is what makes the saf↔slot reduction in the
+        // integration suite exact.
+        let dag = fork_join(3, 5.0, 13.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = star(2, SpeedDist::Fixed(1.0), SpeedDist::Fixed(1.0), &mut rng);
+        let (d2, t2) = LinkBackend::StoreForward(SafTiming::default()).prepare(&dag, &topo);
+        for e in dag.edge_ids() {
+            assert_eq!(d2.cost(e).to_bits(), dag.cost(e).to_bits());
+        }
+        assert_eq!(t2.hop_delay().to_bits(), topo.hop_delay().to_bits());
+    }
+
+    #[test]
+    fn all_covers_every_family_once() {
+        let all = LinkBackend::all();
+        assert_eq!(all.len(), 3);
+        let names: Vec<_> = all.iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["slot", "fluid", "saf"]);
+    }
+}

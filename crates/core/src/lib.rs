@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bbsa;
 pub mod bounds;
 pub mod config;
@@ -63,6 +64,7 @@ pub mod schedule;
 pub mod slotted;
 pub mod validate;
 
+pub use backend::{BackendParseError, LinkBackend, SafTiming};
 pub use bbsa::BbsaScheduler;
 pub use config::{
     EdgeEst, EdgeOrder, Insertion, ListConfig, ProbeParallelism, ProcSelection, Routing, Switching,

@@ -482,6 +482,7 @@ impl SlottedState {
                     deferrable_times_into(
                         &self.queues[hop.link.index()],
                         &self.comms,
+                        topo.hop_delay(),
                         &mut self.dts_scratch,
                     );
                     let placement = optimal_insert_with(
@@ -832,11 +833,19 @@ impl<'a> OverlayState<'a> {
 ///
 /// A slot of communication `c` at route position `seq` can defer by
 /// `min( t_s(c, next) - t_s(c, here), t_f(c, next) - t_f(c, here) )`
-/// where `next` is `c`'s next route hop — 0 when this is the last hop
-/// (the arrival may already gate the destination task), and 0 when the
-/// next hop is not yet placed (conservative; happens only mid-placement
-/// of `c` itself).
-fn deferrable_times_into(queue: &SlotQueue, comms: &[CommRecord], out: &mut Vec<f64>) {
+/// minus the per-hop switch delay (the next hop must stay at least
+/// `hop_delay` behind this one — the audit's strengthened causality
+/// condition), where `next` is `c`'s next route hop — 0 when this is
+/// the last hop (the arrival may already gate the destination task),
+/// and 0 when the next hop is not yet placed (conservative; happens
+/// only mid-placement of `c` itself). With `hop_delay == 0` the
+/// subtraction is exact, so delay-free topologies are bit-unchanged.
+fn deferrable_times_into(
+    queue: &SlotQueue,
+    comms: &[CommRecord],
+    hop_delay: f64,
+    out: &mut Vec<f64>,
+) {
     out.clear();
     out.extend(queue.slots().iter().map(|slot| {
         let rec = &comms[slot.comm.0 as usize];
@@ -847,7 +856,7 @@ fn deferrable_times_into(queue: &SlotQueue, comms: &[CommRecord], out: &mut Vec<
         match rec.times.get(seq + 1).copied().flatten() {
             None => 0.0,
             Some((next_start, next_finish)) => {
-                let dt = (next_start - slot.start).min(next_finish - slot.end);
+                let dt = (next_start - slot.start).min(next_finish - slot.end) - hop_delay;
                 dt.max(0.0)
             }
         }
@@ -1156,6 +1165,102 @@ mod tests {
             )
             .unwrap();
         assert_eq!(arrival, 20.0);
+        st.check_invariants().unwrap();
+    }
+
+    /// p0 -sw- p1 line with unit speeds and a per-hop switch delay.
+    fn delayed_line(delay: f64) -> Topology {
+        let mut b = Topology::builder();
+        let (p0, _) = b.add_processor(1.0);
+        let (p1, _) = b.add_processor(1.0);
+        let sw = b.add_switch();
+        b.add_duplex_cable(p0, sw, 1.0);
+        b.add_duplex_cable(sw, p1, 1.0);
+        b.set_hop_delay(delay);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deferrable_times_subtract_the_hop_delay() {
+        let topo = delayed_line(0.5);
+        let mut st = SlottedState::new(&topo, 4);
+        // Store-and-forward, cost 4: hop 0 at [0,4), hop 1 at
+        // [4.5, 8.5) (full message + 0.5 switch delay).
+        st.schedule_comm(
+            &topo,
+            c(0),
+            0.0,
+            4.0,
+            ProcId(0),
+            ProcId(1),
+            Routing::Bfs,
+            Insertion::Basic,
+            Switching::StoreAndForward,
+        )
+        .unwrap();
+        let (_, times) = st.placement(c(0));
+        assert_eq!(times, vec![(0.0, 4.0), (4.5, 8.5)]);
+        // Hop 0 may defer by 4.0, not 4.5: at [4,8) its next hop is
+        // still the mandatory 0.5 behind on both start and finish.
+        let mut dts = Vec::new();
+        deferrable_times_into(&st.queues[0], &st.comms, topo.hop_delay(), &mut dts);
+        assert_eq!(dts, vec![4.0]);
+    }
+
+    #[test]
+    fn optimal_insertion_keeps_the_hop_delay_gap() {
+        // Regression: the deferral margin must respect the per-hop
+        // switch delay. With cut-through on a delayed line, comm 0's
+        // first-hop slot [0,4) runs exactly 0.5 ahead of its second
+        // hop [0.5,4.5); without the hop-delay subtraction, optimal
+        // insertion deferred it onto its own next hop's window to
+        // squeeze comm 2 in at [0,0.5), and the audit flagged the
+        // collapsed gap.
+        let topo = delayed_line(0.5);
+        let mut st = SlottedState::new(&topo, 8);
+        for id in 0..2 {
+            st.schedule_comm(
+                &topo,
+                c(id),
+                0.0,
+                4.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        }
+        let arrival = st
+            .schedule_comm(
+                &topo,
+                c(2),
+                0.0,
+                0.5,
+                ProcId(0),
+                ProcId(1),
+                Routing::Bfs,
+                Insertion::Optimal,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        // No slack exists once the delay is honored: comm 2 queues at
+        // the tail instead of displacing comm 0.
+        assert_eq!(arrival, 9.0);
+        for id in 0..3 {
+            let (route, times) = st.placement(c(id));
+            assert_eq!(route.len(), 2);
+            for k in 1..times.len() {
+                assert!(
+                    times[k].0 >= times[k - 1].0 + 0.5 - 1e-9
+                        && times[k].1 >= times[k - 1].1 + 0.5 - 1e-9,
+                    "comm {id}: hop {k} window {:?} closer than the hop delay to {:?}",
+                    times[k],
+                    times[k - 1]
+                );
+            }
+        }
         st.check_invariants().unwrap();
     }
 

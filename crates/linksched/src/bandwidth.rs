@@ -135,12 +135,81 @@ struct Seg {
 #[derive(Clone, Debug, Default)]
 pub struct RateProfile {
     segs: Vec<Seg>,
+    /// Mutation epoch: strictly increases on every committed-state
+    /// mutation (the `LinkModel` invalidation hook, DESIGN.md §14).
+    /// [`RateProfile::allocate`] is pure and never changes it.
+    epoch: u64,
 }
 
 impl RateProfile {
     /// New, fully free profile.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bump the mutation epoch — every committed-state mutator calls
+    /// this exactly once before returning (the epoch-discipline
+    /// invariant the N2 analysis pass checks for backend impls).
+    #[inline]
+    fn touch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The mutation epoch: strictly increased by [`RateProfile::commit`]
+    /// and [`RateProfile::remove_comm`], untouched by
+    /// [`RateProfile::allocate`] (which is pure planning).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Reset the epoch to a previously observed value — only for
+    /// `LinkModel::restore`, whose caller proves (by digest equality)
+    /// that the content matches what that epoch described.
+    #[inline]
+    pub(crate) fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Content digest over a *canonicalized* view of the profile:
+    /// consecutive segments that touch exactly and carry an identical
+    /// allocation list are folded together before hashing. Commit
+    /// splits a pre-existing segment at the new flow's boundaries and
+    /// rollback deliberately leaves those splits in place (they are
+    /// semantically neutral), so the canonical form — not the raw
+    /// segment vector — is what "commit then unschedule restores the
+    /// profile bitwise" means for this backend.
+    pub fn content_digest(&self) -> u64 {
+        let same_allocs = |a: &Seg, b: &Seg| {
+            a.allocs.len() == b.allocs.len()
+                && a.allocs
+                    .iter()
+                    .zip(&b.allocs)
+                    .all(|((ca, ra), (cb, rb))| ca == cb && ra.to_bits() == rb.to_bits())
+        };
+        let mut h = 0xcbf2_9ce4_8422_2325;
+        let mut i = 0;
+        while i < self.segs.len() {
+            let mut end = self.segs[i].end;
+            let mut j = i + 1;
+            while j < self.segs.len()
+                && self.segs[j].start.to_bits() == end.to_bits()
+                && same_allocs(&self.segs[i], &self.segs[j])
+            {
+                end = self.segs[j].end;
+                j += 1;
+            }
+            let seg = &self.segs[i];
+            h = crate::mix64(h, seg.start.to_bits());
+            h = crate::mix64(h, end.to_bits());
+            h = crate::mix64(h, seg.used.to_bits());
+            for (c, r) in &seg.allocs {
+                h = crate::mix64(h, c.0);
+                h = crate::mix64(h, r.to_bits());
+            }
+            i = j;
+        }
+        h
     }
 
     /// Remaining bandwidth fraction at time `t`.
@@ -369,6 +438,7 @@ impl RateProfile {
             }
             self.reserve(comm, p.start, p.end, p.rate);
         }
+        self.touch();
         debug_assert!(self.check_invariants().is_ok());
     }
 
@@ -474,6 +544,7 @@ impl RateProfile {
             }
         }
         self.segs.retain(|s| !s.allocs.is_empty());
+        self.touch();
         debug_assert!(self.check_invariants().is_ok());
     }
 
@@ -496,6 +567,31 @@ impl RateProfile {
     /// Maximum committed bandwidth over the whole profile.
     pub fn peak_usage(&self) -> f64 {
         self.segs.iter().map(|s| s.used).fold(0.0, f64::max)
+    }
+
+    /// End of the last committed segment (0 when fully free) — the
+    /// profile's current horizon.
+    pub fn horizon(&self) -> f64 {
+        self.segs.last().map_or(0.0, |s| s.end)
+    }
+
+    /// Committed bandwidth-time: `Σ used × length` over all segments.
+    /// The fluid analogue of [`crate::slot::SlotQueue::busy_time`]
+    /// (where every slot occupies the full link, rate 1).
+    pub fn busy_time(&self) -> f64 {
+        self.segs
+            .iter()
+            .map(|s| s.used * (s.end - s.start).max(0.0))
+            .sum()
+    }
+
+    /// Number of per-segment allocation entries held by `comm` — the
+    /// count `remove_comm` would drop.
+    pub fn alloc_count(&self, comm: CommId) -> usize {
+        self.segs
+            .iter()
+            .map(|s| s.allocs.iter().filter(|(c, _)| *c == comm).count())
+            .sum()
     }
 
     /// Profile invariants: ordered, non-overlapping, usage within

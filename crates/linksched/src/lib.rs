@@ -28,16 +28,31 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod model;
 pub mod optimal;
 pub mod overlay;
+pub mod saf;
 pub mod slot;
 pub mod time;
 
 pub use bandwidth::{ArrivalCurve, Flow, Piece, RateProfile};
+pub use model::{LinkCheckpoint, LinkModel, Reservation};
 pub use optimal::{optimal_insert, OptimalPlacement, SlotShift};
 pub use overlay::SlotQueueOverlay;
+pub use saf::SafLink;
 pub use slot::{Slot, SlotQueue};
 pub use time::{approx_eq, approx_ge, approx_gt, approx_le, approx_lt, Interval, EPS};
+
+/// SplitMix64-style hash step shared by the backend content digests.
+/// Order-sensitive fold: `h' = mix64(h, value)`.
+pub(crate) fn mix64(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 use std::fmt;
 

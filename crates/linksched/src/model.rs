@@ -1,0 +1,333 @@
+//! The [`LinkModel`] trait: one probe/commit lifecycle over every
+//! link-state backend.
+//!
+//! The paper's two algorithms family manage link capacity with two
+//! disjoint structures — BA/OIHSA with non-preemptive
+//! [`SlotQueue`]s, BBSA with fluid [`RateProfile`]s — and PR 8 adds a
+//! third, the packet-quantized store-and-forward [`crate::SafLink`].
+//! This trait is the common surface the schedulers (and the
+//! `es-conformance` law kit) exercise:
+//!
+//! * **probe** — plan the earliest feasible transfer at or after an
+//!   availability time. Read-only: neither the content digest nor the
+//!   epoch may change.
+//! * **commit / unschedule** — apply or exactly roll back a planned
+//!   reservation. Every mutation strictly increases the **epoch**, the
+//!   invalidation hook cache layers key on (the same discipline
+//!   `SlottedState::touch()` implements one level up; the N2 analysis
+//!   pass checks it structurally for backend impls).
+//! * **checkpoint / restore** — the PR 4 cache-window protocol: a
+//!   checkpoint captures `(epoch, digest)`; restore proves by digest
+//!   equality that every mutation since has been rolled back and
+//!   rewinds the epoch, re-entering the cacheability window.
+//! * **slot_view** — the PR 5 snapshot-for-overlay hook: backends
+//!   whose committed state is a slot sequence expose it so
+//!   copy-on-write [`crate::SlotQueueOverlay`]s can probe against a
+//!   frozen base. Fluid backends return `None` (rate profiles have no
+//!   slot decomposition).
+//!
+//! Time/arrival convention: `finish` is when the last bit leaves the
+//! link; `arrival` is when the data is usable by the *next* network
+//! element (`finish` plus any forwarding latency). Callers chaining a
+//! route use hop `i`'s `arrival` as hop `i+1`'s `est`, and the **last**
+//! hop's `finish` as the delivery time — the destination processor
+//! reads the link directly and pays no forwarding latency.
+
+use crate::bandwidth::{ArrivalCurve, Flow, Piece, RateProfile};
+use crate::slot::{Slot, SlotQueue};
+use crate::CommId;
+
+/// A planned (not yet committed) transfer on one link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reservation {
+    /// Occupancy start on this link, `>= est`.
+    pub start: f64,
+    /// Occupancy end: the last bit has left the link.
+    pub finish: f64,
+    /// When the data is usable by the next network element
+    /// (`finish` plus the backend's forwarding latency, if any).
+    pub arrival: f64,
+    /// Fluid backends carry the planned rate pieces here so commit can
+    /// reproduce the plan exactly; slot-based backends leave it empty
+    /// (their occupancy is fully described by `[start, finish)`).
+    pub pieces: Vec<Piece>,
+}
+
+/// A `(epoch, digest)` capture of a backend's committed state — the
+/// PR 4 cache-window protocol generalized per link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkCheckpoint {
+    /// The epoch at capture time.
+    pub epoch: u64,
+    /// The content digest at capture time.
+    pub digest: u64,
+}
+
+/// One link's committed-state backend: probe/commit/unschedule with
+/// epoch discipline, checkpoint/restore, and an optional slot view for
+/// copy-on-write overlays. See the module docs for the laws; the
+/// `es-conformance` kit instantiates them against every impl.
+pub trait LinkModel {
+    /// Short stable name for reports and bench rows.
+    fn model_name(&self) -> &'static str;
+
+    /// Plan the earliest feasible transfer of `volume` data units over
+    /// this link of `speed`, with the data available at `est`.
+    /// **Read-only**: repeated calls on unchanged state return
+    /// bitwise-identical reservations and leave epoch and digest
+    /// untouched.
+    fn probe_transfer(&self, speed: f64, est: f64, volume: f64) -> Reservation;
+
+    /// Commit a reservation previously returned by
+    /// [`LinkModel::probe_transfer`] for `(comm, seq)`. Must strictly
+    /// increase the epoch.
+    ///
+    /// # Panics
+    /// May panic if the reservation conflicts with state committed
+    /// since the probe — commit exactly what was probed, on the state
+    /// it was probed against.
+    fn commit_transfer(&mut self, comm: CommId, seq: u32, speed: f64, res: &Reservation);
+
+    /// Remove every reservation held by `comm`, returning how many
+    /// entries were dropped. Must strictly increase the epoch.
+    fn unschedule(&mut self, comm: CommId) -> usize;
+
+    /// The mutation epoch: strictly increased by every mutator, never
+    /// by probes.
+    fn epoch(&self) -> u64;
+
+    /// Content digest of the committed state (canonical form; epoch
+    /// and acceleration structures excluded). Equal digests mean
+    /// behaviorally identical committed state.
+    fn digest(&self) -> u64;
+
+    /// Capture `(epoch, digest)` — cheap, read-only.
+    fn checkpoint(&self) -> LinkCheckpoint {
+        LinkCheckpoint {
+            epoch: self.epoch(),
+            digest: self.digest(),
+        }
+    }
+
+    /// Re-enter the cacheability window captured by `cp`: asserts (by
+    /// digest equality) that every mutation since has been rolled
+    /// back, then rewinds the epoch to `cp.epoch`.
+    ///
+    /// # Panics
+    /// Panics if the current digest differs from `cp.digest` — the
+    /// caller failed to roll back some mutation, and rewinding the
+    /// epoch would let caches serve stale state as fresh.
+    fn restore(&mut self, cp: &LinkCheckpoint);
+
+    /// The committed slots, for backends whose state is a slot
+    /// sequence — the snapshot base for [`crate::SlotQueueOverlay`].
+    /// `None` for fluid backends.
+    fn slot_view(&self) -> Option<&[Slot]>;
+
+    /// Total committed occupancy (link-seconds; fluid backends weight
+    /// by rate).
+    fn busy_time(&self) -> f64;
+
+    /// End of the last committed reservation (0 when free).
+    fn horizon(&self) -> f64;
+
+    /// Structural invariants of the committed state.
+    fn check(&self) -> Result<(), String>;
+}
+
+impl LinkModel for SlotQueue {
+    fn model_name(&self) -> &'static str {
+        "slot-queue"
+    }
+
+    fn probe_transfer(&self, speed: f64, est: f64, volume: f64) -> Reservation {
+        assert!(speed > 0.0, "link speed must be positive");
+        let duration = volume / speed;
+        let start = self.probe(est, duration);
+        let finish = start + duration;
+        Reservation {
+            start,
+            finish,
+            arrival: finish,
+            pieces: Vec::new(),
+        }
+    }
+
+    fn commit_transfer(&mut self, comm: CommId, seq: u32, _speed: f64, res: &Reservation) {
+        self.commit(comm, seq, res.start, res.finish - res.start);
+    }
+
+    fn unschedule(&mut self, comm: CommId) -> usize {
+        self.remove_comm(comm)
+    }
+
+    fn epoch(&self) -> u64 {
+        SlotQueue::epoch(self)
+    }
+
+    fn digest(&self) -> u64 {
+        self.content_digest()
+    }
+
+    fn restore(&mut self, cp: &LinkCheckpoint) {
+        assert_eq!(
+            self.content_digest(),
+            cp.digest,
+            "slot-queue restore without full rollback"
+        );
+        self.restore_epoch(cp.epoch);
+    }
+
+    fn slot_view(&self) -> Option<&[Slot]> {
+        Some(self.slots())
+    }
+
+    fn busy_time(&self) -> f64 {
+        SlotQueue::busy_time(self)
+    }
+
+    fn horizon(&self) -> f64 {
+        SlotQueue::horizon(self)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
+impl LinkModel for RateProfile {
+    fn model_name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn probe_transfer(&self, speed: f64, est: f64, volume: f64) -> Reservation {
+        let flow = self.allocate(speed, ArrivalCurve::Instant { at: est }, volume);
+        let start = flow.start().unwrap_or(est);
+        let finish = flow.finish().unwrap_or(est);
+        Reservation {
+            start,
+            finish,
+            arrival: finish,
+            pieces: flow.pieces,
+        }
+    }
+
+    fn commit_transfer(&mut self, comm: CommId, _seq: u32, _speed: f64, res: &Reservation) {
+        let flow = Flow {
+            pieces: res.pieces.clone(),
+        };
+        self.commit(comm, &flow);
+    }
+
+    fn unschedule(&mut self, comm: CommId) -> usize {
+        let dropped = self.alloc_count(comm);
+        self.remove_comm(comm);
+        dropped
+    }
+
+    fn epoch(&self) -> u64 {
+        RateProfile::epoch(self)
+    }
+
+    fn digest(&self) -> u64 {
+        self.content_digest()
+    }
+
+    fn restore(&mut self, cp: &LinkCheckpoint) {
+        assert_eq!(
+            self.content_digest(),
+            cp.digest,
+            "rate-profile restore without full rollback"
+        );
+        self.restore_epoch(cp.epoch);
+    }
+
+    fn slot_view(&self) -> Option<&[Slot]> {
+        None
+    }
+
+    fn busy_time(&self) -> f64 {
+        RateProfile::busy_time(self)
+    }
+
+    fn horizon(&self) -> f64 {
+        RateProfile::horizon(self)
+    }
+
+    fn check(&self) -> Result<(), String> {
+        self.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u64) -> CommId {
+        CommId(n)
+    }
+
+    #[test]
+    fn slot_queue_reservation_matches_inherent_probe() {
+        let mut q = SlotQueue::new();
+        q.commit(c(1), 0, 0.0, 2.0);
+        let r = q.probe_transfer(4.0, 0.0, 8.0);
+        assert_eq!(r.start.to_bits(), q.probe(0.0, 2.0).to_bits());
+        assert_eq!(r.finish.to_bits(), (r.start + 2.0).to_bits());
+        assert_eq!(r.arrival.to_bits(), r.finish.to_bits());
+        assert!(r.pieces.is_empty());
+    }
+
+    #[test]
+    fn slot_queue_checkpoint_restore_round_trip() {
+        let mut q = SlotQueue::with_gap_index();
+        q.commit(c(1), 0, 0.0, 1.0);
+        let cp = q.checkpoint();
+        let r = q.probe_transfer(1.0, 0.0, 3.0);
+        q.commit_transfer(c(2), 0, 1.0, &r);
+        assert!(LinkModel::epoch(&q) > cp.epoch);
+        assert_ne!(LinkModel::digest(&q), cp.digest);
+        assert_eq!(q.unschedule(c(2)), 1);
+        q.restore(&cp);
+        assert_eq!(LinkModel::epoch(&q), cp.epoch);
+        assert_eq!(LinkModel::digest(&q), cp.digest);
+    }
+
+    #[test]
+    #[should_panic(expected = "restore without full rollback")]
+    fn slot_queue_restore_detects_unrolled_state() {
+        let mut q = SlotQueue::new();
+        let cp = q.checkpoint();
+        q.commit(c(1), 0, 0.0, 1.0);
+        q.restore(&cp);
+    }
+
+    #[test]
+    fn fluid_commit_unschedule_restores_canonical_digest() {
+        let mut p = RateProfile::new();
+        let r1 = p.probe_transfer(2.0, 0.0, 10.0);
+        p.commit_transfer(c(1), 0, 2.0, &r1);
+        let cp = p.checkpoint();
+        // A second flow splits the first's segment; rolling it back
+        // leaves the split in place but the canonical digest (and so
+        // restore) must not see it.
+        let r2 = p.probe_transfer(2.0, 1.0, 4.0);
+        p.commit_transfer(c(2), 0, 2.0, &r2);
+        assert!(p.unschedule(c(2)) > 0);
+        p.restore(&cp);
+        assert_eq!(LinkModel::epoch(&p), cp.epoch);
+        assert_eq!(LinkModel::digest(&p), cp.digest);
+    }
+
+    #[test]
+    fn fluid_probe_is_pure() {
+        let mut p = RateProfile::new();
+        let r = p.probe_transfer(1.0, 0.0, 5.0);
+        p.commit_transfer(c(7), 0, 1.0, &r);
+        let before = p.checkpoint();
+        let a = p.probe_transfer(1.0, 2.0, 3.0);
+        let b = p.probe_transfer(1.0, 2.0, 3.0);
+        assert_eq!(a, b);
+        assert_eq!(p.checkpoint(), before);
+    }
+}

@@ -91,6 +91,10 @@ pub struct SlotQueue {
     /// `Some` enables the indexed probe fast path; `None` keeps the
     /// reference first-fit scan. Both produce bitwise-identical probes.
     index: Option<GapIndex>,
+    /// Mutation epoch: strictly increases on every committed-state
+    /// mutation (the `LinkModel` invalidation hook, DESIGN.md §14).
+    /// Probes never change it. Not part of the content digest.
+    epoch: u64,
 }
 
 impl SlotQueue {
@@ -104,6 +108,7 @@ impl SlotQueue {
         Self {
             slots: Vec::new(),
             index: Some(GapIndex::default()),
+            epoch: 0,
         }
     }
 
@@ -132,6 +137,47 @@ impl SlotQueue {
                 ix.watermark.set(idx);
             }
         }
+    }
+
+    /// Bump the mutation epoch — every committed-state mutator calls
+    /// this exactly once before returning (the epoch-discipline
+    /// invariant the N2 analysis pass checks for backend impls).
+    #[inline]
+    fn touch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The mutation epoch: strictly increased by every mutator
+    /// ([`SlotQueue::commit`], [`SlotQueue::remove_comm`],
+    /// [`SlotQueue::remove_slot_at`] and the optimal-insertion apply
+    /// path), untouched by probes. Cache layers key on this to detect
+    /// that committed link state changed.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Reset the epoch to a previously observed value — only for
+    /// `LinkModel::restore`, whose caller proves (by digest equality)
+    /// that the content matches what that epoch described.
+    #[inline]
+    pub(crate) fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Order-sensitive content digest over the occupied slots (slots
+    /// are kept sorted, so equal content yields equal digests). The
+    /// gap index and the epoch do not participate: both are
+    /// acceleration/bookkeeping state, not schedule content.
+    pub fn content_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325;
+        for s in &self.slots {
+            h = crate::mix64(h, s.comm.0);
+            h = crate::mix64(h, u64::from(s.seq));
+            h = crate::mix64(h, s.start.to_bits());
+            h = crate::mix64(h, s.end.to_bits());
+        }
+        h
     }
 
     /// Number of occupied slots.
@@ -249,6 +295,7 @@ impl SlotQueue {
             },
         );
         self.index_update_from(idx);
+        self.touch();
     }
 
     /// Remove every slot belonging to `comm`; returns how many were
@@ -261,6 +308,7 @@ impl SlotQueue {
         if let Some(idx) = first {
             self.index_update_from(idx);
         }
+        self.touch();
         before - self.slots.len()
     }
 
@@ -275,6 +323,7 @@ impl SlotQueue {
             if self.slots[i].comm == comm && self.slots[i].seq == seq {
                 self.slots.remove(i);
                 self.index_update_from(i);
+                self.touch();
                 return true;
             }
             i += 1;
@@ -299,6 +348,7 @@ impl SlotQueue {
         self.slots[idx].start += delta;
         self.slots[idx].end += delta;
         self.index_update_from(idx);
+        self.touch();
     }
 
     /// Insert a pre-validated slot at position `idx` (optimal
@@ -306,6 +356,7 @@ impl SlotQueue {
     pub(crate) fn insert_at(&mut self, idx: usize, slot: Slot) {
         self.slots.insert(idx, slot);
         self.index_update_from(idx);
+        self.touch();
     }
 
     /// Total busy time on the link (sum of slot lengths).

@@ -1,0 +1,50 @@
+//! Backend-conformance kit (es-conformance) instantiated against
+//! every `LinkModel` backend this crate ships, in both probe tunings
+//! where the backend has one. A new backend earns its place by adding
+//! one factory line here.
+
+use es_conformance::{assert_conformance, default_seeds};
+use es_linksched::{RateProfile, SafLink, SlotQueue};
+
+/// Link speeds the kit runs at: powers of two keep the script's
+/// quarter-integer quantities dyadic, so slot-family witness probes
+/// are exact.
+const SPEEDS: [f64; 3] = [1.0, 2.0, 4.0];
+
+#[test]
+fn slot_queue_reference_probe_conforms() {
+    for speed in SPEEDS {
+        assert_conformance(speed, &SlotQueue::new, &default_seeds());
+    }
+}
+
+#[test]
+fn slot_queue_indexed_probe_conforms() {
+    for speed in SPEEDS {
+        assert_conformance(speed, &SlotQueue::with_gap_index, &default_seeds());
+    }
+}
+
+#[test]
+fn fluid_rate_profile_conforms() {
+    for speed in SPEEDS {
+        assert_conformance(speed, &RateProfile::new, &default_seeds());
+    }
+}
+
+#[test]
+fn store_forward_conforms_across_timings() {
+    // Dyadic quantum/latency grids: quantization and latency interact
+    // with contention differently at each point, the laws must hold
+    // everywhere.
+    for (quantum, latency) in [(0.25, 0.0), (1.0, 0.5), (4.0, 2.0)] {
+        for speed in SPEEDS {
+            assert_conformance(speed, &|| SafLink::new(quantum, latency), &default_seeds());
+            assert_conformance(
+                speed,
+                &|| SafLink::with_gap_index(quantum, latency),
+                &default_seeds(),
+            );
+        }
+    }
+}

@@ -68,6 +68,87 @@ proptest! {
         }
     }
 
+    /// Interleave overlay commits with *unschedules on the real path*:
+    /// after merging a delta into a queue, removing a communication —
+    /// by bulk [`SlotQueue::remove_comm`] or by per-slot
+    /// [`SlotQueue::remove_slot_at`] — must leave the same bitwise
+    /// queue a direct-mutation run produces, and the two removal paths
+    /// must agree with each other. Also pins the epoch discipline:
+    /// every mutation strictly increases the epoch, probes never do.
+    #[test]
+    fn unschedule_after_merge_matches_direct_path(
+        base in base_strategy(),
+        script in prop::collection::vec((0.0f64..250.0, 0.1f64..20.0), 1..20),
+        victims in prop::collection::vec(0usize..40, 1..8),
+    ) {
+        // Build the same final state twice: really-mutated `real`, and
+        // overlay delta merged through `to_queue`.
+        let mut real = base.clone();
+        let mut delta: Vec<Slot> = Vec::new();
+        for (k, (bound, dur)) in script.iter().copied().enumerate() {
+            let comm = CommId(1000 + k as u64);
+            let got = SlotQueueOverlay::new(base.slots(), &delta).probe(bound, dur);
+            let want = real.probe(bound, dur);
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+            SlotQueueOverlay::commit_into(base.slots(), &mut delta, comm, k as u32, got, dur);
+            real.commit(comm, k as u32, want, dur);
+        }
+        let mut merged_bulk = SlotQueueOverlay::new(base.slots(), &delta).to_queue(false);
+        let mut merged_at = SlotQueueOverlay::new(base.slots(), &delta).to_queue(true);
+
+        // Unschedule a set of comms (some existing, some absent) from
+        // all three queues — real and merged_bulk via remove_comm,
+        // merged_at via targeted remove_slot_at with the bulk fallback
+        // the scheduler uses.
+        for &v in &victims {
+            let comm = CommId(1000 + v as u64);
+            let before_epoch = merged_at.epoch();
+            let removed_real = real.remove_comm(comm);
+            let removed_bulk = merged_bulk.remove_comm(comm);
+            prop_assert_eq!(removed_real, removed_bulk);
+            let targets: Vec<Slot> = merged_at
+                .slots()
+                .iter()
+                .filter(|s| s.comm == comm)
+                .copied()
+                .collect();
+            let mut removed_at = 0usize;
+            for t in &targets {
+                if merged_at.remove_slot_at(t.comm, t.seq, t.start) {
+                    removed_at += 1;
+                } else {
+                    // Scheduler fallback path; must be unreachable here
+                    // because targets came from the queue itself.
+                    removed_at += merged_at.remove_comm(comm);
+                }
+            }
+            prop_assert_eq!(removed_real, removed_at, "removal paths disagree");
+            if removed_at > 0 {
+                prop_assert!(merged_at.epoch() > before_epoch, "unschedule must bump the epoch");
+            }
+            real.check_invariants().map_err(TestCaseError::fail)?;
+            merged_at.check_invariants().map_err(TestCaseError::fail)?;
+        }
+
+        // All three survivors are bitwise-identical, and probing them
+        // (the mask-refill pattern repair uses) agrees too.
+        prop_assert_eq!(real.len(), merged_bulk.len());
+        prop_assert_eq!(real.len(), merged_at.len());
+        for ((a, b), c) in real.slots().iter().zip(merged_bulk.slots()).zip(merged_at.slots()) {
+            prop_assert_eq!(a.comm, b.comm);
+            prop_assert_eq!(a.comm, c.comm);
+            prop_assert_eq!(a.start.to_bits(), b.start.to_bits());
+            prop_assert_eq!(a.start.to_bits(), c.start.to_bits());
+            prop_assert_eq!(a.end.to_bits(), b.end.to_bits());
+            prop_assert_eq!(a.end.to_bits(), c.end.to_bits());
+        }
+        for (bound, dur) in [(0.0, 1.0), (10.0, 3.5), (77.0, 0.5)] {
+            let epoch_before = real.epoch();
+            prop_assert_eq!(real.probe(bound, dur).to_bits(), merged_at.probe(bound, dur).to_bits());
+            prop_assert_eq!(real.epoch(), epoch_before, "probe must not bump the epoch");
+        }
+    }
+
     /// Probes are read-only: any number of overlays over the same base
     /// and delta agree with each other and leave both untouched.
     #[test]

@@ -362,6 +362,21 @@ impl Topology {
         view
     }
 
+    /// A view of this topology with a different per-hop forwarding
+    /// delay. Node/processor/link tables and the adjacency are shared
+    /// verbatim (ids stay stable), but the view gets a fresh signature:
+    /// routes cached against the original must not be reused with a
+    /// different delay, because earliest-arrival tie-breaks can change.
+    /// Link-model backends use this to fold per-link forwarding latency
+    /// into the instance instead of patching every scheduler.
+    #[must_use]
+    pub fn with_hop_delay(&self, delay: f64) -> Topology {
+        let mut view = self.clone();
+        view.hop_delay = delay;
+        view.signature = fresh_signature();
+        view
+    }
+
     /// Mean link speed `MLS` — the paper's §4.1 processor-selection
     /// criterion divides communication costs by this average.
     pub fn mean_link_speed(&self) -> f64 {
@@ -703,6 +718,24 @@ mod tests {
             t.signature(),
             "independent builds never collide"
         );
+    }
+
+    #[test]
+    fn with_hop_delay_view_keeps_tables_mints_signature() {
+        let t = two_proc_star();
+        let view = t.with_hop_delay(0.75);
+        assert_eq!(view.hop_delay(), 0.75);
+        assert_eq!(t.hop_delay(), 0.0, "original is untouched");
+        assert_eq!(view.node_count(), t.node_count());
+        assert_eq!(view.link_count(), t.link_count());
+        for n in t.node_ids() {
+            assert_eq!(view.hops_from(n), t.hops_from(n));
+        }
+        assert_ne!(view.signature(), t.signature());
+        assert_ne!(view.signature(), 0);
+        // Same-delay view is still a new identity (delay is part of the
+        // timing semantics a cache must not conflate).
+        assert_ne!(t.with_hop_delay(0.0).signature(), t.signature());
     }
 
     #[test]

@@ -841,6 +841,84 @@ mod tests {
     }
 
     #[test]
+    fn env_parse_empty_and_whitespace_are_typed_errors() {
+        // An empty or blank value is *set* but unusable: it must come
+        // back as a typed error (so the operator is told), never as a
+        // silent `Ok(None)` that masquerades as "unset".
+        std::env::set_var("ES_TEST_PARSE_EMPTY", "");
+        let err = env_parse::<usize>("ES_TEST_PARSE_EMPTY").expect_err("empty is not unset");
+        assert_eq!(
+            (err.var.as_str(), err.value.as_str()),
+            ("ES_TEST_PARSE_EMPTY", "")
+        );
+        std::env::set_var("ES_TEST_PARSE_BLANK", "   \t ");
+        let err = env_parse::<usize>("ES_TEST_PARSE_BLANK").expect_err("blank is not unset");
+        assert_eq!(err.value, "   \t ", "diagnostic carries the raw value");
+    }
+
+    #[test]
+    fn env_parse_overflow_is_a_typed_error() {
+        // A value beyond the integer's range must be rejected with a
+        // diagnostic, not wrapped, clamped, or silently defaulted.
+        std::env::set_var("ES_TEST_PARSE_HUGE", "99999999999999999999999");
+        let err = env_parse::<usize>("ES_TEST_PARSE_HUGE").expect_err("overflow rejected");
+        assert_eq!(err.value, "99999999999999999999999");
+        assert!(err.reason.contains("usize"), "reason: {}", err.reason);
+        std::env::set_var("ES_TEST_USIZE_HUGE", "99999999999999999999999");
+        assert!(env_usize("ES_TEST_USIZE_HUGE").is_err());
+    }
+
+    #[test]
+    fn env_usize_rejects_negative_with_diagnostic() {
+        std::env::set_var("ES_TEST_USIZE_NEG", "-3");
+        let err = env_usize("ES_TEST_USIZE_NEG").expect_err("negative rejected");
+        assert_eq!(err.var, "ES_TEST_USIZE_NEG");
+        assert_eq!(err.value, "-3");
+    }
+
+    #[test]
+    fn threads_resolve_reads_the_environment() {
+        // This is the only test that writes ES_THREADS; concurrent
+        // `resolve()` calls elsewhere only assert `>= 1`, which holds
+        // for every value set here.
+        std::env::set_var("ES_THREADS", "3");
+        let (t, err) = Threads::resolve_reporting();
+        assert_eq!((t.get(), err), (3, None));
+        // Zero is diagnosed and falls back to the CPU count.
+        std::env::set_var("ES_THREADS", "0");
+        let (t, err) = Threads::resolve_reporting();
+        assert_eq!(t.get(), default_threads());
+        let err = err.expect("zero lanes is diagnosed");
+        assert_eq!((err.var.as_str(), err.value.as_str()), ("ES_THREADS", "0"));
+        // Garbage likewise — typed error, not a silent default.
+        std::env::set_var("ES_THREADS", "all-of-them");
+        let (t, err) = Threads::resolve_reporting();
+        assert_eq!(t.get(), default_threads());
+        assert!(err
+            .expect("garbage diagnosed")
+            .to_string()
+            .contains("ES_THREADS"));
+        // Plain `resolve()` swallows the diagnostic but keeps the
+        // same fallback.
+        assert_eq!(Threads::resolve().get(), default_threads());
+        std::env::remove_var("ES_THREADS");
+        assert_eq!(Threads::resolve().get(), default_threads());
+    }
+
+    #[test]
+    fn threads_override_overflow_falls_back_with_diagnostic() {
+        let (t, err) = Threads::from_override_reporting("99999999999999999999999");
+        assert_eq!(t.get(), default_threads());
+        assert_eq!(
+            err.expect("overflow diagnosed").value,
+            "99999999999999999999999"
+        );
+        let (t, err) = Threads::from_override_reporting("  \t");
+        assert_eq!(t.get(), default_threads());
+        assert!(err.is_some(), "blank override is diagnosed");
+    }
+
+    #[test]
     fn threads_reporting_carries_diagnostic() {
         let (t, err) = Threads::from_override_reporting("4");
         assert_eq!((t.get(), err), (4, None));

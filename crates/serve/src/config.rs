@@ -198,6 +198,47 @@ mod tests {
     }
 
     #[test]
+    fn env_edge_cases_keep_defaults_and_diagnose() {
+        // Empty, blank, overflowing, and garbage values must each keep
+        // the field's default and yield a typed diagnostic naming the
+        // variable — never a silent default or a panic. (Uses only
+        // vars no other test writes, since the environment is
+        // process-global and tests run in parallel.)
+        std::env::set_var("ES_SERVE_DEADLINE_MS", "");
+        std::env::set_var("ES_SERVE_BACKOFF_MS", "   ");
+        std::env::set_var("ES_SERVE_HEARTBEAT_MS", "99999999999999999999999");
+        std::env::set_var("ES_SERVE_STALL_MS", "soon");
+        let mut cfg = ServeConfig::new("/tmp/es-serve-edge.sock");
+        let defaults = cfg.clone();
+        let diags = cfg.apply_env();
+        assert_eq!(cfg.deadline_ms, defaults.deadline_ms);
+        assert_eq!(cfg.backoff_base_ms, defaults.backoff_base_ms);
+        assert_eq!(cfg.heartbeat_ms, defaults.heartbeat_ms);
+        assert_eq!(cfg.stall_timeout_ms, defaults.stall_timeout_ms);
+        let mut vars: Vec<&str> = diags.iter().map(|d| d.var.as_str()).collect();
+        vars.sort_unstable();
+        for var in [
+            "ES_SERVE_BACKOFF_MS",
+            "ES_SERVE_DEADLINE_MS",
+            "ES_SERVE_HEARTBEAT_MS",
+            "ES_SERVE_STALL_MS",
+        ] {
+            assert!(
+                vars.contains(&var),
+                "missing diagnostic for {var}: {vars:?}"
+            );
+        }
+        for d in &diags {
+            let shown = d.to_string();
+            assert!(shown.contains("using default"), "display: {shown}");
+        }
+        std::env::remove_var("ES_SERVE_DEADLINE_MS");
+        std::env::remove_var("ES_SERVE_BACKOFF_MS");
+        std::env::remove_var("ES_SERVE_HEARTBEAT_MS");
+        std::env::remove_var("ES_SERVE_STALL_MS");
+    }
+
+    #[test]
     fn deadlines_and_backoff_shapes() {
         let cfg = ServeConfig::new("/tmp/s.sock");
         assert_eq!(

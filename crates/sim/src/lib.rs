@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod experiment;
 pub mod report;
 pub mod robustness;
@@ -31,11 +32,14 @@ pub mod runner;
 pub mod service;
 pub mod stats;
 
+pub use backends::{compare_backends, BackendCompareSpec, BackendRow};
 pub use experiment::{
     fig1, fig2, fig3, fig4, fig_pair, run_cell, run_cell_adaptive, CellResult, CellSpec,
     FigureParams, FigureResult,
 };
-pub use robustness::{run_robustness, RobustnessCell, RobustnessSpec, ROBUSTNESS_SCHEDULERS};
+pub use robustness::{
+    run_robustness, run_robustness_backend, RobustnessCell, RobustnessSpec, ROBUSTNESS_SCHEDULERS,
+};
 pub use runner::{parallel_map, try_parallel_map, ItemPanic, Threads};
 pub use service::{ServiceMix, ServiceRequest, SERVICE_ALGOS};
 pub use stats::{improvement_percent, Summary};

@@ -18,7 +18,7 @@
 //! count (cells are independent; the runner preserves input order).
 
 use crate::runner::parallel_map;
-use es_core::{execute_with, repair, FaultPlan, FaultSpec, ListScheduler, Scheduler};
+use es_core::{execute_with, repair, FaultPlan, FaultSpec, LinkBackend, ListScheduler, Scheduler};
 use es_workload::{cell_seed, generate, InstanceConfig, Setting};
 
 /// Parameters of one robustness sweep (one workload cell swept over
@@ -127,18 +127,35 @@ fn ratio(num: usize, den: usize) -> f64 {
 /// schedule fails to replay — both indicate a bug, and the runner
 /// reports the offending work item's index and message.
 pub fn run_robustness(spec: &RobustnessSpec) -> Vec<RobustnessCell> {
+    // The slot-queue transform is a pair of plain clones (the topology
+    // keeps its signature), so delegating here is bitwise-neutral.
+    run_robustness_backend(spec, LinkBackend::SlotQueue)
+}
+
+/// [`run_robustness`] against a specific link-model backend: instances
+/// are transformed with [`LinkBackend::prepare`] and the schedulers'
+/// switching is adapted with [`LinkBackend::adapt`] before the fault
+/// sweep. The fluid backend leaves the slotted sweep schedulers
+/// untouched (only BBSA runs natively on fluid links), so its cells
+/// equal the slot-queue cells by construction.
+pub fn run_robustness_backend(spec: &RobustnessSpec, backend: LinkBackend) -> Vec<RobustnessCell> {
     let items: Vec<(&'static str, f64)> = ROBUSTNESS_SCHEDULERS
         .iter()
         .flat_map(|&s| spec.intensities.iter().map(move |&i| (s, i)))
         .collect();
     parallel_map(&items, spec.threads, |&(label, intensity)| {
-        run_pair(spec, label, intensity)
+        run_pair(spec, backend, label, intensity)
     })
 }
 
 #[allow(clippy::cast_precision_loss)]
-fn run_pair(spec: &RobustnessSpec, label: &'static str, intensity: f64) -> RobustnessCell {
-    let scheduler = scheduler_for(label);
+fn run_pair(
+    spec: &RobustnessSpec,
+    backend: LinkBackend,
+    label: &'static str,
+    intensity: f64,
+) -> RobustnessCell {
+    let scheduler = ListScheduler::with_config(backend.adapt(*scheduler_for(label).config()));
     let mut degradation = Vec::with_capacity(spec.reps);
     let mut infeasible = 0usize;
     let mut successes = 0usize;
@@ -151,24 +168,25 @@ fn run_pair(spec: &RobustnessSpec, label: &'static str, intensity: f64) -> Robus
         let mut cfg = InstanceConfig::paper(spec.setting, spec.processors, spec.ccr, seed);
         cfg.tasks = spec.tasks;
         let inst = generate(&cfg);
+        let (dag, topo) = backend.prepare(&inst.dag, &inst.topo);
         let schedule = scheduler
-            .schedule(&inst.dag, &inst.topo)
+            .schedule(&dag, &topo)
             .unwrap_or_else(|e| panic!("{label} failed on seed {seed}: {e}"));
         let fseed = fault_seed(seed, intensity);
 
         let soft = FaultPlan::seeded(
-            &inst.dag,
-            &inst.topo,
+            &dag,
+            &topo,
             &FaultSpec::soft(intensity, schedule.makespan),
             fseed,
         );
-        let perturbed = execute_with(&inst.dag, &inst.topo, &schedule, &soft)
+        let perturbed = execute_with(&dag, &topo, &schedule, &soft)
             .unwrap_or_else(|e| panic!("{label} replay failed on seed {seed}: {e}"));
         degradation.push(perturbed.realized_makespan() / schedule.makespan);
 
         let hard = FaultPlan::seeded(
-            &inst.dag,
-            &inst.topo,
+            &dag,
+            &topo,
             &FaultSpec {
                 intensity,
                 horizon: schedule.makespan,
@@ -177,12 +195,12 @@ fn run_pair(spec: &RobustnessSpec, label: &'static str, intensity: f64) -> Robus
             },
             fseed.wrapping_add(1),
         );
-        let under_failure = execute_with(&inst.dag, &inst.topo, &schedule, &hard)
+        let under_failure = execute_with(&dag, &topo, &schedule, &hard)
             .unwrap_or_else(|e| panic!("{label} replay failed on seed {seed}: {e}"));
         if !under_failure.is_feasible() {
             infeasible += 1;
         }
-        if let Ok(outcome) = repair(&inst.dag, &inst.topo, &schedule, &hard) {
+        if let Ok(outcome) = repair(&dag, &topo, &schedule, &hard) {
             successes += 1;
             inflation_sum += outcome.schedule.makespan / schedule.makespan;
             moved_sum += outcome.moved_tasks.len();

@@ -1,0 +1,102 @@
+//! Fixture builders shared by the root integration suites. Each test
+//! binary compiles this module independently (`mod common;`), so not
+//! every suite uses every helper.
+#![allow(dead_code)]
+
+use es_core::{BbsaScheduler, ListConfig, ListScheduler, Scheduler};
+use es_dag::gen::structured::{chain, diamond_mesh, fft_graph, fork_join, gauss_elim, stencil_1d};
+use es_dag::TaskGraph;
+use es_net::gen::{self, SpeedDist};
+use es_net::Topology;
+use es_workload::suite::{Kernel, Platform};
+use es_workload::{generate, scale_to_ccr, InstanceConfig, Setting};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seeds the differential/backends matrices sweep.
+pub const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 1009, 0x00C0_FFEE];
+
+/// Every scheduler the workspace ships, static and probing families.
+pub fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(ListScheduler::ba()),
+        Box::new(ListScheduler::ba_static()),
+        Box::new(ListScheduler::oihsa()),
+        Box::new(ListScheduler::oihsa_probing()),
+        Box::new(BbsaScheduler::new()),
+        Box::new(BbsaScheduler::with_config(
+            es_core::bbsa::BbsaConfig::probing(),
+        )),
+    ]
+}
+
+/// Structured DAG shapes covering chains, fan-out, wavefronts and
+/// butterflies.
+pub fn dags() -> Vec<TaskGraph> {
+    vec![
+        chain(6, 10.0, 5.0),
+        fork_join(5, 20.0, 15.0),
+        gauss_elim(5, 12.0, 8.0),
+        fft_graph(8, 10.0, 6.0),
+        stencil_1d(4, 4, 7.0, 5.0),
+        diamond_mesh(4, 9.0, 4.0),
+    ]
+}
+
+/// Every topology family the generators produce, labelled for panic
+/// messages.
+pub fn topologies() -> Vec<(&'static str, Topology)> {
+    let mut rng = StdRng::seed_from_u64(99);
+    let hom = SpeedDist::Fixed(1.0);
+    let het = SpeedDist::UniformInt(1, 10);
+    vec![
+        ("star-hom", gen::star(4, hom, hom, &mut rng)),
+        ("star-het", gen::star(4, het, het, &mut rng)),
+        (
+            "fully-connected",
+            gen::fully_connected(4, hom, hom, &mut rng),
+        ),
+        ("ring", gen::switch_ring(3, 2, hom, hom, &mut rng)),
+        ("mesh", gen::switch_mesh2d(2, 2, 1, het, het, &mut rng)),
+        ("bus", gen::shared_bus(4, hom, 1.0, &mut rng)),
+        (
+            "wan-hom",
+            gen::random_switched_wan(&gen::WanConfig::homogeneous(12), &mut rng),
+        ),
+        (
+            "wan-het",
+            gen::random_switched_wan(&gen::WanConfig::heterogeneous(12), &mut rng),
+        ),
+    ]
+}
+
+/// The four paper presets of the slotted scheduler family.
+pub fn presets() -> [(&'static str, ListConfig); 4] {
+    [
+        ("BA", ListConfig::ba()),
+        ("BA-static", ListConfig::ba_static()),
+        ("OIHSA", ListConfig::oihsa()),
+        ("OIHSA-probe", ListConfig::oihsa_probing()),
+    ]
+}
+
+/// One instance per workload family for a given seed: two paper
+/// settings plus three structured kernels on distinct platforms.
+pub fn families(seed: u64) -> Vec<(String, TaskGraph, Topology)> {
+    let mut out = Vec::new();
+    for setting in [Setting::Homogeneous, Setting::Heterogeneous] {
+        let inst = generate(&InstanceConfig::paper(setting, 8, 4.0, seed).with_tasks(36));
+        out.push((format!("paper-{setting:?}"), inst.dag, inst.topo));
+    }
+    for (k, platform, ccr) in [
+        (Kernel::ForkJoin, Platform::WanHeterogeneous, 8.0),
+        (Kernel::GaussElim, Platform::Star, 3.0),
+        (Kernel::Stencil, Platform::FatTree, 5.0),
+    ] {
+        let topo = platform.instantiate(8, seed);
+        let raw = k.instantiate(36);
+        let dag = scale_to_ccr(&raw, ccr, topo.mean_proc_speed(), topo.mean_link_speed());
+        out.push((format!("{}-{}", k.name(), platform.name()), dag, topo));
+    }
+    out
+}

@@ -1,0 +1,235 @@
+//! Per-backend integration suite for the pluggable link models
+//! (`es_core::LinkBackend`): every backend must produce valid
+//! schedules across the workload families, stay bitwise-deterministic
+//! across runs and tunings, reduce to the slot backend where the
+//! models coincide, and survive failure-aware repair audit-clean.
+
+mod common;
+
+use common::{dags, families, presets, topologies, SEEDS};
+use es_core::{
+    diff_schedules,
+    validate::{audit, validate},
+    FaultPlan, LinkBackend, ListConfig, ListScheduler, SafTiming, Scheduler, Switching, Tuning,
+};
+
+/// Schedulers native to a backend: the slotted presets (with the
+/// backend's switching adaptation) on slot-family models, BBSA on the
+/// fluid model.
+fn native_schedulers(backend: LinkBackend) -> Vec<(&'static str, Box<dyn Scheduler>)> {
+    match backend {
+        LinkBackend::SlotQueue | LinkBackend::StoreForward(_) => presets()
+            .into_iter()
+            .map(|(name, cfg)| {
+                (
+                    name,
+                    Box::new(ListScheduler::with_config(backend.adapt(cfg))) as Box<dyn Scheduler>,
+                )
+            })
+            .collect(),
+        LinkBackend::Fluid => vec![(
+            "BBSA",
+            Box::new(es_core::BbsaScheduler::new()) as Box<dyn Scheduler>,
+        )],
+    }
+}
+
+/// Every backend × workload family × native scheduler: the schedule
+/// must validate against the backend's transformed instance.
+#[test]
+fn every_backend_schedules_every_family_validly() {
+    for &seed in &SEEDS[..2] {
+        for (family, dag, topo) in families(seed) {
+            for backend in LinkBackend::all() {
+                let (dag, topo) = backend.prepare(&dag, &topo);
+                for (name, sched) in native_schedulers(backend) {
+                    let s = sched
+                        .schedule(&dag, &topo)
+                        .unwrap_or_else(|e| panic!("{name}/{backend}/{family}: {e}"));
+                    if let Err(errs) = validate(&dag, &topo, &s) {
+                        panic!("{name}/{backend}/{family}: invalid:\n{}", errs.join("\n"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Determinism double-run per backend: scheduling the same prepared
+/// instance twice — through two independently-built transforms — must
+/// agree bit for bit (prepare itself must be deterministic too).
+#[test]
+fn backend_runs_are_bitwise_deterministic() {
+    let seed = SEEDS[0];
+    for (family, dag, topo) in families(seed) {
+        for backend in LinkBackend::all() {
+            let (d1, t1) = backend.prepare(&dag, &topo);
+            let (d2, t2) = backend.prepare(&dag, &topo);
+            for (name, sched) in native_schedulers(backend) {
+                let a = sched.schedule(&d1, &t1).expect("first run");
+                let b = sched.schedule(&d2, &t2).expect("second run");
+                if let Some(d) = diff_schedules(&a, &b) {
+                    panic!("{name}/{backend}/{family}: double-run diverged: {d}");
+                }
+            }
+        }
+    }
+}
+
+/// The differential oracle generalized to the store-and-forward
+/// backend: optimized tuning must reproduce the reference schedule
+/// bitwise on the transformed instances too (same law the slot
+/// backend has always obeyed).
+#[test]
+fn saf_backend_optimized_matches_reference_bitwise() {
+    let backend = LinkBackend::StoreForward(SafTiming::new(0.5, 0.25));
+    for &seed in &SEEDS[..4] {
+        for (family, dag, topo) in families(seed) {
+            let (dag, topo) = backend.prepare(&dag, &topo);
+            for (name, cfg) in presets() {
+                let cfg = backend.adapt(cfg);
+                let run = |tuning: Tuning| {
+                    ListScheduler::with_config(ListConfig { tuning, ..cfg })
+                        .schedule(&dag, &topo)
+                        .unwrap_or_else(|e| panic!("{name}/{family}/seed {seed}: {e}"))
+                };
+                let opt = run(Tuning::optimized());
+                let refr = run(Tuning::reference());
+                if let Some(d) = diff_schedules(&opt, &refr) {
+                    panic!("{name}/{family}/seed {seed}: saf diverged: {d}");
+                }
+            }
+        }
+    }
+}
+
+/// Where the models coincide the backends must too: with integral
+/// costs, unit quantum and zero latency, the store-and-forward
+/// transform is numerically the identity, so its schedules must be
+/// bitwise equal to the slot backend run under store-and-forward
+/// switching.
+#[test]
+fn saf_reduces_to_slot_on_integral_costs() {
+    let saf = LinkBackend::StoreForward(SafTiming::new(1.0, 0.0));
+    for dag in &dags() {
+        for (tname, topo) in &topologies() {
+            let (qdag, qtopo) = saf.prepare(dag, topo);
+            for (name, cfg) in presets() {
+                let on_saf = ListScheduler::with_config(saf.adapt(cfg))
+                    .schedule(&qdag, &qtopo)
+                    .unwrap_or_else(|e| panic!("{name}/{tname}: {e}"));
+                let on_slot = ListScheduler::with_config(ListConfig {
+                    switching: Switching::StoreAndForward,
+                    ..cfg
+                })
+                .schedule(dag, topo)
+                .unwrap_or_else(|e| panic!("{name}/{tname}: {e}"));
+                if let Some(d) = diff_schedules(&on_saf, &on_slot) {
+                    panic!("{name}/{tname}: saf != slot on divisible costs: {d}");
+                }
+            }
+        }
+    }
+}
+
+/// Failure-aware repair on the store-and-forward backend: kill the
+/// busiest processor mid-schedule and repair; the result must be
+/// audit-clean against the transformed instance.
+#[test]
+fn saf_repair_is_audit_clean() {
+    let backend = LinkBackend::StoreForward(SafTiming::new(1.0, 0.5));
+    for &seed in &SEEDS[..2] {
+        for (family, dag, topo) in families(seed) {
+            let (dag, topo) = backend.prepare(&dag, &topo);
+            let sched = ListScheduler::with_config(backend.adapt(ListConfig::oihsa()));
+            let s = sched.schedule(&dag, &topo).expect("schedulable");
+            let victim = s
+                .tasks
+                .iter()
+                .max_by(|a, b| a.finish.total_cmp(&b.finish))
+                .expect("non-empty")
+                .proc;
+            let kill = FaultPlan::kill_processor(&topo, victim, s.makespan / 2.0);
+            let outcome = es_core::repair(&dag, &topo, &s, &kill)
+                .unwrap_or_else(|e| panic!("{family}/seed {seed}: repair: {e}"));
+            let report = audit(&dag, &topo, &outcome.schedule);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{family}/seed {seed}: repaired saf schedule not audit-clean:\n{}",
+                report.render_human()
+            );
+        }
+    }
+}
+
+/// The robustness sweep runs end-to-end on every backend (the sweep's
+/// schedulers replay and repair on the transformed instances), with
+/// sane statistics.
+#[test]
+fn robustness_sweep_runs_on_every_backend() {
+    use es_sim::{run_robustness_backend, RobustnessSpec};
+    let spec = RobustnessSpec {
+        setting: es_workload::Setting::Homogeneous,
+        processors: 4,
+        ccr: 1.0,
+        reps: 2,
+        base_seed: 7,
+        tasks: Some(18),
+        intensities: vec![0.4],
+        threads: 2,
+    };
+    for backend in LinkBackend::all() {
+        let cells = run_robustness_backend(&spec, backend);
+        assert_eq!(cells.len(), es_sim::ROBUSTNESS_SCHEDULERS.len());
+        for c in &cells {
+            assert!(c.mean_degradation > 0.0, "{backend}/{}", c.scheduler);
+            for r in [c.infeasible_rate, c.repair_success_rate, c.fallback_rate] {
+                assert!((0.0..=1.0).contains(&r), "{backend}/{}: {r}", c.scheduler);
+            }
+        }
+    }
+    // And the slot backend is exactly the historical sweep.
+    let direct = es_sim::run_robustness(&spec);
+    let via_backend = run_robustness_backend(&spec, LinkBackend::SlotQueue);
+    for (a, b) in direct.iter().zip(&via_backend) {
+        assert_eq!(a.mean_degradation.to_bits(), b.mean_degradation.to_bits());
+        assert_eq!(
+            a.repair_success_rate.to_bits(),
+            b.repair_success_rate.to_bits()
+        );
+    }
+}
+
+/// The cross-backend comparison harness agrees with scheduling by hand
+/// on the same instance stream (pins the wiring the `backends` CLI
+/// subcommand and EXPERIMENTS.md table rely on).
+#[test]
+fn backend_comparison_matches_direct_scheduling() {
+    use es_sim::backends::{compare_backends, BackendCompareSpec};
+    use es_workload::{cell_seed, generate, InstanceConfig, Setting};
+
+    let mut spec = BackendCompareSpec::paper_cell(2, Some(16), 99);
+    spec.processors = 4;
+    spec.threads = 1;
+    let rows = compare_backends(&spec);
+    let slot_oihsa = rows
+        .iter()
+        .find(|r| r.backend == "slot" && r.scheduler == "oihsa")
+        .expect("slot/oihsa row");
+
+    let mut sum = 0.0;
+    for rep in 0..spec.reps {
+        let seed = cell_seed(spec.base_seed, Setting::Homogeneous, 4, 1.0, rep);
+        let mut cfg = InstanceConfig::paper(Setting::Homogeneous, 4, 1.0, seed);
+        cfg.tasks = spec.tasks;
+        let inst = generate(&cfg);
+        sum += ListScheduler::oihsa()
+            .schedule(&inst.dag, &inst.topo)
+            .expect("schedulable")
+            .makespan;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let mean = sum / spec.reps as f64;
+    assert_eq!(slot_oihsa.mean_makespan.to_bits(), mean.to_bits());
+}

@@ -9,46 +9,13 @@
 //! plus structured suite kernels) × eight seeds, and checks
 //! `execute()` and `execute_with()` outputs bit for bit.
 
+mod common;
+
+use common::{families, presets, SEEDS};
 use es_core::{
     diff_executions, diff_schedules, execute, execute_with, repair_with, FaultPlan, FaultSpec,
     ListConfig, ListScheduler, ProbeParallelism, Scheduler, Tuning,
 };
-use es_dag::TaskGraph;
-use es_net::Topology;
-use es_workload::suite::{Kernel, Platform};
-use es_workload::{generate, scale_to_ccr, InstanceConfig, Setting};
-
-const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 1009, 0x00C0_FFEE];
-
-fn presets() -> [(&'static str, ListConfig); 4] {
-    [
-        ("BA", ListConfig::ba()),
-        ("BA-static", ListConfig::ba_static()),
-        ("OIHSA", ListConfig::oihsa()),
-        ("OIHSA-probe", ListConfig::oihsa_probing()),
-    ]
-}
-
-/// One instance per workload family for a given seed: two paper
-/// settings plus three structured kernels on distinct platforms.
-fn families(seed: u64) -> Vec<(String, TaskGraph, Topology)> {
-    let mut out = Vec::new();
-    for setting in [Setting::Homogeneous, Setting::Heterogeneous] {
-        let inst = generate(&InstanceConfig::paper(setting, 8, 4.0, seed).with_tasks(36));
-        out.push((format!("paper-{setting:?}"), inst.dag, inst.topo));
-    }
-    for (k, platform, ccr) in [
-        (Kernel::ForkJoin, Platform::WanHeterogeneous, 8.0),
-        (Kernel::GaussElim, Platform::Star, 3.0),
-        (Kernel::Stencil, Platform::FatTree, 5.0),
-    ] {
-        let topo = platform.instantiate(8, seed);
-        let raw = k.instantiate(36);
-        let dag = scale_to_ccr(&raw, ccr, topo.mean_proc_speed(), topo.mean_link_speed());
-        out.push((format!("{}-{}", k.name(), platform.name()), dag, topo));
-    }
-    out
-}
 
 /// The oracle: for every preset × family × seed, the optimized tuning
 /// must reproduce the reference schedule, its `execute()` replay, and

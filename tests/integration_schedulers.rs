@@ -1,67 +1,19 @@
 //! Cross-crate integration: every scheduler × every topology family ×
 //! several DAG shapes must produce valid schedules with sane bounds.
 
+mod common;
+
+use common::{dags, schedulers, topologies};
 use es_core::config::{
     EdgeEst, EdgeOrder, Insertion, ListConfig, ProcSelection, Routing, Switching,
 };
-use es_core::{
-    validate::validate, BbsaScheduler, CommPlacement, IdealScheduler, ListScheduler, Scheduler,
-};
-use es_dag::gen::structured::{chain, diamond_mesh, fft_graph, fork_join, gauss_elim, stencil_1d};
-use es_dag::{critical_path, TaskGraph, TaskGraphBuilder};
+use es_core::{validate::validate, CommPlacement, IdealScheduler, ListScheduler, Scheduler};
+use es_dag::gen::structured::{chain, fork_join, gauss_elim};
+use es_dag::{critical_path, TaskGraphBuilder};
 use es_net::gen::{self, SpeedDist};
 use es_net::Topology;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-
-fn schedulers() -> Vec<Box<dyn Scheduler>> {
-    vec![
-        Box::new(ListScheduler::ba()),
-        Box::new(ListScheduler::ba_static()),
-        Box::new(ListScheduler::oihsa()),
-        Box::new(ListScheduler::oihsa_probing()),
-        Box::new(BbsaScheduler::new()),
-        Box::new(BbsaScheduler::with_config(
-            es_core::bbsa::BbsaConfig::probing(),
-        )),
-    ]
-}
-
-fn dags() -> Vec<TaskGraph> {
-    vec![
-        chain(6, 10.0, 5.0),
-        fork_join(5, 20.0, 15.0),
-        gauss_elim(5, 12.0, 8.0),
-        fft_graph(8, 10.0, 6.0),
-        stencil_1d(4, 4, 7.0, 5.0),
-        diamond_mesh(4, 9.0, 4.0),
-    ]
-}
-
-fn topologies() -> Vec<(&'static str, Topology)> {
-    let mut rng = StdRng::seed_from_u64(99);
-    let hom = SpeedDist::Fixed(1.0);
-    let het = SpeedDist::UniformInt(1, 10);
-    vec![
-        ("star-hom", gen::star(4, hom, hom, &mut rng)),
-        ("star-het", gen::star(4, het, het, &mut rng)),
-        (
-            "fully-connected",
-            gen::fully_connected(4, hom, hom, &mut rng),
-        ),
-        ("ring", gen::switch_ring(3, 2, hom, hom, &mut rng)),
-        ("mesh", gen::switch_mesh2d(2, 2, 1, het, het, &mut rng)),
-        ("bus", gen::shared_bus(4, hom, 1.0, &mut rng)),
-        (
-            "wan-hom",
-            gen::random_switched_wan(&gen::WanConfig::homogeneous(12), &mut rng),
-        ),
-        (
-            "wan-het",
-            gen::random_switched_wan(&gen::WanConfig::heterogeneous(12), &mut rng),
-        ),
-    ]
-}
 
 #[test]
 fn all_schedulers_valid_on_all_platforms() {

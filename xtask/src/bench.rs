@@ -23,8 +23,8 @@
 
 use es_core::diff::{diff_executions, diff_schedules};
 use es_core::{
-    execute, reset_route_cache_stats, route_cache_stats, ListConfig, ListScheduler,
-    ProbeParallelism, Scheduler, Tuning,
+    execute, reset_route_cache_stats, route_cache_stats, BbsaScheduler, LinkBackend, ListConfig,
+    ListScheduler, ProbeParallelism, Scheduler, Tuning,
 };
 use es_runner::Threads;
 use es_workload::suite::{Kernel, Platform};
@@ -90,6 +90,68 @@ impl CaseResult {
             0.0
         }
     }
+}
+
+/// One (link backend, native scheduler) timing row on a paper-family
+/// sweep point. These rows carry their own field names (`sched_ms`,
+/// not `ref_ms`/`opt_ms`) precisely so [`load_baseline`] of any future
+/// file skips them — the main-case baseline gate is unaffected.
+struct BackendCase {
+    backend: String,
+    scheduler: &'static str,
+    family: &'static str,
+    platform: String,
+    procs: usize,
+    ccr: f64,
+    tasks: usize,
+    reps: usize,
+    sched_ms: f64,
+    makespan: f64,
+}
+
+/// Time each pluggable link backend's native scheduler on one sweep
+/// point: the backend transforms the instance once (`prepare`), then
+/// `reps` scheduling runs are timed — OIHSA (with the backend's
+/// switching adaptation) on the slot-family backends, BBSA on fluid.
+fn measure_backends(point: &SweepPoint, reps: usize) -> Vec<BackendCase> {
+    let mut out = Vec::new();
+    for backend in LinkBackend::all() {
+        let (dag, topo) = backend.prepare(&point.dag, &point.topo);
+        let roster: Vec<(&'static str, Box<dyn Scheduler>)> = match backend {
+            LinkBackend::Fluid => vec![("bbsa", Box::new(BbsaScheduler::new()))],
+            LinkBackend::SlotQueue | LinkBackend::StoreForward(_) => vec![(
+                "oihsa",
+                Box::new(ListScheduler::with_config(
+                    backend.adapt(ListConfig::oihsa()),
+                )),
+            )],
+        };
+        for (name, sched) in roster {
+            let mut sched_ms = 0.0;
+            let mut makespan = 0.0;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let s = sched
+                    .schedule(&dag, &topo)
+                    .expect("bench instance schedulable on every backend");
+                sched_ms += t.elapsed().as_secs_f64() * 1000.0;
+                makespan = s.makespan;
+            }
+            out.push(BackendCase {
+                backend: backend.to_string(),
+                scheduler: name,
+                family: point.family,
+                platform: point.platform.clone(),
+                procs: point.procs,
+                ccr: point.ccr,
+                tasks: point.tasks,
+                reps,
+                sched_ms,
+                makespan,
+            });
+        }
+    }
+    out
 }
 
 /// One comparable row loaded from a previous `BENCH_PR*.json`.
@@ -281,6 +343,12 @@ pub fn run(args: &[String]) -> i32 {
             cases.push(measure(point, cfg, reps, threads));
         }
     }
+    // Per-backend rows on the paper-family points only: enough to
+    // compare the link models without doubling the sweep's cost.
+    let mut backend_cases: Vec<BackendCase> = Vec::new();
+    for point in points.iter().filter(|p| p.family == "paper") {
+        backend_cases.extend(measure_backends(point, reps));
+    }
 
     let all_identical = cases.iter().all(|c| c.identical);
     let total_ref: f64 = cases.iter().map(|c| c.ref_ms).sum();
@@ -301,6 +369,7 @@ pub fn run(args: &[String]) -> i32 {
 
     let json = render_json(
         &cases,
+        &backend_cases,
         fast,
         reps,
         threads,
@@ -383,6 +452,21 @@ pub fn run(args: &[String]) -> i32 {
         if let Some(d) = &c.detail {
             println!("    {d}");
         }
+    }
+    for b in &backend_cases {
+        println!(
+            "backend {:10} {:6} {:14} {:12} procs={:<2} ccr={:<4} tasks={:<4} \
+             sched {:8.2}ms makespan {:.3}",
+            b.backend,
+            b.scheduler,
+            b.family,
+            b.platform,
+            b.procs,
+            b.ccr,
+            b.tasks,
+            b.sched_ms,
+            b.makespan,
+        );
     }
     println!(
         "\ntotal: ref {total_ref:.1}ms opt {total_opt:.1}ms par {total_par:.1}ms \
@@ -619,6 +703,7 @@ fn measure(point: &SweepPoint, cfg: ListConfig, reps: usize, threads: usize) -> 
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     cases: &[CaseResult],
+    backend_cases: &[BackendCase],
     fast: bool,
     reps: usize,
     threads: usize,
@@ -633,7 +718,7 @@ fn render_json(
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"PR5\",\n");
-    s.push_str("  \"schema_version\": 2,\n");
+    s.push_str("  \"schema_version\": 3,\n");
     s.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if fast { "fast" } else { "full" }
@@ -682,6 +767,26 @@ fn render_json(
             c.cache_misses,
             c.identical,
             if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"backend_cases\": [\n");
+    for (i, b) in backend_cases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"scheduler\": \"{}\", \"family\": \"{}\", \
+             \"platform\": \"{}\", \"procs\": {}, \"ccr\": {}, \"tasks\": {}, \
+             \"reps\": {}, \"sched_ms\": {:.3}, \"makespan\": {:.4}}}{}\n",
+            b.backend,
+            b.scheduler,
+            b.family,
+            b.platform,
+            b.procs,
+            b.ccr,
+            b.tasks,
+            b.reps,
+            b.sched_ms,
+            b.makespan,
+            if i + 1 < backend_cases.len() { "," } else { "" },
         ));
     }
     s.push_str("  ]\n}\n");

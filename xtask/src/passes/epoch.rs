@@ -23,6 +23,18 @@
 //! the method names `commit`/`remove_comm` on `RateProfile`, but has
 //! no epoch-keyed cache — fresh route searches every probe — so an
 //! epoch bump there would be meaningless.
+//!
+//! **Backend rule** (`ES-A021`, PR 8): since every link model now
+//! carries an epoch (the `LinkModel` trait's cache-invalidation
+//! contract, conformance law C6), the *definitions* of the trait's
+//! mutating operations in `crates/linksched/src/` are checked too —
+//! inverted from the caller-side rule above. A fn named after a trait
+//! mutator (`commit`, `remove_comm`, `remove_slot_at`, `shift_right`,
+//! `insert_at`, `commit_transfer`, `unschedule`, `restore`) must
+//! either call a reconciler (`touch` / `restore_epoch`) itself or
+//! delegate to another mutator that does (e.g. `commit_transfer` →
+//! `commit`). A backend impl that mutates committed state without
+//! bumping its epoch would silently break every epoch-keyed consumer.
 
 use super::Model;
 use crate::lexer::TokenKind;
@@ -49,8 +61,34 @@ const SLOTTED_TYPES: [&str; 4] = [
     "SlotQueueOverlay",
 ];
 
+/// The `LinkModel` trait's mutating operations (plus the concrete
+/// queue mutators they delegate to): definitions under
+/// `crates/linksched/src/` with these names must reconcile the epoch.
+const TRAIT_MUTATORS: [&str; 8] = [
+    "commit",
+    "remove_comm",
+    "remove_slot_at",
+    "shift_right",
+    "insert_at",
+    "commit_transfer",
+    "unschedule",
+    "restore",
+];
+
+/// Reconcilers available inside `es-linksched` itself (where
+/// `restore_epoch` is the checkpoint-rewind primitive).
+const LINK_RECONCILERS: [&str; 2] = ["touch", "restore_epoch"];
+
 /// Run N2 over the model.
 pub fn run(model: &Model) -> Vec<Finding> {
+    let mut findings = caller_rule(model);
+    findings.extend(backend_rule(model));
+    findings
+}
+
+/// Caller-side rule (`ES-A020`): core-crate fns that invoke a mutator
+/// must reconcile in the same body.
+fn caller_rule(model: &Model) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in &model.files {
         if !file.rel.starts_with("crates/core/src/") {
@@ -90,6 +128,47 @@ pub fn run(model: &Model) -> Vec<Finding> {
                         ),
                     });
                 }
+            }
+        }
+    }
+    findings
+}
+
+/// Definition-side rule (`ES-A021`): a backend's implementation of a
+/// trait mutator must bump the epoch itself or delegate to another
+/// mutator. Bodiless trait declarations never reach the fn model (the
+/// parser drops a `fn` pending at `;`), so only real impl bodies are
+/// judged.
+fn backend_rule(model: &Model) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &model.files {
+        if !file.rel.starts_with("crates/linksched/src/") {
+            continue;
+        }
+        for f in &file.fns {
+            if f.is_test || !TRAIT_MUTATORS.contains(&f.name.as_str()) {
+                continue;
+            }
+            let reconciles = f.calls.iter().any(|c| {
+                LINK_RECONCILERS.contains(&c.callee.as_str())
+                    || (TRAIT_MUTATORS.contains(&c.callee.as_str()) && c.callee != f.name)
+            });
+            if !reconciles {
+                findings.push(Finding {
+                    code: "ES-A021",
+                    pass: "N2",
+                    file: file.rel.clone(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` implements a LinkModel mutator without calling \
+                         `touch()` / `restore_epoch()` or delegating to a \
+                         mutator that does — committed link state would \
+                         change under an unchanged epoch, violating the \
+                         trait's invalidation contract (conformance law C6, \
+                         DESIGN.md §12.2/N2)",
+                        f.name
+                    ),
+                });
             }
         }
     }
@@ -143,10 +222,118 @@ mod tests {
 
     #[test]
     fn out_of_scope_files_are_ignored() {
+        // The caller-side rule does not apply outside crates/core/src/
+        // (and `internal` is not a trait-mutator name, so the backend
+        // rule stays quiet too).
         let m = Model::from_sources(
             vec![(
                 "crates/linksched/src/slot.rs".to_string(),
                 "fn internal(q: &mut Q) { q.commit(s); }".to_string(),
+            )],
+            String::new(),
+        );
+        assert!(run(&m).is_empty());
+    }
+
+    fn link_model(src: &str) -> Model {
+        Model::from_sources(
+            vec![(
+                "crates/linksched/src/backend.rs".to_string(),
+                src.to_string(),
+            )],
+            String::new(),
+        )
+    }
+
+    #[test]
+    fn backend_mutator_without_epoch_bump_fires() {
+        let f = run(&link_model(
+            "impl LinkModel for Raw {\n\
+             fn commit_transfer(&mut self, c: CommId) { self.slots.push(c); }\n\
+             }\n",
+        ));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "ES-A021");
+        assert!(f[0].message.contains("commit_transfer"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn backend_mutator_with_touch_is_clean() {
+        assert!(run(&link_model(
+            "impl LinkModel for Good {\n\
+             fn unschedule(&mut self, c: CommId) -> usize { let n = self.drop(c); self.touch(); n }\n\
+             }\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn backend_mutator_may_delegate_to_another_mutator() {
+        // `commit_transfer` → `commit` is the real SlotQueue/SafLink
+        // shape: the inner mutator owns the epoch bump.
+        assert!(run(&link_model(
+            "impl LinkModel for Delegating {\n\
+             fn commit_transfer(&mut self, c: CommId) { self.queue.commit(c); }\n\
+             }\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn backend_self_recursion_is_not_delegation() {
+        // Calling *yourself* reconciles nothing; only a different
+        // mutator (or a reconciler) counts.
+        let f = run(&link_model(
+            "impl LinkModel for Loopy {\n\
+             fn unschedule(&mut self, c: CommId) -> usize { self.unschedule(c) }\n\
+             }\n",
+        ));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "ES-A021");
+    }
+
+    #[test]
+    fn backend_restore_must_rewind_the_epoch() {
+        let f = run(&link_model(
+            "impl LinkModel for Fancy {\n\
+             fn restore(&mut self, cp: &LinkCheckpoint) { self.slots.truncate(cp.n); }\n\
+             }\n",
+        ));
+        assert_eq!(f.len(), 1);
+        assert!(run(&link_model(
+            "impl LinkModel for Fine {\n\
+             fn restore(&mut self, cp: &LinkCheckpoint) { self.restore_epoch(cp.epoch); }\n\
+             }\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn backend_trait_declarations_and_tests_are_exempt() {
+        // A bodiless trait declaration parses to no fn at all; a
+        // `#[cfg(test)]` mutation helper is out of scope.
+        assert!(run(&link_model(
+            "pub trait LinkModel {\n\
+             fn commit_transfer(&mut self, c: CommId);\n\
+             fn unschedule(&mut self, c: CommId) -> usize;\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn commit(q: &mut SlotQueue) { q.slots.clear(); }\n\
+             }\n",
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn backend_rule_is_scoped_to_linksched() {
+        // The same definition outside crates/linksched/src/ is judged
+        // only by the caller-side rule (which exempts it here because
+        // the file never mentions a slotted type).
+        let m = Model::from_sources(
+            vec![(
+                "crates/net/src/x.rs".to_string(),
+                "fn unschedule(&mut self) { self.n += 1; }".to_string(),
             )],
             String::new(),
         );
