@@ -59,6 +59,7 @@ fn main() {
         "cell" => run_single_cell(&opts),
         "backends" => run_backend_comparison(&opts),
         "robustness" => run_robustness_sweep(&opts),
+        "online" => run_online_cmd(&opts),
         "suite" => run_suite(&opts),
         "export" => export_instance(&opts),
         "verify" => verify_export(&opts),
@@ -75,7 +76,7 @@ const USAGE: &str = "\
 es-experiments — reproduce Han & Wang (ICPP 2006), Figures 1-4
 
 USAGE:
-  es-experiments <fig1|fig2|fig3|fig4|all|cell|backends|robustness|suite|export|verify|demo> [options]
+  es-experiments <fig1|fig2|fig3|fig4|all|cell|backends|robustness|online|suite|export|verify|demo> [options]
   es-experiments serve <driver|worker|bench> [serve options]
 
 OPTIONS:
@@ -90,6 +91,12 @@ OPTIONS:
   --intensities A,B   (robustness) fault intensities in [0,1] (default 0.2,0.5,0.8)
   --backend B         (robustness) link-model backend: slot | fluid | saf |
                       saf:QUANTUM:LATENCY              (default slot)
+  --jobs N            (online) jobs per arrival script (default 12)
+  --tenants N         (online) tenant count            (default 3)
+  --rates A,B         (online) mean inter-arrival gaps (default 2,10)
+  --admission P       (online) fifo | swf              (default fifo)
+  --max-inflight N    (online) dispatch-slot cap       (default 4)
+  --fault-intensity X (online) production-day fault leg in [0,1]
   --validate          re-validate every schedule against the model
   --strong-baseline   also run the probing-BA family for comparison
   --progress          print a line to stderr per completed cell
@@ -119,6 +126,16 @@ ratios, infeasibility, and failure-aware repair statistics. With
 highest intensity as an es-export-v1 run that `verify --in DIR`
 audits unchanged (repairs are valid against the full topology).
 
+The `online` command delivers a seeded stream of tenant DAGs onto one
+shared topology (Poisson-like arrivals, mixed kernel families and
+sizes) and prints per-cell SLO tables (response, queueing, slowdown,
+per-tenant fairness) over arrival rate x scheduler. With
+--fault-intensity it replays every completed job under seeded link
+failures and repairs the infeasible ones. With --out DIR it exports
+one run's per-job schedules as an es-export-v1 directory whose
+manifest records the arrival spec, so `verify --in DIR` regenerates
+the script and re-audits every job.
+
 The `verify` command re-audits an exported run: it regenerates the
 instance from the manifest's recorded seed/config, parses each
 algorithm's schedule back from its CSVs, and checks every model
@@ -140,6 +157,12 @@ struct Options {
     out_dir: Option<String>,
     in_dir: String,
     json: bool,
+    jobs: usize,
+    tenants: u32,
+    rates: Vec<f64>,
+    admission: es_core::online::Admission,
+    max_inflight: usize,
+    fault_intensity: Option<f64>,
 }
 
 impl Options {
@@ -156,6 +179,12 @@ impl Options {
         let mut out_dir = None;
         let mut in_dir = String::from("export");
         let mut json = false;
+        let mut jobs = 12usize;
+        let mut tenants = 3u32;
+        let mut rates = vec![2.0, 10.0];
+        let mut admission = es_core::online::Admission::Fifo;
+        let mut max_inflight = 4usize;
+        let mut fault_intensity = None;
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut take = || {
@@ -204,6 +233,31 @@ impl Options {
                 "--backend" => {
                     backend = take()?.parse().map_err(|e| format!("--backend: {e}"))?;
                 }
+                "--jobs" => jobs = take()?.parse().map_err(|e| format!("--jobs: {e}"))?,
+                "--tenants" => tenants = take()?.parse().map_err(|e| format!("--tenants: {e}"))?,
+                "--rates" => {
+                    rates = take()?
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|e| format!("--rates: {e}")))
+                        .collect::<Result<_, _>>()?
+                }
+                "--admission" => {
+                    let v = take()?;
+                    admission = es_core::online::Admission::parse(&v)
+                        .ok_or_else(|| format!("--admission: unknown value {v} (fifo | swf)"))?;
+                }
+                "--max-inflight" => {
+                    max_inflight = take()?
+                        .parse()
+                        .map_err(|e| format!("--max-inflight: {e}"))?
+                }
+                "--fault-intensity" => {
+                    fault_intensity = Some(
+                        take()?
+                            .parse()
+                            .map_err(|e| format!("--fault-intensity: {e}"))?,
+                    )
+                }
                 "--validate" => params.validate = true,
                 "--progress" => params.progress = true,
                 "--strong-baseline" => params.strong_baseline = true,
@@ -224,6 +278,12 @@ impl Options {
             out_dir,
             in_dir,
             json,
+            jobs,
+            tenants,
+            rates,
+            admission,
+            max_inflight,
+            fault_intensity,
         })
     }
 }
@@ -325,6 +385,168 @@ fn run_robustness_sweep(opts: &Options) {
     if let Some(dir) = &opts.out_dir {
         export_repaired(&spec, dir);
     }
+}
+
+/// `online`: arrival-driven multi-DAG sweep on one shared topology,
+/// printed as SLO/fairness markdown, with optional CSV and an
+/// es-export-v1 dump of one run's per-job schedules.
+fn run_online_cmd(opts: &Options) {
+    use es_sim::online::{run_online_sweep, OnlineSweepSpec};
+    use es_sim::report::{online_to_csv, online_to_markdown, tenants_to_markdown};
+
+    if opts.backend == es_core::LinkBackend::Fluid {
+        eprintln!("error: the online engine runs on the slotted link state; use slot or saf");
+        std::process::exit(2);
+    }
+    let spec = OnlineSweepSpec {
+        setting: opts.setting,
+        processors: *opts.params.procs.first().unwrap_or(&8),
+        jobs: opts.jobs,
+        tenants: opts.tenants,
+        mean_interarrivals: opts.rates.clone(),
+        backends: vec![opts.backend],
+        admission: opts.admission,
+        max_inflight: opts.max_inflight,
+        base_seed: opts.params.base_seed,
+        fault_intensity: opts.fault_intensity,
+        threads: opts.params.threads,
+    };
+    let cells = run_online_sweep(&spec);
+    print!("{}", online_to_markdown(&spec, &cells));
+    // Per-tenant fairness detail of the heaviest swept load, per
+    // scheduler (the headline table above only has the ratio).
+    if let Some(&rate) = spec.mean_interarrivals.iter().min_by(|a, b| a.total_cmp(b)) {
+        for scheduler in es_sim::ONLINE_SCHEDULERS {
+            let run = online_run_for(&spec, rate, scheduler);
+            println!("\nPer-tenant ({scheduler}, gap {rate}):\n");
+            print!("{}", tenants_to_markdown(&run.tenant_fairness()));
+        }
+    }
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, online_to_csv(&spec, &cells)).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote online CSV to {path}");
+    }
+    if let Some(dir) = &opts.out_dir {
+        export_online(&spec, dir);
+    }
+}
+
+/// One full online run at (rate, scheduler) under the spec's first
+/// backend — the same derivation chain `run_online_cell` uses, so the
+/// outcomes match the sweep bit for bit.
+fn online_run_for(
+    spec: &es_sim::OnlineSweepSpec,
+    rate: f64,
+    scheduler: &'static str,
+) -> es_core::OnlineRun {
+    use es_core::online::{arrival_script, run_online, OnlineConfig};
+    use es_core::ListScheduler;
+    use es_sim::online::{online_arrivals, online_topology};
+
+    let backend = *spec
+        .backends
+        .first()
+        .unwrap_or(&es_core::LinkBackend::SlotQueue);
+    let topo = backend.prepare_topology(&online_topology(spec));
+    let jobs: Vec<es_core::JobSpec> = arrival_script(&online_arrivals(spec, rate))
+        .into_iter()
+        .map(|mut j| {
+            j.dag = backend.prepare_dag(&j.dag);
+            j
+        })
+        .collect();
+    let sched = match scheduler {
+        "ba_static" => ListScheduler::ba_static(),
+        "oihsa" => ListScheduler::oihsa(),
+        other => {
+            eprintln!("unknown online scheduler {other}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = OnlineConfig {
+        scheduler: backend.adapt(*sched.config()),
+        admission: spec.admission,
+        max_inflight: spec.max_inflight,
+        compaction: true,
+    };
+    run_online(&cfg, &topo, &jobs).expect("online run schedules")
+}
+
+/// Export one online run (first swept rate, OIHSA, slot backend) as an
+/// es-export-v1 directory: one tasks/comms CSV pair per job, plus a
+/// manifest whose `online=` key records everything `verify` needs to
+/// regenerate the shared topology and arrival script.
+fn export_online(spec: &es_sim::OnlineSweepSpec, dir_name: &str) {
+    // The export pins the slot backend (the manifest records no
+    // backend transform; verify regenerates untransformed instances).
+    let mut spec = spec.clone();
+    spec.backends = vec![es_core::LinkBackend::SlotQueue];
+    let spec = &spec;
+    let rate = *spec.mean_interarrivals.first().unwrap_or(&2.0);
+    let scheduler = "oihsa";
+    let run = online_run_for(spec, rate, scheduler);
+    let jobs = es_core::online::arrival_script(&es_sim::online::online_arrivals(spec, rate));
+
+    let dir = std::path::Path::new(dir_name);
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let write = |name: &str, contents: String| {
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    };
+    let mut manifest = String::from("schema=es-export-v1\n");
+    manifest.push_str(&format!(
+        "setting={}\n",
+        match spec.setting {
+            Setting::Homogeneous => "homogeneous",
+            Setting::Heterogeneous => "heterogeneous",
+        }
+    ));
+    manifest.push_str(&format!("processors={}\n", spec.processors));
+    manifest.push_str(&format!("seed={}\n", spec.base_seed));
+    // Full-precision rate via `{:?}` so verify regenerates the exact
+    // arrival stream.
+    manifest.push_str(&format!(
+        "online={},{},{:?},{},{},{}\n",
+        spec.jobs,
+        spec.tenants,
+        rate,
+        spec.admission.name(),
+        spec.max_inflight,
+        scheduler,
+    ));
+    for o in &run.outcomes {
+        let job = &jobs[o.job as usize];
+        let tag = format!("job{}_{scheduler}", o.job);
+        write(
+            &format!("{tag}_tasks.csv"),
+            es_core::export::tasks_to_csv(&job.dag, &o.schedule),
+        );
+        write(
+            &format!("{tag}_comms.csv"),
+            es_core::export::comms_to_csv(&job.dag, &o.schedule),
+        );
+        manifest.push_str(&format!(
+            "schedule={tag},{},{:?}\n",
+            o.schedule.algorithm, o.schedule.makespan
+        ));
+    }
+    write("manifest.txt", manifest);
+    println!(
+        "exported online run: {} jobs, horizon {:.1}, {} slots compacted",
+        run.outcomes.len(),
+        run.horizon,
+        run.released_slots
+    );
 }
 
 /// Export the rep-0 instance's repaired schedules (highest swept
@@ -559,6 +781,7 @@ fn verify_export(opts: &Options) {
     let mut ccr = None;
     let mut tasks = None;
     let mut seed = None;
+    let mut online: Option<String> = None;
     let mut schedules: Vec<(String, String, f64)> = Vec::new(); // (tag, algorithm, makespan)
     let fail = |why: String| -> ! {
         eprintln!("bad manifest {}: {why}", manifest_path.display());
@@ -601,6 +824,7 @@ fn verify_export(opts: &Options) {
                 )
             }
             "seed" => seed = Some(value.parse().unwrap_or_else(|e| fail(format!("seed: {e}")))),
+            "online" => online = Some(value.to_string()),
             "schedule" => {
                 let parts: Vec<&str> = value.split(',').collect();
                 if parts.len() != 3 {
@@ -616,6 +840,18 @@ fn verify_export(opts: &Options) {
             other => fail(format!("unknown key {other}")),
         }
     }
+    if schedules.is_empty() {
+        fail("no schedule entries".into());
+    }
+    // Online exports carry a per-job instance description instead of
+    // one workload cell — branch to the online re-audit.
+    if let Some(online) = online {
+        let setting = setting.unwrap_or_else(|| fail("missing setting".into()));
+        let processors = processors.unwrap_or_else(|| fail("missing processors".into()));
+        let seed = seed.unwrap_or_else(|| fail("missing seed".into()));
+        verify_online_export(opts, dir, setting, processors, seed, &online, &schedules);
+        return;
+    }
     let cfg = InstanceConfig {
         setting: setting.unwrap_or_else(|| fail("missing setting".into())),
         processors: processors.unwrap_or_else(|| fail("missing processors".into())),
@@ -623,9 +859,6 @@ fn verify_export(opts: &Options) {
         tasks,
         seed: seed.unwrap_or_else(|| fail("missing seed".into())),
     };
-    if schedules.is_empty() {
-        fail("no schedule entries".into());
-    }
 
     // --- Regenerate the instance (deterministic) and audit each run.
     let inst = generate(&cfg);
@@ -677,6 +910,117 @@ fn verify_export(opts: &Options) {
         std::process::exit(1);
     }
     println!("verify: all schedules clean");
+}
+
+/// Re-audit an online export: regenerate the shared topology and the
+/// arrival script from the manifest's `online=` key, then audit each
+/// `jobN_*` schedule against its own job DAG. Exits nonzero when any
+/// error-severity diagnostic fires.
+fn verify_online_export(
+    opts: &Options,
+    dir: &std::path::Path,
+    setting: Setting,
+    processors: usize,
+    seed: u64,
+    online: &str,
+    schedules: &[(String, String, f64)],
+) {
+    use es_core::export::schedule_from_csv;
+    use es_core::online::{arrival_script, Admission};
+    use es_core::validate::audit;
+    use es_sim::online::{online_arrivals, online_topology};
+    use es_sim::OnlineSweepSpec;
+
+    let fail = |why: String| -> ! {
+        eprintln!("bad online manifest in {}: {why}", dir.display());
+        std::process::exit(2);
+    };
+    let parts: Vec<&str> = online.split(',').collect();
+    if parts.len() != 6 {
+        fail(format!(
+            "online needs jobs,tenants,rate,admission,max_inflight,scheduler: {online}"
+        ));
+    }
+    let jobs: usize = parts[0]
+        .parse()
+        .unwrap_or_else(|e| fail(format!("jobs: {e}")));
+    let tenants: u32 = parts[1]
+        .parse()
+        .unwrap_or_else(|e| fail(format!("tenants: {e}")));
+    let rate: f64 = parts[2]
+        .parse()
+        .unwrap_or_else(|e| fail(format!("rate: {e}")));
+    let admission = Admission::parse(parts[3])
+        .unwrap_or_else(|| fail(format!("unknown admission {}", parts[3])));
+    let max_inflight: usize = parts[4]
+        .parse()
+        .unwrap_or_else(|e| fail(format!("max_inflight: {e}")));
+    let spec = OnlineSweepSpec {
+        setting,
+        processors,
+        jobs,
+        tenants,
+        mean_interarrivals: vec![rate],
+        backends: vec![es_core::LinkBackend::SlotQueue],
+        admission,
+        max_inflight,
+        base_seed: seed,
+        fault_intensity: None,
+        threads: 1,
+    };
+    let topo = online_topology(&spec);
+    let script = arrival_script(&online_arrivals(&spec, rate));
+
+    let mut total_errors = 0usize;
+    for (tag, algorithm, makespan) in schedules {
+        let idx: usize = tag
+            .strip_prefix("job")
+            .and_then(|r| r.split('_').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| fail(format!("schedule tag without job index: {tag}")));
+        let job = script
+            .get(idx)
+            .unwrap_or_else(|| fail(format!("job index {idx} beyond the {jobs}-job script")));
+        let read = |name: String| -> String {
+            std::fs::read_to_string(dir.join(&name)).unwrap_or_else(|e| {
+                eprintln!("cannot read {name}: {e}");
+                std::process::exit(2);
+            })
+        };
+        let tasks_csv = read(format!("{tag}_tasks.csv"));
+        let comms_csv = read(format!("{tag}_comms.csv"));
+        let name: &'static str = Box::leak(format!("{algorithm}[job{idx}]").into_boxed_str());
+        match schedule_from_csv(name, &job.dag, &tasks_csv, &comms_csv, *makespan) {
+            Ok(schedule) => {
+                let report = audit(&job.dag, &topo, &schedule);
+                total_errors += report.error_count();
+                if opts.json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render_human());
+                }
+            }
+            Err(why) => {
+                let mut report = es_core::Report::new(name);
+                report.push(es_core::Diagnostic::error(
+                    es_core::Code::Structure,
+                    es_core::Span::Schedule,
+                    format!("export for `{tag}` cannot be parsed: {why}"),
+                ));
+                total_errors += 1;
+                if opts.json {
+                    println!("{}", report.to_json());
+                } else {
+                    print!("{}", report.render_human());
+                }
+            }
+        }
+    }
+    if total_errors > 0 {
+        eprintln!("verify: {total_errors} error(s)");
+        std::process::exit(1);
+    }
+    println!("verify: all {} online job schedules clean", schedules.len());
 }
 
 /// A tiny end-to-end walkthrough on a fixed instance — smoke test and

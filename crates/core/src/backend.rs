@@ -191,8 +191,26 @@ impl LinkBackend {
     /// per-hop delay.
     #[must_use]
     pub fn prepare(self, dag: &TaskGraph, topo: &Topology) -> (TaskGraph, Topology) {
+        (self.prepare_dag(dag), self.prepare_topology(topo))
+    }
+
+    /// The topology half of [`LinkBackend::prepare`]. Split out for
+    /// the online engine, which transforms the shared topology once
+    /// and each arriving job's DAG individually.
+    #[must_use]
+    pub fn prepare_topology(self, topo: &Topology) -> Topology {
         let LinkBackend::StoreForward(timing) = self else {
-            return (dag.clone(), topo.clone());
+            return topo.clone();
+        };
+        topo.with_hop_delay(topo.hop_delay() + timing.latency())
+    }
+
+    /// The DAG half of [`LinkBackend::prepare`] — see
+    /// [`LinkBackend::prepare_topology`].
+    #[must_use]
+    pub fn prepare_dag(self, dag: &TaskGraph) -> TaskGraph {
+        let LinkBackend::StoreForward(timing) = self else {
+            return dag.clone();
         };
         let model = timing.link();
         let mut b = TaskGraphBuilder::with_capacity(dag.task_count(), dag.edge_count());
@@ -212,9 +230,7 @@ impl LinkBackend {
             b.add_edge(edge.src, edge.dst, qcost)
                 .expect("quantizing a valid graph");
         }
-        let dag = b.build().expect("quantizing a valid graph");
-        let topo = topo.with_hop_delay(topo.hop_delay() + timing.latency());
-        (dag, topo)
+        b.build().expect("quantizing a valid graph")
     }
 
     /// Adapt a slotted-scheduler configuration to this backend's

@@ -205,7 +205,7 @@ impl BbsaRun<'_> {
         let weight = self.dag.weight(task);
         let mut best: Option<(ProcId, f64)> = None;
         for p in self.topo.proc_ids() {
-            let mut comm_part = 0.0_f64;
+            let mut comm_part = 0.0_f64; // TWIN-OK: fluid path is offline-only, floor is always zero
             for &e in self.dag.in_edges(task) {
                 let edge = self.dag.edge(e);
                 let src = self.placed[edge.src.index()].expect("placed");

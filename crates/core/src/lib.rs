@@ -58,6 +58,7 @@ pub mod gantt;
 pub mod ideal;
 pub mod list;
 pub mod metrics;
+pub mod online;
 pub mod procsched;
 pub mod repair;
 pub mod schedule;
@@ -76,6 +77,10 @@ pub use exec::{execute, execute_with, FaultPlan, FaultSpec, PerturbedExecution};
 pub use ideal::IdealScheduler;
 pub use list::ListScheduler;
 pub use metrics::{metrics, ScheduleMetrics};
+pub use online::{
+    arrival_script, run_online, Admission, ArrivalSpec, JobFamily, JobOutcome, JobSpec,
+    OnlineConfig, OnlineRun, TenantSummary,
+};
 pub use repair::{repair, repair_with, RepairError, RepairOutcome};
 pub use schedule::{CommPlacement, SchedError, Schedule, Scheduler, TaskPlacement};
 pub use slotted::{reset_route_cache_stats, route_cache_stats, CacheStats};

@@ -83,8 +83,33 @@ impl Scheduler for ListScheduler {
     }
 
     fn schedule(&self, dag: &TaskGraph, topo: &Topology) -> Result<Schedule, SchedError> {
-        Run::new(&self.cfg, dag, topo)?.run()
+        let mut procs = ProcState::new(topo);
+        let mut links = SlottedState::with_tuning(topo, dag.edge_count(), self.cfg.tuning);
+        schedule_onto(&self.cfg, dag, topo, &mut procs, &mut links, 0, 0.0)
     }
+}
+
+/// Schedule one DAG onto *persistent* platform state: the workhorse
+/// behind both [`ListScheduler::schedule`] (fresh state, `comm_base`
+/// 0, `floor` 0.0 — bitwise identical to the historical offline path)
+/// and [`crate::online`] (state carried across jobs).
+///
+/// * `comm_base` offsets every edge's [`CommId`] so successive jobs
+///   occupy disjoint id blocks and reservations never alias;
+/// * `floor` is the dispatch instant: no communication or task of this
+///   job may start before it, which is what makes releasing slots that
+///   lie entirely before `floor` semantics-free (DESIGN.md §15).
+pub(crate) fn schedule_onto(
+    cfg: &ListConfig,
+    dag: &TaskGraph,
+    topo: &Topology,
+    procs: &mut ProcState,
+    links: &mut SlottedState,
+    comm_base: u64,
+    floor: f64,
+) -> Result<Schedule, SchedError> {
+    links.ensure_comm_capacity(comm_base as usize + dag.edge_count());
+    Run::new(cfg, dag, topo, procs, links, comm_base, floor)?.run()
 }
 
 /// One remote-or-local in-edge of the task being probed, precomputed
@@ -107,10 +132,14 @@ struct Run<'a> {
     cfg: &'a ListConfig,
     dag: &'a TaskGraph,
     topo: &'a Topology,
-    procs: ProcState,
-    links: SlottedState,
+    procs: &'a mut ProcState,
+    links: &'a mut SlottedState,
     placed: Vec<Option<TaskPlacement>>,
     mls: f64,
+    /// First [`CommId`] of this job's contiguous id block.
+    comm_base: u64,
+    /// Dispatch instant: lower bound on every start time of this run.
+    floor: f64,
     /// Scratch buffers for the in-edge ordering, reused across the
     /// probe loop's candidates (allocation hoisting; no behavioural
     /// effect).
@@ -137,6 +166,10 @@ impl<'a> Run<'a> {
         cfg: &'a ListConfig,
         dag: &'a TaskGraph,
         topo: &'a Topology,
+        procs: &'a mut ProcState,
+        links: &'a mut SlottedState,
+        comm_base: u64,
+        floor: f64,
     ) -> Result<Self, SchedError> {
         if topo.proc_count() == 0 {
             return Err(SchedError::NoProcessors);
@@ -156,10 +189,12 @@ impl<'a> Run<'a> {
             cfg,
             dag,
             topo,
-            procs: ProcState::new(topo),
-            links: SlottedState::with_tuning(topo, dag.edge_count(), cfg.tuning),
+            procs,
+            links,
             placed: vec![None; dag.task_count()],
             mls: topo.mean_link_speed(),
+            comm_base,
+            floor,
             edge_costs: Vec::new(),
             edge_idx: Vec::new(),
             ordered_edges: Vec::new(),
@@ -182,6 +217,12 @@ impl<'a> Run<'a> {
             self.commit_task(task, proc, self.cfg.insertion)?;
         }
         self.finish()
+    }
+
+    /// This run's [`CommId`] for DAG edge `e` (offset into the job's
+    /// id block).
+    fn comm(&self, e: EdgeId) -> CommId {
+        CommId(self.comm_base + u64::from(e.0))
     }
 
     /// Fill `self.ordered_edges` with `task`'s in-edge ids in the
@@ -220,7 +261,7 @@ impl<'a> Run<'a> {
                     .fold(0.0_f64, f64::max),
             ),
         };
-        let mut data_ready = 0.0_f64;
+        let mut data_ready = self.floor;
         self.order_in_edges(task);
         for k in 0..self.ordered_edges.len() {
             let e = self.ordered_edges[k];
@@ -232,7 +273,7 @@ impl<'a> Run<'a> {
                 let est = ready_time.unwrap_or(src.finish);
                 self.links.schedule_comm(
                     self.topo,
-                    CommId(u64::from(e.0)),
+                    self.comm(e),
                     est,
                     edge.cost,
                     src.proc,
@@ -253,7 +294,7 @@ impl<'a> Run<'a> {
             let edge = self.dag.edge(e);
             let src = self.placed[edge.src.index()].expect("placed");
             if src.proc != p {
-                self.links.unschedule(CommId(u64::from(e.0)));
+                self.links.unschedule(self.comm(e));
             }
         }
     }
@@ -324,7 +365,7 @@ impl<'a> Run<'a> {
             let edge = self.dag.edge(e);
             let src = self.placed[edge.src.index()].expect("predecessors are placed first");
             self.probe_edges.push(ProbeEdge {
-                comm: CommId(u64::from(e.0)),
+                comm: self.comm(e),
                 est: ready_time.unwrap_or(src.finish),
                 cost: edge.cost,
                 src_proc: src.proc,
@@ -355,13 +396,14 @@ impl<'a> Run<'a> {
         let lanes_ws = &self.probe_lanes;
         let routing = self.cfg.routing;
         let switching = self.cfg.switching;
+        let floor = self.floor;
         let job = move |lane: usize, idx: usize| {
             let p = candidates[idx];
             let mut ws = lanes_ws[lane].lock().expect("probe workspace lock");
             ws.begin_candidate(serial);
             let mut ov = OverlayState::new(&snap, tuning, &mut ws);
             let mut out: Result<f64, SchedError> = Ok(0.0);
-            let mut data_ready = 0.0_f64;
+            let mut data_ready = floor;
             for pe in edges {
                 let arrival = if pe.src_proc == p {
                     pe.src_finish
@@ -421,7 +463,7 @@ impl<'a> Run<'a> {
         let weight = self.dag.weight(task);
         let mut best: Option<(ProcId, f64)> = None;
         for p in self.topo.proc_ids() {
-            let mut comm_part = 0.0_f64;
+            let mut comm_part = self.floor; // TWIN-OK: slotted path seeds the online dispatch floor
             for &e in self.dag.in_edges(task) {
                 let edge = self.dag.edge(e);
                 let src = self.placed[edge.src.index()].expect("placed");
@@ -465,6 +507,7 @@ impl<'a> Run<'a> {
     /// read back from the link state *after* all tasks are placed, so
     /// optimal-insertion deferrals are reflected.
     fn finish(self) -> Result<Schedule, SchedError> {
+        let comm_base = self.comm_base;
         let tasks: Vec<TaskPlacement> = self
             .placed
             .into_iter()
@@ -478,7 +521,7 @@ impl<'a> Run<'a> {
                 if tasks[edge.src.index()].proc == tasks[edge.dst.index()].proc {
                     CommPlacement::Local
                 } else {
-                    let (route, times) = self.links.placement(CommId(u64::from(e.0)));
+                    let (route, times) = self.links.placement(CommId(comm_base + u64::from(e.0)));
                     CommPlacement::Slotted { route, times }
                 }
             })

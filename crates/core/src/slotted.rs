@@ -544,6 +544,44 @@ impl SlottedState {
         self.touch();
     }
 
+    /// Grow the communication table to hold ids `0..n`. The online
+    /// engine assigns each arriving job a fresh contiguous id block
+    /// (ids are never reissued, so reservations of live jobs can never
+    /// alias a retired job's), and widens the table here before
+    /// scheduling the job's edges. Committed link state is untouched —
+    /// no epoch bump, caches stay valid.
+    pub fn ensure_comm_capacity(&mut self, n: usize) {
+        if self.comms.len() < n {
+            self.comms.resize(n, CommRecord::default());
+        }
+    }
+
+    /// Incremental compaction (DESIGN.md §15): release every slot of
+    /// the listed *retired* communications through the
+    /// [`es_linksched::LinkModel`] trait and clear their bookkeeping,
+    /// returning how many slots were dropped. The caller promises the
+    /// communications belong to completed jobs whose entire occupancy
+    /// lies at or before every future placement's earliest start; the
+    /// freed gaps then sit strictly before any future probe window, so
+    /// releasing them is semantics-free (the `integration_online`
+    /// differential suite pins this bitwise).
+    pub fn release_comms(&mut self, comms: &[CommId]) -> usize {
+        use es_linksched::LinkModel;
+        let mut dropped = 0usize;
+        let mut mutated = false;
+        for &comm in comms {
+            let rec = std::mem::take(&mut self.comms[comm.0 as usize]);
+            for hop in &rec.route {
+                dropped += LinkModel::release_all(&mut self.queues[hop.link.index()], &[comm]);
+            }
+            mutated = mutated || !rec.route.is_empty();
+        }
+        if mutated {
+            self.touch();
+        }
+        dropped
+    }
+
     /// Extract the per-hop times of a scheduled communication (for the
     /// final [`crate::schedule::CommPlacement`]).
     pub fn placement(&self, comm: CommId) -> (Vec<Hop>, Vec<(f64, f64)>) {

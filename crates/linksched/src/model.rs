@@ -119,6 +119,19 @@ pub trait LinkModel {
     /// epoch would let caches serve stale state as fresh.
     fn restore(&mut self, cp: &LinkCheckpoint);
 
+    /// Compaction hook for long-running online schedulers: release the
+    /// reservations of every *retired* communication in one sweep,
+    /// returning how many entries were dropped. Callers promise the
+    /// listed communications are fully in the past of any future
+    /// `probe_transfer` availability time, which is what makes the
+    /// release semantics-free (freed capacity before the probe window
+    /// can never be handed out). The default is one
+    /// [`LinkModel::unschedule`] per listed communication, so the epoch
+    /// advances per drop exactly as piecewise unscheduling would.
+    fn release_all(&mut self, comms: &[CommId]) -> usize {
+        comms.iter().map(|&c| self.unschedule(c)).sum()
+    }
+
     /// The committed slots, for backends whose state is a slot
     /// sequence — the snapshot base for [`crate::SlotQueueOverlay`].
     /// `None` for fluid backends.
@@ -317,6 +330,29 @@ mod tests {
         p.restore(&cp);
         assert_eq!(LinkModel::epoch(&p), cp.epoch);
         assert_eq!(LinkModel::digest(&p), cp.digest);
+    }
+
+    #[test]
+    fn release_all_drops_every_listed_comm_on_every_backend() {
+        // Slot backend: two committed transfers released in one sweep.
+        let mut q = SlotQueue::new();
+        for (i, est) in [(1u64, 0.0), (2, 3.0)] {
+            let r = q.probe_transfer(1.0, est, 2.0);
+            q.commit_transfer(c(i), 0, 1.0, &r);
+        }
+        let before = LinkModel::epoch(&q);
+        assert_eq!(q.release_all(&[c(1), c(2), c(99)]), 2);
+        assert!(LinkModel::epoch(&q) > before);
+        assert_eq!(LinkModel::busy_time(&q), 0.0);
+
+        // Fluid backend: same sweep through the same trait surface.
+        let mut p = RateProfile::new();
+        for (i, est) in [(1u64, 0.0), (2, 1.0)] {
+            let r = p.probe_transfer(2.0, est, 4.0);
+            p.commit_transfer(c(i), 0, 2.0, &r);
+        }
+        assert!(p.release_all(&[c(1), c(2)]) >= 2);
+        assert_eq!(LinkModel::busy_time(&p), 0.0);
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub fn to_wire_request(id: u64, req: &ServiceRequest) -> Request {
     Request {
         id,
         deadline_ms: req.deadline_ms,
+        tenant: req.tenant,
         algo,
         tuning: WireTuning::current_default(),
         instance: WireInstance::from_config(&req.instance),

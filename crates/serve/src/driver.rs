@@ -104,6 +104,10 @@ struct WorkerSlot {
     busy: Option<(u64, Instant)>,
     last_ping: Instant,
     last_pong: Instant,
+    /// Chaos-killed: the SIGKILL is racing the worker, which may still
+    /// flush a reply first. Replies from a doomed worker are dropped
+    /// so the attempt dies with it and the retry path takes over.
+    doomed: bool,
 }
 
 struct Core {
@@ -196,14 +200,13 @@ fn spawn_acceptor(
 }
 
 /// Set up the reader + writer pump threads for one client connection.
-fn wire_up_client(
-    conn: u64,
-    stream: UnixStream,
-    events: &Sender<Event>,
-) -> Result<(), std::sync::mpsc::SendError<Event>> {
+/// `Err(())` means the event loop is gone (its receiver hung up).
+fn wire_up_client(conn: u64, stream: UnixStream, events: &Sender<Event>) -> Result<(), ()> {
     let write_half = stream.try_clone().ok();
     let (frame_tx, frame_rx) = channel::<Frame>();
-    events.send(Event::ClientConnected { conn, tx: frame_tx })?;
+    events
+        .send(Event::ClientConnected { conn, tx: frame_tx })
+        .map_err(|_| ())?;
 
     if let Some(write_half) = write_half {
         std::thread::spawn(move || client_writer(write_half, &frame_rx));
@@ -278,7 +281,7 @@ impl Core {
             Frame::Request(request) => self.admit(conn, request),
             Frame::StatsRequest => {
                 self.refresh_gauges();
-                let stats = self.stats;
+                let stats = self.stats.clone();
                 self.reply(conn, Frame::Stats(stats));
             }
             Frame::Shutdown => {
@@ -309,7 +312,7 @@ impl Core {
         if pending >= self.cfg.queue_cap {
             match self.cfg.shed {
                 ShedPolicy::RejectNewest => {
-                    self.stats.shed += 1;
+                    self.stats.count_shed(request.tenant);
                     let id = request.id;
                     let queue_len = u32::try_from(pending).unwrap_or(u32::MAX);
                     self.reply(conn, Frame::Overloaded { id, queue_len });
@@ -354,7 +357,7 @@ impl Core {
         self.queue.retain(|&id| id != victim);
         self.delayed.retain(|&id| id != victim);
         if let Some(job) = self.jobs.remove(&victim) {
-            self.stats.shed += 1;
+            self.stats.count_shed(job.request.tenant);
             let queue_len = u32::try_from(self.queue.len()).unwrap_or(u32::MAX);
             self.reply(
                 job.conn,
@@ -407,10 +410,12 @@ impl Core {
 
     /// Mark `worker` idle if it was busy on `job`. Returns false for
     /// stale frames (e.g. a reply racing a supervision kill, arriving
-    /// after the job was already requeued).
+    /// after the job was already requeued) and for doomed workers (a
+    /// chaos-killed attempt must die even if its reply won the race
+    /// against the signal).
     fn clear_busy(&mut self, worker: u64, job: u64) -> bool {
         match self.workers.get_mut(&worker) {
-            Some(slot) if matches!(slot.busy, Some((j, _)) if j == job) => {
+            Some(slot) if !slot.doomed && matches!(slot.busy, Some((j, _)) if j == job) => {
                 slot.busy = None;
                 true
             }
@@ -521,6 +526,7 @@ impl Core {
                 busy: None,
                 last_ping: now,
                 last_pong: now,
+                doomed: false,
             },
         );
         Ok(())
@@ -567,6 +573,10 @@ impl Core {
                 ChaosAction::KillWorker => {
                     self.stats.chaos_kills += 1;
                     let slot = self.workers.get_mut(&worker).expect("still present");
+                    // A fast worker can compute and flush the reply
+                    // before the SIGKILL lands; dooming the slot makes
+                    // such a reply stale so the attempt reliably dies.
+                    slot.doomed = true;
                     let _ = slot.child.kill();
                     // Death reaches us as WorkerGone via its reader.
                 }

@@ -136,6 +136,7 @@ mod tests {
         Request {
             id,
             deadline_ms: 0,
+            tenant: 0,
             algo,
             tuning: WireTuning::current_default(),
             instance: WireInstance {

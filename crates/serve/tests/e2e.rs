@@ -37,6 +37,7 @@ fn sample_request(id: u64) -> Request {
     Request {
         id,
         deadline_ms: 0,
+        tenant: u32::try_from(id % 3).unwrap(),
         algo: AlgoId::ALL[(id as usize) % AlgoId::ALL.len()],
         tuning: WireTuning::current_default(),
         instance: WireInstance {
@@ -48,6 +49,17 @@ fn sample_request(id: u64) -> Request {
         },
         fault: None,
     }
+}
+
+/// Like [`sample_request`], but sized so one compute takes
+/// milliseconds rather than microseconds: the shed tests pipeline a
+/// burst at a single worker and need it to genuinely fall behind,
+/// otherwise (release mode, fast machine) the queue never fills and
+/// nothing sheds.
+fn heavy_request(id: u64) -> Request {
+    let mut req = sample_request(id);
+    req.instance.tasks = Some(150);
+    req
 }
 
 /// Start a driver thread and wait for its socket to accept.
@@ -172,7 +184,7 @@ fn overload_sheds_with_explicit_reply() {
     let n = 8u64;
     for id in 0..n {
         client
-            .send(&Frame::Request(sample_request(id)))
+            .send(&Frame::Request(heavy_request(id)))
             .expect("send");
     }
     let mut schedules = 0u64;
@@ -180,7 +192,7 @@ fn overload_sheds_with_explicit_reply() {
     for _ in 0..n {
         match client.recv().expect("reply").expect("stream open") {
             Frame::Schedule(reply) => {
-                let reference = compute_schedule(&sample_request(reply.id)).expect("ok");
+                let reference = compute_schedule(&heavy_request(reply.id)).expect("ok");
                 assert_eq!(reply.schedule, reference);
                 schedules += 1;
             }
@@ -195,6 +207,68 @@ fn overload_sheds_with_explicit_reply() {
     let stats = driver.join().expect("no panic").expect("clean run");
     assert_eq!(stats.shed, overloaded);
     assert_eq!(stats.completed, schedules);
+}
+
+/// Mixed-tenant stream under both shed policies: every answered
+/// request is bitwise identical to the single-process reference, and
+/// the driver's per-tenant shed counters match the tenants of the
+/// `Overloaded` replies the client saw, summing to `shed`.
+#[test]
+fn mixed_tenant_stream_sheds_with_per_tenant_counts() {
+    for (policy_name, policy) in [
+        ("reject-newest", es_serve::ShedPolicy::RejectNewest),
+        ("reject-oldest", es_serve::ShedPolicy::RejectOldest),
+    ] {
+        let mut cfg = fast_cfg(&test_socket(&format!("tenants-{policy_name}")));
+        cfg.workers = 1;
+        cfg.queue_cap = 1;
+        cfg.shed = policy;
+        let (driver, socket) = start_driver(cfg);
+        let mut client = Client::connect(&socket).expect("connect");
+        // Burst three tenants' requests without reading replies: with
+        // one worker and a one-slot queue some of each burst must shed.
+        let n = 9u64;
+        for id in 0..n {
+            client
+                .send(&Frame::Request(heavy_request(id)))
+                .expect("send");
+        }
+        let mut shed_seen = [0u64; 3];
+        let mut schedules = 0u64;
+        for _ in 0..n {
+            match client.recv().expect("reply").expect("stream open") {
+                Frame::Schedule(reply) => {
+                    let req = heavy_request(reply.id);
+                    let reference = compute_schedule(&req).expect("schedulable");
+                    assert_eq!(
+                        reply.schedule, reference,
+                        "{policy_name}: request {} diverged",
+                        reply.id
+                    );
+                    schedules += 1;
+                }
+                Frame::Overloaded { id, .. } => shed_seen[(id % 3) as usize] += 1,
+                other => panic!("{policy_name}: unexpected reply {other:?}"),
+            }
+        }
+        client.send(&Frame::Shutdown).expect("shutdown");
+        let stats = driver.join().expect("no panic").expect("clean run");
+        let total_shed: u64 = shed_seen.iter().sum();
+        assert!(total_shed > 0, "{policy_name}: burst must shed");
+        assert!(schedules > 0, "{policy_name}: admitted requests complete");
+        assert_eq!(stats.shed, total_shed, "{policy_name}");
+        assert_eq!(
+            stats.shed_by_tenant.iter().map(|&(_, c)| c).sum::<u64>(),
+            stats.shed,
+            "{policy_name}: per-tenant counts must sum to shed"
+        );
+        for &(tenant, count) in &stats.shed_by_tenant {
+            assert_eq!(
+                count, shed_seen[tenant as usize],
+                "{policy_name}: tenant {tenant} count disagrees with replies"
+            );
+        }
+    }
 }
 
 #[test]

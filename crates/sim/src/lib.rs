@@ -17,6 +17,10 @@
 //! * [`robustness`] — a fault-injection sweep (intensity × scheduler)
 //!   measuring degradation under perturbed execution and the success
 //!   rate / cost of failure-aware schedule repair;
+//! * [`online`] — the online multi-DAG sweep (arrival rate ×
+//!   scheduler × backend → per-tenant SLO and fairness tables,
+//!   optionally composed with the fault model for a "production day"
+//!   scenario);
 //! * [`service`] — deterministic request-mix generation for the
 //!   es-serve driver's load generator and chaos harness (DESIGN.md
 //!   §13).
@@ -26,6 +30,7 @@
 
 pub mod backends;
 pub mod experiment;
+pub mod online;
 pub mod report;
 pub mod robustness;
 pub mod runner;
@@ -36,6 +41,9 @@ pub use backends::{compare_backends, BackendCompareSpec, BackendRow};
 pub use experiment::{
     fig1, fig2, fig3, fig4, fig_pair, run_cell, run_cell_adaptive, CellResult, CellSpec,
     FigureParams, FigureResult,
+};
+pub use online::{
+    run_online_cell, run_online_sweep, OnlineCell, OnlineSweepSpec, ONLINE_SCHEDULERS,
 };
 pub use robustness::{
     run_robustness, run_robustness_backend, RobustnessCell, RobustnessSpec, ROBUSTNESS_SCHEDULERS,

@@ -4,7 +4,9 @@
 //! documentation; also CSV assembly shared with the CLI.
 
 use crate::experiment::{CellResult, FigureResult};
+use crate::online::{OnlineCell, OnlineSweepSpec};
 use crate::robustness::{RobustnessCell, RobustnessSpec};
+use es_core::online::TenantSummary;
 use std::fmt::Write as _;
 
 /// Render one figure as a GitHub-flavoured markdown table.
@@ -153,6 +155,128 @@ pub fn robustness_to_markdown(spec: &RobustnessSpec, cells: &[RobustnessCell]) -
             c.mean_repair_inflation,
             c.mean_moved_tasks,
             c.fallback_rate * 100.0,
+        );
+    }
+    out
+}
+
+/// Header of the online-sweep CSV (one row per cell).
+pub const ONLINE_CSV_HEADER: &str = "setting,processors,backend,scheduler,admission,\
+mean_interarrival,jobs,tenants,mean_response,mean_queueing,mean_slowdown,p95_slowdown,\
+fairness_ratio,horizon,released_slots,fault_infeasible_rate,repair_success_rate,\
+mean_repair_inflation";
+
+/// One CSV row for an online cell (no trailing newline).
+pub fn online_to_csv_row(spec: &OnlineSweepSpec, c: &OnlineCell) -> String {
+    format!(
+        "{:?},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{:.4},{:.4},{:.4}",
+        spec.setting,
+        spec.processors,
+        c.backend,
+        c.scheduler,
+        spec.admission.name(),
+        c.mean_interarrival,
+        c.jobs,
+        spec.tenants,
+        c.mean_response,
+        c.mean_queueing,
+        c.mean_slowdown,
+        c.p95_slowdown,
+        c.fairness_ratio,
+        c.horizon,
+        c.released_slots,
+        c.fault_infeasible_rate,
+        c.repair_success_rate,
+        c.mean_repair_inflation,
+    )
+}
+
+/// Full CSV for an online sweep.
+pub fn online_to_csv(spec: &OnlineSweepSpec, cells: &[OnlineCell]) -> String {
+    let mut out = String::from(ONLINE_CSV_HEADER);
+    out.push('\n');
+    for c in cells {
+        out.push_str(&online_to_csv_row(spec, c));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render an online sweep as a GitHub-flavoured markdown table.
+pub fn online_to_markdown(spec: &OnlineSweepSpec, cells: &[OnlineCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "### Online: {:?}, {} procs, {} jobs, {} tenants, {} admission\n",
+        spec.setting,
+        spec.processors,
+        spec.jobs,
+        spec.tenants,
+        spec.admission.name()
+    );
+    let _ = writeln!(
+        out,
+        "| backend | scheduler | gap | mean resp. | mean queue | mean slow. | P95 slow. | fairness | infeasible | repair ok |"
+    );
+    let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.2} | {:.2} | {:.3} | {:.3} | {:.3} | {:.0}% | {:.0}% |",
+            c.backend,
+            c.scheduler,
+            c.mean_interarrival,
+            c.mean_response,
+            c.mean_queueing,
+            c.mean_slowdown,
+            c.p95_slowdown,
+            c.fairness_ratio,
+            c.fault_infeasible_rate * 100.0,
+            c.repair_success_rate * 100.0,
+        );
+    }
+    out
+}
+
+/// Header of the per-tenant fairness CSV.
+pub const TENANT_CSV_HEADER: &str =
+    "tenant,jobs,mean_slowdown,p50_slowdown,p95_slowdown,max_slowdown,mean_response,mean_queueing";
+
+/// One CSV row per tenant summary (no trailing newline).
+pub fn tenant_to_csv_row(s: &TenantSummary) -> String {
+    format!(
+        "{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+        s.tenant,
+        s.jobs,
+        s.mean_slowdown,
+        s.p50_slowdown,
+        s.p95_slowdown,
+        s.max_slowdown,
+        s.mean_response,
+        s.mean_queueing,
+    )
+}
+
+/// Render per-tenant fairness summaries as a markdown table.
+pub fn tenants_to_markdown(summaries: &[TenantSummary]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| tenant | jobs | mean slow. | P50 | P95 | max | mean resp. | mean queue |"
+    );
+    let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|---:|---:|");
+    for s in summaries {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.2} | {:.2} |",
+            s.tenant,
+            s.jobs,
+            s.mean_slowdown,
+            s.p50_slowdown,
+            s.p95_slowdown,
+            s.max_slowdown,
+            s.mean_response,
+            s.mean_queueing,
         );
     }
     out

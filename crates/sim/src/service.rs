@@ -25,6 +25,9 @@ pub const SERVICE_ALGOS: [&str; 5] = ["ba-static", "ba", "oihsa", "oihsa-probe",
 pub struct ServiceRequest {
     /// Wire-style algorithm id (an entry of [`SERVICE_ALGOS`]).
     pub algo: &'static str,
+    /// Owning tenant (derived from the request's instance seed, so it
+    /// is index-addressable like the seed itself).
+    pub tenant: u32,
     /// Deterministic generator coordinates of the instance to solve.
     pub instance: InstanceConfig,
     /// Per-request deadline in milliseconds (`0` = driver default).
@@ -58,6 +61,10 @@ pub struct ServiceMix {
     pub fault_intensities: Vec<f64>,
     /// Deadline applied to every request (`0` = driver default).
     pub deadline_ms: u32,
+    /// Tenants requests are attributed to (shed accounting). Derived
+    /// from each request's instance seed — adding tenants does not
+    /// shift the RNG stream of the other draws.
+    pub tenants: u32,
     /// Master seed; everything else flows from it.
     pub seed: u64,
 }
@@ -77,6 +84,7 @@ impl Default for ServiceMix {
             fault_share: 0.2,
             fault_intensities: vec![0.1, 0.3, 0.5],
             deadline_ms: 0,
+            tenants: 3,
             seed: 0x5e57_11ce,
         }
     }
@@ -126,8 +134,13 @@ impl ServiceMix {
                 // request i is regenerable without replaying 0..i.
                 let instance_seed = (self.seed ^ SERVICE_STREAM)
                     .wrapping_add((i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                // Tenant from the high seed bits (not the shared RNG),
+                // so pre-tenant streams replay unchanged bit for bit.
+                #[allow(clippy::cast_possible_truncation)]
+                let tenant = ((instance_seed >> 37) % u64::from(self.tenants.max(1))) as u32;
                 ServiceRequest {
                     algo,
+                    tenant,
                     instance: InstanceConfig::paper(setting, procs, ccr, instance_seed)
                         .with_tasks(tasks),
                     deadline_ms: self.deadline_ms,
@@ -160,6 +173,7 @@ mod tests {
             ..ServiceMix::default()
         };
         for req in mix.generate() {
+            assert!(req.tenant < mix.tenants);
             assert!(mix.processors.contains(&req.instance.processors));
             assert!(mix.ccrs.contains(&req.instance.ccr));
             let t = req.instance.tasks.expect("mix always sets task count");

@@ -16,8 +16,10 @@ use std::fmt;
 /// Protocol magic, written once per stream before any frame.
 pub const MAGIC: [u8; 6] = *b"ESWIRE";
 
-/// Current protocol version (the `01` of `es-wire-v1`).
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Current protocol version. v2 added `Request.tenant` and the
+/// per-tenant shed counters in `DriverStats`; both sides of a stream
+/// must speak the same version (the preamble check rejects mixes).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard ceiling on one frame's payload. A forged length prefix above
 /// this is rejected before allocation; the largest legitimate frames

@@ -240,6 +240,10 @@ pub struct Request {
     /// Per-request completion deadline in milliseconds; 0 means "use
     /// the driver's default".
     pub deadline_ms: u32,
+    /// Owning tenant; the driver attributes shed decisions to it
+    /// (`DriverStats::shed_by_tenant`). Purely accounting — admission
+    /// never prioritises by tenant.
+    pub tenant: u32,
     /// Algorithm to run.
     pub algo: AlgoId,
     /// Performance tuning (bitwise-neutral).
@@ -254,6 +258,7 @@ impl Request {
     fn put(&self, w: &mut ByteWriter) {
         w.put_u64(self.id);
         w.put_u32(self.deadline_ms);
+        w.put_u32(self.tenant);
         w.put_u8(self.algo.tag());
         self.tuning.put(w);
         self.instance.put(w);
@@ -269,6 +274,7 @@ impl Request {
     fn get(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
         let id = r.get_u64()?;
         let deadline_ms = r.get_u32()?;
+        let tenant = r.get_u32()?;
         let algo = AlgoId::from_tag(r.get_u8()?)?;
         let tuning = WireTuning::get(r)?;
         let instance = WireInstance::get(r)?;
@@ -285,6 +291,7 @@ impl Request {
         Ok(Self {
             id,
             deadline_ms,
+            tenant,
             algo,
             tuning,
             instance,
@@ -614,7 +621,7 @@ impl std::fmt::Display for RejectReason {
 }
 
 /// Driver-side service counters, queryable over the wire.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DriverStats {
     /// Requests admitted into the queue.
     pub admitted: u64,
@@ -642,10 +649,24 @@ pub struct DriverStats {
     pub workers_alive: u32,
     /// Requests currently dispatched and unanswered.
     pub inflight: u32,
+    /// Shed decisions attributed to the shed request's tenant,
+    /// ascending tenant id (length-prefixed on the wire). The counts
+    /// sum to `shed`.
+    pub shed_by_tenant: Vec<(u32, u64)>,
 }
 
 impl DriverStats {
-    fn put(self, w: &mut ByteWriter) {
+    /// Attribute one shed decision to `tenant` (keeps the list sorted
+    /// by tenant id).
+    pub fn count_shed(&mut self, tenant: u32) {
+        self.shed += 1;
+        match self.shed_by_tenant.binary_search_by_key(&tenant, |e| e.0) {
+            Ok(i) => self.shed_by_tenant[i].1 += 1,
+            Err(i) => self.shed_by_tenant.insert(i, (tenant, 1)),
+        }
+    }
+
+    fn put(&self, w: &mut ByteWriter) {
         for v in [
             self.admitted,
             self.completed,
@@ -663,6 +684,11 @@ impl DriverStats {
         w.put_u32(self.queue_len);
         w.put_u32(self.workers_alive);
         w.put_u32(self.inflight);
+        w.put_u32(u32::try_from(self.shed_by_tenant.len()).expect("tenants below 4G"));
+        for &(tenant, count) in &self.shed_by_tenant {
+            w.put_u32(tenant);
+            w.put_u64(count);
+        }
     }
 
     fn get(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
@@ -680,6 +706,14 @@ impl DriverStats {
             queue_len: r.get_u32()?,
             workers_alive: r.get_u32()?,
             inflight: r.get_u32()?,
+            shed_by_tenant: {
+                let n = r.get_len("stats.shed_by_tenant", 12)?;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push((r.get_u32()?, r.get_u64()?));
+                }
+                v
+            },
         })
     }
 }
@@ -917,6 +951,7 @@ mod tests {
         Request {
             id: 42,
             deadline_ms: 5000,
+            tenant: 7,
             algo: AlgoId::Oihsa,
             tuning: WireTuning {
                 route_cache: true,
@@ -1010,7 +1045,8 @@ mod tests {
         roundtrip(&Frame::Stats(DriverStats {
             admitted: 10,
             completed: 9,
-            shed: 1,
+            shed: 3,
+            shed_by_tenant: vec![(0, 1), (4, 2)],
             ..DriverStats::default()
         }));
     }

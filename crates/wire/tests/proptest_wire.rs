@@ -44,6 +44,7 @@ fn arb_request(rng: &mut StdRng) -> Request {
     Request {
         id: rng.random_range(0..u64::MAX),
         deadline_ms: rng.random_range(0..100_000u32),
+        tenant: rng.random_range(0..u32::MAX),
         algo: AlgoId::ALL[rng.random_range(0..AlgoId::ALL.len())],
         tuning: arb_tuning(rng),
         instance: WireInstance {
@@ -193,6 +194,12 @@ fn arb_frame(seed: u64) -> Frame {
             queue_len: rng.random_range(0..u32::MAX),
             workers_alive: rng.random_range(0..64u32),
             inflight: rng.random_range(0..4096u32),
+            shed_by_tenant: {
+                let n = rng.random_range(0..5usize);
+                (0..n)
+                    .map(|_| (rng.random_range(0..64u32), rng.random_range(0..u64::MAX)))
+                    .collect()
+            },
         }),
     }
 }

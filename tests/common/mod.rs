@@ -3,6 +3,7 @@
 //! every suite uses every helper.
 #![allow(dead_code)]
 
+use es_core::online::{arrival_script, ArrivalSpec, JobSpec};
 use es_core::{BbsaScheduler, ListConfig, ListScheduler, Scheduler};
 use es_dag::gen::structured::{chain, diamond_mesh, fft_graph, fork_join, gauss_elim, stencil_1d};
 use es_dag::TaskGraph;
@@ -68,6 +69,16 @@ pub fn topologies() -> Vec<(&'static str, Topology)> {
             gen::random_switched_wan(&gen::WanConfig::heterogeneous(12), &mut rng),
         ),
     ]
+}
+
+/// Multi-DAG batch for the multi-tenant suites: `jobs` mixed kernels
+/// drawn from the online default mix under one seed, so every job gets
+/// a distinct (family, size, weight, CCR) draw while ids, tenant
+/// attribution, and arrival instants stay stable across runs and
+/// suites. The offline tests that only need DAG diversity iterate
+/// `job_batch(..).iter().map(|j| &j.dag)`.
+pub fn job_batch(jobs: usize, tenants: u32, mean_gap: f64, seed: u64) -> Vec<JobSpec> {
+    arrival_script(&ArrivalSpec::default_mix(jobs, tenants, mean_gap, seed))
 }
 
 /// The four paper presets of the slotted scheduler family.

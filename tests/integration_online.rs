@@ -1,0 +1,314 @@
+//! Oracle suite for the online multi-DAG engine (DESIGN.md §15):
+//!
+//! * double-running the sweep is bitwise identical at 1, 2, and 4
+//!   worker threads (CI repeats this binary under `ES_THREADS`);
+//! * a single-arrival online run reproduces the offline scheduler
+//!   bit for bit, per preset;
+//! * compaction is semantics-free — with and without slot release,
+//!   every job's schedule, dispatch, and finish agree bitwise;
+//! * the vendored RNG stream behind the arrival process is pinned by
+//!   a golden first-16-draws vector (RETIGHTEN(rand));
+//! * proptests over random arrival scripts: no cross-job link-slot
+//!   overlap (using the retirement-read times), every per-job schedule
+//!   audit-clean, and event time monotone (dispatch >= arrival,
+//!   finish >= start >= dispatch, in-flight cap respected).
+
+mod common;
+
+use common::{job_batch, presets};
+use es_core::online::{
+    arrival_script, run_online, Admission, ArrivalSpec, JobSpec, OnlineConfig, OnlineRun,
+    ONLINE_STREAM,
+};
+use es_core::{diff_schedules, validate::audit, CommPlacement, ListScheduler, Scheduler};
+use es_net::gen::{random_switched_wan, WanConfig};
+use es_net::{LinkId, Topology};
+use es_sim::{run_online_sweep, OnlineSweepSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
+
+/// RETIGHTEN(rand): the golden first 16 draws of the exact stream the
+/// arrival process consumes (`StdRng::seed_from_u64(seed ^
+/// ONLINE_STREAM)` for seed 42). The vendored rand stand-in is *not*
+/// stream-compatible with upstream rand; if it is ever swapped for the
+/// real crate, this vector changes and the online suite fails loudly —
+/// re-derive the vector and re-tighten the probing-BA tripwire in
+/// `integration_schedulers.rs` at the same time.
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_DRAWS: [u64; 16] = [
+    0x88e415f1abfaf7c1,
+    0x1b68e84b88e2faac,
+    0x605baaacacb9ace0,
+    0x8a20db75ae18fdb1,
+    0xe2bff71cec47276d,
+    0x3d76e91278a2a877,
+    0x46d79ebae1c1f414,
+    0x9c780cbc59a92c75,
+    0xca9a7e5ad1c0dca8,
+    0x35f3364899bf25a1,
+    0xd0c5ae4ebe69070b,
+    0xafc41dd9faaf5818,
+    0x8f044acc13c58227,
+    0xa97714991b166a6f,
+    0x487dcd9e4d16fec6,
+    0xf9cfb4a2572dd989,
+];
+
+#[test]
+fn arrival_stream_rng_is_pinned() {
+    let mut rng = StdRng::seed_from_u64(GOLDEN_SEED ^ ONLINE_STREAM);
+    let draws: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        draws.as_slice(),
+        GOLDEN_DRAWS.as_slice(),
+        "vendored StdRng stream drifted — see RETIGHTEN(rand) above"
+    );
+    // And the derived script head: the first arrival's bits are a
+    // function of draw 1 only, so pin them too as an end-to-end check
+    // of the draw *order* (gap, tenant, family, size, weight, CCR).
+    let script = arrival_script(&ArrivalSpec::default_mix(1, 3, 5.0, GOLDEN_SEED));
+    let u = (GOLDEN_DRAWS[0] >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let expect = -(1.0 - u).ln() * 5.0;
+    assert_eq!(script[0].arrival.to_bits(), expect.to_bits());
+}
+
+/// The sweep, double-run at every thread count in the CI matrix, must
+/// agree bitwise cell by cell (`parallel_map` preserves input order;
+/// cells are pure functions of sweep coordinates).
+#[test]
+fn online_sweep_is_bitwise_identical_across_thread_counts() {
+    let mut spec = OnlineSweepSpec::smoke(0xD15, 1);
+    spec.jobs = 8;
+    let baseline = run_online_sweep(&spec);
+    let rerun = run_online_sweep(&spec);
+    for threads in [1usize, 2, 4] {
+        spec.threads = threads;
+        for cells in [&rerun, &run_online_sweep(&spec)] {
+            assert_eq!(baseline.len(), cells.len());
+            for (a, b) in baseline.iter().zip(cells.iter()) {
+                assert_eq!(a.backend, b.backend);
+                assert_eq!(a.scheduler, b.scheduler);
+                assert_eq!(a.jobs, b.jobs);
+                assert_eq!(a.released_slots, b.released_slots);
+                for (x, y) in [
+                    (a.mean_interarrival, b.mean_interarrival),
+                    (a.mean_response, b.mean_response),
+                    (a.mean_queueing, b.mean_queueing),
+                    (a.mean_slowdown, b.mean_slowdown),
+                    (a.p95_slowdown, b.p95_slowdown),
+                    (a.fairness_ratio, b.fairness_ratio),
+                    (a.horizon, b.horizon),
+                ] {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{}@{} threads={threads}",
+                        a.scheduler,
+                        a.mean_interarrival
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A one-job script arriving at t=0 exercises the online path end to
+/// end on an empty platform: the outcome's schedule — including the
+/// placements re-read at retirement — must be the offline scheduler's
+/// schedule bit for bit, for every paper preset.
+#[test]
+fn single_arrival_run_equals_offline_scheduler_bitwise() {
+    let topo = random_switched_wan(
+        &WanConfig::heterogeneous(8),
+        &mut StdRng::seed_from_u64(0x0FF1),
+    );
+    for job in job_batch(3, 1, 4.0, 0x0FF1CE) {
+        for (name, cfg) in presets() {
+            let offline = ListScheduler::with_config(cfg)
+                .schedule(&job.dag, &topo)
+                .unwrap_or_else(|e| panic!("{name} offline: {e}"));
+            let script = [JobSpec::new(0, 0, 0.0, job.dag.clone())];
+            let mut ocfg = OnlineConfig::new(cfg);
+            ocfg.max_inflight = 1;
+            let run =
+                run_online(&ocfg, &topo, &script).unwrap_or_else(|e| panic!("{name} online: {e}"));
+            let o = &run.outcomes[0];
+            if let Some(d) = diff_schedules(&o.schedule, &offline) {
+                panic!("{name} job {}: online != offline: {d}", job.id);
+            }
+            assert_eq!(o.dispatch.to_bits(), 0.0_f64.to_bits());
+            assert_eq!(o.finish.to_bits(), offline.makespan.to_bits());
+            assert_eq!(o.isolated_makespan.to_bits(), offline.makespan.to_bits());
+            assert_eq!(run.horizon.to_bits(), offline.makespan.to_bits());
+        }
+    }
+}
+
+/// Compaction invariant at scale: releasing retired jobs' slots must
+/// not change a single bit of any job's schedule, dispatch, or finish
+/// across schedulers, admission policies, and seeds.
+#[test]
+fn compaction_is_semantics_free() {
+    for seed in [3u64, 17, 0xC0DE] {
+        let jobs = job_batch(14, 3, 1.5, seed);
+        let topo = random_switched_wan(
+            &WanConfig::homogeneous(6),
+            &mut StdRng::seed_from_u64(seed ^ 0x70_70),
+        );
+        for (name, cfg) in [
+            ("BA-static", es_core::ListConfig::ba_static()),
+            ("OIHSA", es_core::ListConfig::oihsa()),
+        ] {
+            for admission in Admission::ALL {
+                let mut ocfg = OnlineConfig::new(cfg);
+                ocfg.admission = admission;
+                ocfg.max_inflight = 3;
+                let with = run_online(&ocfg, &topo, &jobs).unwrap();
+                ocfg.compaction = false;
+                let without = run_online(&ocfg, &topo, &jobs).unwrap();
+                assert!(with.released_slots > 0, "{name} seed {seed}: no compaction");
+                assert_eq!(without.released_slots, 0);
+                for (a, b) in with.outcomes.iter().zip(&without.outcomes) {
+                    assert_eq!(a.dispatch.to_bits(), b.dispatch.to_bits());
+                    assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+                    if let Some(d) = diff_schedules(&a.schedule, &b.schedule) {
+                        panic!(
+                            "{name}/{} seed {seed} job {}: compaction changed the schedule: {d}",
+                            admission.name(),
+                            a.job
+                        );
+                    }
+                }
+                assert_eq!(with.horizon.to_bits(), without.horizon.to_bits());
+            }
+        }
+    }
+}
+
+/// Every per-job schedule of an online run must pass the full offline
+/// audit (delayed absolute times are legal; precedence, causality,
+/// bandwidth, and makespan consistency are not relaxed).
+fn assert_audit_clean(jobs: &[JobSpec], topo: &Topology, run: &OnlineRun) {
+    for o in &run.outcomes {
+        let job = &jobs[o.job as usize];
+        let report = audit(&job.dag, topo, &o.schedule);
+        assert!(
+            report.is_clean(),
+            "job {} ({}): {:#?}",
+            o.job,
+            o.label,
+            report.diagnostics
+        );
+    }
+}
+
+/// Cross-job exclusivity from the retirement-read times: collect every
+/// slotted hop interval of every job per link and check no two
+/// overlap. (The per-job audit only sees one job's slots; this is the
+/// multi-tenant half of the invariant.)
+fn assert_no_cross_job_slot_overlap(run: &OnlineRun) {
+    let mut by_link: BTreeMap<LinkId, Vec<(f64, f64, u64)>> = BTreeMap::new();
+    for o in &run.outcomes {
+        for comm in &o.schedule.comms {
+            if let CommPlacement::Slotted { route, times } = comm {
+                for (hop, &(s, f)) in route.iter().zip(times) {
+                    by_link.entry(hop.link).or_default().push((s, f, o.job));
+                }
+            }
+        }
+    }
+    for (link, mut slots) in by_link {
+        slots.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for w in slots.windows(2) {
+            let (_, f0, j0) = w[0];
+            let (s1, _, j1) = w[1];
+            assert!(
+                s1 >= f0 - 1e-9,
+                "link {link:?}: job {j0} slot ends {f0}, job {j1} slot starts {s1}"
+            );
+        }
+    }
+}
+
+/// Event-time sanity from the outcomes alone: dispatch never precedes
+/// arrival, tasks never start before dispatch, and at any dispatch
+/// instant at most `max_inflight` jobs are in flight.
+fn assert_monotone_event_time(run: &OnlineRun, max_inflight: usize) {
+    for o in &run.outcomes {
+        assert!(o.dispatch >= o.arrival, "job {}: dispatched early", o.job);
+        assert!(o.start >= o.dispatch, "job {}: started early", o.job);
+        assert!(o.finish >= o.start, "job {}: finished early", o.job);
+        assert!(o.queueing >= 0.0 && o.response >= 0.0);
+        let in_flight = run
+            .outcomes
+            .iter()
+            .filter(|p| p.dispatch <= o.dispatch && p.finish > o.dispatch)
+            .count();
+        assert!(
+            in_flight <= max_inflight,
+            "job {}: {in_flight} in flight at dispatch {} (cap {max_inflight})",
+            o.job,
+            o.dispatch
+        );
+    }
+}
+
+fn script_strategy() -> impl Strategy<Value = (Vec<JobSpec>, Topology, OnlineConfig)> {
+    (
+        2usize..9,    // jobs
+        1u32..4,      // tenants
+        0.5f64..8.0,  // mean inter-arrival gap
+        any::<u64>(), // script seed
+        3usize..9,    // processors
+        1usize..4,    // max in-flight
+        0u8..4,       // admission x regime (2 bits)
+    )
+        .prop_map(|(jobs, tenants, gap, seed, procs, inflight, bits)| {
+            let (swf, hetero) = (bits & 1 == 1, bits & 2 == 2);
+            let script = arrival_script(&ArrivalSpec::default_mix(jobs, tenants, gap, seed));
+            let wan = if hetero {
+                WanConfig::heterogeneous(procs)
+            } else {
+                WanConfig::homogeneous(procs)
+            };
+            let topo = random_switched_wan(&wan, &mut StdRng::seed_from_u64(seed ^ 0x7090));
+            let mut cfg = OnlineConfig::new(es_core::ListConfig::oihsa());
+            cfg.max_inflight = inflight;
+            cfg.admission = if swf {
+                Admission::ShortestWorkFirst
+            } else {
+                Admission::Fifo
+            };
+            (script, topo, cfg)
+        })
+}
+
+proptest! {
+    // Each case runs the online engine twice (isolated makespans are a
+    // second full pass); keep cases moderate.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole property: any random arrival script on any random
+    /// WAN yields an online run whose per-job schedules are
+    /// audit-clean, whose link slots never overlap across jobs, and
+    /// whose event time is monotone.
+    #[test]
+    fn online_runs_are_audit_clean_overlap_free_and_monotone(
+        (jobs, topo, cfg) in script_strategy()
+    ) {
+        let run = run_online(&cfg, &topo, &jobs).expect("online run schedules");
+        prop_assert_eq!(run.outcomes.len(), jobs.len());
+        assert_audit_clean(&jobs, &topo, &run);
+        assert_no_cross_job_slot_overlap(&run);
+        assert_monotone_event_time(&run, cfg.max_inflight);
+        // And determinism on top: the same script replays bitwise.
+        let again = run_online(&cfg, &topo, &jobs).expect("replay");
+        prop_assert_eq!(run.released_slots, again.released_slots);
+        for (a, b) in run.outcomes.iter().zip(&again.outcomes) {
+            prop_assert_eq!(a.finish.to_bits(), b.finish.to_bits());
+            prop_assert!(diff_schedules(&a.schedule, &b.schedule).is_none());
+        }
+    }
+}

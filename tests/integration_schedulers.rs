@@ -3,7 +3,7 @@
 
 mod common;
 
-use common::{dags, schedulers, topologies};
+use common::{dags, job_batch, schedulers, topologies};
 use es_core::config::{
     EdgeEst, EdgeOrder, Insertion, ListConfig, ProcSelection, Routing, Switching,
 };
@@ -17,16 +17,21 @@ use rand::SeedableRng;
 
 #[test]
 fn all_schedulers_valid_on_all_platforms() {
-    for dag in &dags() {
+    // A seeded multi-tenant batch instead of the fixed kernel set:
+    // every job carries a distinct (family, size, weight, CCR) draw,
+    // so the matrix also covers mixed scales per run.
+    for job in &job_batch(6, 3, 4.0, 0xBA7C4) {
         for (tname, topo) in &topologies() {
             for sched in schedulers() {
-                let s = sched
-                    .schedule(dag, topo)
-                    .unwrap_or_else(|e| panic!("{} on {tname}: {e}", sched.name()));
-                if let Err(errs) = validate(dag, topo, &s) {
+                let s = sched.schedule(&job.dag, topo).unwrap_or_else(|e| {
+                    panic!("{} on {tname} (job {}): {e}", sched.name(), job.id)
+                });
+                if let Err(errs) = validate(&job.dag, topo, &s) {
                     panic!(
-                        "{} on {tname}: invalid schedule:\n{}",
+                        "{} on {tname} (job {} {}): invalid schedule:\n{}",
                         sched.name(),
+                        job.id,
+                        job.label,
                         errs.join("\n")
                     );
                 }

@@ -1,9 +1,12 @@
 //! Mutation testing of the validator: corrupt valid schedules in every
 //! way the model forbids and check the validator objects each time.
 
+mod common;
+
+use common::job_batch;
 use es_core::CommPlacement;
 use es_core::{validate::validate, BbsaScheduler, ListScheduler, Schedule, Scheduler};
-use es_dag::gen::structured::{fork_join, gauss_elim};
+use es_dag::gen::structured::fork_join;
 use es_dag::TaskGraph;
 use es_net::gen::{self, SpeedDist};
 use es_net::Topology;
@@ -267,18 +270,26 @@ fn reports_multiple_violations_at_once() {
 fn validator_accepts_all_clean_schedules_repeatedly() {
     // Deterministic re-validation across many seeds; guards against
     // false positives from accumulated float noise in the validator.
-    for seed in 0..10u64 {
-        let dag = gauss_elim(5, 15.0, 25.0);
+    // Each seed's multi-DAG batch mixes kernel families, sizes, and
+    // CCRs instead of revalidating one fixed kernel.
+    for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let topo = gen::random_switched_wan(&gen::WanConfig::heterogeneous(10), &mut rng);
-        for sched in [
-            Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
-            Box::new(ListScheduler::oihsa()),
-            Box::new(BbsaScheduler::new()),
-        ] {
-            let s = sched.schedule(&dag, &topo).unwrap();
-            if let Err(errs) = validate(&dag, &topo, &s) {
-                panic!("{} seed {seed}: {errs:#?}", sched.name());
+        for job in &job_batch(6, 2, 3.0, seed) {
+            for sched in [
+                Box::new(ListScheduler::ba()) as Box<dyn Scheduler>,
+                Box::new(ListScheduler::oihsa()),
+                Box::new(BbsaScheduler::new()),
+            ] {
+                let s = sched.schedule(&job.dag, &topo).unwrap();
+                if let Err(errs) = validate(&job.dag, &topo, &s) {
+                    panic!(
+                        "{} seed {seed} job {} {}: {errs:#?}",
+                        sched.name(),
+                        job.id,
+                        job.label
+                    );
+                }
             }
         }
     }

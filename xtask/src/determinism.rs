@@ -19,8 +19,9 @@
 use es_core::diff::{diff_executions, diff_schedules};
 use es_core::schedule::{Schedule, Scheduler};
 use es_core::{
-    execute, execute_with, repair, BbsaScheduler, FaultPlan, FaultSpec, IdealScheduler, ListConfig,
-    ListScheduler, Tuning,
+    arrival_script, execute, execute_with, repair, run_online, Admission, ArrivalSpec,
+    BbsaScheduler, FaultPlan, FaultSpec, IdealScheduler, ListConfig, ListScheduler, OnlineConfig,
+    Tuning,
 };
 use es_workload::{generate, Instance, InstanceConfig, Setting};
 
@@ -105,7 +106,82 @@ pub fn audit() -> Vec<Divergence> {
             }
         }
     }
+    // Online shared-network double-run: the same seeded arrival script
+    // delivered onto the same platform twice must yield bitwise-equal
+    // SLO records and per-job schedules (dispatch order, retirement
+    // order, and compaction included).
+    for &(jobs, tenants, gap, seed) in &[
+        (8usize, 2u32, 2.0f64, 0xA0D1_8001u64),
+        (12, 3, 5.0, 0xA0D1_8002),
+    ] {
+        let script = arrival_script(&ArrivalSpec::default_mix(jobs, tenants, gap, seed));
+        let config = InstanceConfig::paper(Setting::Heterogeneous, 6, 1.0, seed).with_tasks(10);
+        let platform = generate(&config);
+        for scheduler in [ListConfig::ba_static(), ListConfig::oihsa()] {
+            for &admission in &Admission::ALL {
+                let ocfg = OnlineConfig {
+                    admission,
+                    ..OnlineConfig::new(scheduler)
+                };
+                if let Some(d) = online_divergence(&ocfg, &platform, &script) {
+                    out.push(Divergence {
+                        scheduler: scheduler.name,
+                        instance: format!(
+                            "online {} jobs={jobs} tenants={tenants} gap={gap} seed={seed:#x}",
+                            admission.name()
+                        ),
+                        detail: d,
+                    });
+                }
+            }
+        }
+    }
     out
+}
+
+/// Run the online engine twice on the same script and platform; any
+/// bitwise difference in any SLO field or per-job schedule is hidden
+/// ambient state in the event loop, the admission queue, or compaction.
+fn online_divergence(
+    cfg: &OnlineConfig,
+    platform: &Instance,
+    script: &[es_core::JobSpec],
+) -> Option<String> {
+    let run = || run_online(cfg, &platform.topo, script);
+    match (run(), run()) {
+        (Ok(a), Ok(b)) => {
+            if a.released_slots != b.released_slots {
+                return Some(format!(
+                    "released_slots {} vs {}",
+                    a.released_slots, b.released_slots
+                ));
+            }
+            if a.horizon.to_bits() != b.horizon.to_bits() {
+                return Some(format!("horizon {} vs {}", a.horizon, b.horizon));
+            }
+            for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+                for (what, x, y) in [
+                    ("dispatch", oa.dispatch, ob.dispatch),
+                    ("finish", oa.finish, ob.finish),
+                    ("slowdown", oa.slowdown, ob.slowdown),
+                ] {
+                    if x.to_bits() != y.to_bits() {
+                        return Some(format!("job {} {what} {x} vs {y}", oa.job));
+                    }
+                }
+                if let Some(d) = diff_schedules(&oa.schedule, &ob.schedule) {
+                    return Some(format!("job {}: {d}", oa.job));
+                }
+            }
+            None
+        }
+        (Err(ea), Err(eb)) if format!("{ea:?}") == format!("{eb:?}") => None,
+        (ra, rb) => Some(format!(
+            "outcomes differ: {:?} vs {:?}",
+            ra.map(|r| r.horizon),
+            rb.map(|r| r.horizon)
+        )),
+    }
 }
 
 /// Run one configuration with the optimized and the reference tunings

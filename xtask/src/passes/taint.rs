@@ -1,7 +1,9 @@
 //! **N1 — nondeterminism taint** (`ES-A010`).
 //!
 //! Starting from the scheduler entry points (`schedule`, `execute`,
-//! `execute_with`, `repair`, `repair_with` in `crates/core/src/`),
+//! `execute_with`, `repair`, `repair_with`, and the online
+//! shared-network entry points `run_online` and `arrival_script`, all
+//! in `crates/core/src/`),
 //! walk the name-resolved call graph across all crate `src/` trees and
 //! flag, in every reachable non-test function, observations of
 //! unordered or ambient state that would make schedules
@@ -33,13 +35,17 @@ use crate::parser::ParsedFile;
 use crate::report::Finding;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// Call-graph roots: the scheduler/executor/repair entry points.
-const ROOT_FNS: [&str; 5] = [
+/// Call-graph roots: the scheduler/executor/repair entry points, plus
+/// the online shared-network entry points (the event loop and the
+/// arrival-script generator both feed bitwise-pinned outcomes).
+const ROOT_FNS: [&str; 7] = [
     "schedule",
     "execute",
     "execute_with",
     "repair",
     "repair_with",
+    "run_online",
+    "arrival_script",
 ];
 
 /// Methods that iterate a hash container in arbitrary order.
