@@ -121,6 +121,12 @@ pub struct Tuning {
     /// Fan the earliest-finish processor probe out over copy-on-write
     /// link-state overlays (see [`ProbeParallelism`]).
     pub parallel_probe: ProbeParallelism,
+    /// Restore checkpointed link state by memcpying saved slot columns
+    /// back into the touched queues instead of replaying per-hop
+    /// `unschedule` calls (DESIGN.md §16). First-touch column saves are
+    /// taken during the probe cycle, so a restore is a bounded import
+    /// of exactly the queues that mutated since `checkpoint()`.
+    pub snapshot_restore: bool,
 }
 
 impl Tuning {
@@ -131,6 +137,7 @@ impl Tuning {
             route_cache: true,
             indexed_gaps: true,
             parallel_probe: ProbeParallelism::Auto,
+            snapshot_restore: true,
         }
     }
 
@@ -142,6 +149,7 @@ impl Tuning {
             route_cache: false,
             indexed_gaps: false,
             parallel_probe: ProbeParallelism::Sequential,
+            snapshot_restore: false,
         }
     }
 }
@@ -266,6 +274,29 @@ pub struct ListConfig {
 }
 
 impl ListConfig {
+    /// The tuning this configuration can actually profit from —
+    /// [`ListConfig::tuning`] with structurally useless knobs masked
+    /// off. The gap index amortizes one maintenance refold per queue
+    /// mutation over the many probes a candidate sweep or an
+    /// optimal-insertion scan replays against the same queue state; a
+    /// [`ProcSelection::HybridStatic`] scheduler with
+    /// [`Insertion::Basic`] (BA-static) probes each queue exactly once
+    /// per commit — a 1:1 probe/mutation ratio where maintenance can
+    /// never pay for itself — so `indexed_gaps` is dropped there.
+    /// Time-only by construction: every tuning combination produces
+    /// bitwise-identical schedules (the differential oracle enforces
+    /// it), so masking a knob can never change a result.
+    #[must_use]
+    pub fn effective_tuning(&self) -> Tuning {
+        let mut t = self.tuning;
+        if matches!(self.proc_selection, ProcSelection::HybridStatic)
+            && matches!(self.insertion, Insertion::Basic)
+        {
+            t.indexed_gaps = false;
+        }
+        t
+    }
+
     /// Sinnen's Basic Algorithm (§3) in its strong TPDS'05 form: the
     /// processor probe tentatively schedules every communication on the
     /// real link schedules.
@@ -406,6 +437,36 @@ mod tests {
             ProbeParallelism::Auto.uses_overlay(),
             ProbeParallelism::Auto.lanes() > 1
         );
+    }
+
+    #[test]
+    fn effective_tuning_masks_gap_index_only_for_commit_only_configs() {
+        // BA-static never amortizes index maintenance (one probe per
+        // commit), so the index is masked off; everything else keeps
+        // the knobs it was built with.
+        let mut bs = ListConfig::ba_static();
+        bs.tuning = Tuning::optimized();
+        let eff = bs.effective_tuning();
+        assert!(!eff.indexed_gaps);
+        assert_eq!(
+            Tuning {
+                indexed_gaps: true,
+                ..eff
+            },
+            Tuning::optimized()
+        );
+        for cfg in [
+            ListConfig::ba(),
+            ListConfig::oihsa(),
+            ListConfig::oihsa_probing(),
+        ] {
+            let mut cfg = cfg;
+            cfg.tuning = Tuning::optimized();
+            assert_eq!(cfg.effective_tuning(), Tuning::optimized(), "{}", cfg.name);
+        }
+        // Masking never *adds* a knob.
+        bs.tuning = Tuning::reference();
+        assert_eq!(bs.effective_tuning(), Tuning::reference());
     }
 
     #[test]

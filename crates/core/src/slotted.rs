@@ -34,20 +34,18 @@ use crate::config::{Insertion, Routing, Switching, Tuning};
 use crate::schedule::SchedError;
 use es_linksched::optimal::{optimal_insert_with, InsertScratch};
 use es_linksched::overlay::SlotQueueOverlay;
-use es_linksched::slot::{Slot, SlotQueue};
+use es_linksched::slot::{QueueSnapArena, Slot, SlotQueue, SnapWindow};
 use es_linksched::CommId;
 use es_net::{Hop, NodeId, ProcId, Topology};
 use es_route::{
-    bfs_route_with, dijkstra_route, dijkstra_route_with, BfsScratch, DijkstraScratch,
+    bfs_route_with, dijkstra_route, dijkstra_route_into_with, BfsScratch, DijkstraScratch,
     IncrementalDijkstra, Route,
 };
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide route-cache counters (relaxed; they feed the bench
 /// report and never influence scheduling).
 static ROUTE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
-// TEMP instrumentation
 static ROUTE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the process-wide route-cache hit/miss counters.
@@ -130,6 +128,157 @@ struct RouteCacheEntry {
 /// practice.
 const ROUTE_CACHE_CAP: usize = 32;
 
+/// Relative cost of rewriting one saved slot on an Import-mode restore
+/// (several linear column passes per queue) versus touching one slot
+/// of a queue during a targeted removal (one memmove over, on average,
+/// half the queue). Used only by [`SlottedState::pick_restore_mode`] —
+/// the two mechanisms are bitwise-identical, so this weight trades
+/// time, never output.
+const IMPORT_PASS_WEIGHT: usize = 3;
+
+/// One memoized minimal route in the flat BFS arena.
+#[derive(Clone, Debug, Default)]
+enum BfsEntry {
+    /// Never computed for the current adjacency view.
+    #[default]
+    Unknown,
+    /// Computed: the destination is unreachable.
+    NoRoute,
+    /// Computed: the minimal route.
+    Route(Route),
+}
+
+/// Flat arena of memoized BFS routes, indexed `src * stride + dst`
+/// (DESIGN.md §16). Replaces the former `BTreeMap<(NodeId, NodeId),
+/// Option<Route>>`: a lookup is one multiply-add into a dense `Vec`
+/// instead of an ordered-map walk, and a cached hit hands back a
+/// borrowed `&[Hop]` so the probe hot path never clones a route.
+/// Entries are guarded by the topology signature exactly like the map
+/// was; an unsigned view (signature 0) is never trusted and re-resets
+/// the arena on every call.
+#[derive(Clone, Debug)]
+struct BfsRouteArena {
+    /// [`Topology::signature`] of the view the arena was filled from.
+    sig: u64,
+    /// Node count of that view (row stride).
+    stride: usize,
+    slots: Vec<BfsEntry>,
+}
+
+impl BfsRouteArena {
+    fn new() -> Self {
+        Self {
+            sig: 0,
+            stride: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The memoized minimal route `src -> dst` under the adjacency
+    /// view that `sig` names, computing and caching it on first use.
+    /// A different view (e.g. a masked repair topology) or an unsigned
+    /// one resets the arena: minimal routes may differ, so the
+    /// memoized ones must not be served.
+    fn route_for(
+        &mut self,
+        topo: &Topology,
+        sig: u64,
+        src: NodeId,
+        dst: NodeId,
+        scratch: &mut BfsScratch,
+    ) -> Option<&[Hop]> {
+        let n = topo.node_count();
+        if sig == 0 || sig != self.sig || n != self.stride {
+            self.sig = sig;
+            self.stride = n;
+            self.slots.clear();
+            self.slots.resize(n * n, BfsEntry::Unknown);
+        }
+        let i = src.index() * self.stride + dst.index();
+        if matches!(self.slots[i], BfsEntry::Unknown) {
+            self.slots[i] = match bfs_route_with(topo, src, dst, scratch) {
+                Some(r) => BfsEntry::Route(r),
+                None => BfsEntry::NoRoute,
+            };
+        }
+        match &self.slots[i] {
+            BfsEntry::Route(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// How an open snapshot cycle rolls the queues back on each
+/// [`SlottedState::restore`]. Decided once per cycle, at the first
+/// restore, by comparing the measured cost of the two mechanisms —
+/// both produce bitwise-identical post-restore state, so the choice is
+/// a pure time heuristic (DESIGN.md §16).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum SnapMode {
+    /// No restore has happened yet this cycle.
+    #[default]
+    Undecided,
+    /// Memcpy the first-touch column snapshots back into every queue
+    /// whose epoch moved. Wins when candidates stack many placements
+    /// onto the same queues (high fan-in probe cycles).
+    Import,
+    /// Replay a targeted [`SlottedState::unschedule`] per placed
+    /// communication. Wins when candidates place only a slot or two
+    /// per queue — one binary-searched memmove beats rewriting whole
+    /// queues. First-touch saves stop for the rest of the cycle.
+    Removal,
+}
+
+/// Column snapshot of every queue touched since the last
+/// [`SlottedState::checkpoint`] (DESIGN.md §16). The first mutation of
+/// a link in a probe cycle appends that queue's verbatim columns here
+/// (its content still equals the checkpointed content at that moment —
+/// either nothing touched it yet or a restore already put it back), so
+/// an Import-mode [`SlottedState::restore`] is a bounded column memcpy
+/// per touched queue instead of a replayed per-hop rollback.
+#[derive(Clone, Debug, Default)]
+struct SnapArena {
+    /// A checkpoint cycle is open (only under
+    /// [`Tuning::snapshot_restore`]).
+    active: bool,
+    /// The rollback mechanism this cycle settled on.
+    mode: SnapMode,
+    /// One record per first-touched queue: link index, the queue's
+    /// mutation epoch at save time, and its window in `cols`.
+    entries: Vec<(u32, u64, SnapWindow)>,
+    /// Shared verbatim column buffers (es_linksched's snapshot arena).
+    cols: QueueSnapArena,
+    /// Per-link generation stamp: `saved[l] == gen` means link `l`'s
+    /// first-touch columns are already in `entries` this cycle.
+    saved: Vec<u32>,
+    gen: u32,
+    /// Communications placed since the checkpoint; restore either
+    /// clears their records in place (Import) or replays their
+    /// unschedules (Removal).
+    placed: Vec<CommId>,
+}
+
+impl SnapArena {
+    /// Open a cycle: forget the previous cycle's saves (stamp bump)
+    /// and start with empty columns and an undecided mode.
+    fn begin(&mut self, link_count: usize) {
+        self.active = true;
+        self.mode = SnapMode::Undecided;
+        self.entries.clear();
+        self.cols.clear();
+        self.placed.clear();
+        if self.saved.len() < link_count {
+            self.saved.resize(link_count, 0);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Stamp wrap: invalidate all stale stamps the slow way.
+            self.saved.fill(0);
+            self.gen = 1;
+        }
+    }
+}
+
 /// Bookkeeping for one scheduled communication.
 #[derive(Clone, Debug, Default)]
 struct CommRecord {
@@ -155,15 +304,10 @@ pub struct StateEpoch {
 pub struct SlottedState {
     queues: Vec<SlotQueue>,
     comms: Vec<CommRecord>,
-    /// Cache of BFS routes between vertex pairs. Minimal routes depend
-    /// only on the adjacency view, so entries are guarded by the
-    /// topology signature below. Ordered map: iteration order must be
-    /// deterministic for the analyze/determinism audits.
-    bfs_cache: BTreeMap<(NodeId, NodeId), Option<Route>>,
-    /// [`Topology::signature`] of the view the BFS cache was filled
-    /// from; a different (e.g. masked) view clears it. 0 (unsigned
-    /// topology) is never trusted.
-    bfs_cache_sig: u64,
+    /// Memoized BFS routes, signature-guarded (see [`BfsRouteArena`]).
+    /// Dense arena: lookups are deterministic by construction, which
+    /// satisfies the analyze/determinism audits without an ordered map.
+    bfs_cache: BfsRouteArena,
     tuning: Tuning,
     /// Monotonically increasing link-state version: bumped by every
     /// placement and rollback. Epoch numbers are never reissued.
@@ -174,12 +318,15 @@ pub struct SlottedState {
     /// while the link schedules are in the exact checkpointed state.
     active_checkpoint: Option<u64>,
     route_cache: Vec<RouteCacheEntry>,
+    /// Column snapshot backing [`Tuning::snapshot_restore`] restores.
+    snap: SnapArena,
     /// Scratch buffers reused across placements (allocation hoisting;
     /// no behavioural effect).
     bfs_scratch: BfsScratch,
     insert_scratch: InsertScratch,
     dts_scratch: Vec<f64>,
     search_scratch: DijkstraScratch<(f64, f64)>,
+    route_scratch: Vec<Hop>,
 }
 
 impl SlottedState {
@@ -196,17 +343,18 @@ impl SlottedState {
                 .map(|_| SlotQueue::indexed(tuning.indexed_gaps))
                 .collect(),
             comms: vec![CommRecord::default(); comm_count],
-            bfs_cache: BTreeMap::new(),
-            bfs_cache_sig: topo.signature(),
+            bfs_cache: BfsRouteArena::new(),
             tuning,
             epoch: 0,
             next_epoch: 1,
             active_checkpoint: None,
             route_cache: Vec::new(),
+            snap: SnapArena::default(),
             bfs_scratch: BfsScratch::new(),
             insert_scratch: InsertScratch::new(),
             dts_scratch: Vec::new(),
             search_scratch: DijkstraScratch::new(),
+            route_scratch: Vec::new(),
         }
     }
 
@@ -250,8 +398,12 @@ impl SlottedState {
     fn touch(&mut self) {
         self.epoch = self.next_epoch;
         self.next_epoch += 1;
-        let keep = self.active_checkpoint;
-        self.route_cache.retain(|e| Some(e.key.epoch) == keep);
+        // Cache-cold runs (e.g. BFS-routed BA never fills the route
+        // cache) pay one branch here, not a retain walk per mutation.
+        if !self.route_cache.is_empty() {
+            let keep = self.active_checkpoint;
+            self.route_cache.retain(|e| Some(e.key.epoch) == keep);
+        }
     }
 
     /// Open a probe cycle: name the current link state and allow the
@@ -261,7 +413,12 @@ impl SlottedState {
     pub fn checkpoint(&mut self) -> StateEpoch {
         self.active_checkpoint = Some(self.epoch);
         let epoch = self.epoch;
-        self.route_cache.retain(|e| e.key.epoch == epoch);
+        if !self.route_cache.is_empty() {
+            self.route_cache.retain(|e| e.key.epoch == epoch);
+        }
+        if self.tuning.snapshot_restore {
+            self.snap.begin(self.queues.len());
+        }
         StateEpoch {
             epoch,
             #[cfg(debug_assertions)]
@@ -271,7 +428,49 @@ impl SlottedState {
 
     /// Declare the link state rolled back to `cp`'s snapshot; re-arms
     /// the route cache for the next candidate of the probe cycle.
+    ///
+    /// Under [`Tuning::snapshot_restore`] the rollback itself happens
+    /// here, by whichever mechanism the cycle's first restore measured
+    /// as cheaper ([`SnapMode`]): *Import* memcpys the first-touch
+    /// column snapshots back into every queue whose mutation epoch
+    /// moved and clears the placed records in place; *Removal* replays
+    /// a targeted [`SlottedState::unschedule`] per placed
+    /// communication. Both land on bitwise-identical state (the debug
+    /// checksum proves it), so the pick is a pure time heuristic.
+    /// Without the tuning the caller must have rolled the content back
+    /// (exact `unschedule`s) before calling. Like the manual rollback,
+    /// the cycle is exact only for basic-insertion placements: optimal
+    /// insertion rewrites *other* communications' recorded times,
+    /// which no restore path resurrects.
     pub fn restore(&mut self, cp: StateEpoch) {
+        if self.tuning.snapshot_restore && self.snap.active {
+            if self.snap.mode == SnapMode::Undecided {
+                self.snap.mode = self.pick_restore_mode();
+            }
+            if self.snap.mode == SnapMode::Removal {
+                let placed = std::mem::take(&mut self.snap.placed);
+                for &comm in &placed {
+                    self.unschedule(comm);
+                }
+                let mut placed = placed;
+                placed.clear();
+                self.snap.placed = placed;
+            } else {
+                let snap = &mut self.snap;
+                for &(l, qepoch, w) in &snap.entries {
+                    let q = &mut self.queues[l as usize];
+                    if q.epoch() != qepoch {
+                        q.restore_from(&snap.cols, w, qepoch);
+                    }
+                }
+                for &comm in &snap.placed {
+                    let rec = &mut self.comms[comm.0 as usize];
+                    rec.route.clear();
+                    rec.times.clear();
+                }
+                snap.placed.clear();
+            }
+        }
         #[cfg(debug_assertions)]
         debug_assert_eq!(
             self.content_checksum(),
@@ -279,7 +478,57 @@ impl SlottedState {
             "restore() without an exact rollback to the checkpointed state"
         );
         self.epoch = cp.epoch;
-        self.route_cache.retain(|e| e.key.epoch == cp.epoch);
+        if !self.route_cache.is_empty() {
+            self.route_cache.retain(|e| e.key.epoch == cp.epoch);
+        }
+    }
+
+    /// Measure which rollback mechanism this cycle should use, from
+    /// the first candidate's actual footprint. Import rewrites every
+    /// saved slot of every touched queue (several linear column passes
+    /// each); removal pays one binary-searched memmove — on average
+    /// half the queue — per placed slot. Comparing `saved slots ×
+    /// IMPORT_PASS_WEIGHT` against `Σ len(queue) per placed hop`
+    /// captures both: a candidate placing one slot on each of a few
+    /// long queues picks Removal (BFS-routed BA probes), while
+    /// candidates stacking many slots per queue pick Import (high
+    /// fan-in cycles).
+    fn pick_restore_mode(&self) -> SnapMode {
+        let import_slots: usize = self
+            .snap
+            .entries
+            .iter()
+            .map(|&(_, _, w)| w.n as usize)
+            .sum();
+        let mut removal_slots = 0usize;
+        for &comm in &self.snap.placed {
+            for hop in &self.comms[comm.0 as usize].route {
+                removal_slots += self.queues[hop.link.index()].len();
+            }
+        }
+        if import_slots * IMPORT_PASS_WEIGHT <= removal_slots {
+            SnapMode::Import
+        } else {
+            SnapMode::Removal
+        }
+    }
+
+    /// First-touch column save of link `l` for the open snapshot
+    /// cycle; every committed-state mutator calls this before its
+    /// first write to the queue. O(1) when the link is already saved,
+    /// no cycle is open, or the cycle settled on Removal-mode restores
+    /// (which never read the saves).
+    fn snap_save(&mut self, l: usize) {
+        if !self.snap.active
+            || self.snap.mode == SnapMode::Removal
+            || self.snap.saved[l] == self.snap.gen
+        {
+            return;
+        }
+        self.snap.saved[l] = self.snap.gen;
+        let q = &self.queues[l];
+        let w = q.snapshot_into(&mut self.snap.cols);
+        self.snap.entries.push((l as u32, q.epoch(), w));
     }
 
     /// Order-insensitive digest of all slot content, for the debug
@@ -322,15 +571,84 @@ impl SlottedState {
         debug_assert_ne!(from, to, "local communications never reach the link layer");
         let src = topo.node_of_proc(from);
         let dst = topo.node_of_proc(to);
-        let route = self
-            .pick_route(topo, src, dst, est, cost, routing, switching)
-            .ok_or(SchedError::NoRoute { from, to })?;
-        Ok(self.place_on_route(topo, comm, est, cost, route, insertion, switching))
+        let mut route = std::mem::take(&mut self.route_scratch);
+        let found = self.pick_route_into(topo, src, dst, est, cost, routing, switching, &mut route);
+        if !found {
+            self.route_scratch = route;
+            return Err(SchedError::NoRoute { from, to });
+        }
+        let arrival = self.place_on_route(topo, comm, est, cost, &route, insertion, switching);
+        self.route_scratch = route;
+        Ok(arrival)
     }
 
-    /// Choose a route per the configured strategy.
+    /// Batch pre-advance of the memoized modified-Dijkstra search for
+    /// one probe edge (DESIGN.md §16): settle **every** candidate
+    /// destination in a single wavefront pass instead of growing the
+    /// frontier candidate by candidate. Answer-neutral because the
+    /// settle trajectory is destination-independent
+    /// ([`IncrementalDijkstra::settle_many`]): each later
+    /// [`SlottedState::schedule_comm`] resume reconstructs exactly the
+    /// route a fresh search would have found, pinned bitwise in
+    /// `es_route` and by the differential oracle. A no-op unless the
+    /// route cache is consultable (modified-Dijkstra routing, signed
+    /// view, at a checkpointed state) — so reference tunings and BFS
+    /// routing pay one branch.
     #[allow(clippy::too_many_arguments)]
-    fn pick_route(
+    pub fn warm_route_searches(
+        &mut self,
+        topo: &Topology,
+        from: ProcId,
+        est: f64,
+        cost: f64,
+        dsts: &[NodeId],
+        routing: Routing,
+        switching: Switching,
+    ) {
+        if !matches!(routing, Routing::ModifiedDijkstra) {
+            return;
+        }
+        let sig = topo.signature();
+        let consultable =
+            self.tuning.route_cache && sig != 0 && self.active_checkpoint == Some(self.epoch);
+        if !consultable || dsts.is_empty() {
+            return;
+        }
+        let src = topo.node_of_proc(from);
+        let (relax, key) = seq_probe_metric(&self.queues, topo, cost, switching);
+        let k = SearchKey {
+            topo_sig: sig,
+            epoch: self.epoch,
+            src,
+            est: est.to_bits(),
+            cost: cost.to_bits(),
+            switching,
+        };
+        let cache = &mut self.route_cache;
+        let entry = if let Some(i) = cache.iter().position(|e| e.key == k) {
+            &mut cache[i]
+        } else {
+            // The warm pass is the probe cycle's one expected miss;
+            // every per-candidate lookup after it resumes this entry.
+            ROUTE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+            if cache.len() >= ROUTE_CACHE_CAP {
+                cache.remove(0);
+            }
+            cache.push(RouteCacheEntry {
+                key: k,
+                search: IncrementalDijkstra::new(topo.node_count(), src, (est, est), est),
+            });
+            cache.last_mut().expect("just pushed")
+        };
+        entry.search.settle_many(topo, dsts, relax, key);
+    }
+
+    /// Choose a route per the configured strategy into a caller-owned
+    /// buffer; returns whether a route exists (`out` is meaningful
+    /// only then). The buffer-filling shape keeps the steady-state
+    /// probe loop free of per-candidate route allocations.
+    #[allow(clippy::too_many_arguments)]
+    fn pick_route_into(
         &mut self,
         topo: &Topology,
         src: NodeId,
@@ -339,23 +657,21 @@ impl SlottedState {
         cost: f64,
         routing: Routing,
         switching: Switching,
-    ) -> Option<Route> {
+        out: &mut Vec<Hop>,
+    ) -> bool {
         match routing {
             Routing::Bfs => {
                 // TWIN(bfs-cache-guard): begin
                 let sig = topo.signature();
-                if sig == 0 || sig != self.bfs_cache_sig {
-                    // A different adjacency view (e.g. a masked repair
-                    // topology) or an unsigned one: minimal routes may
-                    // differ, so the memoized ones must not be served.
-                    self.bfs_cache.clear();
-                    self.bfs_cache_sig = sig;
-                }
                 let scratch = &mut self.bfs_scratch;
-                self.bfs_cache
-                    .entry((src, dst))
-                    .or_insert_with(|| bfs_route_with(topo, src, dst, scratch))
-                    .clone()
+                match self.bfs_cache.route_for(topo, sig, src, dst, scratch) {
+                    Some(hops) => {
+                        out.clear();
+                        out.extend_from_slice(hops);
+                        true
+                    }
+                    None => false,
+                }
                 // TWIN(bfs-cache-guard): end
             }
             Routing::ModifiedDijkstra => {
@@ -364,20 +680,7 @@ impl SlottedState {
                 // current schedules. The hop delay is applied uniformly
                 // (including the first hop) — a conservative metric;
                 // actual placement applies it precisely.
-                let queues = &self.queues;
-                // TWIN(dijkstra-relax): begin
-                let delay = topo.hop_delay();
-                let relax = |&(s, f): &(f64, f64), hop: &Hop| {
-                    let int = cost / topo.link_speed(hop.link);
-                    let bound = match switching {
-                        Switching::CutThrough => (s + delay).max(f + delay - int),
-                        Switching::StoreAndForward => f + delay,
-                    };
-                    let start = queues[hop.link.index()].probe(bound, int); // TWIN-OK: serial probes the committed queues directly
-                    (start, (start + int).max(f))
-                };
-                let key = |&(_, f): &(f64, f64)| f;
-                // TWIN(dijkstra-relax): end
+                let (relax, key) = seq_probe_metric(&self.queues, topo, cost, switching);
 
                 let sig = topo.signature();
                 let cacheable = self.tuning.route_cache
@@ -414,13 +717,13 @@ impl SlottedState {
                     };
                     entry
                         .search
-                        .route_to(topo, dst, relax, key)
-                        .map(|(route, _)| route)
+                        .route_to_into(topo, dst, relax, key, out)
+                        .is_some()
                 } else if self.tuning.route_cache {
                     // Not at a checkpointed state, but the buffer-reuse
                     // half of the optimization still applies: the same
                     // search over hoisted scratch allocations.
-                    dijkstra_route_with(
+                    dijkstra_route_into_with(
                         topo,
                         src,
                         dst,
@@ -428,10 +731,17 @@ impl SlottedState {
                         relax,
                         key,
                         &mut self.search_scratch,
+                        out,
                     )
-                    .map(|(route, _)| route)
+                    .is_some()
                 } else {
-                    dijkstra_route(topo, src, dst, (est, est), relax, key).map(|(route, _)| route)
+                    match dijkstra_route(topo, src, dst, (est, est), relax, key) {
+                        Some((route, _)) => {
+                            *out = route;
+                            true
+                        }
+                        None => false,
+                    }
                 }
             }
         }
@@ -446,7 +756,7 @@ impl SlottedState {
         comm: CommId,
         est: f64,
         cost: f64,
-        route: Route,
+        route: &[Hop],
         insertion: Insertion,
         switching: Switching,
     ) -> f64 {
@@ -454,6 +764,12 @@ impl SlottedState {
         let times = &mut self.comms[rec_idx].times;
         times.clear();
         times.resize(route.len(), None);
+        if self.snap.active {
+            for hop in route {
+                self.snap_save(hop.link.index());
+            }
+            self.snap.placed.push(comm);
+        }
 
         let (mut prev_start, mut prev_finish) = (est, est);
         for (seq, hop) in route.iter().enumerate() {
@@ -510,7 +826,9 @@ impl SlottedState {
         // The route is recorded only now, which keeps Lemma-2 deferrable
         // times at the conservative 0 for this comm's own mid-placement
         // slots (their next-hop times are unset either way).
-        self.comms[rec_idx].route = route;
+        let rec_route = &mut self.comms[rec_idx].route;
+        rec_route.clear();
+        rec_route.extend_from_slice(route);
         self.touch();
         prev_finish
     }
@@ -521,7 +839,12 @@ impl SlottedState {
     /// have deferred *other* slots, which are not restored); BA's
     /// tentative probe therefore always runs with basic insertion.
     pub fn unschedule(&mut self, comm: CommId) {
-        let rec = std::mem::take(&mut self.comms[comm.0 as usize]);
+        let mut rec = std::mem::take(&mut self.comms[comm.0 as usize]);
+        if self.snap.active {
+            for hop in &rec.route {
+                self.snap_save(hop.link.index());
+            }
+        }
         if self.tuning.indexed_gaps {
             // The recorded per-hop times pin each slot exactly (optimal
             // insertion keeps them updated when it defers slots), so a
@@ -541,6 +864,13 @@ impl SlottedState {
                 self.queues[hop.link.index()].remove_comm(comm);
             }
         }
+        // Clear-don't-drop: hand the record's buffers back for the
+        // next placement of this id instead of deallocating them —
+        // rollback-heavy probe cycles otherwise free and reallocate
+        // two Vecs per candidate edge.
+        rec.route.clear();
+        rec.times.clear();
+        self.comms[comm.0 as usize] = rec;
         self.touch();
     }
 
@@ -571,6 +901,11 @@ impl SlottedState {
         let mut mutated = false;
         for &comm in comms {
             let rec = std::mem::take(&mut self.comms[comm.0 as usize]);
+            if self.snap.active {
+                for hop in &rec.route {
+                    self.snap_save(hop.link.index());
+                }
+            }
             for hop in &rec.route {
                 dropped += LinkModel::release_all(&mut self.queues[hop.link.index()], &[comm]);
             }
@@ -638,10 +973,10 @@ pub struct ProbeWorkspace {
     /// Lane-local mirror of [`SlottedState::bfs_cache`] (same
     /// signature guard); survives across tasks — minimal routes only
     /// depend on the adjacency view.
-    bfs_cache: BTreeMap<(NodeId, NodeId), Option<Route>>,
-    bfs_cache_sig: u64,
+    bfs_cache: BfsRouteArena,
     bfs_scratch: BfsScratch,
     search_scratch: DijkstraScratch<(f64, f64)>,
+    route_scratch: Vec<Hop>,
     /// Lane-local incremental searches, valid for one probe cycle.
     incr: Vec<(WorkerSearchKey, IncrementalDijkstra<(f64, f64)>)>,
     /// The probe cycle (task) `incr` belongs to.
@@ -655,10 +990,10 @@ impl ProbeWorkspace {
         Self {
             deltas: vec![Vec::new(); link_count],
             touched: Vec::new(),
-            bfs_cache: BTreeMap::new(),
-            bfs_cache_sig: 0,
+            bfs_cache: BfsRouteArena::new(),
             bfs_scratch: BfsScratch::new(),
             search_scratch: DijkstraScratch::new(),
+            route_scratch: Vec::new(),
             incr: Vec::new(),
             probe_serial: 0,
         }
@@ -722,16 +1057,21 @@ impl<'a> OverlayState<'a> {
         debug_assert_ne!(from, to, "local communications never reach the link layer");
         let src = topo.node_of_proc(from);
         let dst = topo.node_of_proc(to);
-        let route = self
-            .pick_route(topo, src, dst, est, cost, routing, switching)
-            .ok_or(SchedError::NoRoute { from, to })?;
-        Ok(self.place_on_route(topo, comm, est, cost, &route, switching))
+        let mut route = std::mem::take(&mut self.ws.route_scratch);
+        let found = self.pick_route_into(topo, src, dst, est, cost, routing, switching, &mut route);
+        if !found {
+            self.ws.route_scratch = route;
+            return Err(SchedError::NoRoute { from, to });
+        }
+        let arrival = self.place_on_route(topo, comm, est, cost, &route, switching);
+        self.ws.route_scratch = route;
+        Ok(arrival)
     }
 
-    /// Overlay mirror of [`SlottedState::pick_route`] — statement for
-    /// statement, with queue probes going through the merged view.
+    /// Overlay mirror of [`SlottedState::pick_route_into`] — statement
+    /// for statement, with queue probes going through the merged view.
     #[allow(clippy::too_many_arguments)]
-    fn pick_route(
+    fn pick_route_into(
         &mut self,
         topo: &Topology,
         src: NodeId,
@@ -740,21 +1080,22 @@ impl<'a> OverlayState<'a> {
         cost: f64,
         routing: Routing,
         switching: Switching,
-    ) -> Option<Route> {
+        out: &mut Vec<Hop>,
+    ) -> bool {
         match routing {
             Routing::Bfs => {
                 let ws = &mut *self.ws;
                 // TWIN(bfs-cache-guard): begin map ws=self
                 let sig = topo.signature();
-                if sig == 0 || sig != ws.bfs_cache_sig {
-                    ws.bfs_cache.clear();
-                    ws.bfs_cache_sig = sig;
-                }
                 let scratch = &mut ws.bfs_scratch;
-                ws.bfs_cache
-                    .entry((src, dst))
-                    .or_insert_with(|| bfs_route_with(topo, src, dst, scratch))
-                    .clone()
+                match ws.bfs_cache.route_for(topo, sig, src, dst, scratch) {
+                    Some(hops) => {
+                        out.clear();
+                        out.extend_from_slice(hops);
+                        true
+                    }
+                    None => false,
+                }
                 // TWIN(bfs-cache-guard): end
             }
             Routing::ModifiedDijkstra => {
@@ -763,7 +1104,7 @@ impl<'a> OverlayState<'a> {
                 let deltas = &ws.deltas;
                 // TWIN(dijkstra-relax): begin
                 let delay = topo.hop_delay();
-                let relax = |&(s, f): &(f64, f64), hop: &Hop| {
+                let relax = move |&(s, f): &(f64, f64), hop: &Hop| {
                     let int = cost / topo.link_speed(hop.link);
                     let bound = match switching {
                         Switching::CutThrough => (s + delay).max(f + delay - int),
@@ -807,11 +1148,9 @@ impl<'a> OverlayState<'a> {
                         ));
                         &mut cache.last_mut().expect("just pushed").1
                     };
-                    entry
-                        .route_to(topo, dst, relax, key)
-                        .map(|(route, _)| route)
+                    entry.route_to_into(topo, dst, relax, key, out).is_some()
                 } else if self.tuning.route_cache {
-                    dijkstra_route_with(
+                    dijkstra_route_into_with(
                         topo,
                         src,
                         dst,
@@ -819,10 +1158,17 @@ impl<'a> OverlayState<'a> {
                         relax,
                         key,
                         &mut ws.search_scratch,
+                        out,
                     )
-                    .map(|(route, _)| route)
+                    .is_some()
                 } else {
-                    dijkstra_route(topo, src, dst, (est, est), relax, key).map(|(route, _)| route)
+                    match dijkstra_route(topo, src, dst, (est, est), relax, key) {
+                        Some((route, _)) => {
+                            *out = route;
+                            true
+                        }
+                        None => false,
+                    }
                 }
             }
         }
@@ -837,7 +1183,7 @@ impl<'a> OverlayState<'a> {
         comm: CommId,
         est: f64,
         cost: f64,
-        route: &Route,
+        route: &[Hop],
         switching: Switching,
     ) -> f64 {
         let ws = &mut *self.ws;
@@ -878,6 +1224,37 @@ impl<'a> OverlayState<'a> {
 /// and 0 when the next hop is not yet placed (conservative; happens
 /// only mid-placement of `c` itself). With `hop_delay == 0` the
 /// subtraction is exact, so delay-free topologies are bit-unchanged.
+/// The §4.3 relax metric and tie-break key over the **committed**
+/// queues, shared by [`SlottedState::pick_route_into`] and the batch
+/// warm pass ([`SlottedState::warm_route_searches`]) so the twinned
+/// hot closure has exactly one sequential copy (the overlay twin in
+/// [`OverlayState::pick_route_into`] is the other).
+#[allow(clippy::type_complexity)] // impl-Trait pairs can't be type-aliased on stable
+fn seq_probe_metric<'q>(
+    queues: &'q [SlotQueue],
+    topo: &'q Topology,
+    cost: f64,
+    switching: Switching,
+) -> (
+    impl Fn(&(f64, f64), &Hop) -> (f64, f64) + 'q,
+    impl Fn(&(f64, f64)) -> f64,
+) {
+    // TWIN(dijkstra-relax): begin
+    let delay = topo.hop_delay();
+    let relax = move |&(s, f): &(f64, f64), hop: &Hop| {
+        let int = cost / topo.link_speed(hop.link);
+        let bound = match switching {
+            Switching::CutThrough => (s + delay).max(f + delay - int),
+            Switching::StoreAndForward => f + delay,
+        };
+        let start = queues[hop.link.index()].probe(bound, int); // TWIN-OK: serial probes the committed queues directly
+        (start, (start + int).max(f))
+    };
+    let key = |&(_, f): &(f64, f64)| f;
+    // TWIN(dijkstra-relax): end
+    (relax, key)
+}
+
 fn deferrable_times_into(
     queue: &SlotQueue,
     comms: &[CommRecord],
@@ -1478,46 +1855,46 @@ mod tests {
         let dst = topo.node_of_proc(ProcId(1));
 
         let mut st = SlottedState::with_tuning(&topo, 4, Tuning::optimized());
-        let first = st
-            .pick_route(
-                &topo,
-                src,
-                dst,
-                0.0,
-                1.0,
-                Routing::Bfs,
-                Switching::CutThrough,
-            )
-            .unwrap();
+        let mut first = Vec::new();
+        assert!(st.pick_route_into(
+            &topo,
+            src,
+            dst,
+            0.0,
+            1.0,
+            Routing::Bfs,
+            Switching::CutThrough,
+            &mut first,
+        ));
         let used = first[0].link;
         let masked = topo.masked(|l| l == used);
-        let rerouted = st
-            .pick_route(
-                &masked,
-                src,
-                dst,
-                0.0,
-                1.0,
-                Routing::Bfs,
-                Switching::CutThrough,
-            )
-            .unwrap();
+        let mut rerouted = Vec::new();
+        assert!(st.pick_route_into(
+            &masked,
+            src,
+            dst,
+            0.0,
+            1.0,
+            Routing::Bfs,
+            Switching::CutThrough,
+            &mut rerouted,
+        ));
         assert!(
             rerouted.iter().all(|h| h.link != used),
             "stale cached route served across a masked view"
         );
         // And back: the original view gets its own fresh fill again.
-        let back = st
-            .pick_route(
-                &topo,
-                src,
-                dst,
-                0.0,
-                1.0,
-                Routing::Bfs,
-                Switching::CutThrough,
-            )
-            .unwrap();
+        let mut back = Vec::new();
+        assert!(st.pick_route_into(
+            &topo,
+            src,
+            dst,
+            0.0,
+            1.0,
+            Routing::Bfs,
+            Switching::CutThrough,
+            &mut back,
+        ));
         assert_eq!(back, first);
     }
 
@@ -1550,6 +1927,85 @@ mod tests {
             .unwrap();
         }
         (topo, st)
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back_without_manual_unschedule() {
+        // Under `snapshot_restore`, restore() itself is the rollback:
+        // schedule candidates, never unschedule, and every restore
+        // must land on exactly the checkpointed content.
+        let (topo, mut st) = congested_pair();
+        assert!(st.tuning().snapshot_restore);
+        let cp = st.checkpoint();
+        let mut arrivals = Vec::new();
+        for k in 0..3 {
+            let a = st
+                .schedule_comm(
+                    &topo,
+                    c(9),
+                    0.5,
+                    6.0,
+                    ProcId(0),
+                    ProcId(1),
+                    Routing::ModifiedDijkstra,
+                    Insertion::Basic,
+                    Switching::CutThrough,
+                )
+                .unwrap();
+            arrivals.push(a);
+            if k == 1 {
+                // A second placement in the same candidate exercises
+                // multi-comm restore bookkeeping.
+                st.schedule_comm(
+                    &topo,
+                    c(10),
+                    1.0,
+                    2.0,
+                    ProcId(0),
+                    ProcId(1),
+                    Routing::ModifiedDijkstra,
+                    Insertion::Basic,
+                    Switching::CutThrough,
+                )
+                .unwrap();
+            }
+            st.restore(cp);
+            st.check_invariants().unwrap();
+            assert!(st.route_of(c(9)).is_empty(), "record cleared by restore");
+            assert!(st.route_of(c(10)).is_empty());
+        }
+        assert_eq!(arrivals[0].to_bits(), arrivals[1].to_bits());
+        assert_eq!(arrivals[0].to_bits(), arrivals[2].to_bits());
+        // And the queues really are back: a reference twin that never
+        // probed at all schedules the next comm identically.
+        let (topo2, mut fresh) = congested_pair();
+        let a = st
+            .schedule_comm(
+                &topo,
+                c(11),
+                0.0,
+                3.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::ModifiedDijkstra,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        let b = fresh
+            .schedule_comm(
+                &topo2,
+                c(11),
+                0.0,
+                3.0,
+                ProcId(0),
+                ProcId(1),
+                Routing::ModifiedDijkstra,
+                Insertion::Basic,
+                Switching::CutThrough,
+            )
+            .unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     /// The overlay probe must answer exactly what the sequential

@@ -246,6 +246,9 @@ pub fn optimal_insert_with(
             end: plan.end,
         },
     );
+    // Shifts and the raw insert defer gap-index maintenance; one
+    // refold settles the whole burst.
+    queue.index_refold();
     debug_assert!(
         queue.check_invariants().is_ok(),
         "optimal insert broke queue"

@@ -6,10 +6,29 @@
 //! for the earliest idle interval of the required duration at or after
 //! a lower bound; OIHSA's optimal insertion lives in
 //! [`crate::optimal`] and operates on this same structure.
+//!
+//! # Storage layout (DESIGN.md §16)
+//!
+//! The queue is stored twice, in lockstep:
+//!
+//! * `slots: Vec<Slot>` — the retained array-of-structs reference
+//!   layout. It is the canonical serialization: [`SlotQueue::slots`],
+//!   [`SlotQueue::content_digest`], the overlay base snapshots and the
+//!   `LinkModel::slot_view` contract all read it, and
+//!   [`SlotQueue::probe_reference`] scans it verbatim.
+//! * dense columns `col_start`/`col_end` (`f64`) and `col_comm` (u32
+//!   arena ids interned per queue) — the structure-of-arrays mirror the
+//!   probe hot path scans. A probe touches only the two f64 bit-columns
+//!   (16 bytes per slot instead of the 32-byte `Slot` stride), and
+//!   rollback scans compare u32 arena ids instead of 8-byte comm ids.
+//!
+//! Every mutator updates both layouts in the same call, so the mirror
+//! can never drift; [`SlotQueue::check_invariants`] asserts bitwise
+//! agreement and the layout-identity proptest drives both layouts
+//! through random scripts.
 
 use crate::time::{approx_ge, approx_le, EPS};
 use crate::CommId;
-use std::cell::{Cell, RefCell};
 
 /// One occupied time slot `TS` on a link.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -27,67 +46,186 @@ pub struct Slot {
     pub end: f64,
 }
 
-/// Acceleration structure for [`SlotQueue::probe`], maintained by a
-/// watermark: mutations are O(1) (they only lower the watermark to the
-/// first changed position) and the index repairs itself incrementally
-/// the next time an indexed probe runs, recomputing just the suffix
-/// past the watermark. Bursts of mutations between probes therefore
-/// coalesce into a single repair, and probe-free phases pay nothing.
-///
-/// `prefix_max_end[i]` is the *leftmost* maximum of `slots[0..=i].end`
-/// (ties keep the earlier slot's bits, matching the first-fit fold's
-/// `>` replacement rule). A probe with lower bound `b` skips every
-/// leading slot whose prefix-max end is below `b - EPS`: such a slot
-/// can neither satisfy the fit test (its start is below the candidate,
-/// which never drops below `b`) nor raise the candidate. The remaining
-/// walk is the reference loop verbatim, so the result is bitwise
-/// identical to [`SlotQueue::probe_reference`] (see DESIGN.md §10).
-/// Interior mutability keeps `probe` callable through `&self`.
+/// Per-queue interning of [`CommId`]s to dense u32 arena ids, so the
+/// comm column is a quarter the width of the raw ids and rollback scans
+/// ([`SlotQueue::remove_comm`]) are u32 compares with an O(log n)
+/// not-present fast path. Ids are first-seen order; the table is
+/// cleared whenever the queue drains so long online runs do not
+/// accumulate ids for retired communications.
 #[derive(Clone, Debug, Default)]
-struct GapIndex {
-    /// Entries `[0..watermark)` of `prefix_max_end` are valid.
-    watermark: Cell<usize>,
-    prefix_max_end: RefCell<Vec<f64>>,
+struct CommArena {
+    /// Arena id -> raw comm id.
+    ids: Vec<u64>,
+    /// `(raw comm id, arena id)` sorted by raw id for binary search.
+    sorted: Vec<(u64, u32)>,
 }
 
-impl GapIndex {
-    /// Recompute `prefix_max_end` from the watermark to the tail.
-    fn repair(&self, slots: &[Slot]) {
-        let n = slots.len();
-        let from = self.watermark.get().min(n);
-        let mut pme = self.prefix_max_end.borrow_mut();
-        // Always trim to length: after removals the tail past `n` is
-        // stale and must not participate in the binary search.
-        pme.resize(n, 0.0);
-        if from == n {
-            self.watermark.set(n);
-            return;
-        }
-        let mut run = if from > 0 {
-            pme[from - 1]
-        } else {
-            f64::NEG_INFINITY
-        };
-        for i in from..n {
-            if slots[i].end > run {
-                run = slots[i].end;
+impl CommArena {
+    fn intern(&mut self, comm: CommId) -> u32 {
+        match self.sorted.binary_search_by_key(&comm.0, |e| e.0) {
+            Ok(i) => self.sorted[i].1,
+            Err(i) => {
+                let id = u32::try_from(self.ids.len()).expect("comm arena overflow");
+                self.ids.push(comm.0);
+                self.sorted.insert(i, (comm.0, id));
+                id
             }
-            pme[i] = run;
         }
-        self.watermark.set(n);
+    }
+
+    fn lookup(&self, comm: CommId) -> Option<u32> {
+        self.sorted
+            .binary_search_by_key(&comm.0, |e| e.0)
+            .ok()
+            .map(|i| self.sorted[i].1)
+    }
+
+    fn clear(&mut self) {
+        self.ids.clear();
+        self.sorted.clear();
     }
 }
 
-/// Queues shorter than this answer probes by the reference scan even
+/// Clean-state sentinel for [`GapIndex::dirty_from`].
+const CLEAN: usize = usize::MAX;
+
+/// Acceleration structure for [`SlotQueue::probe`].
+///
+/// `pme[i]` is the *leftmost* maximum of `slots[0..=i].end` (ties keep
+/// the earlier slot's bits, matching the first-fit fold's `>`
+/// replacement rule). A probe with lower bound `b` binary-searches past
+/// every leading slot whose prefix-max end is below `b - EPS`: such a
+/// slot can neither satisfy the fit test (its start is below the
+/// candidate, which never drops below `b`) nor raise the candidate. The
+/// remaining walk is the reference fold verbatim over the SoA columns,
+/// so the result is bitwise identical to
+/// [`SlotQueue::probe_reference`] (see DESIGN.md §10/§16).
+///
+/// Maintenance is *eager*: single-slot mutations keep `pme` aligned
+/// (insert/remove the matching entry) and refold the suffix with a
+/// bitwise early exit — once a recomputed entry equals the stored one,
+/// the whole stored tail is proven equal and the refold stops. Probes
+/// therefore never pay a repair (the lazy-repair scheme this replaces
+/// made interleaved probe/commit/rollback workloads quadratic: every
+/// probe repaired the suffix a rollback had just invalidated). Only the
+/// optimal-insertion shift burst defers: shifts lower `dirty_from` and
+/// [`SlotQueue::index_refold`] folds once per burst.
+#[derive(Clone, Debug)]
+struct GapIndex {
+    /// Leftmost prefix maxima of `col_end`, always length `len()`.
+    pme: Vec<f64>,
+    /// First possibly-stale entry; [`CLEAN`] when `pme` is fully valid.
+    dirty_from: usize,
+}
+
+impl Default for GapIndex {
+    fn default() -> Self {
+        Self {
+            pme: Vec::new(),
+            dirty_from: CLEAN,
+        }
+    }
+}
+
+impl GapIndex {
+    /// Recompute `pme[from..]` from the end column and mark the index
+    /// clean. With `early` (valid only after a single aligned
+    /// insert/remove at `from`, where the stored tail is the old fold
+    /// shifted into place), the fold stops at the first position past
+    /// `from` whose stored bits already equal the recomputed run: the
+    /// stored chain `pme[j] = fold(pme[j-1], ends[j])` then proves the
+    /// rest equal by induction.
+    fn refold(&mut self, ends: &[f64], from: usize, early: bool) {
+        debug_assert_eq!(self.pme.len(), ends.len());
+        let mut run = if from > 0 {
+            self.pme[from - 1]
+        } else {
+            f64::NEG_INFINITY
+        };
+        for i in from..ends.len() {
+            if ends[i] > run {
+                run = ends[i];
+            }
+            if early && i > from && self.pme[i].to_bits() == run.to_bits() {
+                self.dirty_from = CLEAN;
+                return;
+            }
+            self.pme[i] = run;
+        }
+        self.dirty_from = CLEAN;
+    }
+}
+
+/// Queues shorter than this answer probes by the plain column scan even
 /// when indexed: a first-fit walk over a handful of slots is cheaper
-/// than a repair plus binary search. The watermark stays maintained
-/// either way, so the threshold is a pure dispatch decision per probe.
+/// than a binary search. Because the index is never *consulted* below
+/// the threshold, maintenance there is deferred too — mutators on a
+/// short queue just lower the dirty watermark instead of refolding, and
+/// the first mutation that grows the queue to the threshold refolds
+/// once from the watermark. Static schedulers whose queues stay short
+/// therefore pay no index upkeep at all.
 const MIN_INDEXED_LEN: usize = 8;
 
-/// Sorted, non-overlapping queue of occupied slots on one link.
+/// Shared flat buffers holding verbatim column snapshots of many
+/// queues, appended by [`SlotQueue::snapshot_into`] and read back by
+/// [`SlotQueue::restore_from`] (the checkpoint arena of DESIGN.md
+/// §16). One arena serves a whole probe cycle: each saved queue owns a
+/// [`SnapWindow`] of rows, and clearing between cycles keeps the
+/// allocations hot instead of churning per-queue buffers.
+#[derive(Clone, Debug, Default)]
+pub struct QueueSnapArena {
+    /// Slot-start bit-column rows.
+    pub starts: Vec<f64>,
+    /// Slot-end bit-column rows.
+    pub ends: Vec<f64>,
+    /// u32 comm-arena-id column rows (resolved through `arena_ids`).
+    pub comm_ids: Vec<u32>,
+    /// Per-slot route sequence numbers.
+    pub seqs: Vec<u32>,
+    /// Captured comm-arena table: arena id -> raw comm id.
+    pub arena_ids: Vec<u64>,
+    /// Captured comm-arena search table, sorted by raw comm id.
+    pub arena_sorted: Vec<(u64, u32)>,
+}
+
+impl QueueSnapArena {
+    /// Drop every captured window, keeping the buffer capacity.
+    pub fn clear(&mut self) {
+        self.starts.clear();
+        self.ends.clear();
+        self.comm_ids.clear();
+        self.seqs.clear();
+        self.arena_ids.clear();
+        self.arena_sorted.clear();
+    }
+}
+
+/// One queue's rows inside a [`QueueSnapArena`]: `[off, off + n)` in
+/// the slot columns and `[aoff, aoff + an)` in the arena tables.
+#[derive(Clone, Copy, Debug)]
+pub struct SnapWindow {
+    /// First row of this queue's slot columns.
+    pub off: u32,
+    /// Number of slots captured.
+    pub n: u32,
+    /// First row of this queue's arena tables.
+    pub aoff: u32,
+    /// Number of arena entries captured.
+    pub an: u32,
+}
+
+/// Sorted, non-overlapping queue of occupied slots on one link, stored
+/// as a retained `Vec<Slot>` plus SoA probe columns (module docs).
 #[derive(Clone, Debug, Default)]
 pub struct SlotQueue {
     slots: Vec<Slot>,
+    /// SoA mirror of `slots[i].start`.
+    col_start: Vec<f64>,
+    /// SoA mirror of `slots[i].end`.
+    col_end: Vec<f64>,
+    /// SoA mirror of `slots[i].comm` as u32 arena ids.
+    col_comm: Vec<u32>,
+    arena: CommArena,
     /// `Some` enables the indexed probe fast path; `None` keeps the
     /// reference first-fit scan. Both produce bitwise-identical probes.
     index: Option<GapIndex>,
@@ -106,9 +244,8 @@ impl SlotQueue {
     /// New empty queue with the indexed probe fast path enabled.
     pub fn with_gap_index() -> Self {
         Self {
-            slots: Vec::new(),
             index: Some(GapIndex::default()),
-            epoch: 0,
+            ..Self::default()
         }
     }
 
@@ -125,18 +262,6 @@ impl SlotQueue {
     #[inline]
     pub fn has_gap_index(&self) -> bool {
         self.index.is_some()
-    }
-
-    /// Lower the index watermark to `idx` — the first position whose
-    /// slot (or predecessor set) changed. O(1); the index repairs the
-    /// suffix lazily at the next indexed probe.
-    #[inline]
-    fn index_update_from(&mut self, idx: usize) {
-        if let Some(ix) = &self.index {
-            if idx < ix.watermark.get() {
-                ix.watermark.set(idx);
-            }
-        }
     }
 
     /// Bump the mutation epoch — every committed-state mutator calls
@@ -167,8 +292,8 @@ impl SlotQueue {
 
     /// Order-sensitive content digest over the occupied slots (slots
     /// are kept sorted, so equal content yields equal digests). The
-    /// gap index and the epoch do not participate: both are
-    /// acceleration/bookkeeping state, not schedule content.
+    /// gap index, the SoA mirror and the epoch do not participate: all
+    /// are acceleration/bookkeeping state, not schedule content.
     pub fn content_digest(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325;
         for s in &self.slots {
@@ -192,10 +317,100 @@ impl SlotQueue {
         self.slots.is_empty()
     }
 
-    /// The occupied slots in start-time order.
+    /// The occupied slots in start-time order (the retained reference
+    /// layout; the SoA columns mirror it bit for bit).
     #[inline]
     pub fn slots(&self) -> &[Slot] {
         &self.slots
+    }
+
+    /// Append this queue's content to a shared snapshot arena — the
+    /// checkpoint arena's save path (DESIGN.md §16). Everything the
+    /// restore needs is captured *verbatim*: the f64 bit-columns, the
+    /// u32 comm-id column, the slot seqs and the comm-arena tables, so
+    /// a save is six bounded memcpys and the matching
+    /// [`SlotQueue::restore_from`] never re-interns or searches.
+    /// Returns the window naming this queue's rows in the arena.
+    pub fn snapshot_into(&self, a: &mut QueueSnapArena) -> SnapWindow {
+        let off = a.starts.len() as u32;
+        let aoff = a.arena_ids.len() as u32;
+        a.starts.extend_from_slice(&self.col_start);
+        a.ends.extend_from_slice(&self.col_end);
+        a.comm_ids.extend_from_slice(&self.col_comm);
+        a.seqs.extend(self.slots.iter().map(|s| s.seq));
+        a.arena_ids.extend_from_slice(&self.arena.ids);
+        a.arena_sorted.extend_from_slice(&self.arena.sorted);
+        SnapWindow {
+            off,
+            n: self.slots.len() as u32,
+            aoff,
+            an: self.arena.ids.len() as u32,
+        }
+    }
+
+    /// Replace this queue's content with a window previously captured
+    /// by [`SlotQueue::snapshot_into`] and reset the epoch to the value
+    /// observed at capture time — the checkpoint arena's restore path.
+    /// Sound for the same reason as `LinkModel::restore`: the caller
+    /// replays content captured *at* that epoch, so epoch and content
+    /// stay in agreement (the restore checksum in
+    /// `SlottedState::restore` re-proves it in debug builds). The
+    /// columns and arena tables come back as plain `extend_from_slice`
+    /// copies (bit-faithful to the captured state — no re-interning),
+    /// the AoS mirror is rebuilt by one gather pass and the gap index
+    /// by one refold, so every invariant of
+    /// [`SlotQueue::check_invariants`] holds on return.
+    pub fn restore_from(&mut self, a: &QueueSnapArena, w: SnapWindow, epoch: u64) {
+        let (off, n) = (w.off as usize, w.n as usize);
+        let (aoff, an) = (w.aoff as usize, w.an as usize);
+        let starts = &a.starts[off..off + n];
+        let ends = &a.ends[off..off + n];
+        let comm_ids = &a.comm_ids[off..off + n];
+        let seqs = &a.seqs[off..off + n];
+        let arena_ids = &a.arena_ids[aoff..aoff + an];
+        self.col_start.clear();
+        self.col_start.extend_from_slice(starts);
+        self.col_end.clear();
+        self.col_end.extend_from_slice(ends);
+        self.col_comm.clear();
+        self.col_comm.extend_from_slice(comm_ids);
+        self.arena.ids.clear();
+        self.arena.ids.extend_from_slice(arena_ids);
+        self.arena.sorted.clear();
+        self.arena
+            .sorted
+            .extend_from_slice(&a.arena_sorted[aoff..aoff + an]);
+        self.slots.clear();
+        for i in 0..n {
+            self.slots.push(Slot {
+                comm: CommId(arena_ids[comm_ids[i] as usize]),
+                seq: seqs[i],
+                start: starts[i],
+                end: ends[i],
+            });
+        }
+        if let Some(ix) = &mut self.index {
+            ix.pme.clear();
+            ix.pme.resize(n, 0.0);
+            ix.dirty_from = CLEAN;
+            ix.refold(&self.col_end, 0, false);
+        }
+        self.epoch = epoch;
+    }
+
+    /// Refold the gap index after a deferred mutation burst (the
+    /// optimal-insertion shift path). No-op when the index is absent or
+    /// already clean; probes on a dirty queue fall back to the
+    /// reference scan, so forgetting to call this costs time, never
+    /// correctness.
+    pub(crate) fn index_refold(&mut self) {
+        let n = self.col_end.len();
+        if let Some(ix) = &mut self.index {
+            if ix.dirty_from != CLEAN {
+                let from = ix.dirty_from.min(n);
+                ix.refold(&self.col_end, from, false);
+            }
+        }
     }
 
     /// Earliest start `>= bound` of an idle interval of length
@@ -205,13 +420,25 @@ impl SlotQueue {
     /// succeeds because the horizon past the last slot is free.
     ///
     /// Queues built with [`SlotQueue::with_gap_index`] answer through
-    /// the indexed fast path; the result is bitwise identical to
+    /// the indexed column fast path; the result is bitwise identical to
     /// [`SlotQueue::probe_reference`] either way.
     pub fn probe(&self, bound: f64, duration: f64) -> f64 {
         match &self.index {
-            Some(ix) if self.slots.len() >= MIN_INDEXED_LEN => {
-                self.probe_indexed(ix, bound, duration)
+            Some(ix) if ix.dirty_from == CLEAN => {
+                if self.slots.len() >= MIN_INDEXED_LEN {
+                    // Slots before i0 all end below bound - EPS: they
+                    // can neither satisfy the fit test (their start is
+                    // below the candidate) nor raise the candidate
+                    // above `bound`. pme is non-decreasing, so the
+                    // predicate is partitioned.
+                    let i0 = ix.pme.partition_point(|&e| e < bound - EPS);
+                    self.probe_columns(i0, bound, duration)
+                } else {
+                    self.probe_columns(0, bound, duration)
+                }
             }
+            // Dirty index (mid optimal-insertion burst) or no index:
+            // the reference scan needs no acceleration state.
             _ => self.probe_reference(bound, duration),
         }
     }
@@ -232,24 +459,22 @@ impl SlotQueue {
         candidate
     }
 
-    /// Indexed probe: binary-search past the prefix that cannot affect
-    /// the scan, then run the reference loop on the rest.
-    fn probe_indexed(&self, ix: &GapIndex, bound: f64, duration: f64) -> f64 {
+    /// The reference fold over the SoA bit-columns starting at `i0` —
+    /// branch-light, 16 bytes of cache traffic per slot. Identical
+    /// comparison rules as [`SlotQueue::probe_reference`], over columns
+    /// that mirror the slots bit for bit, so the result is bitwise
+    /// identical by construction.
+    fn probe_columns(&self, i0: usize, bound: f64, duration: f64) -> f64 {
         debug_assert!(duration >= 0.0);
-        ix.repair(&self.slots);
-        let pme = ix.prefix_max_end.borrow();
-        // Slots before i0 all end below bound - EPS: they can neither
-        // satisfy the fit test (their start is below the candidate)
-        // nor raise the candidate above `bound`. prefix_max_end is
-        // non-decreasing, so the predicate is partitioned.
-        let i0 = pme.partition_point(|&e| e < bound - EPS);
         let mut candidate = bound;
-        for s in &self.slots[i0..] {
-            if approx_le(candidate + duration, s.start) {
+        let starts = &self.col_start[i0..];
+        let ends = &self.col_end[i0..];
+        for (&start, &end) in starts.iter().zip(ends) {
+            if approx_le(candidate + duration, start) {
                 return candidate;
             }
-            if s.end > candidate {
-                candidate = s.end;
+            if end > candidate {
+                candidate = end;
             }
         }
         candidate
@@ -264,7 +489,7 @@ impl SlotQueue {
     /// engine, so an overlap is a scheduler bug, not an input error.
     pub fn commit(&mut self, comm: CommId, seq: u32, start: f64, duration: f64) {
         let end = start + duration;
-        let idx = self.slots.partition_point(|s| s.start < start - EPS);
+        let idx = self.col_start.partition_point(|&s| s < start - EPS);
         if idx > 0 {
             let prev = &self.slots[idx - 1];
             assert!(
@@ -294,22 +519,71 @@ impl SlotQueue {
                 end,
             },
         );
-        self.index_update_from(idx);
+        self.col_start.insert(idx, start);
+        self.col_end.insert(idx, end);
+        let id = self.arena.intern(comm);
+        self.col_comm.insert(idx, id);
+        if let Some(ix) = &mut self.index {
+            let was_clean = ix.dirty_from == CLEAN;
+            ix.pme.insert(idx, 0.0);
+            if self.slots.len() < MIN_INDEXED_LEN {
+                // Below the dispatch threshold the index is never
+                // consulted: defer the refold (lower the watermark).
+                ix.dirty_from = ix.dirty_from.min(idx);
+            } else if was_clean {
+                ix.refold(&self.col_end, idx, true);
+            } else {
+                let from = ix.dirty_from.min(idx);
+                ix.refold(&self.col_end, from, false);
+            }
+        }
         self.touch();
     }
 
     /// Remove every slot belonging to `comm`; returns how many were
     /// removed. Used to roll back tentative insertions during BA's
-    /// processor scan.
+    /// processor scan. An un-interned comm is an O(log n) miss that
+    /// touches no column.
     pub fn remove_comm(&mut self, comm: CommId) -> usize {
+        let Some(id) = self.arena.lookup(comm) else {
+            self.touch();
+            return 0;
+        };
+        let Some(first) = self.col_comm.iter().position(|&c| c == id) else {
+            self.touch();
+            return 0;
+        };
         let before = self.slots.len();
-        let first = self.slots.iter().position(|s| s.comm == comm);
-        self.slots.retain(|s| s.comm != comm);
-        if let Some(idx) = first {
-            self.index_update_from(idx);
+        // In-place compaction of all four mirrors from the first hit.
+        let mut keep = first;
+        for i in first..before {
+            if self.col_comm[i] != id {
+                self.slots[keep] = self.slots[i];
+                self.col_start[keep] = self.col_start[i];
+                self.col_end[keep] = self.col_end[i];
+                self.col_comm[keep] = self.col_comm[i];
+                keep += 1;
+            }
+        }
+        self.slots.truncate(keep);
+        self.col_start.truncate(keep);
+        self.col_end.truncate(keep);
+        self.col_comm.truncate(keep);
+        if self.slots.is_empty() {
+            self.arena.clear();
+        }
+        if let Some(ix) = &mut self.index {
+            ix.pme.truncate(keep);
+            let from = ix.dirty_from.min(first).min(keep);
+            if keep < MIN_INDEXED_LEN {
+                // Short queue: the index is not consulted, defer.
+                ix.dirty_from = from;
+            } else {
+                ix.refold(&self.col_end, from, false);
+            }
         }
         self.touch();
-        before - self.slots.len()
+        before - keep
     }
 
     /// Remove the single slot `(comm, seq)` whose recorded start is
@@ -318,11 +592,30 @@ impl SlotQueue {
     /// makes unscheduling O(log n + tail) instead of a full scan — the
     /// resulting queue is identical either way.
     pub fn remove_slot_at(&mut self, comm: CommId, seq: u32, start: f64) -> bool {
-        let mut i = self.slots.partition_point(|s| s.start < start - EPS);
-        while i < self.slots.len() && self.slots[i].start <= start + EPS {
+        let mut i = self.col_start.partition_point(|&s| s < start - EPS);
+        while i < self.slots.len() && self.col_start[i] <= start + EPS {
             if self.slots[i].comm == comm && self.slots[i].seq == seq {
                 self.slots.remove(i);
-                self.index_update_from(i);
+                self.col_start.remove(i);
+                self.col_end.remove(i);
+                self.col_comm.remove(i);
+                if self.slots.is_empty() {
+                    self.arena.clear();
+                }
+                if let Some(ix) = &mut self.index {
+                    let was_clean = ix.dirty_from == CLEAN;
+                    ix.pme.remove(i);
+                    if self.slots.len() < MIN_INDEXED_LEN {
+                        // Short queue: the index is not consulted,
+                        // defer the refold.
+                        ix.dirty_from = ix.dirty_from.min(i).min(ix.pme.len());
+                    } else if was_clean {
+                        ix.refold(&self.col_end, i.min(ix.pme.len()), true);
+                    } else {
+                        let from = ix.dirty_from.min(i).min(ix.pme.len());
+                        ix.refold(&self.col_end, from, false);
+                    }
+                }
                 self.touch();
                 return true;
             }
@@ -333,29 +626,47 @@ impl SlotQueue {
 
     /// The slot (and its index) occupied by `(comm, seq)`, if present.
     pub fn find(&self, comm: CommId, seq: u32) -> Option<(usize, Slot)> {
-        self.slots
-            .iter()
-            .position(|s| s.comm == comm && s.seq == seq)
+        let id = self.arena.lookup(comm)?;
+        (0..self.slots.len())
+            .find(|&i| self.col_comm[i] == id && self.slots[i].seq == seq)
             .map(|i| (i, self.slots[i]))
     }
 
     /// Shift slot `idx` right by `delta` (used by optimal insertion).
     ///
     /// The caller is responsible for shifting any following slots that
-    /// would now overlap; [`crate::optimal::optimal_insert`] does this.
+    /// would now overlap, and for calling [`SlotQueue::index_refold`]
+    /// once the burst is applied; [`crate::optimal::optimal_insert`]
+    /// does both.
     pub(crate) fn shift_right(&mut self, idx: usize, delta: f64) {
         debug_assert!(delta >= -EPS, "shift must be rightward, got {delta}");
         self.slots[idx].start += delta;
         self.slots[idx].end += delta;
-        self.index_update_from(idx);
+        self.col_start[idx] = self.slots[idx].start;
+        self.col_end[idx] = self.slots[idx].end;
+        if let Some(ix) = &mut self.index {
+            if idx < ix.dirty_from {
+                ix.dirty_from = idx;
+            }
+        }
         self.touch();
     }
 
     /// Insert a pre-validated slot at position `idx` (optimal
     /// insertion's commit path, which has already established order).
+    /// Defers the index refold like [`SlotQueue::shift_right`].
     pub(crate) fn insert_at(&mut self, idx: usize, slot: Slot) {
         self.slots.insert(idx, slot);
-        self.index_update_from(idx);
+        self.col_start.insert(idx, slot.start);
+        self.col_end.insert(idx, slot.end);
+        let id = self.arena.intern(slot.comm);
+        self.col_comm.insert(idx, id);
+        if let Some(ix) = &mut self.index {
+            ix.pme.insert(idx, 0.0);
+            if idx < ix.dirty_from {
+                ix.dirty_from = idx;
+            }
+        }
         self.touch();
     }
 
@@ -370,7 +681,9 @@ impl SlotQueue {
         self.slots.last().map_or(0.0, |s| s.end)
     }
 
-    /// Internal invariant check: sorted and non-overlapping. Exposed so
+    /// Internal invariant check: sorted, non-overlapping, SoA mirror in
+    /// bitwise agreement with the retained layout, and the gap index
+    /// equal to the fold up to its dirty watermark. Exposed so
     /// validators and property tests can assert it.
     pub fn check_invariants(&self) -> Result<(), String> {
         for w in self.slots.windows(2) {
@@ -389,24 +702,47 @@ impl SlotQueue {
                 ));
             }
         }
+        let n = self.slots.len();
+        if self.col_start.len() != n || self.col_end.len() != n || self.col_comm.len() != n {
+            return Err(format!(
+                "SoA mirror length drift: {}/{}/{} columns vs {n} slots",
+                self.col_start.len(),
+                self.col_end.len(),
+                self.col_comm.len()
+            ));
+        }
+        for (i, s) in self.slots.iter().enumerate() {
+            if self.col_start[i].to_bits() != s.start.to_bits()
+                || self.col_end[i].to_bits() != s.end.to_bits()
+            {
+                return Err(format!("SoA time column drift at {i}"));
+            }
+            let id = self.col_comm[i] as usize;
+            if self.arena.ids.get(id).copied() != Some(s.comm.0) {
+                return Err(format!("SoA comm column drift at {i}"));
+            }
+        }
         if let Some(ix) = &self.index {
-            // Entries below the watermark must equal the fold exactly;
-            // entries past it are allowed to be stale by construction.
-            let valid = ix.watermark.get().min(self.slots.len());
-            let pme = ix.prefix_max_end.borrow();
-            if pme.len() < valid {
+            if ix.pme.len() != n {
                 return Err(format!(
-                    "gap index shorter than its watermark: {} < {valid}",
-                    pme.len()
+                    "gap index length drift: {} entries vs {n} slots",
+                    ix.pme.len()
                 ));
             }
+            // Entries below the dirty watermark must equal the fold
+            // exactly; entries past it are allowed to be stale until
+            // the deferred refold runs.
+            let valid = ix.dirty_from.min(n);
             let mut run = f64::NEG_INFINITY;
             for (i, s) in self.slots.iter().take(valid).enumerate() {
                 if s.end > run {
                     run = s.end;
                 }
-                if pme[i].to_bits() != run.to_bits() {
-                    return Err(format!("gap index stale at {i}: {} vs fold {run}", pme[i]));
+                if ix.pme[i].to_bits() != run.to_bits() {
+                    return Err(format!(
+                        "gap index stale at {i}: {} vs fold {run}",
+                        ix.pme[i]
+                    ));
                 }
             }
         }
@@ -596,8 +932,8 @@ mod tests {
 
     #[test]
     fn long_queue_engages_indexed_path() {
-        // Past MIN_INDEXED_LEN slots the indexed body (watermark
-        // repair + prefix skip) answers — still bitwise equal to the
+        // Past MIN_INDEXED_LEN slots the indexed body (prefix skip over
+        // the pme column) answers — still bitwise equal to the
         // reference scan.
         let mut q = SlotQueue::with_gap_index();
         for i in 0..(MIN_INDEXED_LEN as u64 + 8) {
@@ -638,5 +974,123 @@ mod tests {
             q.check_invariants().unwrap();
         }
         assert_eq!(q.len(), 200);
+    }
+
+    #[test]
+    fn soa_columns_mirror_slots_bitwise() {
+        // Satellite: column invariants — sorted starts, start <= end,
+        // columns bitwise equal to the retained layout — under a
+        // mixed mutation script. check_invariants() carries the
+        // bitwise-mirror assertions; this test drives every mutator.
+        let mut q = SlotQueue::with_gap_index();
+        for i in 0..40u64 {
+            let start = (i % 7) as f64 * 11.0 + (i / 7) as f64;
+            let start = q.probe(start, 1.5);
+            q.commit(c(i % 6), (i / 6) as u32, start, 1.5);
+            q.check_invariants().unwrap();
+        }
+        for w in q.slots().windows(2) {
+            assert!(w[0].start <= w[1].start, "starts unsorted");
+        }
+        for s in q.slots() {
+            assert!(s.start <= s.end, "negative slot");
+        }
+        // Every removal flavour keeps the mirror intact.
+        assert!(q.remove_comm(c(3)) > 0);
+        q.check_invariants().unwrap();
+        let victim = q.slots()[2];
+        assert!(q.remove_slot_at(victim.comm, victim.seq, victim.start));
+        q.check_invariants().unwrap();
+        // Drain completely: the comm arena resets with the queue.
+        for i in 0..6u64 {
+            q.remove_comm(c(i));
+        }
+        assert!(q.is_empty());
+        q.check_invariants().unwrap();
+        assert_eq!(q.probe(4.0, 1.0), 4.0);
+    }
+
+    #[test]
+    fn gap_index_consistent_after_unschedule() {
+        // Satellite: prefix_max_end stays the exact fold after
+        // unschedule (remove_slot_at / remove_comm), including
+        // removals of the slot carrying the running maximum.
+        let mut q = SlotQueue::with_gap_index();
+        // Long slot whose end dominates the prefix maxima, then a tail
+        // of short slots.
+        q.commit(c(0), 0, 0.0, 30.0);
+        for i in 1..(MIN_INDEXED_LEN as u64 + 4) {
+            q.commit(c(i), 0, 30.0 + i as f64 * 3.0, 1.0);
+        }
+        q.check_invariants().unwrap();
+        // Removing the dominating slot forces a full refold.
+        assert!(q.remove_slot_at(c(0), 0, 0.0));
+        q.check_invariants().unwrap();
+        for trial in 0..6u32 {
+            let bound = f64::from(trial) * 9.0;
+            assert_eq!(
+                q.probe(bound, 2.0).to_bits(),
+                q.probe_reference(bound, 2.0).to_bits()
+            );
+        }
+        // remove_comm in the middle, then probe again.
+        assert_eq!(q.remove_comm(c(5)), 1);
+        q.check_invariants().unwrap();
+        assert_eq!(
+            q.probe(0.0, 2.5).to_bits(),
+            q.probe_reference(0.0, 2.5).to_bits()
+        );
+    }
+
+    #[test]
+    fn deferred_refold_after_shift_burst() {
+        // shift_right/insert_at defer the index; probes stay correct
+        // (reference fallback) and index_refold restores the fast path.
+        let mut q = SlotQueue::with_gap_index();
+        for i in 0..(MIN_INDEXED_LEN as u64 + 2) {
+            q.commit(c(i), 0, i as f64 * 4.0, 2.0);
+        }
+        q.shift_right(3, 1.0);
+        q.shift_right(4, 0.5);
+        // Dirty: probe answers via the reference scan, bit-identical.
+        assert_eq!(
+            q.probe(0.0, 3.0).to_bits(),
+            q.probe_reference(0.0, 3.0).to_bits()
+        );
+        q.check_invariants().unwrap();
+        q.index_refold();
+        q.check_invariants().unwrap();
+        for bound in [0.0, 5.0, 13.0, 40.0] {
+            assert_eq!(
+                q.probe(bound, 2.0).to_bits(),
+                q.probe_reference(bound, 2.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut q = SlotQueue::with_gap_index();
+        for i in 0..12u64 {
+            let start = q.probe(i as f64 * 1.7, 1.2);
+            q.commit(c(i % 5), (i / 5) as u32, start, 1.2);
+        }
+        let digest = q.content_digest();
+        let epoch = q.epoch();
+        let mut arena = QueueSnapArena::default();
+        let w = q.snapshot_into(&mut arena);
+        assert_eq!(w.n, 12);
+        // Mutate, then restore from the captured window.
+        q.commit(c(99), 0, q.horizon() + 5.0, 2.0);
+        q.remove_comm(c(1));
+        assert_ne!(q.content_digest(), digest);
+        q.restore_from(&arena, w, epoch);
+        assert_eq!(q.content_digest(), digest);
+        assert_eq!(q.epoch(), epoch);
+        q.check_invariants().unwrap();
+        assert_eq!(
+            q.probe(0.0, 1.0).to_bits(),
+            q.probe_reference(0.0, 1.0).to_bits()
+        );
     }
 }

@@ -63,14 +63,22 @@ pub fn bfs_route(topo: &Topology, from: NodeId, to: NodeId) -> Option<Route> {
 
 fn reconstruct(pred: &[Option<Hop>], from: NodeId, to: NodeId) -> Route {
     let mut route = Vec::new();
+    reconstruct_into(pred, from, to, &mut route);
+    route
+}
+
+/// [`reconstruct`] into a caller-owned buffer (cleared first) — the
+/// hot probe paths reuse one route buffer across searches instead of
+/// allocating a fresh `Vec<Hop>` per answer.
+fn reconstruct_into(pred: &[Option<Hop>], from: NodeId, to: NodeId, out: &mut Vec<Hop>) {
+    out.clear();
     let mut cur = to;
     while cur != from {
         let hop = pred[cur.index()].expect("predecessor chain is complete");
-        route.push(hop);
+        out.push(hop);
         cur = hop.from;
     }
-    route.reverse();
-    route
+    out.reverse();
 }
 
 /// BFS flood from `from`: `result[n.index()]` is true iff vertex `n`
@@ -327,10 +335,30 @@ pub fn dijkstra_route_with<S: Clone>(
     from: NodeId,
     to: NodeId,
     init: S,
-    mut relax: impl FnMut(&S, &Hop) -> S,
+    relax: impl FnMut(&S, &Hop) -> S,
     key: impl Fn(&S) -> f64,
     scratch: &mut DijkstraScratch<S>,
 ) -> Option<(Route, S)> {
+    let mut route = Vec::new();
+    dijkstra_route_into_with(topo, from, to, init, relax, key, scratch, &mut route)
+        .map(|state| (route, state))
+}
+
+/// [`dijkstra_route_with`] writing the route into a caller-owned
+/// buffer (cleared first; left cleared when unreachable) and returning
+/// only the destination state. Same search, zero allocation per call.
+#[allow(clippy::too_many_arguments)]
+pub fn dijkstra_route_into_with<S: Clone>(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    init: S,
+    mut relax: impl FnMut(&S, &Hop) -> S,
+    key: impl Fn(&S) -> f64,
+    scratch: &mut DijkstraScratch<S>,
+    out: &mut Vec<Hop>,
+) -> Option<S> {
+    out.clear();
     scratch.reset(topo.node_count());
     let mut seq = 0u64;
 
@@ -351,11 +379,11 @@ pub fn dijkstra_route_with<S: Clone>(
         }
         scratch.settled[u.index()] = true;
         if u == to {
-            let route = reconstruct(&scratch.pred, from, to);
+            reconstruct_into(&scratch.pred, from, to, out);
             let final_state = scratch.state[to.index()]
                 .clone()
                 .expect("settled node has state");
-            return Some((route, final_state));
+            return Some(final_state);
         }
         let u_state = scratch.state[u.index()]
             .clone()
@@ -440,21 +468,23 @@ impl<S: Clone> IncrementalDijkstra<S> {
         s
     }
 
-    /// Advance the search until `to` settles and return its route and
-    /// state; `None` when unreachable. `relax`/`key` must compute the
-    /// same metric on every call for this search (same closures probing
-    /// the same unchanged link schedules).
-    pub fn route_to(
+    /// Advance the frontier until `to` settles; `false` when the heap
+    /// exhausts first (`to` is unreachable). The shared engine under
+    /// every query flavour below.
+    fn advance_until(
         &mut self,
         topo: &Topology,
         to: NodeId,
-        mut relax: impl FnMut(&S, &Hop) -> S,
-        key: impl Fn(&S) -> f64,
-    ) -> Option<(Route, S)> {
+        relax: &mut impl FnMut(&S, &Hop) -> S,
+        key: &impl Fn(&S) -> f64,
+    ) -> bool {
         while !self.settled[to.index()] {
-            let HeapEntry {
+            let Some(HeapEntry {
                 node: u, key: k, ..
-            } = self.heap.pop()?;
+            }) = self.heap.pop()
+            else {
+                return false;
+            };
             if self.settled[u.index()] || k > self.best[u.index()] + EPS {
                 continue;
             }
@@ -489,11 +519,70 @@ impl<S: Clone> IncrementalDijkstra<S> {
                 }
             }
         }
-        let route = reconstruct(&self.pred, self.from, to);
+        true
+    }
+
+    /// Advance the search until `to` settles and return its route and
+    /// state; `None` when unreachable. `relax`/`key` must compute the
+    /// same metric on every call for this search (same closures probing
+    /// the same unchanged link schedules).
+    pub fn route_to(
+        &mut self,
+        topo: &Topology,
+        to: NodeId,
+        relax: impl FnMut(&S, &Hop) -> S,
+        key: impl Fn(&S) -> f64,
+    ) -> Option<(Route, S)> {
+        let mut route = Vec::new();
+        self.route_to_into(topo, to, relax, key, &mut route)
+            .map(|state| (route, state))
+    }
+
+    /// [`IncrementalDijkstra::route_to`] into a caller-owned route
+    /// buffer (cleared first; left cleared when unreachable), returning
+    /// only the destination state. Same advance, zero allocation.
+    pub fn route_to_into(
+        &mut self,
+        topo: &Topology,
+        to: NodeId,
+        mut relax: impl FnMut(&S, &Hop) -> S,
+        key: impl Fn(&S) -> f64,
+        out: &mut Vec<Hop>,
+    ) -> Option<S> {
+        out.clear();
+        if !self.advance_until(topo, to, &mut relax, &key) {
+            return None;
+        }
+        reconstruct_into(&self.pred, self.from, to, out);
         let state = self.state[to.index()]
             .clone()
             .expect("settled node has state");
-        Some((route, state))
+        Some(state)
+    }
+
+    /// Batch pre-advance: settle *every* listed destination in one
+    /// wavefront pass (stopping early once the heap exhausts — any
+    /// destination still unsettled then is unreachable). Subsequent
+    /// [`IncrementalDijkstra::route_to`] calls for these destinations
+    /// are pure reconstructions with no further frontier work.
+    ///
+    /// Because the settle trajectory is destination-independent,
+    /// pre-advancing changes no answer: a later query reads exactly the
+    /// state a fresh targeted search would have computed. This is the
+    /// multi-destination completion of the search: the probe loop calls
+    /// it once per ready task with all candidate destinations.
+    pub fn settle_many(
+        &mut self,
+        topo: &Topology,
+        dsts: &[NodeId],
+        mut relax: impl FnMut(&S, &Hop) -> S,
+        key: impl Fn(&S) -> f64,
+    ) {
+        for &to in dsts {
+            if !self.advance_until(topo, to, &mut relax, &key) {
+                return;
+            }
+        }
     }
 }
 
@@ -752,6 +841,48 @@ mod tests {
         let fresh = dijkstra_route(&t, src, dst, (3.0, 3.0), relax, key).unwrap();
         assert_eq!(again.0, fresh.0);
         assert_eq!(again.1 .1.to_bits(), fresh.1 .1.to_bits());
+    }
+
+    #[test]
+    fn settle_many_preadvance_changes_no_answer() {
+        // Pre-advancing the frontier over every destination at once
+        // (the batch in-edge probe's warm pass) must leave each
+        // subsequent route_to bitwise identical to a fresh targeted
+        // search — including unreachable destinations.
+        let mut rng = StdRng::seed_from_u64(77);
+        let t = gen::random_switched_wan(&gen::WanConfig::heterogeneous(10), &mut rng);
+        let mut queues: Vec<SlotQueue> = (0..t.link_count()).map(|_| SlotQueue::new()).collect();
+        for (i, q) in queues.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                q.commit(es_linksched::CommId(i as u64), 0, 0.5, 25.0 + i as f64);
+            }
+        }
+        let duration = 4.0;
+        let relax = |&(s, f): &(f64, f64), hop: &es_net::Hop| {
+            let bound = s.max(f - duration);
+            let start = queues[hop.link.index()].probe(bound, duration);
+            (start, (start + duration).max(f))
+        };
+        let key = |&(_, f): &(f64, f64)| f;
+
+        let src = t.node_of_proc(es_net::ProcId(0));
+        let dsts: Vec<es_net::NodeId> = t.proc_ids().map(|p| t.node_of_proc(p)).collect();
+        let mut warmed = IncrementalDijkstra::new(t.node_count(), src, (1.0, 1.0), 1.0);
+        warmed.settle_many(&t, &dsts, relax, key);
+        let mut route = Vec::new();
+        for &dst in &dsts {
+            let fresh = dijkstra_route(&t, src, dst, (1.0, 1.0), relax, key);
+            let state = warmed.route_to_into(&t, dst, relax, key, &mut route);
+            match (fresh, state) {
+                (None, None) => assert!(route.is_empty()),
+                (Some((r1, s1)), Some(s2)) => {
+                    assert_eq!(r1, route, "route to {dst:?}");
+                    assert_eq!(s1.0.to_bits(), s2.0.to_bits());
+                    assert_eq!(s1.1.to_bits(), s2.1.to_bits());
+                }
+                (a, b) => panic!("reachability disagrees: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -143,8 +143,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// A sensible default worker count: the number of available CPUs
 /// (minimum 1). Ignores `ES_THREADS` — use [`Threads::resolve`] when
 /// the override should apply (every sweep/bench entry point does).
+///
+/// The probe is cached for the process lifetime:
+/// `available_parallelism` reads cgroup quota files on Linux (tens of
+/// microseconds), and [`Threads::resolve`] sits on the per-schedule
+/// path of every `ProbeParallelism::Auto` run — uncached it was a
+/// measurable fraction of a sub-millisecond schedule. The `ES_THREADS`
+/// override in [`Threads::resolve`] is deliberately *not* cached, so
+/// tests and operators can change it mid-process.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    static CPUS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CPUS.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
 }
 
 /// A diagnosable configuration-parse failure: an environment variable

@@ -17,9 +17,10 @@ use std::fmt;
 pub const MAGIC: [u8; 6] = *b"ESWIRE";
 
 /// Current protocol version. v2 added `Request.tenant` and the
-/// per-tenant shed counters in `DriverStats`; both sides of a stream
-/// must speak the same version (the preamble check rejects mixes).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// per-tenant shed counters in `DriverStats`; v3 added
+/// `tuning.snapshot_restore`; both sides of a stream must speak the
+/// same version (the preamble check rejects mixes).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hard ceiling on one frame's payload. A forged length prefix above
 /// this is rejected before allocation; the largest legitimate frames

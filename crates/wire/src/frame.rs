@@ -100,6 +100,8 @@ pub struct WireTuning {
     pub route_cache: bool,
     /// Enable the indexed free-gap search.
     pub indexed_gaps: bool,
+    /// Enable the §16 column-snapshot checkpoint/restore.
+    pub snapshot_restore: bool,
     /// Probe parallelism.
     pub lanes: WireLanes,
 }
@@ -108,6 +110,7 @@ impl WireTuning {
     fn put(self, w: &mut ByteWriter) {
         w.put_bool(self.route_cache);
         w.put_bool(self.indexed_gaps);
+        w.put_bool(self.snapshot_restore);
         match self.lanes {
             WireLanes::Sequential => w.put_u8(0),
             WireLanes::Auto => w.put_u8(1),
@@ -121,6 +124,7 @@ impl WireTuning {
     fn get(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
         let route_cache = r.get_bool("tuning.route_cache")?;
         let indexed_gaps = r.get_bool("tuning.indexed_gaps")?;
+        let snapshot_restore = r.get_bool("tuning.snapshot_restore")?;
         let lanes = match r.get_u8()? {
             0 => WireLanes::Sequential,
             1 => WireLanes::Auto,
@@ -135,6 +139,7 @@ impl WireTuning {
         Ok(Self {
             route_cache,
             indexed_gaps,
+            snapshot_restore,
             lanes,
         })
     }
@@ -956,6 +961,7 @@ mod tests {
             tuning: WireTuning {
                 route_cache: true,
                 indexed_gaps: true,
+                snapshot_restore: true,
                 lanes: WireLanes::Workers(2),
             },
             instance: WireInstance {

@@ -1,5 +1,5 @@
 //! The `xtask analyze` workspace pass: orchestrates the token-level
-//! lints (L1–L4), the syntax-aware passes (N1–N5, see
+//! lints (L1–L5), the syntax-aware passes (N1–N5, see
 //! [`crate::passes`]), the optional runtime determinism audit
 //! ([`crate::determinism`]), and the suppression file
 //! ([`crate::report`]).
@@ -19,6 +19,11 @@
 //! * **L4 / ES-A004** — no `Vec::new` / `.collect()` inside the loop
 //!   bodies of the probe/rebuild functions in `crates/core/src/list.rs`
 //!   and `crates/core/src/repair.rs`.
+//! * **L5 / ES-A007** — no per-iteration heap allocation (`Box::new`,
+//!   `String::new`, `vec!`, `format!`, `.to_vec()`, `.to_string()`,
+//!   `.to_owned()`) and no `BTreeMap`/`BTreeSet` access inside the
+//!   loop bodies of the batch-probe hot path (`list.rs` probe walk,
+//!   `slotted.rs` route/placement/rollback machinery — DESIGN.md §16).
 //!
 //! Syntax-aware passes (DESIGN.md §12): N1 nondeterminism taint, N2
 //! epoch discipline, N3 twin drift, N4 unsafe audit, N5 lock
@@ -121,7 +126,7 @@ pub fn run(args: &[String]) -> i32 {
         }
         if active.is_empty() {
             println!(
-                "analyze: clean (L1-L4, N1-N5{} pass; {} suppressed)",
+                "analyze: clean (L1-L5, N1-N5{} pass; {} suppressed)",
                 if run_determinism { ", DET" } else { "" },
                 suppressed.len()
             );
@@ -139,7 +144,7 @@ pub fn run(args: &[String]) -> i32 {
     }
 }
 
-/// All static findings for the workspace at `root` (L1–L4 and N1–N5),
+/// All static findings for the workspace at `root` (L1–L5 and N1–N5),
 /// before suppression handling; sorted by (code, file, line).
 pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
     let files = rust_sources(root);
@@ -158,6 +163,10 @@ pub fn analyze_workspace(root: &Path) -> Vec<Finding> {
         let l4_targets = probe_fns(rel);
         if !l4_targets.is_empty() {
             lint_l4(rel, l4_targets, &file.tokens, &mut findings);
+        }
+        let l5_targets = batch_probe_fns(rel);
+        if !l5_targets.is_empty() {
+            lint_l5(rel, l5_targets, &file.tokens, &mut findings);
         }
         if rel.starts_with("crates/core/src/") {
             for (code, line) in scan_codes(&file.src) {
@@ -233,7 +242,9 @@ fn probe_fns(rel: &str) -> &'static [&'static str] {
             "pick_by_probe_overlay",
             "pick_by_hybrid_criterion",
             "schedule_in_edges",
-            "rollback_in_edges",
+            "prepare_probe_edges",
+            "probe_in_edges",
+            "rollback_probe_edges",
             "order_in_edges",
         ],
         "crates/core/src/repair.rs" => &["rebuild", "pick_target"],
@@ -241,13 +252,45 @@ fn probe_fns(rel: &str) -> &'static [&'static str] {
     }
 }
 
-/// L4: `Vec::new` / `.collect()` inside a loop body of a probe/rebuild
-/// function allocates O(tasks × candidates) times per schedule. Tracks
-/// function and loop extents by brace depth over the token stream:
-/// `fn <target>` arms a function frame at its body `{`; `for` /
-/// `while` / `loop` arm a loop frame at theirs; allocation idents are
-/// flagged only while at least one loop frame is open.
-fn lint_l4(rel: &str, targets: &[&str], tokens: &[Token], findings: &mut Vec<Finding>) {
+/// L5 scope: the batch-probe loop bodies of the arena/SoA hot path
+/// (DESIGN.md §16) — the per-candidate probe walk in `list.rs` plus
+/// the per-hop route/placement/rollback machinery in `slotted.rs`.
+fn batch_probe_fns(rel: &str) -> &'static [&'static str] {
+    match rel {
+        "crates/core/src/list.rs" => &[
+            "pick_by_probe_serial",
+            "pick_by_probe_overlay",
+            "prepare_probe_edges",
+            "probe_in_edges",
+            "rollback_probe_edges",
+        ],
+        "crates/core/src/slotted.rs" => &[
+            "schedule_comm",
+            "pick_route_into",
+            "place_on_route",
+            "warm_route_searches",
+            "snap_save",
+            "restore",
+            "pick_restore_mode",
+            "unschedule",
+            "release_comms",
+            "route_for",
+        ],
+        _ => &[],
+    }
+}
+
+/// Shared walker for the loop-body lints (L4, L5). Tracks function and
+/// loop extents by brace depth over the token stream: `fn <target>`
+/// arms a function frame at its body `{`; `for` / `while` / `loop` arm
+/// a loop frame at theirs; `on_ident(i, fn_name, token)` fires for
+/// every identifier token while at least one loop frame is open inside
+/// a target function.
+fn scan_target_loop_idents(
+    targets: &[&str],
+    tokens: &[Token],
+    mut on_ident: impl FnMut(usize, &str, &Token),
+) {
     // Brace stack: true = this `{` opened a loop body.
     let mut braces: Vec<bool> = Vec::new();
     let mut loop_depth = 0usize;
@@ -255,19 +298,6 @@ fn lint_l4(rel: &str, targets: &[&str], tokens: &[Token], findings: &mut Vec<Fin
     let mut active: Option<(String, usize)> = None;
     let mut pending_fn: Option<String> = None;
     let mut pending_loop = false;
-    let flag = |line: u32, what: &str, name: &str, findings: &mut Vec<Finding>| {
-        findings.push(Finding {
-            code: "ES-A004",
-            pass: "L4",
-            file: rel.to_string(),
-            line,
-            message: format!(
-                "{what} inside a loop of `{name}` — this runs O(tasks × candidates) \
-                 times; hoist the buffer out of the loop and reuse it \
-                 (clear-don't-drop)"
-            ),
-        });
-    };
     let mut i = 0usize;
     while i < tokens.len() {
         let t = &tokens[i];
@@ -309,21 +339,91 @@ fn lint_l4(rel: &str, targets: &[&str], tokens: &[Token], findings: &mut Vec<Fin
                     active = None;
                 }
             }
-            TokenKind::Ident(id) if loop_depth > 0 => {
+            TokenKind::Ident(_) if loop_depth > 0 => {
                 let name = active.as_ref().map_or("", |(n, _)| n.as_str());
-                if id == "collect" {
-                    flag(t.line, "`.collect()`", name, findings);
-                } else if id == "Vec"
-                    && matches!(tokens.get(i + 1), Some(Token { kind: TokenKind::Op(o), .. }) if o == "::")
-                    && matches!(tokens.get(i + 2), Some(Token { kind: TokenKind::Ident(n), .. }) if n == "new")
-                {
-                    flag(t.line, "`Vec::new`", name, findings);
-                }
+                on_ident(i, name, t);
             }
             _ => {}
         }
         i += 1;
     }
+}
+
+/// `ident :: new` at token position `i`?
+fn is_path_new(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i + 1), Some(Token { kind: TokenKind::Op(o), .. }) if o == "::")
+        && matches!(tokens.get(i + 2), Some(Token { kind: TokenKind::Ident(n), .. }) if n == "new")
+}
+
+/// `ident !` at token position `i` (macro invocation)?
+fn is_macro_bang(tokens: &[Token], i: usize) -> bool {
+    matches!(tokens.get(i + 1), Some(Token { kind: TokenKind::Op(o), .. }) if o == "!")
+}
+
+/// L4: `Vec::new` / `.collect()` inside a loop body of a probe/rebuild
+/// function allocates O(tasks × candidates) times per schedule.
+fn lint_l4(rel: &str, targets: &[&str], tokens: &[Token], findings: &mut Vec<Finding>) {
+    scan_target_loop_idents(targets, tokens, |i, name, t| {
+        let TokenKind::Ident(id) = &t.kind else {
+            return;
+        };
+        let what = if id == "collect" {
+            "`.collect()`"
+        } else if id == "Vec" && is_path_new(tokens, i) {
+            "`Vec::new`"
+        } else {
+            return;
+        };
+        findings.push(Finding {
+            code: "ES-A004",
+            pass: "L4",
+            file: rel.to_string(),
+            line: t.line,
+            message: format!(
+                "{what} inside a loop of `{name}` — this runs O(tasks × candidates) \
+                 times; hoist the buffer out of the loop and reuse it \
+                 (clear-don't-drop)"
+            ),
+        });
+    });
+}
+
+/// L5: per-iteration heap allocation (`Box::new`, `String::new`,
+/// `vec!` / `format!`, `.to_vec()` / `.to_string()` / `.to_owned()`)
+/// or a `BTreeMap`/`BTreeSet` touch inside a loop body of the
+/// batch-probe hot path (DESIGN.md §16). The arena/SoA layout exists
+/// precisely so these loops stay allocation- and tree-walk-free; a
+/// reintroduced map lookup or per-hop allocation silently costs the
+/// bench multiplier long before a test fails.
+fn lint_l5(rel: &str, targets: &[&str], tokens: &[Token], findings: &mut Vec<Finding>) {
+    scan_target_loop_idents(targets, tokens, |i, name, t| {
+        let TokenKind::Ident(id) = &t.kind else {
+            return;
+        };
+        let what = if ((id == "Box" || id == "String") && is_path_new(tokens, i))
+            || ((id == "vec" || id == "format") && is_macro_bang(tokens, i))
+            || id == "to_vec"
+            || id == "to_string"
+            || id == "to_owned"
+        {
+            "heap allocation"
+        } else if id == "BTreeMap" || id == "BTreeSet" {
+            "tree-map access"
+        } else {
+            return;
+        };
+        findings.push(Finding {
+            code: "ES-A007",
+            pass: "L5",
+            file: rel.to_string(),
+            line: t.line,
+            message: format!(
+                "{what} (`{id}`) inside a loop of `{name}` — the batch-probe hot \
+                 path must stay allocation- and tree-walk-free; use the arena/SoA \
+                 columns and hoisted scratch buffers (DESIGN.md §16)"
+            ),
+        });
+    });
 }
 
 /// Extract `ES-Exxx` code occurrences (with their lines) from raw text.
@@ -538,5 +638,77 @@ mod tests {
     fn l4_is_scoped_to_probe_files() {
         assert!(probe_fns("crates/core/src/slotted.rs").is_empty());
         assert!(!probe_fns("crates/core/src/list.rs").is_empty());
+    }
+
+    #[test]
+    fn l5_flags_allocations_and_tree_maps_in_batch_probe_loops() {
+        let src = "fn probe_in_edges(&mut self) {\n\
+                   for pe in edges {\n\
+                   let b = Box::new(pe);\n\
+                   let s = format!(\"{pe:?}\");\n\
+                   let v = route.to_vec();\n\
+                   let hit = self.cache.get(&key);\n\
+                   let m: BTreeMap<u64, f64> = BTreeMap::new();\n\
+                   }\n\
+                   }";
+        let toks = lex(src);
+        let mut f = Vec::new();
+        lint_l5(
+            "crates/core/src/list.rs",
+            batch_probe_fns("crates/core/src/list.rs"),
+            &toks,
+            &mut f,
+        );
+        assert_eq!(
+            f.len(),
+            5,
+            "{:?}",
+            f.iter().map(|x| &x.message).collect::<Vec<_>>()
+        );
+        assert!(f.iter().all(|x| x.code == "ES-A007" && x.pass == "L5"));
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[1].line, 4);
+        assert_eq!(f[2].line, 5);
+        // Two hits on line 7: the type ascription and the constructor.
+        assert_eq!(f[3].line, 7);
+        assert_eq!(f[4].line, 7);
+    }
+
+    #[test]
+    fn l5_allows_arena_columns_and_hoisted_scratch() {
+        // The sanctioned batch-probe patterns: clear-don't-drop reuse,
+        // slice copies into hoisted buffers, and arena indexing. Also:
+        // allocations outside loops and in non-target functions stay
+        // legal.
+        let src = "fn place_on_route(&mut self) {\n\
+                   let mut out: Vec<Hop> = Vec::new();\n\
+                   for hop in route {\n\
+                   out.clear();\n\
+                   out.extend_from_slice(hops);\n\
+                   let q = &mut self.queues[hop.link.index()];\n\
+                   }\n\
+                   let s = format!(\"done {out:?}\");\n\
+                   }\n\
+                   fn helper() { for x in ys { let v = x.to_vec(); } }";
+        let toks = lex(src);
+        let mut f = Vec::new();
+        lint_l5(
+            "crates/core/src/slotted.rs",
+            batch_probe_fns("crates/core/src/slotted.rs"),
+            &toks,
+            &mut f,
+        );
+        assert!(
+            f.is_empty(),
+            "{:?}",
+            f.iter().map(|x| &x.message).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn l5_is_scoped_to_batch_probe_files() {
+        assert!(batch_probe_fns("crates/core/src/repair.rs").is_empty());
+        assert!(!batch_probe_fns("crates/core/src/slotted.rs").is_empty());
+        assert!(!batch_probe_fns("crates/core/src/list.rs").is_empty());
     }
 }

@@ -60,6 +60,12 @@ pub const PASSES: &[PassDesc] = &[
         title: "no per-candidate allocations in probe/repair loop bodies",
     },
     PassDesc {
+        id: "L5",
+        codes: &["ES-A007"],
+        title: "no per-iteration heap allocation or BTree access in \
+                batch-probe loop bodies",
+    },
+    PassDesc {
         id: "DET",
         codes: &["ES-A005"],
         title: "runtime determinism audit (double-run schedule diff)",
